@@ -1,0 +1,182 @@
+//! Figure 8-1: rate vs SNR for spinal codes (n=256, n=1024), Strider,
+//! Strider+, the LDPC envelope, and Raptor/QAM-256 — plus the
+//! fraction-of-capacity aggregation by SNR band and the gap-to-capacity
+//! panel.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig8_1 -- [--trials 4] [--snr-step 2]
+//!     [--full]   # paper-size Strider (n=50490) and Raptor (k=9500)
+//! ```
+
+use bench::{snr_grid, Args};
+use spinal_channel::capacity::{awgn_capacity_db, gap_to_capacity_db};
+use spinal_core::CodeParams;
+use spinal_sim::{
+    default_threads, ldpc_run, run_parallel, summarize, RaptorRun, SpinalRun, StriderRun, Trial,
+};
+
+fn main() {
+    let args = Args::parse();
+    let snrs = snr_grid(&args, -5.0, 35.0, 2.0);
+    let trials = args.usize("trials", 4);
+    let full = args.has("full");
+    let strider_n = if full { 50490 } else { args.usize("strider-n", 16830) };
+    let raptor_k = if full { 9500 } else { args.usize("raptor-k", 9500) };
+    let ldpc_trials = args.usize("ldpc-trials", 20);
+    let threads = args.usize("threads", default_threads());
+
+    eprintln!(
+        "fig8_1: {} SNR points × {trials} trials; strider n={strider_n}, raptor k={raptor_k}, {threads} threads",
+        snrs.len()
+    );
+
+    // One job per (snr, code) pair; codes indexed 0..6.
+    #[derive(Clone, Copy)]
+    enum Code {
+        Spinal256,
+        Spinal1024,
+        Strider,
+        StriderPlus,
+        Ldpc,
+        Raptor,
+    }
+    let codes = [
+        Code::Spinal256,
+        Code::Spinal1024,
+        Code::Strider,
+        Code::StriderPlus,
+        Code::Ldpc,
+        Code::Raptor,
+    ];
+
+    let jobs: Vec<(f64, usize)> = snrs
+        .iter()
+        .flat_map(|&s| (0..codes.len()).map(move |c| (s, c)))
+        .collect();
+
+    let results = run_parallel(jobs.len(), threads, |j| {
+        let (snr, c) = jobs[j];
+        let seed_base = (j as u64) << 32;
+        match codes[c] {
+            Code::Spinal256 => {
+                let run = SpinalRun::new(CodeParams::default().with_n(256))
+                    .with_attempt_growth(1.02);
+                let t: Vec<Trial> = (0..trials)
+                    .map(|i| run.run_trial(snr, seed_base + i as u64))
+                    .collect();
+                summarize(snr, &t).rate
+            }
+            Code::Spinal1024 => {
+                let run = SpinalRun::new(CodeParams::default().with_n(1024))
+                    .with_attempt_growth(1.02);
+                let t: Vec<Trial> = (0..trials)
+                    .map(|i| run.run_trial(snr, seed_base + i as u64))
+                    .collect();
+                summarize(snr, &t).rate
+            }
+            Code::Strider => {
+                let run = StriderRun::new(strider_n, 33).with_turbo_iterations(6);
+                let t: Vec<Trial> = (0..trials.div_ceil(2))
+                    .map(|i| run.run_trial(snr, seed_base + i as u64))
+                    .collect();
+                summarize(snr, &t).rate
+            }
+            Code::StriderPlus => {
+                let run = StriderRun::new(strider_n, 33).plus().with_turbo_iterations(6);
+                let t: Vec<Trial> = (0..trials.div_ceil(2))
+                    .map(|i| run.run_trial(snr, seed_base + i as u64))
+                    .collect();
+                summarize(snr, &t).rate
+            }
+            Code::Ldpc => {
+                let runners = ldpc_run::all_runners();
+                ldpc_run::envelope(&runners, snr, ldpc_trials, seed_base)
+            }
+            Code::Raptor => {
+                let run = RaptorRun::new(raptor_k, 8);
+                let t: Vec<Trial> = (0..trials.div_ceil(2))
+                    .map(|i| run.run_trial(snr, seed_base + i as u64))
+                    .collect();
+                summarize(snr, &t).rate
+            }
+        }
+    });
+
+    // Panel 1 & 3: rate and gap per SNR.
+    println!("# Figure 8-1 (panel 1): rate vs SNR (bits/symbol)");
+    println!("snr_db,capacity,spinal_n256,spinal_n1024,strider,strider_plus,ldpc_envelope,raptor_qam256");
+    let at = |si: usize, c: usize| results[si * codes.len() + c];
+    for (si, &snr) in snrs.iter().enumerate() {
+        println!(
+            "{snr:.1},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            awgn_capacity_db(snr),
+            at(si, 0),
+            at(si, 1),
+            at(si, 2),
+            at(si, 3),
+            at(si, 4),
+            at(si, 5)
+        );
+    }
+
+    println!("\n# Figure 8-1 (panel 3): gap to capacity (dB)");
+    println!("snr_db,spinal_n256,spinal_n1024,strider_plus,ldpc_envelope,raptor_qam256");
+    for (si, &snr) in snrs.iter().enumerate() {
+        println!(
+            "{snr:.1},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            gap_to_capacity_db(at(si, 0), snr),
+            gap_to_capacity_db(at(si, 1), snr),
+            gap_to_capacity_db(at(si, 3), snr),
+            gap_to_capacity_db(at(si, 4), snr),
+            gap_to_capacity_db(at(si, 5), snr)
+        );
+    }
+
+    // Panel 2: fraction of capacity by SNR band (paper: <10, 10-20, >20).
+    println!("\n# Figure 8-1 (panel 2): mean fraction of capacity by SNR band");
+    println!("band,spinal_n256,raptor,strider,strider_plus");
+    for (name, lo, hi) in [("<10dB", -90.0, 10.0), ("10-20dB", 10.0, 20.0), (">20dB", 20.0, 90.0)]
+    {
+        let mut frac = [0.0f64; 4];
+        let mut count = 0;
+        for (si, &snr) in snrs.iter().enumerate() {
+            if snr >= lo && snr < hi {
+                let cap = awgn_capacity_db(snr);
+                frac[0] += at(si, 0) / cap;
+                frac[1] += at(si, 5) / cap;
+                frac[2] += at(si, 2) / cap;
+                frac[3] += at(si, 3) / cap;
+                count += 1;
+            }
+        }
+        println!(
+            "{name},{:.4},{:.4},{:.4},{:.4}",
+            frac[0] / count as f64,
+            frac[1] / count as f64,
+            frac[2] / count as f64,
+            frac[3] / count as f64
+        );
+    }
+
+    // Headline ratios the abstract quotes.
+    println!("\n# headline: spinal(n=256) rate gain over baselines by band");
+    println!("band,vs_raptor_pct,vs_strider_pct");
+    for (name, lo, hi) in [("<10dB", -90.0, 10.0), ("10-20dB", 10.0, 20.0), (">20dB", 20.0, 90.0)]
+    {
+        let (mut sp, mut ra, mut st, mut n) = (0.0, 0.0, 0.0, 0);
+        for (si, &snr) in snrs.iter().enumerate() {
+            if snr >= lo && snr < hi {
+                sp += at(si, 0);
+                ra += at(si, 5);
+                st += at(si, 2);
+                n += 1;
+            }
+        }
+        let _ = n;
+        println!(
+            "{name},{:.1},{:.1}",
+            (sp / ra - 1.0) * 100.0,
+            (sp / st - 1.0) * 100.0
+        );
+    }
+}

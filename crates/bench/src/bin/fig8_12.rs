@@ -1,0 +1,50 @@
+//! Figure 8-12: effect of code block length — gap to capacity for
+//! n ∈ {64 … 2048} at fixed k=4, B=256. Longer blocks lose more often
+//! to beam evictions, so the gap widens with n (the §6 motivation for
+//! splitting frames into 1024-bit blocks).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig8_12 -- [--trials 3] [--snr-step 4]
+//! ```
+
+use bench::{snr_grid, Args};
+use spinal_channel::capacity::gap_to_capacity_db;
+use spinal_core::CodeParams;
+use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+
+fn main() {
+    let args = Args::parse();
+    let snrs = snr_grid(&args, -5.0, 35.0, 4.0);
+    let trials = args.usize("trials", 3);
+    let threads = args.usize("threads", default_threads());
+    let sizes = [64usize, 128, 256, 512, 1024, 2048];
+
+    eprintln!("fig8_12: n ∈ {sizes:?}");
+
+    let mut jobs: Vec<(usize, f64)> = Vec::new();
+    for &n in &sizes {
+        for &s in &snrs {
+            jobs.push((n, s));
+        }
+    }
+
+    let rates = run_parallel(jobs.len(), threads, |j| {
+        let (n, snr) = jobs[j];
+        let run = SpinalRun::new(CodeParams::default().with_n(n)).with_attempt_growth(1.02);
+        let t: Vec<Trial> = (0..trials)
+            .map(|i| run.run_trial(snr, ((j * trials + i) as u64) << 8))
+            .collect();
+        summarize(snr, &t).rate
+    });
+
+    println!("# Figure 8-12: gap to capacity vs code block length (k=4, B=256)");
+    println!("snr_db,n64,n128,n256,n512,n1024,n2048");
+    for (si, &snr) in snrs.iter().enumerate() {
+        print!("{snr:.1}");
+        for ni in 0..sizes.len() {
+            print!(",{:.3}", gap_to_capacity_db(rates[ni * snrs.len() + si], snr));
+        }
+        println!();
+    }
+    println!("\n# expectation: shorter blocks closer to capacity at fixed B");
+}

@@ -1,0 +1,80 @@
+//! Figure 8-3: small-packet performance — fraction of capacity achieved
+//! by spinal, Raptor, Strider and Strider+ at message sizes 1024, 2048
+//! and 3072 bits, averaged over the 5–20 dB range.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig8_3 -- [--trials 3] [--snr-step 5]
+//! ```
+
+use bench::{snr_grid, Args};
+use spinal_channel::capacity::awgn_capacity_db;
+use spinal_core::CodeParams;
+use spinal_sim::{default_threads, run_parallel, summarize, RaptorRun, SpinalRun, StriderRun, Trial};
+
+fn main() {
+    let args = Args::parse();
+    let snrs = snr_grid(&args, 5.0, 20.0, 5.0);
+    let trials = args.usize("trials", 3);
+    let threads = args.usize("threads", default_threads());
+    let sizes = [1024usize, 2048, 3072];
+
+    eprintln!("fig8_3: sizes {sizes:?}, SNR {snrs:?}, {trials} trials");
+
+    // jobs: size × code × snr
+    let codes = 4usize; // spinal, raptor, strider, strider+
+    let mut jobs: Vec<(usize, usize, f64)> = Vec::new();
+    for &n in &sizes {
+        for c in 0..codes {
+            for &s in &snrs {
+                jobs.push((n, c, s));
+            }
+        }
+    }
+
+    let rates = run_parallel(jobs.len(), threads, |j| {
+        let (n, c, snr) = jobs[j];
+        let seed = (j as u64) << 24;
+        let t: Vec<Trial> = match c {
+            0 => {
+                let run = SpinalRun::new(CodeParams::default().with_n(n))
+                    .with_attempt_growth(1.02);
+                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+            }
+            1 => {
+                let run = RaptorRun::new(n, 8);
+                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+            }
+            2 => {
+                // Paper method: keep 33 layers, shrink symbols per layer.
+                let run = StriderRun::new(n, 33).with_turbo_iterations(6);
+                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+            }
+            _ => {
+                let run = StriderRun::new(n, 33).plus().with_turbo_iterations(6);
+                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+            }
+        };
+        summarize(snr, &t).rate
+    });
+
+    let idx = |ni: usize, c: usize, si: usize| {
+        rates[ni * codes * snrs.len() + c * snrs.len() + si]
+    };
+
+    println!("# Figure 8-3: mean fraction of capacity, 5–20 dB");
+    println!("message_bits,spinal,raptor,strider,strider_plus");
+    for (ni, &n) in sizes.iter().enumerate() {
+        let mut frac = [0.0f64; 4];
+        for (si, &snr) in snrs.iter().enumerate() {
+            let cap = awgn_capacity_db(snr);
+            for (c, f) in frac.iter_mut().enumerate() {
+                *f += idx(ni, c, si) / cap;
+            }
+        }
+        for f in &mut frac {
+            *f /= snrs.len() as f64;
+        }
+        println!("{n},{:.4},{:.4},{:.4},{:.4}", frac[0], frac[1], frac[2], frac[3]);
+    }
+    println!("\n# expectation: spinal > raptor (by 14–20%) >> strider/strider+ (2.5–10×)");
+}

@@ -1,0 +1,10 @@
+//! Figure 8-4: Rayleigh fading with exact channel-state information —
+//! spinal vs Strider+ at coherence times τ ∈ {1, 10, 100} symbols.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig8_4 -- [--trials 4] [--snr-step 5]
+//! ```
+
+fn main() {
+    bench::fading_fig::run(true, "Figure 8-4");
+}

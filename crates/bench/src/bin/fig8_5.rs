@@ -1,0 +1,11 @@
+//! Figure 8-5: the same Rayleigh simulation decoded with plain AWGN
+//! metrics — no fading information at either decoder (robustness to
+//! missing/inaccurate channel estimates).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig8_5 -- [--trials 4] [--snr-step 5]
+//! ```
+
+fn main() {
+    bench::fading_fig::run(false, "Figure 8-5");
+}

@@ -1,0 +1,79 @@
+//! Figure 8-6: the compute/performance tradeoff — fraction of capacity
+//! (averaged over 2–24 dB) vs decode budget `B·2^k/k` (branch
+//! evaluations per bit) for k ∈ 1..6.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig8_6 -- [--trials 2] [--snr-step 4]
+//! ```
+
+use bench::{snr_grid, Args};
+use spinal_channel::capacity::awgn_capacity_db;
+use spinal_core::CodeParams;
+use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+
+fn main() {
+    let args = Args::parse();
+    let snrs = snr_grid(&args, 2.0, 24.0, 4.0);
+    let trials = args.usize("trials", 2);
+    let threads = args.usize("threads", default_threads());
+    let ks = [1usize, 2, 3, 4, 5, 6];
+    let budget_pows = [4u32, 5, 6, 7, 8, 9, 10]; // 2^4 .. 2^10 evals/bit
+
+    // n must be divisible by every k: 240 works for k ∈ 1..6 and is close
+    // to the paper's 256.
+    let n = args.usize("n", 240);
+    eprintln!("fig8_6: n={n}, budgets 2^{{4..10}}, k ∈ 1..6, {trials} trials");
+
+    let mut jobs: Vec<(usize, u32, f64)> = Vec::new();
+    for &k in &ks {
+        for &bp in &budget_pows {
+            for &s in &snrs {
+                jobs.push((k, bp, s));
+            }
+        }
+    }
+
+    let rates = run_parallel(jobs.len(), threads, |j| {
+        let (k, bp, snr) = jobs[j];
+        // budget = B·2^k/k  ⇒  B = budget·k/2^k.
+        let budget = 1usize << bp;
+        let b = (budget * k) >> k;
+        if b == 0 {
+            return f64::NAN; // infeasible corner (large k, small budget)
+        }
+        let params = CodeParams::default().with_n(n).with_k(k).with_b(b);
+        let run = SpinalRun::new(params).with_attempt_growth(1.03);
+        let t: Vec<Trial> = (0..trials)
+            .map(|i| run.run_trial(snr, ((j * trials + i) as u64) << 8))
+            .collect();
+        summarize(snr, &t).rate / awgn_capacity_db(snr)
+    });
+
+    let idx = |ki: usize, bi: usize, si: usize| {
+        rates[ki * budget_pows.len() * snrs.len() + bi * snrs.len() + si]
+    };
+
+    println!("# Figure 8-6: fraction of capacity vs compute budget (2–24 dB mean)");
+    println!("budget_evals_per_bit,k1,k2,k3,k4,k5,k6");
+    for (bi, &bp) in budget_pows.iter().enumerate() {
+        print!("{}", 1u64 << bp);
+        for ki in 0..ks.len() {
+            let mut acc = 0.0;
+            let mut cnt = 0usize;
+            for si in 0..snrs.len() {
+                let v = idx(ki, bi, si);
+                if v.is_finite() {
+                    acc += v;
+                    cnt += 1;
+                }
+            }
+            if cnt == 0 {
+                print!(",nan");
+            } else {
+                print!(",{:.4}", acc / cnt as f64);
+            }
+        }
+        println!();
+    }
+    println!("\n# expectation: k=4 near-best across budgets; B=256 (budget 2^10 at k=4) suffices");
+}

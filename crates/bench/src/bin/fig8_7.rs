@@ -1,0 +1,53 @@
+//! Figure 8-7: bubble depth tradeoff — decoders with equal node budget
+//! B·2^kd: (B=512, d=1), (B=64, d=2), (B=8, d=3), (B=1, d=4) at k=3,
+//! n=255 (the paper's 256 rounded to a multiple of k=3).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig8_7 -- [--trials 4] [--snr-step 2]
+//! ```
+
+use bench::{snr_grid, Args};
+use spinal_channel::capacity::gap_to_capacity_db;
+use spinal_core::CodeParams;
+use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+
+fn main() {
+    let args = Args::parse();
+    let snrs = snr_grid(&args, -5.0, 35.0, 2.0);
+    let trials = args.usize("trials", 4);
+    let threads = args.usize("threads", default_threads());
+    let configs = [(512usize, 1usize), (64, 2), (8, 3), (1, 4)];
+    let n = args.usize("n", 255); // k=3 ⇒ n must divide by 3
+
+    eprintln!("fig8_7: k=3, n={n}, configs {configs:?}");
+
+    let mut jobs: Vec<(usize, f64)> = Vec::new();
+    for ci in 0..configs.len() {
+        for &s in &snrs {
+            jobs.push((ci, s));
+        }
+    }
+
+    let rates = run_parallel(jobs.len(), threads, |j| {
+        let (ci, snr) = jobs[j];
+        let (b, d) = configs[ci];
+        let params = CodeParams::default().with_n(n).with_k(3).with_b(b).with_d(d);
+        let run = SpinalRun::new(params).with_attempt_growth(1.02);
+        let t: Vec<Trial> = (0..trials)
+            .map(|i| run.run_trial(snr, ((j * trials + i) as u64) << 8))
+            .collect();
+        summarize(snr, &t).rate
+    });
+
+    println!("# Figure 8-7: gap to capacity for constant-work (B,d) pairs, k=3");
+    println!("snr_db,B512_d1,B64_d2,B8_d3,B1_d4");
+    for (si, &snr) in snrs.iter().enumerate() {
+        print!("{snr:.1}");
+        for ci in 0..configs.len() {
+            let r = rates[ci * snrs.len() + si];
+            print!(",{:.3}", gap_to_capacity_db(r, snr));
+        }
+        println!();
+    }
+    println!("\n# expectation: gap worsens as d grows at fixed work; (64,2) close to (512,1)");
+}

@@ -1,0 +1,49 @@
+//! Figure 8-9: tail symbol count — gap to capacity with 1..5 tail
+//! symbols per pass. Two is the paper's sweet spot.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig8_9 -- [--trials 4] [--snr-step 2]
+//! ```
+
+use bench::{snr_grid, Args};
+use spinal_channel::capacity::gap_to_capacity_db;
+use spinal_core::CodeParams;
+use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+
+fn main() {
+    let args = Args::parse();
+    let snrs = snr_grid(&args, -5.0, 35.0, 2.0);
+    let trials = args.usize("trials", 4);
+    let threads = args.usize("threads", default_threads());
+    let tails = [1usize, 2, 3, 4, 5];
+
+    eprintln!("fig8_9: tails 1..5, n=256");
+
+    let mut jobs: Vec<(usize, f64)> = Vec::new();
+    for &t in &tails {
+        for &s in &snrs {
+            jobs.push((t, s));
+        }
+    }
+
+    let rates = run_parallel(jobs.len(), threads, |j| {
+        let (tail, snr) = jobs[j];
+        let params = CodeParams::default().with_n(256).with_tail(tail);
+        let run = SpinalRun::new(params).with_attempt_growth(1.02);
+        let t: Vec<Trial> = (0..trials)
+            .map(|i| run.run_trial(snr, ((j * trials + i) as u64) << 8))
+            .collect();
+        summarize(snr, &t).rate
+    });
+
+    println!("# Figure 8-9: gap to capacity vs tail symbols per pass (n=256)");
+    println!("snr_db,tail1,tail2,tail3,tail4,tail5");
+    for (si, &snr) in snrs.iter().enumerate() {
+        print!("{snr:.1}");
+        for ti in 0..tails.len() {
+            print!(",{:.3}", gap_to_capacity_db(rates[ti * snrs.len() + si], snr));
+        }
+        println!();
+    }
+    println!("\n# expectation: 2 tails best at high SNR; >2 wastes channel time");
+}

@@ -1,0 +1,60 @@
+//! Ablation (Related Work §2): incremental-redundancy HARQ over a
+//! punctured LDPC mother code — the conventional way to "emulate
+//! rateless operation" — against true rateless spinal codes.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin harq_ir -- [--trials 4] [--snr-step 4]
+//! ```
+
+use bench::{snr_grid, Args};
+use spinal_channel::capacity::awgn_capacity_db;
+use spinal_core::CodeParams;
+use spinal_ldpc::IrHarq;
+use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+
+fn main() {
+    let args = Args::parse();
+    let snrs = snr_grid(&args, -2.0, 34.0, 4.0);
+    let trials = args.usize("trials", 4);
+    let threads = args.usize("threads", default_threads());
+
+    let rows = run_parallel(snrs.len(), threads, |si| {
+        let snr = snrs[si];
+        // IR-HARQ with the densest modulation that helps at this SNR
+        // (idealised adaptation, mirroring the LDPC envelope treatment).
+        let mut best_harq = 0.0f64;
+        for qam_bits in [2u32, 4, 6] {
+            let harq = IrHarq::new(qam_bits, 11);
+            let mut delivered = 0usize;
+            let mut spent = 0usize;
+            for t in 0..trials {
+                match harq.run_trial(snr, ((si * trials + t) as u64) << 7) {
+                    Some(symbols) => {
+                        delivered += harq.k();
+                        spent += symbols;
+                    }
+                    None => spent += harq.code().n() * 4 / qam_bits as usize,
+                }
+            }
+            if spent > 0 {
+                best_harq = best_harq.max(delivered as f64 / spent as f64);
+            }
+        }
+
+        let run = SpinalRun::new(CodeParams::default().with_n(256)).with_attempt_growth(1.02);
+        let t: Vec<Trial> = (0..trials)
+            .map(|i| run.run_trial(snr, ((si * trials + i) as u64) << 8))
+            .collect();
+        let spinal = summarize(snr, &t).rate;
+        (best_harq, spinal)
+    });
+
+    println!("# IR-HARQ (punctured LDPC R=1/2 mother, best of QPSK/16/64-QAM) vs spinal");
+    println!("snr_db,capacity,harq_ir_rate,spinal_rate");
+    for (si, &snr) in snrs.iter().enumerate() {
+        let (harq, spinal) = rows[si];
+        println!("{snr:.1},{:.4},{harq:.4},{spinal:.4}", awgn_capacity_db(snr));
+    }
+    println!("\n# expectation: IR-HARQ tracks spinal at low SNR but plateaus per modulation,");
+    println!("# and pays the mother-code gap everywhere — the §2 motivation for true ratelessness");
+}

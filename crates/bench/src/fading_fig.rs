@@ -1,0 +1,72 @@
+//! Shared harness for Figures 8-4 and 8-5 (fading, with/without CSI).
+
+use crate::{snr_grid, Args};
+use spinal_channel::capacity::rayleigh_ergodic_capacity_db;
+use spinal_core::CodeParams;
+use spinal_sim::{
+    default_threads, run_parallel, summarize_vs_capacity, LinkChannel, SpinalRun, StriderChannel,
+    StriderRun, Trial,
+};
+
+/// Run the fading comparison; `csi = false` gives Figure 8-5.
+pub fn run(csi: bool, figure: &str) {
+    let args = Args::parse();
+    let snrs = snr_grid(&args, -5.0, 35.0, 5.0);
+    let trials = args.usize("trials", 4);
+    let threads = args.usize("threads", default_threads());
+    let strider_n = args.usize("strider-n", 6600);
+    let taus = [1usize, 10, 100];
+
+    eprintln!("{figure}: csi={csi}, taus {taus:?}, {trials} trials");
+
+    let mut jobs: Vec<(usize, usize, f64)> = Vec::new();
+    for ti in 0..taus.len() {
+        for c in 0..2usize {
+            for &s in &snrs {
+                jobs.push((ti, c, s));
+            }
+        }
+    }
+
+    let rates = run_parallel(jobs.len(), threads, |j| {
+        let (ti, c, snr) = jobs[j];
+        let tau = taus[ti];
+        let seed = (j as u64) << 24;
+        let t: Vec<Trial> = match c {
+            0 => {
+                let run = SpinalRun::new(CodeParams::default().with_n(256))
+                    .with_channel(LinkChannel::Rayleigh { tau, csi })
+                    .with_attempt_growth(1.02);
+                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+            }
+            _ => {
+                let run = StriderRun::new(strider_n, 33)
+                    .plus()
+                    .with_turbo_iterations(6)
+                    .with_channel(StriderChannel::Rayleigh { tau, csi });
+                (0..trials.div_ceil(2))
+                    .map(|i| run.run_trial(snr, seed + i as u64))
+                    .collect()
+            }
+        };
+        summarize_vs_capacity(snr, &t, rayleigh_ergodic_capacity_db(snr)).rate
+    });
+
+    let idx = |ti: usize, c: usize, si: usize| rates[ti * 2 * snrs.len() + c * snrs.len() + si];
+
+    println!("# {figure}: Rayleigh fading, decoders {} CSI", if csi { "with exact" } else { "without" });
+    println!("snr_db,ergodic_capacity,spinal_tau1,spinal_tau10,spinal_tau100,strider_plus_tau1,strider_plus_tau10,strider_plus_tau100");
+    for (si, &snr) in snrs.iter().enumerate() {
+        println!(
+            "{snr:.1},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            rayleigh_ergodic_capacity_db(snr),
+            idx(0, 0, si),
+            idx(1, 0, si),
+            idx(2, 0, si),
+            idx(0, 1, si),
+            idx(1, 1, si),
+            idx(2, 1, si)
+        );
+    }
+}
+

@@ -1,0 +1,100 @@
+//! Shared plumbing for the experiment binaries: a tiny flag parser and
+//! sweep helpers. Each binary in `src/bin/` regenerates one table or
+//! figure of the paper; see DESIGN.md §2 for the index and EXPERIMENTS.md
+//! for recorded results.
+
+pub mod fading_fig;
+
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` argument parser (keeps the harness
+/// free of CLI dependencies).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()`.
+    pub fn parse() -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = argv[i].trim_start_matches("--").to_string();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                values.insert(a, argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(a);
+                i += 1;
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Fetch a float option.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants a number")))
+            .unwrap_or(default)
+    }
+
+    /// Fetch an integer option.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Check a boolean flag.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+/// An SNR grid: `--snr-start/--snr-end/--snr-step` with experiment
+/// defaults.
+pub fn snr_grid(args: &Args, start: f64, end: f64, step: f64) -> Vec<f64> {
+    let start = args.f64("snr-start", start);
+    let end = args.f64("snr-end", end);
+    let step = args.f64("snr-step", step);
+    assert!(step > 0.0 && end >= start);
+    let mut v = Vec::new();
+    let mut s = start;
+    while s <= end + 1e-9 {
+        v.push(s);
+        s += step;
+    }
+    v
+}
+
+/// Pooled rate over trials (delivered bits / spent symbols), matching
+/// `spinal_sim::stats::summarize`. Convenience for sweep binaries.
+pub fn pooled_rate(trials: &[spinal_sim::Trial]) -> f64 {
+    spinal_sim::summarize(0.0, trials).rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snr_grid_default_includes_endpoints() {
+        let g = snr_grid(&Args::default(), -5.0, 35.0, 5.0);
+        assert_eq!(g.len(), 9);
+        assert_eq!(g[0], -5.0);
+        assert_eq!(*g.last().unwrap(), 35.0);
+    }
+
+    #[test]
+    fn pooled_rate_matches_stats() {
+        use spinal_sim::Trial;
+        let t = vec![Trial::success(100, 50), Trial::success(100, 150)];
+        assert!((pooled_rate(&t) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,92 @@
+//! The binary symmetric channel: each transmitted bit is flipped
+//! independently with probability `p`. Spinal codes run directly over the
+//! BSC with `c = 1` and Hamming branch costs (§3.3, §4.1).
+
+use crate::BitChannel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A binary symmetric channel with crossover probability `p`.
+#[derive(Debug, Clone)]
+pub struct BscChannel {
+    p: f64,
+    rng: StdRng,
+}
+
+impl BscChannel {
+    /// Create a BSC with flip probability `p ∈ [0, 0.5]`.
+    ///
+    /// `p > 0.5` is rejected: such a channel is equivalent to a better one
+    /// with flipped outputs and accepting it silently would make capacity
+    /// accounting wrong.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=0.5).contains(&p), "BSC flip probability {p} not in [0, 0.5]");
+        BscChannel {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl BitChannel for BscChannel {
+    fn transmit_bits(&mut self, bits: &[bool]) -> Vec<bool> {
+        bits.iter()
+            .map(|&b| {
+                if self.rng.gen::<f64>() < self.p {
+                    !b
+                } else {
+                    b
+                }
+            })
+            .collect()
+    }
+
+    fn flip_probability(&self) -> f64 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_rate_matches_p() {
+        let mut ch = BscChannel::new(0.1, 3);
+        let tx = vec![false; 100_000];
+        let rx = ch.transmit_bits(&tx);
+        let flips = rx.iter().filter(|&&b| b).count();
+        let rate = flips as f64 / tx.len() as f64;
+        assert!((rate - 0.1).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn zero_p_is_identity() {
+        let mut ch = BscChannel::new(0.0, 3);
+        let tx: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        assert_eq!(ch.transmit_bits(&tx), tx);
+    }
+
+    #[test]
+    fn half_p_is_maximally_noisy() {
+        let mut ch = BscChannel::new(0.5, 3);
+        let tx = vec![true; 100_000];
+        let rx = ch.transmit_bits(&tx);
+        let kept = rx.iter().filter(|&&b| b).count() as f64 / tx.len() as f64;
+        assert!((kept - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_p_above_half() {
+        BscChannel::new(0.6, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let tx: Vec<bool> = (0..256).map(|i| i % 2 == 0).collect();
+        let mut a = BscChannel::new(0.2, 5);
+        let mut b = BscChannel::new(0.2, 5);
+        assert_eq!(a.transmit_bits(&tx), b.transmit_bits(&tx));
+    }
+}

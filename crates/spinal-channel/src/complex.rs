@@ -1,0 +1,233 @@
+//! A minimal complex number type for I/Q baseband processing.
+//!
+//! The workspace deliberately avoids pulling in `num-complex`; the handful
+//! of operations the codebase needs fit in this module and keep the
+//! dependency set to the approved list.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` parts, representing one I/Q symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// In-phase (real) component.
+    pub re: f64,
+    /// Quadrature (imaginary) component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{jθ}` — a unit-magnitude phasor.
+    #[inline]
+    pub fn from_phase(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Construct from polar form `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Squared magnitude `|z|²` (the symbol's instantaneous power).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Phase angle in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared Euclidean distance to another point — the AWGN branch cost
+    /// primitive of §4.1.
+    #[inline]
+    pub fn dist_sq(self, other: Complex) -> f64 {
+        let dr = self.re - other.re;
+        let di = self.im - other.im;
+        dr * dr + di * di
+    }
+
+    /// Multiplication by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sq();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert_eq!(-z, Complex::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn magnitude_and_phase() {
+        let z = Complex::new(3.0, 4.0);
+        assert!(close(z.norm_sq(), 25.0));
+        assert!(close(z.abs(), 5.0));
+        let p = Complex::from_phase(std::f64::consts::FRAC_PI_2);
+        assert!(close(p.re, 0.0) || p.re.abs() < 1e-12);
+        assert!(close(p.im, 1.0));
+    }
+
+    #[test]
+    fn multiplication_matches_polar_form() {
+        let a = Complex::from_polar(2.0, 0.3);
+        let b = Complex::from_polar(1.5, 1.1);
+        let c = a * b;
+        assert!(close(c.abs(), 3.0));
+        assert!((c.arg() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.25, -2.5);
+        let b = Complex::new(-0.5, 0.75);
+        let c = (a * b) / b;
+        assert!(close(c.re, a.re));
+        assert!(close(c.im, a.im));
+    }
+
+    #[test]
+    fn conjugate_product_is_norm() {
+        let z = Complex::new(1.5, 2.5);
+        let p = z * z.conj();
+        assert!(close(p.re, z.norm_sq()));
+        assert!(close(p.im, 0.0));
+    }
+
+    #[test]
+    fn dist_sq_is_squared_euclidean() {
+        let a = Complex::new(1.0, 1.0);
+        let b = Complex::new(4.0, 5.0);
+        assert!(close(a.dist_sq(b), 25.0));
+        assert!(close(a.dist_sq(a), 0.0));
+    }
+}

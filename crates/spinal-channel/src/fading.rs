@@ -1,0 +1,164 @@
+//! The Rayleigh block-fading model of §8.3 (after Telatar, ref. \[38\]):
+//! `y = h·x + n` where `n` is complex Gaussian noise of power `σ²` and `h`
+//! is a complex fading coefficient redrawn every `tau` symbols with uniform
+//! phase and Rayleigh magnitude, normalised so `E[|h|²] = 1`.
+//!
+//! The channel records every coefficient it applies so experiments can hand
+//! the decoder *exact* CSI (Figure 8-4) or withhold it (Figure 8-5).
+
+use crate::complex::Complex;
+use crate::math::normal_pair;
+use crate::snr::db_to_linear;
+use crate::Channel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Rayleigh block-fading channel with coherence time `tau` (in symbols).
+#[derive(Debug, Clone)]
+pub struct RayleighChannel {
+    snr_linear: f64,
+    noise_std: f64,
+    tau: usize,
+    /// Fading coefficient per coherence block, in transmission order.
+    blocks: Vec<Complex>,
+    /// Total symbols transmitted so far.
+    sent: usize,
+    rng: StdRng,
+}
+
+impl RayleighChannel {
+    /// Create a channel at `snr_db` with coherence time `tau ≥ 1` symbols.
+    pub fn new(snr_db: f64, tau: usize, seed: u64) -> Self {
+        assert!(tau >= 1, "coherence time must be at least one symbol");
+        let snr_linear = db_to_linear(snr_db);
+        RayleighChannel {
+            snr_linear,
+            noise_std: (1.0 / snr_linear / 2.0).sqrt(),
+            tau,
+            blocks: Vec::new(),
+            sent: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw one normalised Rayleigh coefficient: each of Re/Im is
+    /// N(0, 1/2), giving `E[|h|²] = 1`, Rayleigh magnitude and uniform
+    /// phase as the paper specifies.
+    fn draw_h(&mut self) -> Complex {
+        let (a, b) = normal_pair(&mut self.rng);
+        Complex::new(a / 2f64.sqrt(), b / 2f64.sqrt())
+    }
+
+    fn h_for(&mut self, symbol_index: usize) -> Complex {
+        let block = symbol_index / self.tau;
+        while self.blocks.len() <= block {
+            let h = self.draw_h();
+            self.blocks.push(h);
+        }
+        self.blocks[block]
+    }
+
+    /// Coherence time in symbols.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+}
+
+impl Channel for RayleighChannel {
+    fn transmit(&mut self, x: &[Complex]) -> Vec<Complex> {
+        let mut out = Vec::with_capacity(x.len());
+        for &s in x {
+            let h = self.h_for(self.sent);
+            let (nr, ni) = normal_pair(&mut self.rng);
+            out.push(Complex::new(
+                (h * s).re + nr * self.noise_std,
+                (h * s).im + ni * self.noise_std,
+            ));
+            self.sent += 1;
+        }
+        out
+    }
+
+    fn csi(&self, index: usize) -> Option<Complex> {
+        if index < self.sent {
+            Some(self.blocks[index / self.tau])
+        } else {
+            None
+        }
+    }
+
+    fn snr(&self) -> f64 {
+        self.snr_linear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fading_power_is_normalised() {
+        let mut ch = RayleighChannel::new(40.0, 1, 9); // high SNR: noise negligible
+        let tx = vec![Complex::ONE; 100_000];
+        let rx = ch.transmit(&tx);
+        let p: f64 = rx.iter().map(|y| y.norm_sq()).sum::<f64>() / rx.len() as f64;
+        assert!((p - 1.0).abs() < 0.03, "E[|h|^2]={p}");
+    }
+
+    #[test]
+    fn coherence_blocks_hold_h_constant() {
+        let tau = 10;
+        let mut ch = RayleighChannel::new(100.0, tau, 4); // effectively noiseless
+        let tx = vec![Complex::ONE; 50];
+        let rx = ch.transmit(&tx);
+        for block in 0..5 {
+            let first = rx[block * tau];
+            for i in 1..tau {
+                let y = rx[block * tau + i];
+                assert!(first.dist_sq(y) < 1e-6, "h varied inside block {block}");
+            }
+        }
+        // Adjacent blocks almost surely differ.
+        assert!(rx[0].dist_sq(rx[tau]) > 1e-9);
+    }
+
+    #[test]
+    fn csi_matches_applied_coefficient() {
+        let mut ch = RayleighChannel::new(200.0, 3, 8); // noiseless for the check
+        let tx = vec![Complex::ONE; 12];
+        let rx = ch.transmit(&tx);
+        for (i, y) in rx.iter().enumerate() {
+            let h = ch.csi(i).expect("csi exists for sent symbols");
+            assert!(h.dist_sq(*y) < 1e-10, "symbol {i}");
+        }
+        assert!(ch.csi(12).is_none());
+    }
+
+    #[test]
+    fn phase_is_roughly_uniform() {
+        let mut ch = RayleighChannel::new(100.0, 1, 77);
+        let tx = vec![Complex::ONE; 40_000];
+        let rx = ch.transmit(&tx);
+        // Quadrant counts should be ~even.
+        let mut quad = [0usize; 4];
+        for y in &rx {
+            let q = match (y.re >= 0.0, y.im >= 0.0) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            };
+            quad[q] += 1;
+        }
+        for q in quad {
+            let frac = q as f64 / rx.len() as f64;
+            assert!((frac - 0.25).abs() < 0.01, "quadrant fraction {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_tau() {
+        RayleighChannel::new(10.0, 0, 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Channel models and information-theoretic utilities for the spinal-codes
+//! reproduction.
+//!
+//! This crate is the substrate every experiment in the paper's evaluation
+//! (§8) runs on. It provides:
+//!
+//! * [`Complex`] — a minimal complex number for I/Q baseband symbols.
+//! * [`AwgnChannel`] — additive white Gaussian noise on complex symbols,
+//!   parameterised by SNR (§8.1).
+//! * [`BscChannel`] — the binary symmetric (bit-flip) channel (§4).
+//! * [`RayleighChannel`] — the block Rayleigh fading model of §8.3:
+//!   `y = h·x + n` with `h` redrawn every `tau` symbols.
+//! * [`capacity`] — Shannon capacity of each model, inverse capacity, and
+//!   the paper's "gap to capacity" metric (§8.1).
+//! * [`math`] — `erf`/`Φ`/`Φ⁻¹` and Box–Muller Gaussian sampling (used by
+//!   the truncated-Gaussian constellation of §3.3 and by every channel).
+//!
+//! Conventions (documented in DESIGN.md §3): average complex symbol power
+//! is 1, complex noise power is `σ² = 10^(−SNR_dB/10)` split evenly across
+//! I and Q, and capacity is `log2(1 + SNR)` bits per complex symbol.
+
+pub mod awgn;
+pub mod bsc;
+pub mod capacity;
+pub mod complex;
+pub mod fading;
+pub mod math;
+pub mod mi;
+pub mod snr;
+
+pub use awgn::AwgnChannel;
+pub use bsc::BscChannel;
+pub use complex::Complex;
+pub use fading::RayleighChannel;
+pub use snr::{db_to_linear, linear_to_db};
+
+/// A channel that maps transmitted complex symbols to noisy received symbols.
+///
+/// Channels are stateful (they own their noise RNG, and the fading channel
+/// owns its coefficient process), so transmission takes `&mut self`.
+pub trait Channel {
+    /// Push `x` through the channel and return the received observations.
+    fn transmit(&mut self, x: &[Complex]) -> Vec<Complex>;
+
+    /// The channel-state information (fading coefficient) applied to the
+    /// `i`-th symbol transmitted so far, if the model has one. AWGN returns
+    /// `None`; decoders fall back to `h = 1`.
+    fn csi(&self, _index: usize) -> Option<Complex> {
+        None
+    }
+
+    /// Signal-to-noise ratio (linear) this channel was configured with.
+    fn snr(&self) -> f64;
+}
+
+/// A channel over hard bits, used for the BSC experiments.
+pub trait BitChannel {
+    /// Push bits through the channel and return the (possibly flipped) bits.
+    fn transmit_bits(&mut self, bits: &[bool]) -> Vec<bool>;
+
+    /// The crossover (flip) probability.
+    fn flip_probability(&self) -> f64;
+}

@@ -1,0 +1,189 @@
+//! Scalar math used across the workspace: the standard normal CDF `Φ`, its
+//! inverse `Φ⁻¹` (needed by the truncated-Gaussian constellation mapping of
+//! §3.3), `erf`, and Box–Muller Gaussian sampling (needed by every noise
+//! process; `rand_distr` is not on the approved dependency list).
+
+use rand::Rng;
+
+/// Error function `erf(x)`, via the Abramowitz & Stegun 7.1.26 rational
+/// approximation refined with one Newton step against `erf'`. Absolute
+/// error is below 3e-7 over the real line, which is far below the noise
+/// floor of any Monte-Carlo experiment in this repository.
+pub fn erf(x: f64) -> f64 {
+    // A&S 7.1.26 with the usual 5-term polynomial.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Inverse standard normal CDF `Φ⁻¹(p)` via Acklam's rational approximation
+/// plus one Halley refinement step, giving ~1e-15 relative accuracy on
+/// (0, 1). Panics outside (0, 1).
+pub fn phi_inv(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "phi_inv domain is the open interval (0,1), got {p}"
+    );
+
+    // Coefficients for Acklam's algorithm.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step against Φ(x) − p sharpens the tails considerably.
+    let e = phi(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Draw one standard normal sample via Box–Muller.
+///
+/// Generates two uniforms per call and discards half the pair; the decode
+/// loop dominates runtime so the simplicity is worth the factor of two.
+/// [`normal_pair`] is available where both samples are wanted.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    normal_pair(rng).0
+}
+
+/// Draw a pair of independent standard normal samples via Box–Muller.
+pub fn normal_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    // Avoid u1 == 0 which would give ln(0).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-9);
+        assert!((erf(1.0) - 0.8427007929).abs() < 5e-7);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 5e-7);
+        assert!((erf(2.0) - 0.9953222650).abs() < 5e-7);
+        assert!(erf(6.0) > 0.999999);
+    }
+
+    #[test]
+    fn phi_symmetry_and_known_values() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-9);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+        for x in [-3.0, -1.0, 0.5, 2.5] {
+            assert!((phi(x) + phi(-x) - 1.0).abs() < 1e-7, "x={x}");
+        }
+    }
+
+    #[test]
+    fn phi_inv_is_inverse_of_phi() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = phi_inv(p);
+            assert!((phi(x) - p).abs() < 1e-5, "p={p}, x={x}, phi(x)={}", phi(x));
+        }
+    }
+
+    #[test]
+    fn phi_inv_known_quantiles() {
+        assert!(phi_inv(0.5).abs() < 1e-8);
+        assert!((phi_inv(0.975) - 1.959964).abs() < 1e-4);
+        assert!((phi_inv(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn phi_inv_rejects_zero() {
+        phi_inv(0.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = normal(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn normal_pair_components_uncorrelated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut cross = 0.0;
+        for _ in 0..n {
+            let (a, b) = normal_pair(&mut rng);
+            cross += a * b;
+        }
+        assert!((cross / n as f64).abs() < 0.02);
+    }
+}

@@ -1,0 +1,34 @@
+//! Decibel/linear conversions. Every experiment sweeps SNR in dB (the
+//! paper's Figure axes are dB) while the channel math wants linear ratios.
+
+/// Convert a dB value to a linear power ratio: `10^(db/10)`.
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Convert a linear power ratio to dB: `10·log10(x)`.
+#[inline]
+pub fn linear_to_db(linear: f64) -> f64 {
+    10.0 * linear.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for db in [-20.0, -5.0, 0.0, 3.0, 10.0, 35.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_points() {
+        assert!((db_to_linear(0.0) - 1.0).abs() < 1e-12);
+        assert!((db_to_linear(10.0) - 10.0).abs() < 1e-12);
+        assert!((db_to_linear(3.0) - 1.9952623).abs() < 1e-6);
+        assert!((linear_to_db(100.0) - 20.0).abs() < 1e-12);
+    }
+}

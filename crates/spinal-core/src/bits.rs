@@ -1,0 +1,221 @@
+//! Message bit manipulation.
+//!
+//! A spinal code block is a string of `n` bits, consumed `k` at a time by
+//! the spine (§3.1: `m̄_i = m_{ki+1} … m_{k(i+1)}`). Messages are stored as
+//! byte vectors with MSB-first bit order, so bit 0 of the message is the
+//! most-significant bit of byte 0 — the natural order for a wire format.
+
+/// A fixed-length bit string: the unit the spinal encoder operates on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Message {
+    bytes: Vec<u8>,
+    len_bits: usize,
+}
+
+impl Message {
+    /// Wrap `len_bits` bits stored MSB-first in `bytes`. Trailing pad bits
+    /// in the final byte must be zero (enforced) so that equal messages
+    /// have equal byte representations.
+    pub fn from_bytes(bytes: Vec<u8>, len_bits: usize) -> Self {
+        assert!(
+            bytes.len() * 8 >= len_bits,
+            "need {len_bits} bits but only {} bytes given",
+            bytes.len()
+        );
+        assert!(
+            (bytes.len() - 1) * 8 < len_bits || len_bits == 0,
+            "byte vector longer than necessary for {len_bits} bits"
+        );
+        let mut m = Message {
+            bytes,
+            len_bits,
+        };
+        m.clear_padding();
+        m
+    }
+
+    /// An all-zero message of `len_bits` bits.
+    pub fn zeros(len_bits: usize) -> Self {
+        Message {
+            bytes: vec![0u8; len_bits.div_ceil(8)],
+            len_bits,
+        }
+    }
+
+    /// Build a message from individual bits, MSB-first.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut m = Message::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            m.set_bit(i, b);
+        }
+        m
+    }
+
+    /// Generate a uniformly random message of `len_bits` bits using the
+    /// caller's RNG (kept generic so the crate itself has no rand dep in
+    /// its public API beyond this bound).
+    pub fn random<R: FnMut() -> u8>(len_bits: usize, mut next_byte: R) -> Self {
+        let bytes: Vec<u8> = (0..len_bits.div_ceil(8)).map(|_| next_byte()).collect();
+        let mut m = Message { bytes, len_bits };
+        m.clear_padding();
+        m
+    }
+
+    fn clear_padding(&mut self) {
+        let pad = self.bytes.len() * 8 - self.len_bits;
+        if pad > 0 {
+            let last = self.bytes.len() - 1;
+            self.bytes[last] &= !((1u8 << pad) - 1);
+        }
+    }
+
+    /// Number of bits in the message.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Underlying bytes, MSB-first packed.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Read one bit.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len_bits);
+        (self.bytes[i / 8] >> (7 - i % 8)) & 1 == 1
+    }
+
+    /// Set one bit.
+    pub fn set_bit(&mut self, i: usize, v: bool) {
+        assert!(i < self.len_bits);
+        let mask = 1u8 << (7 - i % 8);
+        if v {
+            self.bytes[i / 8] |= mask;
+        } else {
+            self.bytes[i / 8] &= !mask;
+        }
+    }
+
+    /// Extract `count ≤ 32` bits starting at bit `start`, MSB-first, into
+    /// the low bits of the return value. This is the `m̄_i` extraction used
+    /// by the spine: `get_bits(i*k, k)`.
+    pub fn get_bits(&self, start: usize, count: usize) -> u32 {
+        assert!(count <= 32);
+        assert!(
+            start + count <= self.len_bits,
+            "bit range {start}+{count} out of {} bits",
+            self.len_bits
+        );
+        let mut v = 0u32;
+        for i in 0..count {
+            v = (v << 1) | self.bit(start + i) as u32;
+        }
+        v
+    }
+
+    /// Write `count ≤ 32` bits (taken from the low bits of `value`,
+    /// MSB-first) starting at bit `start`. Inverse of [`Self::get_bits`].
+    pub fn set_bits(&mut self, start: usize, count: usize, value: u32) {
+        assert!(count <= 32);
+        assert!(start + count <= self.len_bits);
+        for i in 0..count {
+            let bit = (value >> (count - 1 - i)) & 1 == 1;
+            self.set_bit(start + i, bit);
+        }
+    }
+
+    /// All bits as a vector of bools (test/debug convenience).
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.len_bits).map(|i| self.bit(i)).collect()
+    }
+
+    /// Number of bit positions at which `self` and `other` differ.
+    /// Messages of unequal length compare on the shared prefix plus the
+    /// length difference.
+    pub fn hamming_distance(&self, other: &Message) -> usize {
+        let shared = self.len_bits.min(other.len_bits);
+        let diff = self.len_bits.max(other.len_bits) - shared;
+        (0..shared).filter(|&i| self.bit(i) != other.bit(i)).count() + diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_get_set_round_trip() {
+        let mut m = Message::zeros(19);
+        m.set_bit(0, true);
+        m.set_bit(7, true);
+        m.set_bit(8, true);
+        m.set_bit(18, true);
+        assert!(m.bit(0) && m.bit(7) && m.bit(8) && m.bit(18));
+        assert!(!m.bit(1) && !m.bit(17));
+        m.set_bit(0, false);
+        assert!(!m.bit(0));
+    }
+
+    #[test]
+    fn get_bits_is_msb_first() {
+        // bits: 1010 1100 ...
+        let m = Message::from_bytes(vec![0b1010_1100], 8);
+        assert_eq!(m.get_bits(0, 4), 0b1010);
+        assert_eq!(m.get_bits(4, 4), 0b1100);
+        assert_eq!(m.get_bits(0, 8), 0b1010_1100);
+        assert_eq!(m.get_bits(2, 3), 0b101);
+    }
+
+    #[test]
+    fn get_bits_spans_byte_boundaries() {
+        let m = Message::from_bytes(vec![0xAB, 0xCD, 0xEF], 24);
+        assert_eq!(m.get_bits(4, 16), 0xBCDE);
+        assert_eq!(m.get_bits(0, 24), 0xABCDEF);
+    }
+
+    #[test]
+    fn set_bits_inverts_get_bits() {
+        let mut m = Message::zeros(32);
+        m.set_bits(3, 13, 0x1ABC & 0x1FFF);
+        assert_eq!(m.get_bits(3, 13), 0x1ABC & 0x1FFF);
+        // Surrounding bits untouched.
+        assert_eq!(m.get_bits(0, 3), 0);
+        assert_eq!(m.get_bits(16, 16), m.get_bits(16, 16));
+    }
+
+    #[test]
+    fn padding_is_cleared() {
+        let m = Message::from_bytes(vec![0xFF], 5);
+        assert_eq!(m.as_bytes()[0], 0b1111_1000);
+    }
+
+    #[test]
+    fn from_bits_round_trip() {
+        let bits: Vec<bool> = (0..21).map(|i| i % 3 == 1).collect();
+        let m = Message::from_bits(&bits);
+        assert_eq!(m.to_bits(), bits);
+        assert_eq!(m.len_bits(), 21);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        let a = Message::from_bits(&[true, false, true, true]);
+        let b = Message::from_bits(&[true, true, true, false]);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn hamming_distance_unequal_lengths() {
+        let a = Message::from_bits(&[true, false]);
+        let b = Message::from_bits(&[true, false, true]);
+        assert_eq!(a.hamming_distance(&b), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_bits_out_of_range_panics() {
+        let m = Message::zeros(8);
+        m.get_bits(5, 4);
+    }
+}

@@ -1,0 +1,215 @@
+//! Constellation mapping functions (§3.3, Figure 3-2).
+//!
+//! A mapping takes a `c`-bit RNG output `b` per real dimension and places
+//! it on the I or Q axis. Two maps from the paper:
+//!
+//! * **Uniform**: `b → (u − ½)·√(6P)` with `u = (b + ½)/2^c` — a uniform
+//!   grid over `[−√(3P/2), +√(3P/2)]`.
+//! * **Truncated Gaussian**: `b → Φ⁻¹(γ + (1−2γ)u)·√(P/2)` with
+//!   `γ = Φ(−β)`; `β` controls the truncation width.
+//!
+//! Where the paper "omits very small corrections to P", we normalise the
+//! discrete constellation exactly to average complex power `P = 1`:
+//! at `c = 6` the correction is < 0.01 dB, but the Figure 8-8 sweep goes
+//! down to `c = 1`, where the uncorrected uniform map would give up
+//! 1.25 dB of transmit power and make the comparison about power, not
+//! density. DESIGN.md records this substitution.
+
+use crate::params::MAX_C;
+use spinal_channel::math::{phi, phi_inv};
+use spinal_channel::Complex;
+
+/// Which constellation mapping to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MappingKind {
+    /// Uniform grid of 2^c points per dimension (§3.3, left of Fig 3-2).
+    Uniform,
+    /// Truncated Gaussian with truncation parameter β (right of Fig 3-2).
+    /// The paper's examples use β = 2.
+    TruncatedGaussian {
+        /// Truncation width in standard deviations.
+        beta: f64,
+    },
+}
+
+/// A realised constellation map: a lookup table of per-dimension levels,
+/// normalised to unit average complex power.
+#[derive(Debug, Clone)]
+pub struct Constellation {
+    kind: MappingKind,
+    c: u32,
+    levels: Vec<f64>,
+}
+
+impl Constellation {
+    /// Build the mapping table for `c` bits per dimension (1..=16).
+    pub fn new(kind: MappingKind, c: u32) -> Self {
+        assert!((1..=MAX_C).contains(&c), "c={c} outside 1..={MAX_C}");
+        let m = 1usize << c;
+        let mut levels: Vec<f64> = (0..m)
+            .map(|b| {
+                let u = (b as f64 + 0.5) / m as f64;
+                match kind {
+                    // P = 1: (u − ½)·√6.
+                    MappingKind::Uniform => (u - 0.5) * 6f64.sqrt(),
+                    MappingKind::TruncatedGaussian { beta } => {
+                        let gamma = phi(-beta);
+                        phi_inv(gamma + (1.0 - 2.0 * gamma) * u) * 0.5f64.sqrt()
+                    }
+                }
+            })
+            .collect();
+        // Exact power normalisation: per-dimension mean-square must be ½
+        // so a complex symbol (two dimensions) has unit average power.
+        let ms: f64 = levels.iter().map(|x| x * x).sum::<f64>() / m as f64;
+        let scale = (0.5 / ms).sqrt();
+        for l in &mut levels {
+            *l *= scale;
+        }
+        Constellation { kind, c, levels }
+    }
+
+    /// Bits consumed per dimension.
+    pub fn c(&self) -> u32 {
+        self.c
+    }
+
+    /// The mapping family this table was built from.
+    pub fn kind(&self) -> MappingKind {
+        self.kind
+    }
+
+    /// Map a `c`-bit value to its per-dimension level.
+    #[inline]
+    pub fn map_value(&self, b: u32) -> f64 {
+        self.levels[b as usize]
+    }
+
+    /// Map one 32-bit RNG word to a complex symbol: I from the top 16
+    /// bits' most significant `c` bits, Q likewise from the bottom 16.
+    #[inline]
+    pub fn map_word(&self, word: u32) -> Complex {
+        let i_bits = (word >> 16) as u16 >> (16 - self.c);
+        let q_bits = (word & 0xFFFF) as u16 >> (16 - self.c);
+        Complex::new(
+            self.levels[i_bits as usize],
+            self.levels[q_bits as usize],
+        )
+    }
+
+    /// All per-dimension levels (ascending), e.g. for plotting Fig 3-2.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Peak instantaneous power of the densest symbol, used by the PAPR
+    /// study (Table 8.1).
+    pub fn peak_power(&self) -> f64 {
+        let peak = self
+            .levels
+            .iter()
+            .fold(0f64, |acc, &x| acc.max(x.abs()));
+        2.0 * peak * peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_sq(c: &Constellation) -> f64 {
+        c.levels().iter().map(|x| x * x).sum::<f64>() / c.levels().len() as f64
+    }
+
+    #[test]
+    fn uniform_power_is_normalised() {
+        for c in 1..=8 {
+            let con = Constellation::new(MappingKind::Uniform, c);
+            assert!(
+                (mean_sq(&con) - 0.5).abs() < 1e-12,
+                "c={c}: per-dim power {}",
+                mean_sq(&con)
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_power_is_normalised() {
+        for beta in [1.5, 2.0, 3.0] {
+            let con = Constellation::new(MappingKind::TruncatedGaussian { beta }, 6);
+            assert!((mean_sq(&con) - 0.5).abs() < 1e-12, "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn uniform_levels_are_evenly_spaced_and_symmetric() {
+        let con = Constellation::new(MappingKind::Uniform, 4);
+        let l = con.levels();
+        let step = l[1] - l[0];
+        for w in l.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-12);
+        }
+        for i in 0..l.len() {
+            assert!((l[i] + l[l.len() - 1 - i]).abs() < 1e-12, "symmetry at {i}");
+        }
+    }
+
+    #[test]
+    fn gaussian_levels_cluster_near_zero() {
+        // The Gaussian map puts more points near the origin than the
+        // uniform map: its inner gaps are smaller, outer gaps larger.
+        let g = Constellation::new(MappingKind::TruncatedGaussian { beta: 2.0 }, 6);
+        let l = g.levels();
+        let inner_gap = l[32] - l[31]; // around the median
+        let outer_gap = l[63] - l[62]; // at the edge
+        assert!(
+            outer_gap > 2.0 * inner_gap,
+            "inner {inner_gap} outer {outer_gap}"
+        );
+    }
+
+    #[test]
+    fn gaussian_respects_truncation() {
+        let beta = 2.0;
+        let g = Constellation::new(MappingKind::TruncatedGaussian { beta }, 8);
+        // Pre-normalisation the range is ±β·√(P/2); normalisation scales
+        // by <1.2 for β=2, so levels must stay within ~±β·1.2·√0.5.
+        let max = g.levels().iter().fold(0f64, |a, &x| a.max(x.abs()));
+        assert!(max < beta * 1.2 * 0.5f64.sqrt(), "max level {max}");
+    }
+
+    #[test]
+    fn map_word_splits_halves() {
+        let con = Constellation::new(MappingKind::Uniform, 6);
+        // I bits = top 6 of high half; Q bits = top 6 of low half.
+        let word = (0b101010u32 << (16 + 10)) | (0b010101u32 << 10);
+        let s = con.map_word(word);
+        assert!((s.re - con.map_value(0b101010)).abs() < 1e-15);
+        assert!((s.im - con.map_value(0b010101)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn c_one_is_antipodal_full_power() {
+        // With exact normalisation c=1 collapses to ±√½ per dimension —
+        // QPSK at unit complex power.
+        let con = Constellation::new(MappingKind::Uniform, 1);
+        assert_eq!(con.levels().len(), 2);
+        assert!((con.map_value(0) + 0.5f64.sqrt()).abs() < 1e-12);
+        assert!((con.map_value(1) - 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_papr_approaches_4_77_db() {
+        // QAM-∞ PAPR is 4.77 dB (paper §8.4); a dense uniform grid should
+        // be close.
+        let con = Constellation::new(MappingKind::Uniform, 10);
+        let papr_db = 10.0 * (con.peak_power() / 1.0).log10();
+        assert!((papr_db - 4.77).abs() < 0.05, "papr={papr_db}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_c_zero() {
+        Constellation::new(MappingKind::Uniform, 0);
+    }
+}

@@ -1,0 +1,450 @@
+//! The bubble decoder (§4, Figure 4-1): approximate maximum-likelihood
+//! decoding by pruned breadth-first search over the tree of message
+//! prefixes.
+//!
+//! The beam holds `B` subtree roots. At the start of a step each root
+//! carries its partial subtree grown to depth `d−1` (represented as a flat
+//! *frontier* of leaves). A step (Figure 4-1):
+//!
+//! 1. grow every frontier leaf one level (exploring `B·2^(kd)` nodes —
+//!    the cost §4.5 states),
+//! 2. propagate minimum leaf cost up to each root's children,
+//! 3. keep the best `B` children as the new roots (ties broken
+//!    arbitrarily), discarding the rest.
+//!
+//! With `d = 1` this is exactly the classical M-algorithm / beam search;
+//! growing `d` trades beam diversity for fewer, cheaper pruning decisions
+//! (Figure 8-7).
+//!
+//! Committed decisions are recorded in an append-only arena of
+//! `(parent, edge)` records, so memory for history is `O(B·n/k)` per
+//! attempt rather than the full tree. The decoder rebuilds its tree from
+//! the receive buffer on every attempt (§7.1: caching between attempts is
+//! unhelpful because new symbols change pruning decisions).
+
+use crate::bits::Message;
+use crate::params::CodeParams;
+use crate::rx::{RxBits, RxSymbols};
+use crate::symbols::SymbolGen;
+
+/// Result of one decode attempt.
+#[derive(Debug, Clone)]
+pub struct DecodeResult {
+    /// The decoded message (best candidate). Validate with the framing
+    /// CRC — the bubble decoder itself cannot know whether it succeeded.
+    pub message: Message,
+    /// Path cost of the winning leaf (`Σ‖ȳᵢ − x̄ᵢ‖²` for AWGN, Hamming
+    /// distance for BSC).
+    pub cost: f64,
+}
+
+/// One frontier leaf during decoding.
+#[derive(Debug, Clone, Copy)]
+struct Leaf {
+    /// Spine value at this node.
+    state: u32,
+    /// Accumulated path cost from the root of the decode tree.
+    cost: f64,
+    /// Which beam tree this leaf belongs to.
+    tree: u32,
+    /// Edges from the beam tree's root to this leaf, newest in the low
+    /// bits, `depth_below_root · k` bits total.
+    rel_path: u64,
+}
+
+/// The bubble decoder. Stateless across attempts: all received data lives
+/// in the [`RxSymbols`]/[`RxBits`] buffer.
+#[derive(Debug, Clone)]
+pub struct BubbleDecoder {
+    params: CodeParams,
+    gen: SymbolGen,
+}
+
+impl BubbleDecoder {
+    /// Build a decoder for `params` (must match the encoder's).
+    pub fn new(params: &CodeParams) -> Self {
+        params.validate();
+        assert!(
+            params.k * (params.d + 1) <= 64,
+            "k·(d+1) must fit in a 64-bit relative path"
+        );
+        BubbleDecoder {
+            params: params.clone(),
+            gen: SymbolGen::new(params),
+        }
+    }
+
+    /// Decode from complex observations (AWGN or fading channel).
+    ///
+    /// The branch metric is `Σ_t |y_t − h_t·x_t(s)|²` over the symbols
+    /// received for each spine value (§4.1, extended with CSI when the
+    /// buffer carries it).
+    pub fn decode(&self, rx: &RxSymbols) -> DecodeResult {
+        assert_eq!(rx.n_spines(), self.params.num_spines());
+        let gen = &self.gen;
+        self.decode_inner(|state, spine_idx| {
+            let mut cost = 0.0;
+            for e in rx.spine_entries(spine_idx) {
+                let x = gen.complex(state, e.rng_index);
+                cost += e.y.dist_sq(e.h * x);
+            }
+            cost
+        })
+    }
+
+    /// Decode from hard bits (BSC). The branch metric is Hamming distance.
+    pub fn decode_bsc(&self, rx: &RxBits) -> DecodeResult {
+        assert_eq!(rx.n_spines(), self.params.num_spines());
+        let gen = &self.gen;
+        self.decode_inner(|state, spine_idx| {
+            let mut cost = 0.0;
+            for &(t, y) in rx.spine_entries(spine_idx) {
+                if gen.bit(state, t) != y {
+                    cost += 1.0;
+                }
+            }
+            cost
+        })
+    }
+
+    /// Core beam search, generic over the branch metric
+    /// `branch(state_at_depth_j, spine_index_j−1) → cost`.
+    fn decode_inner<F: Fn(u32, usize) -> f64>(&self, branch: F) -> DecodeResult {
+        let p = &self.params;
+        let ns = p.num_spines();
+        let k = p.k;
+        let d = p.d.min(ns);
+        let fanout = 1usize << k;
+        let edge_mask = (fanout - 1) as u64;
+
+        // Arena of committed root advancements: (parent arena id, edge).
+        const NO_PARENT: u32 = u32::MAX;
+        let mut arena: Vec<(u32, u32)> = Vec::with_capacity(p.b * (ns + 1 - d));
+        // Arena id of each beam tree's root (NO_PARENT = the s0 root).
+        let mut tree_roots: Vec<u32> = vec![NO_PARENT];
+
+        // Initial frontier: expand s0 to depth d−1 (spine indices 0..d−1).
+        let mut frontier = vec![Leaf {
+            state: p.s0,
+            cost: 0.0,
+            tree: 0,
+            rel_path: 0,
+        }];
+        for depth in 1..d {
+            frontier = self.expand(&frontier, depth - 1, &branch);
+        }
+
+        // Main loop: iteration i advances roots from depth i−1 to i;
+        // the expansion consumes spine index i+d−2 (leaves reach absolute
+        // depth i+d−1).
+        let mut scratch_min: Vec<f64> = Vec::new();
+        let mut order: Vec<u32> = Vec::new();
+        for i in 1..=(ns + 1 - d) {
+            let expanded = self.expand(&frontier, i + d - 2, &branch);
+
+            // Score candidates: key = (tree, eldest edge of rel_path).
+            // After expansion a leaf's rel_path holds d·k bits; the eldest
+            // edge (the root's child being judged) sits at bit (d−1)·k.
+            let shift = ((d - 1) * k) as u32;
+            let n_keys = tree_roots.len() << k;
+            scratch_min.clear();
+            scratch_min.resize(n_keys, f64::INFINITY);
+            for leaf in &expanded {
+                let key = ((leaf.tree as usize) << k)
+                    | ((leaf.rel_path >> shift) & edge_mask) as usize;
+                if leaf.cost < scratch_min[key] {
+                    scratch_min[key] = leaf.cost;
+                }
+            }
+
+            // Select the best B keys (ties broken arbitrarily by sort).
+            order.clear();
+            order.extend(
+                (0..n_keys as u32).filter(|&kk| scratch_min[kk as usize].is_finite()),
+            );
+            let keep = p.b.min(order.len());
+            order.sort_unstable_by(|&a, &b| {
+                scratch_min[a as usize]
+                    .partial_cmp(&scratch_min[b as usize])
+                    .unwrap()
+            });
+            order.truncate(keep);
+
+            // Commit selected children to the arena; build key → new tree
+            // index map.
+            let mut key_to_new: Vec<u32> = vec![u32::MAX; n_keys];
+            let mut new_roots = Vec::with_capacity(keep);
+            for (new_tree, &key) in order.iter().enumerate() {
+                let tree = (key as usize) >> k;
+                let edge = (key as usize & (fanout - 1)) as u32;
+                arena.push((tree_roots[tree], edge));
+                key_to_new[key as usize] = new_tree as u32;
+                new_roots.push((arena.len() - 1) as u32);
+            }
+            tree_roots = new_roots;
+
+            // Re-root surviving leaves: drop the committed eldest edge.
+            let strip_mask = if shift == 0 { 0 } else { (1u64 << shift) - 1 };
+            frontier.clear();
+            for leaf in &expanded {
+                let key = ((leaf.tree as usize) << k)
+                    | ((leaf.rel_path >> shift) & edge_mask) as usize;
+                let new_tree = key_to_new[key];
+                if new_tree != u32::MAX {
+                    frontier.push(Leaf {
+                        state: leaf.state,
+                        cost: leaf.cost,
+                        tree: new_tree,
+                        rel_path: leaf.rel_path & strip_mask,
+                    });
+                }
+            }
+        }
+
+        // Best leaf overall; reconstruct its message.
+        let best = frontier
+            .iter()
+            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap())
+            .expect("frontier cannot be empty");
+        let mut msg = Message::zeros(p.n);
+        // Leaf's relative edges cover the last d−1 spine steps.
+        for j in 0..(d - 1) {
+            let edge = (best.rel_path >> ((d - 2 - j) * k)) & edge_mask;
+            msg.set_bits((ns - (d - 1) + j) * k, k, edge as u32);
+        }
+        // Arena walk covers spine steps 0..=ns−d.
+        let mut node = tree_roots[best.tree as usize];
+        let mut step = ns - d; // spine step the current arena node decides
+        loop {
+            let (parent, edge) = arena[node as usize];
+            msg.set_bits(step * k, k, edge);
+            if parent == NO_PARENT {
+                break;
+            }
+            node = parent;
+            step -= 1;
+        }
+        debug_assert_eq!(step, 0);
+
+        DecodeResult {
+            message: msg,
+            cost: best.cost,
+        }
+    }
+
+    /// Expand every frontier leaf by one level, consuming spine index
+    /// `spine_idx` for the children's branch costs.
+    fn expand<F: Fn(u32, usize) -> f64>(
+        &self,
+        frontier: &[Leaf],
+        spine_idx: usize,
+        branch: &F,
+    ) -> Vec<Leaf> {
+        let k = self.params.k;
+        let fanout = 1u32 << k;
+        let hash = self.params.hash;
+        let mut out = Vec::with_capacity(frontier.len() << k);
+        for leaf in frontier {
+            for edge in 0..fanout {
+                let state = hash.hash(leaf.state, edge);
+                out.push(Leaf {
+                    state,
+                    cost: leaf.cost + branch(state, spine_idx),
+                    tree: leaf.tree,
+                    rel_path: (leaf.rel_path << k) | edge as u64,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::Encoder;
+    use crate::puncturing::{Puncturing, Schedule};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spinal_channel::{AwgnChannel, BscChannel, BitChannel, Channel};
+
+    fn rand_msg(n: usize, seed: u64) -> Message {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Message::random(n, || rng.gen())
+    }
+
+    fn roundtrip(params: &CodeParams, snr_db: f64, passes: usize, seed: u64) -> bool {
+        let msg = rand_msg(params.n, seed);
+        let mut enc = Encoder::new(params, &msg);
+        let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        let mut ch = AwgnChannel::new(snr_db, seed.wrapping_add(1));
+        let tx = enc.next_symbols(passes * params.symbols_per_pass());
+        rx.push(&ch.transmit(&tx));
+        let dec = BubbleDecoder::new(params);
+        dec.decode(&rx).message == msg
+    }
+
+    #[test]
+    fn decodes_noiseless_channel_one_pass() {
+        let p = CodeParams::default().with_n(64);
+        let msg = rand_msg(64, 42);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        rx.push(&enc.next_symbols(p.symbols_per_pass()));
+        let out = BubbleDecoder::new(&p).decode(&rx);
+        assert_eq!(out.message, msg);
+        assert!(out.cost < 1e-18, "noiseless cost {}", out.cost);
+    }
+
+    #[test]
+    fn decodes_high_snr_awgn() {
+        let p = CodeParams::default().with_n(96);
+        assert!(roundtrip(&p, 20.0, 2, 7));
+    }
+
+    #[test]
+    fn decodes_low_snr_with_many_passes() {
+        // 0 dB: capacity = 1 bit/symbol; k=4 needs ≥ 4 passes; use 8.
+        let p = CodeParams::default().with_n(96).with_b(64);
+        assert!(roundtrip(&p, 0.0, 8, 21));
+    }
+
+    #[test]
+    fn decodes_with_depth_two_bubble() {
+        let p = CodeParams::default().with_n(96).with_k(3).with_b(16).with_d(2);
+        assert!(roundtrip(&p, 12.0, 2, 3));
+    }
+
+    #[test]
+    fn decodes_with_depth_three_bubble() {
+        let p = CodeParams::default().with_n(90).with_k(3).with_b(4).with_d(3);
+        assert!(roundtrip(&p, 15.0, 2, 5));
+    }
+
+    #[test]
+    fn decodes_with_beam_one_deep_bubble() {
+        // B=1, d=4 from Figure 8-7's sweep: the bubble *is* the beam.
+        let p = CodeParams::default().with_n(60).with_k(3).with_b(1).with_d(4);
+        assert!(roundtrip(&p, 18.0, 2, 11));
+    }
+
+    #[test]
+    fn decodes_k1_binary_tree() {
+        let p = CodeParams::default().with_n(64).with_k(1).with_b(32);
+        assert!(roundtrip(&p, 10.0, 2, 13));
+    }
+
+    #[test]
+    fn decodes_bsc() {
+        let p = CodeParams::default().with_n(64).with_b(64);
+        let msg = rand_msg(64, 99);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxBits::new(schedule);
+        let mut ch = BscChannel::new(0.05, 5);
+        // p=0.05 → capacity ≈ 0.71 bits/use; k=4 → need ≥ 6 passes. Use 12.
+        let tx = enc.next_bits(12 * p.symbols_per_pass());
+        rx.push(&ch.transmit_bits(&tx));
+        let out = BubbleDecoder::new(&p).decode_bsc(&rx);
+        assert_eq!(out.message, msg);
+    }
+
+    #[test]
+    fn decodes_noiseless_bsc_exactly() {
+        let p = CodeParams::default().with_n(64);
+        let msg = rand_msg(64, 123);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxBits::new(schedule);
+        // Noiseless BSC still needs several passes: one bit per symbol
+        // carries k=4 bits of message per spine step only after ≥ 4
+        // passes of accumulated evidence.
+        rx.push(&enc.next_bits(10 * p.symbols_per_pass()));
+        let out = BubbleDecoder::new(&p).decode_bsc(&rx);
+        assert_eq!(out.message, msg);
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn punctured_subpass_decode_succeeds_at_high_snr() {
+        // §5: with 8-way puncturing and B=256, decoding can succeed from a
+        // partial pass at high SNR (rate > k).
+        let p = CodeParams::default().with_n(256);
+        let msg = rand_msg(256, 1000);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule.clone());
+        let mut ch = AwgnChannel::new(30.0, 77);
+        // Half a pass: 4 of 8 subpasses → covered spines ≡ {0,4,2,6} mod 8.
+        let boundaries = schedule.subpass_boundaries(schedule.symbols_per_pass());
+        let half = boundaries[3];
+        let tx = enc.next_symbols(half);
+        rx.push(&ch.transmit(&tx));
+        let out = BubbleDecoder::new(&p).decode(&rx);
+        assert_eq!(out.message, msg, "rate achieved would be {}", 256.0 / half as f64);
+        assert!(256.0 / half as f64 > p.k as f64, "test should exercise rate > k");
+    }
+
+    #[test]
+    fn fading_csi_decode() {
+        use spinal_channel::RayleighChannel;
+        let p = CodeParams::default().with_n(64);
+        let msg = rand_msg(64, 31);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        let mut ch = RayleighChannel::new(25.0, 10, 13);
+        let tx = enc.next_symbols(4 * p.symbols_per_pass());
+        let ys = ch.transmit(&tx);
+        let hs: Vec<_> = (0..ys.len()).map(|i| ch.csi(i).unwrap()).collect();
+        rx.push_with_csi(&ys, &hs);
+        let out = BubbleDecoder::new(&p).decode(&rx);
+        assert_eq!(out.message, msg);
+    }
+
+    #[test]
+    fn wrong_beam_width_fails_where_wide_succeeds() {
+        // The compute/performance knob (§7): at a marginal SNR, B=1
+        // should fail where B=256 succeeds. Statistical, so use a seed
+        // known to need beam diversity.
+        let base = CodeParams::default().with_n(96);
+        let narrow = base.clone().with_b(1);
+        let mut wide_ok = 0;
+        let mut narrow_ok = 0;
+        for seed in 0..8 {
+            if roundtrip(&base, 6.0, 3, seed) {
+                wide_ok += 1;
+            }
+            if roundtrip(&narrow, 6.0, 3, seed) {
+                narrow_ok += 1;
+            }
+        }
+        assert!(
+            wide_ok > narrow_ok,
+            "wide {wide_ok} vs narrow {narrow_ok} successes"
+        );
+    }
+
+    #[test]
+    fn cost_is_monotone_in_received_noise() {
+        // More noise → higher best-path cost on average.
+        let p = CodeParams::default().with_n(64);
+        let msg = rand_msg(64, 1);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut total_low = 0.0;
+        let mut total_high = 0.0;
+        for seed in 0..4 {
+            for (snr, acc) in [(25.0, &mut total_low), (5.0, &mut total_high)] {
+                let mut enc = Encoder::new(&p, &msg);
+                let mut rx = RxSymbols::new(schedule.clone());
+                let mut ch = AwgnChannel::new(snr, seed);
+                let tx = enc.next_symbols(2 * p.symbols_per_pass());
+                rx.push(&ch.transmit(&tx));
+                *acc += BubbleDecoder::new(&p).decode(&rx).cost;
+            }
+        }
+        assert!(total_high > total_low);
+    }
+}

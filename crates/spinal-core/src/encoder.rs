@@ -1,0 +1,161 @@
+//! The rateless spinal encoder (§3, Figure 3-1).
+//!
+//! Encoding is: compute the spine (one hash per k message bits), then emit
+//! symbols in schedule order, each symbol regenerated from its spine value
+//! and per-spine RNG index. The encoder can produce as many symbols as the
+//! link needs — the stream for a higher rate is a prefix of the stream for
+//! any lower rate.
+
+use crate::bits::Message;
+use crate::params::CodeParams;
+use crate::puncturing::{Schedule, ScheduleCursor};
+use crate::spine::compute_spine;
+use crate::symbols::SymbolGen;
+use spinal_channel::Complex;
+
+/// A spinal encoder bound to one message (code block).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    spine: Vec<u32>,
+    gen: SymbolGen,
+    cursor: ScheduleCursor,
+}
+
+impl Encoder {
+    /// Encode `msg` under `params`. The message length must equal
+    /// `params.n`.
+    pub fn new(params: &CodeParams, msg: &Message) -> Self {
+        params.validate();
+        let spine = compute_spine(params, msg);
+        let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+        Encoder {
+            spine,
+            gen: SymbolGen::new(params),
+            cursor: ScheduleCursor::new(schedule),
+        }
+    }
+
+    /// Produce the next `count` complex (I/Q) symbols of the stream.
+    pub fn next_symbols(&mut self, count: usize) -> Vec<Complex> {
+        (0..count)
+            .map(|_| {
+                let pos = self.cursor.next_position();
+                self.gen.complex(self.spine[pos.spine], pos.rng_index)
+            })
+            .collect()
+    }
+
+    /// Produce the next `count` hard bits of the stream (BSC mode, c=1).
+    pub fn next_bits(&mut self, count: usize) -> Vec<bool> {
+        (0..count)
+            .map(|_| {
+                let pos = self.cursor.next_position();
+                self.gen.bit(self.spine[pos.spine], pos.rng_index)
+            })
+            .collect()
+    }
+
+    /// Symbols emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.cursor.emitted()
+    }
+
+    /// The schedule driving this encoder (shared shape with the decoder).
+    pub fn schedule(&self) -> &Schedule {
+        self.cursor.schedule()
+    }
+
+    /// The spine values (exposed for tests and the collision study).
+    pub fn spine(&self) -> &[u32] {
+        &self.spine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::puncturing::Puncturing;
+
+    fn params() -> CodeParams {
+        CodeParams::default().with_n(64)
+    }
+
+    fn msg(seed: u8) -> Message {
+        Message::from_bytes((0..8).map(|i| seed.wrapping_mul(31).wrapping_add(i)).collect(), 64)
+    }
+
+    #[test]
+    fn prefix_property() {
+        // §1/§3: the rateless stream emitted in two chunks equals the
+        // stream emitted in one chunk — higher-rate output is a prefix of
+        // lower-rate output.
+        let p = params();
+        let m = msg(1);
+        let mut e1 = Encoder::new(&p, &m);
+        let mut e2 = Encoder::new(&p, &m);
+        let long = e1.next_symbols(300);
+        let mut parts = e2.next_symbols(100);
+        parts.extend(e2.next_symbols(200));
+        assert_eq!(long, parts);
+    }
+
+    #[test]
+    fn different_messages_give_different_streams() {
+        let p = params();
+        let mut e1 = Encoder::new(&p, &msg(1));
+        let mut e2 = Encoder::new(&p, &msg(2));
+        assert_ne!(e1.next_symbols(50), e2.next_symbols(50));
+    }
+
+    #[test]
+    fn single_bit_flip_randomises_suffix_but_not_prefix() {
+        // §3: symbols before the point of difference are identical; after
+        // it they look unrelated. With no puncturing, symbol order is
+        // spine order, so the boundary is visible directly.
+        let p = params().with_puncturing(Puncturing::none()).with_tail(0);
+        let a = Message::zeros(64);
+        let mut b = Message::zeros(64);
+        b.set_bit(32, true); // spine step 8 of 16
+        let mut ea = Encoder::new(&p, &a);
+        let mut eb = Encoder::new(&p, &b);
+        let sa = ea.next_symbols(16);
+        let sb = eb.next_symbols(16);
+        assert_eq!(&sa[..8], &sb[..8]);
+        let diffs = sa[8..]
+            .iter()
+            .zip(&sb[8..])
+            .filter(|(x, y)| x != y)
+            .count();
+        assert_eq!(diffs, 8, "all post-divergence symbols should differ");
+    }
+
+    #[test]
+    fn stream_power_is_unity() {
+        let p = params();
+        let mut e = Encoder::new(&p, &msg(3));
+        let syms = e.next_symbols(50_000);
+        let pw: f64 = syms.iter().map(|s| s.norm_sq()).sum::<f64>() / syms.len() as f64;
+        assert!((pw - 1.0).abs() < 0.02, "power {pw}");
+    }
+
+    #[test]
+    fn bsc_stream_prefix_property() {
+        let p = params();
+        let m = msg(9);
+        let mut e1 = Encoder::new(&p, &m);
+        let mut e2 = Encoder::new(&p, &m);
+        let long = e1.next_bits(200);
+        let mut parts = e2.next_bits(77);
+        parts.extend(e2.next_bits(123));
+        assert_eq!(long, parts);
+    }
+
+    #[test]
+    fn emitted_counts() {
+        let p = params();
+        let mut e = Encoder::new(&p, &msg(5));
+        assert_eq!(e.emitted(), 0);
+        e.next_symbols(10);
+        assert_eq!(e.emitted(), 10);
+    }
+}

@@ -1,0 +1,203 @@
+//! Code parameters (§7.1 collects the recommended values).
+//!
+//! The paper's defaults, used throughout its evaluation: `k = 4`,
+//! `c = 6`, `B = 256`, `d = 1`, two tail symbols per pass, 8-way
+//! puncturing, one-at-a-time hash, uniform constellation.
+
+use crate::constellation::MappingKind;
+use crate::hash::HashKind;
+use crate::puncturing::Puncturing;
+
+/// Largest supported `c` (bits per dimension); the RNG word supplies 16
+/// bits per dimension.
+pub const MAX_C: u32 = 16;
+
+/// Largest supported `k`; decode cost is `O(B·2^k)` per step so larger
+/// values are never useful in practice (§8.4 settles on k = 4).
+pub const MAX_K: usize = 12;
+
+/// Full parameter set for one spinal code instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeParams {
+    /// Message (code block) length in bits. Must be a multiple of `k`.
+    pub n: usize,
+    /// Bits hashed per spine step.
+    pub k: usize,
+    /// Bits per I/Q dimension fed to the constellation map.
+    pub c: u32,
+    /// Hash function for both the spine and the RNG.
+    pub hash: HashKind,
+    /// Constellation mapping family.
+    pub mapping: MappingKind,
+    /// Beam width B of the bubble decoder.
+    pub b: usize,
+    /// Bubble depth d of the bubble decoder.
+    pub d: usize,
+    /// Tail symbols: extra symbols from the final spine value per pass
+    /// (§4.4; §8.4 recommends 2).
+    pub tail: usize,
+    /// Transmission puncturing schedule (§5).
+    pub puncturing: Puncturing,
+    /// Initial spine value s₀, known to both sides. A pseudo-random
+    /// choice acts as a scrambler (§3.2).
+    pub s0: u32,
+}
+
+impl Default for CodeParams {
+    fn default() -> Self {
+        CodeParams {
+            n: 256,
+            k: 4,
+            c: 6,
+            hash: HashKind::OneAtATime,
+            mapping: MappingKind::Uniform,
+            b: 256,
+            d: 1,
+            tail: 2,
+            puncturing: Puncturing::strided8(),
+            s0: 0,
+        }
+    }
+}
+
+impl CodeParams {
+    /// Validate internal consistency; call before constructing an encoder
+    /// or decoder. Panics with a description on invalid combinations.
+    pub fn validate(&self) {
+        assert!(self.n > 0, "message length must be positive");
+        assert!(
+            (1..=MAX_K).contains(&self.k),
+            "k={} outside 1..={MAX_K}",
+            self.k
+        );
+        assert!(
+            self.n % self.k == 0,
+            "n={} must be a multiple of k={}",
+            self.n,
+            self.k
+        );
+        assert!((1..=MAX_C).contains(&self.c), "c={} outside 1..={MAX_C}", self.c);
+        assert!(self.b >= 1, "beam width must be at least 1");
+        assert!(self.d >= 1, "bubble depth must be at least 1");
+        assert!(
+            self.d <= self.n / self.k,
+            "bubble depth d={} exceeds spine length {}",
+            self.d,
+            self.n / self.k
+        );
+        // Selecting B subtrees from B·2^k candidates only narrows if the
+        // arithmetic stays in range.
+        assert!(
+            self.b.checked_shl((self.k * self.d) as u32).is_some(),
+            "B·2^(kd) overflows"
+        );
+    }
+
+    /// Number of spine values `n/k`.
+    pub fn num_spines(&self) -> usize {
+        self.n / self.k
+    }
+
+    /// Symbols in one complete pass: one per spine value plus the tail
+    /// symbols (§4.4).
+    pub fn symbols_per_pass(&self) -> usize {
+        self.num_spines() + self.tail
+    }
+
+    /// The nominal maximum rate of this configuration in bits/symbol:
+    /// `w·k` with `w`-way puncturing (§5), ignoring tail overhead.
+    pub fn max_rate(&self) -> f64 {
+        self.puncturing.ways() as f64 * self.k as f64
+    }
+
+    /// Builder-style override helpers, so experiments read like the
+    /// paper's parameter tables.
+    pub fn with_n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+    /// Set k (bits per spine step).
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+    /// Set c (bits per dimension).
+    pub fn with_c(mut self, c: u32) -> Self {
+        self.c = c;
+        self
+    }
+    /// Set beam width B.
+    pub fn with_b(mut self, b: usize) -> Self {
+        self.b = b;
+        self
+    }
+    /// Set bubble depth d.
+    pub fn with_d(mut self, d: usize) -> Self {
+        self.d = d;
+        self
+    }
+    /// Set tail symbol count per pass.
+    pub fn with_tail(mut self, tail: usize) -> Self {
+        self.tail = tail;
+        self
+    }
+    /// Set the puncturing schedule.
+    pub fn with_puncturing(mut self, p: Puncturing) -> Self {
+        self.puncturing = p;
+        self
+    }
+    /// Set the hash function.
+    pub fn with_hash(mut self, hash: HashKind) -> Self {
+        self.hash = hash;
+        self
+    }
+    /// Set the constellation mapping.
+    pub fn with_mapping(mut self, mapping: MappingKind) -> Self {
+        self.mapping = mapping;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let p = CodeParams::default();
+        p.validate();
+        assert_eq!(p.k, 4);
+        assert_eq!(p.c, 6);
+        assert_eq!(p.b, 256);
+        assert_eq!(p.d, 1);
+        assert_eq!(p.tail, 2);
+        assert_eq!(p.num_spines(), 64);
+        assert_eq!(p.symbols_per_pass(), 66);
+        assert_eq!(p.max_rate(), 32.0); // 8-way · k=4
+    }
+
+    #[test]
+    fn builder_chain() {
+        let p = CodeParams::default().with_n(1024).with_k(4).with_b(64).with_d(2);
+        p.validate();
+        assert_eq!(p.num_spines(), 256);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_n_not_multiple_of_k() {
+        CodeParams::default().with_n(255).validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_depth_beyond_spine() {
+        CodeParams::default().with_n(8).with_k(4).with_d(3).validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_beam() {
+        CodeParams::default().with_b(0).validate();
+    }
+}

@@ -1,0 +1,366 @@
+//! Transmission scheduling and puncturing (§5, Figure 5-1).
+//!
+//! The unpunctured schedule sends one symbol per spine value per pass,
+//! then the tail symbols (§4.4). A `w`-way strided schedule divides each
+//! pass into `w` subpasses; subpass `j` sends the spine values whose index
+//! is ≡ `bitrev(j) (mod w)`, so coverage after any prefix of subpasses is
+//! as even as possible. Decoding may be attempted after any subpass,
+//! giving the fine-grained rate set the paper describes.
+//!
+//! Tail symbols are spread across the pass: tail emission `t` of a pass is
+//! appended to subpass `⌊t·w/tail⌋`, which puts a final-spine observation
+//! into the very first subpass. Since the final spine value depends on
+//! *every* message bit, this is what makes mid-pass decode attempts
+//! meaningful at high SNR (the paper's Figure 8-11 shows such attempts
+//! succeeding); the thesis does not pin down this placement, so we
+//! document it here as our reading of §4.4 + §5.
+
+/// Puncturing configuration: `w`-way strided subpasses. `ways = 1` is the
+/// unpunctured schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Puncturing {
+    ways: usize,
+}
+
+impl Puncturing {
+    /// No puncturing: every pass sends all spine values in order.
+    pub fn none() -> Self {
+        Puncturing { ways: 1 }
+    }
+
+    /// `w`-way strided puncturing. `w` must be a power of two ≤ 64 (the
+    /// paper uses 2, 4 and 8).
+    pub fn strided(ways: usize) -> Self {
+        assert!(
+            ways.is_power_of_two() && (1..=64).contains(&ways),
+            "puncturing ways must be a power of two in 1..=64, got {ways}"
+        );
+        Puncturing { ways }
+    }
+
+    /// The paper's default: 8-way strided (§5).
+    pub fn strided8() -> Self {
+        Puncturing::strided(8)
+    }
+
+    /// Number of subpasses per pass.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+/// One position in the transmission stream: which spine value, and which
+/// RNG output index of that spine value (the `t` in `h(s_i, t)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolPosition {
+    /// Spine value index, `0 ..= n/k − 1`.
+    pub spine: usize,
+    /// Per-spine RNG output index.
+    pub rng_index: u32,
+}
+
+/// Bit-reversal of `j` within `log2(w)` bits.
+fn bitrev(j: usize, w: usize) -> usize {
+    let bits = w.trailing_zeros();
+    let mut out = 0usize;
+    for b in 0..bits {
+        if j & (1 << b) != 0 {
+            out |= 1 << (bits - 1 - b);
+        }
+    }
+    out
+}
+
+/// The deterministic symbol schedule shared by encoder and decoder.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    n_spines: usize,
+    tail: usize,
+    /// Spine indices per subpass (identical for every pass).
+    subpass_layout: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Build a schedule for `n_spines` spine values, `tail` tail symbols
+    /// per pass, under puncturing `p`.
+    pub fn new(n_spines: usize, tail: usize, p: Puncturing) -> Self {
+        assert!(n_spines > 0);
+        let w = p.ways();
+        let mut subpass_layout: Vec<Vec<usize>> = (0..w)
+            .map(|j| {
+                let offset = bitrev(j, w);
+                (0..n_spines).filter(|i| i % w == offset).collect()
+            })
+            .collect();
+        // Spread the tail emissions over the pass, front-loaded.
+        for t in 0..tail {
+            let j = t * w / tail.max(1);
+            subpass_layout[j].push(n_spines - 1);
+        }
+        Schedule {
+            n_spines,
+            tail,
+            subpass_layout,
+        }
+    }
+
+    /// Spine count this schedule covers.
+    pub fn n_spines(&self) -> usize {
+        self.n_spines
+    }
+
+    /// Symbols in one complete pass (regular + tail).
+    pub fn symbols_per_pass(&self) -> usize {
+        self.n_spines + self.tail
+    }
+
+    /// Iterate over the infinite transmission order.
+    pub fn iter(&self) -> ScheduleIter<'_> {
+        ScheduleIter {
+            schedule: self,
+            counters: vec![0; self.n_spines],
+            subpass: 0,
+            pos: 0,
+        }
+    }
+
+    /// The first `count` positions of the stream.
+    pub fn generate(&self, count: usize) -> Vec<SymbolPosition> {
+        self.iter().take(count).collect()
+    }
+
+    /// Cumulative symbol counts at which a subpass completes, up to
+    /// `max_symbols`. These are the natural decode-attempt points (§5:
+    /// "decoding may terminate after any subpass").
+    pub fn subpass_boundaries(&self, max_symbols: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        'outer: loop {
+            for sub in &self.subpass_layout {
+                total += sub.len();
+                if total > max_symbols {
+                    break 'outer;
+                }
+                out.push(total);
+                if total == max_symbols {
+                    break 'outer;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An owning, resumable cursor over the transmission order — the form the
+/// encoder and receive buffer hold, since they outlive any borrow of the
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct ScheduleCursor {
+    schedule: Schedule,
+    counters: Vec<u32>,
+    subpass: usize,
+    pos: usize,
+    emitted: usize,
+}
+
+impl ScheduleCursor {
+    /// Start a cursor at the beginning of the stream.
+    pub fn new(schedule: Schedule) -> Self {
+        let n = schedule.n_spines;
+        ScheduleCursor {
+            schedule,
+            counters: vec![0; n],
+            subpass: 0,
+            pos: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The next position in the stream (never exhausts).
+    pub fn next_position(&mut self) -> SymbolPosition {
+        let layout = &self.schedule.subpass_layout;
+        loop {
+            let sub = &layout[self.subpass % layout.len()];
+            if self.pos < sub.len() {
+                let spine = sub[self.pos];
+                self.pos += 1;
+                self.emitted += 1;
+                let rng_index = self.counters[spine];
+                self.counters[spine] += 1;
+                return SymbolPosition { spine, rng_index };
+            }
+            self.subpass += 1;
+            self.pos = 0;
+        }
+    }
+
+    /// Total positions handed out so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The schedule this cursor walks.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+/// Iterator over [`SymbolPosition`]s in transmission order. Infinite: a
+/// rateless encoder never runs out of symbols.
+pub struct ScheduleIter<'a> {
+    schedule: &'a Schedule,
+    counters: Vec<u32>,
+    subpass: usize,
+    pos: usize,
+}
+
+impl Iterator for ScheduleIter<'_> {
+    type Item = SymbolPosition;
+
+    fn next(&mut self) -> Option<SymbolPosition> {
+        let layout = &self.schedule.subpass_layout;
+        // Skip empty subpasses (possible when w > n_spines).
+        loop {
+            let sub = &layout[self.subpass % layout.len()];
+            if self.pos < sub.len() {
+                let spine = sub[self.pos];
+                self.pos += 1;
+                let rng_index = self.counters[spine];
+                self.counters[spine] += 1;
+                return Some(SymbolPosition { spine, rng_index });
+            }
+            self.subpass += 1;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrev_known_values() {
+        assert_eq!(bitrev(0, 8), 0);
+        assert_eq!(bitrev(1, 8), 4);
+        assert_eq!(bitrev(2, 8), 2);
+        assert_eq!(bitrev(3, 8), 6);
+        assert_eq!(bitrev(4, 8), 1);
+        assert_eq!(bitrev(7, 8), 7);
+        assert_eq!(bitrev(1, 2), 1);
+        assert_eq!(bitrev(0, 1), 0);
+    }
+
+    #[test]
+    fn unpunctured_pass_is_sequential_plus_tail() {
+        let s = Schedule::new(4, 2, Puncturing::none());
+        let syms = s.generate(12); // two passes of 4+2
+        let spines: Vec<usize> = syms.iter().map(|p| p.spine).collect();
+        assert_eq!(spines, vec![0, 1, 2, 3, 3, 3, 0, 1, 2, 3, 3, 3]);
+        // RNG indices increment per spine across the whole stream.
+        assert_eq!(syms[3].rng_index, 0);
+        assert_eq!(syms[4].rng_index, 1);
+        assert_eq!(syms[5].rng_index, 2);
+        assert_eq!(syms[9].rng_index, 3);
+    }
+
+    #[test]
+    fn rng_indices_are_per_spine_counters() {
+        let s = Schedule::new(16, 2, Puncturing::strided8());
+        let syms = s.generate(200);
+        let mut counters = vec![0u32; 16];
+        for p in &syms {
+            assert_eq!(p.rng_index, counters[p.spine], "at spine {}", p.spine);
+            counters[p.spine] += 1;
+        }
+    }
+
+    #[test]
+    fn strided_subpasses_cover_evenly() {
+        let s = Schedule::new(64, 0, Puncturing::strided8());
+        // First subpass covers spines ≡ 0 (mod 8).
+        let first: Vec<usize> = s.generate(8).iter().map(|p| p.spine).collect();
+        assert_eq!(first, vec![0, 8, 16, 24, 32, 40, 48, 56]);
+        // Second subpass covers ≡ 4 (mod 8) — bit-reversed order.
+        let second: Vec<usize> = s.generate(16)[8..].iter().map(|p| p.spine).collect();
+        assert_eq!(second, vec![4, 12, 20, 28, 36, 44, 52, 60]);
+    }
+
+    #[test]
+    fn one_pass_covers_every_spine_exactly_once_plus_tail() {
+        for ways in [1, 2, 4, 8] {
+            let n_spines = 32;
+            let tail = 2;
+            let s = Schedule::new(n_spines, tail, Puncturing::strided(ways));
+            let syms = s.generate(n_spines + tail);
+            let mut count = vec![0usize; n_spines];
+            for p in &syms {
+                count[p.spine] += 1;
+            }
+            for (i, &c) in count.iter().enumerate().take(n_spines - 1) {
+                assert_eq!(c, 1, "ways={ways} spine {i}");
+            }
+            assert_eq!(count[n_spines - 1], 1 + tail, "ways={ways} last spine");
+        }
+    }
+
+    #[test]
+    fn tail_symbol_lands_in_first_subpass() {
+        // Front-loaded tail placement: the very first subpass must contain
+        // a final-spine emission so early decode attempts can validate.
+        let s = Schedule::new(64, 2, Puncturing::strided8());
+        let boundaries = s.subpass_boundaries(100);
+        let first_subpass = &s.generate(boundaries[0])[..];
+        assert!(
+            first_subpass.iter().any(|p| p.spine == 63),
+            "first subpass misses the final spine"
+        );
+    }
+
+    #[test]
+    fn boundaries_partition_the_stream() {
+        let s = Schedule::new(64, 2, Puncturing::strided8());
+        let b = s.subpass_boundaries(2 * s.symbols_per_pass());
+        // Eight subpasses per pass; two passes.
+        assert_eq!(b.len(), 16);
+        assert_eq!(*b.last().unwrap(), 2 * s.symbols_per_pass());
+        for w in b.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn prefix_property_of_rateless_schedule() {
+        // §1: the symbol sequence at a higher rate is a prefix of the
+        // sequence at all lower rates — i.e. generate(a) is a prefix of
+        // generate(b) for a < b.
+        let s = Schedule::new(16, 1, Puncturing::strided4());
+        let long = s.generate(100);
+        for take in [1, 7, 33, 99] {
+            assert_eq!(&s.generate(take)[..], &long[..take]);
+        }
+    }
+
+    impl Puncturing {
+        fn strided4() -> Self {
+            Puncturing::strided(4)
+        }
+    }
+
+    #[test]
+    fn ways_exceeding_spines_still_covers() {
+        let s = Schedule::new(4, 1, Puncturing::strided8());
+        let syms = s.generate(5);
+        let mut seen = vec![false; 4];
+        for p in &syms {
+            seen[p.spine] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        Puncturing::strided(3);
+    }
+}

@@ -1,0 +1,218 @@
+//! Receive-side symbol storage.
+//!
+//! The receiver stores every symbol it has seen, grouped by spine value
+//! (§4.2 decomposes the ML cost into per-spine sums). The decoder rebuilds
+//! its tree from this buffer on every attempt — the paper found caching
+//! explored nodes between attempts unhelpful (§7.1).
+
+use crate::puncturing::{Schedule, ScheduleCursor};
+use spinal_channel::Complex;
+
+/// One received observation attached to a spine value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RxEntry {
+    /// The per-spine RNG index the transmitter used for this symbol.
+    pub rng_index: u32,
+    /// The received (noisy) symbol.
+    pub y: Complex,
+    /// The fading coefficient applied, if the decoder has CSI; `1` on a
+    /// pure AWGN link or when CSI is withheld (Figure 8-5).
+    pub h: Complex,
+}
+
+/// Received complex symbols grouped by spine value.
+#[derive(Debug, Clone)]
+pub struct RxSymbols {
+    per_spine: Vec<Vec<RxEntry>>,
+    cursor: ScheduleCursor,
+    count: usize,
+}
+
+impl RxSymbols {
+    /// Create an empty buffer following `schedule` (must equal the
+    /// transmitter's schedule).
+    pub fn new(schedule: Schedule) -> Self {
+        let n = schedule.n_spines();
+        RxSymbols {
+            per_spine: vec![Vec::new(); n],
+            cursor: ScheduleCursor::new(schedule),
+            count: 0,
+        }
+    }
+
+    /// Append received symbols, assuming unit channel gain (AWGN, or a
+    /// fading channel decoded without CSI).
+    pub fn push(&mut self, ys: &[Complex]) {
+        for &y in ys {
+            let pos = self.cursor.next_position();
+            self.per_spine[pos.spine].push(RxEntry {
+                rng_index: pos.rng_index,
+                y,
+                h: Complex::ONE,
+            });
+            self.count += 1;
+        }
+    }
+
+    /// Append received symbols with exact per-symbol CSI (Figure 8-4).
+    pub fn push_with_csi(&mut self, ys: &[Complex], hs: &[Complex]) {
+        assert_eq!(ys.len(), hs.len());
+        for (&y, &h) in ys.iter().zip(hs) {
+            let pos = self.cursor.next_position();
+            self.per_spine[pos.spine].push(RxEntry {
+                rng_index: pos.rng_index,
+                y,
+                h,
+            });
+            self.count += 1;
+        }
+    }
+
+    /// Record that `count` scheduled symbols were erased (e.g. a lost
+    /// frame): the cursor advances so later symbols keep their correct
+    /// RNG indices, but nothing is stored. §7.1: the decoder "need not
+    /// generate the missing symbols".
+    pub fn skip(&mut self, count: usize) {
+        for _ in 0..count {
+            self.cursor.next_position();
+        }
+    }
+
+    /// Observations attached to spine index `i`.
+    pub fn spine_entries(&self, i: usize) -> &[RxEntry] {
+        &self.per_spine[i]
+    }
+
+    /// Total symbols received.
+    pub fn symbols_received(&self) -> usize {
+        self.count
+    }
+
+    /// Number of spine values.
+    pub fn n_spines(&self) -> usize {
+        self.per_spine.len()
+    }
+}
+
+/// Received hard bits grouped by spine value (BSC mode).
+#[derive(Debug, Clone)]
+pub struct RxBits {
+    per_spine: Vec<Vec<(u32, bool)>>,
+    cursor: ScheduleCursor,
+    count: usize,
+}
+
+impl RxBits {
+    /// Create an empty BSC receive buffer following `schedule`.
+    pub fn new(schedule: Schedule) -> Self {
+        let n = schedule.n_spines();
+        RxBits {
+            per_spine: vec![Vec::new(); n],
+            cursor: ScheduleCursor::new(schedule),
+            count: 0,
+        }
+    }
+
+    /// Append received bits.
+    pub fn push(&mut self, bits: &[bool]) {
+        for &b in bits {
+            let pos = self.cursor.next_position();
+            self.per_spine[pos.spine].push((pos.rng_index, b));
+            self.count += 1;
+        }
+    }
+
+    /// Observations attached to spine index `i`.
+    pub fn spine_entries(&self, i: usize) -> &[(u32, bool)] {
+        &self.per_spine[i]
+    }
+
+    /// Total bits received.
+    pub fn symbols_received(&self) -> usize {
+        self.count
+    }
+
+    /// Number of spine values.
+    pub fn n_spines(&self) -> usize {
+        self.per_spine.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::puncturing::Puncturing;
+
+    #[test]
+    fn grouping_follows_schedule() {
+        let sched = Schedule::new(4, 1, Puncturing::none());
+        let mut rx = RxSymbols::new(sched);
+        let ys: Vec<Complex> = (0..10).map(|i| Complex::new(i as f64, 0.0)).collect();
+        rx.push(&ys);
+        // Pass = spines 0,1,2,3 then tail (spine 3). Stream of 10 covers
+        // two full passes: [0,1,2,3,3] ×2.
+        assert_eq!(rx.spine_entries(0).len(), 2);
+        assert_eq!(rx.spine_entries(3).len(), 4);
+        assert_eq!(rx.spine_entries(3)[0].rng_index, 0);
+        assert_eq!(rx.spine_entries(3)[1].rng_index, 1);
+        assert_eq!(rx.spine_entries(3)[2].rng_index, 2);
+        assert_eq!(rx.symbols_received(), 10);
+    }
+
+    #[test]
+    fn incremental_pushes_match_single_push() {
+        let sched = Schedule::new(8, 2, Puncturing::strided8());
+        let ys: Vec<Complex> = (0..40).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let mut a = RxSymbols::new(sched.clone());
+        a.push(&ys);
+        let mut b = RxSymbols::new(sched);
+        b.push(&ys[..13]);
+        b.push(&ys[13..]);
+        for i in 0..8 {
+            assert_eq!(a.spine_entries(i), b.spine_entries(i), "spine {i}");
+        }
+    }
+
+    #[test]
+    fn skip_preserves_rng_indexing() {
+        // Erase the first subpass entirely; the survivors must carry the
+        // same RNG indices as in a lossless reception.
+        let sched = Schedule::new(8, 1, Puncturing::strided8());
+        let ys: Vec<Complex> = (0..20).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let mut lossless = RxSymbols::new(sched.clone());
+        lossless.push(&ys);
+        let mut lossy = RxSymbols::new(sched);
+        lossy.skip(5);
+        lossy.push(&ys[5..]);
+        for spine in 0..8 {
+            let full = lossless.spine_entries(spine);
+            let part = lossy.spine_entries(spine);
+            // Every lossy entry must appear in the lossless buffer with
+            // identical (rng_index, y).
+            for e in part {
+                assert!(full.iter().any(|f| f.rng_index == e.rng_index && f.y == e.y));
+            }
+        }
+        assert_eq!(lossy.symbols_received(), 15);
+    }
+
+    #[test]
+    fn csi_is_recorded() {
+        let sched = Schedule::new(2, 0, Puncturing::none());
+        let mut rx = RxSymbols::new(sched);
+        let ys = [Complex::ONE, Complex::ZERO];
+        let hs = [Complex::new(0.5, 0.5), Complex::new(-1.0, 0.0)];
+        rx.push_with_csi(&ys, &hs);
+        assert_eq!(rx.spine_entries(0)[0].h, hs[0]);
+        assert_eq!(rx.spine_entries(1)[0].h, hs[1]);
+    }
+
+    #[test]
+    fn bit_buffer_groups_like_symbol_buffer() {
+        let sched = Schedule::new(4, 1, Puncturing::none());
+        let mut rx = RxBits::new(sched);
+        rx.push(&[true, false, true, false, true]);
+        assert_eq!(rx.spine_entries(0), &[(0, true)]);
+        assert_eq!(rx.spine_entries(3), &[(0, false), (1, true)]);
+    }
+}

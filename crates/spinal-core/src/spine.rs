@@ -1,0 +1,108 @@
+//! Spine construction (§3.1): the sequence of ν-bit states obtained by
+//! hashing k message bits at a time,
+//! `s_i = h(s_{i−1}, m̄_i)`, `s_0` known to both sides.
+
+use crate::bits::Message;
+use crate::hash::HashKind;
+use crate::params::CodeParams;
+
+/// Compute the full spine `s_1 … s_{n/k}` for a message.
+///
+/// The returned vector has `n/k` entries; entry `i` is the spine value
+/// after absorbing message bits `[i·k, (i+1)·k)`.
+pub fn compute_spine(params: &CodeParams, msg: &Message) -> Vec<u32> {
+    assert_eq!(
+        msg.len_bits(),
+        params.n,
+        "message length {} does not match code parameter n={}",
+        msg.len_bits(),
+        params.n
+    );
+    let mut spine = Vec::with_capacity(params.num_spines());
+    let mut state = params.s0;
+    for i in 0..params.num_spines() {
+        let edge = msg.get_bits(i * params.k, params.k);
+        state = params.hash.hash(state, edge);
+        spine.push(state);
+    }
+    spine
+}
+
+/// One spine step — shared with the decoder's tree expansion.
+#[inline]
+pub fn spine_step(hash: HashKind, state: u32, edge: u32) -> u32 {
+    hash.hash(state, edge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg_of_bytes(bytes: &[u8], n: usize) -> Message {
+        Message::from_bytes(bytes.to_vec(), n)
+    }
+
+    #[test]
+    fn spine_length_is_n_over_k() {
+        let p = CodeParams::default(); // n=256, k=4
+        let m = Message::zeros(256);
+        assert_eq!(compute_spine(&p, &m).len(), 64);
+    }
+
+    #[test]
+    fn spine_is_deterministic() {
+        let p = CodeParams::default();
+        let m = msg_of_bytes(&[0xAB; 32], 256);
+        assert_eq!(compute_spine(&p, &m), compute_spine(&p, &m));
+    }
+
+    #[test]
+    fn common_prefix_gives_common_spine_prefix() {
+        // §4.2: messages sharing a prefix share the spine prefix, and
+        // diverge completely afterwards.
+        let p = CodeParams::default().with_n(64);
+        let mut a = Message::zeros(64);
+        let mut b = Message::zeros(64);
+        for i in 0..32 {
+            a.set_bit(i, i % 3 == 0);
+            b.set_bit(i, i % 3 == 0);
+        }
+        b.set_bit(40, true); // differ at bit 40 → spine step 10
+        let sa = compute_spine(&p, &a);
+        let sb = compute_spine(&p, &b);
+        assert_eq!(&sa[..10], &sb[..10], "shared prefix must match");
+        for i in 10..16 {
+            assert_ne!(sa[i], sb[i], "spine {i} should have diverged");
+        }
+    }
+
+    #[test]
+    fn first_bit_difference_diverges_everywhere() {
+        let p = CodeParams::default().with_n(64);
+        let a = Message::zeros(64);
+        let mut b = Message::zeros(64);
+        b.set_bit(0, true);
+        let sa = compute_spine(&p, &a);
+        let sb = compute_spine(&p, &b);
+        for i in 0..16 {
+            assert_ne!(sa[i], sb[i], "spine {i}");
+        }
+    }
+
+    #[test]
+    fn s0_acts_as_scrambler() {
+        let mut p = CodeParams::default().with_n(64);
+        let m = Message::zeros(64);
+        let s_a = compute_spine(&p, &m);
+        p.s0 = 0xDEADBEEF;
+        let s_b = compute_spine(&p, &m);
+        assert_ne!(s_a, s_b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_wrong_length_message() {
+        let p = CodeParams::default();
+        compute_spine(&p, &Message::zeros(128));
+    }
+}

@@ -1,0 +1,129 @@
+//! Symbol generation shared by encoder and decoder.
+//!
+//! Per §7.1, the RNG is the hash itself under indexed access: the t-th
+//! output word of spine value `s` is `h(s, t)`, so symbols can be
+//! regenerated in any order (needed both for punctured schedules and for
+//! the decoder, which replays candidate encodings).
+//!
+//! One 32-bit RNG word feeds one complex symbol: the I level comes from
+//! the most-significant `c` bits of the high half, Q from the high `c`
+//! bits of the low half — the "two separate RNG outputs of c bits each"
+//! of §3.3 drawn from a single word (valid for `c ≤ 16`). For the BSC,
+//! the transmitted bit is the word's top bit.
+
+use crate::constellation::{Constellation, MappingKind};
+use crate::hash::HashKind;
+use crate::params::CodeParams;
+use spinal_channel::Complex;
+
+/// Regenerates transmit symbols from (spine value, RNG index) pairs.
+#[derive(Debug, Clone)]
+pub struct SymbolGen {
+    hash: HashKind,
+    constellation: Constellation,
+}
+
+impl SymbolGen {
+    /// Build from code parameters (uses `params.hash`, `params.mapping`,
+    /// `params.c`).
+    pub fn new(params: &CodeParams) -> Self {
+        SymbolGen {
+            hash: params.hash,
+            constellation: Constellation::new(params.mapping, params.c),
+        }
+    }
+
+    /// Build with an explicit mapping (used by ablation sweeps).
+    pub fn with_mapping(hash: HashKind, mapping: MappingKind, c: u32) -> Self {
+        SymbolGen {
+            hash,
+            constellation: Constellation::new(mapping, c),
+        }
+    }
+
+    /// The raw RNG word for symbol `t` of spine value `s`.
+    #[inline]
+    pub fn word(&self, spine_value: u32, t: u32) -> u32 {
+        self.hash.hash(spine_value, t)
+    }
+
+    /// The complex I/Q symbol for RNG index `t` of spine value `s`.
+    #[inline]
+    pub fn complex(&self, spine_value: u32, t: u32) -> Complex {
+        self.constellation.map_word(self.word(spine_value, t))
+    }
+
+    /// The BSC (hard bit) symbol for RNG index `t` of spine value `s`.
+    #[inline]
+    pub fn bit(&self, spine_value: u32, t: u32) -> bool {
+        self.word(spine_value, t) >> 31 == 1
+    }
+
+    /// Access the underlying constellation (levels, PAPR, etc.).
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_gen() -> SymbolGen {
+        SymbolGen::new(&CodeParams::default())
+    }
+
+    #[test]
+    fn symbols_are_deterministic_and_indexed() {
+        let g = default_gen();
+        assert_eq!(g.complex(42, 7), g.complex(42, 7));
+        assert_ne!(g.complex(42, 7), g.complex(42, 8));
+        assert_ne!(g.complex(42, 7), g.complex(43, 7));
+    }
+
+    #[test]
+    fn average_symbol_power_is_unity() {
+        // The whole SNR bookkeeping depends on E[|x|²] = 1 (DESIGN.md §3).
+        let g = default_gen();
+        let n = 100_000u32;
+        let p: f64 = (0..n).map(|t| g.complex(0x1234, t).norm_sq()).sum::<f64>() / n as f64;
+        assert!((p - 1.0).abs() < 0.01, "mean power {p}");
+    }
+
+    #[test]
+    fn gaussian_mapping_power_is_unity_too() {
+        let g = SymbolGen::with_mapping(
+            HashKind::OneAtATime,
+            MappingKind::TruncatedGaussian { beta: 2.0 },
+            6,
+        );
+        let n = 100_000u32;
+        let p: f64 = (0..n).map(|t| g.complex(0xBEEF, t).norm_sq()).sum::<f64>() / n as f64;
+        assert!((p - 1.0).abs() < 0.01, "mean power {p}");
+    }
+
+    #[test]
+    fn symbols_from_different_spines_look_independent() {
+        // Correlation between symbol streams of two spine values should
+        // be near zero — the "dissimilar after divergence" property §4.3
+        // relies on.
+        let g = default_gen();
+        let n = 50_000u32;
+        let mut cross = 0.0;
+        for t in 0..n {
+            let a = g.complex(1, t);
+            let b = g.complex(2, t);
+            cross += a.re * b.re + a.im * b.im;
+        }
+        assert!((cross / n as f64).abs() < 0.02);
+    }
+
+    #[test]
+    fn bsc_bits_are_balanced() {
+        let g = default_gen();
+        let n = 100_000u32;
+        let ones = (0..n).filter(|&t| g.bit(0xABCD, t)).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "ones fraction {frac}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Cycle and throughput model of the Appendix B decoder datapath.
+
+use spinal_core::CodeParams;
+
+/// Hardware configuration knobs (Appendix B's architectural parameters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwConfig {
+    /// Worker units exploring nodes in parallel (`M` in Appendix B).
+    pub workers: usize,
+    /// Hash units per worker ("each worker has a certain number of hash
+    /// units, which serve double duty for computing h and RNG").
+    pub hash_units: usize,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// Selection-unit width: candidates absorbed per cycle (Appendix B
+    /// sorts the M arrivals each cycle, so this equals `workers` in the
+    /// prototype).
+    pub select_width: usize,
+}
+
+impl HwConfig {
+    /// A configuration consistent with the FPGA prototype (XUPV5-class
+    /// fabric; Airblue designs clock in the tens of MHz).
+    pub fn fpga_prototype() -> Self {
+        HwConfig {
+            workers: 16,
+            hash_units: 4,
+            clock_hz: 40e6,
+            select_width: 16,
+        }
+    }
+
+    /// The thesis's 65 nm ASIC estimate: same architecture, higher clock
+    /// and a wider worker array.
+    pub fn asic_65nm() -> Self {
+        HwConfig {
+            workers: 32,
+            hash_units: 4,
+            clock_hz: 125e6,
+            select_width: 32,
+        }
+    }
+}
+
+/// Cycle breakdown of one decode attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleEstimate {
+    /// Cycles spent in worker node evaluation.
+    pub compute_cycles: u64,
+    /// Cycles spent in (pipelined) selection beyond the compute overlap.
+    pub select_cycles: u64,
+    /// Cycles for backtrack writes and the final traceback.
+    pub backtrack_cycles: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+    /// Decoded information bits.
+    pub bits: u64,
+    /// Throughput in bits/second at the configured clock.
+    pub throughput_bps: f64,
+}
+
+/// The cycle model: combine a code configuration with a hardware
+/// configuration and the number of received passes.
+#[derive(Debug, Clone)]
+pub struct CycleModel {
+    hw: HwConfig,
+}
+
+impl CycleModel {
+    /// Build a model for `hw`.
+    pub fn new(hw: HwConfig) -> Self {
+        assert!(hw.workers >= 1 && hw.hash_units >= 1 && hw.select_width >= 1);
+        CycleModel { hw }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &HwConfig {
+        &self.hw
+    }
+
+    /// Cycles one worker spends on one node: the spine hash, then `l`
+    /// RNG hashes (one per received pass for this spine value), on
+    /// `hash_units` parallel units; map/subtract/square/accumulate is
+    /// pipelined behind the hash units (Appendix B), so hashes dominate.
+    pub fn node_cycles(&self, passes: usize) -> u64 {
+        (1 + passes).div_ceil(self.hw.hash_units) as u64
+    }
+
+    /// Estimate a full decode attempt of a code block.
+    ///
+    /// * `params` — code parameters (B, k, d, n).
+    /// * `passes` — symbols received per spine value (the `L` in §4.5).
+    pub fn decode_estimate(&self, params: &CodeParams, passes: usize) -> CycleEstimate {
+        params.validate();
+        let steps = params.num_spines() as u64;
+        let nodes_per_step = (params.b << (params.k * params.d)) as u64;
+
+        // Workers process nodes in parallel; each node costs node_cycles.
+        let compute_per_step =
+            nodes_per_step * self.node_cycles(passes) / self.hw.workers as u64 + 1;
+
+        // Selection pipelines behind compute: it absorbs select_width
+        // candidates per cycle. Only the drain beyond the compute time
+        // shows up, plus the per-step resort of the B register (log²B
+        // stages overlapped to ~log B cycles in the prototype).
+        let absorb = nodes_per_step / self.hw.select_width as u64 + 1;
+        let resort = (64 - (params.b as u64).leading_zeros() as u64).max(1);
+        let select_per_step = absorb.saturating_sub(compute_per_step) + resort;
+
+        // One backtrack write per survivor per step, B-wide memory port;
+        // final traceback walks n/k pointers.
+        let backtrack_per_step = 1u64;
+        let traceback = steps;
+
+        let per_step = compute_per_step + select_per_step + backtrack_per_step;
+        let total = steps * per_step + traceback;
+        let bits = params.n as u64;
+        CycleEstimate {
+            compute_cycles: steps * compute_per_step,
+            select_cycles: steps * select_per_step,
+            backtrack_cycles: steps * backtrack_per_step + traceback,
+            total_cycles: total,
+            bits,
+            throughput_bps: bits as f64 * self.hw.clock_hz / total as f64,
+        }
+    }
+
+    /// Sustained throughput when the receiver re-attempts decoding every
+    /// subpass: the paper's link occupancy model charges `attempts`
+    /// decode attempts per delivered block.
+    pub fn sustained_throughput(&self, params: &CodeParams, passes: usize, attempts: usize) -> f64 {
+        let one = self.decode_estimate(params, passes);
+        one.bits as f64 * self.hw.clock_hz / (one.total_cycles as f64 * attempts.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw_params() -> CodeParams {
+        // The prototype's operating point: n=192, k=4, c=7, B=4, d=1.
+        CodeParams::default().with_n(192).with_c(7).with_b(4)
+    }
+
+    #[test]
+    fn fpga_prototype_reaches_ten_megabits() {
+        // Appendix B: "a throughput of up to 10 Mbps in FPGA technology".
+        // "Up to" = favourable conditions: few passes, single attempt.
+        let model = CycleModel::new(HwConfig::fpga_prototype());
+        let est = model.decode_estimate(&hw_params(), 2);
+        assert!(
+            est.throughput_bps > 10e6,
+            "FPGA estimate {:.1} Mbps below the prototype's 10",
+            est.throughput_bps / 1e6
+        );
+        assert!(
+            est.throughput_bps < 80e6,
+            "FPGA estimate {:.1} Mbps implausibly high",
+            est.throughput_bps / 1e6
+        );
+    }
+
+    #[test]
+    fn asic_estimate_reaches_fifty_megabits() {
+        let model = CycleModel::new(HwConfig::asic_65nm());
+        let est = model.decode_estimate(&hw_params(), 2);
+        assert!(
+            est.throughput_bps > 50e6,
+            "ASIC estimate {:.1} Mbps below the thesis's 50",
+            est.throughput_bps / 1e6
+        );
+    }
+
+    #[test]
+    fn throughput_scales_with_workers() {
+        // §1: "the decoder trades off throughput for computation…
+        // scaling gracefully with available hardware resources."
+        let p = hw_params().with_b(256);
+        let narrow = CycleModel::new(HwConfig {
+            workers: 4,
+            ..HwConfig::fpga_prototype()
+        });
+        let wide = CycleModel::new(HwConfig {
+            workers: 64,
+            select_width: 64,
+            ..HwConfig::fpga_prototype()
+        });
+        let tn = narrow.decode_estimate(&p, 4).throughput_bps;
+        let tw = wide.decode_estimate(&p, 4).throughput_bps;
+        assert!(tw > 4.0 * tn, "wide {tw} vs narrow {tn}");
+    }
+
+    #[test]
+    fn more_passes_cost_cycles() {
+        let model = CycleModel::new(HwConfig::fpga_prototype());
+        let few = model.decode_estimate(&hw_params(), 2);
+        let many = model.decode_estimate(&hw_params(), 30);
+        assert!(many.total_cycles > few.total_cycles);
+        assert!(many.throughput_bps < few.throughput_bps);
+    }
+
+    #[test]
+    fn cycle_breakdown_sums() {
+        let model = CycleModel::new(HwConfig::fpga_prototype());
+        let est = model.decode_estimate(&hw_params(), 6);
+        assert_eq!(
+            est.total_cycles,
+            est.compute_cycles + est.select_cycles + est.backtrack_cycles
+        );
+    }
+
+    #[test]
+    fn sustained_accounts_for_attempts() {
+        let model = CycleModel::new(HwConfig::fpga_prototype());
+        let p = hw_params();
+        let single = model.sustained_throughput(&p, 4, 1);
+        let eight = model.sustained_throughput(&p, 4, 8);
+        assert!((single / eight - 8.0).abs() < 1e-9);
+    }
+}

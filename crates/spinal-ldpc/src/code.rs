@@ -1,0 +1,168 @@
+//! A realised LDPC code: systematic encoder + sparse decoder view.
+//!
+//! Encoding splits H into `[A | B]` with `B` the square parity part and
+//! computes `parity = B⁻¹·A·message` — derived once by GF(2) elimination
+//! at construction, so it works for any full-rank H without relying on
+//! the dual-diagonal shortcut (which the tests verify separately).
+
+use crate::gf2::BitMatrix;
+use crate::qc::BaseMatrix;
+
+/// An LDPC code ready for encoding and decoding.
+#[derive(Debug, Clone)]
+pub struct LdpcCode {
+    n: usize,
+    k: usize,
+    /// Sparse checks: variable indices per check (for BP and syndrome).
+    checks: Vec<Vec<usize>>,
+    /// Per-variable adjacency: (check index, position within check).
+    var_adj: Vec<Vec<(usize, usize)>>,
+    /// Precomputed `B⁻¹·A`: maps message bits to parity bits.
+    parity_map: BitMatrix,
+}
+
+impl LdpcCode {
+    /// Build from a base matrix. Panics if the parity part (last m
+    /// columns) is singular — true for all shipped matrices.
+    pub fn from_base(base: &BaseMatrix) -> Self {
+        let h = base.expand_dense();
+        Self::from_dense(base.expand_sparse(), h, base.k())
+    }
+
+    /// Build from an explicit parity-check matrix (used by the Raptor
+    /// outer code as well).
+    pub fn from_dense(checks: Vec<Vec<usize>>, h: BitMatrix, k: usize) -> Self {
+        let n = h.cols();
+        let m = h.rows();
+        assert_eq!(k, n - m, "k must equal n − m");
+
+        // Split H = [A | B]; invert B.
+        let mut a = BitMatrix::zeros(m, k);
+        let mut b = BitMatrix::zeros(m, m);
+        for r in 0..m {
+            for c in 0..k {
+                a.set(r, c, h.get(r, c));
+            }
+            for c in 0..m {
+                b.set(r, c, h.get(r, k + c));
+            }
+        }
+        let b_inv = b
+            .inverse()
+            .expect("parity part of H must be invertible for systematic encoding");
+        let parity_map = b_inv.multiply(&a);
+
+        let mut var_adj = vec![Vec::new(); n];
+        for (ci, row) in checks.iter().enumerate() {
+            for (pos, &v) in row.iter().enumerate() {
+                var_adj[v].push((ci, pos));
+            }
+        }
+
+        LdpcCode {
+            n,
+            k,
+            checks,
+            var_adj,
+            parity_map,
+        }
+    }
+
+    /// Code length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Message length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Code rate `k/n`.
+    pub fn rate(&self) -> f64 {
+        self.k as f64 / self.n as f64
+    }
+
+    /// Sparse check adjacency (for the BP decoder).
+    pub fn checks(&self) -> &[Vec<usize>] {
+        &self.checks
+    }
+
+    /// Per-variable adjacency (check index, edge position).
+    pub fn var_adj(&self) -> &[Vec<(usize, usize)>] {
+        &self.var_adj
+    }
+
+    /// Systematic encode: codeword = message ++ parity.
+    pub fn encode(&self, message: &[bool]) -> Vec<bool> {
+        assert_eq!(message.len(), self.k);
+        let parity = self.parity_map.mul_vec(message);
+        let mut cw = Vec::with_capacity(self.n);
+        cw.extend_from_slice(message);
+        cw.extend(parity);
+        cw
+    }
+
+    /// True iff every check is satisfied.
+    pub fn syndrome_ok(&self, codeword: &[bool]) -> bool {
+        assert_eq!(codeword.len(), self.n);
+        self.checks
+            .iter()
+            .all(|row| row.iter().fold(false, |acc, &v| acc ^ codeword[v]) == false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wifi::{base_matrix, WifiRate};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn encoding_satisfies_all_checks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for rate in WifiRate::ALL {
+            let code = LdpcCode::from_base(&base_matrix(rate));
+            for _ in 0..5 {
+                let msg: Vec<bool> = (0..code.k()).map(|_| rng.gen()).collect();
+                let cw = code.encode(&msg);
+                assert_eq!(cw.len(), 648);
+                assert!(code.syndrome_ok(&cw), "{rate:?}");
+                assert_eq!(&cw[..code.k()], &msg[..], "systematic prefix");
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_linear() {
+        let code = LdpcCode::from_base(&base_matrix(WifiRate::R12));
+        let mut rng = StdRng::seed_from_u64(2);
+        let a: Vec<bool> = (0..code.k()).map(|_| rng.gen()).collect();
+        let b: Vec<bool> = (0..code.k()).map(|_| rng.gen()).collect();
+        let sum: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        let ca = code.encode(&a);
+        let cb = code.encode(&b);
+        let cs = code.encode(&sum);
+        for i in 0..code.n() {
+            assert_eq!(cs[i], ca[i] ^ cb[i]);
+        }
+    }
+
+    #[test]
+    fn zero_message_encodes_to_zero() {
+        let code = LdpcCode::from_base(&base_matrix(WifiRate::R34));
+        let cw = code.encode(&vec![false; code.k()]);
+        assert!(cw.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn corrupting_a_bit_breaks_the_syndrome() {
+        let code = LdpcCode::from_base(&base_matrix(WifiRate::R56));
+        let mut rng = StdRng::seed_from_u64(3);
+        let msg: Vec<bool> = (0..code.k()).map(|_| rng.gen()).collect();
+        let mut cw = code.encode(&msg);
+        cw[100] = !cw[100];
+        assert!(!code.syndrome_ok(&cw));
+    }
+}

@@ -1,0 +1,176 @@
+//! The 802.11n MCS family and the "best envelope" measurement (§8.2).
+//!
+//! The paper plots, at each SNR, the best rate achieved by the whole
+//! family of (code rate × modulation) combinations — mimicking an ideal
+//! bit-rate adaptation scheme like SoftRate running on top. This module
+//! defines the family and runs single-block trials; the envelope itself
+//! is `max over MCS of (bits/symbol · code rate · success fraction)`.
+
+use crate::bp::BpDecoder;
+use crate::code::LdpcCode;
+use crate::wifi::{base_matrix, WifiRate};
+use spinal_channel::{AwgnChannel, Channel};
+use spinal_modem::{bpsk, Demapper, Qam};
+
+/// Modulation choices used by the 802.11n MCS table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// BPSK (1 bit/symbol).
+    Bpsk,
+    /// QPSK (2 bits/symbol).
+    Qpsk,
+    /// 16-QAM (4 bits/symbol).
+    Qam16,
+    /// 64-QAM (6 bits/symbol).
+    Qam64,
+}
+
+impl Modulation {
+    /// Coded bits carried per complex symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+}
+
+/// One modulation-and-coding scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mcs {
+    /// Modulation.
+    pub modulation: Modulation,
+    /// LDPC family member.
+    pub rate: WifiRate,
+}
+
+impl Mcs {
+    /// The eight entries mirroring 802.11n MCS 0–7 (single stream).
+    pub const TABLE: [Mcs; 8] = [
+        Mcs { modulation: Modulation::Bpsk, rate: WifiRate::R12 },
+        Mcs { modulation: Modulation::Qpsk, rate: WifiRate::R12 },
+        Mcs { modulation: Modulation::Qpsk, rate: WifiRate::R34 },
+        Mcs { modulation: Modulation::Qam16, rate: WifiRate::R12 },
+        Mcs { modulation: Modulation::Qam16, rate: WifiRate::R34 },
+        Mcs { modulation: Modulation::Qam64, rate: WifiRate::R23 },
+        Mcs { modulation: Modulation::Qam64, rate: WifiRate::R34 },
+        Mcs { modulation: Modulation::Qam64, rate: WifiRate::R56 },
+    ];
+
+    /// Information bits per complex symbol when this MCS succeeds.
+    pub fn info_bits_per_symbol(&self) -> f64 {
+        self.modulation.bits_per_symbol() as f64 * self.rate.rate()
+    }
+}
+
+/// Reusable per-MCS machinery (code + demapper), built once per sweep.
+pub struct McsRunner {
+    mcs: Mcs,
+    code: LdpcCode,
+    demapper: Option<Demapper>,
+    decoder: BpDecoder,
+}
+
+impl McsRunner {
+    /// Instantiate the code and demapper for `mcs`.
+    pub fn new(mcs: Mcs) -> Self {
+        let code = LdpcCode::from_base(&base_matrix(mcs.rate));
+        let demapper = match mcs.modulation {
+            Modulation::Bpsk => None,
+            Modulation::Qpsk => Some(Demapper::new(Qam::new(2))),
+            Modulation::Qam16 => Some(Demapper::new(Qam::new(4))),
+            Modulation::Qam64 => Some(Demapper::new(Qam::new(6))),
+        };
+        McsRunner {
+            mcs,
+            code,
+            demapper,
+            decoder: BpDecoder::new(),
+        }
+    }
+
+    /// The MCS this runner executes.
+    pub fn mcs(&self) -> Mcs {
+        self.mcs
+    }
+
+    /// Transmit one random code block over AWGN at `snr_db` and attempt
+    /// decoding. Returns true on exact message recovery.
+    pub fn run_block(&self, snr_db: f64, seed: u64) -> bool {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg: Vec<bool> = (0..self.code.k()).map(|_| rng.gen()).collect();
+        let cw = self.code.encode(&msg);
+
+        let mut ch = AwgnChannel::new(snr_db, seed.wrapping_add(0x5EED));
+        let noise_power = 1.0 / ch.snr();
+
+        // Modulate (padding the block's tail bits with zeros if the
+        // symbol does not divide 648 — only exact divisors appear in the
+        // MCS table so no padding occurs in practice).
+        let llrs = match (&self.demapper, self.mcs.modulation) {
+            (None, _) => {
+                let tx = bpsk::modulate(&cw);
+                let rx = ch.transmit(&tx);
+                bpsk::llrs(&rx, noise_power)
+            }
+            (Some(d), _) => {
+                let tx = d.qam().modulate(&cw);
+                let rx = ch.transmit(&tx);
+                let mut llrs = d.llrs_block(&rx, noise_power);
+                llrs.truncate(self.code.n());
+                llrs
+            }
+        };
+
+        let out = self.decoder.decode(&self.code, &llrs);
+        out.converged && out.codeword[..self.code.k()] == msg[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rates_are_increasing() {
+        let mut last = 0.0;
+        for mcs in Mcs::TABLE {
+            let r = mcs.info_bits_per_symbol();
+            assert!(r > last, "MCS table should be sorted by rate");
+            last = r;
+        }
+        assert!((Mcs::TABLE[0].info_bits_per_symbol() - 0.5).abs() < 1e-12);
+        assert!((Mcs::TABLE[7].info_bits_per_symbol() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowest_mcs_works_at_low_snr() {
+        let runner = McsRunner::new(Mcs::TABLE[0]); // BPSK R1/2
+        let ok = (0..4).filter(|&s| runner.run_block(3.0, s)).count();
+        assert!(ok >= 3, "BPSK R1/2 at 3 dB: {ok}/4");
+    }
+
+    #[test]
+    fn highest_mcs_needs_high_snr() {
+        let runner = McsRunner::new(Mcs::TABLE[7]); // QAM64 R5/6
+        let ok_low = (0..3).filter(|&s| runner.run_block(10.0, s)).count();
+        let ok_high = (0..3).filter(|&s| runner.run_block(22.0, s)).count();
+        assert_eq!(ok_low, 0, "QAM64 R5/6 cannot work at 10 dB");
+        assert_eq!(ok_high, 3, "QAM64 R5/6 should be clean at 22 dB");
+    }
+
+    #[test]
+    fn qpsk_half_rate_waterfall_position() {
+        // Shannon for 1 bit/symbol is 0 dB; a practical n=648 code should
+        // switch on ~3.5–5 dB and be solid by 6 dB.
+        let runner = McsRunner::new(Mcs::TABLE[1]);
+        let ok = (0..4).filter(|&s| runner.run_block(6.0, s)).count();
+        assert_eq!(ok, 4, "QPSK R1/2 at 6 dB");
+        let ok = (0..4).filter(|&s| runner.run_block(-1.0, s)).count();
+        assert_eq!(ok, 0, "QPSK R1/2 below Shannon");
+    }
+}

@@ -1,0 +1,231 @@
+//! Dense GF(2) linear algebra on u64-packed bit rows.
+//!
+//! Used once per code at construction time to derive the systematic
+//! encoder (`parity = B⁻¹·A·message`), so clarity beats micro-tuning; at
+//! n = 648 the inversion is instantaneous.
+
+/// A dense GF(2) matrix, row-major, bits packed into u64 words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read one bit.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.words_per_row + c / 64] >> (c % 64) & 1 == 1
+    }
+
+    /// Write one bit.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        debug_assert!(r < self.rows && c < self.cols);
+        let w = &mut self.data[r * self.words_per_row + c / 64];
+        if v {
+            *w |= 1 << (c % 64);
+        } else {
+            *w &= !(1 << (c % 64));
+        }
+    }
+
+    /// XOR row `src` into row `dst`.
+    pub fn xor_row(&mut self, dst: usize, src: usize) {
+        let w = self.words_per_row;
+        let (a, b) = (dst * w, src * w);
+        for i in 0..w {
+            let v = self.data[b + i];
+            self.data[a + i] ^= v;
+        }
+    }
+
+    /// Swap two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let w = self.words_per_row;
+        for i in 0..w {
+            self.data.swap(a * w + i, b * w + i);
+        }
+    }
+
+    /// Rank via Gaussian elimination on a copy.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let mut rank = 0;
+        for col in 0..m.cols {
+            if rank == m.rows {
+                break;
+            }
+            // Find pivot at or below `rank`.
+            let pivot = (rank..m.rows).find(|&r| m.get(r, col));
+            let Some(p) = pivot else { continue };
+            m.swap_rows(rank, p);
+            for r in 0..m.rows {
+                if r != rank && m.get(r, col) {
+                    m.xor_row(r, rank);
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Invert a square matrix; `None` if singular.
+    pub fn inverse(&self) -> Option<BitMatrix> {
+        assert_eq!(self.rows, self.cols, "inverse needs a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = BitMatrix::identity(n);
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| a.get(r, col))?;
+            a.swap_rows(col, pivot);
+            inv.swap_rows(col, pivot);
+            for r in 0..n {
+                if r != col && a.get(r, col) {
+                    a.xor_row(r, col);
+                    inv.xor_row(r, col);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Matrix product over GF(2).
+    pub fn multiply(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, rhs.rows);
+        let mut out = BitMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                if self.get(r, k) {
+                    // out.row[r] ^= rhs.row[k]
+                    let w = out.words_per_row;
+                    for i in 0..w {
+                        let v = rhs.data[k * rhs.words_per_row + i];
+                        out.data[r * w + i] ^= v;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product over GF(2): `y = M·x` with `x` as bools.
+    pub fn mul_vec(&self, x: &[bool]) -> Vec<bool> {
+        assert_eq!(x.len(), self.cols);
+        // Pack x for word-parallel dot products.
+        let mut xp = vec![0u64; self.words_per_row];
+        for (i, &b) in x.iter().enumerate() {
+            if b {
+                xp[i / 64] |= 1 << (i % 64);
+            }
+        }
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = 0u64;
+                for i in 0..self.words_per_row {
+                    acc ^= self.data[r * self.words_per_row + i] & xp[i];
+                }
+                acc.count_ones() % 2 == 1
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let i = BitMatrix::identity(10);
+        assert_eq!(i.rank(), 10);
+        assert_eq!(i.inverse().unwrap(), i);
+        let x: Vec<bool> = (0..10).map(|k| k % 3 == 0).collect();
+        assert_eq!(i.mul_vec(&x), x);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        // A small invertible matrix: companion-style.
+        let mut m = BitMatrix::zeros(5, 5);
+        for i in 0..4 {
+            m.set(i, i + 1, true);
+        }
+        m.set(4, 0, true);
+        m.set(4, 2, true);
+        m.set(0, 0, true);
+        let inv = m.inverse().expect("invertible");
+        let prod = m.multiply(&inv);
+        assert_eq!(prod, BitMatrix::identity(5));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let mut m = BitMatrix::zeros(3, 3);
+        m.set(0, 0, true);
+        m.set(1, 0, true); // duplicate row 0
+        assert!(m.inverse().is_none());
+        assert!(m.rank() < 3);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let mut m = BitMatrix::zeros(3, 4);
+        m.set(0, 0, true);
+        m.set(0, 1, true);
+        m.set(1, 1, true);
+        m.set(1, 2, true);
+        // row2 = row0 ^ row1
+        m.set(2, 0, true);
+        m.set(2, 2, true);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn mul_vec_matches_bitwise_definition() {
+        let mut m = BitMatrix::zeros(2, 70); // spans >1 word
+        m.set(0, 0, true);
+        m.set(0, 69, true);
+        m.set(1, 35, true);
+        let mut x = vec![false; 70];
+        x[69] = true;
+        x[35] = true;
+        assert_eq!(m.mul_vec(&x), vec![true, true]);
+    }
+}

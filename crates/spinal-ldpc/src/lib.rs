@@ -1,0 +1,34 @@
+//! 802.11n-class LDPC codes — the fixed-rate baseline of the paper's
+//! evaluation (§8).
+//!
+//! Contents:
+//!
+//! * [`gf2`] — dense GF(2) linear algebra (systematic encoder derivation).
+//! * [`qc`] — quasi-cyclic expansion of base matrices.
+//! * [`wifi`] — the n=648 base matrices at rates ½, ⅔, ¾, ⅚.
+//! * [`code`] — realised codes: systematic encoding, syndrome checks.
+//! * [`bp`] — 40-iteration floating-point sum-product decoding.
+//! * [`envelope`] — the 802.11n MCS table and per-block trial runner used
+//!   to compute the paper's "best envelope of LDPC codes".
+//! * [`harq`] — incremental-redundancy HARQ over the punctured mother
+//!   code (the Related-Work §2 "emulated rateless" ablation baseline).
+//!
+//! See DESIGN.md for the substitution note on shift values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bp;
+pub mod harq;
+pub mod code;
+pub mod envelope;
+pub mod gf2;
+pub mod qc;
+pub mod wifi;
+
+pub use bp::{BpDecoder, BpResult};
+pub use code::LdpcCode;
+pub use envelope::{Mcs, McsRunner, Modulation};
+pub use harq::IrHarq;
+pub use qc::BaseMatrix;
+pub use wifi::{base_matrix, WifiRate};

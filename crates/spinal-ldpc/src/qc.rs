@@ -1,0 +1,172 @@
+//! Quasi-cyclic LDPC construction: expanding a base matrix of cyclic
+//! shifts into a sparse binary parity-check matrix.
+//!
+//! A base entry of `-1` is the all-zero Z×Z block; an entry `s ≥ 0` is the
+//! Z×Z identity cyclically right-shifted by `s` (row `r` of the block has
+//! a one at column `(r + s) mod Z`).
+
+use crate::gf2::BitMatrix;
+
+/// A base (prototype) matrix of shift values; `-1` marks a null block.
+#[derive(Debug, Clone)]
+pub struct BaseMatrix {
+    /// Block rows.
+    pub rows: usize,
+    /// Block columns.
+    pub cols: usize,
+    /// Expansion factor Z.
+    pub z: usize,
+    /// Row-major shift entries, `rows × cols`.
+    pub shifts: Vec<i32>,
+}
+
+impl BaseMatrix {
+    /// Construct and validate a base matrix.
+    pub fn new(rows: usize, cols: usize, z: usize, shifts: Vec<i32>) -> Self {
+        assert_eq!(shifts.len(), rows * cols, "shift table shape mismatch");
+        for &s in &shifts {
+            assert!(
+                s >= -1 && (s as i64) < z as i64,
+                "shift {s} out of range for Z={z}"
+            );
+        }
+        BaseMatrix {
+            rows,
+            cols,
+            z,
+            shifts,
+        }
+    }
+
+    /// Shift at block position (r, c).
+    pub fn shift(&self, r: usize, c: usize) -> i32 {
+        self.shifts[r * self.cols + c]
+    }
+
+    /// Code length `n = cols · Z`.
+    pub fn n(&self) -> usize {
+        self.cols * self.z
+    }
+
+    /// Parity count `m = rows · Z` (= n − k for full-rank H).
+    pub fn m(&self) -> usize {
+        self.rows * self.z
+    }
+
+    /// Message length `k = n − m`.
+    pub fn k(&self) -> usize {
+        self.n() - self.m()
+    }
+
+    /// Expand into the sparse parity-check adjacency: for each of the `m`
+    /// checks, the sorted list of participating variable indices.
+    pub fn expand_sparse(&self) -> Vec<Vec<usize>> {
+        let z = self.z;
+        let mut checks = vec![Vec::new(); self.m()];
+        for br in 0..self.rows {
+            for bc in 0..self.cols {
+                let s = self.shift(br, bc);
+                if s < 0 {
+                    continue;
+                }
+                for r in 0..z {
+                    let check = br * z + r;
+                    let var = bc * z + (r + s as usize) % z;
+                    checks[check].push(var);
+                }
+            }
+        }
+        for row in &mut checks {
+            row.sort_unstable();
+        }
+        checks
+    }
+
+    /// Expand into a dense [`BitMatrix`] (used for rank checks and to
+    /// derive the systematic encoder).
+    pub fn expand_dense(&self) -> BitMatrix {
+        let mut h = BitMatrix::zeros(self.m(), self.n());
+        for (check, vars) in self.expand_sparse().iter().enumerate() {
+            for &v in vars {
+                h.set(check, v, true);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BaseMatrix {
+        // 2×4 base, Z=3: H = [P1 P0 | P2 I; P0 -1 | I P1]-ish toy.
+        BaseMatrix::new(2, 4, 3, vec![1, 0, 2, 0, 0, -1, 0, 1])
+    }
+
+    #[test]
+    fn expansion_dimensions() {
+        let b = tiny();
+        assert_eq!(b.n(), 12);
+        assert_eq!(b.m(), 6);
+        assert_eq!(b.k(), 6);
+        let sparse = b.expand_sparse();
+        assert_eq!(sparse.len(), 6);
+    }
+
+    #[test]
+    fn shifted_identity_structure() {
+        let b = BaseMatrix::new(1, 1, 4, vec![1]);
+        let h = b.expand_dense();
+        // Row r has its one at column (r+1) mod 4.
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(h.get(r, c), c == (r + 1) % 4, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let b = BaseMatrix::new(1, 1, 5, vec![0]);
+        let h = b.expand_dense();
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(h.get(r, c), r == c);
+            }
+        }
+    }
+
+    #[test]
+    fn null_block_is_empty() {
+        let b = BaseMatrix::new(1, 2, 3, vec![-1, 2]);
+        let sparse = b.expand_sparse();
+        for row in &sparse {
+            assert_eq!(row.len(), 1);
+            assert!(row[0] >= 3, "only the second block column is populated");
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let b = tiny();
+        let sparse = b.expand_sparse();
+        let dense = b.expand_dense();
+        for (check, vars) in sparse.iter().enumerate() {
+            let mut count = 0;
+            for c in 0..b.n() {
+                if dense.get(check, c) {
+                    assert!(vars.contains(&c));
+                    count += 1;
+                }
+            }
+            assert_eq!(count, vars.len());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_shift_beyond_z() {
+        BaseMatrix::new(1, 1, 4, vec![4]);
+    }
+}

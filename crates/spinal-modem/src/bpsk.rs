@@ -1,0 +1,61 @@
+//! BPSK: one bit per complex symbol on the I axis (802.11 MCS 0).
+
+use spinal_channel::Complex;
+
+/// Map one bit to ±1 (bit 0 → +1), unit power.
+#[inline]
+pub fn modulate_bit(bit: bool) -> Complex {
+    Complex::new(if bit { -1.0 } else { 1.0 }, 0.0)
+}
+
+/// Modulate a bit slice.
+pub fn modulate(bits: &[bool]) -> Vec<Complex> {
+    bits.iter().map(|&b| modulate_bit(b)).collect()
+}
+
+/// Exact LLR for a received symbol under complex AWGN of power σ²
+/// (per-dimension variance σ²/2): `LLR = 4·Re(y)/σ²`, positive ⇒ bit 0.
+#[inline]
+pub fn llr(y: Complex, noise_power: f64) -> f64 {
+    4.0 * y.re / noise_power
+}
+
+/// Demap a slice of received symbols to LLRs.
+pub fn llrs(ys: &[Complex], noise_power: f64) -> Vec<f64> {
+    ys.iter().map(|&y| llr(y, noise_power)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_antipodal_unit_power() {
+        assert_eq!(modulate_bit(false), Complex::new(1.0, 0.0));
+        assert_eq!(modulate_bit(true), Complex::new(-1.0, 0.0));
+        assert!((modulate_bit(false).norm_sq() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn llr_sign_follows_receive_sign() {
+        assert!(llr(Complex::new(0.9, 0.3), 0.5) > 0.0);
+        assert!(llr(Complex::new(-0.2, -0.9), 0.5) < 0.0);
+    }
+
+    #[test]
+    fn llr_scales_inversely_with_noise() {
+        let y = Complex::new(1.0, 0.0);
+        assert!(llr(y, 0.1) > llr(y, 1.0));
+        assert!((llr(y, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_slices() {
+        let bits = [true, false, false, true];
+        let sym = modulate(&bits);
+        let l = llrs(&sym, 0.3);
+        for (b, l) in bits.iter().zip(l) {
+            assert_eq!(*b, l < 0.0);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Exact soft demapping: per-bit log-likelihood ratios from received
+//! symbols.
+//!
+//! For a square Gray-mapped QAM, the I and Q dimensions are independent,
+//! so the LLR of each bit reduces to a one-dimensional sum over 2^m
+//! levels — this is the `Θ(2^{α/2})` per-symbol cost the paper mentions
+//! for QAM-2^α demapping (§8, "Raptor code").
+//!
+//! Convention: `LLR = ln P(bit=0 | y) − ln P(bit=1 | y)`, so positive
+//! favours 0. The BP decoders downstream use the same convention.
+
+use crate::qam::{gray_encode, Qam};
+use spinal_channel::Complex;
+
+/// Soft demapper bound to one QAM constellation.
+#[derive(Debug, Clone)]
+pub struct Demapper {
+    qam: Qam,
+    /// For each bit position within a dimension, the levels where that
+    /// bit is 0 / 1 (precomputed).
+    bit_sets: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+impl Demapper {
+    /// Build a demapper for `qam`.
+    pub fn new(qam: Qam) -> Self {
+        let m = qam.bits_per_dim();
+        let mut bit_sets = Vec::with_capacity(m as usize);
+        for bit in 0..m {
+            let mut zeros = Vec::new();
+            let mut ones = Vec::new();
+            for idx in 0..qam.levels().len() {
+                let bits = gray_encode(idx as u32);
+                // Bit positions are MSB-first within the m-bit group.
+                if (bits >> (m - 1 - bit)) & 1 == 0 {
+                    zeros.push(qam.levels()[idx]);
+                } else {
+                    ones.push(qam.levels()[idx]);
+                }
+            }
+            bit_sets.push((zeros, ones));
+        }
+        Demapper { qam, bit_sets }
+    }
+
+    /// The constellation this demapper serves.
+    pub fn qam(&self) -> &Qam {
+        &self.qam
+    }
+
+    /// LLRs for the `2m` bits of one received symbol. `noise_power` is
+    /// the complex noise power σ² (per-dimension variance is σ²/2).
+    ///
+    /// Returns bits in the same MSB-first order [`Qam::map`] consumes:
+    /// I bits first, then Q bits.
+    pub fn llrs(&self, y: Complex, noise_power: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(2 * self.qam.bits_per_dim() as usize);
+        self.dim_llrs(y.re, noise_power, &mut out);
+        self.dim_llrs(y.im, noise_power, &mut out);
+        out
+    }
+
+    /// Demap a whole slice of symbols into a flat LLR vector.
+    pub fn llrs_block(&self, ys: &[Complex], noise_power: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(ys.len() * 2 * self.qam.bits_per_dim() as usize);
+        for &y in ys {
+            self.dim_llrs(y.re, noise_power, &mut out);
+            self.dim_llrs(y.im, noise_power, &mut out);
+        }
+        out
+    }
+
+    fn dim_llrs(&self, v: f64, noise_power: f64, out: &mut Vec<f64>) {
+        let var = noise_power / 2.0;
+        for (zeros, ones) in &self.bit_sets {
+            // log-sum-exp over each level subset, numerically stabilised.
+            let lse = |levels: &[f64]| -> f64 {
+                let mut max = f64::NEG_INFINITY;
+                for &l in levels {
+                    let e = -(v - l) * (v - l) / (2.0 * var);
+                    if e > max {
+                        max = e;
+                    }
+                }
+                let mut acc = 0.0;
+                for &l in levels {
+                    acc += (-(v - l) * (v - l) / (2.0 * var) - max).exp();
+                }
+                max + acc.ln()
+            };
+            out.push(lse(zeros) - lse(ones));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spinal_channel::math::normal_pair;
+
+    fn bits_of(v: u32, n: u32) -> Vec<bool> {
+        (0..n).rev().map(|j| (v >> j) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn clean_symbol_gives_confident_correct_llrs() {
+        let q = Qam::new(6);
+        let d = Demapper::new(q.clone());
+        for bits in [0u32, 0b101010, 0b111111, 0b010101] {
+            let y = q.map(bits);
+            let llrs = d.llrs(y, 0.01);
+            let expect = bits_of(bits, 6);
+            for (i, (&llr, &b)) in llrs.iter().zip(&expect).enumerate() {
+                assert!(
+                    if b { llr < -1.0 } else { llr > 1.0 },
+                    "bits {bits:06b} pos {i}: llr {llr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn llr_sign_flips_with_bit() {
+        // Symmetric pairs around zero flip the sign-bit LLR.
+        let q = Qam::new(4);
+        let d = Demapper::new(q.clone());
+        let a = d.llrs(Complex::new(0.8, 0.8), 0.1);
+        let b = d.llrs(Complex::new(-0.8, 0.8), 0.1);
+        // First I bit (the sign bit under binary-reflected Gray) differs.
+        assert!(a[0] * b[0] < 0.0, "a={a:?} b={b:?}");
+        // Q bits identical.
+        assert!((a[2] - b[2]).abs() < 1e-9 && (a[3] - b[3]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hard_decisions_from_llrs_match_nearest_neighbour() {
+        let q = Qam::new(4);
+        let d = Demapper::new(q.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let bits = rng.gen::<u32>() & 0xF;
+            let y = q.map(bits);
+            // tiny perturbation
+            let y = Complex::new(y.re + 0.03, y.im - 0.02);
+            let llrs = d.llrs(y, 0.05);
+            let hard: u32 = llrs
+                .iter()
+                .fold(0, |acc, &l| (acc << 1) | (l < 0.0) as u32);
+            assert_eq!(hard, q.hard_demap(y));
+        }
+    }
+
+    #[test]
+    fn llr_magnitudes_shrink_with_noise() {
+        let q = Qam::new(6);
+        let d = Demapper::new(q.clone());
+        let y = q.map(0b110010);
+        let crisp: f64 = d.llrs(y, 0.01).iter().map(|l| l.abs()).sum();
+        let fuzzy: f64 = d.llrs(y, 1.0).iter().map(|l| l.abs()).sum();
+        assert!(crisp > 5.0 * fuzzy, "crisp={crisp} fuzzy={fuzzy}");
+    }
+
+    #[test]
+    fn demapped_bit_error_rate_is_sane_at_high_snr() {
+        // QAM-16 at 20 dB: hard decisions from LLRs should be almost
+        // always right.
+        let q = Qam::new(4);
+        let d = Demapper::new(q.clone());
+        let mut rng = StdRng::seed_from_u64(11);
+        let noise_power: f64 = 0.01; // 20 dB below unit signal power
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for _ in 0..2000 {
+            let bits = rng.gen::<u32>() & 0xF;
+            let x = q.map(bits);
+            let (nr, ni) = normal_pair(&mut rng);
+            let y = Complex::new(
+                x.re + nr * (noise_power / 2.0).sqrt(),
+                x.im + ni * (noise_power / 2.0).sqrt(),
+            );
+            for (j, &l) in d.llrs(y, noise_power).iter().enumerate() {
+                let sent = (bits >> (3 - j)) & 1 == 1;
+                if (l < 0.0) != sent {
+                    errors += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(
+            (errors as f64 / total as f64) < 1e-3,
+            "BER {} too high",
+            errors as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn block_demap_matches_symbolwise() {
+        let q = Qam::new(6);
+        let d = Demapper::new(q.clone());
+        let ys = [q.map(0b1), q.map(0b111000), Complex::new(0.1, -0.3)];
+        let blk = d.llrs_block(&ys, 0.2);
+        let per: Vec<f64> = ys.iter().flat_map(|&y| d.llrs(y, 0.2)).collect();
+        assert_eq!(blk, per);
+    }
+}

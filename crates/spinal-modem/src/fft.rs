@@ -1,0 +1,139 @@
+//! Iterative radix-2 decimation-in-time FFT.
+//!
+//! Only power-of-two sizes are needed (the OFDM substrate uses 64- and
+//! 256-point transforms), so a textbook Cooley–Tukey with precomputable
+//! twiddles is the simplest robust choice — no external DSP crates.
+
+use spinal_channel::Complex;
+
+/// In-place FFT. `x.len()` must be a power of two.
+pub fn fft(x: &mut [Complex]) {
+    transform(x, false);
+}
+
+/// In-place inverse FFT (includes the 1/N normalisation).
+pub fn ifft(x: &mut [Complex]) {
+    transform(x, true);
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = *v / n;
+    }
+}
+
+fn transform(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT size {n} must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_phase(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for i in 0..len / 2 {
+                let u = x[start + i];
+                let v = x[start + i + len / 2] * w;
+                x[start + i] = u + v;
+                x[start + i + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        a.dist_sq(b) < 1e-18
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!(close(*v, Complex::ONE));
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k = 5;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|t| Complex::from_phase(2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64))
+            .collect();
+        fft(&mut x);
+        for (bin, v) in x.iter().enumerate() {
+            if bin == k {
+                assert!((v.abs() - n as f64).abs() < 1e-9, "bin {bin}: {}", v.abs());
+            } else {
+                assert!(v.abs() < 1e-9, "leakage in bin {bin}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let orig: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in orig.iter().zip(&x) {
+            assert!(a.dist_sq(*b) < 1e-18);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex> = (0..128)
+            .map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, ((i * 13) % 7) as f64 - 3.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let mut f = x.clone();
+        fft(&mut f);
+        let freq_energy: f64 = f.iter().map(|v| v.norm_sq()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..16).map(|i| Complex::new(0.0, (16 - i) as f64)).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let (mut fa, mut fb, mut fs) = (a, b, sum);
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fs);
+        for i in 0..16 {
+            assert!(fs[i].dist_sq(fa[i] + fb[i]) < 1e-16);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex::ZERO; 12];
+        fft(&mut x);
+    }
+}

@@ -1,0 +1,28 @@
+//! Modulation substrate for the spinal-codes reproduction.
+//!
+//! The baseline codes the paper compares against (LDPC, Raptor, Strider)
+//! all ride on conventional bit-to-symbol mappings: Gray-coded square QAM
+//! with soft demapping at the receiver. This crate provides:
+//!
+//! * [`qam`] — square QAM constellations (QPSK … QAM-2^20+) with per-
+//!   dimension Gray mapping, unit average power.
+//! * [`demap`] — exact per-bit log-likelihood ratios ("we calculate the
+//!   soft information between each received symbol and the other
+//!   symbols", §8 — the careful demapping the paper credits for its
+//!   strong Raptor baseline).
+//! * [`fft`] — an iterative radix-2 FFT (no external DSP dependency).
+//! * [`ofdm`] — an 802.11a/g-shaped OFDM modulator and the PAPR
+//!   measurement behind Table 8.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpsk;
+pub mod demap;
+pub mod fft;
+pub mod ofdm;
+pub mod qam;
+
+pub use demap::Demapper;
+pub use ofdm::{OfdmConfig, PaprStats};
+pub use qam::Qam;

@@ -1,0 +1,218 @@
+//! Gray-mapped square QAM.
+//!
+//! A QAM-4^m constellation carries `2m` bits per symbol: `m` bits choose
+//! the I level, `m` the Q level, each through a Gray code so adjacent
+//! levels differ in one bit. Constellations are normalised to unit
+//! average power, matching the SNR convention used across the workspace.
+
+use spinal_channel::Complex;
+
+/// A square QAM constellation with Gray mapping.
+#[derive(Debug, Clone)]
+pub struct Qam {
+    bits_per_dim: u32,
+    /// Amplitude levels indexed by the *Gray-decoded* integer.
+    levels: Vec<f64>,
+}
+
+/// Binary-reflected Gray code.
+#[inline]
+pub fn gray_encode(x: u32) -> u32 {
+    x ^ (x >> 1)
+}
+
+/// Inverse of [`gray_encode`], via the logarithmic prefix-XOR fold.
+#[inline]
+pub fn gray_decode(g: u32) -> u32 {
+    let mut y = g;
+    let mut s = 1;
+    while s < 32 {
+        y ^= y >> s;
+        s <<= 1;
+    }
+    y
+}
+
+impl Qam {
+    /// Build QAM with `bits_per_symbol` total bits (must be even ≥ 2):
+    /// 2 → QPSK, 4 → QAM-16, 6 → QAM-64, 8 → QAM-256, 20 → QAM-2^20.
+    pub fn new(bits_per_symbol: u32) -> Self {
+        assert!(
+            bits_per_symbol >= 2 && bits_per_symbol % 2 == 0 && bits_per_symbol <= 26,
+            "bits per symbol must be even in 2..=26, got {bits_per_symbol}"
+        );
+        let m = bits_per_symbol / 2;
+        let levels_n = 1usize << m;
+        // Levels ±1, ±3, …, normalised so E[I² + Q²] = 1.
+        // E[l²] over ±1..±(2M−1) = (M²−1)·4/3 + 1 → use exact sum.
+        let raw: Vec<f64> = (0..levels_n)
+            .map(|i| (2 * i as i64 - (levels_n as i64 - 1)) as f64)
+            .collect();
+        let ms: f64 = raw.iter().map(|x| x * x).sum::<f64>() / levels_n as f64;
+        let scale = (0.5 / ms).sqrt(); // per-dim power ½ → unit complex power
+        Qam {
+            bits_per_dim: m,
+            levels: raw.into_iter().map(|x| x * scale).collect(),
+        }
+    }
+
+    /// Total bits per symbol.
+    pub fn bits_per_symbol(&self) -> u32 {
+        2 * self.bits_per_dim
+    }
+
+    /// Bits per dimension (`m`).
+    pub fn bits_per_dim(&self) -> u32 {
+        self.bits_per_dim
+    }
+
+    /// Number of points (`4^m`).
+    pub fn points(&self) -> u64 {
+        1u64 << self.bits_per_symbol()
+    }
+
+    /// Amplitude levels (ascending).
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Map `m` bits (in the low bits of `b`) to one dimension's level via
+    /// Gray decoding, so adjacent levels differ in exactly one bit.
+    #[inline]
+    pub fn map_dim(&self, b: u32) -> f64 {
+        self.levels[gray_decode(b) as usize]
+    }
+
+    /// Map `2m` bits to a symbol: high `m` bits → I, low `m` bits → Q.
+    #[inline]
+    pub fn map(&self, bits: u32) -> Complex {
+        let m = self.bits_per_dim;
+        Complex::new(self.map_dim(bits >> m), self.map_dim(bits & ((1 << m) - 1)))
+    }
+
+    /// Modulate a bit slice (MSB-first per symbol); pads the final symbol
+    /// with zero bits if needed.
+    pub fn modulate(&self, bits: &[bool]) -> Vec<Complex> {
+        let bps = self.bits_per_symbol() as usize;
+        bits.chunks(bps)
+            .map(|chunk| {
+                let mut v = 0u32;
+                for i in 0..bps {
+                    v = (v << 1) | chunk.get(i).copied().unwrap_or(false) as u32;
+                }
+                self.map(v)
+            })
+            .collect()
+    }
+
+    /// Hard-decision demap: nearest constellation point's bits.
+    pub fn hard_demap(&self, y: Complex) -> u32 {
+        let m = self.bits_per_dim;
+        (self.hard_dim(y.re) << m) | self.hard_dim(y.im)
+    }
+
+    fn hard_dim(&self, v: f64) -> u32 {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &l) in self.levels.iter().enumerate() {
+            let d = (v - l) * (v - l);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        gray_encode(best as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_round_trip() {
+        for x in 0..1024u32 {
+            assert_eq!(gray_decode(gray_encode(x)), x);
+        }
+    }
+
+    #[test]
+    fn gray_adjacent_differ_in_one_bit() {
+        for x in 0..255u32 {
+            let d = gray_encode(x) ^ gray_encode(x + 1);
+            assert_eq!(d.count_ones(), 1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn unit_average_power() {
+        for bps in [2, 4, 6, 8, 10, 20] {
+            let q = Qam::new(bps);
+            // Exact enumeration when feasible; the per-dimension level
+            // table is what defines the power, so summing level² over
+            // each dimension independently is exact for any size.
+            let per_dim: f64 =
+                q.levels().iter().map(|l| l * l).sum::<f64>() / q.levels().len() as f64;
+            let p = 2.0 * per_dim;
+            assert!((p - 1.0).abs() < 1e-9, "QAM-{}: power {p}", q.points());
+        }
+    }
+
+    #[test]
+    fn qpsk_is_four_diagonal_points() {
+        let q = Qam::new(2);
+        let pts: Vec<Complex> = (0..4).map(|b| q.map(b)).collect();
+        for p in &pts {
+            assert!((p.re.abs() - 0.5f64.sqrt()).abs() < 1e-12);
+            assert!((p.im.abs() - 0.5f64.sqrt()).abs() < 1e-12);
+        }
+        // All four quadrants present.
+        let quads: std::collections::HashSet<(bool, bool)> =
+            pts.iter().map(|p| (p.re > 0.0, p.im > 0.0)).collect();
+        assert_eq!(quads.len(), 4);
+    }
+
+    #[test]
+    fn gray_neighbours_in_constellation() {
+        // Horizontally adjacent QAM-16 points must differ in one bit.
+        let q = Qam::new(4);
+        for i in 0..3u32 {
+            let a = gray_encode(i);
+            let b = gray_encode(i + 1);
+            assert_eq!((a ^ b).count_ones(), 1);
+            assert!(q.map_dim(b) > q.map_dim(a));
+        }
+    }
+
+    #[test]
+    fn modulate_round_trips_through_hard_demap() {
+        let q = Qam::new(6);
+        let bits: Vec<bool> = (0..120).map(|i| (i * 7) % 3 == 1).collect();
+        let syms = q.modulate(&bits);
+        assert_eq!(syms.len(), 20);
+        let mut recovered = Vec::new();
+        for s in syms {
+            let v = q.hard_demap(s);
+            for j in (0..6).rev() {
+                recovered.push((v >> j) & 1 == 1);
+            }
+        }
+        assert_eq!(recovered, bits);
+    }
+
+    #[test]
+    fn hard_demap_is_nearest_neighbour() {
+        let q = Qam::new(4);
+        // Slightly perturbed point still demaps to itself.
+        let bits = 0b1011u32;
+        let s = q.map(bits);
+        let y = Complex::new(s.re + 0.05, s.im - 0.05);
+        assert_eq!(q.hard_demap(y), bits);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_odd_bits() {
+        Qam::new(3);
+    }
+}

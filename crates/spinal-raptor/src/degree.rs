@@ -1,0 +1,87 @@
+//! The LT output degree distribution from the Raptor RFC (RFC 5053,
+//! §5.4.4.2) — the distribution the paper states its Raptor baseline uses.
+
+use crate::prng::SplitMix64;
+
+/// `(degree, cumulative weight out of 2^20)` — Table 1 of RFC 5053.
+pub const RFC5053_TABLE: [(usize, u32); 7] = [
+    (1, 10_241),
+    (2, 491_582),
+    (3, 712_794),
+    (4, 831_695),
+    (10, 948_446),
+    (11, 1_032_189),
+    (40, 1_048_576),
+];
+
+/// Sample an output degree from the RFC 5053 distribution.
+pub fn sample_degree(rng: &mut SplitMix64) -> usize {
+    let v = rng.next_below(1 << 20) as u32;
+    for &(d, cum) in &RFC5053_TABLE {
+        if v < cum {
+            return d;
+        }
+    }
+    unreachable!("cumulative table covers the full range")
+}
+
+/// The mean of the distribution (≈ 4.63), useful for cost estimates.
+pub fn mean_degree() -> f64 {
+    let mut prev = 0u32;
+    let mut acc = 0.0;
+    for &(d, cum) in &RFC5053_TABLE {
+        acc += d as f64 * (cum - prev) as f64;
+        prev = cum;
+    }
+    acc / (1u32 << 20) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_monotone_and_complete() {
+        let mut prev = 0;
+        for &(_, cum) in &RFC5053_TABLE {
+            assert!(cum > prev);
+            prev = cum;
+        }
+        assert_eq!(prev, 1 << 20);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_table() {
+        let mut rng = SplitMix64::new(11);
+        let n = 200_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(sample_degree(&mut rng)).or_insert(0u32) += 1;
+        }
+        let mut prev = 0u32;
+        for &(d, cum) in &RFC5053_TABLE {
+            let expect = (cum - prev) as f64 / (1u32 << 20) as f64;
+            let got = *counts.get(&d).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "degree {d}: got {got}, expect {expect}"
+            );
+            prev = cum;
+        }
+    }
+
+    #[test]
+    fn mean_degree_is_about_4_6() {
+        let m = mean_degree();
+        assert!((4.3..5.0).contains(&m), "mean {m}");
+    }
+
+    #[test]
+    fn only_table_degrees_occur() {
+        let valid: Vec<usize> = RFC5053_TABLE.iter().map(|&(d, _)| d).collect();
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            assert!(valid.contains(&sample_degree(&mut rng)));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Raptor codes over noisy channels — the paper's rateless baseline (§8).
+//!
+//! Construction per the paper: an inner LT code with the RFC 5053 degree
+//! distribution, an outer rate-0.95 LDPC precode with regular left degree
+//! 4 (realised in IRA/staircase form — see `outer`), and a joint soft BP
+//! decoder fed by exact QAM soft demapping from `spinal-modem`.
+//!
+//! * [`prng`] — deterministic per-symbol graph derivation.
+//! * [`degree`] — the RFC 5053 output degree distribution.
+//! * [`outer`] — the systematic precode.
+//! * [`lt`] — the rateless inner code.
+//! * [`raptor`] — the combined code and joint decoder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod degree;
+pub mod lt;
+pub mod outer;
+pub mod prng;
+pub mod raptor;
+
+pub use lt::LtCode;
+pub use outer::OuterCode;
+pub use raptor::{RaptorCode, RaptorDecodeResult, RaptorDecoder};

@@ -1,0 +1,131 @@
+//! The LT inner code: rateless XOR combinations of intermediate bits,
+//! with degrees from RFC 5053 and neighbour sets regenerable from the
+//! output index alone.
+
+use crate::degree::sample_degree;
+use crate::prng::SplitMix64;
+
+/// The (degree, neighbours) recipe of one LT output symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputSpec {
+    /// Intermediate-bit indices XOR-ed into this output.
+    pub neighbours: Vec<usize>,
+}
+
+/// The LT code over `m` intermediate bits, graph-seeded by `seed`.
+#[derive(Debug, Clone)]
+pub struct LtCode {
+    m: usize,
+    seed: u64,
+}
+
+impl LtCode {
+    /// Create an LT code over `m` intermediate bits.
+    pub fn new(m: usize, seed: u64) -> Self {
+        assert!(m >= 40, "LT needs at least max-degree intermediate bits");
+        LtCode { m, seed }
+    }
+
+    /// Intermediate block length.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The recipe for output symbol `index` (identical on both sides).
+    pub fn spec(&self, index: u64) -> OutputSpec {
+        let mut rng = SplitMix64::for_symbol(self.seed, index);
+        let d = sample_degree(&mut rng).min(self.m);
+        let mut neighbours = Vec::with_capacity(d);
+        while neighbours.len() < d {
+            let v = rng.next_below(self.m as u64) as usize;
+            if !neighbours.contains(&v) {
+                neighbours.push(v);
+            }
+        }
+        OutputSpec { neighbours }
+    }
+
+    /// Encode output bits `[from, from+count)` from the intermediate word.
+    pub fn encode_range(&self, intermediate: &[bool], from: u64, count: usize) -> Vec<bool> {
+        assert_eq!(intermediate.len(), self.m);
+        (0..count as u64)
+            .map(|i| {
+                self.spec(from + i)
+                    .neighbours
+                    .iter()
+                    .fold(false, |acc, &v| acc ^ intermediate[v])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_deterministic_and_indexed() {
+        let lt = LtCode::new(1000, 7);
+        assert_eq!(lt.spec(5), lt.spec(5));
+        assert_ne!(lt.spec(5), lt.spec(6));
+    }
+
+    #[test]
+    fn neighbours_are_distinct_and_in_range() {
+        let lt = LtCode::new(500, 3);
+        for i in 0..2000 {
+            let s = lt.spec(i);
+            let mut seen = std::collections::HashSet::new();
+            for &v in &s.neighbours {
+                assert!(v < 500);
+                assert!(seen.insert(v), "duplicate neighbour in symbol {i}");
+            }
+            assert!(!s.neighbours.is_empty());
+            assert!(s.neighbours.len() <= 40);
+        }
+    }
+
+    #[test]
+    fn encode_is_xor_of_neighbours() {
+        let lt = LtCode::new(64, 1);
+        let inter: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let bits = lt.encode_range(&inter, 0, 100);
+        for (i, &b) in bits.iter().enumerate() {
+            let expect = lt
+                .spec(i as u64)
+                .neighbours
+                .iter()
+                .fold(false, |acc, &v| acc ^ inter[v]);
+            assert_eq!(b, expect);
+        }
+    }
+
+    #[test]
+    fn prefix_property() {
+        // Rateless: a later range extends an earlier one unchanged.
+        let lt = LtCode::new(128, 9);
+        let inter: Vec<bool> = (0..128).map(|i| (i * 5) % 7 < 3).collect();
+        let long = lt.encode_range(&inter, 0, 300);
+        let first = lt.encode_range(&inter, 0, 100);
+        let rest = lt.encode_range(&inter, 100, 200);
+        assert_eq!(&long[..100], &first[..]);
+        assert_eq!(&long[100..], &rest[..]);
+    }
+
+    #[test]
+    fn coverage_of_intermediate_bits() {
+        // With ~3m outputs at mean degree 4.6, every intermediate bit
+        // should appear in some output (coupon collector is satisfied
+        // with huge margin).
+        let m = 200;
+        let lt = LtCode::new(m, 13);
+        let mut hit = vec![false; m];
+        for i in 0..(3 * m as u64) {
+            for v in lt.spec(i).neighbours {
+                hit[v] = true;
+            }
+        }
+        let missing = hit.iter().filter(|&&h| !h).count();
+        assert_eq!(missing, 0, "{missing} intermediate bits never covered");
+    }
+}

@@ -1,0 +1,176 @@
+//! The outer precode: a systematic rate-0.95 LDPC in IRA form.
+//!
+//! Shokrollahi's Raptor construction precodes the message with a
+//! high-rate LDPC so BP can clean up the small fraction of intermediate
+//! symbols the LT code leaves unresolved. The paper's baseline uses rate
+//! 0.95 with regular left degree 4 and a binomial right degree.
+//!
+//! We realise it in *IRA (staircase)* form so encoding is a linear
+//! recursion with guaranteed invertibility: each information bit joins 4
+//! uniformly random checks (regular left degree 4 — right degrees then
+//! fall binomially), and the parity bits form an accumulator chain.
+//! DESIGN.md records this as the construction choice.
+
+use crate::prng::SplitMix64;
+
+/// A systematic IRA precode: `k` message bits → `k + p` intermediate bits.
+#[derive(Debug, Clone)]
+pub struct OuterCode {
+    k: usize,
+    p: usize,
+    /// For each of the `p` checks, the message-bit indices wired into it.
+    check_info: Vec<Vec<usize>>,
+}
+
+impl OuterCode {
+    /// Left degree of every information bit.
+    pub const LEFT_DEGREE: usize = 4;
+
+    /// Build the precode for `k` message bits at `rate` (paper: 0.95).
+    /// The graph is derived deterministically from `seed` so encoder and
+    /// decoder agree.
+    pub fn new(k: usize, rate: f64, seed: u64) -> Self {
+        assert!(k > 0 && rate > 0.5 && rate < 1.0);
+        let total = (k as f64 / rate).round() as usize;
+        let p = (total - k).max(1);
+        let mut rng = SplitMix64::new(seed ^ 0x0C0DE_0C0DE);
+        let mut check_info = vec![Vec::new(); p];
+        for bit in 0..k {
+            let mut picked = Vec::with_capacity(Self::LEFT_DEGREE);
+            while picked.len() < Self::LEFT_DEGREE.min(p) {
+                let c = rng.next_below(p as u64) as usize;
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            for c in picked {
+                check_info[c].push(bit);
+            }
+        }
+        OuterCode { k, p, check_info }
+    }
+
+    /// Message length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Parity (accumulator) length.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Intermediate block length `k + p`.
+    pub fn intermediate_len(&self) -> usize {
+        self.k + self.p
+    }
+
+    /// Actual rate `k / (k+p)`.
+    pub fn rate(&self) -> f64 {
+        self.k as f64 / self.intermediate_len() as f64
+    }
+
+    /// Encode: intermediate = message ++ accumulator parities, where
+    /// check `c` enforces `⊕(info bits of c) ⊕ parity[c−1] ⊕ parity[c] = 0`.
+    pub fn encode(&self, message: &[bool]) -> Vec<bool> {
+        assert_eq!(message.len(), self.k);
+        let mut out = Vec::with_capacity(self.intermediate_len());
+        out.extend_from_slice(message);
+        let mut acc = false;
+        for c in 0..self.p {
+            for &b in &self.check_info[c] {
+                acc ^= message[b];
+            }
+            out.push(acc);
+        }
+        out
+    }
+
+    /// The sparse checks over intermediate indices (message bits are
+    /// `0..k`, parities `k..k+p`), for the joint BP decoder.
+    pub fn checks(&self) -> Vec<Vec<usize>> {
+        (0..self.p)
+            .map(|c| {
+                let mut row = self.check_info[c].clone();
+                if c > 0 {
+                    row.push(self.k + c - 1);
+                }
+                row.push(self.k + c);
+                row
+            })
+            .collect()
+    }
+
+    /// True iff the intermediate word satisfies all checks.
+    pub fn syndrome_ok(&self, intermediate: &[bool]) -> bool {
+        assert_eq!(intermediate.len(), self.intermediate_len());
+        self.checks()
+            .iter()
+            .all(|row| !row.iter().fold(false, |acc, &v| acc ^ intermediate[v]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_satisfies_checks() {
+        let code = OuterCode::new(950, 0.95, 1);
+        assert_eq!(code.intermediate_len(), 1000);
+        let msg: Vec<bool> = (0..950).map(|i| i % 7 == 0).collect();
+        let inter = code.encode(&msg);
+        assert!(code.syndrome_ok(&inter));
+        assert_eq!(&inter[..950], &msg[..], "systematic prefix");
+    }
+
+    #[test]
+    fn rate_is_close_to_request() {
+        let code = OuterCode::new(9500, 0.95, 2);
+        assert!((code.rate() - 0.95).abs() < 0.001, "rate {}", code.rate());
+    }
+
+    #[test]
+    fn left_degree_is_regular() {
+        let code = OuterCode::new(500, 0.95, 3);
+        let mut deg = vec![0usize; 500];
+        for row in &code.check_info {
+            for &b in row {
+                deg[b] += 1;
+            }
+        }
+        assert!(deg.iter().all(|&d| d == OuterCode::LEFT_DEGREE));
+    }
+
+    #[test]
+    fn corruption_breaks_syndrome() {
+        let code = OuterCode::new(200, 0.95, 4);
+        let msg: Vec<bool> = (0..200).map(|i| i % 3 == 1).collect();
+        let mut inter = code.encode(&msg);
+        inter[42] = !inter[42];
+        assert!(!code.syndrome_ok(&inter));
+    }
+
+    #[test]
+    fn graph_is_seed_deterministic() {
+        let a = OuterCode::new(300, 0.95, 9);
+        let b = OuterCode::new(300, 0.95, 9);
+        let c = OuterCode::new(300, 0.95, 10);
+        assert_eq!(a.checks(), b.checks());
+        assert_ne!(a.checks(), c.checks());
+    }
+
+    #[test]
+    fn encoding_is_linear() {
+        let code = OuterCode::new(100, 0.95, 5);
+        let a: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..100).map(|i| i % 5 == 0).collect();
+        let sum: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        let ea = code.encode(&a);
+        let eb = code.encode(&b);
+        let es = code.encode(&sum);
+        for i in 0..code.intermediate_len() {
+            assert_eq!(es[i], ea[i] ^ eb[i]);
+        }
+    }
+}

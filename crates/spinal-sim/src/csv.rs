@@ -1,0 +1,33 @@
+//! Minimal CSV emission for experiment binaries (stdout is the interface;
+//! EXPERIMENTS.md records the headline numbers).
+
+use std::fmt::Write as _;
+
+/// Render one CSV row from float cells with fixed precision.
+pub fn row(cells: &[f64]) -> String {
+    let mut s = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{c:.4}");
+    }
+    s
+}
+
+/// Render a header row.
+pub fn header(names: &[&str]) -> String {
+    names.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_headers() {
+        assert_eq!(header(&["snr", "rate"]), "snr,rate");
+        assert_eq!(row(&[1.0, 2.25]), "1.0000,2.2500");
+        assert_eq!(row(&[]), "");
+    }
+}

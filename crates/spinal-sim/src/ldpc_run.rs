@@ -1,0 +1,58 @@
+//! The LDPC envelope runner (§8.2): per-MCS block trials and the "best
+//! envelope" the paper plots against spinal codes.
+
+use spinal_ldpc::{Mcs, McsRunner};
+
+/// Throughput of one MCS at one SNR: information bits per symbol times
+/// block success probability (ARQ semantics — failed blocks consume the
+/// channel and deliver nothing).
+pub fn mcs_throughput(runner: &McsRunner, snr_db: f64, trials: usize, seed: u64) -> f64 {
+    let ok = (0..trials)
+        .filter(|&t| runner.run_block(snr_db, seed.wrapping_add(t as u64)))
+        .count();
+    runner.mcs().info_bits_per_symbol() * ok as f64 / trials as f64
+}
+
+/// The envelope: best throughput over the whole MCS family — what an
+/// ideal rate adaptation scheme (SoftRate in the paper) would pick.
+pub fn envelope(runners: &[McsRunner], snr_db: f64, trials: usize, seed: u64) -> f64 {
+    runners
+        .iter()
+        .map(|r| mcs_throughput(r, snr_db, trials, seed))
+        .fold(0.0, f64::max)
+}
+
+/// Build runners for the full MCS table (construct once per sweep; code
+/// construction does GF(2) elimination).
+pub fn all_runners() -> Vec<McsRunner> {
+    Mcs::TABLE.iter().map(|&m| McsRunner::new(m)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_monotone_in_snr() {
+        let runners = all_runners();
+        let lo = envelope(&runners, 2.0, 3, 1);
+        let hi = envelope(&runners, 24.0, 3, 1);
+        assert!(hi > lo, "hi {hi} vs lo {lo}");
+        // At 24 dB the top MCS (5 bits/symbol) should be clean.
+        assert!((hi - 5.0).abs() < 1e-9, "hi {hi}");
+    }
+
+    #[test]
+    fn envelope_never_exceeds_top_mcs() {
+        let runners = all_runners();
+        let e = envelope(&runners, 35.0, 2, 2);
+        assert!(e <= 5.0 + 1e-12);
+    }
+
+    #[test]
+    fn single_mcs_throughput_matches_success_fraction() {
+        let runner = McsRunner::new(Mcs::TABLE[1]); // QPSK 1/2 = 1 bit/sym
+        let t = mcs_throughput(&runner, 8.0, 4, 3);
+        assert!((t - 1.0).abs() < 1e-9, "QPSK 1/2 at 8 dB should be clean, got {t}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Statistics the paper's evaluation reports: rate in bits/symbol, gap
+//! to capacity, fraction of capacity, and symbols-to-decode CDFs.
+
+use spinal_channel::capacity::{awgn_capacity_db, gap_to_capacity_db};
+
+/// Outcome of one message trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trial {
+    /// Message length in bits.
+    pub n_bits: usize,
+    /// Symbols consumed at first successful decode; `None` = gave up.
+    pub symbols: Option<usize>,
+    /// Symbols spent when the trial gave up (charged against throughput).
+    pub spent_on_failure: usize,
+}
+
+impl Trial {
+    /// A successful trial.
+    pub fn success(n_bits: usize, symbols: usize) -> Self {
+        Trial {
+            n_bits,
+            symbols: Some(symbols),
+            spent_on_failure: 0,
+        }
+    }
+
+    /// A failed (gave-up) trial that burned `spent` symbols.
+    pub fn failure(n_bits: usize, spent: usize) -> Self {
+        Trial {
+            n_bits,
+            symbols: None,
+            spent_on_failure: spent,
+        }
+    }
+}
+
+/// Aggregate over trials at one SNR point.
+#[derive(Debug, Clone)]
+pub struct PointSummary {
+    /// SNR in dB.
+    pub snr_db: f64,
+    /// Throughput in bits per symbol: delivered bits / total symbols
+    /// spent (failures included), the paper's rate metric.
+    pub rate: f64,
+    /// Gap to AWGN capacity in dB (≤ 0).
+    pub gap_db: f64,
+    /// Fraction of AWGN capacity achieved.
+    pub fraction_of_capacity: f64,
+    /// Trials that decoded.
+    pub successes: usize,
+    /// Total trials.
+    pub trials: usize,
+    /// Symbols-to-decode per successful trial (for CDFs, Fig 8-11).
+    pub symbols_cdf: Vec<usize>,
+}
+
+/// Summarise trials at `snr_db`, judging capacity against the AWGN bound.
+pub fn summarize(snr_db: f64, trials: &[Trial]) -> PointSummary {
+    summarize_vs_capacity(snr_db, trials, awgn_capacity_db(snr_db))
+}
+
+/// Summarise against an explicit capacity (used for fading channels,
+/// where the bound is the ergodic Rayleigh capacity).
+pub fn summarize_vs_capacity(snr_db: f64, trials: &[Trial], capacity: f64) -> PointSummary {
+    let mut delivered = 0usize;
+    let mut spent = 0usize;
+    let mut successes = 0usize;
+    let mut cdf = Vec::new();
+    for t in trials {
+        match t.symbols {
+            Some(s) => {
+                delivered += t.n_bits;
+                spent += s;
+                successes += 1;
+                cdf.push(s);
+            }
+            None => spent += t.spent_on_failure,
+        }
+    }
+    cdf.sort_unstable();
+    let rate = if spent == 0 {
+        0.0
+    } else {
+        delivered as f64 / spent as f64
+    };
+    PointSummary {
+        snr_db,
+        rate,
+        gap_db: gap_to_capacity_db(rate, snr_db),
+        fraction_of_capacity: if capacity > 0.0 { rate / capacity } else { 0.0 },
+        successes,
+        trials: trials.len(),
+        symbols_cdf: cdf,
+    }
+}
+
+impl PointSummary {
+    /// Empirical CDF value: fraction of successful trials decoding within
+    /// `symbols`.
+    pub fn cdf_at(&self, symbols: usize) -> f64 {
+        if self.symbols_cdf.is_empty() {
+            return 0.0;
+        }
+        let below = self.symbols_cdf.partition_point(|&s| s <= symbols);
+        below as f64 / self.symbols_cdf.len() as f64
+    }
+}
+
+/// Mean fraction-of-capacity across a set of summaries (the bar charts of
+/// Figures 8-1 and 8-3 aggregate this way over SNR ranges).
+pub fn mean_fraction_of_capacity(points: &[PointSummary]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.iter().map(|p| p.fraction_of_capacity).sum::<f64>() / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_counts_failures_in_denominator() {
+        let trials = vec![Trial::success(100, 50), Trial::failure(100, 150)];
+        let s = summarize(10.0, &trials);
+        assert!((s.rate - 100.0 / 200.0).abs() < 1e-12);
+        assert_eq!(s.successes, 1);
+        assert_eq!(s.trials, 2);
+    }
+
+    #[test]
+    fn gap_matches_papers_example() {
+        // Rate 3 at 12 dB → −3.55 dB gap (§8.1).
+        let trials = vec![Trial::success(300, 100)];
+        let s = summarize(12.0, &trials);
+        assert!((s.rate - 3.0).abs() < 1e-12);
+        assert!((s.gap_db + 3.55).abs() < 0.01);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let trials: Vec<Trial> = (1..=10).map(|i| Trial::success(64, i * 10)).collect();
+        let s = summarize(5.0, &trials);
+        assert_eq!(s.cdf_at(9), 0.0);
+        assert!((s.cdf_at(10) - 0.1).abs() < 1e-12);
+        assert!((s.cdf_at(55) - 0.5).abs() < 1e-12);
+        assert_eq!(s.cdf_at(100), 1.0);
+        let mut last = 0.0;
+        for n in (0..110).step_by(5) {
+            let v = s.cdf_at(n);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn fraction_of_capacity_uses_given_bound() {
+        let trials = vec![Trial::success(100, 100)]; // rate 1.0
+        let s = summarize_vs_capacity(0.0, &trials, 1.0); // capacity 1.0 at 0 dB
+        assert!((s.fraction_of_capacity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_failed_edge_cases() {
+        let s = summarize(5.0, &[]);
+        assert_eq!(s.rate, 0.0);
+        let s = summarize(5.0, &[Trial::failure(10, 0)]);
+        assert_eq!(s.rate, 0.0);
+        assert_eq!(s.gap_db, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mean_fraction_aggregates() {
+        let a = summarize_vs_capacity(0.0, &[Trial::success(100, 100)], 2.0); // 0.5
+        let b = summarize_vs_capacity(0.0, &[Trial::success(100, 100)], 4.0); // 0.25
+        let m = mean_fraction_of_capacity(&[a, b]);
+        assert!((m - 0.375).abs() < 1e-12);
+    }
+}

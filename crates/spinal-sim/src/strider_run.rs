@@ -1,0 +1,211 @@
+//! Rateless trial runner for Strider and Strider+ (§8 "Strider").
+
+use crate::stats::Trial;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spinal_channel::capacity::awgn_capacity_db;
+use spinal_channel::{AwgnChannel, RayleighChannel};
+use spinal_strider::{StriderCode, DEFAULT_MAX_PASSES};
+
+/// Channel for a Strider run (mirrors the spinal runner's options).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StriderChannel {
+    /// AWGN.
+    Awgn,
+    /// Rayleigh block fading; `csi` gives the decoder per-symbol
+    /// equalisation by the exact coefficient before SIC.
+    Rayleigh {
+        /// Coherence time in symbols.
+        tau: usize,
+        /// Equalise with exact CSI before decoding.
+        csi: bool,
+    },
+}
+
+/// Configuration of a Strider run.
+#[derive(Debug, Clone)]
+pub struct StriderRun {
+    /// Message bits (paper: 50490).
+    pub n_bits: usize,
+    /// Layer count (paper: 33).
+    pub layers: usize,
+    /// Decode attempts per pass: 1 = plain Strider (pass boundaries
+    /// only); 8 = the paper's "Strider+" puncturing enhancement.
+    pub attempts_per_pass: usize,
+    /// Give-up cap in passes (paper: 27).
+    pub max_passes: usize,
+    /// Turbo iterations per layer decode.
+    pub turbo_iterations: usize,
+    /// Soft-SIC sweeps per decode attempt.
+    pub sweeps: usize,
+    /// Channel model.
+    pub channel: StriderChannel,
+}
+
+impl StriderRun {
+    /// Plain Strider with the paper's defaults (scaled by `n_bits`).
+    pub fn new(n_bits: usize, layers: usize) -> Self {
+        StriderRun {
+            n_bits,
+            layers,
+            attempts_per_pass: 1,
+            max_passes: DEFAULT_MAX_PASSES,
+            turbo_iterations: 4,
+            sweeps: 5,
+            channel: StriderChannel::Awgn,
+        }
+    }
+
+    /// Enable the puncturing enhancement (Strider+).
+    pub fn plus(mut self) -> Self {
+        self.attempts_per_pass = 8;
+        self
+    }
+
+    /// Select the channel model.
+    pub fn with_channel(mut self, channel: StriderChannel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Override turbo iterations.
+    pub fn with_turbo_iterations(mut self, it: usize) -> Self {
+        self.turbo_iterations = it;
+        self
+    }
+
+    /// Run one message trial at `snr_db`.
+    pub fn run_trial(&self, snr_db: f64, seed: u64) -> Trial {
+        let code = StriderCode::new(self.n_bits, self.layers, seed ^ 0x57121DE7)
+            .with_turbo_iterations(self.turbo_iterations);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg: Vec<bool> = (0..self.n_bits).map(|_| rng.gen()).collect();
+        let mut enc = code.encoder(&msg);
+        let decoder = code.decoder().with_sweeps(self.sweeps);
+
+        let n_sym = code.n_sym_per_pass();
+        let max_symbols = self.max_passes * n_sym;
+        let full_rate = 0.4 * self.layers as f64; // (2/5)·L bits/symbol at ℓ=1
+        // Feasibility skip: rate 13.2/ℓ must be ≤ ~capacity to have any
+        // chance; skip attempts before that point.
+        let capacity = awgn_capacity_db(snr_db);
+        let min_symbols =
+            ((full_rate / capacity).max(1.0) * n_sym as f64 * 0.9) as usize;
+
+        let mut awgn;
+        let mut rayleigh;
+        let (ch, csi): (&mut dyn spinal_channel::Channel, bool) = match self.channel {
+            StriderChannel::Awgn => {
+                awgn = AwgnChannel::new(snr_db, seed.wrapping_add(0x57D));
+                (&mut awgn, false)
+            }
+            StriderChannel::Rayleigh { tau, csi } => {
+                rayleigh = RayleighChannel::new(snr_db, tau, seed.wrapping_add(0x57D));
+                (&mut rayleigh, csi)
+            }
+        };
+        let noise_power = 1.0 / ch.snr();
+
+        let chunk = (n_sym / self.attempts_per_pass).max(1);
+        let mut rx: Vec<spinal_channel::Complex> = Vec::new();
+        let mut sent = 0usize;
+        while sent < max_symbols {
+            let add = chunk.min(max_symbols - sent);
+            let tx = enc.next_symbols(add);
+            let ys = ch.transmit(&tx);
+            if csi {
+                // Equalise with exact CSI: y/h restores the AWGN-like
+                // observation with noise boosted by 1/|h|²; the SIC
+                // decoder's Gaussian-noise model then applies per symbol
+                // with the average boost folded into `noise_power` — the
+                // model simplification DESIGN.md notes for fading runs.
+                for (i, y) in ys.iter().enumerate() {
+                    let h = ch.csi(sent + i).expect("csi");
+                    rx.push(*y / h);
+                }
+            } else if matches!(self.channel, StriderChannel::Rayleigh { .. }) {
+                // Amplitude-blind but phase-locked, mirroring the spinal
+                // runner's Fig 8-5 convention (see spinal_run.rs).
+                for (i, y) in ys.iter().enumerate() {
+                    let h = ch.csi(sent + i).expect("phase reference");
+                    rx.push(*y * h.conj() / h.abs());
+                }
+            } else {
+                rx.extend(ys);
+            }
+            sent += add;
+            if sent < min_symbols {
+                continue;
+            }
+            let out = decoder.decode(&rx, noise_power, Some(&msg));
+            if out.message == msg {
+                return Trial::success(self.n_bits, sent);
+            }
+        }
+        Trial::failure(self.n_bits, sent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::summarize;
+
+    fn small() -> StriderRun {
+        // 8 layers keeps tests fast; experiments use 33.
+        StriderRun::new(1600, 8).with_turbo_iterations(5)
+    }
+
+    #[test]
+    fn decodes_and_respects_capacity() {
+        let run = small();
+        for snr in [10.0, 20.0] {
+            let t = run.run_trial(snr, 1);
+            let s = t.symbols.expect("should decode");
+            let rate = 1600.0 / s as f64;
+            assert!(rate <= awgn_capacity_db(snr), "snr {snr}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn rate_is_a_staircase_of_full_rate_over_passes() {
+        // Plain Strider decodes only at pass boundaries: measured
+        // symbols must be a multiple of the pass length.
+        let run = small();
+        let code_syms = StriderCode::new(1600, 8, 0).n_sym_per_pass();
+        let t = run.run_trial(15.0, 2);
+        let s = t.symbols.expect("decodes at 15 dB");
+        assert_eq!(s % code_syms, 0, "plain Strider must stop on pass edges");
+    }
+
+    #[test]
+    fn plus_variant_is_no_worse() {
+        let plain = small();
+        let plus = small().plus();
+        let mut plain_sum = 0usize;
+        let mut plus_sum = 0usize;
+        for seed in 0..3 {
+            plain_sum += plain.run_trial(18.0, seed).symbols.unwrap_or(1 << 20);
+            plus_sum += plus.run_trial(18.0, seed).symbols.unwrap_or(1 << 20);
+        }
+        assert!(plus_sum <= plain_sum, "Strider+ {plus_sum} vs {plain_sum}");
+    }
+
+    #[test]
+    fn more_snr_fewer_symbols() {
+        // The staircase is coarse (rate = 3.2/ℓ for the 8-layer test
+        // code), so compare points far enough apart to land on
+        // different steps.
+        let run = small();
+        let lo = summarize(0.0, &[run.run_trial(0.0, 5)]);
+        let hi = summarize(22.0, &[run.run_trial(22.0, 5)]);
+        assert!(hi.rate > lo.rate, "hi {} vs lo {}", hi.rate, lo.rate);
+    }
+
+    #[test]
+    fn fading_run_decodes_with_csi() {
+        let run = small().with_channel(StriderChannel::Rayleigh { tau: 10, csi: true });
+        let t = run.run_trial(22.0, 3);
+        assert!(t.symbols.is_some(), "fading Strider trial failed");
+    }
+}

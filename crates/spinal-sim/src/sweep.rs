@@ -1,0 +1,80 @@
+//! Parallel execution of embarrassingly-parallel trial grids.
+//!
+//! Spinal decoding is CPU-bound, so per the session guides we use plain
+//! scoped threads (no async runtime): a shared atomic work index hands
+//! out jobs, and results return through a mutex-guarded vector.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f(job_index)` for every index in `0..jobs`, in parallel, and
+/// return results in job order. `f` must be `Sync` (it receives distinct
+/// indices concurrently).
+pub fn run_parallel<R, F>(jobs: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(threads >= 1);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let r = f(i);
+                results.lock().push((i, r));
+            });
+        }
+    });
+    let mut v = results.into_inner();
+    v.sort_by_key(|(i, _)| *i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Default worker count: all available cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order() {
+        let out = run_parallel(100, 8, |i| i * i);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = run_parallel(10, 1, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = run_parallel(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counters: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        run_parallel(64, 6, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Log-MAP BCJR decoding over the RSC trellis (Bahl–Cocke–Jelinek–Raviv, thesis ref. \[2\]).
+//!
+//! Works in the log domain with exact max* (Jacobian logarithm). LLR
+//! convention matches the rest of the workspace: positive favours bit 0.
+
+use crate::conv::{Trellis, STATES};
+
+/// max*(a, b) = ln(eᵃ + eᵇ) = max + ln(1 + e^(−|a−b|)).
+#[inline]
+fn max_star(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+    if lo == f64::NEG_INFINITY {
+        hi
+    } else {
+        hi + (lo - hi).exp().ln_1p()
+    }
+}
+
+/// Full BCJR output: a-posteriori LLRs for the message bits and both
+/// parity streams (the latter feed soft interference cancellation).
+#[derive(Debug, Clone)]
+pub struct BcjrOutput {
+    /// Message-bit APPs.
+    pub msg: Vec<f64>,
+    /// Parity-1 APPs.
+    pub p1: Vec<f64>,
+    /// Parity-2 APPs.
+    pub p2: Vec<f64>,
+}
+
+/// One BCJR pass over a block.
+///
+/// * `sys` — systematic channel LLRs (+ any a-priori already added).
+/// * `p1`, `p2` — parity channel LLRs for the two forward polynomials.
+///
+/// Returns the message-bit *a-posteriori* LLR per bit. Subtract `sys` to
+/// get the extrinsic part for turbo iteration.
+pub fn bcjr(trellis: &Trellis, sys: &[f64], p1: &[f64], p2: &[f64]) -> Vec<f64> {
+    bcjr_full(trellis, sys, p1, p2).msg
+}
+
+/// BCJR with parity APPs as well (see [`BcjrOutput`]).
+pub fn bcjr_full(trellis: &Trellis, sys: &[f64], p1: &[f64], p2: &[f64]) -> BcjrOutput {
+    let n = sys.len();
+    assert_eq!(p1.len(), n);
+    assert_eq!(p2.len(), n);
+
+    // Branch metric for (state, input) at t:
+    //   γ = ½·(x_u·sys[t] + x_p1·p1[t] + x_p2·p2[t]),
+    // with x = +1 for bit 0 and −1 for bit 1.
+    let gamma = |t: usize, s: usize, u: usize| -> f64 {
+        let xu = if u == 0 { 1.0 } else { -1.0 };
+        let xp1 = if trellis.parity1[s][u] == 0 { 1.0 } else { -1.0 };
+        let xp2 = if trellis.parity2[s][u] == 0 { 1.0 } else { -1.0 };
+        0.5 * (xu * sys[t] + xp1 * p1[t] + xp2 * p2[t])
+    };
+
+    // Forward recursion. Encoder starts in state 0.
+    let mut alpha = vec![[f64::NEG_INFINITY; STATES]; n + 1];
+    alpha[0][0] = 0.0;
+    for t in 0..n {
+        for s in 0..STATES {
+            let a = alpha[t][s];
+            if a == f64::NEG_INFINITY {
+                continue;
+            }
+            for u in 0..2 {
+                let ns = trellis.next[s][u] as usize;
+                let m = a + gamma(t, s, u);
+                alpha[t + 1][ns] = max_star(alpha[t + 1][ns], m);
+            }
+        }
+        // Normalise to avoid drift.
+        let mx = alpha[t + 1].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in alpha[t + 1].iter_mut() {
+            *v -= mx;
+        }
+    }
+
+    // Backward recursion with a uniform final-state prior (unterminated
+    // trellis — see conv.rs).
+    let mut beta = vec![[0.0f64; STATES]; n + 1];
+    for t in (0..n).rev() {
+        for s in 0..STATES {
+            let mut acc = f64::NEG_INFINITY;
+            for u in 0..2 {
+                let ns = trellis.next[s][u] as usize;
+                acc = max_star(acc, beta[t + 1][ns] + gamma(t, s, u));
+            }
+            beta[t][s] = acc;
+        }
+        let mx = beta[t].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in beta[t].iter_mut() {
+            *v -= mx;
+        }
+    }
+
+    // A-posteriori LLRs for message and parity bits: partition the same
+    // transition metrics by the respective output bit.
+    let mut msg = Vec::with_capacity(n);
+    let mut p1_out = Vec::with_capacity(n);
+    let mut p2_out = Vec::with_capacity(n);
+    for t in 0..n {
+        let mut m0 = f64::NEG_INFINITY;
+        let mut m1 = f64::NEG_INFINITY;
+        let mut p1_0 = f64::NEG_INFINITY;
+        let mut p1_1 = f64::NEG_INFINITY;
+        let mut p2_0 = f64::NEG_INFINITY;
+        let mut p2_1 = f64::NEG_INFINITY;
+        for s in 0..STATES {
+            let a = alpha[t][s];
+            if a == f64::NEG_INFINITY {
+                continue;
+            }
+            for u in 0..2 {
+                let ns = trellis.next[s][u] as usize;
+                let m = a + gamma(t, s, u) + beta[t + 1][ns];
+                if u == 0 {
+                    m0 = max_star(m0, m);
+                } else {
+                    m1 = max_star(m1, m);
+                }
+                if trellis.parity1[s][u] == 0 {
+                    p1_0 = max_star(p1_0, m);
+                } else {
+                    p1_1 = max_star(p1_1, m);
+                }
+                if trellis.parity2[s][u] == 0 {
+                    p2_0 = max_star(p2_0, m);
+                } else {
+                    p2_1 = max_star(p2_1, m);
+                }
+            }
+        }
+        msg.push(m0 - m1);
+        p1_out.push(p1_0 - p1_1);
+        p2_out.push(p2_0 - p2_1);
+    }
+    BcjrOutput {
+        msg,
+        p1: p1_out,
+        p2: p2_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spinal_channel::math::normal;
+
+    fn llr_of(bit: bool, snr_db: f64, rng: &mut StdRng) -> f64 {
+        let sigma2 = 10f64.powf(-snr_db / 10.0);
+        let x = if bit { -1.0 } else { 1.0 };
+        let y = x + normal(rng) * sigma2.sqrt();
+        2.0 * y / sigma2
+    }
+
+    #[test]
+    fn max_star_exceeds_max_and_matches_logsumexp() {
+        for (a, b) in [(0.0f64, 0.0f64), (1.0, -2.0), (-5.0, -5.5), (10.0, 9.0)] {
+            let exact = (a.exp() + b.exp()).ln();
+            let got = max_star(a, b);
+            assert!((got - exact).abs() < 1e-12, "({a},{b})");
+            assert!(got >= a.max(b));
+        }
+        assert_eq!(max_star(f64::NEG_INFINITY, 3.0), 3.0);
+    }
+
+    #[test]
+    fn clean_llrs_decode_exactly() {
+        let t = Trellis::new();
+        let bits: Vec<bool> = (0..64).map(|i| (i * 5) % 7 < 3).collect();
+        let (p1, p2) = t.encode(&bits);
+        let big = 20.0;
+        let sys: Vec<f64> = bits.iter().map(|&b| if b { -big } else { big }).collect();
+        let l1: Vec<f64> = p1.iter().map(|&b| if b { -big } else { big }).collect();
+        let l2: Vec<f64> = p2.iter().map(|&b| if b { -big } else { big }).collect();
+        let post = bcjr(&t, &sys, &l1, &l2);
+        for (i, (&l, &b)) in post.iter().zip(&bits).enumerate() {
+            assert_eq!(l < 0.0, b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn code_gain_over_uncoded() {
+        // At low SNR, BCJR posterior decisions must beat raw systematic
+        // hard decisions (that's the whole point of the parity bits).
+        let t = Trellis::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 2000;
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        let (p1, p2) = t.encode(&bits);
+        let snr = -2.0;
+        let sys: Vec<f64> = bits.iter().map(|&b| llr_of(b, snr, &mut rng)).collect();
+        let l1: Vec<f64> = p1.iter().map(|&b| llr_of(b, snr, &mut rng)).collect();
+        let l2: Vec<f64> = p2.iter().map(|&b| llr_of(b, snr, &mut rng)).collect();
+        let post = bcjr(&t, &sys, &l1, &l2);
+        let raw_errs = sys
+            .iter()
+            .zip(&bits)
+            .filter(|(&l, &b)| (l < 0.0) != b)
+            .count();
+        let dec_errs = post
+            .iter()
+            .zip(&bits)
+            .filter(|(&l, &b)| (l < 0.0) != b)
+            .count();
+        assert!(
+            dec_errs * 2 < raw_errs,
+            "BCJR {dec_errs} errs vs raw {raw_errs}"
+        );
+    }
+
+    #[test]
+    fn parity_apps_recover_parity_bits() {
+        let t = Trellis::new();
+        let bits: Vec<bool> = (0..48).map(|i| (i * 3) % 5 < 2).collect();
+        let (p1, p2) = t.encode(&bits);
+        let big = 12.0;
+        let sys: Vec<f64> = bits.iter().map(|&b| if b { -big } else { big }).collect();
+        let l1: Vec<f64> = p1.iter().map(|&b| if b { -big } else { big }).collect();
+        let l2: Vec<f64> = p2.iter().map(|&b| if b { -big } else { big }).collect();
+        let out = bcjr_full(&t, &sys, &l1, &l2);
+        for i in 0..48 {
+            assert_eq!(out.p1[i] < 0.0, p1[i], "p1 bit {i}");
+            assert_eq!(out.p2[i] < 0.0, p2[i], "p2 bit {i}");
+        }
+    }
+
+    #[test]
+    fn parity_apps_infer_from_structure_alone() {
+        // Even with zero parity observations, the trellis structure plus
+        // confident systematic bits pins the parity sequence.
+        let t = Trellis::new();
+        let bits: Vec<bool> = (0..32).map(|i| i % 4 == 1).collect();
+        let (p1, _) = t.encode(&bits);
+        let sys: Vec<f64> = bits.iter().map(|&b| if b { -15.0 } else { 15.0 }).collect();
+        let zeros = vec![0.0; 32];
+        let out = bcjr_full(&t, &sys, &zeros, &zeros);
+        for i in 0..32 {
+            assert_eq!(out.p1[i] < 0.0, p1[i], "p1 bit {i}");
+            assert!(out.p1[i].abs() > 3.0, "parity APP should be confident");
+        }
+    }
+
+    #[test]
+    fn posterior_includes_systematic_evidence() {
+        // With zero parity information the posterior should equal the
+        // systematic input (no spurious extrinsic).
+        let t = Trellis::new();
+        let sys = vec![1.5; 20];
+        let zeros = vec![0.0; 20];
+        let post = bcjr(&t, &sys, &zeros, &zeros);
+        for &l in &post {
+            assert!((l - 1.5).abs() < 0.3, "llr {l} strayed from systematic");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Recursive systematic convolutional (RSC) constituent encoder.
+//!
+//! Memory-3 RSC with feedback polynomial 13₈ and forward polynomials 15₈
+//! and 17₈ — the classic turbo constituent. Each constituent is rate 1/3
+//! (systematic + two parities); two constituents with the systematic sent
+//! once give the rate-1/5 turbo base code Strider uses.
+
+/// Number of trellis states (2^memory).
+pub const STATES: usize = 8;
+
+/// Trellis tables: next state and parity outputs per (state, input).
+#[derive(Debug, Clone)]
+pub struct Trellis {
+    /// `next[state][input]`.
+    pub next: [[u8; 2]; STATES],
+    /// `parity1[state][input]` — forward polynomial 15₈.
+    pub parity1: [[u8; 2]; STATES],
+    /// `parity2[state][input]` — forward polynomial 17₈.
+    pub parity2: [[u8; 2]; STATES],
+    /// `prev[state]` lists (predecessor state, input) pairs.
+    pub prev: [[(u8, u8); 2]; STATES],
+}
+
+impl Default for Trellis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trellis {
+    /// Build the (13, 15, 17)₈ RSC trellis.
+    pub fn new() -> Self {
+        let mut next = [[0u8; 2]; STATES];
+        let mut parity1 = [[0u8; 2]; STATES];
+        let mut parity2 = [[0u8; 2]; STATES];
+        for state in 0..STATES {
+            let d1 = (state >> 2) & 1; // newest register bit
+            let d2 = (state >> 1) & 1;
+            let d3 = state & 1;
+            for input in 0..2 {
+                // Feedback 13₈ = 1+D²+D³: a = u ⊕ d2 ⊕ d3.
+                let a = input ^ d2 ^ d3;
+                // Forward 15₈ = 1+D+D³: p = a ⊕ d1 ⊕ d3.
+                parity1[state][input] = (a ^ d1 ^ d3) as u8;
+                // Forward 17₈ = 1+D+D²+D³: p = a ⊕ d1 ⊕ d2 ⊕ d3.
+                parity2[state][input] = (a ^ d1 ^ d2 ^ d3) as u8;
+                next[state][input] = ((a << 2) | (d1 << 1) | d2) as u8;
+            }
+        }
+        let mut prev = [[(0u8, 0u8); 2]; STATES];
+        let mut fill = [0usize; STATES];
+        for state in 0..STATES {
+            for input in 0..2 {
+                let ns = next[state][input] as usize;
+                prev[ns][fill[ns]] = (state as u8, input as u8);
+                fill[ns] += 1;
+            }
+        }
+        assert!(fill.iter().all(|&f| f == 2), "trellis must be 2-regular");
+        Trellis {
+            next,
+            parity1,
+            parity2,
+            prev,
+        }
+    }
+
+    /// Encode `bits` from the all-zero state. Returns (parity1, parity2)
+    /// streams; the systematic stream is the input itself. The trellis is
+    /// left unterminated (documented simplification; the BCJR uses a
+    /// uniform final-state prior).
+    pub fn encode(&self, bits: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        let mut state = 0usize;
+        let mut p1 = Vec::with_capacity(bits.len());
+        let mut p2 = Vec::with_capacity(bits.len());
+        for &b in bits {
+            let u = b as usize;
+            p1.push(self.parity1[state][u] == 1);
+            p2.push(self.parity2[state][u] == 1);
+            state = self.next[state][u] as usize;
+        }
+        (p1, p2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trellis_is_a_permutation_per_input() {
+        let t = Trellis::new();
+        for input in 0..2 {
+            let mut seen = [false; STATES];
+            for s in 0..STATES {
+                let ns = t.next[s][input] as usize;
+                assert!(!seen[ns], "input {input}: state {ns} reached twice");
+                seen[ns] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn prev_is_consistent_with_next() {
+        let t = Trellis::new();
+        for s in 0..STATES {
+            for &(ps, u) in &t.prev[s] {
+                assert_eq!(t.next[ps as usize][u as usize] as usize, s);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_input_from_zero_state_stays_zero() {
+        let t = Trellis::new();
+        let (p1, p2) = t.encode(&vec![false; 16]);
+        assert!(p1.iter().all(|&b| !b));
+        assert!(p2.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn encoder_is_recursive() {
+        // A single 1 followed by zeros must produce an infinite (here:
+        // long) parity response — the defining property of RSC that
+        // gives turbo codes their interleaver gain.
+        let t = Trellis::new();
+        let mut bits = vec![false; 32];
+        bits[0] = true;
+        let (p1, _) = t.encode(&bits);
+        let ones_late = p1[8..].iter().filter(|&&b| b).count();
+        assert!(ones_late > 0, "IIR response should not die out");
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_parities() {
+        let t = Trellis::new();
+        let a: Vec<bool> = (0..24).map(|i| i % 3 == 0).collect();
+        let mut b = a.clone();
+        b[5] = !b[5];
+        assert_ne!(t.encode(&a), t.encode(&b));
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic pseudo-random interleaver for the turbo code.
+
+/// A permutation and its inverse, derived from a seed by Fisher–Yates
+/// over a SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    perm: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+impl Interleaver {
+    /// Build a length-`n` interleaver from `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed ^ 0x1234_5678_9ABC_DEF0;
+        let mut next = || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        let mut inv = vec![0usize; n];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        Interleaver { perm, inv }
+    }
+
+    /// Permutation length.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True when empty (zero-length block).
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// `out[i] = x[perm[i]]`.
+    pub fn interleave<T: Copy>(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.perm.len());
+        self.perm.iter().map(|&p| x[p]).collect()
+    }
+
+    /// Inverse operation: `deinterleave(interleave(x)) == x`.
+    pub fn deinterleave<T: Copy>(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.inv.len());
+        self.inv.iter().map(|&p| x[p]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let il = Interleaver::new(100, 7);
+        let x: Vec<u32> = (0..100).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&x)), x);
+        assert_eq!(il.interleave(&il.deinterleave(&x)), x);
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let il = Interleaver::new(256, 3);
+        let x: Vec<usize> = (0..256).collect();
+        let mut y = il.interleave(&x);
+        y.sort_unstable();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn actually_shuffles() {
+        let il = Interleaver::new(64, 1);
+        let x: Vec<usize> = (0..64).collect();
+        let y = il.interleave(&x);
+        let fixed = x.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(fixed < 10, "{fixed} fixed points is suspicious");
+    }
+
+    #[test]
+    fn seed_determines_permutation() {
+        let a = Interleaver::new(50, 5);
+        let b = Interleaver::new(50, 5);
+        let c = Interleaver::new(50, 6);
+        let x: Vec<u8> = (0..50).collect();
+        assert_eq!(a.interleave(&x), b.interleave(&x));
+        assert_ne!(a.interleave(&x), c.interleave(&x));
+    }
+}

@@ -1,0 +1,23 @@
+//! Strider — the layered rateless baseline of the paper's evaluation
+//! (§8), implemented from scratch.
+//!
+//! * [`conv`] — the (13, 15, 17)₈ recursive systematic convolutional
+//!   constituent.
+//! * [`bcjr`] — exact log-MAP decoding over its trellis.
+//! * [`interleave`] — the turbo interleaver.
+//! * [`turbo`] — the rate-1/5 turbo base code.
+//! * [`strider`] — 33-layer superposition (ETW-style rotated geometric
+//!   power stack) with iterative soft-SIC decoding; sub-pass decode
+//!   attempts give the paper's "Strider+" puncturing enhancement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bcjr;
+pub mod conv;
+pub mod interleave;
+pub mod strider;
+pub mod turbo;
+
+pub use strider::{PowerMode, StriderCode, StriderDecoder, StriderEncoder, StriderResult, DEFAULT_LAYERS, DEFAULT_MAX_PASSES};
+pub use turbo::{TurboCode, TurboCodeword, TurboLlrs};

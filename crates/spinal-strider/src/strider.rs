@@ -1,0 +1,644 @@
+//! Strider: the layered rateless construction (Gudipati & Katti, SIGCOMM
+//! 2011), built on the Erez–Trott–Wornell layering (thesis ref. \[8\]) the
+//! describes in Related Work.
+//!
+//! Structure (§8 "Strider" of the spinal paper):
+//!
+//! * the message is split into 33 blocks ("layers"), each encoded by the
+//!   rate-1/5 turbo base code and mapped to QPSK;
+//! * every pass transmits a fresh linear combination of the 33 layer
+//!   streams, each layer weighted by a pseudo-random per-pass phase and
+//!   its power-profile slot;
+//! * the decoder runs *iterative soft* successive interference
+//!   cancellation: sweep over layers, matched-filter-combine all received
+//!   passes, turbo-decode, feed back soft coded-symbol estimates, and
+//!   freeze+subtract confirmed layers exactly;
+//! * the power profile is a geometric stack designed at 15 dB, rotated
+//!   one slot backwards per pass, so early passes favour a decode-friendly
+//!   unequal split while long-run energy equalises (the calibration in
+//!   EXPERIMENTS.md shows this covers the paper's −5…35 dB range best).
+//!
+//! Rate after ℓ full passes = (2/5)·33/ℓ bits/symbol — the staircase the
+//! paper reports. "Strider+" (the paper's enhancement) is the same code
+//! decoded at sub-pass boundaries, which the decoder here supports by
+//! accepting any prefix of the symbol stream.
+
+use crate::turbo::{TurboCode, TurboLlrs};
+use spinal_channel::Complex;
+
+/// Number of layers the Strider paper recommends.
+pub const DEFAULT_LAYERS: usize = 33;
+
+/// Maximum passes the paper allows before giving up.
+pub const DEFAULT_MAX_PASSES: usize = 27;
+
+/// How transmit power is split across layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerMode {
+    /// Equal power per layer; relies entirely on the decoder's iterative
+    /// soft cancellation for convergence (caps near rate 1.6 in our
+    /// measurements — see EXPERIMENTS.md).
+    Equal,
+    /// ETW-style geometric stack fitted to a design SNR (dB): equalised
+    /// per-layer SINR at that operating point, one-shot SIC decodable
+    /// near it. Narrower SNR coverage than `Equal` + soft sweeps.
+    Geometric {
+        /// Total-stack design SNR in dB.
+        design_snr_db: f64,
+    },
+}
+
+/// The Strider code configuration shared by encoder and decoder.
+#[derive(Debug, Clone)]
+pub struct StriderCode {
+    layers: usize,
+    layer_bits: usize,
+    n_bits: usize,
+    /// Per-layer transmit power profile, summing to 1.
+    powers: Vec<f64>,
+    /// Layer-index stride applied per pass: pass m gives the profile slot
+    /// `(l + m·stride) % layers` to layer `l`. Zero = static profile.
+    /// A nonzero stride (coprime to the layer count) hands every layer
+    /// the strong slots periodically, equalising long-run energy while
+    /// each single pass keeps the stack's decode-friendly shape.
+    rotation_stride: usize,
+    turbo: Vec<TurboCode>,
+    seed: u64,
+    n_sym: usize,
+}
+
+/// One layer's QPSK stream: coded bit pairs → symbols at unit power.
+fn qpsk_map(bits: &[bool]) -> Vec<Complex> {
+    assert!(bits.len() % 2 == 0);
+    let a = 0.5f64.sqrt();
+    bits.chunks(2)
+        .map(|p| {
+            Complex::new(
+                if p[0] { -a } else { a },
+                if p[1] { -a } else { a },
+            )
+        })
+        .collect()
+}
+
+impl StriderCode {
+    /// Default design SNR for [`PowerMode::Geometric`] (dB).
+    pub const DEFAULT_DESIGN_SNR_DB: f64 = 30.0;
+
+    /// Build a Strider code for messages of `n_bits`, split over
+    /// `layers` blocks (padded up so each layer block is an even number
+    /// of bits). `seed` fixes the interleavers and pass phases.
+    ///
+    /// Default power structure (measured best coverage of the paper's
+    /// −5…35 dB range, see EXPERIMENTS.md): a geometric stack designed at
+    /// 15 dB, rotated by `layers − 1` slots per pass so each layer
+    /// periodically holds the strong slots ("progressive unveiling").
+    /// Override with [`Self::with_power_mode`] / [`Self::with_power_rotation`].
+    pub fn new(n_bits: usize, layers: usize, seed: u64) -> Self {
+        assert!(layers >= 1 && n_bits >= layers);
+        let mut layer_bits = n_bits.div_ceil(layers);
+        if layer_bits % 2 == 1 {
+            layer_bits += 1;
+        }
+        let powers = Self::geometric_powers(layers, 15.0);
+        let rotation_stride = layers - 1;
+        let turbo = (0..layers)
+            .map(|l| TurboCode::new(layer_bits, seed ^ (l as u64).wrapping_mul(0xABCD_EF01)))
+            .collect();
+        StriderCode {
+            layers,
+            layer_bits,
+            n_bits,
+            powers,
+            rotation_stride,
+            turbo,
+            seed,
+            n_sym: layer_bits * 5 / 2,
+        }
+    }
+
+    /// ETW geometric power allocation fitted to a finite design SNR:
+    /// with equalised per-layer SINR τ, a stack of `L` layers plus the
+    /// design noise uses total power `σ_d²·((1+τ)^L − 1)`. Setting that
+    /// equal to the unit power budget gives
+    /// `τ = (1 + snr₀)^{1/L} − 1`, and `P_l ∝ (1+τ)^{−l}`.
+    ///
+    /// The design SNR bounds the stack's dynamic range: a 30 dB design
+    /// spans ~30 dB from strongest to weakest layer, so the whole stack
+    /// stays decodable with a realistic pass budget across the paper's
+    /// SNR range. (The asymptotic ETW choice `τ = 2^{2/5}−1` would spread
+    /// layers over ~45 dB and starve the tail of power at any SNR below
+    /// ~25 dB — see EXPERIMENTS.md.)
+    fn geometric_powers(layers: usize, design_snr_db: f64) -> Vec<f64> {
+        let snr0 = 10f64.powf(design_snr_db / 10.0);
+        let tau = (1.0 + snr0).powf(1.0 / layers as f64) - 1.0;
+        let alpha = 1.0 / (1.0 + tau);
+        let mut powers: Vec<f64> = (0..layers).map(|l| alpha.powi(l as i32)).collect();
+        let total: f64 = powers.iter().sum();
+        for p in &mut powers {
+            *p /= total;
+        }
+        powers
+    }
+
+    /// Select the power allocation mode.
+    pub fn with_power_mode(mut self, mode: PowerMode) -> Self {
+        self.powers = match mode {
+            PowerMode::Equal => vec![1.0 / self.layers as f64; self.layers],
+            PowerMode::Geometric { design_snr_db } => {
+                Self::geometric_powers(self.layers, design_snr_db)
+            }
+        };
+        self
+    }
+
+    /// Rotate the power profile by `stride` layer slots per pass (see
+    /// the field docs; pick a stride coprime to the layer count).
+    pub fn with_power_rotation(mut self, stride: usize) -> Self {
+        self.rotation_stride = stride;
+        self
+    }
+
+    /// Override turbo iterations on every layer decoder (default 8).
+    pub fn with_turbo_iterations(mut self, iterations: usize) -> Self {
+        for t in &mut self.turbo {
+            *t = t.clone().with_iterations(iterations);
+        }
+        self
+    }
+
+    /// Message length in bits.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Symbols per pass.
+    pub fn n_sym_per_pass(&self) -> usize {
+        self.n_sym
+    }
+
+    /// Unit-magnitude pass/layer phase coefficient (SplitMix-derived).
+    fn r_coeff(&self, pass: usize, layer: usize) -> Complex {
+        let mut z = self
+            .seed
+            .wrapping_add((pass as u64) << 32 | layer as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let theta = (z >> 11) as f64 / (1u64 << 53) as f64 * std::f64::consts::TAU;
+        Complex::from_phase(theta)
+    }
+
+    /// Effective coefficient of layer `l` in pass `m`: `√P_slot · e^{jθ}`
+    /// where the power slot rotates by `rotation_stride` per pass.
+    fn layer_coeff(&self, pass: usize, layer: usize) -> Complex {
+        let slot = (layer + pass * self.rotation_stride) % self.layers;
+        self.r_coeff(pass, layer) * self.powers[slot].sqrt()
+    }
+
+    /// Encode the padded per-layer QPSK streams.
+    fn layer_streams(&self, msg: &[bool]) -> Vec<Vec<Complex>> {
+        assert_eq!(msg.len(), self.n_bits);
+        let mut padded = msg.to_vec();
+        padded.resize(self.layers * self.layer_bits, false);
+        (0..self.layers)
+            .map(|l| {
+                let block = &padded[l * self.layer_bits..(l + 1) * self.layer_bits];
+                let cw = self.turbo[l].encode(block).to_bits();
+                qpsk_map(&cw)
+            })
+            .collect()
+    }
+
+    /// Create a rateless encoder bound to one message.
+    pub fn encoder(&self, msg: &[bool]) -> StriderEncoder {
+        StriderEncoder {
+            code: self.clone(),
+            streams: self.layer_streams(msg),
+            emitted: 0,
+        }
+    }
+
+    /// Create the matching decoder.
+    pub fn decoder(&self) -> StriderDecoder {
+        StriderDecoder {
+            code: self.clone(),
+            sweeps: StriderDecoder::DEFAULT_SWEEPS,
+        }
+    }
+}
+
+/// Rateless Strider encoder for one message.
+#[derive(Debug, Clone)]
+pub struct StriderEncoder {
+    code: StriderCode,
+    streams: Vec<Vec<Complex>>,
+    emitted: usize,
+}
+
+impl StriderEncoder {
+    /// Emit the next `count` superposition symbols.
+    pub fn next_symbols(&mut self, count: usize) -> Vec<Complex> {
+        let n_sym = self.code.n_sym;
+        (0..count)
+            .map(|_| {
+                let pass = self.emitted / n_sym;
+                let t = self.emitted % n_sym;
+                self.emitted += 1;
+                let mut x = Complex::ZERO;
+                for l in 0..self.code.layers {
+                    x += self.code.layer_coeff(pass, l) * self.streams[l][t];
+                }
+                x
+            })
+            .collect()
+    }
+
+    /// Symbols emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+}
+
+/// Result of a Strider decode attempt.
+#[derive(Debug, Clone)]
+pub struct StriderResult {
+    /// The recovered message (first `n_bits` of the layer blocks).
+    pub message: Vec<bool>,
+    /// Layers decoded before an abort (only < layers when a genie
+    /// reference spotted a wrong layer early).
+    pub layers_decoded: usize,
+}
+
+/// Iterative soft-SIC decoder: sweeps over layers, each sweep combining
+/// the received passes with soft interference cancellation (residual
+/// interference weighted by each layer's remaining symbol uncertainty),
+/// turbo-decoding, and feeding back soft coded-bit estimates. Layers
+/// whose decode is confirmed (genie, standing in for the per-layer CRC)
+/// are frozen and subtracted exactly. This is the decoder structure the
+/// Strider paper describes; one sweep with hard decisions degenerates to
+/// classic matched-filter SIC.
+#[derive(Debug, Clone)]
+pub struct StriderDecoder {
+    code: StriderCode,
+    sweeps: usize,
+}
+
+impl StriderDecoder {
+    /// Default number of soft-cancellation sweeps.
+    pub const DEFAULT_SWEEPS: usize = 4;
+
+    /// Override the sweep count.
+    pub fn with_sweeps(mut self, sweeps: usize) -> Self {
+        assert!(sweeps >= 1);
+        self.sweeps = sweeps;
+        self
+    }
+
+    /// Decode from a prefix of the symbol stream.
+    ///
+    /// * `rx` — received symbols (any prefix length; partial passes OK —
+    ///   that is the "Strider+" operating mode).
+    /// * `noise_power` — channel noise power σ².
+    /// * `genie` — when given the true message, layer confirmations use
+    ///   it (mirroring the real system's per-layer CRC) and the decoder
+    ///   stops early once progress is impossible. This cannot change a
+    ///   success verdict; it only skips doomed work in sweeps.
+    pub fn decode(&self, rx: &[Complex], noise_power: f64, genie: Option<&[bool]>) -> StriderResult {
+        let code = &self.code;
+        let n_sym = code.n_sym;
+        let layers = code.layers;
+        let a = 0.5f64.sqrt();
+
+        let full_passes = rx.len() / n_sym;
+        let remainder = rx.len() % n_sym;
+        let n_passes = full_passes + (remainder > 0) as usize;
+        // obs_count(t) = full_passes + (t < remainder); two classes.
+        let obs_count = |t: usize| full_passes + (t < remainder) as usize;
+
+        // Residual observations: passes × symbols, soft contributions
+        // subtracted as they form.
+        let mut residual: Vec<Vec<Complex>> = (0..n_passes)
+            .map(|p| {
+                let end = ((p + 1) * n_sym).min(rx.len());
+                rx[p * n_sym..end].to_vec()
+            })
+            .collect();
+
+        let padded_msg = genie.map(|g| {
+            let mut v = g.to_vec();
+            v.resize(layers * code.layer_bits, false);
+            v
+        });
+
+        // Per-layer soft symbol estimates, residual variance, results.
+        let mut soft: Vec<Vec<Complex>> = vec![vec![Complex::ZERO; n_sym]; layers];
+        let mut var = vec![1.0f64; layers];
+        let mut frozen: Vec<Option<Vec<bool>>> = vec![None; layers];
+
+        for _sweep in 0..self.sweeps {
+            let mut any_frozen_this_sweep = false;
+            for l in 0..layers {
+                if frozen[l].is_some() {
+                    continue;
+                }
+                // Matched-filter stats per observation-count class.
+                let class_stats = |p_count: usize| -> (f64, f64) {
+                    if p_count == 0 {
+                        return (0.0, f64::INFINITY);
+                    }
+                    let v: Vec<Complex> =
+                        (0..p_count).map(|m| code.layer_coeff(m, l)).collect();
+                    let v_norm: f64 = v.iter().map(|c| c.norm_sq()).sum();
+                    let mut interference = 0.0;
+                    for l2 in 0..layers {
+                        if l2 == l || frozen[l2].is_some() {
+                            continue;
+                        }
+                        let mut cross = Complex::ZERO;
+                        for (m, vm) in v.iter().enumerate() {
+                            cross += vm.conj() * code.layer_coeff(m, l2);
+                        }
+                        interference += cross.norm_sq() / (v_norm * v_norm) * var[l2];
+                    }
+                    (v_norm, interference + noise_power / v_norm)
+                };
+                let stats_full = class_stats(full_passes);
+                let stats_extra = class_stats(full_passes + (remainder > 0) as usize);
+
+                // Demap every symbol from the residual plus this layer's
+                // own soft contribution added back.
+                let mut llrs = vec![0.0f64; code.layer_bits * 5];
+                for t in 0..n_sym {
+                    let pc = obs_count(t);
+                    if pc == 0 {
+                        continue;
+                    }
+                    let (v_norm, nu) = if t < remainder { stats_extra } else { stats_full };
+                    let mut z = Complex::ZERO;
+                    for (m, row) in residual.iter().enumerate().take(pc) {
+                        let coeff = code.layer_coeff(m, l);
+                        z += coeff.conj() * (row[t] + coeff * soft[l][t]);
+                    }
+                    z = z / v_norm;
+                    llrs[2 * t] = 4.0 * a * z.re / nu;
+                    llrs[2 * t + 1] = 4.0 * a * z.im / nu;
+                }
+
+                let soft_out = code.turbo[l].decode_soft(&TurboLlrs::from_flat(&llrs));
+                let hard: Vec<bool> = soft_out.sys.iter().map(|&x| x < 0.0).collect();
+
+                let confirmed = match &padded_msg {
+                    Some(truth) => {
+                        hard == truth[l * code.layer_bits..(l + 1) * code.layer_bits]
+                    }
+                    // Without a genie/CRC, freeze on confident posteriors.
+                    None => {
+                        soft_out.sys.iter().map(|x| x.abs()).sum::<f64>()
+                            / soft_out.sys.len() as f64
+                            > 15.0
+                    }
+                };
+
+                // New soft symbol estimates from the coded-bit APPs.
+                let apps = soft_out.to_flat();
+                let new_soft: Vec<Complex> = if confirmed {
+                    qpsk_map(&code.turbo[l].encode(&hard).to_bits())
+                } else {
+                    (0..n_sym)
+                        .map(|t| {
+                            Complex::new(
+                                a * (apps[2 * t] / 2.0).tanh(),
+                                a * (apps[2 * t + 1] / 2.0).tanh(),
+                            )
+                        })
+                        .collect()
+                };
+
+                // Update residuals with the delta and the layer variance.
+                for (m, row) in residual.iter_mut().enumerate() {
+                    let coeff = code.layer_coeff(m, l);
+                    for (t, o) in row.iter_mut().enumerate() {
+                        *o -= coeff * (new_soft[t] - soft[l][t]);
+                    }
+                }
+                var[l] = if confirmed {
+                    0.0
+                } else {
+                    1.0 - new_soft.iter().map(|s| s.norm_sq()).sum::<f64>() / n_sym as f64
+                };
+                soft[l] = new_soft;
+                if confirmed {
+                    frozen[l] = Some(hard);
+                    any_frozen_this_sweep = true;
+                }
+            }
+
+            if frozen.iter().all(|f| f.is_some()) {
+                break;
+            }
+            // With a genie, keep sweeping only while there is movement;
+            // the soft state still evolves without freezes, so allow one
+            // quiet sweep before giving up.
+            let _ = any_frozen_this_sweep;
+        }
+
+        let decoded_ok = frozen.iter().filter(|f| f.is_some()).count();
+        let mut msg: Vec<bool> = Vec::with_capacity(layers * code.layer_bits);
+        for (l, f) in frozen.iter().enumerate() {
+            match f {
+                Some(bits) => msg.extend_from_slice(bits),
+                None => {
+                    // Best-effort hard decision from the soft state.
+                    msg.extend(
+                        soft[l]
+                            .iter()
+                            .flat_map(|s| [s.re < 0.0, s.im < 0.0])
+                            .take(code.layer_bits),
+                    );
+                }
+            }
+        }
+        msg.truncate(code.n_bits);
+        StriderResult {
+            message: msg,
+            layers_decoded: decoded_ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spinal_channel::{AwgnChannel, Channel};
+
+    fn rand_msg(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    /// Small Strider instance for test speed: 6 layers.
+    fn small_code() -> StriderCode {
+        StriderCode::new(600, 6, 42).with_turbo_iterations(6)
+    }
+
+    #[test]
+    fn default_power_is_normalised_geometric_with_rotation() {
+        let code = StriderCode::new(660, DEFAULT_LAYERS, 1);
+        let total: f64 = code.powers.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(code.powers[0] > code.powers[32], "head outweighs tail");
+        assert_eq!(code.rotation_stride, 32);
+        // Equal mode is available and flat.
+        let eq = StriderCode::new(660, DEFAULT_LAYERS, 1).with_power_mode(PowerMode::Equal);
+        for &p in &eq.powers {
+            assert!((p - 1.0 / 33.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rotation_gives_every_layer_equal_long_run_energy() {
+        let code = StriderCode::new(660, DEFAULT_LAYERS, 1);
+        // Summed over a full rotation period, per-layer energy equalises.
+        for l in 0..DEFAULT_LAYERS {
+            let e: f64 = (0..DEFAULT_LAYERS)
+                .map(|m| code.layer_coeff(m, l).norm_sq())
+                .sum();
+            assert!((e - 1.0).abs() < 1e-9, "layer {l}: energy {e}");
+        }
+    }
+
+    #[test]
+    fn geometric_power_mode_is_geometric() {
+        let code = StriderCode::new(660, DEFAULT_LAYERS, 1)
+            .with_power_mode(PowerMode::Geometric { design_snr_db: 30.0 });
+        let total: f64 = code.powers.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // τ from the 30 dB design: (1+1000)^(1/33) − 1.
+        let tau = 1001f64.powf(1.0 / 33.0) - 1.0;
+        for w in code.powers.windows(2) {
+            assert!((w[1] / w[0] - 1.0 / (1.0 + tau)).abs() < 1e-9);
+        }
+        // The stack's dynamic range tracks the design SNR (~30 dB).
+        let range_db = 10.0 * (code.powers[0] / code.powers[32]).log10();
+        assert!((range_db - 29.1).abs() < 1.0, "range {range_db} dB");
+    }
+
+    #[test]
+    fn design_snr_controls_dynamic_range() {
+        let narrow = StriderCode::new(660, DEFAULT_LAYERS, 1)
+            .with_power_mode(PowerMode::Geometric { design_snr_db: 20.0 });
+        let wide = StriderCode::new(660, DEFAULT_LAYERS, 1)
+            .with_power_mode(PowerMode::Geometric { design_snr_db: 40.0 });
+        let range = |c: &StriderCode| 10.0 * (c.powers[0] / c.powers[32]).log10();
+        assert!(range(&narrow) < range(&wide));
+    }
+
+    #[test]
+    fn transmit_power_is_unity() {
+        let code = small_code();
+        let msg = rand_msg(600, 7);
+        let mut enc = code.encoder(&msg);
+        let syms = enc.next_symbols(4 * code.n_sym_per_pass());
+        let p: f64 = syms.iter().map(|s| s.norm_sq()).sum::<f64>() / syms.len() as f64;
+        assert!((p - 1.0).abs() < 0.05, "power {p}");
+    }
+
+    #[test]
+    fn stream_is_rateless_prefix() {
+        let code = small_code();
+        let msg = rand_msg(600, 8);
+        let mut e1 = code.encoder(&msg);
+        let mut e2 = code.encoder(&msg);
+        let long = e1.next_symbols(500);
+        let mut parts = e2.next_symbols(123);
+        parts.extend(e2.next_symbols(377));
+        for (a, b) in long.iter().zip(&parts) {
+            assert!(a.dist_sq(*b) < 1e-18);
+        }
+    }
+
+    #[test]
+    fn decodes_at_high_snr_with_few_passes() {
+        // 6 layers at rate 2/5 each: full rate 2.4/pass-count. At 25 dB
+        // capacity ≈ 8.3; 2 passes (rate 1.2 each... total rate
+        // 6·0.4/2 = 1.2) is comfortable.
+        let code = small_code();
+        let msg = rand_msg(600, 9);
+        let mut enc = code.encoder(&msg);
+        let mut ch = AwgnChannel::new(25.0, 3);
+        let tx = enc.next_symbols(2 * code.n_sym_per_pass());
+        let rx = ch.transmit(&tx);
+        let out = code.decoder().decode(&rx, 1.0 / ch.snr(), None);
+        assert_eq!(out.message, msg);
+        assert_eq!(out.layers_decoded, 6);
+    }
+
+    #[test]
+    fn needs_more_passes_at_lower_snr() {
+        let code = small_code();
+        let msg = rand_msg(600, 10);
+        let mut enc = code.encoder(&msg);
+        let mut ch = AwgnChannel::new(5.0, 4);
+        let tx = enc.next_symbols(8 * code.n_sym_per_pass());
+        let rx = ch.transmit(&tx);
+        let noise = 1.0 / ch.snr();
+        let dec = code.decoder();
+        // Two passes: total rate 1.2 vs capacity 2.06 — but layer 0's
+        // matched-filter SINR is still interference/noise limited; the
+        // genie lets us observe partial progress cheaply.
+        let early = dec.decode(&rx[..2 * code.n_sym_per_pass()], noise, Some(&msg));
+        // All eight passes: rate 0.3, decodes cleanly.
+        let late = dec.decode(&rx, noise, Some(&msg));
+        assert_eq!(late.message, msg);
+        assert_eq!(late.layers_decoded, 6);
+        assert!(
+            early.layers_decoded <= late.layers_decoded,
+            "more passes cannot decode fewer layers"
+        );
+    }
+
+    #[test]
+    fn genie_abort_reports_wrong_layer() {
+        let code = small_code();
+        let msg = rand_msg(600, 11);
+        let mut enc = code.encoder(&msg);
+        // Hopeless: far below the first layer's threshold.
+        let mut ch = AwgnChannel::new(-10.0, 5);
+        let tx = enc.next_symbols(code.n_sym_per_pass());
+        let rx = ch.transmit(&tx);
+        let out = code.decoder().decode(&rx, 1.0 / ch.snr(), Some(&msg));
+        assert!(out.layers_decoded < 6);
+        assert_ne!(out.message, msg);
+    }
+
+    #[test]
+    fn partial_pass_decoding_strider_plus() {
+        // Strider+ operating point: 2 passes plus half a pass. Must not
+        // panic and should still decode at high SNR.
+        let code = small_code();
+        let msg = rand_msg(600, 12);
+        let mut enc = code.encoder(&msg);
+        let mut ch = AwgnChannel::new(25.0, 6);
+        let n = code.n_sym_per_pass();
+        let tx = enc.next_symbols(2 * n + n / 2);
+        let rx = ch.transmit(&tx);
+        let out = code.decoder().decode(&rx, 1.0 / ch.snr(), None);
+        assert_eq!(out.message, msg);
+    }
+
+    #[test]
+    fn default_layer_count_matches_paper() {
+        let code = StriderCode::new(50490, DEFAULT_LAYERS, 0);
+        assert_eq!(code.layers(), 33);
+        assert_eq!(code.n_sym_per_pass(), 1530 * 5 / 2);
+    }
+}

@@ -1,0 +1,377 @@
+//! The rate-1/5 turbo base code: two (13, 15, 17)₈ RSC constituents
+//! around a pseudo-random interleaver; systematic sent once, both parity
+//! pairs sent, giving 5 coded bits per message bit.
+
+use crate::bcjr::{bcjr, bcjr_full};
+use crate::conv::Trellis;
+use crate::interleave::Interleaver;
+
+/// A-posteriori LLRs for every *coded* bit of a turbo block — the soft
+/// re-encoding that iterative interference cancellation needs. Layout
+/// matches [`TurboCodeword`].
+#[derive(Debug, Clone)]
+pub struct TurboSoftOutput {
+    /// Message (systematic) APPs, natural order.
+    pub sys: Vec<f64>,
+    /// Constituent-A parity APPs.
+    pub p1a: Vec<f64>,
+    /// Constituent-A second parity APPs.
+    pub p2a: Vec<f64>,
+    /// Constituent-B parity APPs (interleaved order, as transmitted).
+    pub p1b: Vec<f64>,
+    /// Constituent-B second parity APPs.
+    pub p2b: Vec<f64>,
+}
+
+impl TurboSoftOutput {
+    /// Flatten to transmission order [sys|p1a|p2a|p1b|p2b].
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(5 * self.sys.len());
+        out.extend_from_slice(&self.sys);
+        out.extend_from_slice(&self.p1a);
+        out.extend_from_slice(&self.p2a);
+        out.extend_from_slice(&self.p1b);
+        out.extend_from_slice(&self.p2b);
+        out
+    }
+}
+
+/// Coded streams of one turbo block, each `k` bits long.
+#[derive(Debug, Clone)]
+pub struct TurboCodeword {
+    /// Systematic bits.
+    pub sys: Vec<bool>,
+    /// Parity 1 of constituent A (natural order).
+    pub p1a: Vec<bool>,
+    /// Parity 2 of constituent A.
+    pub p2a: Vec<bool>,
+    /// Parity 1 of constituent B (interleaved order).
+    pub p1b: Vec<bool>,
+    /// Parity 2 of constituent B.
+    pub p2b: Vec<bool>,
+}
+
+impl TurboCodeword {
+    /// Flatten to a single bit stream in [sys|p1a|p2a|p1b|p2b] order.
+    pub fn to_bits(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(5 * self.sys.len());
+        out.extend_from_slice(&self.sys);
+        out.extend_from_slice(&self.p1a);
+        out.extend_from_slice(&self.p2a);
+        out.extend_from_slice(&self.p1b);
+        out.extend_from_slice(&self.p2b);
+        out
+    }
+}
+
+/// Per-stream channel LLRs for a turbo block (same layout as
+/// [`TurboCodeword`]).
+#[derive(Debug, Clone)]
+pub struct TurboLlrs {
+    /// Systematic LLRs.
+    pub sys: Vec<f64>,
+    /// Parity LLRs, constituent A.
+    pub p1a: Vec<f64>,
+    /// Second parity, constituent A.
+    pub p2a: Vec<f64>,
+    /// Parity LLRs, constituent B.
+    pub p1b: Vec<f64>,
+    /// Second parity, constituent B.
+    pub p2b: Vec<f64>,
+}
+
+impl TurboLlrs {
+    /// Split a flat LLR vector laid out like [`TurboCodeword::to_bits`].
+    pub fn from_flat(flat: &[f64]) -> Self {
+        assert!(flat.len() % 5 == 0);
+        let k = flat.len() / 5;
+        TurboLlrs {
+            sys: flat[..k].to_vec(),
+            p1a: flat[k..2 * k].to_vec(),
+            p2a: flat[2 * k..3 * k].to_vec(),
+            p1b: flat[3 * k..4 * k].to_vec(),
+            p2b: flat[4 * k..].to_vec(),
+        }
+    }
+}
+
+/// The rate-1/5 turbo code for `k`-bit blocks.
+#[derive(Debug, Clone)]
+pub struct TurboCode {
+    trellis: Trellis,
+    interleaver: Interleaver,
+    iterations: usize,
+}
+
+impl TurboCode {
+    /// Build for block length `k`; `seed` fixes the interleaver.
+    pub fn new(k: usize, seed: u64) -> Self {
+        TurboCode {
+            trellis: Trellis::new(),
+            interleaver: Interleaver::new(k, seed),
+            iterations: 8,
+        }
+    }
+
+    /// Override the turbo iteration count (default 8).
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Block length.
+    pub fn k(&self) -> usize {
+        self.interleaver.len()
+    }
+
+    /// Encode one block.
+    pub fn encode(&self, bits: &[bool]) -> TurboCodeword {
+        assert_eq!(bits.len(), self.k());
+        let (p1a, p2a) = self.trellis.encode(bits);
+        let interleaved = self.interleaver.interleave(bits);
+        let (p1b, p2b) = self.trellis.encode(&interleaved);
+        TurboCodeword {
+            sys: bits.to_vec(),
+            p1a,
+            p2a,
+            p1b,
+            p2b,
+        }
+    }
+
+    /// Iterative turbo decode; returns a-posteriori LLRs per message bit.
+    pub fn decode(&self, llrs: &TurboLlrs) -> Vec<f64> {
+        let k = self.k();
+        assert_eq!(llrs.sys.len(), k);
+        let sys_i = self.interleaver.interleave(&llrs.sys);
+        let mut apriori_a = vec![0.0f64; k];
+        let mut posterior = vec![0.0f64; k];
+
+        for _ in 0..self.iterations {
+            // Constituent A in natural order.
+            let input_a: Vec<f64> = llrs
+                .sys
+                .iter()
+                .zip(&apriori_a)
+                .map(|(&s, &a)| s + a)
+                .collect();
+            let post_a = bcjr(&self.trellis, &input_a, &llrs.p1a, &llrs.p2a);
+            let extr_a: Vec<f64> = post_a
+                .iter()
+                .zip(&input_a)
+                .map(|(&p, &i)| p - i)
+                .collect();
+
+            // Constituent B in interleaved order.
+            let apriori_b = self.interleaver.interleave(&extr_a);
+            let input_b: Vec<f64> = sys_i
+                .iter()
+                .zip(&apriori_b)
+                .map(|(&s, &a)| s + a)
+                .collect();
+            let post_b = bcjr(&self.trellis, &input_b, &llrs.p1b, &llrs.p2b);
+            let extr_b: Vec<f64> = post_b
+                .iter()
+                .zip(&input_b)
+                .map(|(&p, &i)| p - i)
+                .collect();
+
+            apriori_a = self.interleaver.deinterleave(&extr_b);
+            for i in 0..k {
+                posterior[i] = llrs.sys[i] + extr_a[i] + apriori_a[i];
+            }
+        }
+        posterior
+    }
+
+    /// Decode to hard bits.
+    pub fn decode_hard(&self, llrs: &TurboLlrs) -> Vec<bool> {
+        self.decode(llrs).iter().map(|&l| l < 0.0).collect()
+    }
+
+    /// Iterative decode that also returns APPs for every coded bit
+    /// (soft re-encoding for SIC).
+    pub fn decode_soft(&self, llrs: &TurboLlrs) -> TurboSoftOutput {
+        let k = self.k();
+        assert_eq!(llrs.sys.len(), k);
+        let sys_i = self.interleaver.interleave(&llrs.sys);
+        let mut apriori_a = vec![0.0f64; k];
+        let mut out_a = None;
+        let mut out_b = None;
+        let mut extr_a_last = vec![0.0f64; k];
+
+        for _ in 0..self.iterations {
+            let input_a: Vec<f64> = llrs
+                .sys
+                .iter()
+                .zip(&apriori_a)
+                .map(|(&s, &a)| s + a)
+                .collect();
+            let full_a = bcjr_full(&self.trellis, &input_a, &llrs.p1a, &llrs.p2a);
+            let extr_a: Vec<f64> = full_a
+                .msg
+                .iter()
+                .zip(&input_a)
+                .map(|(&p, &i)| p - i)
+                .collect();
+
+            let apriori_b = self.interleaver.interleave(&extr_a);
+            let input_b: Vec<f64> = sys_i
+                .iter()
+                .zip(&apriori_b)
+                .map(|(&s, &a)| s + a)
+                .collect();
+            let full_b = bcjr_full(&self.trellis, &input_b, &llrs.p1b, &llrs.p2b);
+            let extr_b: Vec<f64> = full_b
+                .msg
+                .iter()
+                .zip(&input_b)
+                .map(|(&p, &i)| p - i)
+                .collect();
+
+            apriori_a = self.interleaver.deinterleave(&extr_b);
+            extr_a_last = extr_a;
+            out_a = Some(full_a);
+            out_b = Some(full_b);
+        }
+
+        let full_a = out_a.expect("at least one iteration");
+        let full_b = out_b.expect("at least one iteration");
+        let sys: Vec<f64> = (0..k)
+            .map(|i| llrs.sys[i] + extr_a_last[i] + apriori_a[i])
+            .collect();
+        TurboSoftOutput {
+            sys,
+            p1a: full_a.p1,
+            p2a: full_a.p2,
+            p1b: full_b.p1,
+            p2b: full_b.p2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spinal_channel::math::normal;
+
+    fn noisy_llrs(cw: &TurboCodeword, snr_db: f64, rng: &mut StdRng) -> TurboLlrs {
+        let sigma2 = 10f64.powf(-snr_db / 10.0);
+        let mut conv = |bits: &[bool]| -> Vec<f64> {
+            bits.iter()
+                .map(|&b| {
+                    let x = if b { -1.0 } else { 1.0 };
+                    let y = x + normal(rng) * sigma2.sqrt();
+                    2.0 * y / sigma2
+                })
+                .collect()
+        };
+        TurboLlrs {
+            sys: conv(&cw.sys),
+            p1a: conv(&cw.p1a),
+            p2a: conv(&cw.p2a),
+            p1b: conv(&cw.p1b),
+            p2b: conv(&cw.p2b),
+        }
+    }
+
+    #[test]
+    fn rate_is_one_fifth() {
+        let code = TurboCode::new(100, 1);
+        let cw = code.encode(&vec![true; 100]);
+        assert_eq!(cw.to_bits().len(), 500);
+    }
+
+    #[test]
+    fn decodes_clean_block() {
+        let code = TurboCode::new(128, 2);
+        let bits: Vec<bool> = (0..128).map(|i| i % 5 < 2).collect();
+        let cw = code.encode(&bits);
+        let big = 15.0;
+        let llrs = TurboLlrs {
+            sys: cw.sys.iter().map(|&b| if b { -big } else { big }).collect(),
+            p1a: cw.p1a.iter().map(|&b| if b { -big } else { big }).collect(),
+            p2a: cw.p2a.iter().map(|&b| if b { -big } else { big }).collect(),
+            p1b: cw.p1b.iter().map(|&b| if b { -big } else { big }).collect(),
+            p2b: cw.p2b.iter().map(|&b| if b { -big } else { big }).collect(),
+        };
+        assert_eq!(code.decode_hard(&llrs), bits);
+    }
+
+    #[test]
+    fn decodes_well_below_zero_db() {
+        // Rate 1/5 BPSK: Shannon threshold is at about −7.3 dB
+        // (C(snr)=0.2). A practical turbo at block 512 should be clean
+        // around −4.5 dB.
+        let code = TurboCode::new(512, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let bits: Vec<bool> = (0..512).map(|_| rng.gen()).collect();
+        let cw = code.encode(&bits);
+        let llrs = noisy_llrs(&cw, -4.5, &mut rng);
+        let out = code.decode_hard(&llrs);
+        let errs = out.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert_eq!(errs, 0, "{errs} bit errors at −4.5 dB");
+    }
+
+    #[test]
+    fn fails_below_shannon() {
+        // At −10 dB (below the rate-1/5 threshold) decoding must break.
+        let code = TurboCode::new(256, 4);
+        let mut rng = StdRng::seed_from_u64(10);
+        let bits: Vec<bool> = (0..256).map(|_| rng.gen()).collect();
+        let cw = code.encode(&bits);
+        let llrs = noisy_llrs(&cw, -10.0, &mut rng);
+        let out = code.decode_hard(&llrs);
+        let errs = out.iter().zip(&bits).filter(|(a, b)| a != b).count();
+        assert!(errs > 5, "only {errs} errors below Shannon is implausible");
+    }
+
+    #[test]
+    fn soft_output_recovers_all_coded_streams() {
+        let code = TurboCode::new(128, 7);
+        let mut rng = StdRng::seed_from_u64(20);
+        let bits: Vec<bool> = (0..128).map(|_| rng.gen()).collect();
+        let cw = code.encode(&bits);
+        let llrs = noisy_llrs(&cw, 0.0, &mut rng);
+        let soft = code.decode_soft(&llrs);
+        let tx = cw.to_bits();
+        let apps = soft.to_flat();
+        let errs = apps
+            .iter()
+            .zip(&tx)
+            .filter(|(&l, &b)| (l < 0.0) != b)
+            .count();
+        assert_eq!(
+            errs, 0,
+            "coded-bit APPs should clean up all streams at 0 dB"
+        );
+    }
+
+    #[test]
+    fn soft_and_hard_decodes_agree() {
+        let code = TurboCode::new(96, 8);
+        let mut rng = StdRng::seed_from_u64(21);
+        let bits: Vec<bool> = (0..96).map(|_| rng.gen()).collect();
+        let cw = code.encode(&bits);
+        let llrs = noisy_llrs(&cw, -2.0, &mut rng);
+        let hard = code.decode_hard(&llrs);
+        let soft: Vec<bool> = code.decode_soft(&llrs).sys.iter().map(|&l| l < 0.0).collect();
+        assert_eq!(hard, soft);
+    }
+
+    #[test]
+    fn flat_llr_round_trip() {
+        let code = TurboCode::new(64, 5);
+        let bits: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let cw = code.encode(&bits);
+        let flat: Vec<f64> = cw
+            .to_bits()
+            .iter()
+            .map(|&b| if b { -9.0 } else { 9.0 })
+            .collect();
+        let llrs = TurboLlrs::from_flat(&flat);
+        assert_eq!(code.decode_hard(&llrs), bits);
+    }
+}

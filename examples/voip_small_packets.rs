@@ -1,0 +1,49 @@
+//! Small-packet telephony workload: spinal vs Raptor vs Strider.
+//!
+//! ```sh
+//! cargo run --release --example voip_small_packets
+//! ```
+//!
+//! §8.2's point about Internet telephony and gaming: natural packets are
+//! 64–256 bytes, and code behaviour at those sizes differs wildly. This
+//! example runs a 160-byte-packet voice stream (a 20 ms G.711-ish frame)
+//! through all three rateless codes at a handful of SNRs and prints the
+//! achieved rates — reproducing the shape of Figure 8-3: spinal degrades
+//! gracefully, Strider collapses at small block sizes.
+
+use spinal_codes::sim::{summarize, RaptorRun, SpinalRun, StriderRun, Trial};
+use spinal_codes::CodeParams;
+
+fn main() {
+    let packet_bits = 160 * 8; // 160-byte VoIP frame → 1280 bits
+    let trials = 4;
+    println!("packet size: {packet_bits} bits; {trials} packets per point");
+    println!("snr_db,spinal_rate,raptor_rate,strider_plus_rate,capacity");
+
+    for snr_db in [5.0, 10.0, 15.0, 20.0, 25.0] {
+        let capacity = spinal_codes::channel::capacity::awgn_capacity_db(snr_db);
+
+        let spinal = SpinalRun::new(CodeParams::default().with_n(packet_bits));
+        let spinal_trials: Vec<Trial> =
+            (0..trials).map(|s| spinal.run_trial(snr_db, s as u64)).collect();
+        let spinal_rate = summarize(snr_db, &spinal_trials).rate;
+
+        let raptor = RaptorRun::new(packet_bits, 8);
+        let raptor_trials: Vec<Trial> =
+            (0..trials).map(|s| raptor.run_trial(snr_db, s as u64)).collect();
+        let raptor_rate = summarize(snr_db, &raptor_trials).rate;
+
+        // Strider at its paper-recommended 33 layers: each layer carries
+        // only ~39 bits here — the cause of its small-packet collapse.
+        let strider = StriderRun::new(packet_bits, 33).plus().with_turbo_iterations(5);
+        let strider_trials: Vec<Trial> =
+            (0..trials).map(|s| strider.run_trial(snr_db, s as u64)).collect();
+        let strider_rate = summarize(snr_db, &strider_trials).rate;
+
+        println!(
+            "{snr_db:.1},{spinal_rate:.3},{raptor_rate:.3},{strider_rate:.3},{capacity:.3}"
+        );
+    }
+    println!();
+    println!("expect: spinal > raptor > strider+ at every SNR (Figure 8-3)");
+}

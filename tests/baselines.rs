@@ -1,0 +1,155 @@
+//! Integration tests for the baseline-code substrates, exercised through
+//! the facade exactly as the experiment harness uses them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn ldpc_mcs_envelope_is_monotone_staircase() {
+    use spinal_codes::ldpc::{Mcs, McsRunner};
+    // Each MCS should switch from failing to working as SNR rises, in
+    // table order.
+    let low = McsRunner::new(Mcs::TABLE[0]);
+    let high = McsRunner::new(Mcs::TABLE[7]);
+    assert!(low.run_block(6.0, 1));
+    assert!(!high.run_block(6.0, 1));
+    assert!(high.run_block(24.0, 1));
+}
+
+#[test]
+fn raptor_code_round_trips_through_qam() {
+    use spinal_codes::modem::{Demapper, Qam};
+    use spinal_codes::raptor::{RaptorCode, RaptorDecoder};
+    use spinal_codes::{AwgnChannel, Channel};
+
+    let k = 600;
+    let code = RaptorCode::new(k, 9);
+    let mut rng = StdRng::seed_from_u64(4);
+    let msg: Vec<bool> = (0..k).map(|_| rng.gen()).collect();
+    let inter = code.precode(&msg);
+    let n_syms = 260; // 2080 coded bits ≈ 3.3× the intermediate length
+    let bits = code.coded_bits(&inter, 0, n_syms * 8);
+    let demapper = Demapper::new(Qam::new(8));
+    let tx = demapper.qam().modulate(&bits);
+    let mut ch = AwgnChannel::new(15.0, 5);
+    let rx = ch.transmit(&tx);
+    let llrs = demapper.llrs_block(&rx, 1.0 / ch.snr());
+    let out = RaptorDecoder::new().decode(&code, &llrs);
+    assert_eq!(out.message, msg);
+}
+
+#[test]
+fn strider_end_to_end_with_plus_attempts() {
+    use spinal_codes::sim::{StriderRun, Trial};
+    let run = StriderRun::new(1600, 8).plus();
+    let t: Trial = run.run_trial(20.0, 2);
+    let s = t.symbols.expect("Strider+ should decode at 20 dB");
+    // Rate must respect capacity.
+    assert!(1600.0 / s as f64 <= 6.66);
+}
+
+#[test]
+fn spinal_beats_our_strider_at_small_blocks() {
+    // The Figure 8-3 headline, at integration-test scale: same message
+    // size, same channel, spinal delivers more bits per symbol.
+    use spinal_codes::sim::{summarize, SpinalRun, StriderRun, Trial};
+    use spinal_codes::CodeParams;
+    let n = 1024;
+    let snr = 15.0;
+    let spinal = SpinalRun::new(CodeParams::default().with_n(n));
+    let strider = StriderRun::new(n, 33).plus().with_turbo_iterations(4);
+    let sp: Vec<Trial> = (0..2).map(|s| spinal.run_trial(snr, s)).collect();
+    let st: Vec<Trial> = (0..2).map(|s| strider.run_trial(snr, s)).collect();
+    let sp_rate = summarize(snr, &sp).rate;
+    let st_rate = summarize(snr, &st).rate;
+    assert!(
+        sp_rate > st_rate,
+        "spinal {sp_rate} should beat strider {st_rate} at n={n}"
+    );
+}
+
+#[test]
+fn harq_ir_is_rateless_ish_but_worse_than_spinal() {
+    use spinal_codes::ldpc::IrHarq;
+    use spinal_codes::sim::{summarize, SpinalRun, Trial};
+    use spinal_codes::CodeParams;
+    let snr = 8.0;
+    let harq = IrHarq::new(2, 3);
+    let symbols = harq.run_trial(snr, 4).expect("IR-HARQ decodes at 8 dB");
+    let harq_rate = harq.k() as f64 / symbols as f64;
+
+    let spinal = SpinalRun::new(CodeParams::default().with_n(256));
+    let t: Vec<Trial> = (0..3).map(|s| spinal.run_trial(snr, s)).collect();
+    let spinal_rate = summarize(snr, &t).rate;
+    assert!(
+        spinal_rate > harq_rate,
+        "spinal {spinal_rate} vs IR-HARQ {harq_rate} at {snr} dB"
+    );
+}
+
+#[test]
+fn hw_model_agrees_with_software_operating_points() {
+    use spinal_codes::hw::{CycleModel, HwConfig};
+    use spinal_codes::CodeParams;
+    // The FPGA point: B=4 n=192. The ASIC estimate must be faster than
+    // FPGA on identical work.
+    let p = CodeParams::default().with_n(192).with_c(7).with_b(4);
+    let fpga = CycleModel::new(HwConfig::fpga_prototype()).decode_estimate(&p, 4);
+    let asic = CycleModel::new(HwConfig::asic_65nm()).decode_estimate(&p, 4);
+    assert!(asic.throughput_bps > fpga.throughput_bps);
+    assert!(fpga.throughput_bps > 1e6, "FPGA model should exceed 1 Mbps");
+}
+
+#[test]
+fn uniform_mi_bounds_measured_spinal_rate() {
+    // The information-theoretic sandwich at one operating point:
+    // spinal rate ≤ MI(uniform constellation) ≤ capacity.
+    use spinal_codes::channel::capacity::awgn_capacity_db;
+    use spinal_codes::channel::mi::symbol_mi;
+    use spinal_codes::core::{Constellation, MappingKind};
+    use spinal_codes::sim::{summarize, SpinalRun, Trial};
+    use spinal_codes::CodeParams;
+
+    let snr_db = 18.0;
+    let snr = 10f64.powf(snr_db / 10.0);
+    let levels = Constellation::new(MappingKind::Uniform, 6).levels().to_vec();
+    let mi = symbol_mi(&levels, 1.0 / snr, 30_000, 1);
+    let cap = awgn_capacity_db(snr_db);
+
+    let run = SpinalRun::new(CodeParams::default().with_n(256));
+    let t: Vec<Trial> = (0..3).map(|s| run.run_trial(snr_db, s)).collect();
+    let rate = summarize(snr_db, &t).rate;
+
+    assert!(rate <= mi + 0.05, "rate {rate} exceeds constellation MI {mi}");
+    assert!(mi <= cap + 0.05, "MI {mi} exceeds capacity {cap}");
+}
+
+#[test]
+fn turbo_and_bcjr_compose_through_facade() {
+    use spinal_codes::strider::{TurboCode, TurboLlrs};
+    let code = TurboCode::new(256, 11);
+    let mut rng = StdRng::seed_from_u64(12);
+    let bits: Vec<bool> = (0..256).map(|_| rng.gen()).collect();
+    let cw = code.encode(&bits);
+    let flat: Vec<f64> = cw
+        .to_bits()
+        .iter()
+        .map(|&b| if b { -8.0 } else { 8.0 })
+        .collect();
+    assert_eq!(code.decode_hard(&TurboLlrs::from_flat(&flat)), bits);
+}
+
+#[test]
+fn papr_study_pipeline_composes() {
+    use spinal_codes::modem::{OfdmConfig, PaprStats, Qam};
+    let cfg = OfdmConfig::default();
+    let qam = Qam::new(6);
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut stats = PaprStats::new();
+    for _ in 0..500 {
+        let data: Vec<_> = (0..48).map(|_| qam.map(rng.gen::<u32>() & 63)).collect();
+        stats.record(OfdmConfig::papr_db(&cfg.modulate(&data, rng.gen())));
+    }
+    let mean = stats.mean_db();
+    assert!((6.0..9.0).contains(&mean), "mean PAPR {mean}");
+}

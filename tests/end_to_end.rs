@@ -1,0 +1,146 @@
+//! Cross-crate integration tests: the full §3–§6 pipeline with real
+//! channels, framing, and every decoder variant.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spinal_codes::core::framing::FrameReassembly;
+use spinal_codes::{
+    AwgnChannel, BubbleDecoder, Channel, CodeParams, Encoder, FrameBuilder, Message, Puncturing,
+    RxSymbols, Schedule,
+};
+
+fn rand_msg(n: usize, seed: u64) -> Message {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Message::random(n, || rng.gen())
+}
+
+/// Stream until decoded; returns symbols used.
+fn decode_loop(params: &CodeParams, msg: &Message, snr_db: f64, seed: u64) -> Option<usize> {
+    let mut enc = Encoder::new(params, msg);
+    let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+    let mut rx = RxSymbols::new(schedule.clone());
+    let decoder = BubbleDecoder::new(params);
+    let mut ch = AwgnChannel::new(snr_db, seed);
+    let mut sent = 0;
+    for boundary in schedule.subpass_boundaries(50 * schedule.symbols_per_pass()) {
+        let tx = enc.next_symbols(boundary - sent);
+        sent = boundary;
+        rx.push(&ch.transmit(&tx));
+        if decoder.decode(&rx).message == *msg {
+            return Some(sent);
+        }
+    }
+    None
+}
+
+#[test]
+fn full_pipeline_decodes_across_snr_range() {
+    let params = CodeParams::default().with_n(128);
+    for (snr, seed) in [(0.0, 1u64), (10.0, 2), (25.0, 3)] {
+        let msg = rand_msg(128, seed);
+        let used = decode_loop(&params, &msg, snr, seed).expect("decode failed");
+        let rate = 128.0 / used as f64;
+        let cap = spinal_codes::channel::capacity::awgn_capacity_db(snr);
+        assert!(rate <= cap + 1e-9, "snr {snr}: rate {rate} above capacity {cap}");
+    }
+}
+
+#[test]
+fn rate_ordering_matches_snr_ordering() {
+    let params = CodeParams::default().with_n(128);
+    let msg = rand_msg(128, 9);
+    let s_low = decode_loop(&params, &msg, 3.0, 11).unwrap();
+    let s_high = decode_loop(&params, &msg, 23.0, 11).unwrap();
+    assert!(s_high < s_low, "high SNR should need fewer symbols");
+}
+
+#[test]
+fn framed_datagram_round_trip_with_crc_validation() {
+    // No genie anywhere: CRC-16 gates every block, as in §6.
+    let params = CodeParams::default().with_n(256);
+    let builder = FrameBuilder::new(params.n);
+    let mut rng = StdRng::seed_from_u64(77);
+    let datagram: Vec<u8> = (0..200).map(|_| rng.gen()).collect();
+    let blocks = builder.build(&datagram);
+    let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+    let decoder = BubbleDecoder::new(&params);
+    let mut re = FrameReassembly::new(builder, 3, blocks.len(), datagram.len());
+
+    for (i, block) in blocks.iter().enumerate() {
+        let mut enc = Encoder::new(&params, block);
+        let mut rx = RxSymbols::new(schedule.clone());
+        let mut ch = AwgnChannel::new(8.0, 500 + i as u64);
+        let mut sent = 0;
+        for boundary in schedule.subpass_boundaries(50 * schedule.symbols_per_pass()) {
+            let tx = enc.next_symbols(boundary - sent);
+            sent = boundary;
+            rx.push(&ch.transmit(&tx));
+            if re.offer(i, &decoder.decode(&rx).message) {
+                break;
+            }
+        }
+    }
+    assert!(re.complete());
+    assert_eq!(re.into_datagram().unwrap(), datagram);
+}
+
+#[test]
+fn all_hash_functions_interoperate() {
+    use spinal_codes::HashKind;
+    for hash in [HashKind::OneAtATime, HashKind::Lookup3, HashKind::Salsa20] {
+        let params = CodeParams::default().with_n(64).with_hash(hash);
+        let msg = rand_msg(64, 5);
+        assert!(
+            decode_loop(&params, &msg, 15.0, 5).is_some(),
+            "{hash:?} failed to round-trip"
+        );
+    }
+}
+
+#[test]
+fn both_constellation_mappings_work() {
+    use spinal_codes::MappingKind;
+    for mapping in [
+        MappingKind::Uniform,
+        MappingKind::TruncatedGaussian { beta: 2.0 },
+    ] {
+        let params = CodeParams::default().with_n(64).with_mapping(mapping);
+        let msg = rand_msg(64, 6);
+        assert!(
+            decode_loop(&params, &msg, 15.0, 6).is_some(),
+            "{mapping:?} failed to round-trip"
+        );
+    }
+}
+
+#[test]
+fn every_puncturing_schedule_round_trips() {
+    for ways in [1usize, 2, 4, 8] {
+        let params = CodeParams::default()
+            .with_n(128)
+            .with_puncturing(Puncturing::strided(ways));
+        let msg = rand_msg(128, 8);
+        assert!(
+            decode_loop(&params, &msg, 12.0, 8).is_some(),
+            "{ways}-way puncturing failed"
+        );
+    }
+}
+
+#[test]
+fn mismatched_parameters_fail_decoding() {
+    // A decoder with the wrong s0 (scrambler seed) must not recover the
+    // message — the streams are unrelated pseudo-noise.
+    let tx_params = CodeParams::default().with_n(64);
+    let mut rx_params = tx_params.clone();
+    rx_params.s0 = 999;
+    let msg = rand_msg(64, 10);
+    let mut enc = Encoder::new(&tx_params, &msg);
+    let schedule = Schedule::new(tx_params.num_spines(), tx_params.tail, tx_params.puncturing);
+    let mut rx = RxSymbols::new(schedule.clone());
+    let mut ch = AwgnChannel::new(30.0, 10);
+    let tx = enc.next_symbols(4 * schedule.symbols_per_pass());
+    rx.push(&ch.transmit(&tx));
+    let out = BubbleDecoder::new(&rx_params).decode(&rx);
+    assert_ne!(out.message, msg);
+}

@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) on the invariants the paper's
+//! construction depends on.
+
+use proptest::prelude::*;
+use spinal_codes::core::spine::compute_spine;
+use spinal_codes::{CodeParams, Encoder, Message, Puncturing, Schedule};
+
+fn arb_message(n: usize) -> impl Strategy<Value = Message> {
+    proptest::collection::vec(any::<bool>(), n).prop_map(|bits| Message::from_bits(&bits))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §1: the coded stream at a higher rate is a prefix of the stream at
+    /// every lower rate, for arbitrary messages and chunkings.
+    #[test]
+    fn prefix_property_holds_for_any_chunking(
+        msg in arb_message(64),
+        cut in 1usize..299,
+    ) {
+        let params = CodeParams::default().with_n(64);
+        let mut one = Encoder::new(&params, &msg);
+        let mut two = Encoder::new(&params, &msg);
+        let whole = one.next_symbols(300);
+        let mut parts = two.next_symbols(cut);
+        parts.extend(two.next_symbols(300 - cut));
+        prop_assert_eq!(whole, parts);
+    }
+
+    /// §3.1: messages sharing a j·k-bit prefix share exactly the first j
+    /// spine values, and (whp) no later ones.
+    #[test]
+    fn spine_divergence_is_exactly_at_first_differing_group(
+        bits in proptest::collection::vec(any::<bool>(), 64),
+        flip in 0usize..64,
+    ) {
+        let params = CodeParams::default().with_n(64);
+        let a = Message::from_bits(&bits);
+        let mut bits2 = bits.clone();
+        bits2[flip] = !bits2[flip];
+        let b = Message::from_bits(&bits2);
+        let sa = compute_spine(&params, &a);
+        let sb = compute_spine(&params, &b);
+        let group = flip / params.k;
+        prop_assert_eq!(&sa[..group], &sb[..group]);
+        // The hash chain diverges at the flip and (whp, ν=32) never
+        // re-merges within the block.
+        for i in group..sa.len() {
+            prop_assert_ne!(sa[i], sb[i], "spine {} re-merged", i);
+        }
+    }
+
+    /// Message bit accessors are self-consistent for arbitrary content.
+    #[test]
+    fn message_get_set_round_trip(
+        bits in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let msg = Message::from_bits(&bits);
+        prop_assert_eq!(msg.len_bits(), bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(msg.bit(i), b);
+        }
+        prop_assert_eq!(msg.to_bits(), bits);
+    }
+
+    /// The schedule is a valid rateless order for any puncturing: within
+    /// any prefix, each spine's RNG indices are 0,1,2,… without gaps.
+    #[test]
+    fn schedule_rng_indices_are_gapless(
+        ways_pow in 0u32..4,
+        n_spines in 1usize..80,
+        tail in 0usize..4,
+        take in 1usize..600,
+    ) {
+        let schedule = Schedule::new(n_spines, tail, Puncturing::strided(1 << ways_pow));
+        let mut counters = vec![0u32; n_spines];
+        for pos in schedule.generate(take) {
+            prop_assert_eq!(pos.rng_index, counters[pos.spine]);
+            counters[pos.spine] += 1;
+        }
+    }
+
+    /// One full pass covers every spine value at least once, under every
+    /// puncturing mode.
+    #[test]
+    fn one_pass_covers_all_spines(
+        ways_pow in 0u32..4,
+        n_spines in 1usize..64,
+    ) {
+        let schedule = Schedule::new(n_spines, 1, Puncturing::strided(1 << ways_pow));
+        let mut seen = vec![false; n_spines];
+        for pos in schedule.generate(schedule.symbols_per_pass()) {
+            seen[pos.spine] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// CRC-16 framing validates exactly the blocks it built, and rejects
+    /// any single-bit corruption.
+    #[test]
+    fn framing_round_trip_and_corruption(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        flip_bit in 0usize..256,
+    ) {
+        use spinal_codes::FrameBuilder;
+        let fb = FrameBuilder::new(256);
+        let blocks = fb.build(&data);
+        for b in &blocks {
+            prop_assert!(fb.validate(b).is_some());
+            let mut corrupted = b.clone();
+            corrupted.set_bit(flip_bit, !corrupted.bit(flip_bit));
+            prop_assert!(fb.validate(&corrupted).is_none());
+        }
+        // Reassembled payload prefix equals the datagram.
+        let payload_bytes: Vec<u8> = blocks
+            .iter()
+            .flat_map(|b| fb.validate(b).unwrap().to_vec())
+            .collect();
+        prop_assert_eq!(&payload_bytes[..data.len()], &data[..]);
+    }
+
+    /// Encoder symbol power stays near unity for random messages (the
+    /// SNR convention every experiment relies on).
+    #[test]
+    fn stream_power_is_normalised(msg in arb_message(64)) {
+        let params = CodeParams::default().with_n(64);
+        let mut enc = Encoder::new(&params, &msg);
+        let syms = enc.next_symbols(2000);
+        let p: f64 = syms.iter().map(|s| s.norm_sq()).sum::<f64>() / syms.len() as f64;
+        prop_assert!((p - 1.0).abs() < 0.1, "power {}", p);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Noiseless round-trip decodes for arbitrary messages and every
+    /// bubble depth (cases kept low: each runs a full decode).
+    #[test]
+    fn noiseless_roundtrip_any_message_any_depth(
+        msg in arb_message(60),
+        d in 1usize..4,
+    ) {
+        use spinal_codes::{BubbleDecoder, RxSymbols};
+        let params = CodeParams::default().with_n(60).with_k(3).with_b(8).with_d(d);
+        let mut enc = Encoder::new(&params, &msg);
+        let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+        let mut rx = RxSymbols::new(schedule.clone());
+        rx.push(&enc.next_symbols(2 * schedule.symbols_per_pass()));
+        let out = BubbleDecoder::new(&params).decode(&rx);
+        prop_assert_eq!(out.message, msg);
+    }
+}

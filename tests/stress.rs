@@ -1,0 +1,159 @@
+//! Stress and adversarial-input tests: boundary parameters, pathological
+//! messages, fault injection, and decoder robustness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spinal_codes::{
+    AwgnChannel, BubbleDecoder, Channel, CodeParams, Encoder, Message, Puncturing, RxSymbols,
+    Schedule,
+};
+
+fn decode_once(params: &CodeParams, msg: &Message, snr_db: f64, passes: usize, seed: u64) -> bool {
+    let mut enc = Encoder::new(params, msg);
+    let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+    let mut rx = RxSymbols::new(schedule.clone());
+    let mut ch = AwgnChannel::new(snr_db, seed);
+    let tx = enc.next_symbols(passes * schedule.symbols_per_pass());
+    rx.push(&ch.transmit(&tx));
+    BubbleDecoder::new(params).decode(&rx).message == *msg
+}
+
+#[test]
+fn pathological_messages_decode_like_random_ones() {
+    // §3.2: a pseudo-random s0 scrambles adversarial inputs. Even with
+    // s0 = 0, the hash chain should handle degenerate messages.
+    let params = CodeParams::default().with_n(128);
+    let all_zero = Message::zeros(128);
+    let all_one = Message::from_bits(&vec![true; 128]);
+    let alternating = Message::from_bits(&(0..128).map(|i| i % 2 == 0).collect::<Vec<_>>());
+    for (name, msg) in [("zeros", all_zero), ("ones", all_one), ("alt", alternating)] {
+        assert!(
+            decode_once(&params, &msg, 12.0, 3, 7),
+            "pathological message {name} failed"
+        );
+    }
+}
+
+#[test]
+fn minimum_viable_block_sizes() {
+    // One spine value (n = k) is degenerate but legal.
+    for k in [1usize, 2, 4, 8] {
+        let params = CodeParams::default().with_n(k).with_k(k).with_d(1).with_b(4);
+        let msg = Message::from_bits(&(0..k).map(|i| i % 2 == 1).collect::<Vec<_>>());
+        assert!(
+            decode_once(&params, &msg, 25.0, 4, 3),
+            "n=k={k} failed to round-trip"
+        );
+    }
+}
+
+#[test]
+fn extreme_beam_and_depth_combinations() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let msg = Message::random(24, || rng.gen());
+    for (b, d) in [(1usize, 1usize), (1, 6), (4096, 1), (16, 3)] {
+        let params = CodeParams::default()
+            .with_n(24)
+            .with_k(2)
+            .with_b(b)
+            .with_d(d)
+            .with_tail(1);
+        assert!(
+            decode_once(&params, &msg, 22.0, 3, 9),
+            "B={b}, d={d} failed"
+        );
+    }
+}
+
+#[test]
+fn heavy_erasures_only_delay_decoding() {
+    use spinal_codes::sim::SpinalRun;
+    // 60% of subpasses erased: the prefix property and RNG indexing must
+    // keep the survivors useful.
+    let run = SpinalRun::new(CodeParams::default().with_n(96).with_b(64))
+        .with_erasures(0.6)
+        .with_max_passes(200);
+    let mut ok = 0;
+    for seed in 0..4 {
+        if run.run_trial(15.0, seed).symbols.is_some() {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 3, "only {ok}/4 decoded under 60% erasure");
+}
+
+#[test]
+fn decoder_copes_with_wildly_excess_symbols() {
+    // 60 passes at high SNR: cost accumulation must stay finite and the
+    // answer exact.
+    let params = CodeParams::default().with_n(32).with_b(16);
+    let mut rng = StdRng::seed_from_u64(11);
+    let msg = Message::random(32, || rng.gen());
+    assert!(decode_once(&params, &msg, 20.0, 60, 13));
+}
+
+#[test]
+fn c_extremes_round_trip() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let msg = Message::random(64, || rng.gen());
+    for c in [1u32, 2, 12, 16] {
+        let params = CodeParams::default().with_n(64).with_c(c);
+        // c=1 needs more symbols (max ~2 bits/symbol through QPSK-like
+        // mapping); give everything 8 passes at 10 dB.
+        assert!(
+            decode_once(&params, &msg, 10.0, 8, 19),
+            "c={c} failed to round-trip"
+        );
+    }
+}
+
+#[test]
+fn every_puncturing_interoperates_with_every_depth() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let msg = Message::random(48, || rng.gen());
+    for ways in [1usize, 2, 8] {
+        for d in [1usize, 2] {
+            let params = CodeParams::default()
+                .with_n(48)
+                .with_k(3)
+                .with_b(32)
+                .with_d(d)
+                .with_puncturing(Puncturing::strided(ways));
+            assert!(
+                decode_once(&params, &msg, 14.0, 4, 29),
+                "ways={ways}, d={d} failed"
+            );
+        }
+    }
+}
+
+#[test]
+fn crc_false_positive_rate_is_low_under_garbage() {
+    // Feed the frame validator decoded garbage: the 16-bit CRC must
+    // reject essentially everything.
+    use spinal_codes::FrameBuilder;
+    let fb = FrameBuilder::new(256);
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut false_pos = 0;
+    let trials = 20_000;
+    for _ in 0..trials {
+        let garbage = Message::random(256, || rng.gen());
+        if fb.validate(&garbage).is_some() {
+            false_pos += 1;
+        }
+    }
+    // Expected ≈ trials/65536 ≈ 0.3; allow up to 5.
+    assert!(false_pos <= 5, "{false_pos} CRC false positives in {trials}");
+}
+
+#[test]
+fn interleaved_block_decoding_is_independent() {
+    // Two blocks over one buffer each must not interfere — the framing
+    // layer's assumption (§6: blocks encoded separately).
+    let params = CodeParams::default().with_n(64);
+    let mut rng = StdRng::seed_from_u64(37);
+    let a = Message::random(64, || rng.gen());
+    let b = Message::random(64, || rng.gen());
+    assert!(decode_once(&params, &a, 15.0, 2, 41));
+    assert!(decode_once(&params, &b, 15.0, 2, 41));
+}

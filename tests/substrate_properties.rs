@@ -1,0 +1,139 @@
+//! Property-based tests over the substrate crates (modem, LDPC algebra,
+//! hardware selection network, channel math).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Gray code round-trips and preserves the single-bit-step property.
+    #[test]
+    fn gray_code_properties(x in 0u32..1_000_000) {
+        use spinal_codes::modem::qam::{gray_decode, gray_encode};
+        prop_assert_eq!(gray_decode(gray_encode(x)), x);
+        prop_assert_eq!((gray_encode(x) ^ gray_encode(x + 1)).count_ones(), 1);
+    }
+
+    /// FFT → IFFT is the identity for arbitrary signals.
+    #[test]
+    fn fft_round_trip(
+        values in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..5),
+        log_n in 3u32..8,
+    ) {
+        use spinal_codes::modem::fft::{fft, ifft};
+        use spinal_codes::Complex;
+        let n = 1usize << log_n;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| {
+                let (re, im) = values[i % values.len()];
+                Complex::new(re + i as f64, im - i as f64)
+            })
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in orig.iter().zip(&x) {
+            prop_assert!(a.dist_sq(*b) < 1e-12);
+        }
+    }
+
+    /// QAM modulate → hard demap round-trips for any bit pattern.
+    #[test]
+    fn qam_round_trip(bits_val in 0u32..(1 << 8), bps in 1u32..5) {
+        use spinal_codes::modem::Qam;
+        let q = Qam::new(2 * bps);
+        let mask = (1u32 << (2 * bps)) - 1;
+        let v = bits_val & mask;
+        prop_assert_eq!(q.hard_demap(q.map(v)), v);
+    }
+
+    /// GF(2) matrix inverse really inverts, whenever it exists.
+    #[test]
+    fn gf2_inverse_property(seed in 0u64..5000) {
+        use spinal_codes::ldpc::gf2::BitMatrix;
+        let n = 12;
+        let mut m = BitMatrix::zeros(n, n);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for r in 0..n {
+            for c in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                m.set(r, c, state >> 62 & 1 == 1);
+            }
+        }
+        if let Some(inv) = m.inverse() {
+            prop_assert_eq!(m.multiply(&inv), BitMatrix::identity(n));
+            prop_assert_eq!(inv.multiply(&m), BitMatrix::identity(n));
+        } else {
+            prop_assert!(m.rank() < n);
+        }
+    }
+
+    /// The bitonic network sorts every input; streamed best-B merging
+    /// matches a batch sort.
+    #[test]
+    fn bitonic_matches_std_sort(
+        mut values in proptest::collection::vec(-1000.0f64..1000.0, 1..60),
+        b in 1usize..16,
+    ) {
+        use spinal_codes::hw::{bitonic_sort, merge_best};
+        // Network sort (padded).
+        let mut padded = values.clone();
+        padded.resize(values.len().next_power_of_two(), f64::INFINITY);
+        bitonic_sort(&mut padded);
+        let mut expect = values.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(&padded[..values.len()], &expect[..]);
+
+        // Streaming selection.
+        let mut best = Vec::new();
+        for chunk in values.chunks(5) {
+            merge_best(&mut best, chunk, b);
+        }
+        let keep = b.min(values.len());
+        prop_assert_eq!(&best[..], &expect[..keep]);
+        values.clear(); // silence unused-mut lint paths
+    }
+
+    /// Capacity inverse round-trips and gap-to-capacity is ≤ 0 for
+    /// achievable rates.
+    #[test]
+    fn capacity_math_properties(snr_db in -10.0f64..40.0, frac in 0.05f64..1.0) {
+        use spinal_codes::channel::capacity::{awgn_capacity_db, awgn_snr_for_rate, gap_to_capacity_db};
+        let cap = awgn_capacity_db(snr_db);
+        let rate = cap * frac;
+        let gap = gap_to_capacity_db(rate, snr_db);
+        prop_assert!(gap <= 1e-9, "gap {} for rate below capacity", gap);
+        // Inverse consistency.
+        let snr_needed = awgn_snr_for_rate(rate);
+        prop_assert!((awgn_capacity_db(10.0 * snr_needed.log10()) - rate).abs() < 1e-9);
+    }
+
+    /// CRC16 is translation-sensitive: appending its own CRC then
+    /// re-checking matches the builder's layout assumption.
+    #[test]
+    fn crc_is_deterministic_and_length_sensitive(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+        use spinal_codes::core::framing::crc16;
+        prop_assert_eq!(crc16(&data), crc16(&data));
+        let mut extended = data.clone();
+        extended.push(0);
+        // Appending a zero byte must change the CRC (except vanishing chance).
+        if !data.is_empty() {
+            prop_assert!(crc16(&extended) != crc16(&data) || data.iter().all(|&b| b == 0));
+        }
+    }
+
+    /// Strider encoder emits unit average power for arbitrary messages.
+    #[test]
+    fn strider_stream_power(seed in 0u64..200) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use spinal_codes::strider::StriderCode;
+        let code = StriderCode::new(240, 6, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg: Vec<bool> = (0..240).map(|_| rng.gen()).collect();
+        let mut enc = code.encoder(&msg);
+        let syms = enc.next_symbols(3 * code.n_sym_per_pass());
+        let p: f64 = syms.iter().map(|s| s.norm_sq()).sum::<f64>() / syms.len() as f64;
+        prop_assert!((p - 1.0).abs() < 0.25, "power {}", p);
+    }
+}
