@@ -85,7 +85,9 @@ fn bench_ldpc_bp(c: &mut Criterion) {
     let dec = BpDecoder::new();
     let mut g = c.benchmark_group("ldpc");
     g.throughput(Throughput::Elements(648));
-    g.bench_function("bp_n648_r12", |b| b.iter(|| dec.decode(&code, black_box(&llrs))));
+    g.bench_function("bp_n648_r12", |b| {
+        b.iter(|| dec.decode(&code, black_box(&llrs)))
+    });
     g.finish();
 }
 
@@ -113,7 +115,9 @@ fn bench_bcjr(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("turbo");
     g.throughput(Throughput::Elements(512));
-    g.bench_function("decode_k512_8iter", |b| b.iter(|| code.decode(black_box(&llrs))));
+    g.bench_function("decode_k512_8iter", |b| {
+        b.iter(|| code.decode(black_box(&llrs)))
+    });
     g.finish();
 }
 
@@ -151,7 +155,9 @@ fn bench_alternative_decoders(c: &mut Criterion) {
     let ml = MlDecoder::new(&params);
     g.bench_function("exact_ml", |b| b.iter(|| ml.decode(black_box(&rx))));
     let stack = StackDecoder::new(&params, 2.0 * 10f64.powf(-1.2));
-    g.bench_function("stack_sequential", |b| b.iter(|| stack.decode(black_box(&rx))));
+    g.bench_function("stack_sequential", |b| {
+        b.iter(|| stack.decode(black_box(&rx)))
+    });
     g.finish();
 }
 

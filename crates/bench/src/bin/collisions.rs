@@ -22,9 +22,12 @@ fn main() {
     let threads = args.usize("threads", default_threads());
     let p = CodeParams::default(); // n=256, k=4, B=256, d=1
 
-    let model = (p.num_spines() as f64) * 2f64.powi(-32) * (p.b as f64)
-        * 2f64.powi((p.k * p.d) as i32);
-    println!("# collision study: n={} k={} B={} d={} nu=32", p.n, p.k, p.b, p.d);
+    let model =
+        (p.num_spines() as f64) * 2f64.powi(-32) * (p.b as f64) * 2f64.powi((p.k * p.d) as i32);
+    println!(
+        "# collision study: n={} k={} B={} d={} nu=32",
+        p.n, p.k, p.b, p.d
+    );
     println!(
         "# model: per-decode collision probability ≈ {model:.3e} (once per 2^{:.1} decodes)",
         -model.log2()
@@ -64,10 +67,8 @@ fn main() {
         .iter()
         .sum();
 
-        let exposure =
-            (decodes / threads * threads) as f64 * p.num_spines() as f64 * p.b as f64;
-        let per_decode =
-            total_collisions as f64 / (decodes / threads * threads) as f64;
+        let exposure = (decodes / threads * threads) as f64 * p.num_spines() as f64 * p.b as f64;
+        let per_decode = total_collisions as f64 / (decodes / threads * threads) as f64;
         println!(
             "{hash:?}: {total_collisions} collisions in {:.2e} exposures → per-decode {per_decode:.3e} (model {:.3e})",
             exposure,

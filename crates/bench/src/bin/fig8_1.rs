@@ -20,8 +20,16 @@ fn main() {
     let snrs = snr_grid(&args, -5.0, 35.0, 2.0);
     let trials = args.usize("trials", 4);
     let full = args.has("full");
-    let strider_n = if full { 50490 } else { args.usize("strider-n", 16830) };
-    let raptor_k = if full { 9500 } else { args.usize("raptor-k", 9500) };
+    let strider_n = if full {
+        50490
+    } else {
+        args.usize("strider-n", 16830)
+    };
+    let raptor_k = if full {
+        9500
+    } else {
+        args.usize("raptor-k", 9500)
+    };
     let ldpc_trials = args.usize("ldpc-trials", 20);
     let threads = args.usize("threads", default_threads());
 
@@ -59,16 +67,16 @@ fn main() {
         let seed_base = (j as u64) << 32;
         match codes[c] {
             Code::Spinal256 => {
-                let run = SpinalRun::new(CodeParams::default().with_n(256))
-                    .with_attempt_growth(1.02);
+                let run =
+                    SpinalRun::new(CodeParams::default().with_n(256)).with_attempt_growth(1.02);
                 let t: Vec<Trial> = (0..trials)
                     .map(|i| run.run_trial(snr, seed_base + i as u64))
                     .collect();
                 summarize(snr, &t).rate
             }
             Code::Spinal1024 => {
-                let run = SpinalRun::new(CodeParams::default().with_n(1024))
-                    .with_attempt_growth(1.02);
+                let run =
+                    SpinalRun::new(CodeParams::default().with_n(1024)).with_attempt_growth(1.02);
                 let t: Vec<Trial> = (0..trials)
                     .map(|i| run.run_trial(snr, seed_base + i as u64))
                     .collect();
@@ -82,7 +90,9 @@ fn main() {
                 summarize(snr, &t).rate
             }
             Code::StriderPlus => {
-                let run = StriderRun::new(strider_n, 33).plus().with_turbo_iterations(6);
+                let run = StriderRun::new(strider_n, 33)
+                    .plus()
+                    .with_turbo_iterations(6);
                 let t: Vec<Trial> = (0..trials.div_ceil(2))
                     .map(|i| run.run_trial(snr, seed_base + i as u64))
                     .collect();
@@ -104,7 +114,9 @@ fn main() {
 
     // Panel 1 & 3: rate and gap per SNR.
     println!("# Figure 8-1 (panel 1): rate vs SNR (bits/symbol)");
-    println!("snr_db,capacity,spinal_n256,spinal_n1024,strider,strider_plus,ldpc_envelope,raptor_qam256");
+    println!(
+        "snr_db,capacity,spinal_n256,spinal_n1024,strider,strider_plus,ldpc_envelope,raptor_qam256"
+    );
     let at = |si: usize, c: usize| results[si * codes.len() + c];
     for (si, &snr) in snrs.iter().enumerate() {
         println!(
@@ -135,8 +147,11 @@ fn main() {
     // Panel 2: fraction of capacity by SNR band (paper: <10, 10-20, >20).
     println!("\n# Figure 8-1 (panel 2): mean fraction of capacity by SNR band");
     println!("band,spinal_n256,raptor,strider,strider_plus");
-    for (name, lo, hi) in [("<10dB", -90.0, 10.0), ("10-20dB", 10.0, 20.0), (">20dB", 20.0, 90.0)]
-    {
+    for (name, lo, hi) in [
+        ("<10dB", -90.0, 10.0),
+        ("10-20dB", 10.0, 20.0),
+        (">20dB", 20.0, 90.0),
+    ] {
         let mut frac = [0.0f64; 4];
         let mut count = 0;
         for (si, &snr) in snrs.iter().enumerate() {
@@ -161,8 +176,11 @@ fn main() {
     // Headline ratios the abstract quotes.
     println!("\n# headline: spinal(n=256) rate gain over baselines by band");
     println!("band,vs_raptor_pct,vs_strider_pct");
-    for (name, lo, hi) in [("<10dB", -90.0, 10.0), ("10-20dB", 10.0, 20.0), (">20dB", 20.0, 90.0)]
-    {
+    for (name, lo, hi) in [
+        ("<10dB", -90.0, 10.0),
+        ("10-20dB", 10.0, 20.0),
+        (">20dB", 20.0, 90.0),
+    ] {
         let (mut sp, mut ra, mut st, mut n) = (0.0, 0.0, 0.0, 0);
         for (si, &snr) in snrs.iter().enumerate() {
             if snr >= lo && snr < hi {

@@ -45,7 +45,10 @@ fn main() {
     for (si, &snr) in snrs.iter().enumerate() {
         print!("{snr:.1}");
         for wi in 0..ways.len() {
-            print!(",{:.3}", gap_to_capacity_db(rates[wi * snrs.len() + si], snr));
+            print!(
+                ",{:.3}",
+                gap_to_capacity_db(rates[wi * snrs.len() + si], snr)
+            );
         }
         println!();
     }

@@ -42,7 +42,10 @@ fn main() {
     for (si, &snr) in snrs.iter().enumerate() {
         print!("{snr:.1}");
         for ni in 0..sizes.len() {
-            print!(",{:.3}", gap_to_capacity_db(rates[ni * snrs.len() + si], snr));
+            print!(
+                ",{:.3}",
+                gap_to_capacity_db(rates[ni * snrs.len() + si], snr)
+            );
         }
         println!();
     }

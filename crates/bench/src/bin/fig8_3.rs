@@ -9,7 +9,9 @@
 use bench::{snr_grid, Args};
 use spinal_channel::capacity::awgn_capacity_db;
 use spinal_core::CodeParams;
-use spinal_sim::{default_threads, run_parallel, summarize, RaptorRun, SpinalRun, StriderRun, Trial};
+use spinal_sim::{
+    default_threads, run_parallel, summarize, RaptorRun, SpinalRun, StriderRun, Trial,
+};
 
 fn main() {
     let args = Args::parse();
@@ -36,30 +38,35 @@ fn main() {
         let seed = (j as u64) << 24;
         let t: Vec<Trial> = match c {
             0 => {
-                let run = SpinalRun::new(CodeParams::default().with_n(n))
-                    .with_attempt_growth(1.02);
-                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+                let run = SpinalRun::new(CodeParams::default().with_n(n)).with_attempt_growth(1.02);
+                (0..trials)
+                    .map(|i| run.run_trial(snr, seed + i as u64))
+                    .collect()
             }
             1 => {
                 let run = RaptorRun::new(n, 8);
-                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+                (0..trials)
+                    .map(|i| run.run_trial(snr, seed + i as u64))
+                    .collect()
             }
             2 => {
                 // Paper method: keep 33 layers, shrink symbols per layer.
                 let run = StriderRun::new(n, 33).with_turbo_iterations(6);
-                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+                (0..trials)
+                    .map(|i| run.run_trial(snr, seed + i as u64))
+                    .collect()
             }
             _ => {
                 let run = StriderRun::new(n, 33).plus().with_turbo_iterations(6);
-                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+                (0..trials)
+                    .map(|i| run.run_trial(snr, seed + i as u64))
+                    .collect()
             }
         };
         summarize(snr, &t).rate
     });
 
-    let idx = |ni: usize, c: usize, si: usize| {
-        rates[ni * codes * snrs.len() + c * snrs.len() + si]
-    };
+    let idx = |ni: usize, c: usize, si: usize| rates[ni * codes * snrs.len() + c * snrs.len() + si];
 
     println!("# Figure 8-3: mean fraction of capacity, 5–20 dB");
     println!("message_bits,spinal,raptor,strider,strider_plus");
@@ -74,7 +81,10 @@ fn main() {
         for f in &mut frac {
             *f /= snrs.len() as f64;
         }
-        println!("{n},{:.4},{:.4},{:.4},{:.4}", frac[0], frac[1], frac[2], frac[3]);
+        println!(
+            "{n},{:.4},{:.4},{:.4},{:.4}",
+            frac[0], frac[1], frac[2], frac[3]
+        );
     }
     println!("\n# expectation: spinal > raptor (by 14–20%) >> strider/strider+ (2.5–10×)");
 }

@@ -31,7 +31,11 @@ fn main() {
     let rates = run_parallel(jobs.len(), threads, |j| {
         let (ci, snr) = jobs[j];
         let (b, d) = configs[ci];
-        let params = CodeParams::default().with_n(n).with_k(3).with_b(b).with_d(d);
+        let params = CodeParams::default()
+            .with_n(n)
+            .with_k(3)
+            .with_b(b)
+            .with_d(d);
         let run = SpinalRun::new(params).with_attempt_growth(1.02);
         let t: Vec<Trial> = (0..trials)
             .map(|i| run.run_trial(snr, ((j * trials + i) as u64) << 8))

@@ -18,7 +18,11 @@ fn main() {
     let trials = args.usize("trials", 4);
     let threads = args.usize("threads", default_threads());
     let cs = [1u32, 2, 3, 4, 5, 6];
-    let hash = match std::env::args().skip_while(|a| a != "--hash").nth(1).as_deref() {
+    let hash = match std::env::args()
+        .skip_while(|a| a != "--hash")
+        .nth(1)
+        .as_deref()
+    {
         Some("lookup3") => HashKind::Lookup3,
         Some("salsa20") => HashKind::Salsa20,
         _ => HashKind::OneAtATime,

@@ -41,7 +41,10 @@ fn main() {
     for (si, &snr) in snrs.iter().enumerate() {
         print!("{snr:.1}");
         for ti in 0..tails.len() {
-            print!(",{:.3}", gap_to_capacity_db(rates[ti * snrs.len() + si], snr));
+            print!(
+                ",{:.3}",
+                gap_to_capacity_db(rates[ti * snrs.len() + si], snr)
+            );
         }
         println!();
     }

@@ -48,5 +48,7 @@ fn main() {
             s.trials
         );
     }
-    println!("\n# expectation: 0.5→3 bits/symbol over 2–15 dB, tracking the thesis's Fig B-2 shape");
+    println!(
+        "\n# expectation: 0.5→3 bits/symbol over 2–15 dB, tracking the thesis's Fig B-2 shape"
+    );
 }

@@ -53,7 +53,10 @@ fn main() {
     println!("snr_db,capacity,harq_ir_rate,spinal_rate");
     for (si, &snr) in snrs.iter().enumerate() {
         let (harq, spinal) = rows[si];
-        println!("{snr:.1},{:.4},{harq:.4},{spinal:.4}", awgn_capacity_db(snr));
+        println!(
+            "{snr:.1},{:.4},{harq:.4},{spinal:.4}",
+            awgn_capacity_db(snr)
+        );
     }
     println!("\n# expectation: IR-HARQ tracks spinal at low SNR but plateaus per modulation,");
     println!("# and pays the mother-code gap everywhere — the §2 motivation for true ratelessness");

@@ -48,7 +48,10 @@ fn main() {
         print!("{burst}");
         for si in 0..snrs.len() {
             let (rate, ideal) = rows[bi * snrs.len() + si];
-            print!(",{rate:.3},{:.2}", if ideal > 0.0 { rate / ideal } else { 0.0 });
+            print!(
+                ",{rate:.3},{:.2}",
+                if ideal > 0.0 { rate / ideal } else { 0.0 }
+            );
         }
         println!();
     }

@@ -32,7 +32,9 @@ fn main() {
     }
     let rates = run_parallel(jobs.len(), threads, |j| {
         let (mi, snr) = jobs[j];
-        let params = CodeParams::default().with_n(256).with_mapping(mappings[mi].1);
+        let params = CodeParams::default()
+            .with_n(256)
+            .with_mapping(mappings[mi].1);
         let run = SpinalRun::new(params).with_attempt_growth(1.02);
         let t: Vec<Trial> = (0..trials)
             .map(|i| run.run_trial(snr, ((j * trials + i) as u64) << 8))

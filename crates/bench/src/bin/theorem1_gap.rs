@@ -26,7 +26,9 @@ fn main() {
     let threads = args.usize("threads", default_threads());
     let samples = args.usize("mi-samples", 40_000);
 
-    let levels = Constellation::new(MappingKind::Uniform, c).levels().to_vec();
+    let levels = Constellation::new(MappingKind::Uniform, c)
+        .levels()
+        .to_vec();
 
     let rows = run_parallel(snrs.len(), threads, |si| {
         let snr_db = snrs[si];
@@ -34,9 +36,11 @@ fn main() {
         let mi = symbol_mi(&levels, 1.0 / snr, samples, si as u64);
         // Theorem's δ per complex symbol = 2·(3(1+SNR)2^{−c}) … the
         // quantisation term also doubles across dimensions.
-        let delta = 2.0 * (3.0 * (1.0 + snr) * 2f64.powi(-(c as i32)) + 0.5 * (std::f64::consts::PI * std::f64::consts::E / 6.0).log2());
-        let run = SpinalRun::new(CodeParams::default().with_n(256).with_c(c))
-            .with_attempt_growth(1.02);
+        let delta = 2.0
+            * (3.0 * (1.0 + snr) * 2f64.powi(-(c as i32))
+                + 0.5 * (std::f64::consts::PI * std::f64::consts::E / 6.0).log2());
+        let run =
+            SpinalRun::new(CodeParams::default().with_n(256).with_c(c)).with_attempt_growth(1.02);
         let t: Vec<Trial> = (0..trials)
             .map(|i| run.run_trial(snr_db, ((si * trials + i) as u64) << 9))
             .collect();

@@ -37,7 +37,9 @@ pub fn run(csi: bool, figure: &str) {
                 let run = SpinalRun::new(CodeParams::default().with_n(256))
                     .with_channel(LinkChannel::Rayleigh { tau, csi })
                     .with_attempt_growth(1.02);
-                (0..trials).map(|i| run.run_trial(snr, seed + i as u64)).collect()
+                (0..trials)
+                    .map(|i| run.run_trial(snr, seed + i as u64))
+                    .collect()
             }
             _ => {
                 let run = StriderRun::new(strider_n, 33)
@@ -54,7 +56,10 @@ pub fn run(csi: bool, figure: &str) {
 
     let idx = |ti: usize, c: usize, si: usize| rates[ti * 2 * snrs.len() + c * snrs.len() + si];
 
-    println!("# {figure}: Rayleigh fading, decoders {} CSI", if csi { "with exact" } else { "without" });
+    println!(
+        "# {figure}: Rayleigh fading, decoders {} CSI",
+        if csi { "with exact" } else { "without" }
+    );
     println!("snr_db,ergodic_capacity,spinal_tau1,spinal_tau10,spinal_tau100,strider_plus_tau1,strider_plus_tau10,strider_plus_tau100");
     for (si, &snr) in snrs.iter().enumerate() {
         println!(
@@ -69,4 +74,3 @@ pub fn run(csi: bool, figure: &str) {
         );
     }
 }
-

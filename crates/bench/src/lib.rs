@@ -39,7 +39,10 @@ impl Args {
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants a number"))
+            })
             .unwrap_or(default)
     }
 
@@ -47,7 +50,10 @@ impl Args {
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} wants an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} wants an integer"))
+            })
             .unwrap_or(default)
     }
 

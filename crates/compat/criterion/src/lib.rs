@@ -1,0 +1,417 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering the subset `crates/bench/benches/micro.rs`
+//! uses: `criterion_group!`/`criterion_main!`, benchmark groups with
+//! throughput annotations, `Bencher::iter` and `Bencher::iter_batched`,
+//! `BenchmarkId`, and builder-style `Criterion` configuration.
+//!
+//! Measurement model: warm up for `warm_up_time`, calibrate a batch size
+//! so one timing window is ≥ 1 ms, then collect up to `sample_size`
+//! window means within `measurement_time` and report their median.
+//! Far simpler than criterion's bootstrap analysis, but stable enough to
+//! track order-of-magnitude regressions.
+//!
+//! Set `BENCH_JSON=/path/to/file.json` to append one JSON line per
+//! benchmark (`{"group","bench","median_ns","throughput_per_s"}`) — the
+//! workspace's `BENCH_*.json` baselines are recorded this way.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup; the shim treats all variants
+/// identically (setup always runs untimed).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target number of timing samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_one(&config, "", &id.into().id, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.criterion.clone();
+        run_one(&config, &self.name, &id.into().id, self.throughput, f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let config = self.criterion.clone();
+        run_one(&config, &self.name, &id.id, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (reporting happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    config: Criterion,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Benchmark `f` called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(f());
+        }
+
+        // Calibrate: double the batch until one window is ≥ 1 ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let window = start.elapsed();
+            if window >= Duration::from_millis(1) || batch >= 1 << 28 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let deadline = Instant::now() + self.config.measurement_time;
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        while samples.len() < 3
+            || (samples.len() < self.config.sample_size && Instant::now() < deadline)
+        {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        self.median_ns = Some(median(&mut samples));
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; `setup` runs
+    /// untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine(setup()));
+        }
+
+        let mut batch = 1usize;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let window = start.elapsed();
+            if window >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let deadline = Instant::now() + self.config.measurement_time;
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        while samples.len() < 3
+            || (samples.len() < self.config.sample_size && Instant::now() < deadline)
+        {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        self.median_ns = Some(median(&mut samples));
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    config: &Criterion,
+    group: &str,
+    bench: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        config: config.clone(),
+        median_ns: None,
+    };
+    f(&mut bencher);
+    let Some(ns) = bencher.median_ns else {
+        return; // closure never called iter()
+    };
+
+    let full = if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    };
+    let (rate, rate_str) = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_s = n as f64 * 1e9 / ns;
+            (Some(per_s), format!("  thrpt: {} elem/s", human(per_s)))
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_s = n as f64 * 1e9 / ns;
+            (Some(per_s), format!("  thrpt: {}B/s", human(per_s)))
+        }
+        None => (None, String::new()),
+    };
+    println!(
+        "{full:<44} time: {:>12}{rate_str}",
+        format!("{} ns", human(ns))
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let line = format!(
+            "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"median_ns\":{ns:.1},\"throughput_per_s\":{}}}\n",
+            rate.map_or("null".to_string(), |r| format!("{r:.1}")),
+        );
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut file| file.write_all(line.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("warning: could not append to BENCH_JSON={path}: {e}");
+        }
+    }
+}
+
+fn human(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3}k", x / 1e3)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Define a benchmark group function, with or without a `config`.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_a_sane_median() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_untimed() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 3).id, "a/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -1,0 +1,70 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// Accepted length specifications for [`vec`]: an exact length or a
+/// half-open range, mirroring proptest's `SizeRange` conversions.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+/// Strategy for vectors whose elements come from `element` and whose
+/// length is drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec` — vectors of `element` values.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = crate::rng_for("vec_lengths");
+        for _ in 0..200 {
+            assert_eq!(super::vec(any::<u8>(), 7).new_value(&mut rng).len(), 7);
+            let v = super::vec(any::<bool>(), 2..5).new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+}

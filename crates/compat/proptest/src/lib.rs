@@ -1,0 +1,378 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with or without a
+//!   `#![proptest_config(...)]` header),
+//! * [`Strategy`] with [`Strategy::prop_map`], implemented for numeric
+//!   ranges, tuples of strategies, and [`any`],
+//! * [`collection::vec`] with either an exact length or a length range,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case
+//!   index; rerunning reproduces it exactly.
+//! * **Fully deterministic.** The RNG seed is derived from the test's
+//!   module path and name (FNV-1a), so every run on every machine
+//!   executes identical cases — which is what CI wants (the ISSUE
+//!   requires seeded, bounded property tests).
+//! * Failures panic immediately (the `prop_assert*` macros are plain
+//!   `assert*`), rather than returning `TestCaseError`.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod collection;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic SplitMix64 generator used to drive value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)` via 128-bit multiply (unbiased enough
+    /// for test generation).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Build the deterministic RNG for a named test (FNV-1a over the name).
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    TestRng { state: h }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.new_value(rng))
+    }
+}
+
+// Strategies borrowed by reference (lets `&strat` work where needed).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64() * 2e6 - 1e6
+    }
+}
+
+/// Strategy generating arbitrary values of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T` — `any::<bool>()`, `any::<u8>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The commonly-glob-imported prelude.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Assert a condition inside a property (panics on failure in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Define deterministic property tests.
+///
+/// Supports the two forms the workspace uses: with a leading
+/// `#![proptest_config(...)]` attribute, or bare (256 cases).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::new_value(&($strategy), &mut rng);)+
+                    let run = || -> () { $body };
+                    if let Err(payload) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest case {case}/{} of {} failed (deterministic; rerun reproduces it)",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strategy),+ ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::rng_for("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = (3u32..17).new_value(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..3.5).new_value(&mut rng);
+            assert!((-2.0..3.5).contains(&f));
+            let u = (5usize..6).new_value(&mut rng);
+            assert_eq!(u, 5);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runners() {
+        let mut a = crate::rng_for("x");
+        let mut b = crate::rng_for("x");
+        for _ in 0..100 {
+            assert_eq!(
+                (0u64..1000).new_value(&mut a),
+                (0u64..1000).new_value(&mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = crate::rng_for("map_and_tuple");
+        let strat = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(strat.new_value(&mut rng) < 19);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns(x in 0u32..50, mut v in crate::collection::vec(any::<bool>(), 1..5)) {
+            prop_assert!(x < 50);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            v.clear();
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn bare_form_defaults(x in 0u8..255) {
+            prop_assert!(x < 255);
+        }
+    }
+}

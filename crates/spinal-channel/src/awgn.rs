@@ -84,16 +84,10 @@ mod tests {
         let mean_im: f64 = rx.iter().map(|y| y.im).sum::<f64>() / rx.len() as f64;
         assert!((mean_re - 1.0).abs() < 0.02);
         assert!((mean_im + 1.0).abs() < 0.02);
-        let var_re: f64 = rx
-            .iter()
-            .map(|y| (y.re - 1.0) * (y.re - 1.0))
-            .sum::<f64>()
-            / rx.len() as f64;
-        let var_im: f64 = rx
-            .iter()
-            .map(|y| (y.im + 1.0) * (y.im + 1.0))
-            .sum::<f64>()
-            / rx.len() as f64;
+        let var_re: f64 =
+            rx.iter().map(|y| (y.re - 1.0) * (y.re - 1.0)).sum::<f64>() / rx.len() as f64;
+        let var_im: f64 =
+            rx.iter().map(|y| (y.im + 1.0) * (y.im + 1.0)).sum::<f64>() / rx.len() as f64;
         // σ²/2 = 0.5 per dimension at 0 dB.
         assert!((var_re - 0.5).abs() < 0.02, "var_re={var_re}");
         assert!((var_im - 0.5).abs() < 0.02, "var_im={var_im}");

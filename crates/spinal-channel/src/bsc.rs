@@ -20,7 +20,10 @@ impl BscChannel {
     /// with flipped outputs and accepting it silently would make capacity
     /// accounting wrong.
     pub fn new(p: f64, seed: u64) -> Self {
-        assert!((0.0..=0.5).contains(&p), "BSC flip probability {p} not in [0, 0.5]");
+        assert!(
+            (0.0..=0.5).contains(&p),
+            "BSC flip probability {p} not in [0, 0.5]"
+        );
         BscChannel {
             p,
             rng: StdRng::seed_from_u64(seed),

@@ -87,7 +87,7 @@ impl RxLlrs {
     /// Push demapped LLRs (positive ⇒ bit 0), in transmission order,
     /// `BITS_PER_POSITION` per schedule position.
     pub fn push(&mut self, llrs: &[f64]) {
-        assert!(llrs.len() % BITS_PER_POSITION == 0);
+        assert!(llrs.len().is_multiple_of(BITS_PER_POSITION));
         for chunk in llrs.chunks(BITS_PER_POSITION) {
             let pos = self.cursor.next_position();
             let mut arr = [0.0; BITS_PER_POSITION];

@@ -26,10 +26,7 @@ impl Message {
             (bytes.len() - 1) * 8 < len_bits || len_bits == 0,
             "byte vector longer than necessary for {len_bits} bits"
         );
-        let mut m = Message {
-            bytes,
-            len_bits,
-        };
+        let mut m = Message { bytes, len_bits };
         m.clear_padding();
         m
     }

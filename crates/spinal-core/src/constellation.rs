@@ -91,10 +91,7 @@ impl Constellation {
     pub fn map_word(&self, word: u32) -> Complex {
         let i_bits = (word >> 16) as u16 >> (16 - self.c);
         let q_bits = (word & 0xFFFF) as u16 >> (16 - self.c);
-        Complex::new(
-            self.levels[i_bits as usize],
-            self.levels[q_bits as usize],
-        )
+        Complex::new(self.levels[i_bits as usize], self.levels[q_bits as usize])
     }
 
     /// All per-dimension levels (ascending), e.g. for plotting Fig 3-2.
@@ -105,10 +102,7 @@ impl Constellation {
     /// Peak instantaneous power of the densest symbol, used by the PAPR
     /// study (Table 8.1).
     pub fn peak_power(&self) -> f64 {
-        let peak = self
-            .levels
-            .iter()
-            .fold(0f64, |acc, &x| acc.max(x.abs()));
+        let peak = self.levels.iter().fold(0f64, |acc, &x| acc.max(x.abs()));
         2.0 * peak * peak
     }
 }

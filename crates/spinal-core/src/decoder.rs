@@ -150,8 +150,8 @@ impl BubbleDecoder {
             scratch_min.clear();
             scratch_min.resize(n_keys, f64::INFINITY);
             for leaf in &expanded {
-                let key = ((leaf.tree as usize) << k)
-                    | ((leaf.rel_path >> shift) & edge_mask) as usize;
+                let key =
+                    ((leaf.tree as usize) << k) | ((leaf.rel_path >> shift) & edge_mask) as usize;
                 if leaf.cost < scratch_min[key] {
                     scratch_min[key] = leaf.cost;
                 }
@@ -159,9 +159,7 @@ impl BubbleDecoder {
 
             // Select the best B keys (ties broken arbitrarily by sort).
             order.clear();
-            order.extend(
-                (0..n_keys as u32).filter(|&kk| scratch_min[kk as usize].is_finite()),
-            );
+            order.extend((0..n_keys as u32).filter(|&kk| scratch_min[kk as usize].is_finite()));
             let keep = p.b.min(order.len());
             order.sort_unstable_by(|&a, &b| {
                 scratch_min[a as usize]
@@ -187,8 +185,8 @@ impl BubbleDecoder {
             let strip_mask = if shift == 0 { 0 } else { (1u64 << shift) - 1 };
             frontier.clear();
             for leaf in &expanded {
-                let key = ((leaf.tree as usize) << k)
-                    | ((leaf.rel_path >> shift) & edge_mask) as usize;
+                let key =
+                    ((leaf.tree as usize) << k) | ((leaf.rel_path >> shift) & edge_mask) as usize;
                 let new_tree = key_to_new[key];
                 if new_tree != u32::MAX {
                     frontier.push(Leaf {
@@ -263,10 +261,10 @@ impl BubbleDecoder {
 mod tests {
     use super::*;
     use crate::encoder::Encoder;
-    use crate::puncturing::{Puncturing, Schedule};
+    use crate::puncturing::Schedule;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    use spinal_channel::{AwgnChannel, BscChannel, BitChannel, Channel};
+    use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel};
 
     fn rand_msg(n: usize, seed: u64) -> Message {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -313,20 +311,32 @@ mod tests {
 
     #[test]
     fn decodes_with_depth_two_bubble() {
-        let p = CodeParams::default().with_n(96).with_k(3).with_b(16).with_d(2);
+        let p = CodeParams::default()
+            .with_n(96)
+            .with_k(3)
+            .with_b(16)
+            .with_d(2);
         assert!(roundtrip(&p, 12.0, 2, 3));
     }
 
     #[test]
     fn decodes_with_depth_three_bubble() {
-        let p = CodeParams::default().with_n(90).with_k(3).with_b(4).with_d(3);
+        let p = CodeParams::default()
+            .with_n(90)
+            .with_k(3)
+            .with_b(4)
+            .with_d(3);
         assert!(roundtrip(&p, 15.0, 2, 5));
     }
 
     #[test]
     fn decodes_with_beam_one_deep_bubble() {
         // B=1, d=4 from Figure 8-7's sweep: the bubble *is* the beam.
-        let p = CodeParams::default().with_n(60).with_k(3).with_b(1).with_d(4);
+        let p = CodeParams::default()
+            .with_n(60)
+            .with_k(3)
+            .with_b(1)
+            .with_d(4);
         assert!(roundtrip(&p, 18.0, 2, 11));
     }
 
@@ -383,8 +393,16 @@ mod tests {
         let tx = enc.next_symbols(half);
         rx.push(&ch.transmit(&tx));
         let out = BubbleDecoder::new(&p).decode(&rx);
-        assert_eq!(out.message, msg, "rate achieved would be {}", 256.0 / half as f64);
-        assert!(256.0 / half as f64 > p.k as f64, "test should exercise rate > k");
+        assert_eq!(
+            out.message,
+            msg,
+            "rate achieved would be {}",
+            256.0 / half as f64
+        );
+        assert!(
+            256.0 / half as f64 > p.k as f64,
+            "test should exercise rate > k"
+        );
     }
 
     #[test]

@@ -81,7 +81,12 @@ mod tests {
     }
 
     fn msg(seed: u8) -> Message {
-        Message::from_bytes((0..8).map(|i| seed.wrapping_mul(31).wrapping_add(i)).collect(), 64)
+        Message::from_bytes(
+            (0..8)
+                .map(|i| seed.wrapping_mul(31).wrapping_add(i))
+                .collect(),
+            64,
+        )
     }
 
     #[test]
@@ -121,11 +126,7 @@ mod tests {
         let sa = ea.next_symbols(16);
         let sb = eb.next_symbols(16);
         assert_eq!(&sa[..8], &sb[..8]);
-        let diffs = sa[8..]
-            .iter()
-            .zip(&sb[8..])
-            .filter(|(x, y)| x != y)
-            .count();
+        let diffs = sa[8..].iter().zip(&sb[8..]).filter(|(x, y)| x != y).count();
         assert_eq!(diffs, 8, "all post-divergence symbols should differ");
     }
 

@@ -56,7 +56,7 @@ impl FrameBuilder {
             "block of {block_bits} bits cannot fit a {CRC_BITS}-bit CRC"
         );
         assert!(
-            block_bits % 8 == 0,
+            block_bits.is_multiple_of(8),
             "block size must be byte aligned, got {block_bits}"
         );
         FrameBuilder { block_bits }

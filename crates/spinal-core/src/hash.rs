@@ -198,7 +198,7 @@ mod tests {
             for t in 0..trials {
                 x = x.wrapping_mul(2654435761).wrapping_add(t);
                 let base = kind.hash(x, t);
-                let bit = (t % 32) as u32;
+                let bit = t % 32;
                 let alt = kind.hash(x ^ (1 << bit), t);
                 flipped_total += (base ^ alt).count_ones() as u64;
             }

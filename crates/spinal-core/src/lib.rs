@@ -77,6 +77,7 @@ pub mod sequential;
 pub mod spine;
 pub mod symbols;
 
+pub use bitmode::{BitEncoder, BitModeDecoder, RxLlrs};
 pub use bits::Message;
 pub use constellation::{Constellation, MappingKind};
 pub use decoder::{BubbleDecoder, DecodeResult};
@@ -84,9 +85,8 @@ pub use encoder::Encoder;
 pub use framing::{crc16, FrameBuilder, FrameReassembly, CRC_BITS};
 pub use hash::HashKind;
 pub use ml::MlDecoder;
-pub use sequential::{StackDecoder, StackResult};
-pub use bitmode::{BitEncoder, BitModeDecoder, RxLlrs};
 pub use params::CodeParams;
 pub use puncturing::{Puncturing, Schedule, ScheduleCursor, SymbolPosition};
 pub use rx::{RxBits, RxEntry, RxSymbols};
+pub use sequential::{StackDecoder, StackResult};
 pub use symbols::SymbolGen;

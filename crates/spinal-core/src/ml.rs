@@ -89,7 +89,11 @@ impl MlDecoder {
         let mut msg = Message::zeros(p.n);
         for i in 0..ns {
             let shift = (ns - 1 - i) * p.k;
-            msg.set_bits(i * p.k, p.k, ((best_msg >> shift) & ((1 << p.k) - 1)) as u32);
+            msg.set_bits(
+                i * p.k,
+                p.k,
+                ((best_msg >> shift) & ((1 << p.k) - 1)) as u32,
+            );
         }
         DecodeResult {
             message: msg,
@@ -112,7 +116,13 @@ mod tests {
         CodeParams::default().with_n(16)
     }
 
-    fn rx_for(params: &CodeParams, msg: &Message, snr_db: f64, passes: usize, seed: u64) -> RxSymbols {
+    fn rx_for(
+        params: &CodeParams,
+        msg: &Message,
+        snr_db: f64,
+        passes: usize,
+        seed: u64,
+    ) -> RxSymbols {
         let mut enc = Encoder::new(params, msg);
         let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
         let mut rx = RxSymbols::new(schedule.clone());

@@ -71,12 +71,16 @@ impl CodeParams {
             self.k
         );
         assert!(
-            self.n % self.k == 0,
+            self.n.is_multiple_of(self.k),
             "n={} must be a multiple of k={}",
             self.n,
             self.k
         );
-        assert!((1..=MAX_C).contains(&self.c), "c={} outside 1..={MAX_C}", self.c);
+        assert!(
+            (1..=MAX_C).contains(&self.c),
+            "c={} outside 1..={MAX_C}",
+            self.c
+        );
         assert!(self.b >= 1, "beam width must be at least 1");
         assert!(self.d >= 1, "bubble depth must be at least 1");
         assert!(
@@ -178,7 +182,11 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let p = CodeParams::default().with_n(1024).with_k(4).with_b(64).with_d(2);
+        let p = CodeParams::default()
+            .with_n(1024)
+            .with_k(4)
+            .with_b(64)
+            .with_d(2);
         p.validate();
         assert_eq!(p.num_spines(), 256);
     }
@@ -192,7 +200,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_depth_beyond_spine() {
-        CodeParams::default().with_n(8).with_k(4).with_d(3).validate();
+        CodeParams::default()
+            .with_n(8)
+            .with_k(4)
+            .with_d(3)
+            .validate();
     }
 
     #[test]

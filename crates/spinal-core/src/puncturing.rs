@@ -268,7 +268,7 @@ mod tests {
     fn rng_indices_are_per_spine_counters() {
         let s = Schedule::new(16, 2, Puncturing::strided8());
         let syms = s.generate(200);
-        let mut counters = vec![0u32; 16];
+        let mut counters = [0u32; 16];
         for p in &syms {
             assert_eq!(p.rng_index, counters[p.spine], "at spine {}", p.spine);
             counters[p.spine] += 1;
@@ -351,7 +351,7 @@ mod tests {
     fn ways_exceeding_spines_still_covers() {
         let s = Schedule::new(4, 1, Puncturing::strided8());
         let syms = s.generate(5);
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for p in &syms {
             seen[p.spine] = true;
         }

@@ -162,7 +162,9 @@ mod tests {
     #[test]
     fn incremental_pushes_match_single_push() {
         let sched = Schedule::new(8, 2, Puncturing::strided8());
-        let ys: Vec<Complex> = (0..40).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let ys: Vec<Complex> = (0..40)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let mut a = RxSymbols::new(sched.clone());
         a.push(&ys);
         let mut b = RxSymbols::new(sched);
@@ -190,7 +192,9 @@ mod tests {
             // Every lossy entry must appear in the lossless buffer with
             // identical (rng_index, y).
             for e in part {
-                assert!(full.iter().any(|f| f.rng_index == e.rng_index && f.y == e.y));
+                assert!(full
+                    .iter()
+                    .any(|f| f.rng_index == e.rng_index && f.y == e.y));
             }
         }
         assert_eq!(lossy.symbols_received(), 15);

@@ -83,7 +83,10 @@ impl StackDecoder {
     /// per spine: `L·σ²` — callers know both).
     pub fn new(params: &CodeParams, bias: f64) -> Self {
         params.validate();
-        assert!(params.n <= 128 / params.k * params.k, "path bits exceed u128");
+        assert!(
+            params.n <= 128 / params.k * params.k,
+            "path bits exceed u128"
+        );
         StackDecoder {
             params: params.clone(),
             gen: SymbolGen::new(params),
@@ -127,7 +130,11 @@ impl StackDecoder {
                 let mut msg = Message::zeros(p.n);
                 for i in 0..ns {
                     let shift = (ns - 1 - i) * p.k;
-                    msg.set_bits(i * p.k, p.k, ((path.bits >> shift) & ((1 << p.k) - 1)) as u32);
+                    msg.set_bits(
+                        i * p.k,
+                        p.k,
+                        ((path.bits >> shift) & ((1 << p.k) - 1)) as u32,
+                    );
                 }
                 return StackResult {
                     result: Some(DecodeResult {
@@ -173,7 +180,12 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use spinal_channel::{AwgnChannel, Channel};
 
-    fn setup(n: usize, snr_db: f64, passes: usize, seed: u64) -> (CodeParams, Message, RxSymbols, f64) {
+    fn setup(
+        n: usize,
+        snr_db: f64,
+        passes: usize,
+        seed: u64,
+    ) -> (CodeParams, Message, RxSymbols, f64) {
         let p = CodeParams::default().with_n(n);
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = Message::random(n, || rng.gen());
@@ -245,7 +257,9 @@ mod tests {
         // much more work at the same SNR.
         let (p, msg, rx, bias) = setup(48, 12.0, 2, 21);
         let tuned = StackDecoder::new(&p, bias).decode(&rx);
-        let untuned = StackDecoder::new(&p, 0.0).with_max_nodes(200_000).decode(&rx);
+        let untuned = StackDecoder::new(&p, 0.0)
+            .with_max_nodes(200_000)
+            .decode(&rx);
         assert_eq!(tuned.result.expect("tuned finishes").message, msg);
         assert!(
             untuned.nodes_expanded > tuned.nodes_expanded,

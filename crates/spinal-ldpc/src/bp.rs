@@ -169,12 +169,7 @@ mod tests {
         let cw = code.encode(&msg);
         let llrs = channel_llrs(&cw, -6.0, &mut rng);
         let out = BpDecoder::new().decode(&code, &llrs);
-        let wrong = out
-            .codeword
-            .iter()
-            .zip(&cw)
-            .filter(|(a, b)| a != b)
-            .count();
+        let wrong = out.codeword.iter().zip(&cw).filter(|(a, b)| a != b).count();
         assert!(
             !out.converged || wrong > 0,
             "decoding should fail far below capacity"
@@ -194,7 +189,7 @@ mod tests {
                 let msg: Vec<bool> = (0..code.k()).map(|_| rng.gen()).collect();
                 let cw = code.encode(&msg);
                 let llrs = channel_llrs(&cw, 2.0, &mut rng);
-                let out = BpDecoder::new().decode(&code, &llrs);
+                let out = BpDecoder::new().decode(code, &llrs);
                 if out.converged && out.codeword == cw {
                     *ok += 1;
                 }

@@ -108,7 +108,7 @@ impl LdpcCode {
         assert_eq!(codeword.len(), self.n);
         self.checks
             .iter()
-            .all(|row| row.iter().fold(false, |acc, &v| acc ^ codeword[v]) == false)
+            .all(|row| !row.iter().fold(false, |acc, &v| acc ^ codeword[v]))
     }
 }
 

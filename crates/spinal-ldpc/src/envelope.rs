@@ -49,14 +49,38 @@ pub struct Mcs {
 impl Mcs {
     /// The eight entries mirroring 802.11n MCS 0–7 (single stream).
     pub const TABLE: [Mcs; 8] = [
-        Mcs { modulation: Modulation::Bpsk, rate: WifiRate::R12 },
-        Mcs { modulation: Modulation::Qpsk, rate: WifiRate::R12 },
-        Mcs { modulation: Modulation::Qpsk, rate: WifiRate::R34 },
-        Mcs { modulation: Modulation::Qam16, rate: WifiRate::R12 },
-        Mcs { modulation: Modulation::Qam16, rate: WifiRate::R34 },
-        Mcs { modulation: Modulation::Qam64, rate: WifiRate::R23 },
-        Mcs { modulation: Modulation::Qam64, rate: WifiRate::R34 },
-        Mcs { modulation: Modulation::Qam64, rate: WifiRate::R56 },
+        Mcs {
+            modulation: Modulation::Bpsk,
+            rate: WifiRate::R12,
+        },
+        Mcs {
+            modulation: Modulation::Qpsk,
+            rate: WifiRate::R12,
+        },
+        Mcs {
+            modulation: Modulation::Qpsk,
+            rate: WifiRate::R34,
+        },
+        Mcs {
+            modulation: Modulation::Qam16,
+            rate: WifiRate::R12,
+        },
+        Mcs {
+            modulation: Modulation::Qam16,
+            rate: WifiRate::R34,
+        },
+        Mcs {
+            modulation: Modulation::Qam64,
+            rate: WifiRate::R23,
+        },
+        Mcs {
+            modulation: Modulation::Qam64,
+            rate: WifiRate::R34,
+        },
+        Mcs {
+            modulation: Modulation::Qam64,
+            rate: WifiRate::R56,
+        },
     ];
 
     /// Information bits per complex symbol when this MCS succeeds.

@@ -157,9 +157,10 @@ impl BitMatrix {
         }
         (0..self.rows)
             .map(|r| {
+                let row = &self.data[r * self.words_per_row..(r + 1) * self.words_per_row];
                 let mut acc = 0u64;
-                for i in 0..self.words_per_row {
-                    acc ^= self.data[r * self.words_per_row + i] & xp[i];
+                for (w, &x) in row.iter().zip(&xp) {
+                    acc ^= w & x;
                 }
                 acc.count_ones() % 2 == 1
             })

@@ -141,7 +141,9 @@ mod tests {
     fn needs_more_redundancy_at_low_snr() {
         let harq = IrHarq::new(2, 1);
         let hi = harq.run_trial(12.0, 3).expect("12 dB decodes");
-        let lo = harq.run_trial(2.0, 3).expect("2 dB decodes with full parity");
+        let lo = harq
+            .run_trial(2.0, 3)
+            .expect("2 dB decodes with full parity");
         assert!(lo > hi, "low SNR must need more symbols: {lo} vs {hi}");
     }
 
@@ -159,7 +161,10 @@ mod tests {
         let harq = IrHarq::new(2, 2);
         let symbols = harq.run_trial(-2.0, 9).expect("chase combining decodes");
         let rate = harq.k() as f64 / symbols as f64;
-        assert!(rate < 1.0, "rate {rate} should be deep in repetition regime");
+        assert!(
+            rate < 1.0,
+            "rate {rate} should be deep in repetition regime"
+        );
     }
 
     #[test]

@@ -19,10 +19,10 @@
 #![warn(missing_docs)]
 
 pub mod bp;
-pub mod harq;
 pub mod code;
 pub mod envelope;
 pub mod gf2;
+pub mod harq;
 pub mod qc;
 pub mod wifi;
 

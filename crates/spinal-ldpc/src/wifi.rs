@@ -106,10 +106,7 @@ mod tests {
             let b = base_matrix(r);
             assert_eq!(b.n(), 648, "{r:?}");
             let k = b.k();
-            assert!(
-                (k as f64 / 648.0 - r.rate()).abs() < 1e-9,
-                "{r:?}: k={k}"
-            );
+            assert!((k as f64 / 648.0 - r.rate()).abs() < 1e-9, "{r:?}: k={k}");
         }
     }
 

@@ -145,9 +145,7 @@ mod tests {
             // tiny perturbation
             let y = Complex::new(y.re + 0.03, y.im - 0.02);
             let llrs = d.llrs(y, 0.05);
-            let hard: u32 = llrs
-                .iter()
-                .fold(0, |acc, &l| (acc << 1) | (l < 0.0) as u32);
+            let hard: u32 = llrs.iter().fold(0, |acc, &l| (acc << 1) | (l < 0.0) as u32);
             assert_eq!(hard, q.hard_demap(y));
         }
     }

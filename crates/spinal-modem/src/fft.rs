@@ -30,7 +30,7 @@ fn transform(x: &mut [Complex], inverse: bool) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             x.swap(i, j);
         }
@@ -79,7 +79,9 @@ mod tests {
         let n = 64;
         let k = 5;
         let mut x: Vec<Complex> = (0..n)
-            .map(|t| Complex::from_phase(2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64))
+            .map(|t| {
+                Complex::from_phase(2.0 * std::f64::consts::PI * k as f64 * t as f64 / n as f64)
+            })
             .collect();
         fft(&mut x);
         for (bin, v) in x.iter().enumerate() {
@@ -119,7 +121,9 @@ mod tests {
     #[test]
     fn linearity() {
         let a: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
-        let b: Vec<Complex> = (0..16).map(|i| Complex::new(0.0, (16 - i) as f64)).collect();
+        let b: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(0.0, (16 - i) as f64))
+            .collect();
         let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         let (mut fa, mut fb, mut fs) = (a, b, sum);
         fft(&mut fa);

@@ -163,10 +163,7 @@ mod tests {
         let n = (cfg.n_fft * cfg.oversample) as f64;
         let mean_p: f64 = wave.iter().map(|v| v.norm_sq()).sum::<f64>() / n;
         let expect = 52.0 / (n * n); // 48 data + 4 pilots, unit power each
-        assert!(
-            (mean_p - expect).abs() < 1e-12,
-            "mean {mean_p} vs {expect}"
-        );
+        assert!((mean_p - expect).abs() < 1e-12, "mean {mean_p} vs {expect}");
     }
 
     #[test]

@@ -38,7 +38,7 @@ impl Qam {
     /// 2 → QPSK, 4 → QAM-16, 6 → QAM-64, 8 → QAM-256, 20 → QAM-2^20.
     pub fn new(bits_per_symbol: u32) -> Self {
         assert!(
-            bits_per_symbol >= 2 && bits_per_symbol % 2 == 0 && bits_per_symbol <= 26,
+            bits_per_symbol >= 2 && bits_per_symbol.is_multiple_of(2) && bits_per_symbol <= 26,
             "bits per symbol must be even in 2..=26, got {bits_per_symbol}"
         );
         let m = bits_per_symbol / 2;

@@ -53,6 +53,9 @@ mod tests {
     fn single_mcs_throughput_matches_success_fraction() {
         let runner = McsRunner::new(Mcs::TABLE[1]); // QPSK 1/2 = 1 bit/sym
         let t = mcs_throughput(&runner, 8.0, 4, 3);
-        assert!((t - 1.0).abs() < 1e-9, "QPSK 1/2 at 8 dB should be clean, got {t}");
+        assert!(
+            (t - 1.0).abs() < 1e-9,
+            "QPSK 1/2 at 8 dB should be clean, got {t}"
+        );
     }
 }

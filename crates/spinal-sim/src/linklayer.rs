@@ -104,7 +104,10 @@ mod tests {
             "feedback must cost something: {} vs {ideal}",
             out.effective_rate
         );
-        assert!(out.effective_rate > 0.5 * ideal, "overhead implausibly high");
+        assert!(
+            out.effective_rate > 0.5 * ideal,
+            "overhead implausibly high"
+        );
     }
 
     #[test]

@@ -258,8 +258,14 @@ mod tests {
     #[test]
     fn rate_increases_with_snr() {
         let run = SpinalRun::new(fast_params());
-        let lo = summarize(0.0, &(0..3).map(|s| run.run_trial(0.0, s)).collect::<Vec<_>>());
-        let hi = summarize(20.0, &(0..3).map(|s| run.run_trial(20.0, s)).collect::<Vec<_>>());
+        let lo = summarize(
+            0.0,
+            &(0..3).map(|s| run.run_trial(0.0, s)).collect::<Vec<_>>(),
+        );
+        let hi = summarize(
+            20.0,
+            &(0..3).map(|s| run.run_trial(20.0, s)).collect::<Vec<_>>(),
+        );
         assert!(hi.rate > lo.rate, "hi {} vs lo {}", hi.rate, lo.rate);
     }
 
@@ -292,8 +298,10 @@ mod tests {
     fn csi_beats_blind_decoding() {
         let csi = SpinalRun::new(fast_params())
             .with_channel(LinkChannel::Rayleigh { tau: 10, csi: true });
-        let blind = SpinalRun::new(fast_params())
-            .with_channel(LinkChannel::Rayleigh { tau: 10, csi: false });
+        let blind = SpinalRun::new(fast_params()).with_channel(LinkChannel::Rayleigh {
+            tau: 10,
+            csi: false,
+        });
         let mut csi_syms = 0usize;
         let mut blind_syms = 0usize;
         let mut csi_fail = 0;
@@ -350,10 +358,25 @@ mod tests {
     #[test]
     fn bsc_trial_decodes() {
         let p = fast_params();
-        let t = run_bsc_trial(&p, 0.05, 40, true, 5);
-        let s = t.symbols.expect("BSC trial should decode");
-        // Capacity at p=0.05 is 0.71 bits/use; the code cannot beat it.
-        assert!(96.0 / s as f64 <= 0.72, "rate {} beats BSC capacity", 96.0 / s as f64);
+        // Capacity at p=0.05 is 0.71 bits/use. A single 96-bit block can
+        // "beat" that with a lucky noise draw (capacity is asymptotic),
+        // so assert on the mean rate across seeds instead of one trial.
+        let mut decoded_bits = 0usize;
+        let mut used_symbols = 0usize;
+        let mut ok = 0;
+        for seed in 0..8 {
+            if let Some(s) = run_bsc_trial(&p, 0.05, 40, true, seed).symbols {
+                ok += 1;
+                decoded_bits += 96;
+                used_symbols += s;
+            }
+        }
+        assert!(ok >= 6, "BSC trials should mostly decode ({ok}/8)");
+        let mean_rate = decoded_bits as f64 / used_symbols as f64;
+        assert!(
+            mean_rate <= 0.72,
+            "mean rate {mean_rate} beats BSC capacity"
+        );
     }
 
     #[test]

@@ -85,12 +85,12 @@ impl StriderRun {
 
         let n_sym = code.n_sym_per_pass();
         let max_symbols = self.max_passes * n_sym;
-        let full_rate = 0.4 * self.layers as f64; // (2/5)·L bits/symbol at ℓ=1
+        // (2/5)·L bits/symbol at ℓ=1.
+        let full_rate = 0.4 * self.layers as f64;
         // Feasibility skip: rate 13.2/ℓ must be ≤ ~capacity to have any
         // chance; skip attempts before that point.
         let capacity = awgn_capacity_db(snr_db);
-        let min_symbols =
-            ((full_rate / capacity).max(1.0) * n_sym as f64 * 0.9) as usize;
+        let min_symbols = ((full_rate / capacity).max(1.0) * n_sym as f64 * 0.9) as usize;
 
         let mut awgn;
         let mut rayleigh;

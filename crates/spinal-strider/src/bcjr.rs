@@ -40,6 +40,9 @@ pub fn bcjr(trellis: &Trellis, sys: &[f64], p1: &[f64], p2: &[f64]) -> Vec<f64> 
 }
 
 /// BCJR with parity APPs as well (see [`BcjrOutput`]).
+// State-indexed loops walk several trellis tables in lockstep; indices
+// are clearer than zipped iterators here.
+#[allow(clippy::needless_range_loop)]
 pub fn bcjr_full(trellis: &Trellis, sys: &[f64], p1: &[f64], p2: &[f64]) -> BcjrOutput {
     let n = sys.len();
     assert_eq!(p1.len(), n);
@@ -50,8 +53,16 @@ pub fn bcjr_full(trellis: &Trellis, sys: &[f64], p1: &[f64], p2: &[f64]) -> Bcjr
     // with x = +1 for bit 0 and −1 for bit 1.
     let gamma = |t: usize, s: usize, u: usize| -> f64 {
         let xu = if u == 0 { 1.0 } else { -1.0 };
-        let xp1 = if trellis.parity1[s][u] == 0 { 1.0 } else { -1.0 };
-        let xp2 = if trellis.parity2[s][u] == 0 { 1.0 } else { -1.0 };
+        let xp1 = if trellis.parity1[s][u] == 0 {
+            1.0
+        } else {
+            -1.0
+        };
+        let xp2 = if trellis.parity2[s][u] == 0 {
+            1.0
+        } else {
+            -1.0
+        };
         0.5 * (xu * sys[t] + xp1 * p1[t] + xp2 * p2[t])
     };
 
@@ -71,7 +82,10 @@ pub fn bcjr_full(trellis: &Trellis, sys: &[f64], p1: &[f64], p2: &[f64]) -> Bcjr
             }
         }
         // Normalise to avoid drift.
-        let mx = alpha[t + 1].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mx = alpha[t + 1]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         for v in alpha[t + 1].iter_mut() {
             *v -= mx;
         }
@@ -239,9 +253,9 @@ mod tests {
         let sys: Vec<f64> = bits.iter().map(|&b| if b { -15.0 } else { 15.0 }).collect();
         let zeros = vec![0.0; 32];
         let out = bcjr_full(&t, &sys, &zeros, &zeros);
-        for i in 0..32 {
-            assert_eq!(out.p1[i] < 0.0, p1[i], "p1 bit {i}");
-            assert!(out.p1[i].abs() > 3.0, "parity APP should be confident");
+        for (i, (&app, &bit)) in out.p1.iter().zip(&p1).enumerate() {
+            assert_eq!(app < 0.0, bit, "p1 bit {i}");
+            assert!(app.abs() > 3.0, "parity APP should be confident");
         }
     }
 

@@ -19,5 +19,8 @@ pub mod interleave;
 pub mod strider;
 pub mod turbo;
 
-pub use strider::{PowerMode, StriderCode, StriderDecoder, StriderEncoder, StriderResult, DEFAULT_LAYERS, DEFAULT_MAX_PASSES};
+pub use strider::{
+    PowerMode, StriderCode, StriderDecoder, StriderEncoder, StriderResult, DEFAULT_LAYERS,
+    DEFAULT_MAX_PASSES,
+};
 pub use turbo::{TurboCode, TurboCodeword, TurboLlrs};

@@ -69,15 +69,10 @@ pub struct StriderCode {
 
 /// One layer's QPSK stream: coded bit pairs → symbols at unit power.
 fn qpsk_map(bits: &[bool]) -> Vec<Complex> {
-    assert!(bits.len() % 2 == 0);
+    assert!(bits.len().is_multiple_of(2));
     let a = 0.5f64.sqrt();
     bits.chunks(2)
-        .map(|p| {
-            Complex::new(
-                if p[0] { -a } else { a },
-                if p[1] { -a } else { a },
-            )
-        })
+        .map(|p| Complex::new(if p[0] { -a } else { a }, if p[1] { -a } else { a }))
         .collect()
 }
 
@@ -310,7 +305,12 @@ impl StriderDecoder {
     ///   it (mirroring the real system's per-layer CRC) and the decoder
     ///   stops early once progress is impossible. This cannot change a
     ///   success verdict; it only skips doomed work in sweeps.
-    pub fn decode(&self, rx: &[Complex], noise_power: f64, genie: Option<&[bool]>) -> StriderResult {
+    pub fn decode(
+        &self,
+        rx: &[Complex],
+        noise_power: f64,
+        genie: Option<&[bool]>,
+    ) -> StriderResult {
         let code = &self.code;
         let n_sym = code.n_sym;
         let layers = code.layers;
@@ -353,8 +353,7 @@ impl StriderDecoder {
                     if p_count == 0 {
                         return (0.0, f64::INFINITY);
                     }
-                    let v: Vec<Complex> =
-                        (0..p_count).map(|m| code.layer_coeff(m, l)).collect();
+                    let v: Vec<Complex> = (0..p_count).map(|m| code.layer_coeff(m, l)).collect();
                     let v_norm: f64 = v.iter().map(|c| c.norm_sq()).sum();
                     let mut interference = 0.0;
                     for l2 in 0..layers {
@@ -380,7 +379,11 @@ impl StriderDecoder {
                     if pc == 0 {
                         continue;
                     }
-                    let (v_norm, nu) = if t < remainder { stats_extra } else { stats_full };
+                    let (v_norm, nu) = if t < remainder {
+                        stats_extra
+                    } else {
+                        stats_full
+                    };
                     let mut z = Complex::ZERO;
                     for (m, row) in residual.iter().enumerate().take(pc) {
                         let coeff = code.layer_coeff(m, l);
@@ -395,9 +398,7 @@ impl StriderDecoder {
                 let hard: Vec<bool> = soft_out.sys.iter().map(|&x| x < 0.0).collect();
 
                 let confirmed = match &padded_msg {
-                    Some(truth) => {
-                        hard == truth[l * code.layer_bits..(l + 1) * code.layer_bits]
-                    }
+                    Some(truth) => hard == truth[l * code.layer_bits..(l + 1) * code.layer_bits],
                     // Without a genie/CRC, freeze on confident posteriors.
                     None => {
                         soft_out.sys.iter().map(|x| x.abs()).sum::<f64>()
@@ -518,8 +519,9 @@ mod tests {
 
     #[test]
     fn geometric_power_mode_is_geometric() {
-        let code = StriderCode::new(660, DEFAULT_LAYERS, 1)
-            .with_power_mode(PowerMode::Geometric { design_snr_db: 30.0 });
+        let code = StriderCode::new(660, DEFAULT_LAYERS, 1).with_power_mode(PowerMode::Geometric {
+            design_snr_db: 30.0,
+        });
         let total: f64 = code.powers.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
         // τ from the 30 dB design: (1+1000)^(1/33) − 1.
@@ -534,10 +536,13 @@ mod tests {
 
     #[test]
     fn design_snr_controls_dynamic_range() {
-        let narrow = StriderCode::new(660, DEFAULT_LAYERS, 1)
-            .with_power_mode(PowerMode::Geometric { design_snr_db: 20.0 });
-        let wide = StriderCode::new(660, DEFAULT_LAYERS, 1)
-            .with_power_mode(PowerMode::Geometric { design_snr_db: 40.0 });
+        let narrow =
+            StriderCode::new(660, DEFAULT_LAYERS, 1).with_power_mode(PowerMode::Geometric {
+                design_snr_db: 20.0,
+            });
+        let wide = StriderCode::new(660, DEFAULT_LAYERS, 1).with_power_mode(PowerMode::Geometric {
+            design_snr_db: 40.0,
+        });
         let range = |c: &StriderCode| 10.0 * (c.powers[0] / c.powers[32]).log10();
         assert!(range(&narrow) < range(&wide));
     }

@@ -19,13 +19,15 @@ use spinal_codes::CodeParams;
 fn main() {
     let params = CodeParams::default(); // n=256
     let trials = 6;
-    println!("Rayleigh fading link, n={} bits, {trials} packets/point", params.n);
+    println!(
+        "Rayleigh fading link, n={} bits, {trials} packets/point",
+        params.n
+    );
     println!("snr_db,tau,rate_with_csi,rate_blind,ergodic_capacity");
 
     for snr_db in [10.0, 20.0] {
         for tau in [1usize, 10, 100] {
-            let capacity =
-                spinal_codes::channel::capacity::rayleigh_ergodic_capacity_db(snr_db);
+            let capacity = spinal_codes::channel::capacity::rayleigh_ergodic_capacity_db(snr_db);
 
             let with_csi = SpinalRun::new(params.clone())
                 .with_channel(LinkChannel::Rayleigh { tau, csi: true });

@@ -17,7 +17,10 @@ fn main() {
     // The paper's default parameters: k=4, c=6, B=256, d=1, 8-way
     // puncturing, two tail symbols (§7.1). n = 256-bit code blocks.
     let params = CodeParams::default();
-    println!("spinal code: n={} k={} c={} B={} d={}", params.n, params.k, params.c, params.b, params.d);
+    println!(
+        "spinal code: n={} k={} c={} B={} d={}",
+        params.n, params.k, params.c, params.b, params.d
+    );
 
     let payload = b"Hello, spinal codes! (rateless)"; // ≤ n/8 = 32 bytes
     assert!(payload.len() <= params.n / 8);

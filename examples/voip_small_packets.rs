@@ -24,25 +24,28 @@ fn main() {
         let capacity = spinal_codes::channel::capacity::awgn_capacity_db(snr_db);
 
         let spinal = SpinalRun::new(CodeParams::default().with_n(packet_bits));
-        let spinal_trials: Vec<Trial> =
-            (0..trials).map(|s| spinal.run_trial(snr_db, s as u64)).collect();
+        let spinal_trials: Vec<Trial> = (0..trials)
+            .map(|s| spinal.run_trial(snr_db, s as u64))
+            .collect();
         let spinal_rate = summarize(snr_db, &spinal_trials).rate;
 
         let raptor = RaptorRun::new(packet_bits, 8);
-        let raptor_trials: Vec<Trial> =
-            (0..trials).map(|s| raptor.run_trial(snr_db, s as u64)).collect();
+        let raptor_trials: Vec<Trial> = (0..trials)
+            .map(|s| raptor.run_trial(snr_db, s as u64))
+            .collect();
         let raptor_rate = summarize(snr_db, &raptor_trials).rate;
 
         // Strider at its paper-recommended 33 layers: each layer carries
         // only ~39 bits here — the cause of its small-packet collapse.
-        let strider = StriderRun::new(packet_bits, 33).plus().with_turbo_iterations(5);
-        let strider_trials: Vec<Trial> =
-            (0..trials).map(|s| strider.run_trial(snr_db, s as u64)).collect();
+        let strider = StriderRun::new(packet_bits, 33)
+            .plus()
+            .with_turbo_iterations(5);
+        let strider_trials: Vec<Trial> = (0..trials)
+            .map(|s| strider.run_trial(snr_db, s as u64))
+            .collect();
         let strider_rate = summarize(snr_db, &strider_trials).rate;
 
-        println!(
-            "{snr_db:.1},{spinal_rate:.3},{raptor_rate:.3},{strider_rate:.3},{capacity:.3}"
-        );
+        println!("{snr_db:.1},{spinal_rate:.3},{raptor_rate:.3},{strider_rate:.3},{capacity:.3}");
     }
     println!();
     println!("expect: spinal > raptor > strider+ at every SNR (Figure 8-3)");

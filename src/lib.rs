@@ -19,17 +19,17 @@
 
 pub use spinal_channel as channel;
 pub use spinal_core as core;
+pub use spinal_hw as hw;
 pub use spinal_ldpc as ldpc;
 pub use spinal_modem as modem;
 pub use spinal_raptor as raptor;
 pub use spinal_sim as sim;
-pub use spinal_hw as hw;
 pub use spinal_strider as strider;
 
 // The types a typical user touches, flattened for convenience.
 pub use spinal_channel::{AwgnChannel, BscChannel, Channel, Complex, RayleighChannel};
 pub use spinal_core::{
-    BubbleDecoder, CodeParams, Encoder, FrameBuilder, HashKind, MappingKind, Message,
-    Puncturing, RxBits, RxSymbols, Schedule,
+    BubbleDecoder, CodeParams, Encoder, FrameBuilder, HashKind, MappingKind, Message, Puncturing,
+    RxBits, RxSymbols, Schedule,
 };
 pub use spinal_sim::{LinkChannel, SpinalRun};

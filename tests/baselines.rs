@@ -112,7 +112,9 @@ fn uniform_mi_bounds_measured_spinal_rate() {
 
     let snr_db = 18.0;
     let snr = 10f64.powf(snr_db / 10.0);
-    let levels = Constellation::new(MappingKind::Uniform, 6).levels().to_vec();
+    let levels = Constellation::new(MappingKind::Uniform, 6)
+        .levels()
+        .to_vec();
     let mi = symbol_mi(&levels, 1.0 / snr, 30_000, 1);
     let cap = awgn_capacity_db(snr_db);
 
@@ -120,7 +122,10 @@ fn uniform_mi_bounds_measured_spinal_rate() {
     let t: Vec<Trial> = (0..3).map(|s| run.run_trial(snr_db, s)).collect();
     let rate = summarize(snr_db, &t).rate;
 
-    assert!(rate <= mi + 0.05, "rate {rate} exceeds constellation MI {mi}");
+    assert!(
+        rate <= mi + 0.05,
+        "rate {rate} exceeds constellation MI {mi}"
+    );
     assert!(mi <= cap + 0.05, "MI {mi} exceeds capacity {cap}");
 }
 

@@ -41,7 +41,10 @@ fn full_pipeline_decodes_across_snr_range() {
         let used = decode_loop(&params, &msg, snr, seed).expect("decode failed");
         let rate = 128.0 / used as f64;
         let cap = spinal_codes::channel::capacity::awgn_capacity_db(snr);
-        assert!(rate <= cap + 1e-9, "snr {snr}: rate {rate} above capacity {cap}");
+        assert!(
+            rate <= cap + 1e-9,
+            "snr {snr}: rate {rate} above capacity {cap}"
+        );
     }
 }
 

@@ -24,7 +24,7 @@ fn pathological_messages_decode_like_random_ones() {
     // s0 = 0, the hash chain should handle degenerate messages.
     let params = CodeParams::default().with_n(128);
     let all_zero = Message::zeros(128);
-    let all_one = Message::from_bits(&vec![true; 128]);
+    let all_one = Message::from_bits(&[true; 128]);
     let alternating = Message::from_bits(&(0..128).map(|i| i % 2 == 0).collect::<Vec<_>>());
     for (name, msg) in [("zeros", all_zero), ("ones", all_one), ("alt", alternating)] {
         assert!(
@@ -38,7 +38,11 @@ fn pathological_messages_decode_like_random_ones() {
 fn minimum_viable_block_sizes() {
     // One spine value (n = k) is degenerate but legal.
     for k in [1usize, 2, 4, 8] {
-        let params = CodeParams::default().with_n(k).with_k(k).with_d(1).with_b(4);
+        let params = CodeParams::default()
+            .with_n(k)
+            .with_k(k)
+            .with_d(1)
+            .with_b(4);
         let msg = Message::from_bits(&(0..k).map(|i| i % 2 == 1).collect::<Vec<_>>());
         assert!(
             decode_once(&params, &msg, 25.0, 4, 3),
@@ -143,7 +147,10 @@ fn crc_false_positive_rate_is_low_under_garbage() {
         }
     }
     // Expected ≈ trials/65536 ≈ 0.3; allow up to 5.
-    assert!(false_pos <= 5, "{false_pos} CRC false positives in {trials}");
+    assert!(
+        false_pos <= 5,
+        "{false_pos} CRC false positives in {trials}"
+    );
 }
 
 #[test]
