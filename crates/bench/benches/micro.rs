@@ -7,7 +7,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_channel::{AwgnChannel, Channel, Complex};
 use spinal_core::{
-    hash, BubbleDecoder, CodeParams, Encoder, HashKind, Message, RxSymbols, Schedule,
+    hash, BubbleDecoder, CodeParams, DecodeWorkspace, Encoder, HashKind, Message, RxSymbols,
+    Schedule,
 };
 
 fn bench_hashes(c: &mut Criterion) {
@@ -62,6 +63,14 @@ fn bench_decoder(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("n{n}_B{bw}_2passes")),
             &rx,
             |b, rx| b.iter(|| dec.decode(black_box(rx))),
+        );
+        // Same decode through a warm reusable workspace (how sweeps and
+        // the §7.1 attempt loop run it): isolates allocation overhead.
+        let mut ws = DecodeWorkspace::new();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_B{bw}_2passes_ws")),
+            &rx,
+            |b, rx| b.iter(|| dec.decode_with_workspace(black_box(rx), &mut ws)),
         );
     }
     g.finish();

@@ -1,0 +1,62 @@
+//! Coarse performance-regression guard over `BENCH_*.json` baselines.
+//!
+//! Compares the median of one benchmark between a committed baseline and
+//! a freshly recorded run (both in the shim criterion's JSON-lines
+//! format, one object per line) and exits non-zero if the current median
+//! exceeds `--max-ratio` × the baseline. The default ratio of 3 is
+//! deliberately loose: CI machines are noisy, and this guard exists to
+//! catch "someone re-introduced the O(n log n) sort / per-step
+//! allocation" class of regressions, not 10% drift.
+//!
+//! ```sh
+//! BENCH_JSON=/tmp/now.json BENCH_FILTER=bubble_decode \
+//!     cargo bench -p bench
+//! cargo run --release -p bench --bin bench_guard -- \
+//!     --baseline BENCH_2026-07-27_post.json --current /tmp/now.json \
+//!     --group bubble_decode --bench n256_B256_2passes [--max-ratio 3.0]
+//! ```
+
+use bench::Args;
+
+/// Extract `"median_ns":<float>` from a shim-format JSON line matching
+/// the group/bench pair. Hand-rolled: the workspace has no JSON
+/// dependency and the shim's output format is fixed.
+fn find_median(path: &str, group: &str, name: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let g = format!("\"group\":\"{group}\"");
+    let b = format!("\"bench\":\"{name}\"");
+    for line in text.lines() {
+        if line.contains(&g) && line.contains(&b) {
+            let key = "\"median_ns\":";
+            let start = line.find(key)? + key.len();
+            let rest = &line[start..];
+            let end = rest.find([',', '}'])?;
+            return rest[..end].trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args = Args::parse();
+    let baseline = args.str("baseline", "BENCH_2026-07-27_post.json");
+    let current = args.str("current", "/tmp/bench_current.json");
+    let group = args.str("group", "bubble_decode");
+    let name = args.str("bench", "n256_B256_2passes");
+    let max_ratio = args.f64("max-ratio", 3.0);
+
+    let base = find_median(&baseline, &group, &name)
+        .unwrap_or_else(|| panic!("{group}/{name} not found in baseline {baseline}"));
+    let now = find_median(&current, &group, &name)
+        .unwrap_or_else(|| panic!("{group}/{name} not found in current run {current}"));
+    let ratio = now / base;
+    println!(
+        "bench_guard: {group}/{name}: baseline {base:.0} ns, current {now:.0} ns \
+         (ratio {ratio:.2}, limit {max_ratio:.2})"
+    );
+    if ratio > max_ratio {
+        eprintln!("bench_guard: FAIL — median regressed more than {max_ratio}×");
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}

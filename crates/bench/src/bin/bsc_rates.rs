@@ -9,8 +9,10 @@
 
 use bench::Args;
 use spinal_channel::capacity::bsc_capacity;
-use spinal_core::CodeParams;
-use spinal_sim::{default_threads, run_bsc_trial, run_parallel, summarize_vs_capacity, Trial};
+use spinal_core::{CodeParams, DecodeWorkspace};
+use spinal_sim::{
+    default_threads, run_bsc_trial_with_workspace, run_parallel_with, summarize_vs_capacity, Trial,
+};
 
 fn main() {
     let args = Args::parse();
@@ -21,10 +23,19 @@ fn main() {
 
     eprintln!("bsc_rates: n={}, p ∈ {flips:?}", params.n);
 
-    let rows = run_parallel(flips.len(), threads, |fi| {
+    let rows = run_parallel_with(flips.len(), threads, DecodeWorkspace::new, |ws, fi| {
         let p_flip = flips[fi];
         let t: Vec<Trial> = (0..trials)
-            .map(|i| run_bsc_trial(&params, p_flip, 200, true, ((fi * trials + i) as u64) << 8))
+            .map(|i| {
+                run_bsc_trial_with_workspace(
+                    &params,
+                    p_flip,
+                    200,
+                    true,
+                    ((fi * trials + i) as u64) << 8,
+                    ws,
+                )
+            })
             .collect();
         summarize_vs_capacity(0.0, &t, bsc_capacity(p_flip))
     });

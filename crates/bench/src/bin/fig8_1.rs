@@ -11,8 +11,10 @@
 use bench::{snr_grid, Args};
 use spinal_channel::capacity::{awgn_capacity_db, gap_to_capacity_db};
 use spinal_core::CodeParams;
+use spinal_core::DecodeWorkspace;
 use spinal_sim::{
-    default_threads, ldpc_run, run_parallel, summarize, RaptorRun, SpinalRun, StriderRun, Trial,
+    default_threads, ldpc_run, run_parallel_with, summarize, RaptorRun, SpinalRun, StriderRun,
+    Trial,
 };
 
 fn main() {
@@ -62,7 +64,9 @@ fn main() {
         .flat_map(|&s| (0..codes.len()).map(move |c| (s, c)))
         .collect();
 
-    let results = run_parallel(jobs.len(), threads, |j| {
+    // One decode workspace per worker thread: spinal trials allocate
+    // nothing on the decode path after each worker's first attempt.
+    let results = run_parallel_with(jobs.len(), threads, DecodeWorkspace::new, |ws, j| {
         let (snr, c) = jobs[j];
         let seed_base = (j as u64) << 32;
         match codes[c] {
@@ -70,7 +74,7 @@ fn main() {
                 let run =
                     SpinalRun::new(CodeParams::default().with_n(256)).with_attempt_growth(1.02);
                 let t: Vec<Trial> = (0..trials)
-                    .map(|i| run.run_trial(snr, seed_base + i as u64))
+                    .map(|i| run.run_trial_with_workspace(snr, seed_base + i as u64, ws))
                     .collect();
                 summarize(snr, &t).rate
             }
@@ -78,7 +82,7 @@ fn main() {
                 let run =
                     SpinalRun::new(CodeParams::default().with_n(1024)).with_attempt_growth(1.02);
                 let t: Vec<Trial> = (0..trials)
-                    .map(|i| run.run_trial(snr, seed_base + i as u64))
+                    .map(|i| run.run_trial_with_workspace(snr, seed_base + i as u64, ws))
                     .collect();
                 summarize(snr, &t).rate
             }

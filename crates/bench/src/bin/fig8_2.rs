@@ -8,7 +8,7 @@
 use bench::{snr_grid, Args};
 use spinal_channel::capacity::awgn_capacity_db;
 use spinal_core::CodeParams;
-use spinal_sim::rated::{best_rated, rateless_throughput};
+use spinal_sim::rated::{best_rated, rateless_throughput, symbols_to_decode_samples};
 use spinal_sim::{default_threads, run_parallel, SpinalRun};
 
 fn main() {
@@ -23,10 +23,12 @@ fn main() {
     let rows = run_parallel(snrs.len(), threads, |si| {
         let snr = snrs[si];
         let run = SpinalRun::new(CodeParams::default().with_n(n)).with_attempt_growth(1.01);
-        let mut samples: Vec<usize> = (0..trials)
-            .filter_map(|t| run.run_trial(snr, ((si * trials + t) as u64) << 8).symbols)
-            .collect();
-        samples.sort_unstable();
+        // Workspace-reusing sample collection (one workspace per SNR
+        // point; SNR points are the unit of parallelism here). The seed
+        // layout ((si·trials + t) << 8) matches this binary's historical
+        // per-trial seeds, so regenerated figures use identical noise.
+        let samples =
+            symbols_to_decode_samples(&run, snr, trials, (si as u64 * trials as u64) << 8, 1 << 8);
         let rateless = rateless_throughput(n, &samples);
         let (budget, rated) = best_rated(n, &samples);
         (snr, rateless, rated, budget, samples.len())

@@ -8,8 +8,8 @@
 
 use bench::{snr_grid, Args};
 use spinal_channel::capacity::gap_to_capacity_db;
-use spinal_core::CodeParams;
-use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+use spinal_core::{CodeParams, DecodeWorkspace};
+use spinal_sim::{default_threads, run_parallel_with, summarize, SpinalRun, Trial};
 
 fn main() {
     let args = Args::parse();
@@ -28,7 +28,7 @@ fn main() {
         }
     }
 
-    let rates = run_parallel(jobs.len(), threads, |j| {
+    let rates = run_parallel_with(jobs.len(), threads, DecodeWorkspace::new, |ws, j| {
         let (ci, snr) = jobs[j];
         let (b, d) = configs[ci];
         let params = CodeParams::default()
@@ -38,7 +38,7 @@ fn main() {
             .with_d(d);
         let run = SpinalRun::new(params).with_attempt_growth(1.02);
         let t: Vec<Trial> = (0..trials)
-            .map(|i| run.run_trial(snr, ((j * trials + i) as u64) << 8))
+            .map(|i| run.run_trial_with_workspace(snr, ((j * trials + i) as u64) << 8, ws))
             .collect();
         summarize(snr, &t).rate
     });

@@ -7,8 +7,8 @@
 //! ```
 
 use bench::Args;
-use spinal_core::CodeParams;
-use spinal_sim::{default_threads, run_parallel, LinkLayerRun, SpinalRun};
+use spinal_core::{CodeParams, DecodeWorkspace};
+use spinal_sim::{default_threads, run_parallel_with, LinkLayerRun, SpinalRun};
 
 fn main() {
     let args = Args::parse();
@@ -25,7 +25,7 @@ fn main() {
         }
     }
 
-    let rows = run_parallel(jobs.len(), threads, |j| {
+    let rows = run_parallel_with(jobs.len(), threads, DecodeWorkspace::new, |ws, j| {
         let (burst, snr) = jobs[j];
         let ll = LinkLayerRun {
             run: SpinalRun::new(CodeParams::default().with_n(256)),
@@ -36,8 +36,8 @@ fn main() {
         let mut ideal = 0.0;
         for t in 0..trials {
             let seed = ((j * trials + t) as u64) << 6;
-            rate += ll.run_trial(snr, seed).effective_rate;
-            ideal += ll.ideal_rate(snr, seed);
+            rate += ll.run_trial_with_workspace(snr, seed, ws).effective_rate;
+            ideal += ll.ideal_rate_with_workspace(snr, seed, ws);
         }
         (rate / trials as f64, ideal / trials as f64)
     });

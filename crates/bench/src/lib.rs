@@ -57,6 +57,14 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// Fetch a string option.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
     /// Check a boolean flag.
     pub fn has(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)

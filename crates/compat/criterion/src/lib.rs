@@ -278,6 +278,16 @@ fn run_one<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    // BENCH_FILTER=<substring> runs only benchmarks whose "group/bench"
+    // id contains the substring — the shim's equivalent of criterion's
+    // positional filter argument (the harness's argv is not plumbed
+    // through `criterion_main!`, an env var is). CI's bench-smoke job
+    // uses this to time just the `bubble_decode` group.
+    if let Ok(filter) = std::env::var("BENCH_FILTER") {
+        if !filter.is_empty() && !format!("{group}/{bench}").contains(&filter) {
+            return;
+        }
+    }
     let mut bencher = Bencher {
         config: config.clone(),
         median_ns: None,

@@ -156,7 +156,9 @@ impl BitModeDecoder {
                     cand.push((next, cost + branch(next, depth), parent, edge));
                 }
             }
-            cand.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            // total_cmp: a NaN LLR cost must not panic the comparator
+            // (same NaN policy as the main bubble decoder).
+            cand.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
             cand.truncate(p.b);
             beam.clear();
             for &(state, cost, parent, edge) in &cand {
@@ -167,7 +169,7 @@ impl BitModeDecoder {
 
         let &(_, cost, mut node) = beam
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("beam never empty");
         let mut msg = Message::zeros(p.n);
         let mut depth = ns;

@@ -10,7 +10,7 @@
 //!    the cost §4.5 states),
 //! 2. propagate minimum leaf cost up to each root's children,
 //! 3. keep the best `B` children as the new roots (ties broken
-//!    arbitrarily), discarding the rest.
+//!    deterministically by key index), discarding the rest.
 //!
 //! With `d = 1` this is exactly the classical M-algorithm / beam search;
 //! growing `d` trades beam diversity for fewer, cheaper pruning decisions
@@ -21,6 +21,33 @@
 //! attempt rather than the full tree. The decoder rebuilds its tree from
 //! the receive buffer on every attempt (§7.1: caching between attempts is
 //! unhelpful because new symbols change pruning decisions).
+//!
+//! # Hot-path organisation
+//!
+//! The inner loop is engineered around three observations:
+//!
+//! * **Branch-metric tables.** The AWGN/fading branch cost
+//!   `|y − h·x|²` separates per I/Q dimension:
+//!   `|y|² + (|h|²·x_I² − 2·Re(y·h̄)·x_I) + (|h|²·x_Q² − 2·Im(y·h̄)·x_Q)`.
+//!   Everything except the constellation point is fixed per received
+//!   symbol, so each decode step builds two `2^c`-entry lookup tables per
+//!   observation and the per-candidate cost collapses to two table loads
+//!   indexed by the symbol bits of the RNG word. The BSC analogue is a
+//!   2-entry table per received bit. Non-finite table values (degenerate
+//!   CSI such as `h = ∞` producing `∞ − ∞ = NaN`) are clamped to `+∞`:
+//!   a broken observation is *uninformative*, never a panic and never a
+//!   `−∞` free lunch.
+//! * **Batched, structure-of-arrays expansion.** Frontier leaves live in
+//!   parallel arrays (`state`, `cost`, `tree`, `rel_path`) and children
+//!   are produced edge-major, so spine hashing and RNG hashing run as
+//!   [`HashKind::hash_many`](crate::hash::HashKind::hash_many) batches
+//!   the CPU can pipeline (~8× faster than a dependent hash chain).
+//! * **Partial selection, reusable buffers.** The best-`B` cut uses
+//!   `select_nth_unstable_by` (O(candidates)) instead of a full sort
+//!   (O(candidates·log candidates)), with `f64::total_cmp` so a NaN cost
+//!   can never panic the comparator. All buffers live in a
+//!   [`DecodeWorkspace`]; repeated attempts (§7.1's retry loop) allocate
+//!   nothing after warm-up.
 
 use crate::bits::Message;
 use crate::params::CodeParams;
@@ -38,18 +65,67 @@ pub struct DecodeResult {
     pub cost: f64,
 }
 
-/// One frontier leaf during decoding.
-#[derive(Debug, Clone, Copy)]
-struct Leaf {
-    /// Spine value at this node.
-    state: u32,
-    /// Accumulated path cost from the root of the decode tree.
-    cost: f64,
-    /// Which beam tree this leaf belongs to.
-    tree: u32,
-    /// Edges from the beam tree's root to this leaf, newest in the low
-    /// bits, `depth_below_root · k` bits total.
-    rel_path: u64,
+/// Reusable decode buffers: the frontier double buffer (structure of
+/// arrays), branch-metric tables, selection scratch, and the committed
+/// history arena.
+///
+/// A workspace is parameter-agnostic — buffers grow to fit whatever
+/// decode uses them — and intentionally cheap to create empty. Reuse one
+/// per worker thread (or per [`BubbleDecoder::decode_batch`] call) so
+/// that the §7.1 attempt loop performs no heap allocation after the
+/// first decode warms the buffers up.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeWorkspace {
+    // Current frontier, one leaf per index.
+    states: Vec<u32>,
+    costs: Vec<f64>,
+    trees: Vec<u32>,
+    paths: Vec<u64>,
+    // Expansion target (swapped with the frontier every step).
+    next_states: Vec<u32>,
+    next_costs: Vec<f64>,
+    next_trees: Vec<u32>,
+    next_paths: Vec<u64>,
+    // Per-step scratch.
+    words: Vec<u32>,
+    tables: Vec<f64>,
+    key_min: Vec<f64>,
+    order: Vec<u32>,
+    key_to_new: Vec<u32>,
+    new_roots: Vec<u32>,
+    // Committed root advancements for the current attempt.
+    arena: Vec<(u32, u32)>,
+    tree_roots: Vec<u32>,
+}
+
+impl DecodeWorkspace {
+    /// An empty workspace; buffers are allocated lazily by the first
+    /// decode that uses it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The received observations a decode attempt runs against.
+enum Observations<'a> {
+    /// Complex symbols (AWGN or fading, with or without CSI).
+    Symbols(&'a RxSymbols),
+    /// Hard bits (BSC).
+    Bits(&'a RxBits),
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Degenerate observations (NaN / ±∞ metric contributions from broken
+/// CSI or non-finite samples) are treated as uninformative: infinite
+/// cost for every candidate, rather than a NaN that poisons comparisons.
+#[inline]
+fn finite_or_inf(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        f64::INFINITY
+    }
 }
 
 /// The bubble decoder. Stateless across attempts: all received data lives
@@ -79,142 +155,170 @@ impl BubbleDecoder {
     /// The branch metric is `Σ_t |y_t − h_t·x_t(s)|²` over the symbols
     /// received for each spine value (§4.1, extended with CSI when the
     /// buffer carries it).
+    ///
+    /// Allocates a fresh [`DecodeWorkspace`] per call; hot callers should
+    /// hold one and use [`BubbleDecoder::decode_with_workspace`].
     pub fn decode(&self, rx: &RxSymbols) -> DecodeResult {
-        assert_eq!(rx.n_spines(), self.params.num_spines());
-        let gen = &self.gen;
-        self.decode_inner(|state, spine_idx| {
-            let mut cost = 0.0;
-            for e in rx.spine_entries(spine_idx) {
-                let x = gen.complex(state, e.rng_index);
-                cost += e.y.dist_sq(e.h * x);
-            }
-            cost
-        })
+        self.decode_with_workspace(rx, &mut DecodeWorkspace::new())
     }
 
     /// Decode from hard bits (BSC). The branch metric is Hamming distance.
+    ///
+    /// Allocates a fresh [`DecodeWorkspace`] per call; hot callers should
+    /// hold one and use [`BubbleDecoder::decode_bsc_with_workspace`].
     pub fn decode_bsc(&self, rx: &RxBits) -> DecodeResult {
-        assert_eq!(rx.n_spines(), self.params.num_spines());
-        let gen = &self.gen;
-        self.decode_inner(|state, spine_idx| {
-            let mut cost = 0.0;
-            for &(t, y) in rx.spine_entries(spine_idx) {
-                if gen.bit(state, t) != y {
-                    cost += 1.0;
-                }
-            }
-            cost
-        })
+        self.decode_bsc_with_workspace(rx, &mut DecodeWorkspace::new())
     }
 
-    /// Core beam search, generic over the branch metric
-    /// `branch(state_at_depth_j, spine_index_j−1) → cost`.
-    fn decode_inner<F: Fn(u32, usize) -> f64>(&self, branch: F) -> DecodeResult {
+    /// [`BubbleDecoder::decode`] reusing the caller's buffers. Identical
+    /// output; no heap allocation once `ws` is warm.
+    pub fn decode_with_workspace(&self, rx: &RxSymbols, ws: &mut DecodeWorkspace) -> DecodeResult {
+        assert_eq!(rx.n_spines(), self.params.num_spines());
+        self.decode_inner(Observations::Symbols(rx), ws)
+    }
+
+    /// [`BubbleDecoder::decode_bsc`] reusing the caller's buffers.
+    /// Identical output; no heap allocation once `ws` is warm.
+    pub fn decode_bsc_with_workspace(&self, rx: &RxBits, ws: &mut DecodeWorkspace) -> DecodeResult {
+        assert_eq!(rx.n_spines(), self.params.num_spines());
+        self.decode_inner(Observations::Bits(rx), ws)
+    }
+
+    /// Decode several receive buffers back to back through one shared
+    /// workspace (e.g. a batch of frames from the same link).
+    pub fn decode_batch(&self, rxs: &[RxSymbols]) -> Vec<DecodeResult> {
+        let mut ws = DecodeWorkspace::new();
+        rxs.iter()
+            .map(|rx| self.decode_with_workspace(rx, &mut ws))
+            .collect()
+    }
+
+    /// Core beam search over `obs`, using (and warming) `ws`.
+    fn decode_inner(&self, obs: Observations<'_>, ws: &mut DecodeWorkspace) -> DecodeResult {
         let p = &self.params;
         let ns = p.num_spines();
         let k = p.k;
         let d = p.d.min(ns);
         let fanout = 1usize << k;
-        let edge_mask = (fanout - 1) as u64;
+        let edge_mask = fanout - 1;
 
-        // Arena of committed root advancements: (parent arena id, edge).
-        const NO_PARENT: u32 = u32::MAX;
-        let mut arena: Vec<(u32, u32)> = Vec::with_capacity(p.b * (ns + 1 - d));
-        // Arena id of each beam tree's root (NO_PARENT = the s0 root).
-        let mut tree_roots: Vec<u32> = vec![NO_PARENT];
+        // Reset per-attempt state (capacity is retained).
+        ws.arena.clear();
+        ws.tree_roots.clear();
+        ws.tree_roots.push(NO_PARENT);
+        ws.states.clear();
+        ws.states.push(p.s0);
+        ws.costs.clear();
+        ws.costs.push(0.0);
+        ws.trees.clear();
+        ws.trees.push(0);
+        ws.paths.clear();
+        ws.paths.push(0);
 
         // Initial frontier: expand s0 to depth d−1 (spine indices 0..d−1).
-        let mut frontier = vec![Leaf {
-            state: p.s0,
-            cost: 0.0,
-            tree: 0,
-            rel_path: 0,
-        }];
         for depth in 1..d {
-            frontier = self.expand(&frontier, depth - 1, &branch);
+            self.expand_step(&obs, depth - 1, ws);
         }
 
         // Main loop: iteration i advances roots from depth i−1 to i;
         // the expansion consumes spine index i+d−2 (leaves reach absolute
         // depth i+d−1).
-        let mut scratch_min: Vec<f64> = Vec::new();
-        let mut order: Vec<u32> = Vec::new();
         for i in 1..=(ns + 1 - d) {
-            let expanded = self.expand(&frontier, i + d - 2, &branch);
+            self.expand_step(&obs, i + d - 2, ws);
 
             // Score candidates: key = (tree, eldest edge of rel_path).
             // After expansion a leaf's rel_path holds d·k bits; the eldest
             // edge (the root's child being judged) sits at bit (d−1)·k.
             let shift = ((d - 1) * k) as u32;
-            let n_keys = tree_roots.len() << k;
-            scratch_min.clear();
-            scratch_min.resize(n_keys, f64::INFINITY);
-            for leaf in &expanded {
-                let key =
-                    ((leaf.tree as usize) << k) | ((leaf.rel_path >> shift) & edge_mask) as usize;
-                if leaf.cost < scratch_min[key] {
-                    scratch_min[key] = leaf.cost;
+            let n_keys = ws.tree_roots.len() << k;
+            ws.key_min.clear();
+            ws.key_min.resize(n_keys, f64::INFINITY);
+            for ((&tree, &path), &cost) in ws.trees.iter().zip(&ws.paths).zip(&ws.costs) {
+                let key = ((tree as usize) << k) | ((path >> shift) as usize & edge_mask);
+                // A NaN cost (possible only from exotic caller-built
+                // buffers) loses every `<`, leaving the key at +∞ —
+                // ordered, never panicking.
+                if cost < ws.key_min[key] {
+                    ws.key_min[key] = cost;
                 }
             }
 
-            // Select the best B keys (ties broken arbitrarily by sort).
-            order.clear();
-            order.extend((0..n_keys as u32).filter(|&kk| scratch_min[kk as usize].is_finite()));
-            let keep = p.b.min(order.len());
-            order.sort_unstable_by(|&a, &b| {
-                scratch_min[a as usize]
-                    .partial_cmp(&scratch_min[b as usize])
-                    .unwrap()
-            });
-            order.truncate(keep);
+            // Keep the best B keys. Every key is populated (expansion is
+            // total over edges), so selection runs over all of them:
+            // an O(n) partial selection instead of a full sort, with ties
+            // broken by key index so the kept set is deterministic.
+            ws.order.clear();
+            ws.order.extend(0..n_keys as u32);
+            let keep = p.b.min(n_keys);
+            if keep < n_keys {
+                let key_min = &ws.key_min;
+                ws.order.select_nth_unstable_by(keep - 1, |&a, &b| {
+                    key_min[a as usize]
+                        .total_cmp(&key_min[b as usize])
+                        .then(a.cmp(&b))
+                });
+                ws.order.truncate(keep);
+                // Canonical tree numbering independent of pivot choices.
+                ws.order.sort_unstable();
+            }
 
             // Commit selected children to the arena; build key → new tree
             // index map.
-            let mut key_to_new: Vec<u32> = vec![u32::MAX; n_keys];
-            let mut new_roots = Vec::with_capacity(keep);
-            for (new_tree, &key) in order.iter().enumerate() {
+            ws.key_to_new.clear();
+            ws.key_to_new.resize(n_keys, u32::MAX);
+            ws.new_roots.clear();
+            for (new_tree, &key) in ws.order.iter().enumerate() {
                 let tree = (key as usize) >> k;
-                let edge = (key as usize & (fanout - 1)) as u32;
-                arena.push((tree_roots[tree], edge));
-                key_to_new[key as usize] = new_tree as u32;
-                new_roots.push((arena.len() - 1) as u32);
+                let edge = key & edge_mask as u32;
+                ws.arena.push((ws.tree_roots[tree], edge));
+                ws.key_to_new[key as usize] = new_tree as u32;
+                ws.new_roots.push((ws.arena.len() - 1) as u32);
             }
-            tree_roots = new_roots;
+            std::mem::swap(&mut ws.tree_roots, &mut ws.new_roots);
 
-            // Re-root surviving leaves: drop the committed eldest edge.
+            // Re-root surviving leaves in place: drop the committed eldest
+            // edge and renumber trees.
             let strip_mask = if shift == 0 { 0 } else { (1u64 << shift) - 1 };
-            frontier.clear();
-            for leaf in &expanded {
+            let mut w = 0usize;
+            for r in 0..ws.states.len() {
                 let key =
-                    ((leaf.tree as usize) << k) | ((leaf.rel_path >> shift) & edge_mask) as usize;
-                let new_tree = key_to_new[key];
+                    ((ws.trees[r] as usize) << k) | ((ws.paths[r] >> shift) as usize & edge_mask);
+                let new_tree = ws.key_to_new[key];
                 if new_tree != u32::MAX {
-                    frontier.push(Leaf {
-                        state: leaf.state,
-                        cost: leaf.cost,
-                        tree: new_tree,
-                        rel_path: leaf.rel_path & strip_mask,
-                    });
+                    ws.states[w] = ws.states[r];
+                    ws.costs[w] = ws.costs[r];
+                    ws.trees[w] = new_tree;
+                    ws.paths[w] = ws.paths[r] & strip_mask;
+                    w += 1;
                 }
             }
+            ws.states.truncate(w);
+            ws.costs.truncate(w);
+            ws.trees.truncate(w);
+            ws.paths.truncate(w);
         }
 
         // Best leaf overall; reconstruct its message.
-        let best = frontier
+        let best = ws
+            .costs
             .iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap())
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
             .expect("frontier cannot be empty");
+        let best_cost = ws.costs[best];
+        let best_path = ws.paths[best];
         let mut msg = Message::zeros(p.n);
         // Leaf's relative edges cover the last d−1 spine steps.
         for j in 0..(d - 1) {
-            let edge = (best.rel_path >> ((d - 2 - j) * k)) & edge_mask;
+            let edge = (best_path >> ((d - 2 - j) * k)) as usize & edge_mask;
             msg.set_bits((ns - (d - 1) + j) * k, k, edge as u32);
         }
         // Arena walk covers spine steps 0..=ns−d.
-        let mut node = tree_roots[best.tree as usize];
+        let mut node = ws.tree_roots[ws.trees[best] as usize];
         let mut step = ns - d; // spine step the current arena node decides
         loop {
-            let (parent, edge) = arena[node as usize];
+            let (parent, edge) = ws.arena[node as usize];
             msg.set_bits(step * k, k, edge);
             if parent == NO_PARENT {
                 break;
@@ -226,34 +330,91 @@ impl BubbleDecoder {
 
         DecodeResult {
             message: msg,
-            cost: best.cost,
+            cost: best_cost,
         }
     }
 
-    /// Expand every frontier leaf by one level, consuming spine index
-    /// `spine_idx` for the children's branch costs.
-    fn expand<F: Fn(u32, usize) -> f64>(
-        &self,
-        frontier: &[Leaf],
-        spine_idx: usize,
-        branch: &F,
-    ) -> Vec<Leaf> {
+    /// One expansion step: grow every frontier leaf by one level
+    /// (edge-major, batched hashing) and add the branch costs of spine
+    /// index `spine_idx` from freshly built metric tables. Leaves the new
+    /// frontier in `ws.states`/`costs`/`trees`/`paths`.
+    fn expand_step(&self, obs: &Observations<'_>, spine_idx: usize, ws: &mut DecodeWorkspace) {
         let k = self.params.k;
-        let fanout = 1u32 << k;
+        let fanout = 1usize << k;
         let hash = self.params.hash;
-        let mut out = Vec::with_capacity(frontier.len() << k);
-        for leaf in frontier {
-            for edge in 0..fanout {
-                let state = hash.hash(leaf.state, edge);
-                out.push(Leaf {
-                    state,
-                    cost: leaf.cost + branch(state, spine_idx),
-                    tree: leaf.tree,
-                    rel_path: (leaf.rel_path << k) | edge as u64,
-                });
+        let f = ws.states.len();
+        let ef = f << k;
+
+        // Grow: child (edge, leaf) lives at index edge·F + leaf.
+        ws.next_states.resize(ef, 0);
+        ws.next_costs.resize(ef, 0.0);
+        ws.next_trees.resize(ef, 0);
+        ws.next_paths.resize(ef, 0);
+        for edge in 0..fanout {
+            let base = edge * f;
+            hash.hash_many(&ws.states, edge as u32, &mut ws.next_states[base..base + f]);
+            ws.next_costs[base..base + f].copy_from_slice(&ws.costs);
+            ws.next_trees[base..base + f].copy_from_slice(&ws.trees);
+            for (np, &path) in ws.next_paths[base..base + f].iter_mut().zip(&ws.paths) {
+                *np = (path << k) | edge as u64;
             }
         }
-        out
+
+        // Accumulate branch costs from per-observation metric tables.
+        ws.words.resize(ef, 0);
+        match obs {
+            Observations::Symbols(rx) => {
+                let entries = rx.spine_entries(spine_idx);
+                let constellation = self.gen.constellation();
+                let levels = constellation.levels();
+                let c = constellation.c();
+                let m = levels.len();
+                // Tables: per entry, [I table (m), Q table (m)]; the
+                // constant |y|² folds into the I table.
+                ws.tables.clear();
+                for e in entries {
+                    let z = e.y * e.h.conj();
+                    let h2 = e.h.norm_sq();
+                    let y2 = e.y.norm_sq();
+                    for &lv in levels {
+                        ws.tables
+                            .push(finite_or_inf(h2 * lv * lv - 2.0 * z.re * lv + y2));
+                    }
+                    for &lv in levels {
+                        ws.tables
+                            .push(finite_or_inf(h2 * lv * lv - 2.0 * z.im * lv));
+                    }
+                }
+                let i_shift = 32 - c;
+                let q_shift = 16 - c;
+                let bits_mask = m - 1;
+                for (ei, e) in entries.iter().enumerate() {
+                    hash.hash_many(&ws.next_states, e.rng_index, &mut ws.words);
+                    let table = &ws.tables[ei * 2 * m..(ei + 1) * 2 * m];
+                    let (ti, tq) = table.split_at(m);
+                    for (cost, &word) in ws.next_costs.iter_mut().zip(&ws.words) {
+                        *cost += ti[(word >> i_shift) as usize]
+                            + tq[(word >> q_shift) as usize & bits_mask];
+                    }
+                }
+            }
+            Observations::Bits(rx) => {
+                for &(t, y) in rx.spine_entries(spine_idx) {
+                    hash.hash_many(&ws.next_states, t, &mut ws.words);
+                    // Hamming cost indexed by the transmitted bit (the RNG
+                    // word's top bit): mismatch with the received bit y.
+                    let table = [f64::from(y), f64::from(!y)];
+                    for (cost, &word) in ws.next_costs.iter_mut().zip(&ws.words) {
+                        *cost += table[(word >> 31) as usize];
+                    }
+                }
+            }
+        }
+
+        std::mem::swap(&mut ws.states, &mut ws.next_states);
+        std::mem::swap(&mut ws.costs, &mut ws.next_costs);
+        std::mem::swap(&mut ws.trees, &mut ws.next_trees);
+        std::mem::swap(&mut ws.paths, &mut ws.next_paths);
     }
 }
 
@@ -264,7 +425,7 @@ mod tests {
     use crate::puncturing::Schedule;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel};
+    use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel, Complex};
 
     fn rand_msg(n: usize, seed: u64) -> Message {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -293,7 +454,7 @@ mod tests {
         rx.push(&enc.next_symbols(p.symbols_per_pass()));
         let out = BubbleDecoder::new(&p).decode(&rx);
         assert_eq!(out.message, msg);
-        assert!(out.cost < 1e-18, "noiseless cost {}", out.cost);
+        assert!(out.cost < 1e-12, "noiseless cost {}", out.cost);
     }
 
     #[test]
@@ -464,5 +625,131 @@ mod tests {
             }
         }
         assert!(total_high > total_low);
+    }
+
+    #[test]
+    fn workspace_decode_matches_plain_decode() {
+        let p = CodeParams::default().with_n(96).with_b(32);
+        let msg = rand_msg(96, 17);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        let mut ch = AwgnChannel::new(8.0, 18);
+        rx.push(&ch.transmit(&enc.next_symbols(3 * p.symbols_per_pass())));
+        let dec = BubbleDecoder::new(&p);
+        let plain = dec.decode(&rx);
+        let mut ws = DecodeWorkspace::new();
+        let with_ws = dec.decode_with_workspace(&rx, &mut ws);
+        assert_eq!(plain.message, with_ws.message);
+        assert_eq!(plain.cost.to_bits(), with_ws.cost.to_bits());
+    }
+
+    #[test]
+    fn workspace_reuse_across_attempts_matches_fresh() {
+        // The §7.1 retry loop: decode, receive more symbols, decode again —
+        // all through ONE workspace. Every attempt must match a fresh-
+        // workspace decode bit for bit, including reuse across parameter
+        // sets and across the AWGN/BSC metric kinds.
+        let p = CodeParams::default().with_n(64).with_b(16);
+        let msg = rand_msg(64, 5);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        let mut ch = AwgnChannel::new(6.0, 6);
+        let dec = BubbleDecoder::new(&p);
+        let mut ws = DecodeWorkspace::new();
+        for _attempt in 0..4 {
+            rx.push(&ch.transmit(&enc.next_symbols(p.symbols_per_pass())));
+            let reused = dec.decode_with_workspace(&rx, &mut ws);
+            let fresh = dec.decode(&rx);
+            assert_eq!(reused.message, fresh.message);
+            assert_eq!(reused.cost.to_bits(), fresh.cost.to_bits());
+        }
+        // The same workspace then serves a different code and metric.
+        let p2 = CodeParams::default()
+            .with_n(60)
+            .with_k(3)
+            .with_b(8)
+            .with_d(2);
+        let msg2 = rand_msg(60, 7);
+        let mut enc2 = Encoder::new(&p2, &msg2);
+        let schedule2 = Schedule::new(p2.num_spines(), p2.tail, p2.puncturing);
+        let mut rx2 = RxBits::new(schedule2);
+        let mut ch2 = BscChannel::new(0.02, 8);
+        rx2.push(&ch2.transmit_bits(&enc2.next_bits(10 * p2.symbols_per_pass())));
+        let dec2 = BubbleDecoder::new(&p2);
+        let reused = dec2.decode_bsc_with_workspace(&rx2, &mut ws);
+        let fresh = dec2.decode_bsc(&rx2);
+        assert_eq!(reused.message, fresh.message);
+        assert_eq!(reused.cost.to_bits(), fresh.cost.to_bits());
+    }
+
+    #[test]
+    fn decode_batch_matches_individual_decodes() {
+        let p = CodeParams::default().with_n(64).with_b(16);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let dec = BubbleDecoder::new(&p);
+        let rxs: Vec<RxSymbols> = (0..3)
+            .map(|seed| {
+                let msg = rand_msg(64, 100 + seed);
+                let mut enc = Encoder::new(&p, &msg);
+                let mut rx = RxSymbols::new(schedule.clone());
+                let mut ch = AwgnChannel::new(10.0, 200 + seed);
+                rx.push(&ch.transmit(&enc.next_symbols(2 * p.symbols_per_pass())));
+                rx
+            })
+            .collect();
+        let batch = dec.decode_batch(&rxs);
+        assert_eq!(batch.len(), 3);
+        for (rx, out) in rxs.iter().zip(&batch) {
+            let single = dec.decode(rx);
+            assert_eq!(single.message, out.message);
+            assert_eq!(single.cost.to_bits(), out.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_cost_observation_does_not_panic() {
+        // Regression: degenerate CSI (h = ∞ ⇒ ∞ − ∞ = NaN in the fading
+        // metric) used to panic inside the selection comparator
+        // (`partial_cmp().unwrap()`). The NaN policy now clamps broken
+        // observations to +∞ cost and the comparators are total, so the
+        // decode completes.
+        let p = CodeParams::default().with_n(64).with_b(8);
+        let msg = rand_msg(64, 3);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        let tx = enc.next_symbols(2 * p.symbols_per_pass());
+        let hs: Vec<Complex> = (0..tx.len())
+            .map(|i| {
+                if i == 5 {
+                    Complex::new(f64::INFINITY, 0.0)
+                } else {
+                    Complex::ONE
+                }
+            })
+            .collect();
+        rx.push_with_csi(&tx, &hs);
+        let out = BubbleDecoder::new(&p).decode(&rx);
+        // The degenerate observation hits one spine; every candidate paid
+        // +∞ there, so the winning cost is +∞ — but decoding finished and
+        // every *other* spine still steered the search.
+        assert!(out.cost.is_infinite() && out.cost > 0.0);
+        assert_eq!(out.message.len_bits(), 64);
+    }
+
+    #[test]
+    fn all_nan_observations_still_terminate() {
+        // Even if EVERY observation is broken the decoder must return
+        // (garbage, +∞) rather than panic or hang.
+        let p = CodeParams::default().with_n(64).with_b(4);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        let nan = Complex::new(f64::NAN, f64::NAN);
+        let ys = vec![nan; p.symbols_per_pass()];
+        rx.push(&ys);
+        let out = BubbleDecoder::new(&p).decode(&rx);
+        assert!(out.cost.is_infinite());
     }
 }

@@ -80,7 +80,7 @@ pub mod symbols;
 pub use bitmode::{BitEncoder, BitModeDecoder, RxLlrs};
 pub use bits::Message;
 pub use constellation::{Constellation, MappingKind};
-pub use decoder::{BubbleDecoder, DecodeResult};
+pub use decoder::{BubbleDecoder, DecodeResult, DecodeWorkspace};
 pub use encoder::Encoder;
 pub use framing::{crc16, FrameBuilder, FrameReassembly, CRC_BITS};
 pub use hash::HashKind;

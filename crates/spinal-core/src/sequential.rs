@@ -35,7 +35,9 @@ struct Path {
 
 impl PartialEq for Path {
     fn eq(&self, other: &Self) -> bool {
-        self.metric == other.metric
+        // Consistent with the `total_cmp`-based `Ord` below (IEEE `==`
+        // would disagree with it on ±0.0 and NaN).
+        self.metric.total_cmp(&other.metric) == Ordering::Equal
     }
 }
 impl Eq for Path {}
@@ -47,10 +49,12 @@ impl PartialOrd for Path {
 impl Ord for Path {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for min-metric-first.
-        other
-            .metric
-            .partial_cmp(&self.metric)
-            .unwrap_or(Ordering::Equal)
+        // `total_cmp` (not `partial_cmp(..).unwrap_or(Equal)`): mapping
+        // incomparable metrics to Equal silently corrupts the heap's
+        // priority order under NaN. Under the total order a (positive)
+        // NaN metric sorts above +∞, i.e. a NaN path is explored last —
+        // the same "degenerate = worst" policy as the bubble decoder.
+        other.metric.total_cmp(&self.metric)
     }
 }
 
@@ -239,6 +243,40 @@ mod tests {
             let bubble = BubbleDecoder::new(&p).decode(&rx);
             assert_eq!(stack.result.expect("finished").message, msg);
             assert_eq!(bubble.message, msg);
+        }
+    }
+
+    #[test]
+    fn nan_metric_does_not_corrupt_stack_order() {
+        // Degenerate CSI produces NaN branch costs; the old
+        // `partial_cmp(..).unwrap_or(Equal)` comparator made NaN paths
+        // compare Equal to everything, scrambling the heap. With
+        // `total_cmp` NaN sorts worst, so a NaN-cost observation leaves
+        // the decoder functional: it terminates within budget and reports
+        // its work honestly.
+        use spinal_channel::Complex;
+        let p = CodeParams::default().with_n(32);
+        let msg = crate::bits::Message::zeros(32);
+        let mut enc = crate::encoder::Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        let tx = enc.next_symbols(2 * p.symbols_per_pass());
+        let hs: Vec<Complex> = (0..tx.len())
+            .map(|i| {
+                if i == 3 {
+                    Complex::new(f64::INFINITY, 0.0)
+                } else {
+                    Complex::ONE
+                }
+            })
+            .collect();
+        rx.push_with_csi(&tx, &hs);
+        let out = StackDecoder::new(&p, 0.0)
+            .with_max_nodes(50_000)
+            .decode(&rx);
+        assert!(out.nodes_expanded <= 50_000);
+        if let Some(res) = out.result {
+            assert_eq!(res.message.len_bits(), 32);
         }
     }
 

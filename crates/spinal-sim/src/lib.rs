@@ -41,7 +41,7 @@ pub mod sweep;
 
 pub use linklayer::{LinkLayerRun, LinkOutcome};
 pub use raptor_run::RaptorRun;
-pub use spinal_run::{run_bsc_trial, LinkChannel, SpinalRun};
+pub use spinal_run::{run_bsc_trial, run_bsc_trial_with_workspace, LinkChannel, SpinalRun};
 pub use stats::{mean_fraction_of_capacity, summarize, summarize_vs_capacity, PointSummary, Trial};
 pub use strider_run::{StriderChannel, StriderRun};
-pub use sweep::{default_threads, run_parallel};
+pub use sweep::{default_threads, run_parallel, run_parallel_with};

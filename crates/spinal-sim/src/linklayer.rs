@@ -9,6 +9,7 @@
 
 use crate::spinal_run::SpinalRun;
 use crate::stats::Trial;
+use spinal_core::DecodeWorkspace;
 
 /// Configuration of the half-duplex feedback loop.
 #[derive(Debug, Clone)]
@@ -44,8 +45,19 @@ impl LinkLayerRun {
     /// underlying rateless trial measures; the burst structure rounds it
     /// *up* to the end of the burst in which decoding happened.
     pub fn run_trial(&self, snr_db: f64, seed: u64) -> LinkOutcome {
+        self.run_trial_with_workspace(snr_db, seed, &mut DecodeWorkspace::new())
+    }
+
+    /// [`LinkLayerRun::run_trial`] decoding through the caller's
+    /// workspace (one per worker thread in sweeps).
+    pub fn run_trial_with_workspace(
+        &self,
+        snr_db: f64,
+        seed: u64,
+        ws: &mut DecodeWorkspace,
+    ) -> LinkOutcome {
         assert!(self.burst_symbols > 0);
-        let trial: Trial = self.run.run_trial(snr_db, seed);
+        let trial: Trial = self.run.run_trial_with_workspace(snr_db, seed, ws);
         match trial.symbols {
             Some(decode_point) => {
                 let rounds = decode_point.div_ceil(self.burst_symbols);
@@ -73,7 +85,18 @@ impl LinkLayerRun {
     /// The idealised rate with free, instantaneous feedback (the number
     /// every figure in §8 reports).
     pub fn ideal_rate(&self, snr_db: f64, seed: u64) -> f64 {
-        match self.run.run_trial(snr_db, seed).symbols {
+        self.ideal_rate_with_workspace(snr_db, seed, &mut DecodeWorkspace::new())
+    }
+
+    /// [`LinkLayerRun::ideal_rate`] decoding through the caller's
+    /// workspace.
+    pub fn ideal_rate_with_workspace(
+        &self,
+        snr_db: f64,
+        seed: u64,
+        ws: &mut DecodeWorkspace,
+    ) -> f64 {
+        match self.run.run_trial_with_workspace(snr_db, seed, ws).symbols {
             Some(s) => self.run.params.n as f64 / s as f64,
             None => 0.0,
         }

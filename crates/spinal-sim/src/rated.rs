@@ -11,6 +11,41 @@
 //! module lets the harness verify directly from the measured
 //! symbols-to-decode distribution.
 
+use crate::spinal_run::SpinalRun;
+use spinal_core::DecodeWorkspace;
+
+/// Measure the sorted symbols-to-decode distribution the rated analysis
+/// consumes: `trials` rateless trials of `run` at `snr_db`, trial `t`
+/// seeded with `seed_base + t·seed_step`, decoded through one reusable
+/// [`DecodeWorkspace`]. Failed trials contribute no sample.
+///
+/// The explicit `seed_step` lets callers keep a pre-existing seed layout
+/// (e.g. `fig8_2` spaces its historical trial seeds by `1 << 8`), so a
+/// regenerated figure reproduces the same noise realisations it always
+/// did.
+///
+/// This is the bridge from the trial engine to [`rated_throughput`] /
+/// [`best_rated`] / [`rateless_throughput`]: run it once per SNR point
+/// (sweeps parallelise over SNR points, so the workspace stays
+/// per-worker).
+pub fn symbols_to_decode_samples(
+    run: &SpinalRun,
+    snr_db: f64,
+    trials: usize,
+    seed_base: u64,
+    seed_step: u64,
+) -> Vec<usize> {
+    let mut ws = DecodeWorkspace::new();
+    let mut samples: Vec<usize> = (0..trials)
+        .filter_map(|t| {
+            run.run_trial_with_workspace(snr_db, seed_base + t as u64 * seed_step, &mut ws)
+                .symbols
+        })
+        .collect();
+    samples.sort_unstable();
+    samples
+}
+
 /// Throughput of the rated (fixed-budget) variant at budget `n_symbols`,
 /// given the sorted symbols-to-decode samples of the rateless decoder.
 pub fn rated_throughput(n_bits: usize, sorted_samples: &[usize], n_symbols: usize) -> f64 {
@@ -80,6 +115,19 @@ mod tests {
         let (budget, rated) = best_rated(100, &samples);
         assert_eq!(budget, 25);
         assert!((rateless - rated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_collection_matches_individual_trials() {
+        use spinal_core::CodeParams;
+        let run = SpinalRun::new(CodeParams::default().with_n(96).with_b(64));
+        let samples = symbols_to_decode_samples(&run, 15.0, 4, 100, 3);
+        let mut expect: Vec<usize> = (0..4)
+            .filter_map(|t| run.run_trial(15.0, 100 + 3 * t).symbols)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(samples, expect);
+        assert!(!samples.is_empty(), "15 dB trials should decode");
     }
 
     #[test]

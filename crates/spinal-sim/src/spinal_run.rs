@@ -6,7 +6,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_channel::capacity::{awgn_capacity_db, bsc_capacity, rayleigh_ergodic_capacity_db};
 use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel, RayleighChannel};
-use spinal_core::{BubbleDecoder, CodeParams, Encoder, Message, RxBits, RxSymbols, Schedule};
+use spinal_core::{
+    BubbleDecoder, CodeParams, DecodeWorkspace, Encoder, Message, RxBits, RxSymbols, Schedule,
+};
 
 /// Which link model a spinal trial runs over.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,7 +106,24 @@ impl SpinalRun {
     }
 
     /// Run one message trial at `snr_db`; deterministic in `seed`.
+    ///
+    /// Allocates a fresh [`DecodeWorkspace`] for the trial (reused across
+    /// the trial's decode attempts). Sweeps issuing many trials should
+    /// hold one workspace per worker and call
+    /// [`SpinalRun::run_trial_with_workspace`].
     pub fn run_trial(&self, snr_db: f64, seed: u64) -> Trial {
+        self.run_trial_with_workspace(snr_db, seed, &mut DecodeWorkspace::new())
+    }
+
+    /// [`SpinalRun::run_trial`] decoding through the caller's workspace,
+    /// so the §7.1 attempt loop — and, across calls, a whole sweep —
+    /// performs no decode-path allocation after warm-up.
+    pub fn run_trial_with_workspace(
+        &self,
+        snr_db: f64,
+        seed: u64,
+        ws: &mut DecodeWorkspace,
+    ) -> Trial {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = Message::random(p.n, || rng.gen());
@@ -181,7 +200,7 @@ impl SpinalRun {
             if sent < next_attempt {
                 continue;
             }
-            if decoder.decode(&rx).message == msg {
+            if decoder.decode_with_workspace(&rx, ws).message == msg {
                 return Trial::success(p.n, sent);
             }
             next_attempt = ((sent as f64) * self.attempt_growth) as usize;
@@ -198,6 +217,26 @@ pub fn run_bsc_trial(
     max_passes: usize,
     oracle_skip: bool,
     seed: u64,
+) -> Trial {
+    run_bsc_trial_with_workspace(
+        params,
+        flip_p,
+        max_passes,
+        oracle_skip,
+        seed,
+        &mut DecodeWorkspace::new(),
+    )
+}
+
+/// [`run_bsc_trial`] decoding through the caller's workspace (see
+/// [`SpinalRun::run_trial_with_workspace`]).
+pub fn run_bsc_trial_with_workspace(
+    params: &CodeParams,
+    flip_p: f64,
+    max_passes: usize,
+    oracle_skip: bool,
+    seed: u64,
+    ws: &mut DecodeWorkspace,
 ) -> Trial {
     let mut rng = StdRng::seed_from_u64(seed);
     let msg = Message::random(params.n, || rng.gen());
@@ -224,7 +263,7 @@ pub fn run_bsc_trial(
         if sent < min_attempt {
             continue;
         }
-        if decoder.decode_bsc(&rx).message == msg {
+        if decoder.decode_bsc_with_workspace(&rx, ws).message == msg {
             return Trial::success(params.n, sent);
         }
     }
@@ -284,6 +323,29 @@ mod tests {
     fn deterministic_given_seed() {
         let run = SpinalRun::new(fast_params());
         assert_eq!(run.run_trial(8.0, 7), run.run_trial(8.0, 7));
+    }
+
+    #[test]
+    fn workspace_reuse_across_trials_matches_fresh() {
+        // One workspace carried across heterogeneous trials (different
+        // SNRs and seeds, AWGN and BSC) must change nothing.
+        let run = SpinalRun::new(fast_params());
+        let mut ws = DecodeWorkspace::new();
+        for (snr, seed) in [(15.0, 1u64), (8.0, 2), (20.0, 3), (6.0, 4)] {
+            assert_eq!(
+                run.run_trial_with_workspace(snr, seed, &mut ws),
+                run.run_trial(snr, seed),
+                "snr {snr} seed {seed}"
+            );
+        }
+        let p = fast_params();
+        for seed in 0..3 {
+            assert_eq!(
+                run_bsc_trial_with_workspace(&p, 0.03, 30, true, seed, &mut ws),
+                run_bsc_trial(&p, 0.03, 30, true, seed),
+                "bsc seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! Spinal decoding is CPU-bound, so per the session guides we use plain
 //! scoped threads (no async runtime): a shared atomic work index hands
-//! out jobs, and results return through a mutex-guarded vector.
+//! out jobs, and each worker collects results into a private buffer that
+//! is merged exactly once when the worker exits — under many short jobs a
+//! per-result shared push would serialise the workers on the lock.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -15,18 +17,40 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    run_parallel_with(jobs, threads, || (), |(), i| f(i))
+}
+
+/// [`run_parallel`] with mutable per-worker state: each worker thread
+/// builds one `state = init()` and every job it claims receives
+/// `f(&mut state, job_index)`.
+///
+/// This is the seam for reusing expensive scratch across jobs — e.g. one
+/// [`spinal_core::DecodeWorkspace`] per worker so that a whole sweep
+/// performs no decode-path allocation after each worker's first trial.
+pub fn run_parallel_with<S, R, I, F>(jobs: usize, threads: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     assert!(threads >= 1);
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs));
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    local.push((i, f(&mut state, i)));
                 }
-                let r = f(i);
-                results.lock().push((i, r));
+                if !local.is_empty() {
+                    results.lock().append(&mut local);
+                }
             });
         }
     });
@@ -64,6 +88,34 @@ mod tests {
     fn zero_jobs_is_fine() {
         let out: Vec<usize> = run_parallel(0, 4, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn per_thread_state_is_initialised_once_per_worker_and_reused() {
+        use std::sync::atomic::AtomicU32;
+        let inits = AtomicU32::new(0);
+        let threads = 4;
+        // Each worker's state counts the jobs it served; the total across
+        // workers must equal the job count, and `init` must run at most
+        // once per worker.
+        let out = run_parallel_with(
+            64,
+            threads,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |served, i| {
+                *served += 1;
+                (i, *served)
+            },
+        );
+        assert!(inits.load(Ordering::Relaxed) <= threads as u32);
+        assert_eq!(out.len(), 64);
+        // Job order preserved, and at least one worker reused its state
+        // (served > 1) when jobs outnumber workers.
+        assert!(out.iter().enumerate().all(|(i, &(j, _))| i == j));
+        assert!(out.iter().any(|&(_, served)| served > 1));
     }
 
     #[test]

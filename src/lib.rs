@@ -29,7 +29,7 @@ pub use spinal_strider as strider;
 // The types a typical user touches, flattened for convenience.
 pub use spinal_channel::{AwgnChannel, BscChannel, Channel, Complex, RayleighChannel};
 pub use spinal_core::{
-    BubbleDecoder, CodeParams, Encoder, FrameBuilder, HashKind, MappingKind, Message, Puncturing,
-    RxBits, RxSymbols, Schedule,
+    BubbleDecoder, CodeParams, DecodeWorkspace, Encoder, FrameBuilder, HashKind, MappingKind,
+    Message, Puncturing, RxBits, RxSymbols, Schedule,
 };
 pub use spinal_sim::{LinkChannel, SpinalRun};
