@@ -15,14 +15,17 @@
 //!     --baseline BENCH_2026-07-27_post.json --current /tmp/now.json \
 //!     --group bubble_decode --bench n256_B256_2passes [--max-ratio 3.0]
 //! ```
+//!
+//! Malformed inputs (unreadable file, absent group/bench pair) exit with
+//! a message naming the offending flag and value rather than panicking.
 
-use bench::Args;
+use bench::{die, Args};
 
-/// Extract `"median_ns":<float>` from a shim-format JSON line matching
-/// the group/bench pair. Hand-rolled: the workspace has no JSON
-/// dependency and the shim's output format is fixed.
-fn find_median(path: &str, group: &str, name: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+/// Extract `"median_ns":<float>` from the shim-format JSON line matching
+/// the group/bench pair in `text`. Hand-rolled: the workspace has no
+/// JSON dependency and the shim's output format is fixed. `None` when no
+/// line carries the pair (or its median field is malformed).
+fn find_median_in(text: &str, group: &str, name: &str) -> Option<f64> {
     let g = format!("\"group\":\"{group}\"");
     let b = format!("\"bench\":\"{name}\"");
     for line in text.lines() {
@@ -37,6 +40,18 @@ fn find_median(path: &str, group: &str, name: &str) -> Option<f64> {
     None
 }
 
+/// Read `path` (named on the CLI by `flag`) and locate the group/bench
+/// median, with errors that name the flag, the file, and the pair.
+fn load_median(flag: &str, path: &str, group: &str, name: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read --{flag} file '{path}': {e}"))?;
+    find_median_in(&text, group, name).ok_or_else(|| {
+        format!(
+            "--group/--bench pair '{group}/{name}' has no median_ns entry in --{flag} file '{path}'"
+        )
+    })
+}
+
 fn main() {
     let args = Args::parse();
     let baseline = args.str("baseline", "BENCH_2026-07-27_post.json");
@@ -44,11 +59,12 @@ fn main() {
     let group = args.str("group", "bubble_decode");
     let name = args.str("bench", "n256_B256_2passes");
     let max_ratio = args.f64("max-ratio", 3.0);
+    if max_ratio.is_nan() || max_ratio <= 0.0 {
+        die(format!("--max-ratio must be positive, got {max_ratio}"));
+    }
 
-    let base = find_median(&baseline, &group, &name)
-        .unwrap_or_else(|| panic!("{group}/{name} not found in baseline {baseline}"));
-    let now = find_median(&current, &group, &name)
-        .unwrap_or_else(|| panic!("{group}/{name} not found in current run {current}"));
+    let base = load_median("baseline", &baseline, &group, &name).unwrap_or_else(|e| die(e));
+    let now = load_median("current", &current, &group, &name).unwrap_or_else(|e| die(e));
     let ratio = now / base;
     println!(
         "bench_guard: {group}/{name}: baseline {base:.0} ns, current {now:.0} ns \
@@ -59,4 +75,66 @@ fn main() {
         std::process::exit(1);
     }
     println!("bench_guard: OK");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"group\":\"bubble_decode\",\"bench\":\"n256_B256_2passes\",\"median_ns\":4700000.0,\"mean_ns\":4800000.0}\n",
+        "{\"group\":\"bubble_decode\",\"bench\":\"n256_B64_2passes\",\"median_ns\":1100000.0}\n",
+        "{\"group\":\"hash\",\"bench\":\"one_at_a_time\",\"median_ns\":16.0}\n",
+        "{\"group\":\"hash\",\"bench\":\"broken\",\"median_ns\":not_a_number}\n",
+    );
+
+    #[test]
+    fn finds_the_matching_pair() {
+        assert_eq!(
+            find_median_in(SAMPLE, "bubble_decode", "n256_B256_2passes"),
+            Some(4700000.0)
+        );
+        assert_eq!(find_median_in(SAMPLE, "hash", "one_at_a_time"), Some(16.0));
+    }
+
+    #[test]
+    fn missing_pair_is_none() {
+        assert_eq!(find_median_in(SAMPLE, "bubble_decode", "absent"), None);
+        assert_eq!(find_median_in(SAMPLE, "absent", "n256_B256_2passes"), None);
+        assert_eq!(find_median_in("", "g", "b"), None);
+    }
+
+    #[test]
+    fn malformed_median_is_none_not_panic() {
+        assert_eq!(find_median_in(SAMPLE, "hash", "broken"), None);
+    }
+
+    #[test]
+    fn unreadable_file_names_the_flag_and_path() {
+        let err = load_median("baseline", "/nonexistent/b.json", "g", "b").unwrap_err();
+        assert!(
+            err.contains("--baseline") && err.contains("/nonexistent/b.json"),
+            "unhelpful: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_entry_names_the_pair_and_file() {
+        let path = std::env::temp_dir().join("bench_guard_test_missing_entry.json");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let err =
+            load_median("current", path.to_str().unwrap(), "bubble_decode", "nope").unwrap_err();
+        assert!(
+            err.contains("bubble_decode/nope") && err.contains("--current"),
+            "unhelpful: {err}"
+        );
+        let ok = load_median(
+            "current",
+            path.to_str().unwrap(),
+            "bubble_decode",
+            "n256_B64_2passes",
+        );
+        assert_eq!(ok, Ok(1100000.0));
+        let _ = std::fs::remove_file(&path);
+    }
 }

@@ -6,6 +6,41 @@
 pub mod fading_fig;
 
 use std::collections::HashMap;
+use std::fmt;
+
+/// A malformed command-line value: names the offending flag, the value
+/// received, and what was expected — so `--trials abc` fails with
+/// "invalid value for --trials: 'abc' (expected an integer)" instead of
+/// a bare panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    /// The flag (without leading dashes) whose value failed to parse.
+    pub flag: String,
+    /// The raw value supplied on the command line.
+    pub value: String,
+    /// Human description of the expected shape.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid value for --{}: '{}' (expected {})",
+            self.flag, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Print a CLI error and exit with status 2 (the conventional
+/// usage-error code). Binaries route every malformed flag through this
+/// so a bad invocation produces one readable line, not a backtrace.
+pub fn die(err: impl fmt::Display) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(2);
+}
 
 /// Minimal `--key value` / `--flag` argument parser (keeps the harness
 /// free of CLI dependencies).
@@ -18,9 +53,19 @@ pub struct Args {
 impl Args {
     /// Parse `std::env::args()`.
     pub fn parse() -> Self {
+        Self::from_argv(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list (what [`Args::parse`] does to the
+    /// process arguments; unit tests feed malformed input through here).
+    pub fn from_argv<I, S>(argv: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let argv: Vec<String> = argv.into_iter().map(Into::into).collect();
         let mut values = HashMap::new();
         let mut flags = Vec::new();
-        let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
             let a = argv[i].trim_start_matches("--").to_string();
@@ -35,26 +80,46 @@ impl Args {
         Args { values, flags }
     }
 
-    /// Fetch a float option.
-    pub fn f64(&self, key: &str, default: f64) -> f64 {
-        self.values
-            .get(key)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{key} wants a number"))
-            })
-            .unwrap_or(default)
+    /// Fetch a float option; `Ok(None)` when absent.
+    pub fn try_f64(&self, key: &str) -> Result<Option<f64>, ArgError> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgError {
+                flag: key.to_string(),
+                value: v.clone(),
+                expected: "a number",
+            }),
+        }
     }
 
-    /// Fetch an integer option.
+    /// Fetch an integer option; `Ok(None)` when absent.
+    pub fn try_usize(&self, key: &str) -> Result<Option<usize>, ArgError> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| ArgError {
+                flag: key.to_string(),
+                value: v.clone(),
+                expected: "a non-negative integer",
+            }),
+        }
+    }
+
+    /// Fetch a float option, exiting with a descriptive message on a
+    /// malformed value.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        match self.try_f64(key) {
+            Ok(v) => v.unwrap_or(default),
+            Err(e) => die(e),
+        }
+    }
+
+    /// Fetch an integer option, exiting with a descriptive message on a
+    /// malformed value.
     pub fn usize(&self, key: &str, default: usize) -> usize {
-        self.values
-            .get(key)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{key} wants an integer"))
-            })
-            .unwrap_or(default)
+        match self.try_usize(key) {
+            Ok(v) => v.unwrap_or(default),
+            Err(e) => die(e),
+        }
     }
 
     /// Fetch a string option.
@@ -71,20 +136,47 @@ impl Args {
     }
 }
 
-/// An SNR grid: `--snr-start/--snr-end/--snr-step` with experiment
-/// defaults.
-pub fn snr_grid(args: &Args, start: f64, end: f64, step: f64) -> Vec<f64> {
-    let start = args.f64("snr-start", start);
-    let end = args.f64("snr-end", end);
-    let step = args.f64("snr-step", step);
-    assert!(step > 0.0 && end >= start);
+/// Build the `--snr-start/--snr-end/--snr-step` grid, reporting which
+/// flag is inconsistent rather than asserting.
+pub fn try_snr_grid(args: &Args, start: f64, end: f64, step: f64) -> Result<Vec<f64>, String> {
+    let start = args
+        .try_f64("snr-start")
+        .map_err(|e| e.to_string())?
+        .unwrap_or(start);
+    let end = args
+        .try_f64("snr-end")
+        .map_err(|e| e.to_string())?
+        .unwrap_or(end);
+    let step = args
+        .try_f64("snr-step")
+        .map_err(|e| e.to_string())?
+        .unwrap_or(step);
+    if step.is_nan() || step <= 0.0 {
+        return Err(format!("--snr-step must be positive, got {step}"));
+    }
+    // `!(end >= start)` also catches NaN endpoints, which `end < start`
+    // would wave through as an empty grid.
+    if end.is_nan() || start.is_nan() || end < start {
+        return Err(format!(
+            "--snr-end ({end}) must not be below --snr-start ({start})"
+        ));
+    }
     let mut v = Vec::new();
     let mut s = start;
     while s <= end + 1e-9 {
         v.push(s);
         s += step;
     }
-    v
+    Ok(v)
+}
+
+/// An SNR grid: `--snr-start/--snr-end/--snr-step` with experiment
+/// defaults; exits with a descriptive message on malformed flags.
+pub fn snr_grid(args: &Args, start: f64, end: f64, step: f64) -> Vec<f64> {
+    match try_snr_grid(args, start, end, step) {
+        Ok(v) => v,
+        Err(e) => die(e),
+    }
 }
 
 /// Pooled rate over trials (delivered bits / spent symbols), matching
@@ -110,5 +202,71 @@ mod tests {
         use spinal_sim::Trial;
         let t = vec![Trial::success(100, 50), Trial::success(100, 150)];
         assert!((pooled_rate(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_argv_matches_value_and_flag_forms() {
+        let a = Args::from_argv(["--trials", "8", "--full", "--snr-step", "2.5"]);
+        assert_eq!(a.usize("trials", 1), 8);
+        assert_eq!(a.f64("snr-step", 1.0), 2.5);
+        assert!(a.has("full"));
+        assert!(!a.has("absent"));
+        assert_eq!(a.str("out", "x.csv"), "x.csv");
+    }
+
+    #[test]
+    fn malformed_number_names_the_flag_and_value() {
+        let a = Args::from_argv(["--trials", "abc"]);
+        let err = a.try_usize("trials").unwrap_err();
+        assert_eq!(err.flag, "trials");
+        assert_eq!(err.value, "abc");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("--trials") && msg.contains("'abc'"),
+            "unhelpful message: {msg}"
+        );
+    }
+
+    #[test]
+    fn malformed_float_reports_expected_shape() {
+        let a = Args::from_argv(["--snr-start", "five"]);
+        let err = a.try_f64("snr-start").unwrap_err();
+        assert!(err.to_string().contains("expected a number"), "{err}");
+        // A negative integer is a fine float but not a usize.
+        let a = Args::from_argv(["--trials", "-3"]);
+        assert!(a.try_usize("trials").is_err());
+        assert_eq!(a.try_f64("trials").unwrap(), Some(-3.0));
+    }
+
+    #[test]
+    fn absent_keys_are_ok_none() {
+        let a = Args::from_argv::<_, String>([]);
+        assert_eq!(a.try_f64("snr-step").unwrap(), None);
+        assert_eq!(a.try_usize("trials").unwrap(), None);
+    }
+
+    #[test]
+    fn snr_grid_rejects_bad_ranges_with_named_flags() {
+        let bad_step = Args::from_argv(["--snr-step", "0"]);
+        let e = try_snr_grid(&bad_step, 0.0, 10.0, 1.0).unwrap_err();
+        assert!(e.contains("--snr-step"), "{e}");
+
+        let inverted = Args::from_argv(["--snr-start", "10", "--snr-end", "0"]);
+        let e = try_snr_grid(&inverted, 0.0, 10.0, 1.0).unwrap_err();
+        assert!(e.contains("--snr-end") && e.contains("--snr-start"), "{e}");
+
+        let garbage = Args::from_argv(["--snr-end", "ten"]);
+        let e = try_snr_grid(&garbage, 0.0, 10.0, 1.0).unwrap_err();
+        assert!(e.contains("--snr-end") && e.contains("'ten'"), "{e}");
+
+        // "nan" parses as a float; it must be rejected, not yield an
+        // empty grid.
+        for flag in ["snr-start", "snr-end"] {
+            let nan = Args::from_argv([format!("--{flag}"), "nan".to_string()]);
+            assert!(try_snr_grid(&nan, 0.0, 10.0, 1.0).is_err(), "--{flag} nan");
+        }
+        let nan_step = Args::from_argv(["--snr-step", "nan"]);
+        let e = try_snr_grid(&nan_step, 0.0, 10.0, 1.0).unwrap_err();
+        assert!(e.contains("--snr-step"), "{e}");
     }
 }

@@ -1,0 +1,50 @@
+//! Analytic upper bounds on the block-error rate of spinal codes under
+//! ML decoding — the oracle layer the statistical test harness checks
+//! every simulated BLER curve against.
+//!
+//! The paper evaluates spinal codes purely by simulation. Follow-up work
+//! derived closed-form upper bounds on the ML block-error probability:
+//!
+//! * Li, Wu, Han, Zhang, "New Upper Bounds on the Error Probability under
+//!   ML Decoding for Spinal Codes" (AWGN), and
+//! * Chen et al., "Tight Upper Bounds on the Error Probability of Spinal
+//!   Codes over Fading Channels" (Rayleigh et al.),
+//!
+//! both built on the same skeleton: classify wrong messages by the first
+//! k-bit segment `a` where they differ from the truth, observe that under
+//! the random-hash model every coded symbol attached to a spine value at
+//! depth `≥ a` is an independent uniform constellation point, and union-
+//! bound over depths:
+//!
+//! ```text
+//! P_e  ≤  Σ_{a=1}^{n/k}  min(1,  N_a · PEP(L_a))
+//! N_a  =  (2^k − 1) · 2^{n − k·a}        (wrong messages at depth a)
+//! L_a  =  #received symbols with spine index ≥ a − 1
+//! ```
+//!
+//! `L_a` is read off the *actual* transmission [`Schedule`] (puncturing
+//! and tail symbols included), so the bound tracks exactly what the
+//! encoder under test emits. The pairwise term `PEP(L)` is evaluated
+//! *exactly* (no Chernoff loss) through Craig's form of the Q-function —
+//! see [`pep`] — which is what makes these bounds tight enough to be
+//! useful oracles at finite blocklength.
+//!
+//! Everything is computed in the natural-log domain: `N_a` reaches
+//! `2^{n}` and `PEP` reaches `2^{−2c·L}`, both far outside f64 range.
+//!
+//! The bounds assume ML decoding. The bubble decoder of `spinal-core` is
+//! a pruned approximation of ML, so a *simulated* BLER may in principle
+//! exceed the ML bound when the beam prunes the true path; the
+//! `bound_oracle` statistical tests pick operating points (B ≫ 2^k,
+//! moderate rate) where pruning loss is far below the union bound's own
+//! slack, making "sim ≤ bound" a machine-checkable invariant that pins
+//! encoder, channel model, and decoder simultaneously.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pep;
+pub mod union;
+
+pub use pep::PairDistribution;
+pub use union::{BoundChannel, BoundPoint, SpinalBound};

@@ -1,0 +1,432 @@
+//! Exact pairwise-error terms for the union bounds.
+//!
+//! Under the random-hash model, a wrong codeword's symbols after the
+//! divergence depth are independent uniform constellation points, so for
+//! a pair of codewords differing in `L` received symbols the ML pairwise
+//! error probability over AWGN is
+//!
+//! ```text
+//! PEP(L) = E_d[ Q(√(D / 2σ²)) ] + ½·P(D = 0),      D = Σ_{j=1}^{L} |d_j|²
+//! ```
+//!
+//! with `d_j = x_j − x'_j` the difference of two independent uniform
+//! constellation symbols (the `½·P(D=0)` atom upgrades `Q(0) = ½` to a
+//! full tie error, so the result upper-bounds *any* tie-breaking rule).
+//! Craig's form `Q(x) = (1/π)∫₀^{π/2} exp(−x²/2sin²θ) dθ` turns the
+//! L-fold expectation into a product of identical one-symbol factors
+//! inside a one-dimensional integral — evaluated here with a fixed
+//! Gauss–Legendre rule, so the PEP is exact (no Chernoff/union slack at
+//! this layer), which is what the "new/tight upper bounds" papers exploit.
+//!
+//! For Rayleigh fading with receiver CSI the distance `|d_j|²` is scaled
+//! by `|h_j|² ~ Exp(1)`; taking the fading expectation inside Craig's
+//! integral replaces `exp(−z·t)` with the Exp-MGF `1/(1 + z·t)`. Block
+//! fading (coherence time τ > 1) shares one `h` across the symbols of a
+//! block, handled by convolving the per-symbol distance distribution.
+
+use spinal_channel::math::gauss_legendre;
+use spinal_core::{CodeParams, Constellation};
+
+/// Gauss–Legendre nodes over `(0, π/2)` for Craig's integral. The
+/// integrand is smooth and analytic; 96 nodes put the quadrature error
+/// many orders below the union bound's inherent looseness.
+pub const CRAIG_NODES: usize = 96;
+
+/// Conservative bin count for the joint `|d|²` histogram (and its block
+/// convolutions). Values are floored onto the grid: *underestimating* a
+/// distance can only *increase* an error-probability term, so binning
+/// preserves the upper-bound property.
+const JOINT_BINS: usize = 1 << 13;
+
+/// Largest number of same-fading-block symbols convolved exactly. A
+/// block with more differing symbols is truncated to this many — again
+/// discarding distance, so the bound stays valid (just looser for very
+/// long coherence times).
+pub const MAX_BLOCK_CONV: usize = 8;
+
+/// Distribution of the difference of two independent uniformly-chosen
+/// constellation symbols, precomputed from a [`CodeParams`]'s mapping.
+#[derive(Debug, Clone)]
+pub struct PairDistribution {
+    /// Per-real-dimension `(d², probability)` support, exact.
+    dim: Vec<(f64, f64)>,
+    /// Joint per-complex-symbol `(|d|², probability)` support,
+    /// conservatively binned.
+    joint: Vec<(f64, f64)>,
+    /// `P(d = 0)` for one complex symbol (`2^{−2c}` for injective maps).
+    p_zero: f64,
+}
+
+/// log(Σ exp(xᵢ)) without overflow; `&[]` → −∞.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+impl PairDistribution {
+    /// Build the pair-difference distribution for `params`' constellation.
+    pub fn new(params: &CodeParams) -> Self {
+        let con = Constellation::new(params.mapping, params.c);
+        let levels = con.levels();
+        let m = levels.len();
+        let p_pair = 1.0 / (m * m) as f64;
+
+        // Exact per-dimension support: all m² level differences, merged
+        // when numerically identical.
+        let mut d2: Vec<f64> = Vec::with_capacity(m * m);
+        for &a in levels {
+            for &b in levels {
+                let d = a - b;
+                d2.push(d * d);
+            }
+        }
+        d2.sort_by(f64::total_cmp);
+        let mut dim: Vec<(f64, f64)> = Vec::new();
+        for v in d2 {
+            match dim.last_mut() {
+                Some((last, p)) if v - *last <= 1e-12 * v.max(1e-300) => *p += p_pair,
+                _ => dim.push((v, p_pair)),
+            }
+        }
+
+        let joint = convolve(&dim, &dim, JOINT_BINS);
+        let p_zero = joint
+            .iter()
+            .find(|&&(v, _)| v == 0.0)
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0);
+        PairDistribution { dim, joint, p_zero }
+    }
+
+    /// `P(d = 0)` for one complex symbol.
+    pub fn p_zero(&self) -> f64 {
+        self.p_zero
+    }
+
+    /// Per-real-dimension support `(d², p)`.
+    pub fn dim_support(&self) -> &[(f64, f64)] {
+        &self.dim
+    }
+
+    /// Per-complex-symbol support `(|d|², p)`.
+    pub fn joint_support(&self) -> &[(f64, f64)] {
+        &self.joint
+    }
+}
+
+/// Distribution of the sum of two independent non-negative variables
+/// given by `(value, prob)` supports, floor-binned onto a `bins`-point
+/// grid (the zero atom is kept exact).
+fn convolve(a: &[(f64, f64)], b: &[(f64, f64)], bins: usize) -> Vec<(f64, f64)> {
+    let max: f64 = a.last().map_or(0.0, |x| x.0) + b.last().map_or(0.0, |x| x.0);
+    if max == 0.0 {
+        return vec![(0.0, 1.0)];
+    }
+    let step = max / bins as f64;
+    let mut acc = vec![0.0f64; bins + 1];
+    for &(va, pa) in a {
+        for &(vb, pb) in b {
+            let idx = (((va + vb) / step) as usize).min(bins);
+            acc[idx] += pa * pb;
+        }
+    }
+    acc.iter()
+        .enumerate()
+        .filter(|&(_, &p)| p > 0.0)
+        .map(|(i, &p)| (i as f64 * step, p))
+        .collect()
+}
+
+/// The Craig-integral evaluation state shared by the per-SNR bound
+/// computations: quadrature nodes and, per node, the `1/(4σ²sin²θ)`
+/// exponent scale.
+#[derive(Debug, Clone)]
+pub struct CraigRule {
+    /// `(ln(w/π), t = 1/(4σ²·sin²θ))` per node.
+    nodes: Vec<(f64, f64)>,
+}
+
+impl CraigRule {
+    /// Build the rule for complex noise power `σ²` (per-symbol).
+    pub fn new(sigma_sq: f64) -> Self {
+        assert!(sigma_sq > 0.0, "noise power must be positive");
+        let nodes = gauss_legendre(CRAIG_NODES, 0.0, std::f64::consts::FRAC_PI_2)
+            .into_iter()
+            .map(|(theta, w)| {
+                let s = theta.sin();
+                (
+                    (w / std::f64::consts::PI).ln(),
+                    1.0 / (4.0 * sigma_sq * s * s),
+                )
+            })
+            .collect();
+        CraigRule { nodes }
+    }
+
+    /// ln PEP over AWGN for `l` differing received symbols: the two I/Q
+    /// dimensions are independent, so the one-symbol Craig factor is the
+    /// squared per-dimension factor and `PEP` needs `g(θ)^{2l}`.
+    pub fn ln_pep_awgn(&self, dist: &PairDistribution, l: usize) -> f64 {
+        let terms: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|&(ln_w, t)| {
+                let g: f64 = dist.dim.iter().map(|&(d2, p)| p * (-d2 * t).exp()).sum();
+                ln_w + 2.0 * l as f64 * g.ln()
+            })
+            .collect();
+        // The Δ = 0 tie atom: Craig contributes Q(0)·P(D=0) = ½·P(D=0);
+        // add another ½·P(D=0) so a tie counts as a full error.
+        let ln_atom = 0.5f64.ln() + l as f64 * safe_ln(dist.p_zero);
+        log_sum_exp(&[log_sum_exp(&terms), ln_atom])
+    }
+
+    /// ln PEP over Rayleigh block fading with receiver CSI. `block_sizes`
+    /// lists, for every coherence block, how many *differing* received
+    /// symbols fall in it (zero-entries may be omitted); each block shares
+    /// one `|h|² ~ Exp(1)` draw, whose MGF turns the Craig factor for a
+    /// block with summed distance `S` into `E[1/(1 + S·t)]`.
+    pub fn ln_pep_rayleigh(&self, dist: &PairDistribution, block_sizes: &[usize]) -> f64 {
+        // Histogram of block multiplicities, truncated to MAX_BLOCK_CONV
+        // (dropping distance terms keeps the upper bound valid).
+        let mut mult = [0usize; MAX_BLOCK_CONV + 1];
+        let mut total_syms = 0usize;
+        for &m in block_sizes {
+            if m == 0 {
+                continue;
+            }
+            total_syms += m;
+            mult[m.min(MAX_BLOCK_CONV)] += 1;
+        }
+
+        // Distance-sum distributions S_m for each multiplicity in use;
+        // convolve only up to the largest multiplicity present (i.i.d.
+        // fading needs none).
+        let mut sums: Vec<Option<Vec<(f64, f64)>>> = vec![None; MAX_BLOCK_CONV + 1];
+        let mut cur = dist.joint.clone();
+        for m in 1..=MAX_BLOCK_CONV {
+            if mult[m..].iter().any(|&c| c > 0) {
+                sums[m] = Some(cur.clone());
+            } else {
+                break;
+            }
+            if m < MAX_BLOCK_CONV && mult[m + 1..].iter().any(|&c| c > 0) {
+                cur = convolve(&cur, &dist.joint, JOINT_BINS);
+            }
+        }
+
+        let terms: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|&(ln_w, t)| {
+                let mut ln_prod = 0.0;
+                for (m, &count) in mult.iter().enumerate().skip(1) {
+                    if count == 0 {
+                        continue;
+                    }
+                    let s_m = sums[m].as_ref().expect("distribution built above");
+                    let f: f64 = s_m.iter().map(|&(s, p)| p / (1.0 + s * t)).sum();
+                    ln_prod += count as f64 * f.ln();
+                }
+                ln_w + ln_prod
+            })
+            .collect();
+        let ln_atom = 0.5f64.ln() + total_syms as f64 * safe_ln(dist.p_zero);
+        log_sum_exp(&[log_sum_exp(&terms), ln_atom])
+    }
+}
+
+fn safe_ln(x: f64) -> f64 {
+    if x <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        x.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spinal_channel::math::{normal_pair, q_func};
+
+    fn dist_for(c: u32) -> (PairDistribution, CodeParams) {
+        let p = CodeParams::default().with_c(c);
+        (PairDistribution::new(&p), p)
+    }
+
+    #[test]
+    fn pair_distribution_is_a_probability_law() {
+        for c in [1u32, 2, 6] {
+            let (d, _) = dist_for(c);
+            let pd: f64 = d.dim_support().iter().map(|&(_, p)| p).sum();
+            let pj: f64 = d.joint_support().iter().map(|&(_, p)| p).sum();
+            assert!((pd - 1.0).abs() < 1e-9, "c={c} dim mass {pd}");
+            assert!((pj - 1.0).abs() < 1e-9, "c={c} joint mass {pj}");
+            // Injective map: the zero atom is exactly 2^{−2c}.
+            let expect = 0.25f64.powi(c as i32);
+            assert!(
+                (d.p_zero() - expect).abs() < 1e-12,
+                "c={c} p0={}",
+                d.p_zero()
+            );
+        }
+    }
+
+    #[test]
+    fn qpsk_single_symbol_pep_matches_hand_computation() {
+        // c=1: levels ±√½ per dimension ⇒ per-dim d² ∈ {0 (w.p. ½), 2
+        // (w.p. ½)}; D ∈ {0:¼, 2:½, 4:¼}. PEP(1) = ¼·1 + ½·Q(√(1/σ²)) +
+        // ¼·Q(√(2/σ²)) counting the D=0 tie as a full error.
+        let (d, _) = dist_for(1);
+        for snr_db in [0.0, 6.0, 10.0] {
+            let sigma_sq = 1.0 / spinal_channel::db_to_linear(snr_db);
+            let rule = CraigRule::new(sigma_sq);
+            let got = rule.ln_pep_awgn(&d, 1).exp();
+            let want = 0.25
+                + 0.5 * q_func((1.0 / sigma_sq).sqrt())
+                + 0.25 * q_func((2.0 / sigma_sq).sqrt());
+            assert!(
+                (got - want).abs() < 1e-6,
+                "snr={snr_db}: got {got} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn awgn_pep_matches_monte_carlo() {
+        // Empirical E[Q(√(D/2σ²))] (+ tie atom) over random symbol pairs
+        // must match the Craig evaluation.
+        let (d, params) = dist_for(6);
+        let con = Constellation::new(params.mapping, params.c);
+        let mask = con.levels().len() as u32 - 1; // power-of-two table
+        let mut rng = StdRng::seed_from_u64(42);
+        let sigma_sq = 1.0 / spinal_channel::db_to_linear(3.0);
+        let l = 4usize;
+        let trials = 20_000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let mut big_d = 0.0;
+            for _ in 0..(2 * l) {
+                let a = con.map_value(rng.gen::<u32>() & mask);
+                let b = con.map_value(rng.gen::<u32>() & mask);
+                big_d += (a - b) * (a - b);
+            }
+            acc += if big_d == 0.0 {
+                1.0
+            } else {
+                q_func((big_d / (2.0 * sigma_sq)).sqrt())
+            };
+        }
+        let mc = acc / trials as f64;
+        let craig = CraigRule::new(sigma_sq).ln_pep_awgn(&d, l).exp();
+        assert!(
+            (mc - craig).abs() < 0.01 * mc.max(0.01),
+            "mc {mc} vs craig {craig}"
+        );
+    }
+
+    #[test]
+    fn rayleigh_pep_matches_monte_carlo() {
+        // iid fading (every block holds one differing symbol): sample
+        // h, d and average Q(√(Σ|h|²|d|²/2σ²)).
+        let (d, params) = dist_for(6);
+        let con = Constellation::new(params.mapping, params.c);
+        let mask = con.levels().len() as u32 - 1;
+        let mut rng = StdRng::seed_from_u64(7);
+        let sigma_sq = 1.0 / spinal_channel::db_to_linear(8.0);
+        let l = 3usize;
+        let trials = 40_000;
+        let mut acc = 0.0;
+        for _ in 0..trials {
+            let mut big_d = 0.0;
+            for _ in 0..l {
+                let (hr, hi) = normal_pair(&mut rng);
+                let h2 = (hr * hr + hi * hi) / 2.0; // E[|h|²] = 1
+                let di =
+                    con.map_value(rng.gen::<u32>() & mask) - con.map_value(rng.gen::<u32>() & mask);
+                let dq =
+                    con.map_value(rng.gen::<u32>() & mask) - con.map_value(rng.gen::<u32>() & mask);
+                big_d += h2 * (di * di + dq * dq);
+            }
+            acc += if big_d == 0.0 {
+                1.0
+            } else {
+                q_func((big_d / (2.0 * sigma_sq)).sqrt())
+            };
+        }
+        let mc = acc / trials as f64;
+        let craig = CraigRule::new(sigma_sq)
+            .ln_pep_rayleigh(&d, &vec![1; l])
+            .exp();
+        assert!(
+            (mc - craig).abs() < 0.02 * mc.max(0.02),
+            "mc {mc} vs craig {craig}"
+        );
+    }
+
+    #[test]
+    fn rayleigh_single_symbol_matches_exponential_closed_form() {
+        // One differing symbol with fixed |d|² = z: E_h[Q(√(z|h|²/2σ²))]
+        // = ½(1 − √(γ/(1+γ))), γ = z/(4σ²). Averaging the closed form
+        // over the joint distance law must match ln_pep_rayleigh.
+        let (d, _) = dist_for(2);
+        let sigma_sq = 0.2;
+        let mut want = 0.0;
+        for &(z, p) in d.joint_support() {
+            if z == 0.0 {
+                want += p; // tie counts as full error
+            } else {
+                let g = z / (4.0 * sigma_sq);
+                want += p * 0.5 * (1.0 - (g / (1.0 + g)).sqrt());
+            }
+        }
+        let got = CraigRule::new(sigma_sq).ln_pep_rayleigh(&d, &[1]).exp();
+        assert!((got - want).abs() < 1e-6, "got {got} want {want}");
+    }
+
+    #[test]
+    fn block_fading_pep_exceeds_iid_pep() {
+        // Sharing one fade across symbols removes diversity, so the
+        // pairwise error for one block of 4 must exceed 4 iid blocks.
+        let (d, _) = dist_for(6);
+        let rule = CraigRule::new(0.25);
+        let one_block = rule.ln_pep_rayleigh(&d, &[4]);
+        let iid = rule.ln_pep_rayleigh(&d, &[1, 1, 1, 1]);
+        assert!(one_block > iid, "block {one_block} vs iid {iid}");
+    }
+
+    #[test]
+    fn block_truncation_only_loosens() {
+        // A block longer than MAX_BLOCK_CONV is truncated; the result
+        // must upper-bound the exact m = MAX_BLOCK_CONV value (equality)
+        // and the looser count must not be *below* it.
+        let (d, _) = dist_for(6);
+        let rule = CraigRule::new(0.5);
+        let capped = rule.ln_pep_rayleigh(&d, &[MAX_BLOCK_CONV + 5]);
+        let exact_cap = rule.ln_pep_rayleigh(&d, &[MAX_BLOCK_CONV]);
+        assert!(capped >= exact_cap - 1e-9);
+    }
+
+    #[test]
+    fn pep_decreases_with_symbols_and_snr() {
+        let (d, _) = dist_for(6);
+        let lo = CraigRule::new(1.0 / spinal_channel::db_to_linear(2.0));
+        let hi = CraigRule::new(1.0 / spinal_channel::db_to_linear(10.0));
+        assert!(lo.ln_pep_awgn(&d, 8) < lo.ln_pep_awgn(&d, 4));
+        assert!(hi.ln_pep_awgn(&d, 4) < lo.ln_pep_awgn(&d, 4));
+        assert!(hi.ln_pep_rayleigh(&d, &[1; 4]) < lo.ln_pep_rayleigh(&d, &[1; 4]));
+    }
+
+    #[test]
+    fn zero_symbols_is_a_certain_tie() {
+        let (d, _) = dist_for(6);
+        let rule = CraigRule::new(0.1);
+        assert!((rule.ln_pep_awgn(&d, 0).exp() - 1.0).abs() < 1e-9);
+        assert!((rule.ln_pep_rayleigh(&d, &[]).exp() - 1.0).abs() < 1e-9);
+    }
+}

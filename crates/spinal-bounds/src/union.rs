@@ -1,0 +1,308 @@
+//! The union bound over wrong-spine divergence depths.
+//!
+//! A wrong message that first differs from the truth in k-bit segment
+//! `a ∈ 1..=n/k` shares spine values `< a` and (under the random-hash
+//! model) emits independent uniform symbols from every spine value
+//! `≥ a − 1` (0-based). There are `N_a = (2^k − 1)·2^{n − k·a}` such
+//! messages, all with the same pairwise-error statistics, so
+//!
+//! ```text
+//! P_e  ≤  Σ_a  min(1, N_a · PEP_a)
+//! ```
+//!
+//! `PEP_a` depends on *which* received symbols sit at depth ≥ a — read
+//! from the actual [`Schedule`] so puncturing order and tail symbols are
+//! accounted exactly — and is evaluated by [`crate::pep::CraigRule`].
+//! Everything runs in the natural-log domain because `N_a` is as large
+//! as `2^n` and `PEP_a` as small as `2^{−2c·L_a}`.
+
+use crate::pep::{CraigRule, PairDistribution};
+use spinal_channel::db_to_linear;
+use spinal_core::{CodeParams, Schedule};
+
+/// Channel model a bound is computed for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundChannel {
+    /// Complex AWGN (§8.2 of the paper; Li et al. bound).
+    Awgn,
+    /// Rayleigh block fading with coherence time `tau` symbols and
+    /// perfect receiver CSI (§8.3; Chen et al. bound). `tau = 1` is
+    /// i.i.d. fading and is exact; larger `tau` shares one fade across
+    /// the symbols of each coherence block.
+    RayleighCsi {
+        /// Coherence time in symbols.
+        tau: usize,
+    },
+}
+
+/// One evaluated grid point of the bound, as emitted in CSV overlays.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundPoint {
+    /// SNR in dB.
+    pub snr_db: f64,
+    /// Received-symbol budget the bound was evaluated at.
+    pub symbols: usize,
+    /// The BLER upper bound in `[0, 1]`.
+    pub bler: f64,
+    /// The SNR-independent error-floor component.
+    pub floor: f64,
+}
+
+/// Analytic BLER upper-bound calculator for one `(CodeParams, channel)`
+/// configuration. Construction precomputes the constellation pair-
+/// distance law and the schedule; each [`SpinalBound::bler_bound`] call
+/// is then a cheap quadrature.
+#[derive(Debug, Clone)]
+pub struct SpinalBound {
+    params: CodeParams,
+    channel: BoundChannel,
+    schedule: Schedule,
+    dist: PairDistribution,
+}
+
+impl SpinalBound {
+    /// Build the bound machinery for `params` over `channel`.
+    pub fn new(params: &CodeParams, channel: BoundChannel) -> Self {
+        params.validate();
+        if let BoundChannel::RayleighCsi { tau } = channel {
+            assert!(tau >= 1, "coherence time must be at least one symbol");
+        }
+        SpinalBound {
+            params: params.clone(),
+            channel,
+            schedule: Schedule::new(params.num_spines(), params.tail, params.puncturing),
+            dist: PairDistribution::new(params),
+        }
+    }
+
+    /// The schedule the bound evaluates against (shared with the coder).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// For every divergence depth `a = 1..=n/k`, the number of received
+    /// symbols among the first `total_symbols` that a depth-`a` wrong
+    /// message regenerates differently (spine index ≥ a − 1).
+    pub fn wrong_spine_symbol_counts(&self, total_symbols: usize) -> Vec<usize> {
+        let ns = self.params.num_spines();
+        let mut per_spine = vec![0usize; ns];
+        for pos in self.schedule.generate(total_symbols) {
+            per_spine[pos.spine] += 1;
+        }
+        // L_a = Σ_{s ≥ a−1} count[s]: suffix sums.
+        let mut out = vec![0usize; ns];
+        let mut acc = 0usize;
+        for a in (1..=ns).rev() {
+            acc += per_spine[a - 1];
+            out[a - 1] = acc;
+        }
+        out
+    }
+
+    /// ln N_a for depth `a` (1-based): `(2^k − 1)·2^{n − k·a}` messages
+    /// first differ from the truth at segment `a`.
+    fn ln_depth_multiplicity(&self, a: usize) -> f64 {
+        let k = self.params.k;
+        (((1u64 << k) - 1) as f64).ln()
+            + (self.params.n as f64 - (k * a) as f64) * std::f64::consts::LN_2
+    }
+
+    /// The BLER upper bound after receiving the first `total_symbols`
+    /// scheduled symbols at `snr_db`. Monotone non-increasing in both
+    /// arguments; saturates at 1.
+    pub fn bler_bound(&self, snr_db: f64, total_symbols: usize) -> f64 {
+        let sigma_sq = 1.0 / db_to_linear(snr_db);
+        let rule = CraigRule::new(sigma_sq);
+        let counts = self.wrong_spine_symbol_counts(total_symbols);
+
+        // For fading, pre-group the received positions by coherence block
+        // once; depth a's block multiset is then a filtered count.
+        let positions = match self.channel {
+            BoundChannel::Awgn => Vec::new(),
+            BoundChannel::RayleighCsi { .. } => self.schedule.generate(total_symbols),
+        };
+
+        let mut total = 0.0f64;
+        for (idx, &l_a) in counts.iter().enumerate() {
+            let a = idx + 1;
+            let ln_pep = match self.channel {
+                BoundChannel::Awgn => rule.ln_pep_awgn(&self.dist, l_a),
+                BoundChannel::RayleighCsi { tau } => {
+                    let n_blocks = total_symbols.div_ceil(tau).max(1);
+                    let mut blocks = vec![0usize; n_blocks];
+                    for (i, pos) in positions.iter().enumerate() {
+                        if pos.spine >= idx {
+                            blocks[i / tau] += 1;
+                        }
+                    }
+                    rule.ln_pep_rayleigh(&self.dist, &blocks)
+                }
+            };
+            let ln_term = self.ln_depth_multiplicity(a) + ln_pep;
+            total += ln_term.min(0.0).exp();
+            if total >= 1.0 {
+                return 1.0;
+            }
+        }
+        total.min(1.0)
+    }
+
+    /// The SNR-independent error floor: the `SNR → ∞` limit of
+    /// [`SpinalBound::bler_bound`]. A wrong message whose regenerated
+    /// symbols *collide* with the truth at all `L_a` differing positions
+    /// (per-symbol probability `2^{−2c}`) is indistinguishable at any
+    /// SNR, giving `Σ_a min(1, N_a · 2^{−2c·L_a})` — the ML-regime
+    /// finite-blocklength floor.
+    pub fn error_floor(&self, total_symbols: usize) -> f64 {
+        let ln_p0 = self.dist.p_zero().ln();
+        let mut total = 0.0f64;
+        for (idx, &l_a) in self
+            .wrong_spine_symbol_counts(total_symbols)
+            .iter()
+            .enumerate()
+        {
+            let ln_term = self.ln_depth_multiplicity(idx + 1) + l_a as f64 * ln_p0;
+            total += ln_term.min(0.0).exp();
+            if total >= 1.0 {
+                return 1.0;
+            }
+        }
+        total.min(1.0)
+    }
+
+    /// Evaluate the bound at a symbol budget of `passes` complete passes.
+    pub fn point_at_passes(&self, snr_db: f64, passes: usize) -> BoundPoint {
+        let symbols = passes * self.schedule.symbols_per_pass();
+        BoundPoint {
+            snr_db,
+            symbols,
+            bler: self.bler_bound(snr_db, symbols),
+            floor: self.error_floor(symbols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CodeParams {
+        CodeParams::default().with_n(64)
+    }
+
+    #[test]
+    fn wrong_spine_counts_match_schedule_by_hand() {
+        // n=64, k=4 → 16 spines; 2 passes of (16 + 2 tail) = 36 symbols.
+        let b = SpinalBound::new(&params(), BoundChannel::Awgn);
+        let counts = b.wrong_spine_symbol_counts(36);
+        assert_eq!(counts.len(), 16);
+        // Depth 1 sees every symbol; the deepest spine sees its own
+        // regular emissions plus all tail symbols: 2·(1 + 2) = 6.
+        assert_eq!(counts[0], 36);
+        assert_eq!(counts[15], 6);
+        // Monotone non-increasing in depth.
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn bound_is_a_probability_and_decreases_with_snr() {
+        let b = SpinalBound::new(&params(), BoundChannel::Awgn);
+        let symbols = 3 * b.schedule().symbols_per_pass();
+        let mut prev = 1.0f64 + 1e-12;
+        for snr_db in [0.0, 4.0, 8.0, 12.0, 16.0, 20.0] {
+            let v = b.bler_bound(snr_db, symbols);
+            assert!((0.0..=1.0).contains(&v), "snr {snr_db}: {v}");
+            assert!(v <= prev + 1e-12, "snr {snr_db}: {v} > {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn bound_decreases_with_symbol_budget() {
+        let b = SpinalBound::new(&params(), BoundChannel::Awgn);
+        let spp = b.schedule().symbols_per_pass();
+        let p2 = b.bler_bound(10.0, 2 * spp);
+        let p4 = b.bler_bound(10.0, 4 * spp);
+        assert!(p4 <= p2, "{p4} > {p2}");
+    }
+
+    #[test]
+    fn bound_is_nontrivial_above_the_rate_point() {
+        // 3 passes of n=64 is rate 64/54 ≈ 1.19 b/s; at 15 dB (capacity
+        // ≈ 5 b/s) the union bound must be far below 1.
+        let b = SpinalBound::new(&params(), BoundChannel::Awgn);
+        let v = b.bler_bound(15.0, 3 * b.schedule().symbols_per_pass());
+        assert!(v < 0.1, "bound {v} not informative");
+        // And trivial well below capacity.
+        let lo = b.bler_bound(-5.0, b.schedule().symbols_per_pass());
+        assert!(lo > 0.99, "bound {lo} should saturate at low SNR");
+    }
+
+    #[test]
+    fn high_snr_limit_is_the_error_floor() {
+        let b = SpinalBound::new(&params(), BoundChannel::Awgn);
+        let symbols = 2 * b.schedule().symbols_per_pass();
+        let floor = b.error_floor(symbols);
+        let near_inf = b.bler_bound(300.0, symbols);
+        assert!(
+            (near_inf - floor).abs() <= 1e-9 + 0.01 * floor,
+            "bound {near_inf} vs floor {floor}"
+        );
+        assert!(floor > 0.0, "floor must be positive at finite blocklength");
+    }
+
+    #[test]
+    fn floor_drops_with_more_symbols() {
+        let b = SpinalBound::new(&params(), BoundChannel::Awgn);
+        let spp = b.schedule().symbols_per_pass();
+        assert!(b.error_floor(4 * spp) < b.error_floor(2 * spp));
+    }
+
+    #[test]
+    fn rayleigh_bound_is_weaker_than_awgn() {
+        // Fading destroys symbols: at equal SNR/symbols the fading bound
+        // must be no tighter than AWGN.
+        let awgn = SpinalBound::new(&params(), BoundChannel::Awgn);
+        let ray = SpinalBound::new(&params(), BoundChannel::RayleighCsi { tau: 1 });
+        let symbols = 3 * awgn.schedule().symbols_per_pass();
+        for snr_db in [8.0, 12.0, 16.0] {
+            let a = awgn.bler_bound(snr_db, symbols);
+            let r = ray.bler_bound(snr_db, symbols);
+            assert!(r >= a - 1e-12, "snr {snr_db}: rayleigh {r} < awgn {a}");
+        }
+    }
+
+    #[test]
+    fn longer_coherence_time_loosens_the_fading_bound() {
+        // τ > 1 removes diversity, so the bound can only grow.
+        let iid = SpinalBound::new(&params(), BoundChannel::RayleighCsi { tau: 1 });
+        let blk = SpinalBound::new(&params(), BoundChannel::RayleighCsi { tau: 9 });
+        let symbols = 4 * iid.schedule().symbols_per_pass();
+        for snr_db in [10.0, 15.0, 20.0] {
+            let a = iid.bler_bound(snr_db, symbols);
+            let b = blk.bler_bound(snr_db, symbols);
+            assert!(b >= a - 1e-12, "snr {snr_db}: tau9 {b} < tau1 {a}");
+        }
+    }
+
+    #[test]
+    fn point_at_passes_is_consistent() {
+        let b = SpinalBound::new(&params(), BoundChannel::Awgn);
+        let p = b.point_at_passes(12.0, 3);
+        assert_eq!(p.symbols, 3 * b.schedule().symbols_per_pass());
+        assert!((p.bler - b.bler_bound(12.0, p.symbols)).abs() < 1e-15);
+        assert!(p.floor <= p.bler + 1e-12);
+    }
+
+    #[test]
+    fn bound_respects_k_and_c_scaling() {
+        // Denser symbols (larger c) carry more bits, so at fixed symbol
+        // count and generous SNR the floor falls with c.
+        let c4 = SpinalBound::new(&params().with_c(4), BoundChannel::Awgn);
+        let c8 = SpinalBound::new(&params().with_c(8), BoundChannel::Awgn);
+        let symbols = 2 * c4.schedule().symbols_per_pass();
+        assert!(c8.error_floor(symbols) < c4.error_floor(symbols));
+    }
+}

@@ -1,7 +1,9 @@
 //! Scalar math used across the workspace: the standard normal CDF `Φ`, its
 //! inverse `Φ⁻¹` (needed by the truncated-Gaussian constellation mapping of
-//! §3.3), `erf`, and Box–Muller Gaussian sampling (needed by every noise
-//! process; `rand_distr` is not on the approved dependency list).
+//! §3.3), `erf`, the Gaussian tail `Q`, Gauss–Legendre/Hermite/Laguerre
+//! quadrature rules (needed by the analytic BLER bounds of
+//! `spinal-bounds`), and Box–Muller Gaussian sampling (needed by every
+//! noise process; `rand_distr` is not on the approved dependency list).
 
 use rand::Rng;
 
@@ -91,6 +93,167 @@ pub fn phi_inv(p: f64) -> f64 {
     x - u / (1.0 + x * u / 2.0)
 }
 
+/// Gaussian tail function `Q(x) = 1 − Φ(x)`, the probability that a
+/// standard normal exceeds `x`. The pairwise-error terms of the analytic
+/// BLER bounds are `Q(√(D/2σ²))` for a squared codeword distance `D`.
+pub fn q_func(x: f64) -> f64 {
+    0.5 * (1.0 - erf(x / std::f64::consts::SQRT_2))
+}
+
+/// `n`-point Gauss–Legendre rule on `[a, b]`: returns `(node, weight)`
+/// pairs such that `Σ wᵢ·f(xᵢ) ≈ ∫_a^b f(x) dx`, exact for polynomials of
+/// degree `2n − 1`. Nodes are the roots of the Legendre polynomial `Pₙ`,
+/// found by Newton iteration from the Tricomi initial guess; weights are
+/// `2/((1−x²)·Pₙ'(x)²)` mapped onto `[a, b]`.
+///
+/// Used by `spinal-bounds` to evaluate Craig's form of the Q-function,
+/// `Q(x) = (1/π)∫₀^{π/2} exp(−x²/2sin²θ) dθ`, whose integrand is smooth,
+/// so a fixed rule of ~96 nodes reaches near machine precision.
+pub fn gauss_legendre(n: usize, a: f64, b: f64) -> Vec<(f64, f64)> {
+    assert!(n >= 1, "quadrature needs at least one node");
+    assert!(b > a, "empty interval [{a}, {b}]");
+    let mut rule = Vec::with_capacity(n);
+    // Roots come in ± pairs; compute the non-negative half.
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // Tricomi's estimate of the i-th root of Pₙ (descending).
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            // Evaluate Pₙ(x) and Pₙ'(x) by the three-term recurrence.
+            let (mut p0, mut p1) = (1.0f64, x);
+            for j in 2..=n {
+                let p2 = ((2 * j - 1) as f64 * x * p1 - (j - 1) as f64 * p0) / j as f64;
+                p0 = p1;
+                p1 = p2;
+            }
+            let p = if n == 1 { x } else { p1 };
+            let pm1 = if n == 1 { 1.0 } else { p0 };
+            dp = n as f64 * (x * p - pm1) / (x * x - 1.0);
+            let step = p / dp;
+            x -= step;
+            if step.abs() < 1e-15 {
+                break;
+            }
+        }
+        let w = 2.0 / ((1.0 - x * x) * dp * dp);
+        // Map [−1, 1] → [a, b].
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        rule.push((mid + half * x, half * w));
+        if 2 * (i + 1) <= n && x.abs() > 1e-12 {
+            rule.push((mid - half * x, half * w));
+        }
+    }
+    rule.sort_by(|u, v| u.0.total_cmp(&v.0));
+    rule
+}
+
+/// `n`-point Gauss–Hermite rule (physicists' weight `e^{−x²}` on ℝ):
+/// `Σ wᵢ·f(xᵢ) ≈ ∫ f(x)·e^{−x²} dx`. Uses the orthonormal Hermite
+/// recurrence so neither `2ⁿ` nor `n!` is ever formed, which keeps the
+/// computation stable beyond `n ≈ 30`. Handy for Gaussian-mixture
+/// expectations such as averaging a bound over a Gaussian CSI error.
+pub fn gauss_hermite(n: usize) -> Vec<(f64, f64)> {
+    assert!(n >= 1, "quadrature needs at least one node");
+    let mut rule: Vec<(f64, f64)> = Vec::with_capacity(n);
+    let mut roots: Vec<f64> = Vec::with_capacity(n.div_ceil(2));
+    let mut z = 0.0f64;
+    // Largest roots first, per the Numerical Recipes initial guesses
+    // (each extrapolates from roots found earlier).
+    for i in 0..n.div_ceil(2) {
+        z = match i {
+            0 => (2.0 * n as f64 + 1.0).sqrt() - 1.85575 * (2.0 * n as f64 + 1.0).powf(-1.0 / 6.0),
+            1 => z - 1.14 * (n as f64).powf(0.426) / z,
+            2 => 1.86 * z - 0.86 * roots[0],
+            3 => 1.91 * z - 0.91 * roots[1],
+            _ => 2.0 * z - roots[i - 2],
+        };
+        let mut dp = 0.0;
+        for _ in 0..100 {
+            // Orthonormal recurrence: p₀ = π^{−1/4}.
+            let mut p0 = std::f64::consts::PI.powf(-0.25);
+            let mut p1 = 2f64.sqrt() * z * p0;
+            if n == 1 {
+                p1 = p0;
+                p0 = 0.0;
+            } else {
+                for j in 2..=n {
+                    let p2 = z * (2.0 / j as f64).sqrt() * p1
+                        - ((j as f64 - 1.0) / j as f64).sqrt() * p0;
+                    p0 = p1;
+                    p1 = p2;
+                }
+            }
+            dp = (2.0 * n as f64).sqrt() * p0;
+            let step = p1 / dp;
+            z -= step;
+            if step.abs() < 1e-14 {
+                break;
+            }
+        }
+        roots.push(z);
+        rule.push((z, 2.0 / (dp * dp)));
+        if 2 * (i + 1) <= n && z.abs() > 1e-12 {
+            rule.push((-z, 2.0 / (dp * dp)));
+        }
+    }
+    rule.sort_by(|u, v| u.0.total_cmp(&v.0));
+    rule
+}
+
+/// `n`-point Gauss–Laguerre rule (weight `e^{−x}` on `[0, ∞)`):
+/// `Σ wᵢ·f(xᵢ) ≈ ∫₀^∞ f(x)·e^{−x} dx` — exactly the shape of a Rayleigh
+/// fading expectation, since `|h|²` with `E[|h|²] = 1` is Exp(1)
+/// distributed. Nodes are the roots of `Lₙ`; weights use the classical
+/// identity `wᵢ = xᵢ / ((n+1)²·L_{n+1}(xᵢ)²)`.
+pub fn gauss_laguerre(n: usize) -> Vec<(f64, f64)> {
+    assert!(n >= 1, "quadrature needs at least one node");
+    let mut rule: Vec<(f64, f64)> = Vec::with_capacity(n);
+    let nf = n as f64;
+    let mut z = 0.0f64;
+    for i in 0..n {
+        // Numerical Recipes initial guesses (α = 0), then Newton.
+        z = match i {
+            0 => 3.0 / (1.0 + 2.4 * nf),
+            1 => z + 15.0 / (1.0 + 2.5 * nf),
+            _ => {
+                let ai = i as f64 - 1.0;
+                z + (1.0 + 2.55 * ai) / (1.9 * ai) * (z - rule[i - 2].0)
+            }
+        };
+        for _ in 0..100 {
+            // Lₙ(z) and L_{n−1}(z) via the recurrence.
+            let (mut p0, mut p1) = (1.0f64, 1.0 - z);
+            for j in 2..=n {
+                let p2 = ((2.0 * j as f64 - 1.0 - z) * p1 - (j as f64 - 1.0) * p0) / j as f64;
+                p0 = p1;
+                p1 = p2;
+            }
+            let p = if n == 1 { 1.0 - z } else { p1 };
+            let pm1 = if n == 1 { 1.0 } else { p0 };
+            // Lₙ'(z) = n(Lₙ(z) − L_{n−1}(z))/z.
+            let dp = nf * (p - pm1) / z;
+            let step = p / dp;
+            z -= step;
+            if step.abs() < 1e-14 * z.max(1.0) {
+                break;
+            }
+        }
+        // L_{n+1} at the root, for the weight identity.
+        let (mut p0, mut p1) = (1.0f64, 1.0 - z);
+        for j in 2..=(n + 1) {
+            let p2 = ((2.0 * j as f64 - 1.0 - z) * p1 - (j as f64 - 1.0) * p0) / j as f64;
+            p0 = p1;
+            p1 = p2;
+        }
+        let lnp1 = if n == 0 { 1.0 - z } else { p1 };
+        let w = z / ((nf + 1.0) * (nf + 1.0) * lnp1 * lnp1);
+        rule.push((z, w));
+    }
+    rule
+}
+
 /// Draw one standard normal sample via Box–Muller.
 ///
 /// Generates two uniforms per call and discards half the pair; the decode
@@ -158,6 +321,98 @@ mod tests {
     #[should_panic]
     fn phi_inv_rejects_zero() {
         phi_inv(0.0);
+    }
+
+    #[test]
+    fn q_func_matches_phi_and_known_values() {
+        for x in [-2.0, -0.5, 0.0, 0.5, 1.0, 2.0, 3.0] {
+            assert!((q_func(x) - (1.0 - phi(x))).abs() < 1e-12, "x={x}");
+        }
+        assert!((q_func(0.0) - 0.5).abs() < 1e-9);
+        assert!((q_func(1.0) - 0.158655).abs() < 1e-5);
+        assert!((q_func(3.0) - 1.349898e-3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn legendre_integrates_polynomials_exactly() {
+        // A degree-2n−1 polynomial must integrate exactly.
+        let rule = gauss_legendre(5, -1.0, 1.0);
+        assert!((rule.iter().map(|&(_, w)| w).sum::<f64>() - 2.0).abs() < 1e-12);
+        let int_x8: f64 = rule.iter().map(|&(x, w)| w * x.powi(8)).sum();
+        assert!((int_x8 - 2.0 / 9.0).abs() < 1e-12, "x^8: {int_x8}");
+        // Interval mapping: ∫₀^π sin = 2.
+        let rule = gauss_legendre(24, 0.0, std::f64::consts::PI);
+        let int_sin: f64 = rule.iter().map(|&(x, w)| w * x.sin()).sum();
+        assert!((int_sin - 2.0).abs() < 1e-12, "sin: {int_sin}");
+    }
+
+    #[test]
+    fn craigs_formula_reproduces_q() {
+        // Q(x) = (1/π)∫₀^{π/2} exp(−x²/2sin²θ)dθ — the identity the BLER
+        // bounds rest on; the quadrature must reproduce the rational-
+        // approximation Q to its own accuracy.
+        let rule = gauss_legendre(96, 0.0, std::f64::consts::FRAC_PI_2);
+        for x in [0.1, 0.5, 1.0, 2.0, 4.0] {
+            let craig: f64 = rule
+                .iter()
+                .map(|&(th, w)| w * (-x * x / (2.0 * th.sin().powi(2))).exp())
+                .sum::<f64>()
+                / std::f64::consts::PI;
+            // The quadrature side is near machine precision; the erf
+            // rational approximation behind q_func carries ~3e-7 absolute
+            // error, which sets the comparison floor.
+            assert!(
+                (craig - q_func(x)).abs() < 5e-7,
+                "x={x}: craig={craig} q={}",
+                q_func(x)
+            );
+        }
+    }
+
+    #[test]
+    fn hermite_moments_of_gaussian_weight() {
+        // ∫e^{−x²} = √π, ∫x²e^{−x²} = √π/2, ∫x⁴e^{−x²} = 3√π/4.
+        let spi = std::f64::consts::PI.sqrt();
+        for n in [8usize, 20, 40] {
+            let rule = gauss_hermite(n);
+            assert_eq!(rule.len(), n);
+            let m0: f64 = rule.iter().map(|&(_, w)| w).sum();
+            let m2: f64 = rule.iter().map(|&(x, w)| w * x * x).sum();
+            let m4: f64 = rule.iter().map(|&(x, w)| w * x.powi(4)).sum();
+            assert!((m0 - spi).abs() < 1e-10, "n={n} m0={m0}");
+            assert!((m2 - spi / 2.0).abs() < 1e-10, "n={n} m2={m2}");
+            assert!((m4 - 3.0 * spi / 4.0).abs() < 1e-9, "n={n} m4={m4}");
+        }
+    }
+
+    #[test]
+    fn laguerre_moments_of_exponential_weight() {
+        // ∫e^{−x}xᵏ = k!; Exp(1) is exactly the Rayleigh |h|² law.
+        for n in [6usize, 16, 32] {
+            let rule = gauss_laguerre(n);
+            assert_eq!(rule.len(), n);
+            let m0: f64 = rule.iter().map(|&(_, w)| w).sum();
+            let m1: f64 = rule.iter().map(|&(x, w)| w * x).sum();
+            let m3: f64 = rule.iter().map(|&(x, w)| w * x.powi(3)).sum();
+            assert!((m0 - 1.0).abs() < 1e-10, "n={n} m0={m0}");
+            assert!((m1 - 1.0).abs() < 1e-9, "n={n} m1={m1}");
+            assert!((m3 - 6.0).abs() < 1e-7, "n={n} m3={m3}");
+        }
+    }
+
+    #[test]
+    fn laguerre_reproduces_rayleigh_mgf() {
+        // E[exp(−a·X)] over X ~ Exp(1) is 1/(1+a) — the exact per-symbol
+        // fading factor spinal-bounds uses; quadrature must agree.
+        let rule = gauss_laguerre(32);
+        for a in [0.01, 0.3, 1.0, 4.0] {
+            let mgf: f64 = rule.iter().map(|&(x, w)| w * (-a * x).exp()).sum();
+            assert!(
+                (mgf - 1.0 / (1.0 + a)).abs() < 1e-4,
+                "a={a}: {mgf} vs {}",
+                1.0 / (1.0 + a)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Statistical regression tests: the channel samplers must match their
+//! *declared* distributions, not merely be deterministic. The analytic
+//! BLER bounds of `spinal-bounds` assume exactly these laws (complex
+//! noise power `σ² = 1/SNR` split evenly across dimensions; fading
+//! `|h|² ~ Exp(1)`), so a silent drift in a sampler would invalidate the
+//! oracle tests while every fixed-output corpus still passed. Seeds are
+//! fixed (the proptest shim derives cases deterministically from the
+//! test name), so these assertions are exact regression pins, not flaky
+//! confidence tests.
+
+use proptest::prelude::*;
+use spinal_channel::math::normal_pair;
+use spinal_channel::{
+    db_to_linear, AwgnChannel, BitChannel, BscChannel, Channel, Complex, RayleighChannel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// AWGN noise must carry per-dimension variance σ²/2 = 1/(2·SNR) and
+    /// zero mean, at every SNR and for every seed.
+    #[test]
+    fn awgn_noise_matches_declared_variance(
+        snr_centi_db in -500i32..2500,
+        seed in 0u64..1_000_000,
+    ) {
+        let snr_db = snr_centi_db as f64 / 100.0;
+        let sigma_sq = 1.0 / db_to_linear(snr_db);
+        let mut ch = AwgnChannel::new(snr_db, seed);
+        prop_assert!((ch.noise_power() - sigma_sq).abs() < 1e-12 * sigma_sq);
+
+        let n = 30_000;
+        let rx = ch.transmit(&vec![Complex::ZERO; n]);
+        let mean_re: f64 = rx.iter().map(|y| y.re).sum::<f64>() / n as f64;
+        let var_re: f64 = rx.iter().map(|y| y.re * y.re).sum::<f64>() / n as f64;
+        let var_im: f64 = rx.iter().map(|y| y.im * y.im).sum::<f64>() / n as f64;
+        let per_dim = sigma_sq / 2.0;
+        prop_assert!(mean_re.abs() < 4.0 * (per_dim / n as f64).sqrt() + 1e-12,
+            "mean {} at snr {}", mean_re, snr_db);
+        prop_assert!((var_re - per_dim).abs() < 0.05 * per_dim,
+            "var_re {} vs {} at snr {}", var_re, per_dim, snr_db);
+        prop_assert!((var_im - per_dim).abs() < 0.05 * per_dim,
+            "var_im {} vs {} at snr {}", var_im, per_dim, snr_db);
+    }
+
+    /// Rayleigh CSI coefficients must be unit-power with Exp(1)-
+    /// distributed |h|²: mean 1, second moment 2 (E[|h|⁴] = 2 pins the
+    /// Rayleigh shape, not just the power normalisation), and balanced
+    /// real/imaginary parts.
+    #[test]
+    fn rayleigh_csi_matches_declared_distribution(
+        tau in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let blocks = 6_000;
+        let n = blocks * tau;
+        let mut ch = RayleighChannel::new(60.0, tau, seed); // noise ≪ fading
+        let _ = ch.transmit(&vec![Complex::ONE; n]);
+        let hs: Vec<Complex> = (0..blocks).map(|b| ch.csi(b * tau).unwrap()).collect();
+
+        let m1: f64 = hs.iter().map(|h| h.norm_sq()).sum::<f64>() / blocks as f64;
+        let m2: f64 = hs.iter().map(|h| h.norm_sq() * h.norm_sq()).sum::<f64>() / blocks as f64;
+        prop_assert!((m1 - 1.0).abs() < 0.08, "E|h|^2 = {}", m1);
+        prop_assert!((m2 - 2.0).abs() < 0.3, "E|h|^4 = {}", m2);
+        let re_var: f64 = hs.iter().map(|h| h.re * h.re).sum::<f64>() / blocks as f64;
+        let im_var: f64 = hs.iter().map(|h| h.im * h.im).sum::<f64>() / blocks as f64;
+        prop_assert!((re_var - 0.5).abs() < 0.06, "var Re h = {}", re_var);
+        prop_assert!((im_var - 0.5).abs() < 0.06, "var Im h = {}", im_var);
+        // Coherence: every symbol of a block sees its block's h.
+        for (b, &h) in hs.iter().enumerate().take(8) {
+            for i in 1..tau {
+                prop_assert_eq!(ch.csi(b * tau + i).unwrap(), h);
+            }
+        }
+    }
+
+    /// The BSC must flip at its declared rate.
+    #[test]
+    fn bsc_flip_rate_matches_p(
+        p_milli in 5u32..300,
+        seed in 0u64..1_000_000,
+    ) {
+        let p = p_milli as f64 / 1000.0;
+        let mut ch = BscChannel::new(p, seed);
+        prop_assert!((ch.flip_probability() - p).abs() < 1e-15);
+        let n = 40_000;
+        let tx = vec![false; n];
+        let flips = ch.transmit_bits(&tx).iter().filter(|&&b| b).count();
+        let rate = flips as f64 / n as f64;
+        let sd = (p * (1.0 - p) / n as f64).sqrt();
+        prop_assert!((rate - p).abs() < 5.0 * sd + 1e-3,
+            "flip rate {} vs declared {}", rate, p);
+    }
+}
+
+/// Box–Muller output must look standard normal well past second
+/// moments: skewness ~0 and kurtosis ~3 at 200k samples (a subtly wrong
+/// transform — e.g. a missing √ — passes mean/variance-only checks).
+#[test]
+fn box_muller_higher_moments() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(12345);
+    let n = 200_000;
+    let (mut s1, mut s2, mut s3, mut s4) = (0.0f64, 0.0, 0.0, 0.0);
+    for _ in 0..n / 2 {
+        let (a, b) = normal_pair(&mut rng);
+        for x in [a, b] {
+            s1 += x;
+            s2 += x * x;
+            s3 += x * x * x;
+            s4 += x * x * x * x;
+        }
+    }
+    let nf = n as f64;
+    let mean = s1 / nf;
+    let var = s2 / nf - mean * mean;
+    let skew = (s3 / nf - 3.0 * mean * var - mean.powi(3)) / var.powf(1.5);
+    let kurt = s4 / nf / (var * var);
+    assert!(mean.abs() < 0.01, "mean {mean}");
+    assert!((var - 1.0).abs() < 0.02, "var {var}");
+    assert!(skew.abs() < 0.03, "skew {skew}");
+    assert!((kurt - 3.0).abs() < 0.08, "kurtosis {kurt}");
+}
+
+/// The AWGN sampler must be invariant to chunking: the same seed
+/// produces the same noise stream whether symbols are transmitted in
+/// one call or many (the sweeps rely on this when subpasses arrive
+/// incrementally).
+#[test]
+fn awgn_stream_is_chunking_invariant() {
+    let tx: Vec<Complex> = (0..64)
+        .map(|i| Complex::new(i as f64, -(i as f64)))
+        .collect();
+    let mut one = AwgnChannel::new(7.0, 99);
+    let whole = one.transmit(&tx);
+    let mut two = AwgnChannel::new(7.0, 99);
+    let mut parts = two.transmit(&tx[..20]);
+    parts.extend(two.transmit(&tx[20..]));
+    assert_eq!(whole, parts);
+}

@@ -131,12 +131,17 @@ impl Schedule {
 
     /// Cumulative symbol counts at which a subpass completes, up to
     /// `max_symbols`. These are the natural decode-attempt points (§5:
-    /// "decoding may terminate after any subpass").
+    /// "decoding may terminate after any subpass"). Empty subpasses
+    /// (possible when `w > n_spines`) contribute no boundary — a
+    /// duplicate attempt point would only repeat the previous decode.
     pub fn subpass_boundaries(&self, max_symbols: usize) -> Vec<usize> {
         let mut out = Vec::new();
         let mut total = 0usize;
         'outer: loop {
             for sub in &self.subpass_layout {
+                if sub.is_empty() {
+                    continue;
+                }
                 total += sub.len();
                 if total > max_symbols {
                     break 'outer;

@@ -14,6 +14,8 @@
 //! * [`ldpc_run`] — the 802.11n MCS envelope.
 //! * [`rated`] — fixed-rate ("rated") spinal analysis for the hedging
 //!   study (Fig 8-2).
+//! * [`bler`] — fixed-symbol-budget block-error-rate measurement, the
+//!   quantity the `spinal-bounds` analytic oracles are stated in.
 //! * [`linklayer`] — the §6 half-duplex pause-point/feedback mechanism.
 //! * [`stats`] — rate, gap-to-capacity, fraction-of-capacity, CDFs.
 //! * [`sweep`] — scoped-thread parallel trial grids.
@@ -29,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bler;
 pub mod csv;
 pub mod ldpc_run;
 pub mod linklayer;
@@ -39,9 +42,13 @@ pub mod stats;
 pub mod strider_run;
 pub mod sweep;
 
+pub use bler::{BlerEstimate, BlerRun};
 pub use linklayer::{LinkLayerRun, LinkOutcome};
 pub use raptor_run::RaptorRun;
 pub use spinal_run::{run_bsc_trial, run_bsc_trial_with_workspace, LinkChannel, SpinalRun};
 pub use stats::{mean_fraction_of_capacity, summarize, summarize_vs_capacity, PointSummary, Trial};
 pub use strider_run::{StriderChannel, StriderRun};
-pub use sweep::{default_threads, run_parallel, run_parallel_with};
+pub use sweep::{
+    default_threads, overlay_csv_header, overlay_csv_row, run_overlay_with, run_parallel,
+    run_parallel_with, OverlayPoint, SweepMode,
+};

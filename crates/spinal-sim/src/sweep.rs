@@ -59,6 +59,78 @@ where
     v.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Whether a grid sweep emits analytic bound columns next to its
+/// simulated points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Simulated values only (the classic figure sweeps).
+    SimOnly,
+    /// Each grid point also carries an analytic-oracle value (e.g. a
+    /// `spinal-bounds` BLER upper bound), emitted as an extra CSV column
+    /// so a plot — or the `bound_oracle` test harness — can overlay the
+    /// curves directly.
+    BoundOverlay,
+}
+
+/// One grid point of an overlay sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlayPoint {
+    /// The swept coordinate (SNR in dB for the bound sweeps).
+    pub x: f64,
+    /// The simulated value at `x`.
+    pub sim: f64,
+    /// The analytic overlay value at `x`; `None` in [`SweepMode::SimOnly`].
+    pub bound: Option<f64>,
+}
+
+/// Sweep `sim` over the grid `xs` in parallel (one worker state per
+/// thread, as [`run_parallel_with`]) and, in
+/// [`SweepMode::BoundOverlay`], evaluate the analytic `bound` at every
+/// grid point alongside. The bound closure is assumed cheap (it runs
+/// serially after the simulation).
+pub fn run_overlay_with<S, I, F, G>(
+    xs: &[f64],
+    threads: usize,
+    init: I,
+    sim: F,
+    mode: SweepMode,
+    bound: G,
+) -> Vec<OverlayPoint>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, f64) -> f64 + Sync,
+    G: Fn(f64) -> f64,
+{
+    let sims = run_parallel_with(xs.len(), threads, init, |state, i| sim(state, i, xs[i]));
+    xs.iter()
+        .zip(sims)
+        .map(|(&x, s)| OverlayPoint {
+            x,
+            sim: s,
+            bound: match mode {
+                SweepMode::SimOnly => None,
+                SweepMode::BoundOverlay => Some(bound(x)),
+            },
+        })
+        .collect()
+}
+
+/// CSV header for an overlay sweep, matching [`overlay_csv_row`].
+pub fn overlay_csv_header(x: &str, sim: &str, bound: &str, mode: SweepMode) -> String {
+    match mode {
+        SweepMode::SimOnly => format!("{x},{sim}"),
+        SweepMode::BoundOverlay => format!("{x},{sim},{bound}"),
+    }
+}
+
+/// Render one overlay point as a CSV row (`x,sim[,bound]`).
+pub fn overlay_csv_row(p: &OverlayPoint) -> String {
+    match p.bound {
+        None => format!("{:.4},{:.6}", p.x, p.sim),
+        Some(b) => format!("{:.4},{:.6},{:.6e}", p.x, p.sim, b),
+    }
+}
+
 /// Default worker count: all available cores.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
@@ -116,6 +188,62 @@ mod tests {
         // (served > 1) when jobs outnumber workers.
         assert!(out.iter().enumerate().all(|(i, &(j, _))| i == j));
         assert!(out.iter().any(|&(_, served)| served > 1));
+    }
+
+    #[test]
+    fn overlay_sweep_pairs_sim_with_bound() {
+        let xs = [0.0, 5.0, 10.0];
+        let pts = run_overlay_with(
+            &xs,
+            2,
+            || (),
+            |(), _i, x| x * 2.0,
+            SweepMode::BoundOverlay,
+            |x| x + 1.0,
+        );
+        assert_eq!(pts.len(), 3);
+        for (p, &x) in pts.iter().zip(&xs) {
+            assert_eq!(p.x, x);
+            assert_eq!(p.sim, x * 2.0);
+            assert_eq!(p.bound, Some(x + 1.0));
+        }
+    }
+
+    #[test]
+    fn sim_only_mode_skips_the_bound() {
+        let pts = run_overlay_with(
+            &[1.0, 2.0],
+            1,
+            || (),
+            |(), _, x| x,
+            SweepMode::SimOnly,
+            |_| panic!("bound must not be evaluated in SimOnly"),
+        );
+        assert!(pts.iter().all(|p| p.bound.is_none()));
+    }
+
+    #[test]
+    fn overlay_csv_shapes() {
+        assert_eq!(
+            overlay_csv_header("snr_db", "sim_bler", "bound_bler", SweepMode::BoundOverlay),
+            "snr_db,sim_bler,bound_bler"
+        );
+        assert_eq!(
+            overlay_csv_header("snr_db", "sim_bler", "bound_bler", SweepMode::SimOnly),
+            "snr_db,sim_bler"
+        );
+        let with = OverlayPoint {
+            x: 6.0,
+            sim: 0.25,
+            bound: Some(0.5),
+        };
+        assert_eq!(overlay_csv_row(&with), "6.0000,0.250000,5.000000e-1");
+        let without = OverlayPoint {
+            x: 6.0,
+            sim: 0.25,
+            bound: None,
+        };
+        assert_eq!(overlay_csv_row(&without), "6.0000,0.250000");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! |--------|-------|----------|
 //! | [`core`] | `spinal-core` | the paper's contribution: encoder, bubble decoder, puncturing, framing |
 //! | [`channel`] | `spinal-channel` | AWGN / BSC / Rayleigh models + capacity math |
+//! | [`bounds`] | `spinal-bounds` | analytic ML BLER upper bounds (AWGN, Rayleigh) + error floor |
 //! | [`modem`] | `spinal-modem` | Gray QAM, soft demapping, FFT, OFDM PAPR |
 //! | [`ldpc`] | `spinal-ldpc` | 802.11n-class QC-LDPC + 40-iteration BP (baseline) |
 //! | [`raptor`] | `spinal-raptor` | RFC 5053 LT + rate-0.95 precode (baseline) |
@@ -17,6 +18,7 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results. Runnable examples live
 //! in `examples/`; the per-figure reproduction binaries in `crates/bench`.
 
+pub use spinal_bounds as bounds;
 pub use spinal_channel as channel;
 pub use spinal_core as core;
 pub use spinal_hw as hw;
@@ -27,6 +29,7 @@ pub use spinal_sim as sim;
 pub use spinal_strider as strider;
 
 // The types a typical user touches, flattened for convenience.
+pub use spinal_bounds::{BoundChannel, SpinalBound};
 pub use spinal_channel::{AwgnChannel, BscChannel, Channel, Complex, RayleighChannel};
 pub use spinal_core::{
     BubbleDecoder, CodeParams, DecodeWorkspace, Encoder, FrameBuilder, HashKind, MappingKind,

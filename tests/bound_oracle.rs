@@ -1,0 +1,223 @@
+//! The analytic-oracle statistical test harness.
+//!
+//! `spinal-bounds` computes upper bounds on the ML block-error rate. For
+//! a fixed-seed grid of (channel, n, B, SNR, symbol-budget) cells, the
+//! *simulated* BLER must not exceed the analytic bound beyond binomial-
+//! confidence slack — one invariant that simultaneously pins down the
+//! encoder (wrong symbols would shift distances), the channel models
+//! (wrong noise/fading variance shifts the waterfall), and the decoder
+//! (a search regression shows up as excess errors). No fixed-output
+//! corpus can make that promise: these cells keep meaning under any
+//! behaviour-preserving refactor.
+//!
+//! Two deliberate asymmetries make the harness sound:
+//!
+//! * The bubble decoder approximates ML, so near the bound's cliff it
+//!   can err slightly *above* the ML bound (beam pruning, not a bug).
+//!   The slack term `5·σ_binomial + 3` absorbs that residual together
+//!   with Monte-Carlo noise; with the shim RNG everything is
+//!   deterministic, so a passing grid stays passing.
+//! * One cell decodes with the exact [`MlDecoder`], where "sim ≤ bound"
+//!   is a theorem, not an approximation.
+//!
+//! Trial counts scale down in debug builds (tier-1 `cargo test -q`)
+//! and up in `--release` (the CI `bounds-smoke` job).
+
+use spinal_codes::bounds::{BoundChannel, SpinalBound};
+use spinal_codes::core::ml::MlDecoder;
+use spinal_codes::sim::bler::BlerRun;
+use spinal_codes::{
+    AwgnChannel, Channel, CodeParams, DecodeWorkspace, Encoder, LinkChannel, Message, RxSymbols,
+    Schedule,
+};
+
+/// Trials per grid cell: enough for the binomial cutoffs to bite in
+/// release (CI bounds-smoke), lighter under the debug tier-1 run.
+fn trials_per_cell() -> usize {
+    if cfg!(debug_assertions) {
+        40
+    } else {
+        200
+    }
+}
+
+/// Largest error count consistent (with ~5σ one-sided confidence plus a
+/// small absolute allowance for beam-vs-ML residuals) with a true block
+/// error probability of at most `p`.
+fn binomial_cutoff(trials: usize, p: f64) -> usize {
+    let mean = trials as f64 * p;
+    let sd = (trials as f64 * p * (1.0 - p)).sqrt();
+    (mean + 5.0 * sd).ceil() as usize + 3
+}
+
+struct Cell {
+    label: &'static str,
+    link: LinkChannel,
+    bound_ch: BoundChannel,
+    passes: usize,
+    snr_db: f64,
+}
+
+fn grid() -> Vec<Cell> {
+    let awgn = |passes, snr_db, label| Cell {
+        label,
+        link: LinkChannel::Awgn,
+        bound_ch: BoundChannel::Awgn,
+        passes,
+        snr_db,
+    };
+    let ray = |passes, snr_db, label| Cell {
+        label,
+        link: LinkChannel::Rayleigh { tau: 1, csi: true },
+        bound_ch: BoundChannel::RayleighCsi { tau: 1 },
+        passes,
+        snr_db,
+    };
+    vec![
+        // AWGN, 2 passes: the bound's cliff sits between 6 and 8 dB.
+        awgn(2, 4.0, "awgn/2p/4dB"),
+        awgn(2, 6.0, "awgn/2p/6dB"),
+        awgn(2, 8.0, "awgn/2p/8dB"),
+        awgn(2, 10.0, "awgn/2p/10dB"),
+        awgn(2, 12.0, "awgn/2p/12dB"),
+        // AWGN, 3 passes: lower rate moves the cliff to ~4 dB.
+        awgn(3, 3.0, "awgn/3p/3dB"),
+        awgn(3, 4.0, "awgn/3p/4dB"),
+        awgn(3, 5.0, "awgn/3p/5dB"),
+        awgn(3, 7.0, "awgn/3p/7dB"),
+        // iid Rayleigh with CSI: cliff ~10 dB at 2 passes.
+        ray(2, 6.0, "rayleigh/2p/6dB"),
+        ray(2, 9.0, "rayleigh/2p/9dB"),
+        ray(2, 11.0, "rayleigh/2p/11dB"),
+        ray(2, 12.0, "rayleigh/2p/12dB"),
+        ray(2, 14.0, "rayleigh/2p/14dB"),
+    ]
+}
+
+/// The tentpole invariant: on every grid cell, simulated BLER stays at
+/// or below the analytic upper bound within binomial slack, and the
+/// bound is informative (< 1) on at least half the grid.
+#[test]
+fn simulated_bler_never_exceeds_the_analytic_bound() {
+    let params = CodeParams::default().with_n(64).with_b(256);
+    let trials = trials_per_cell();
+    let mut ws = DecodeWorkspace::new();
+    let mut nontrivial = 0usize;
+    let cells = grid();
+
+    for (ci, cell) in cells.iter().enumerate() {
+        let run = BlerRun::new(params.clone()).with_channel(cell.link);
+        let symbols = cell.passes * run.schedule().symbols_per_pass();
+        let bound = SpinalBound::new(&params, cell.bound_ch).bler_bound(cell.snr_db, symbols);
+        assert!(
+            (0.0..=1.0).contains(&bound),
+            "{}: bound {bound} is not a probability",
+            cell.label
+        );
+        if bound < 1.0 {
+            nontrivial += 1;
+        }
+
+        let seed_base = (ci as u64) << 32;
+        let est = run.measure(cell.snr_db, symbols, trials, seed_base, &mut ws);
+        let cutoff = binomial_cutoff(trials, bound.min(1.0));
+        assert!(
+            est.errors <= cutoff,
+            "{}: simulated BLER {:.4} ({} errors / {trials} trials) exceeds \
+             analytic bound {bound:.3e} beyond slack (cutoff {cutoff})",
+            cell.label,
+            est.bler(),
+            est.errors,
+        );
+    }
+
+    assert!(
+        2 * nontrivial >= cells.len(),
+        "bound must be informative (< 1) on at least half the grid: {nontrivial}/{}",
+        cells.len()
+    );
+}
+
+/// For the exact ML decoder the bound is a theorem: check it on a block
+/// small enough to enumerate. (The bubble cells above additionally
+/// absorb beam-vs-ML residue; here there is none.)
+#[test]
+fn ml_decoder_respects_the_bound_exactly() {
+    let params = CodeParams::default().with_n(16);
+    let trials = trials_per_cell().min(60);
+    let snr_db = 8.0;
+    let passes = 2;
+
+    let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+    let symbols = passes * schedule.symbols_per_pass();
+    let bound = SpinalBound::new(&params, BoundChannel::Awgn).bler_bound(snr_db, symbols);
+
+    let ml = MlDecoder::new(&params);
+    let mut errors = 0usize;
+    for seed in 0..trials as u64 {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let msg = Message::random(params.n, || rand::Rng::gen(&mut rng));
+        let mut enc = Encoder::new(&params, &msg);
+        let mut rx = RxSymbols::new(schedule.clone());
+        let mut ch = AwgnChannel::new(snr_db, seed.wrapping_add(0xC11A));
+        rx.push(&ch.transmit(&enc.next_symbols(symbols)));
+        if ml.decode(&rx).message != msg {
+            errors += 1;
+        }
+    }
+    let cutoff = binomial_cutoff(trials, bound.min(1.0));
+    assert!(
+        errors <= cutoff,
+        "ML: {errors}/{trials} errors vs bound {bound:.3e} (cutoff {cutoff})"
+    );
+}
+
+/// The bound must also be *attained* approximately: where it says the
+/// channel is hopeless (bound = 1 well below the rate point), the
+/// simulation must indeed fail most of the time. Guards against the
+/// bound accidentally going vacuous-tight (e.g. an exponent sign flip
+/// making it ~0 everywhere would trip the oracle above only at cliff
+/// cells; this cell pins the other side).
+#[test]
+fn hopeless_cells_fail_in_simulation_too() {
+    let params = CodeParams::default().with_n(64).with_b(256);
+    let run = BlerRun::new(params.clone());
+    let symbols = run.schedule().symbols_per_pass(); // 1 pass, rate 64/18
+    let snr_db = 0.0; // capacity 1 b/s < rate 3.56 b/s: infeasible
+    let bound = SpinalBound::new(&params, BoundChannel::Awgn).bler_bound(snr_db, symbols);
+    assert!(bound > 0.999, "infeasible cell must be bound-trivial");
+
+    let trials = trials_per_cell().min(30);
+    let mut ws = DecodeWorkspace::new();
+    let est = run.measure(snr_db, symbols, trials, 99, &mut ws);
+    assert!(
+        est.bler() > 0.9,
+        "infeasible cell decoded too often: {}",
+        est.bler()
+    );
+}
+
+/// Oracle sanity for the overlay plumbing: the CSV the `bounds_vs_sim`
+/// binary emits pairs every simulated point with the same bound value
+/// the oracle grid uses.
+#[test]
+fn overlay_sweep_uses_identical_bound_values() {
+    use spinal_codes::sim::sweep::{run_overlay_with, SweepMode};
+    let params = CodeParams::default().with_n(64).with_b(64);
+    let run = BlerRun::new(params.clone());
+    let symbols = 2 * run.schedule().symbols_per_pass();
+    let bound = SpinalBound::new(&params, BoundChannel::Awgn);
+    let snrs = [8.0, 12.0];
+    let pts = run_overlay_with(
+        &snrs,
+        2,
+        DecodeWorkspace::new,
+        |ws, i, snr| run.measure(snr, symbols, 5, (i as u64) << 20, ws).bler(),
+        SweepMode::BoundOverlay,
+        |snr| bound.bler_bound(snr, symbols),
+    );
+    for (p, &snr) in pts.iter().zip(&snrs) {
+        assert_eq!(p.bound, Some(bound.bler_bound(snr, symbols)), "snr {snr}");
+        assert!((0.0..=1.0).contains(&p.sim));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the §6 framing layer and the §5 puncturing
+//! schedules: round-trip identities that must hold for *arbitrary*
+//! payloads and schedule shapes, not just the examples the unit tests
+//! pin down.
+
+use proptest::prelude::*;
+use spinal_codes::core::rx::RxSymbols;
+use spinal_codes::{BubbleDecoder, CodeParams, Encoder, FrameBuilder, Puncturing, Schedule};
+
+fn arb_ways() -> impl Strategy<Value = usize> {
+    (0u32..4).prop_map(|i| 1usize << i) // 1, 2, 4, 8 — the paper's set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Datagram → CRC blocks → validate → reassemble is the identity on
+    /// the payload bytes, for arbitrary datagrams and block sizes.
+    #[test]
+    fn framing_build_validate_reassemble_round_trip(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        block_choice in 0usize..3,
+    ) {
+        let block_bits = [64usize, 128, 256][block_choice];
+        let fb = FrameBuilder::new(block_bits);
+        let blocks = fb.build(&data);
+        prop_assert!(!blocks.is_empty());
+        let mut re = spinal_codes::core::framing::FrameReassembly::new(
+            fb.clone(), 0, blocks.len(), data.len(),
+        );
+        for (i, b) in blocks.iter().enumerate() {
+            prop_assert_eq!(b.len_bits(), block_bits);
+            prop_assert!(re.offer(i, b), "block {} failed CRC", i);
+        }
+        prop_assert!(re.complete());
+        prop_assert_eq!(re.into_datagram().unwrap(), data);
+    }
+
+    /// Flipping any single bit of a block must break its CRC — the
+    /// receiver's only success signal is allowed no false positives on
+    /// 1-bit corruption.
+    #[test]
+    fn framing_rejects_any_single_bit_flip(
+        data in proptest::collection::vec(any::<u8>(), 1..40),
+        flip in 0usize..256,
+    ) {
+        let fb = FrameBuilder::new(256);
+        let mut block = fb.build(&data).swap_remove(0);
+        let bit = flip % block.len_bits();
+        block.set_bit(bit, !block.bit(bit));
+        prop_assert!(fb.validate(&block).is_none(), "flip at {} passed", bit);
+    }
+
+    /// Frame → symbols → frame: a CRC block encoded to spinal symbols
+    /// and decoded from a clean observation validates back to the exact
+    /// payload. This closes the loop through the real encoder, schedule
+    /// and decoder rather than just the byte packer.
+    #[test]
+    fn frame_survives_the_symbol_domain(
+        data in proptest::collection::vec(any::<u8>(), 1..12),
+    ) {
+        let params = CodeParams::default().with_n(128).with_b(16);
+        let fb = FrameBuilder::new(params.n);
+        let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+        let decoder = BubbleDecoder::new(&params);
+        for block in fb.build(&data) {
+            let mut enc = Encoder::new(&params, &block);
+            let tx = enc.next_symbols(schedule.symbols_per_pass());
+            let mut rx = RxSymbols::new(schedule.clone());
+            rx.push(&tx); // noiseless: identity channel
+            let decoded = decoder.decode(&rx);
+            prop_assert_eq!(&decoded.message, &block);
+            prop_assert!(fb.validate(&decoded.message).is_some());
+        }
+        // And the reassembled datagram is the original.
+        let blocks = fb.build(&data);
+        let mut re = spinal_codes::core::framing::FrameReassembly::new(
+            fb, 1, blocks.len(), data.len(),
+        );
+        for (i, b) in blocks.iter().enumerate() {
+            prop_assert!(re.offer(i, b));
+        }
+        prop_assert_eq!(re.into_datagram().unwrap(), data);
+    }
+
+    /// One complete pass of any strided schedule covers every spine
+    /// index exactly once (the final spine once more per tail symbol) —
+    /// "the puncturing schedule covers every pass index exactly once".
+    #[test]
+    fn one_pass_covers_every_spine_exactly_once(
+        n_spines in 1usize..100,
+        tail in 0usize..4,
+        ways in arb_ways(),
+    ) {
+        let s = Schedule::new(n_spines, tail, Puncturing::strided(ways));
+        let pass = s.generate(n_spines + tail);
+        let mut count = vec![0usize; n_spines];
+        for p in &pass {
+            count[p.spine] += 1;
+        }
+        for (i, &c) in count.iter().enumerate() {
+            let expect = if i == n_spines - 1 { 1 + tail } else { 1 };
+            prop_assert_eq!(c, expect, "ways={} spine {}", ways, i);
+        }
+        // Per-spine RNG indices are stream-global counters: within one
+        // pass each spine's indices are 0..count.
+        let mut next = vec![0u32; n_spines];
+        for p in &pass {
+            prop_assert_eq!(p.rng_index, next[p.spine]);
+            next[p.spine] += 1;
+        }
+    }
+
+    /// The rateless prefix property holds for arbitrary schedule shapes:
+    /// the first `t` positions never depend on how much is generated.
+    #[test]
+    fn schedule_prefix_property(
+        n_spines in 1usize..64,
+        tail in 0usize..3,
+        ways in arb_ways(),
+        take in 1usize..150,
+    ) {
+        let s = Schedule::new(n_spines, tail, Puncturing::strided(ways));
+        let long = s.generate(200);
+        prop_assert_eq!(&s.generate(take)[..], &long[..take]);
+    }
+
+    /// Subpass boundaries partition the stream: strictly increasing,
+    /// ending at the budget, and each pass contributes exactly
+    /// `symbols_per_pass` between successive pass marks.
+    #[test]
+    fn subpass_boundaries_partition_the_stream(
+        n_spines in 1usize..64,
+        tail in 0usize..3,
+        ways in arb_ways(),
+        passes in 1usize..4,
+    ) {
+        let s = Schedule::new(n_spines, tail, Puncturing::strided(ways));
+        let total = passes * s.symbols_per_pass();
+        let b = s.subpass_boundaries(total);
+        prop_assert!(!b.is_empty());
+        prop_assert_eq!(*b.last().unwrap(), total);
+        for w in b.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        // Non-empty subpasses per pass: boundaries per pass are equal
+        // counts for every pass (the layout repeats).
+        let per_pass = b.iter().filter(|&&x| x <= s.symbols_per_pass()).count();
+        prop_assert_eq!(b.len(), per_pass * passes);
+    }
+}
