@@ -7,8 +7,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_channel::{AwgnChannel, Channel, Complex};
 use spinal_core::{
-    hash, BubbleDecoder, CodeParams, DecodeWorkspace, Encoder, HashKind, Message, RxSymbols,
-    Schedule,
+    hash, BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, HashKind, Message,
+    RxSymbols, Schedule,
 };
 
 fn bench_hashes(c: &mut Criterion) {
@@ -72,6 +72,71 @@ fn bench_decoder(c: &mut Criterion) {
             &rx,
             |b, rx| b.iter(|| dec.decode_with_workspace(black_box(rx), &mut ws)),
         );
+    }
+    g.finish();
+}
+
+/// Thread counts for the `throughput` group: `BENCH_THREADS` as a comma
+/// list (e.g. `BENCH_THREADS=1,2` for a quick CI pass), default 1,2,4.
+/// A malformed entry fails loudly naming the variable and value (the
+/// repo's CLI-error policy) rather than silently recording fewer rows.
+fn throughput_thread_counts() -> Vec<usize> {
+    let raw = std::env::var("BENCH_THREADS").unwrap_or_else(|_| "1,2,4".to_string());
+    let mut counts: Vec<usize> = raw
+        .split(',')
+        .map(|t| match t.trim().parse::<usize>() {
+            Ok(n) => spinal_sim::Threads::new(n).get(),
+            Err(_) => {
+                eprintln!(
+                    "error: invalid value for BENCH_THREADS: '{raw}' (expected a comma-separated \
+                     list of positive integers, e.g. 1,2,4)"
+                );
+                std::process::exit(2);
+            }
+        })
+        .collect();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Decode-engine throughput: blocks/s for a 16-block batch through
+/// `DecodeEngine::decode_batch_parallel` at several thread budgets.
+/// Rows are stamped with the core count (`"threads"` in BENCH_JSON) so
+/// `bench_guard --mode throughput` can compare scaling across budgets.
+fn bench_throughput(c: &mut Criterion) {
+    const BLOCKS: usize = 16;
+    let mut g = c.benchmark_group("throughput");
+    // Each sample window already spans a whole multi-block batch;
+    // shorter budgets keep the group affordable at several thread
+    // counts without hurting median stability.
+    g.sample_size(12)
+        .measurement_time(std::time::Duration::from_millis(1500));
+    for (n, bw) in [(256usize, 256usize), (1024, 256)] {
+        let params = CodeParams::default().with_n(n).with_b(bw);
+        let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+        let rxs: Vec<RxSymbols> = (0..BLOCKS)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(10 + i as u64);
+                let msg = Message::random(n, || rng.gen());
+                let mut enc = Encoder::new(&params, &msg);
+                let mut rx = RxSymbols::new(schedule.clone());
+                let mut ch = AwgnChannel::new(15.0, 20 + i as u64);
+                rx.push(&ch.transmit(&enc.next_symbols(2 * schedule.symbols_per_pass())));
+                rx
+            })
+            .collect();
+        let dec = BubbleDecoder::new(&params);
+        g.throughput(Throughput::Elements(BLOCKS as u64));
+        for threads in throughput_thread_counts() {
+            let engine = DecodeEngine::new(threads);
+            g.threads(threads);
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_B{bw}_t{threads}")),
+                &rxs,
+                |b, rxs| b.iter(|| engine.decode_batch_parallel(&dec, black_box(rxs))),
+            );
+        }
     }
     g.finish();
 }
@@ -186,6 +251,6 @@ fn bench_spine_construction(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_hashes, bench_encoder, bench_decoder, bench_ldpc_bp, bench_bcjr, bench_demap, bench_alternative_decoders, bench_spine_construction
+    targets = bench_hashes, bench_encoder, bench_decoder, bench_throughput, bench_ldpc_bp, bench_bcjr, bench_demap, bench_alternative_decoders, bench_spine_construction
 }
 criterion_main!(benches);

@@ -1,12 +1,24 @@
 //! Coarse performance-regression guard over `BENCH_*.json` baselines.
 //!
-//! Compares the median of one benchmark between a committed baseline and
-//! a freshly recorded run (both in the shim criterion's JSON-lines
-//! format, one object per line) and exits non-zero if the current median
-//! exceeds `--max-ratio` × the baseline. The default ratio of 3 is
-//! deliberately loose: CI machines are noisy, and this guard exists to
-//! catch "someone re-introduced the O(n log n) sort / per-step
-//! allocation" class of regressions, not 10% drift.
+//! Two modes, selected by `--mode`:
+//!
+//! * **`median`** (default): compares the median of one benchmark
+//!   between a committed baseline and a freshly recorded run (both in
+//!   the shim criterion's JSON-lines format, one object per line) and
+//!   exits non-zero if the current median exceeds `--max-ratio` × the
+//!   baseline. The default ratio of 3 is deliberately loose: CI machines
+//!   are noisy, and this guard exists to catch "someone re-introduced
+//!   the O(n log n) sort / per-step allocation" class of regressions,
+//!   not 10% drift.
+//! * **`throughput`**: checks parallel *scaling* within one freshly
+//!   recorded file. The `throughput` bench group records blocks/s at
+//!   several thread budgets, each row stamped with a `"threads"` field;
+//!   this mode compares `--scaled-threads` against `--base-threads` for
+//!   one `--bench-base` and fails if the speed-up falls below
+//!   `--min-scaling`. When the host has fewer cores than
+//!   `--scaled-threads` the check is skipped (reported, exit 0): a
+//!   1-core container cannot exhibit scaling, and failing there would
+//!   only teach people to delete the guard.
 //!
 //! ```sh
 //! BENCH_JSON=/tmp/now.json BENCH_FILTER=bubble_decode \
@@ -14,30 +26,54 @@
 //! cargo run --release -p bench --bin bench_guard -- \
 //!     --baseline BENCH_2026-07-27_post.json --current /tmp/now.json \
 //!     --group bubble_decode --bench n256_B256_2passes [--max-ratio 3.0]
+//!
+//! BENCH_JSON=/tmp/tp.json BENCH_FILTER=throughput BENCH_THREADS=1,4 \
+//!     cargo bench -p bench
+//! cargo run --release -p bench --bin bench_guard -- \
+//!     --mode throughput --current /tmp/tp.json \
+//!     --bench-base n256_B256 --base-threads 1 --scaled-threads 4 \
+//!     --min-scaling 1.5
 //! ```
 //!
-//! Malformed inputs (unreadable file, absent group/bench pair) exit with
-//! a message naming the offending flag and value rather than panicking.
+//! Malformed inputs (unreadable file, absent group/bench/threads row)
+//! exit with a message naming the offending flag and value rather than
+//! panicking.
 
 use bench::{die, Args};
 
-/// Extract `"median_ns":<float>` from the shim-format JSON line matching
-/// the group/bench pair in `text`. Hand-rolled: the workspace has no
-/// JSON dependency and the shim's output format is fixed. `None` when no
-/// line carries the pair (or its median field is malformed).
-fn find_median_in(text: &str, group: &str, name: &str) -> Option<f64> {
+/// Extract the float value of `field` from the shim-format JSON line in
+/// `text` matching the group/bench pair (and, when given, a
+/// `"threads":N` stamp). Hand-rolled: the workspace has no JSON
+/// dependency and the shim's output format is fixed. `None` when no line
+/// carries the key (or the field is absent/malformed on it).
+fn find_field_in(
+    text: &str,
+    group: &str,
+    name: &str,
+    threads: Option<u64>,
+    field: &str,
+) -> Option<f64> {
     let g = format!("\"group\":\"{group}\"");
     let b = format!("\"bench\":\"{name}\"");
+    let t = threads.map(|t| format!("\"threads\":{t},"));
     for line in text.lines() {
-        if line.contains(&g) && line.contains(&b) {
-            let key = "\"median_ns\":";
-            let start = line.find(key)? + key.len();
+        if line.contains(&g)
+            && line.contains(&b)
+            && t.as_ref().is_none_or(|t| line.contains(t.as_str()))
+        {
+            let key = format!("\"{field}\":");
+            let start = line.find(&key)? + key.len();
             let rest = &line[start..];
             let end = rest.find([',', '}'])?;
             return rest[..end].trim().parse().ok();
         }
     }
     None
+}
+
+/// `find_field_in` for the median-mode key.
+fn find_median_in(text: &str, group: &str, name: &str) -> Option<f64> {
+    find_field_in(text, group, name, None, "median_ns")
 }
 
 /// Read `path` (named on the CLI by `flag`) and locate the group/bench
@@ -52,8 +88,28 @@ fn load_median(flag: &str, path: &str, group: &str, name: &str) -> Result<f64, S
     })
 }
 
-fn main() {
-    let args = Args::parse();
+/// Locate the blocks/s rate of `{base}_t{threads}` (cross-checked
+/// against the row's `"threads"` stamp) in already-read `text` from the
+/// file named by `--{flag}`.
+fn load_rate(
+    flag: &str,
+    path: &str,
+    text: &str,
+    group: &str,
+    base: &str,
+    threads: u64,
+) -> Result<f64, String> {
+    let name = format!("{base}_t{threads}");
+    find_field_in(text, group, &name, Some(threads), "throughput_per_s").ok_or_else(|| {
+        format!(
+            "benchmark '{group}/{name}' (threads={threads}) has no throughput_per_s entry in \
+             --{flag} file '{path}' — was the throughput group recorded with BENCH_THREADS \
+             including {threads}?"
+        )
+    })
+}
+
+fn run_median_mode(args: &Args) {
     let baseline = args.str("baseline", "BENCH_2026-07-27_post.json");
     let current = args.str("current", "/tmp/bench_current.json");
     let group = args.str("group", "bubble_decode");
@@ -77,6 +133,80 @@ fn main() {
     println!("bench_guard: OK");
 }
 
+fn run_throughput_mode(args: &Args) {
+    let current = args.str("current", "/tmp/bench_current.json");
+    let group = args.str("group", "throughput");
+    let base_bench = args.str("bench-base", "n256_B256");
+    let base_threads = args.usize("base-threads", 1) as u64;
+    let scaled_threads = args.usize("scaled-threads", 4) as u64;
+    let min_scaling = args.f64("min-scaling", 1.5);
+    if min_scaling.is_nan() || min_scaling <= 0.0 {
+        die(format!("--min-scaling must be positive, got {min_scaling}"));
+    }
+    if scaled_threads <= base_threads {
+        die(format!(
+            "--scaled-threads ({scaled_threads}) must exceed --base-threads ({base_threads})"
+        ));
+    }
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    if host_cores < scaled_threads {
+        println!(
+            "bench_guard: SKIP — host has {host_cores} core(s), cannot judge scaling at \
+             {scaled_threads} threads"
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(&current)
+        .unwrap_or_else(|e| die(format!("cannot read --current file '{current}': {e}")));
+    let base_rate = load_rate(
+        "current",
+        &current,
+        &text,
+        &group,
+        &base_bench,
+        base_threads,
+    )
+    .unwrap_or_else(|e| die(e));
+    let scaled_rate = load_rate(
+        "current",
+        &current,
+        &text,
+        &group,
+        &base_bench,
+        scaled_threads,
+    )
+    .unwrap_or_else(|e| die(e));
+    let scaling = scaled_rate / base_rate;
+    println!(
+        "bench_guard: {group}/{base_bench}: {base_rate:.1} blocks/s at t{base_threads}, \
+         {scaled_rate:.1} blocks/s at t{scaled_threads} (scaling {scaling:.2}×, floor \
+         {min_scaling:.2}×)"
+    );
+    if scaling < min_scaling {
+        eprintln!(
+            "bench_guard: FAIL — {scaled_threads}-thread throughput scaled only {scaling:.2}× \
+             over {base_threads} thread(s) (floor {min_scaling:.2}×)"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}
+
+fn main() {
+    let args = Args::parse();
+    match args.str("mode", "median").as_str() {
+        "median" => run_median_mode(&args),
+        "throughput" => run_throughput_mode(&args),
+        other => die(format!(
+            "invalid value for --mode: '{other}' (expected 'median' or 'throughput')"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +216,9 @@ mod tests {
         "{\"group\":\"bubble_decode\",\"bench\":\"n256_B64_2passes\",\"median_ns\":1100000.0}\n",
         "{\"group\":\"hash\",\"bench\":\"one_at_a_time\",\"median_ns\":16.0}\n",
         "{\"group\":\"hash\",\"bench\":\"broken\",\"median_ns\":not_a_number}\n",
+        "{\"group\":\"throughput\",\"bench\":\"n256_B256_t1\",\"threads\":1,\"median_ns\":80000000.0,\"throughput_per_s\":200.0}\n",
+        "{\"group\":\"throughput\",\"bench\":\"n256_B256_t4\",\"threads\":4,\"median_ns\":26000000.0,\"throughput_per_s\":615.0}\n",
+        "{\"group\":\"throughput\",\"bench\":\"n256_B256_t8\",\"threads\":8,\"median_ns\":26000000.0,\"throughput_per_s\":null}\n",
     );
 
     #[test]
@@ -136,5 +269,86 @@ mod tests {
         );
         assert_eq!(ok, Ok(1100000.0));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn throughput_rows_key_on_group_bench_and_threads() {
+        assert_eq!(
+            find_field_in(
+                SAMPLE,
+                "throughput",
+                "n256_B256_t1",
+                Some(1),
+                "throughput_per_s"
+            ),
+            Some(200.0)
+        );
+        assert_eq!(
+            find_field_in(
+                SAMPLE,
+                "throughput",
+                "n256_B256_t4",
+                Some(4),
+                "throughput_per_s"
+            ),
+            Some(615.0)
+        );
+        // A threads stamp that contradicts the row is not a match.
+        assert_eq!(
+            find_field_in(
+                SAMPLE,
+                "throughput",
+                "n256_B256_t4",
+                Some(2),
+                "throughput_per_s"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn null_throughput_is_a_friendly_error_not_a_panic() {
+        // Row exists but was recorded without a throughput annotation.
+        let err = load_rate(
+            "current",
+            "/tmp/x.json",
+            SAMPLE,
+            "throughput",
+            "n256_B256",
+            8,
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("n256_B256_t8")
+                && err.contains("--current")
+                && err.contains("/tmp/x.json"),
+            "unhelpful: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_thread_count_names_bench_threads_and_file() {
+        let err = load_rate(
+            "current",
+            "/tmp/x.json",
+            SAMPLE,
+            "throughput",
+            "n256_B256",
+            2,
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("n256_B256_t2")
+                && err.contains("threads=2")
+                && err.contains("BENCH_THREADS"),
+            "unhelpful: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_group_is_a_friendly_error() {
+        let err =
+            load_rate("current", "/tmp/x.json", "", "throughput", "n256_B256", 1).unwrap_err();
+        assert!(err.contains("throughput/n256_B256_t1"), "unhelpful: {err}");
     }
 }

@@ -17,10 +17,9 @@
 
 use bench::{snr_grid, Args};
 use spinal_bounds::{BoundChannel, SpinalBound};
-use spinal_core::{CodeParams, DecodeWorkspace};
+use spinal_core::{CodeParams, DecodeEngine};
 use spinal_sim::{
-    default_threads, overlay_csv_header, overlay_csv_row, run_overlay_with, BlerRun, LinkChannel,
-    SweepMode,
+    overlay_csv_header, overlay_csv_row, run_overlay_with, BlerRun, LinkChannel, SweepMode,
 };
 
 fn main() {
@@ -31,7 +30,13 @@ fn main() {
     let n = args.usize("n", 64);
     let b = args.usize("b", 256);
     let tau = args.usize("tau", 1);
-    let threads = args.usize("threads", default_threads());
+    // Two composed parallelism layers from one budget: SNR points fan
+    // out across sweep workers, and each worker decodes its BLER batch
+    // through a DecodeEngine holding the leftover threads — so a short
+    // grid on a wide machine still fills every core, with no
+    // oversubscription. Results are bit-identical at any split.
+    let budget = bench::cli_threads(&args);
+    let (threads, engine_threads) = budget.split(snrs.len());
     let mode = if args.has("sim-only") {
         SweepMode::SimOnly
     } else {
@@ -57,17 +62,20 @@ fn main() {
 
         eprintln!(
             "bounds_vs_sim: {label}: {} SNR points × {trials} trials, n={n} B={b} \
-             {passes} passes ({symbols} symbols), {threads} threads",
-            snrs.len()
+             {passes} passes ({symbols} symbols), {threads} sweep threads × \
+             {} engine threads",
+            snrs.len(),
+            engine_threads.get()
         );
 
         let points = run_overlay_with(
             &snrs,
             threads,
-            DecodeWorkspace::new,
-            |ws, i, snr| {
+            || DecodeEngine::new(engine_threads.get()),
+            |engine, i, snr| {
                 let seed_base = (i as u64) << 32;
-                run.measure(snr, symbols, trials, seed_base, ws).bler()
+                run.measure_with_engine(snr, symbols, trials, seed_base, engine)
+                    .bler()
             },
             mode,
             |snr| bound.bler_bound(snr, symbols),

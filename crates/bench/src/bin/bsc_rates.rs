@@ -10,14 +10,12 @@
 use bench::Args;
 use spinal_channel::capacity::bsc_capacity;
 use spinal_core::{CodeParams, DecodeWorkspace};
-use spinal_sim::{
-    default_threads, run_bsc_trial_with_workspace, run_parallel_with, summarize_vs_capacity, Trial,
-};
+use spinal_sim::{run_bsc_trial_with_workspace, run_parallel_with, summarize_vs_capacity, Trial};
 
 fn main() {
     let args = Args::parse();
     let trials = args.usize("trials", 4);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
     let flips = [0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3];
     let params = CodeParams::default().with_n(192);
 

@@ -14,12 +14,12 @@ use bench::Args;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_core::{CodeParams, HashKind, Message};
-use spinal_sim::{default_threads, run_parallel};
+use spinal_sim::run_parallel;
 
 fn main() {
     let args = Args::parse();
     let decodes = args.usize("decodes", 20_000);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
     let p = CodeParams::default(); // n=256, k=4, B=256, d=1
 
     let model =

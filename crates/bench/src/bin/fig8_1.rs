@@ -12,10 +12,7 @@ use bench::{snr_grid, Args};
 use spinal_channel::capacity::{awgn_capacity_db, gap_to_capacity_db};
 use spinal_core::CodeParams;
 use spinal_core::DecodeWorkspace;
-use spinal_sim::{
-    default_threads, ldpc_run, run_parallel_with, summarize, RaptorRun, SpinalRun, StriderRun,
-    Trial,
-};
+use spinal_sim::{ldpc_run, run_parallel_with, summarize, RaptorRun, SpinalRun, StriderRun, Trial};
 
 fn main() {
     let args = Args::parse();
@@ -33,7 +30,7 @@ fn main() {
         args.usize("raptor-k", 9500)
     };
     let ldpc_trials = args.usize("ldpc-trials", 20);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
 
     eprintln!(
         "fig8_1: {} SNR points × {trials} trials; strider n={strider_n}, raptor k={raptor_k}, {threads} threads",

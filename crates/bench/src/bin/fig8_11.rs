@@ -7,12 +7,12 @@
 
 use bench::Args;
 use spinal_core::CodeParams;
-use spinal_sim::{default_threads, run_parallel, SpinalRun};
+use spinal_sim::{run_parallel, SpinalRun};
 
 fn main() {
     let args = Args::parse();
     let trials = args.usize("trials", 25);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
     let snrs: Vec<f64> = (0..11).map(|i| 6.0 + 2.0 * i as f64).collect();
 
     eprintln!("fig8_11: n=256, 8-way puncturing, {trials} trials/SNR");

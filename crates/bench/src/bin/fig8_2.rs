@@ -9,13 +9,13 @@ use bench::{snr_grid, Args};
 use spinal_channel::capacity::awgn_capacity_db;
 use spinal_core::CodeParams;
 use spinal_sim::rated::{best_rated, rateless_throughput, symbols_to_decode_samples};
-use spinal_sim::{default_threads, run_parallel, SpinalRun};
+use spinal_sim::{run_parallel, SpinalRun};
 
 fn main() {
     let args = Args::parse();
     let snrs = snr_grid(&args, -5.0, 35.0, 2.0);
     let trials = args.usize("trials", 16);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
     let n = args.usize("n", 256);
 
     eprintln!("fig8_2: n={n}, {trials} trials/SNR");

@@ -9,15 +9,13 @@
 use bench::{snr_grid, Args};
 use spinal_channel::capacity::awgn_capacity_db;
 use spinal_core::CodeParams;
-use spinal_sim::{
-    default_threads, run_parallel, summarize, RaptorRun, SpinalRun, StriderRun, Trial,
-};
+use spinal_sim::{run_parallel, summarize, RaptorRun, SpinalRun, StriderRun, Trial};
 
 fn main() {
     let args = Args::parse();
     let snrs = snr_grid(&args, 5.0, 20.0, 5.0);
     let trials = args.usize("trials", 3);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
     let sizes = [1024usize, 2048, 3072];
 
     eprintln!("fig8_3: sizes {sizes:?}, SNR {snrs:?}, {trials} trials");

@@ -9,13 +9,13 @@
 use bench::{snr_grid, Args};
 use spinal_channel::capacity::awgn_capacity_db;
 use spinal_core::CodeParams;
-use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+use spinal_sim::{run_parallel, summarize, SpinalRun, Trial};
 
 fn main() {
     let args = Args::parse();
     let snrs = snr_grid(&args, 2.0, 24.0, 4.0);
     let trials = args.usize("trials", 2);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
     let ks = [1usize, 2, 3, 4, 5, 6];
     let budget_pows = [4u32, 5, 6, 7, 8, 9, 10]; // 2^4 .. 2^10 evals/bit
 

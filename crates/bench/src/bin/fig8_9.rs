@@ -8,13 +8,13 @@
 use bench::{snr_grid, Args};
 use spinal_channel::capacity::gap_to_capacity_db;
 use spinal_core::CodeParams;
-use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+use spinal_sim::{run_parallel, summarize, SpinalRun, Trial};
 
 fn main() {
     let args = Args::parse();
     let snrs = snr_grid(&args, -5.0, 35.0, 2.0);
     let trials = args.usize("trials", 4);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
     let tails = [1usize, 2, 3, 4, 5];
 
     eprintln!("fig8_9: tails 1..5, n=256");

@@ -10,13 +10,13 @@
 use bench::{snr_grid, Args};
 use spinal_channel::capacity::awgn_capacity_db;
 use spinal_core::CodeParams;
-use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+use spinal_sim::{run_parallel, summarize, SpinalRun, Trial};
 
 fn main() {
     let args = Args::parse();
     let snrs = snr_grid(&args, 2.0, 15.0, 1.0);
     let trials = args.usize("trials", 10);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
 
     let params = CodeParams::default().with_n(192).with_c(7).with_b(4);
     eprintln!(

@@ -10,13 +10,13 @@ use bench::{snr_grid, Args};
 use spinal_channel::capacity::awgn_capacity_db;
 use spinal_core::CodeParams;
 use spinal_ldpc::IrHarq;
-use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+use spinal_sim::{run_parallel, summarize, SpinalRun, Trial};
 
 fn main() {
     let args = Args::parse();
     let snrs = snr_grid(&args, -2.0, 34.0, 4.0);
     let trials = args.usize("trials", 4);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
 
     let rows = run_parallel(snrs.len(), threads, |si| {
         let snr = snrs[si];

@@ -7,13 +7,12 @@
 //! ```
 
 use bench::Args;
-use spinal_core::{CodeParams, DecodeWorkspace};
-use spinal_sim::{default_threads, run_parallel_with, LinkLayerRun, SpinalRun};
+use spinal_core::{CodeParams, DecodeEngine};
+use spinal_sim::{run_parallel_with, LinkLayerRun, SpinalRun};
 
 fn main() {
     let args = Args::parse();
     let trials = args.usize("trials", 6);
-    let threads = args.usize("threads", default_threads());
     let feedback = args.usize("feedback-symbols", 12);
     let bursts = [4usize, 8, 16, 33, 66, 132, 264, 528];
     let snrs = [5.0, 15.0, 25.0];
@@ -24,23 +23,32 @@ fn main() {
             jobs.push((b, s));
         }
     }
+    // Grid jobs fan out across sweep workers; any leftover budget
+    // becomes per-worker intra-block decode threads (bit-identical
+    // results at any split).
+    let (threads, engine_threads) = bench::cli_threads(&args).split(jobs.len());
 
-    let rows = run_parallel_with(jobs.len(), threads, DecodeWorkspace::new, |ws, j| {
-        let (burst, snr) = jobs[j];
-        let ll = LinkLayerRun {
-            run: SpinalRun::new(CodeParams::default().with_n(256)),
-            burst_symbols: burst,
-            feedback_symbols: feedback,
-        };
-        let mut rate = 0.0;
-        let mut ideal = 0.0;
-        for t in 0..trials {
-            let seed = ((j * trials + t) as u64) << 6;
-            rate += ll.run_trial_with_workspace(snr, seed, ws).effective_rate;
-            ideal += ll.ideal_rate_with_workspace(snr, seed, ws);
-        }
-        (rate / trials as f64, ideal / trials as f64)
-    });
+    let rows = run_parallel_with(
+        jobs.len(),
+        threads,
+        || DecodeEngine::new(engine_threads.get()),
+        |engine, j| {
+            let (burst, snr) = jobs[j];
+            let ll = LinkLayerRun {
+                run: SpinalRun::new(CodeParams::default().with_n(256)),
+                burst_symbols: burst,
+                feedback_symbols: feedback,
+            };
+            let mut rate = 0.0;
+            let mut ideal = 0.0;
+            for t in 0..trials {
+                let seed = ((j * trials + t) as u64) << 6;
+                rate += ll.run_trial_with_engine(snr, seed, engine).effective_rate;
+                ideal += ll.ideal_rate_with_engine(snr, seed, engine);
+            }
+            (rate / trials as f64, ideal / trials as f64)
+        },
+    );
 
     println!("# §6 pause-point study: effective rate vs burst size (feedback={feedback} symbols)");
     println!("burst_symbols,rate_5db,eff_5db,rate_15db,eff_15db,rate_25db,eff_25db");

@@ -10,13 +10,13 @@
 
 use bench::{snr_grid, Args};
 use spinal_core::{CodeParams, HashKind, MappingKind};
-use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+use spinal_sim::{run_parallel, summarize, SpinalRun, Trial};
 
 fn main() {
     let args = Args::parse();
     let snrs = snr_grid(&args, 0.0, 30.0, 6.0);
     let trials = args.usize("trials", 4);
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
 
     // Part 1: mapping ablation.
     let mappings = [

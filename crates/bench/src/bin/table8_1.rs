@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use spinal_channel::Complex;
 use spinal_core::{Constellation, MappingKind};
 use spinal_modem::{OfdmConfig, PaprStats, Qam};
-use spinal_sim::{default_threads, run_parallel};
+use spinal_sim::run_parallel;
 
 fn main() {
     let args = Args::parse();
@@ -23,7 +23,7 @@ fn main() {
     } else {
         args.usize("experiments", 200_000)
     };
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
 
     eprintln!("table8_1: {experiments} OFDM symbols per constellation");
 

@@ -16,14 +16,14 @@ use bench::{snr_grid, Args};
 use spinal_channel::capacity::awgn_capacity_db;
 use spinal_channel::mi::symbol_mi;
 use spinal_core::{CodeParams, Constellation, MappingKind};
-use spinal_sim::{default_threads, run_parallel, summarize, SpinalRun, Trial};
+use spinal_sim::{run_parallel, summarize, SpinalRun, Trial};
 
 fn main() {
     let args = Args::parse();
     let snrs = snr_grid(&args, 0.0, 30.0, 5.0);
     let trials = args.usize("trials", 3);
     let c = args.usize("c", 6) as u32;
-    let threads = args.usize("threads", default_threads());
+    let threads = bench::cli_threads(&args).get();
     let samples = args.usize("mi-samples", 40_000);
 
     let levels = Constellation::new(MappingKind::Uniform, c)

@@ -4,8 +4,7 @@ use crate::{snr_grid, Args};
 use spinal_channel::capacity::rayleigh_ergodic_capacity_db;
 use spinal_core::CodeParams;
 use spinal_sim::{
-    default_threads, run_parallel, summarize_vs_capacity, LinkChannel, SpinalRun, StriderChannel,
-    StriderRun, Trial,
+    run_parallel, summarize_vs_capacity, LinkChannel, SpinalRun, StriderChannel, StriderRun, Trial,
 };
 
 /// Run the fading comparison; `csi = false` gives Figure 8-5.
@@ -13,7 +12,7 @@ pub fn run(csi: bool, figure: &str) {
     let args = Args::parse();
     let snrs = snr_grid(&args, -5.0, 35.0, 5.0);
     let trials = args.usize("trials", 4);
-    let threads = args.usize("threads", default_threads());
+    let threads = crate::cli_threads(&args).get();
     let strider_n = args.usize("strider-n", 6600);
     let taus = [1usize, 10, 100];
 

@@ -179,6 +179,21 @@ pub fn snr_grid(args: &Args, start: f64, end: f64, step: f64) -> Vec<f64> {
     }
 }
 
+/// The unified thread budget for experiment binaries: CLI `--threads`
+/// beats the `SPINAL_THREADS` environment variable beats the host's
+/// available parallelism — one policy (`spinal_sim::Threads`) for every
+/// binary, with clamping and friendly errors on malformed values.
+pub fn cli_threads(args: &Args) -> spinal_sim::Threads {
+    let cli = match args.try_usize("threads") {
+        Ok(v) => v,
+        Err(e) => die(e),
+    };
+    match spinal_sim::Threads::resolve(cli) {
+        Ok(t) => t,
+        Err(e) => die(e),
+    }
+}
+
 /// Pooled rate over trials (delivered bits / spent symbols), matching
 /// `spinal_sim::stats::summarize`. Convenience for sweep binaries.
 pub fn pooled_rate(trials: &[spinal_sim::Trial]) -> f64 {

@@ -11,8 +11,17 @@
 //! track order-of-magnitude regressions.
 //!
 //! Set `BENCH_JSON=/path/to/file.json` to append one JSON line per
-//! benchmark (`{"group","bench","median_ns","throughput_per_s"}`) — the
+//! benchmark (`{"group","bench","median_ns","throughput_per_s"}`, plus
+//! `"threads"` when the group carries a core-count annotation) — the
 //! workspace's `BENCH_*.json` baselines are recorded this way.
+//!
+//! Two shim-only extensions beyond the real criterion API (call sites
+//! must drop them if the registry crate is ever swapped back in):
+//! [`BenchmarkGroup::threads`], which stamps the emitted JSON rows with
+//! the thread count a parallel benchmark ran at so `bench_guard` can key
+//! scaling comparisons on `(group, bench, threads)`; and the
+//! `BENCH_FILTER` environment variable (criterion proper takes the
+//! filter positionally).
 
 #![forbid(unsafe_code)]
 
@@ -116,12 +125,17 @@ impl Criterion {
         self
     }
 
-    /// Open a named benchmark group.
+    /// Open a named benchmark group. The group starts from this
+    /// criterion's configuration; group-level overrides (sample size,
+    /// times) stay local to the group, as in real criterion.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let config = self.clone();
         BenchmarkGroup {
-            criterion: self,
+            _criterion: self,
+            config,
             name: name.into(),
             throughput: None,
+            threads: None,
         }
     }
 
@@ -131,16 +145,19 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let config = self.clone();
-        run_one(&config, "", &id.into().id, None, f);
+        run_one(&config, "", &id.into().id, None, None, f);
         self
     }
 }
 
 /// A group of related benchmarks sharing a throughput annotation.
 pub struct BenchmarkGroup<'a> {
-    criterion: &'a mut Criterion,
+    // Held only for API-faithful exclusivity (one open group at a time).
+    _criterion: &'a mut Criterion,
+    config: Criterion,
     name: String,
     throughput: Option<Throughput>,
+    threads: Option<u64>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -150,13 +167,46 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Shim extension (not in real criterion): stamp subsequent
+    /// benchmarks' `BENCH_JSON` rows with the thread count they ran at,
+    /// so regression guards can key on `(group, bench, threads)`.
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.threads = Some(n as u64);
+        self
+    }
+
+    /// Override the sample target for this group's benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(3);
+        self
+    }
+
+    /// Override the measurement budget for this group's benchmarks.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Override the warm-up duration for this group's benchmarks.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
     /// Benchmark `f`.
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let config = self.criterion.clone();
-        run_one(&config, &self.name, &id.into().id, self.throughput, f);
+        let config = self.config.clone();
+        run_one(
+            &config,
+            &self.name,
+            &id.into().id,
+            self.throughput,
+            self.threads,
+            f,
+        );
         self
     }
 
@@ -170,10 +220,15 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let config = self.criterion.clone();
-        run_one(&config, &self.name, &id.id, self.throughput, |b| {
-            f(b, input)
-        });
+        let config = self.config.clone();
+        run_one(
+            &config,
+            &self.name,
+            &id.id,
+            self.throughput,
+            self.threads,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -276,6 +331,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     group: &str,
     bench: &str,
     throughput: Option<Throughput>,
+    threads: Option<u64>,
     mut f: F,
 ) {
     // BENCH_FILTER=<substring> runs only benchmarks whose "group/bench"
@@ -319,10 +375,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     );
 
     if let Ok(path) = std::env::var("BENCH_JSON") {
-        let line = format!(
-            "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"median_ns\":{ns:.1},\"throughput_per_s\":{}}}\n",
-            rate.map_or("null".to_string(), |r| format!("{r:.1}")),
-        );
+        let line = json_line(group, bench, threads, ns, rate);
         let write = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -332,6 +385,17 @@ fn run_one<F: FnMut(&mut Bencher)>(
             eprintln!("warning: could not append to BENCH_JSON={path}: {e}");
         }
     }
+}
+
+/// One `BENCH_JSON` record: `threads` is emitted only when the group
+/// was annotated with a core count, keeping pre-existing baselines'
+/// shape unchanged.
+fn json_line(group: &str, bench: &str, threads: Option<u64>, ns: f64, rate: Option<f64>) -> String {
+    let threads_field = threads.map_or(String::new(), |t| format!("\"threads\":{t},"));
+    format!(
+        "{{\"group\":\"{group}\",\"bench\":\"{bench}\",{threads_field}\"median_ns\":{ns:.1},\"throughput_per_s\":{}}}\n",
+        rate.map_or("null".to_string(), |r| format!("{r:.1}")),
+    )
 }
 
 fn human(x: f64) -> String {
@@ -423,5 +487,35 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("a", 3).id, "a/3");
         assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+
+    #[test]
+    fn json_line_includes_threads_only_when_annotated() {
+        let plain = json_line("bubble_decode", "n256_B256", None, 4700000.04, None);
+        assert_eq!(
+            plain,
+            "{\"group\":\"bubble_decode\",\"bench\":\"n256_B256\",\"median_ns\":4700000.0,\"throughput_per_s\":null}\n"
+        );
+        let threaded = json_line("throughput", "n256_B256_t4", Some(4), 1e6, Some(8000.04));
+        assert_eq!(
+            threaded,
+            "{\"group\":\"throughput\",\"bench\":\"n256_B256_t4\",\"threads\":4,\"median_ns\":1000000.0,\"throughput_per_s\":8000.0}\n"
+        );
+    }
+
+    #[test]
+    fn group_config_overrides_stay_local_to_the_group() {
+        let mut c = Criterion::default().sample_size(20);
+        {
+            let mut g = c.benchmark_group("local");
+            g.sample_size(5)
+                .measurement_time(Duration::from_millis(30))
+                .warm_up_time(Duration::from_millis(1));
+            g.threads(2);
+            g.bench_function("tiny", |b| b.iter(|| black_box(1u64 + 1)));
+            g.finish();
+        }
+        // The parent criterion is untouched by group-level overrides.
+        assert_eq!(c.sample_size, 20);
     }
 }

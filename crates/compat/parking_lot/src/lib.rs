@@ -1,11 +1,19 @@
 //! Offline shim for the [`parking_lot`](https://crates.io/crates/parking_lot)
 //! crate: a [`Mutex`] with parking_lot's ergonomics (no poisoning, `lock()`
-//! returns the guard directly) layered over `std::sync::Mutex`. The
-//! workspace only uses the mutex for collecting results from scoped
-//! worker threads (`spinal_sim::sweep`), so that's all this provides.
+//! returns the guard directly) and a matching [`Condvar`], both layered
+//! over `std::sync`. The workspace uses the mutex for collecting results
+//! from scoped worker threads (`spinal_sim::sweep`) and the mutex +
+//! condvar pair for the long-lived decode worker pool
+//! (`spinal_core::engine`), so that's all this provides.
+//!
+//! [`MutexGuard`] is a thin wrapper (not a type alias) around the std
+//! guard: parking_lot's `Condvar::wait(&mut MutexGuard)` re-acquires the
+//! lock *in place*, which needs an owned slot to move the std guard
+//! through.
 
 #![forbid(unsafe_code)]
 
+use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 
 /// A mutual-exclusion lock whose `lock()` never returns a `Result`.
@@ -15,8 +23,27 @@ pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
 }
 
-/// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard type returned by [`Mutex::lock`]. Releases the lock on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Some` except transiently inside `Condvar::wait`, where the std
+    // guard is moved out to the OS wait and the re-acquired guard is
+    // moved back in.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex holding `value`.
@@ -37,12 +64,17 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
     }
 
     /// Acquire the lock if free.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        self.inner.try_lock().ok()
+        self.inner
+            .try_lock()
+            .ok()
+            .map(|g| MutexGuard { inner: Some(g) })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -51,9 +83,52 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable for use with [`Mutex`]: parking_lot's API shape
+/// (`wait` takes `&mut MutexGuard` and re-acquires in place; no poison
+/// results anywhere).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and block until notified;
+    /// the lock is re-acquired (in place) before returning. As with any
+    /// condvar, spurious wakeups are possible — wait in a predicate loop.
+    /// (`T: Sized` here, unlike real parking_lot, because the underlying
+    /// `std::sync::Condvar::wait` requires it; no call site needs an
+    /// unsized payload.)
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+    }
+
+    /// Wake one waiting thread, if any.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex};
+    use std::sync::Arc;
 
     #[test]
     fn lock_and_into_inner() {
@@ -75,5 +150,59 @@ mod tests {
             }
         });
         assert_eq!(m.into_inner(), 8000);
+    }
+
+    #[test]
+    fn try_lock_respects_holder() {
+        let m = Mutex::new(5);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        // Producer/consumer rendezvous: consumer waits for a value, the
+        // producer sets it and notifies.
+        let shared = Arc::new((Mutex::new(None::<u32>), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let producer = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            *m.lock() = Some(42);
+            cv.notify_one();
+        });
+        let (m, cv) = &*shared;
+        let mut guard = m.lock();
+        while guard.is_none() {
+            cv.wait(&mut guard);
+        }
+        assert_eq!(*guard, Some(42));
+        drop(guard);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_notify_all_releases_every_waiter() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                let (m, cv) = &*s;
+                let mut go = m.lock();
+                while !*go {
+                    cv.wait(&mut go);
+                }
+            }));
+        }
+        // Give waiters a moment to park, then release them all.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (m, cv) = &*shared;
+        *m.lock() = true;
+        cv.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -38,8 +38,9 @@
 //!   a broken observation is *uninformative*, never a panic and never a
 //!   `−∞` free lunch.
 //! * **Batched, structure-of-arrays expansion.** Frontier leaves live in
-//!   parallel arrays (`state`, `cost`, `tree`, `rel_path`) and children
-//!   are produced edge-major, so spine hashing and RNG hashing run as
+//!   a [`Frontier`] of parallel arrays (`state`, `cost`, `tree`,
+//!   `rel_path`) and children are produced edge-major, so spine hashing
+//!   and RNG hashing run as
 //!   [`HashKind::hash_many`](crate::hash::HashKind::hash_many) batches
 //!   the CPU can pipeline (~8× faster than a dependent hash chain).
 //! * **Partial selection, reusable buffers.** The best-`B` cut uses
@@ -48,11 +49,24 @@
 //!   can never panic the comparator. All buffers live in a
 //!   [`DecodeWorkspace`]; repeated attempts (§7.1's retry loop) allocate
 //!   nothing after warm-up.
+//!
+//! # Order-independent reductions
+//!
+//! Every reduction over frontier leaves is *insensitive to enumeration
+//! order*: per-key minima are plain float minima (no NaN can enter them —
+//! table entries are clamped finite-or-`+∞`), key selection ties break on
+//! the key index, and the final winner is the minimum under the **total**
+//! order `(cost by total_cmp, tree index, relative path)`, which names a
+//! unique leaf regardless of where it sits in the frontier arrays. This
+//! is what lets [`DecodeEngine`](crate::engine::DecodeEngine) shard a
+//! step's frontier across worker threads and still produce bit-for-bit
+//! the serial result at every thread count.
 
 use crate::bits::Message;
 use crate::params::CodeParams;
-use crate::rx::{RxBits, RxSymbols};
+use crate::rx::{RxBits, RxEntry, RxSymbols};
 use crate::symbols::SymbolGen;
+use std::cmp::Ordering;
 
 /// Result of one decode attempt.
 #[derive(Debug, Clone)]
@@ -63,6 +77,358 @@ pub struct DecodeResult {
     /// Path cost of the winning leaf (`Σ‖ȳᵢ − x̄ᵢ‖²` for AWGN, Hamming
     /// distance for BSC).
     pub cost: f64,
+}
+
+/// The frontier of one beam-search attempt (or one engine shard of it):
+/// leaves in structure-of-arrays form, plus the double-buffer halves and
+/// hashing scratch one expansion step needs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Frontier {
+    pub(crate) states: Vec<u32>,
+    pub(crate) costs: Vec<f64>,
+    pub(crate) trees: Vec<u32>,
+    pub(crate) paths: Vec<u64>,
+    // Expansion target (swapped with the frontier every step).
+    next_states: Vec<u32>,
+    next_costs: Vec<f64>,
+    next_trees: Vec<u32>,
+    next_paths: Vec<u64>,
+    // RNG-word scratch for branch-metric accumulation.
+    words: Vec<u32>,
+}
+
+/// The branch metric of one decode step, in the table form both the
+/// serial path and the engine workers consume. Tables are built once per
+/// (step, observation) by [`build_symbol_tables`] and are read-only
+/// during expansion — which is what makes them safely shareable across
+/// decode worker threads.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StepMetric<'a> {
+    /// Complex symbols: per-entry `[I table (m), Q table (m)]`
+    /// concatenated in `tables`, with the entry's RNG index in `rngs`.
+    Symbols {
+        rngs: &'a [u32],
+        tables: &'a [f64],
+        m: usize,
+        i_shift: usize,
+        q_shift: usize,
+    },
+    /// Hard bits: `(rng_index, received_bit)` per observation.
+    Bits { entries: &'a [(u32, bool)] },
+}
+
+impl Frontier {
+    /// Number of leaves.
+    pub(crate) fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Reset to the single root leaf `s0` (cost 0, tree 0, empty path).
+    pub(crate) fn reset_root(&mut self, s0: u32) {
+        self.clear();
+        self.states.push(s0);
+        self.costs.push(0.0);
+        self.trees.push(0);
+        self.paths.push(0);
+    }
+
+    /// Drop all leaves (capacity retained).
+    pub(crate) fn clear(&mut self) {
+        self.states.clear();
+        self.costs.clear();
+        self.trees.clear();
+        self.paths.clear();
+    }
+
+    /// Replace this frontier's leaves with `src[lo..hi]` (engine
+    /// sharding: contiguous slices of a parent frontier).
+    pub(crate) fn load_slice(&mut self, src: &Frontier, lo: usize, hi: usize) {
+        self.clear();
+        self.states.extend_from_slice(&src.states[lo..hi]);
+        self.costs.extend_from_slice(&src.costs[lo..hi]);
+        self.trees.extend_from_slice(&src.trees[lo..hi]);
+        self.paths.extend_from_slice(&src.paths[lo..hi]);
+    }
+
+    /// One expansion step: grow every leaf by one level (edge-major,
+    /// batched hashing) and add the branch costs of `metric` from its
+    /// pre-built tables. The per-leaf arithmetic is position-independent,
+    /// so expanding a sharded frontier produces exactly the leaves (and
+    /// costs) the unsharded expansion would.
+    pub(crate) fn expand(
+        &mut self,
+        hash: crate::hash::HashKind,
+        k: usize,
+        metric: &StepMetric<'_>,
+    ) {
+        let fanout = 1usize << k;
+        let f = self.states.len();
+        let ef = f << k;
+
+        // Grow: child (edge, leaf) lives at index edge·F + leaf.
+        self.next_states.resize(ef, 0);
+        self.next_costs.resize(ef, 0.0);
+        self.next_trees.resize(ef, 0);
+        self.next_paths.resize(ef, 0);
+        for edge in 0..fanout {
+            let base = edge * f;
+            hash.hash_many(
+                &self.states,
+                edge as u32,
+                &mut self.next_states[base..base + f],
+            );
+            self.next_costs[base..base + f].copy_from_slice(&self.costs);
+            self.next_trees[base..base + f].copy_from_slice(&self.trees);
+            for (np, &path) in self.next_paths[base..base + f].iter_mut().zip(&self.paths) {
+                *np = (path << k) | edge as u64;
+            }
+        }
+
+        // Accumulate branch costs from the per-observation metric tables.
+        self.words.resize(ef, 0);
+        match metric {
+            StepMetric::Symbols {
+                rngs,
+                tables,
+                m,
+                i_shift,
+                q_shift,
+            } => {
+                let bits_mask = m - 1;
+                for (ei, &rng) in rngs.iter().enumerate() {
+                    hash.hash_many(&self.next_states, rng, &mut self.words);
+                    let table = &tables[ei * 2 * m..(ei + 1) * 2 * m];
+                    let (ti, tq) = table.split_at(*m);
+                    for (cost, &word) in self.next_costs.iter_mut().zip(&self.words) {
+                        *cost += ti[(word >> i_shift) as usize]
+                            + tq[(word >> q_shift) as usize & bits_mask];
+                    }
+                }
+            }
+            StepMetric::Bits { entries } => {
+                for &(t, y) in *entries {
+                    hash.hash_many(&self.next_states, t, &mut self.words);
+                    // Hamming cost indexed by the transmitted bit (the RNG
+                    // word's top bit): mismatch with the received bit y.
+                    let table = [f64::from(y), f64::from(!y)];
+                    for (cost, &word) in self.next_costs.iter_mut().zip(&self.words) {
+                        *cost += table[(word >> 31) as usize];
+                    }
+                }
+            }
+        }
+
+        std::mem::swap(&mut self.states, &mut self.next_states);
+        std::mem::swap(&mut self.costs, &mut self.next_costs);
+        std::mem::swap(&mut self.trees, &mut self.next_trees);
+        std::mem::swap(&mut self.paths, &mut self.next_paths);
+    }
+
+    /// Fold this frontier's leaves into the per-key minima. `key_min`
+    /// must be sized `n_keys` and initialised to `+∞`; partial arrays
+    /// from disjoint shards merge with [`merge_key_min`] into exactly the
+    /// unsharded result (float `min` is associative, and no NaN can reach
+    /// a cost — table entries are clamped finite-or-`+∞`).
+    pub(crate) fn accumulate_key_min(&self, k: usize, shift: u32, key_min: &mut [f64]) {
+        let edge_mask = (1usize << k) - 1;
+        for ((&tree, &path), &cost) in self.trees.iter().zip(&self.paths).zip(&self.costs) {
+            let key = ((tree as usize) << k) | ((path >> shift) as usize & edge_mask);
+            // A NaN cost (possible only from exotic caller-built
+            // buffers) loses every `<`, leaving the key at +∞ —
+            // ordered, never panicking.
+            if cost < key_min[key] {
+                key_min[key] = cost;
+            }
+        }
+    }
+
+    /// Re-root surviving leaves in place: drop the committed eldest edge
+    /// and renumber trees, keeping leaves whose key survived selection.
+    pub(crate) fn compact_in_place(&mut self, k: usize, shift: u32, key_to_new: &[u32]) {
+        let edge_mask = (1usize << k) - 1;
+        let strip_mask = strip_mask(shift);
+        let mut w = 0usize;
+        for r in 0..self.states.len() {
+            let key =
+                ((self.trees[r] as usize) << k) | ((self.paths[r] >> shift) as usize & edge_mask);
+            let new_tree = key_to_new[key];
+            if new_tree != u32::MAX {
+                self.states[w] = self.states[r];
+                self.costs[w] = self.costs[r];
+                self.trees[w] = new_tree;
+                self.paths[w] = self.paths[r] & strip_mask;
+                w += 1;
+            }
+        }
+        self.states.truncate(w);
+        self.costs.truncate(w);
+        self.trees.truncate(w);
+        self.paths.truncate(w);
+    }
+
+    /// [`Frontier::compact_in_place`], but appending survivors to `dst`
+    /// (the engine gathers shard survivors into one frontier this way).
+    pub(crate) fn compact_append_into(
+        &self,
+        k: usize,
+        shift: u32,
+        key_to_new: &[u32],
+        dst: &mut Frontier,
+    ) {
+        let edge_mask = (1usize << k) - 1;
+        let strip = strip_mask(shift);
+        for r in 0..self.states.len() {
+            let key =
+                ((self.trees[r] as usize) << k) | ((self.paths[r] >> shift) as usize & edge_mask);
+            let new_tree = key_to_new[key];
+            if new_tree != u32::MAX {
+                dst.states.push(self.states[r]);
+                dst.costs.push(self.costs[r]);
+                dst.trees.push(new_tree);
+                dst.paths.push(self.paths[r] & strip);
+            }
+        }
+    }
+
+    /// The winning leaf as `(cost, tree, rel_path)` — minimal under the
+    /// canonical total order [`leaf_before`], which names a unique leaf
+    /// independent of array order (so shard-wise minima reduce to the
+    /// global one). `None` on an empty frontier.
+    pub(crate) fn best_leaf(&self) -> Option<(f64, u32, u64)> {
+        let mut best: Option<(f64, u32, u64)> = None;
+        for ((&cost, &tree), &path) in self.costs.iter().zip(&self.trees).zip(&self.paths) {
+            let cand = (cost, tree, path);
+            best = Some(match best {
+                Some(cur) if !leaf_before(&cand, &cur) => cur,
+                _ => cand,
+            });
+        }
+        best
+    }
+}
+
+/// Mask keeping the low `shift` path bits (the part below the committed
+/// eldest edge).
+#[inline]
+fn strip_mask(shift: u32) -> u64 {
+    if shift == 0 {
+        0
+    } else {
+        (1u64 << shift) - 1
+    }
+}
+
+/// Canonical leaf order: cost (`total_cmp`), then tree index, then
+/// relative path. Total, so the minimum is unique and independent of
+/// enumeration order — serial and sharded decodes agree even when several
+/// leaves tie on cost (e.g. all-`+∞` degenerate observations).
+#[inline]
+pub(crate) fn leaf_before(a: &(f64, u32, u64), b: &(f64, u32, u64)) -> bool {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)) == Ordering::Less
+}
+
+/// Build the per-entry `[I table, Q table]` branch-metric tables for a
+/// batch of received symbols, appending to `tables` and recording each
+/// entry's RNG index in `rngs`. One shared implementation so the serial
+/// per-step path and the engine's per-decode plan produce bitwise
+/// identical tables.
+pub(crate) fn build_symbol_tables(
+    levels: &[f64],
+    entries: &[RxEntry],
+    tables: &mut Vec<f64>,
+    rngs: &mut Vec<u32>,
+) {
+    for e in entries {
+        let z = e.y * e.h.conj();
+        let h2 = e.h.norm_sq();
+        let y2 = e.y.norm_sq();
+        // The constant |y|² folds into the I table.
+        for &lv in levels {
+            tables.push(finite_or_inf(h2 * lv * lv - 2.0 * z.re * lv + y2));
+        }
+        for &lv in levels {
+            tables.push(finite_or_inf(h2 * lv * lv - 2.0 * z.im * lv));
+        }
+        rngs.push(e.rng_index);
+    }
+}
+
+/// Keep the best `b` keys of `key_min` in `order` (all keys when
+/// `b ≥ n_keys`): an O(n) partial selection instead of a full sort, with
+/// ties broken by key index so the kept set is deterministic, then
+/// re-sorted so tree numbering is canonical (independent of pivots —
+/// and of how the key minima were accumulated).
+pub(crate) fn select_keys(key_min: &[f64], b: usize, order: &mut Vec<u32>) {
+    let n_keys = key_min.len();
+    order.clear();
+    order.extend(0..n_keys as u32);
+    let keep = b.min(n_keys);
+    if keep < n_keys {
+        order.select_nth_unstable_by(keep - 1, |&a, &b| {
+            key_min[a as usize]
+                .total_cmp(&key_min[b as usize])
+                .then(a.cmp(&b))
+        });
+        order.truncate(keep);
+        order.sort_unstable();
+    }
+}
+
+/// Commit the selected keys: append each kept child to the arena, build
+/// the key → new tree index map, and advance `tree_roots`.
+pub(crate) fn commit_selection(
+    order: &[u32],
+    k: usize,
+    tree_roots: &mut Vec<u32>,
+    new_roots: &mut Vec<u32>,
+    arena: &mut Vec<(u32, u32)>,
+    key_to_new: &mut Vec<u32>,
+    n_keys: usize,
+) {
+    let edge_mask = (1u32 << k) - 1;
+    key_to_new.clear();
+    key_to_new.resize(n_keys, u32::MAX);
+    new_roots.clear();
+    for (new_tree, &key) in order.iter().enumerate() {
+        let tree = (key as usize) >> k;
+        let edge = key & edge_mask;
+        arena.push((tree_roots[tree], edge));
+        key_to_new[key as usize] = new_tree as u32;
+        new_roots.push((arena.len() - 1) as u32);
+    }
+    std::mem::swap(tree_roots, new_roots);
+}
+
+/// Rebuild the message from the winning leaf: its relative edges cover
+/// the last `d−1` spine steps, the arena walk from `root` the rest.
+pub(crate) fn reconstruct_message(
+    p: &CodeParams,
+    d: usize,
+    arena: &[(u32, u32)],
+    root: u32,
+    best_path: u64,
+) -> Message {
+    let ns = p.num_spines();
+    let k = p.k;
+    let edge_mask = (1usize << k) - 1;
+    let mut msg = Message::zeros(p.n);
+    for j in 0..(d - 1) {
+        let edge = (best_path >> ((d - 2 - j) * k)) as usize & edge_mask;
+        msg.set_bits((ns - (d - 1) + j) * k, k, edge as u32);
+    }
+    let mut node = root;
+    let mut step = ns - d; // spine step the current arena node decides
+    loop {
+        let (parent, edge) = arena[node as usize];
+        msg.set_bits(step * k, k, edge);
+        if parent == NO_PARENT {
+            break;
+        }
+        node = parent;
+        step -= 1;
+    }
+    debug_assert_eq!(step, 0);
+    msg
 }
 
 /// Reusable decode buffers: the frontier double buffer (structure of
@@ -76,19 +442,10 @@ pub struct DecodeResult {
 /// first decode warms the buffers up.
 #[derive(Debug, Clone, Default)]
 pub struct DecodeWorkspace {
-    // Current frontier, one leaf per index.
-    states: Vec<u32>,
-    costs: Vec<f64>,
-    trees: Vec<u32>,
-    paths: Vec<u64>,
-    // Expansion target (swapped with the frontier every step).
-    next_states: Vec<u32>,
-    next_costs: Vec<f64>,
-    next_trees: Vec<u32>,
-    next_paths: Vec<u64>,
+    fr: Frontier,
     // Per-step scratch.
-    words: Vec<u32>,
     tables: Vec<f64>,
+    rngs: Vec<u32>,
     key_min: Vec<f64>,
     order: Vec<u32>,
     key_to_new: Vec<u32>,
@@ -114,7 +471,7 @@ enum Observations<'a> {
     Bits(&'a RxBits),
 }
 
-const NO_PARENT: u32 = u32::MAX;
+pub(crate) const NO_PARENT: u32 = u32::MAX;
 
 /// Degenerate observations (NaN / ±∞ metric contributions from broken
 /// CSI or non-finite samples) are treated as uninformative: infinite
@@ -148,6 +505,21 @@ impl BubbleDecoder {
             params: params.clone(),
             gen: SymbolGen::new(params),
         }
+    }
+
+    /// The decoder's code parameters.
+    pub(crate) fn params_ref(&self) -> &CodeParams {
+        &self.params
+    }
+
+    /// Constellation amplitude levels (for branch-metric table building).
+    pub(crate) fn levels(&self) -> &[f64] {
+        self.gen.constellation().levels()
+    }
+
+    /// Bits per constellation dimension.
+    pub(crate) fn c_bits(&self) -> usize {
+        self.gen.constellation().c() as usize
     }
 
     /// Decode from complex observations (AWGN or fading channel).
@@ -185,7 +557,9 @@ impl BubbleDecoder {
     }
 
     /// Decode several receive buffers back to back through one shared
-    /// workspace (e.g. a batch of frames from the same link).
+    /// workspace (e.g. a batch of frames from the same link). For a
+    /// multi-core pipeline over the same shape of batch, see
+    /// [`DecodeEngine::decode_batch_parallel`](crate::engine::DecodeEngine::decode_batch_parallel).
     pub fn decode_batch(&self, rxs: &[RxSymbols]) -> Vec<DecodeResult> {
         let mut ws = DecodeWorkspace::new();
         rxs.iter()
@@ -199,21 +573,12 @@ impl BubbleDecoder {
         let ns = p.num_spines();
         let k = p.k;
         let d = p.d.min(ns);
-        let fanout = 1usize << k;
-        let edge_mask = fanout - 1;
 
         // Reset per-attempt state (capacity is retained).
         ws.arena.clear();
         ws.tree_roots.clear();
         ws.tree_roots.push(NO_PARENT);
-        ws.states.clear();
-        ws.states.push(p.s0);
-        ws.costs.clear();
-        ws.costs.push(0.0);
-        ws.trees.clear();
-        ws.trees.push(0);
-        ws.paths.clear();
-        ws.paths.push(0);
+        ws.fr.reset_root(p.s0);
 
         // Initial frontier: expand s0 to depth d−1 (spine indices 0..d−1).
         for depth in 1..d {
@@ -222,199 +587,78 @@ impl BubbleDecoder {
 
         // Main loop: iteration i advances roots from depth i−1 to i;
         // the expansion consumes spine index i+d−2 (leaves reach absolute
-        // depth i+d−1).
+        // depth i+d−1). After expansion a leaf's rel_path holds d·k bits;
+        // the eldest edge (the root's child being judged) sits at bit
+        // (d−1)·k.
+        let shift = ((d - 1) * k) as u32;
         for i in 1..=(ns + 1 - d) {
             self.expand_step(&obs, i + d - 2, ws);
 
             // Score candidates: key = (tree, eldest edge of rel_path).
-            // After expansion a leaf's rel_path holds d·k bits; the eldest
-            // edge (the root's child being judged) sits at bit (d−1)·k.
-            let shift = ((d - 1) * k) as u32;
             let n_keys = ws.tree_roots.len() << k;
             ws.key_min.clear();
             ws.key_min.resize(n_keys, f64::INFINITY);
-            for ((&tree, &path), &cost) in ws.trees.iter().zip(&ws.paths).zip(&ws.costs) {
-                let key = ((tree as usize) << k) | ((path >> shift) as usize & edge_mask);
-                // A NaN cost (possible only from exotic caller-built
-                // buffers) loses every `<`, leaving the key at +∞ —
-                // ordered, never panicking.
-                if cost < ws.key_min[key] {
-                    ws.key_min[key] = cost;
-                }
-            }
+            ws.fr.accumulate_key_min(k, shift, &mut ws.key_min);
 
             // Keep the best B keys. Every key is populated (expansion is
-            // total over edges), so selection runs over all of them:
-            // an O(n) partial selection instead of a full sort, with ties
-            // broken by key index so the kept set is deterministic.
-            ws.order.clear();
-            ws.order.extend(0..n_keys as u32);
-            let keep = p.b.min(n_keys);
-            if keep < n_keys {
-                let key_min = &ws.key_min;
-                ws.order.select_nth_unstable_by(keep - 1, |&a, &b| {
-                    key_min[a as usize]
-                        .total_cmp(&key_min[b as usize])
-                        .then(a.cmp(&b))
-                });
-                ws.order.truncate(keep);
-                // Canonical tree numbering independent of pivot choices.
-                ws.order.sort_unstable();
-            }
-
-            // Commit selected children to the arena; build key → new tree
-            // index map.
-            ws.key_to_new.clear();
-            ws.key_to_new.resize(n_keys, u32::MAX);
-            ws.new_roots.clear();
-            for (new_tree, &key) in ws.order.iter().enumerate() {
-                let tree = (key as usize) >> k;
-                let edge = key & edge_mask as u32;
-                ws.arena.push((ws.tree_roots[tree], edge));
-                ws.key_to_new[key as usize] = new_tree as u32;
-                ws.new_roots.push((ws.arena.len() - 1) as u32);
-            }
-            std::mem::swap(&mut ws.tree_roots, &mut ws.new_roots);
-
-            // Re-root surviving leaves in place: drop the committed eldest
-            // edge and renumber trees.
-            let strip_mask = if shift == 0 { 0 } else { (1u64 << shift) - 1 };
-            let mut w = 0usize;
-            for r in 0..ws.states.len() {
-                let key =
-                    ((ws.trees[r] as usize) << k) | ((ws.paths[r] >> shift) as usize & edge_mask);
-                let new_tree = ws.key_to_new[key];
-                if new_tree != u32::MAX {
-                    ws.states[w] = ws.states[r];
-                    ws.costs[w] = ws.costs[r];
-                    ws.trees[w] = new_tree;
-                    ws.paths[w] = ws.paths[r] & strip_mask;
-                    w += 1;
-                }
-            }
-            ws.states.truncate(w);
-            ws.costs.truncate(w);
-            ws.trees.truncate(w);
-            ws.paths.truncate(w);
+            // total over edges), so selection runs over all of them.
+            select_keys(&ws.key_min, p.b, &mut ws.order);
+            commit_selection(
+                &ws.order,
+                k,
+                &mut ws.tree_roots,
+                &mut ws.new_roots,
+                &mut ws.arena,
+                &mut ws.key_to_new,
+                n_keys,
+            );
+            ws.fr.compact_in_place(k, shift, &ws.key_to_new);
         }
 
-        // Best leaf overall; reconstruct its message.
-        let best = ws
-            .costs
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("frontier cannot be empty");
-        let best_cost = ws.costs[best];
-        let best_path = ws.paths[best];
-        let mut msg = Message::zeros(p.n);
-        // Leaf's relative edges cover the last d−1 spine steps.
-        for j in 0..(d - 1) {
-            let edge = (best_path >> ((d - 2 - j) * k)) as usize & edge_mask;
-            msg.set_bits((ns - (d - 1) + j) * k, k, edge as u32);
-        }
-        // Arena walk covers spine steps 0..=ns−d.
-        let mut node = ws.tree_roots[ws.trees[best] as usize];
-        let mut step = ns - d; // spine step the current arena node decides
-        loop {
-            let (parent, edge) = ws.arena[node as usize];
-            msg.set_bits(step * k, k, edge);
-            if parent == NO_PARENT {
-                break;
-            }
-            node = parent;
-            step -= 1;
-        }
-        debug_assert_eq!(step, 0);
-
+        // Best leaf overall (canonical total order); reconstruct its
+        // message.
+        let (best_cost, best_tree, best_path) =
+            ws.fr.best_leaf().expect("frontier cannot be empty");
+        let msg = reconstruct_message(
+            p,
+            d,
+            &ws.arena,
+            ws.tree_roots[best_tree as usize],
+            best_path,
+        );
         DecodeResult {
             message: msg,
             cost: best_cost,
         }
     }
 
-    /// One expansion step: grow every frontier leaf by one level
-    /// (edge-major, batched hashing) and add the branch costs of spine
-    /// index `spine_idx` from freshly built metric tables. Leaves the new
-    /// frontier in `ws.states`/`costs`/`trees`/`paths`.
+    /// One expansion step: build the step's branch-metric tables and grow
+    /// the workspace frontier through [`Frontier::expand`].
     fn expand_step(&self, obs: &Observations<'_>, spine_idx: usize, ws: &mut DecodeWorkspace) {
-        let k = self.params.k;
-        let fanout = 1usize << k;
-        let hash = self.params.hash;
-        let f = ws.states.len();
-        let ef = f << k;
-
-        // Grow: child (edge, leaf) lives at index edge·F + leaf.
-        ws.next_states.resize(ef, 0);
-        ws.next_costs.resize(ef, 0.0);
-        ws.next_trees.resize(ef, 0);
-        ws.next_paths.resize(ef, 0);
-        for edge in 0..fanout {
-            let base = edge * f;
-            hash.hash_many(&ws.states, edge as u32, &mut ws.next_states[base..base + f]);
-            ws.next_costs[base..base + f].copy_from_slice(&ws.costs);
-            ws.next_trees[base..base + f].copy_from_slice(&ws.trees);
-            for (np, &path) in ws.next_paths[base..base + f].iter_mut().zip(&ws.paths) {
-                *np = (path << k) | edge as u64;
-            }
-        }
-
-        // Accumulate branch costs from per-observation metric tables.
-        ws.words.resize(ef, 0);
         match obs {
             Observations::Symbols(rx) => {
                 let entries = rx.spine_entries(spine_idx);
-                let constellation = self.gen.constellation();
-                let levels = constellation.levels();
-                let c = constellation.c();
-                let m = levels.len();
-                // Tables: per entry, [I table (m), Q table (m)]; the
-                // constant |y|² folds into the I table.
+                let levels = self.levels();
+                let c = self.c_bits();
                 ws.tables.clear();
-                for e in entries {
-                    let z = e.y * e.h.conj();
-                    let h2 = e.h.norm_sq();
-                    let y2 = e.y.norm_sq();
-                    for &lv in levels {
-                        ws.tables
-                            .push(finite_or_inf(h2 * lv * lv - 2.0 * z.re * lv + y2));
-                    }
-                    for &lv in levels {
-                        ws.tables
-                            .push(finite_or_inf(h2 * lv * lv - 2.0 * z.im * lv));
-                    }
-                }
-                let i_shift = 32 - c;
-                let q_shift = 16 - c;
-                let bits_mask = m - 1;
-                for (ei, e) in entries.iter().enumerate() {
-                    hash.hash_many(&ws.next_states, e.rng_index, &mut ws.words);
-                    let table = &ws.tables[ei * 2 * m..(ei + 1) * 2 * m];
-                    let (ti, tq) = table.split_at(m);
-                    for (cost, &word) in ws.next_costs.iter_mut().zip(&ws.words) {
-                        *cost += ti[(word >> i_shift) as usize]
-                            + tq[(word >> q_shift) as usize & bits_mask];
-                    }
-                }
+                ws.rngs.clear();
+                build_symbol_tables(levels, entries, &mut ws.tables, &mut ws.rngs);
+                let metric = StepMetric::Symbols {
+                    rngs: &ws.rngs,
+                    tables: &ws.tables,
+                    m: levels.len(),
+                    i_shift: 32 - c,
+                    q_shift: 16 - c,
+                };
+                ws.fr.expand(self.params.hash, self.params.k, &metric);
             }
             Observations::Bits(rx) => {
-                for &(t, y) in rx.spine_entries(spine_idx) {
-                    hash.hash_many(&ws.next_states, t, &mut ws.words);
-                    // Hamming cost indexed by the transmitted bit (the RNG
-                    // word's top bit): mismatch with the received bit y.
-                    let table = [f64::from(y), f64::from(!y)];
-                    for (cost, &word) in ws.next_costs.iter_mut().zip(&ws.words) {
-                        *cost += table[(word >> 31) as usize];
-                    }
-                }
+                let metric = StepMetric::Bits {
+                    entries: rx.spine_entries(spine_idx),
+                };
+                ws.fr.expand(self.params.hash, self.params.k, &metric);
             }
         }
-
-        std::mem::swap(&mut ws.states, &mut ws.next_states);
-        std::mem::swap(&mut ws.costs, &mut ws.next_costs);
-        std::mem::swap(&mut ws.trees, &mut ws.next_trees);
-        std::mem::swap(&mut ws.paths, &mut ws.next_paths);
     }
 }
 
@@ -751,5 +995,22 @@ mod tests {
         rx.push(&ys);
         let out = BubbleDecoder::new(&p).decode(&rx);
         assert!(out.cost.is_infinite());
+    }
+
+    #[test]
+    fn leaf_order_is_total_and_canonical() {
+        use super::leaf_before;
+        // Cost dominates; tree and path break exact-cost ties, so the
+        // minimum is unique even when every cost is +∞ (the degenerate-
+        // observation case) — the invariant parallel sharding relies on.
+        let a = (1.0, 5u32, 9u64);
+        let b = (2.0, 0u32, 0u64);
+        assert!(leaf_before(&a, &b) && !leaf_before(&b, &a));
+        let inf1 = (f64::INFINITY, 1u32, 7u64);
+        let inf2 = (f64::INFINITY, 1u32, 8u64);
+        let inf3 = (f64::INFINITY, 2u32, 0u64);
+        assert!(leaf_before(&inf1, &inf2));
+        assert!(leaf_before(&inf2, &inf3));
+        assert!(!leaf_before(&inf1, &inf1));
     }
 }

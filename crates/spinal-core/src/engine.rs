@@ -1,0 +1,743 @@
+//! The parallel decode engine: a long-lived worker pool that runs bubble
+//! decodes across cores, at two granularities.
+//!
+//! * **Intra-block** ([`DecodeEngine::decode_parallel`]): one block's
+//!   beam search, with each step's frontier sharded across workers. The
+//!   paper argues (§7, and the companion hardware design in
+//!   "De-randomizing Shannon") that the bubble decoder's per-step work —
+//!   expanding `B·2^k` children and keeping the best `B` — parallelises
+//!   across sub-trees; this module is the software form of that claim.
+//!   Per step: the main thread builds nothing per-shard (branch-metric
+//!   tables are read-only, prepared once per decode in a [`Plan`] and
+//!   shared by `Arc`), workers expand disjoint contiguous slices of the
+//!   structure-of-arrays frontier and fold their leaves into per-key
+//!   minima, and the main thread min-merges those arrays and runs the
+//!   exact serial selection (`total_cmp` + key-index tie-break). Because
+//!   every reduction the decoder performs is order-independent (see the
+//!   `decoder` module docs), the sharded decode is **bit-for-bit
+//!   identical to the serial one at every thread count** — a property
+//!   the corpus and property tests pin.
+//! * **Inter-block** ([`DecodeEngine::decode_batch_parallel`], and the
+//!   streaming [`DecodeEngine::submit`]/[`DecodeEngine::drain`] pair):
+//!   independent blocks dispatched whole to workers, each of which owns
+//!   one [`DecodeWorkspace`] for its lifetime — the per-core workspace
+//!   that keeps the §7.1 attempt loop allocation-free once warm.
+//!
+//! The pool is **long-lived** (no `std::thread::scope` per call): threads
+//! are spawned by [`DecodeEngine::new`] and joined on drop, so a sweep
+//! that decodes millions of blocks pays thread startup once. The engine
+//! takes an explicit thread budget; callers that already fan out at the
+//! trial level (e.g. `spinal_sim::sweep`) pass `1` and get the plain
+//! serial path with zero coordination overhead, so the two layers of
+//! parallelism compose without oversubscription.
+
+use crate::decoder::{
+    build_symbol_tables, commit_selection, reconstruct_message, select_keys, BubbleDecoder,
+    DecodeResult, DecodeWorkspace, Frontier, StepMetric, NO_PARENT,
+};
+use crate::hash::HashKind;
+use crate::rx::{RxBits, RxSymbols};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A unit of work for the pool: runs on a worker, with exclusive use of
+/// that worker's long-lived [`DecodeWorkspace`].
+type Job = Box<dyn FnOnce(&mut DecodeWorkspace) + Send + 'static>;
+
+/// Below this frontier size an expansion step runs inline on the calling
+/// thread: dispatch latency would exceed the work. Purely a scheduling
+/// choice — results are identical either way.
+const MIN_PARALLEL_FRONTIER: usize = 32;
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    ready: Condvar,
+}
+
+/// Long-lived worker threads sharing one job queue. Each worker owns a
+/// [`DecodeWorkspace`] (the "per-core workspace") handed to every job it
+/// runs. Dropping the pool wakes and joins all workers.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("spinal-decode-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn decode worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    fn submit(&self, job: Job) {
+        let mut st = self.shared.state.lock();
+        st.queue.push_back(job);
+        drop(st);
+        self.shared.ready.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().shutdown = true;
+        self.shared.ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut ws = DecodeWorkspace::new();
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                shared.ready.wait(&mut st);
+            }
+        };
+        // A panicking job would leave the dispatching thread waiting
+        // forever on its gather latch; make the failure loud instead of
+        // a deadlock.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&mut ws)));
+        if outcome.is_err() {
+            eprintln!("spinal-core decode worker panicked; aborting");
+            std::process::abort();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completion latch
+// ---------------------------------------------------------------------
+
+struct GatherState<T> {
+    slots: Vec<Option<T>>,
+    remaining: usize,
+}
+
+/// Indexed completion latch: `n` producers each `put` one value, one
+/// consumer `wait_all`s and takes them in slot order.
+struct Gather<T> {
+    state: Mutex<GatherState<T>>,
+    done: Condvar,
+}
+
+impl<T> Gather<T> {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Gather {
+            state: Mutex::new(GatherState {
+                slots: (0..n).map(|_| None).collect(),
+                remaining: n,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    fn put(&self, i: usize, value: T) {
+        let mut st = self.state.lock();
+        debug_assert!(st.slots[i].is_none(), "gather slot {i} filled twice");
+        st.slots[i] = Some(value);
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) -> Vec<T> {
+        let mut st = self.state.lock();
+        while st.remaining > 0 {
+            self.done.wait(&mut st);
+        }
+        st.slots
+            .drain(..)
+            .map(|slot| slot.expect("all gather slots filled"))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-decode plan
+// ---------------------------------------------------------------------
+
+enum PlanKind {
+    Symbols,
+    Bits,
+}
+
+/// Everything a worker needs to score any step of one decode, built once
+/// per decode by the dispatching thread and shared read-only: the
+/// concatenated branch-metric tables for every spine index (the same
+/// [`build_symbol_tables`] arithmetic as the serial path, so tables are
+/// bitwise identical), plus the code geometry.
+struct Plan {
+    hash: HashKind,
+    k: usize,
+    /// Effective bubble depth (`params.d` clamped to the spine count).
+    d: usize,
+    ns: usize,
+    b: usize,
+    s0: u32,
+    m: usize,
+    i_shift: usize,
+    q_shift: usize,
+    kind: PlanKind,
+    tables: Vec<f64>,
+    rngs: Vec<u32>,
+    bits: Vec<(u32, bool)>,
+    /// Per spine index: the half-open entry range into `rngs`/`bits`.
+    spans: Vec<(u32, u32)>,
+}
+
+impl Plan {
+    fn geometry(dec: &BubbleDecoder, kind: PlanKind) -> Plan {
+        let p = dec.params_ref();
+        let ns = p.num_spines();
+        let c = dec.c_bits();
+        Plan {
+            hash: p.hash,
+            k: p.k,
+            d: p.d.min(ns),
+            ns,
+            b: p.b,
+            s0: p.s0,
+            m: dec.levels().len(),
+            i_shift: 32 - c,
+            q_shift: 16 - c,
+            kind,
+            tables: Vec::new(),
+            rngs: Vec::new(),
+            bits: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    fn symbols(dec: &BubbleDecoder, rx: &RxSymbols) -> Plan {
+        let mut plan = Plan::geometry(dec, PlanKind::Symbols);
+        let levels = dec.levels();
+        for s in 0..plan.ns {
+            let lo = plan.rngs.len() as u32;
+            build_symbol_tables(
+                levels,
+                rx.spine_entries(s),
+                &mut plan.tables,
+                &mut plan.rngs,
+            );
+            plan.spans.push((lo, plan.rngs.len() as u32));
+        }
+        plan
+    }
+
+    fn bits(dec: &BubbleDecoder, rx: &RxBits) -> Plan {
+        let mut plan = Plan::geometry(dec, PlanKind::Bits);
+        for s in 0..plan.ns {
+            let lo = plan.bits.len() as u32;
+            plan.bits.extend_from_slice(rx.spine_entries(s));
+            plan.spans.push((lo, plan.bits.len() as u32));
+        }
+        plan
+    }
+
+    fn metric(&self, spine_idx: usize) -> StepMetric<'_> {
+        let (lo, hi) = self.spans[spine_idx];
+        let (lo, hi) = (lo as usize, hi as usize);
+        match self.kind {
+            PlanKind::Symbols => StepMetric::Symbols {
+                rngs: &self.rngs[lo..hi],
+                tables: &self.tables[lo * 2 * self.m..hi * 2 * self.m],
+                m: self.m,
+                i_shift: self.i_shift,
+                q_shift: self.q_shift,
+            },
+            PlanKind::Bits => StepMetric::Bits {
+                entries: &self.bits[lo..hi],
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+/// One worker's slice of a decode step: its frontier shard and the
+/// per-key minima it reduced from its leaves.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    fr: Frontier,
+    key_min: Vec<f64>,
+}
+
+/// Reusable buffers for the intra-block orchestration (and the serial
+/// fallback workspace), kept across decodes so the steady state
+/// allocates only per-step dispatch bookkeeping.
+#[derive(Default)]
+struct EngineScratch {
+    /// Serial-path workspace (thread budget 1, or tiny frontiers).
+    ws: DecodeWorkspace,
+    /// The gathered global frontier between parallel steps.
+    main: Frontier,
+    shards: Vec<Shard>,
+    key_min: Vec<f64>,
+    order: Vec<u32>,
+    key_to_new: Vec<u32>,
+    new_roots: Vec<u32>,
+    arena: Vec<(u32, u32)>,
+    tree_roots: Vec<u32>,
+}
+
+struct SubmitState {
+    results: Vec<Option<DecodeResult>>,
+    issued: usize,
+    done: usize,
+}
+
+struct SubmitShared {
+    state: Mutex<SubmitState>,
+    done: Condvar,
+}
+
+/// A persistent multi-threaded decode engine. See the module docs for
+/// the two parallelism layers it provides.
+///
+/// Construction spawns exactly `threads` pool workers when `threads > 1`
+/// (the dispatching thread only orchestrates and blocks, so `threads`
+/// cores stay busy); a budget of 1 spawns no threads at all and every
+/// call runs inline, making `DecodeEngine::new(1)` a zero-overhead
+/// stand-in wherever an engine is plumbed through.
+///
+/// All methods take `&self`; the engine is `Sync` and can be shared by
+/// several sweep workers (intra-block decodes serialise on internal
+/// scratch, batch jobs interleave in the shared queue). The one
+/// exception is the [`DecodeEngine::submit`]/[`DecodeEngine::drain`]
+/// pair, which is a single shared stream — see its docs.
+pub struct DecodeEngine {
+    threads: usize,
+    pool: Option<WorkerPool>,
+    scratch: Mutex<EngineScratch>,
+    submits: Arc<SubmitShared>,
+}
+
+impl std::fmt::Debug for DecodeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeEngine")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecodeEngine {
+    /// Create an engine with a thread budget. `threads` is clamped to at
+    /// least 1; a budget of 1 spawns no worker threads (see type docs).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        DecodeEngine {
+            threads,
+            pool: (threads > 1).then(|| WorkerPool::new(threads)),
+            scratch: Mutex::new(EngineScratch::default()),
+            submits: Arc::new(SubmitShared {
+                state: Mutex::new(SubmitState {
+                    results: Vec::new(),
+                    issued: 0,
+                    done: 0,
+                }),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The engine's thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Decode one block of complex observations with the step frontier
+    /// sharded across the engine's workers. Bit-for-bit identical to
+    /// [`BubbleDecoder::decode_with_workspace`] at every thread count.
+    pub fn decode_parallel(&self, dec: &BubbleDecoder, rx: &RxSymbols) -> DecodeResult {
+        assert_eq!(rx.n_spines(), dec.params_ref().num_spines());
+        match &self.pool {
+            None => dec.decode_with_workspace(rx, &mut self.scratch.lock().ws),
+            Some(pool) => self.decode_with_plan(dec, Arc::new(Plan::symbols(dec, rx)), pool),
+        }
+    }
+
+    /// [`DecodeEngine::decode_parallel`] for hard bits (BSC metric).
+    pub fn decode_bsc_parallel(&self, dec: &BubbleDecoder, rx: &RxBits) -> DecodeResult {
+        assert_eq!(rx.n_spines(), dec.params_ref().num_spines());
+        match &self.pool {
+            None => dec.decode_bsc_with_workspace(rx, &mut self.scratch.lock().ws),
+            Some(pool) => self.decode_with_plan(dec, Arc::new(Plan::bits(dec, rx)), pool),
+        }
+    }
+
+    /// Decode a batch of independent blocks across the worker pool (one
+    /// whole block per job, each worker reusing its own workspace).
+    /// Results are in input order and bit-for-bit identical to decoding
+    /// each block serially.
+    pub fn decode_batch_parallel(
+        &self,
+        dec: &BubbleDecoder,
+        rxs: &[RxSymbols],
+    ) -> Vec<DecodeResult> {
+        match &self.pool {
+            None => {
+                let ws = &mut self.scratch.lock().ws;
+                rxs.iter()
+                    .map(|rx| dec.decode_with_workspace(rx, ws))
+                    .collect()
+            }
+            Some(pool) => {
+                let dec = Arc::new(dec.clone());
+                let gather = Gather::new(rxs.len());
+                for (i, rx) in rxs.iter().enumerate() {
+                    let rx = rx.clone();
+                    let dec = Arc::clone(&dec);
+                    let gather = Arc::clone(&gather);
+                    pool.submit(Box::new(move |ws| {
+                        gather.put(i, dec.decode_with_workspace(&rx, ws));
+                    }));
+                }
+                gather.wait_all()
+            }
+        }
+    }
+
+    /// Queue one block for background decoding. Pair with
+    /// [`DecodeEngine::drain`]; results come back in submission order.
+    /// With a thread budget of 1 the decode runs inline here.
+    ///
+    /// The engine holds ONE submit/drain stream: a `drain` returns (and
+    /// clears) the results of *every* submission issued so far,
+    /// whichever thread issued it. Use the pair from a single
+    /// coordinator; concurrent independent batches should go through
+    /// [`DecodeEngine::decode_batch_parallel`], whose results are scoped
+    /// to the call.
+    pub fn submit(&self, dec: &BubbleDecoder, rx: &RxSymbols) {
+        match &self.pool {
+            None => {
+                let result = dec.decode_with_workspace(rx, &mut self.scratch.lock().ws);
+                let mut st = self.submits.state.lock();
+                st.results.push(Some(result));
+                st.issued += 1;
+                st.done += 1;
+            }
+            Some(pool) => {
+                let idx = {
+                    let mut st = self.submits.state.lock();
+                    let idx = st.issued;
+                    st.issued += 1;
+                    st.results.push(None);
+                    idx
+                };
+                let dec = Arc::new(dec.clone());
+                let rx = rx.clone();
+                let submits = Arc::clone(&self.submits);
+                pool.submit(Box::new(move |ws| {
+                    let result = dec.decode_with_workspace(&rx, ws);
+                    let mut st = submits.state.lock();
+                    st.results[idx] = Some(result);
+                    st.done += 1;
+                    if st.done == st.issued {
+                        submits.done.notify_all();
+                    }
+                }));
+            }
+        }
+    }
+
+    /// Wait for every outstanding [`DecodeEngine::submit`] — from all
+    /// threads — and return their results in submission order, resetting
+    /// the queue (see the single-stream note on `submit`).
+    pub fn drain(&self) -> Vec<DecodeResult> {
+        let mut st = self.submits.state.lock();
+        while st.done < st.issued {
+            self.submits.done.wait(&mut st);
+        }
+        st.issued = 0;
+        st.done = 0;
+        st.results
+            .drain(..)
+            .map(|slot| slot.expect("drained submit completed"))
+            .collect()
+    }
+
+    /// The sharded beam search. Mirrors `BubbleDecoder::decode_inner`
+    /// step for step; only the *scheduling* of per-leaf work differs,
+    /// and every reduction is order-independent (module docs), so the
+    /// output matches the serial decode exactly.
+    fn decode_with_plan(
+        &self,
+        dec: &BubbleDecoder,
+        plan: Arc<Plan>,
+        pool: &WorkerPool,
+    ) -> DecodeResult {
+        let sc = &mut *self.scratch.lock();
+        let (ns, k, d, b) = (plan.ns, plan.k, plan.d, plan.b);
+        let workers = self.threads;
+
+        sc.arena.clear();
+        sc.tree_roots.clear();
+        sc.tree_roots.push(NO_PARENT);
+        sc.main.reset_root(plan.s0);
+        sc.shards.resize_with(workers, Shard::default);
+
+        // Initial frontier: expand s0 to depth d−1 — at most
+        // 2^(k(d−2)) leaves, always below the parallel threshold.
+        for depth in 1..d {
+            sc.main.expand(plan.hash, k, &plan.metric(depth - 1));
+        }
+
+        let shift = ((d - 1) * k) as u32;
+        for i in 1..=(ns + 1 - d) {
+            let spine = i + d - 2;
+            let n_keys = sc.tree_roots.len() << k;
+            let f = sc.main.len();
+            let parallel = f >= MIN_PARALLEL_FRONTIER && f >= workers;
+
+            sc.key_min.clear();
+            sc.key_min.resize(n_keys, f64::INFINITY);
+            if parallel {
+                // Shard the frontier into contiguous chunks, expand and
+                // score on the workers, then min-merge the per-shard key
+                // minima (float min is associative and NaN-free here, so
+                // the merge equals the unsharded scan).
+                let gather = Gather::new(workers);
+                let mut lo = 0usize;
+                for w in 0..workers {
+                    let hi = lo + f / workers + usize::from(w < f % workers);
+                    let mut shard = std::mem::take(&mut sc.shards[w]);
+                    shard.fr.load_slice(&sc.main, lo, hi);
+                    lo = hi;
+                    let plan = Arc::clone(&plan);
+                    let gather = Arc::clone(&gather);
+                    pool.submit(Box::new(move |_ws| {
+                        shard.fr.expand(plan.hash, plan.k, &plan.metric(spine));
+                        shard.key_min.clear();
+                        shard.key_min.resize(n_keys, f64::INFINITY);
+                        shard
+                            .fr
+                            .accumulate_key_min(plan.k, shift, &mut shard.key_min);
+                        gather.put(w, shard);
+                    }));
+                }
+                debug_assert_eq!(lo, f);
+                sc.shards = gather.wait_all();
+                for shard in &sc.shards {
+                    for (merged, &partial) in sc.key_min.iter_mut().zip(&shard.key_min) {
+                        if partial < *merged {
+                            *merged = partial;
+                        }
+                    }
+                }
+            } else {
+                sc.main.expand(plan.hash, k, &plan.metric(spine));
+                sc.main.accumulate_key_min(k, shift, &mut sc.key_min);
+            }
+
+            select_keys(&sc.key_min, b, &mut sc.order);
+            commit_selection(
+                &sc.order,
+                k,
+                &mut sc.tree_roots,
+                &mut sc.new_roots,
+                &mut sc.arena,
+                &mut sc.key_to_new,
+                n_keys,
+            );
+            if parallel {
+                sc.main.clear();
+                for shard in &sc.shards {
+                    shard
+                        .fr
+                        .compact_append_into(k, shift, &sc.key_to_new, &mut sc.main);
+                }
+            } else {
+                sc.main.compact_in_place(k, shift, &sc.key_to_new);
+            }
+        }
+
+        let (cost, tree, path) = sc.main.best_leaf().expect("frontier cannot be empty");
+        let message = reconstruct_message(
+            dec.params_ref(),
+            d,
+            &sc.arena,
+            sc.tree_roots[tree as usize],
+            path,
+        );
+        DecodeResult { message, cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::Message;
+    use crate::encoder::Encoder;
+    use crate::params::CodeParams;
+    use crate::puncturing::Schedule;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel};
+
+    fn make_rx(p: &CodeParams, passes: usize, seed: u64) -> RxSymbols {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg = Message::random(p.n, || rng.gen());
+        let mut enc = Encoder::new(p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        let mut ch = AwgnChannel::new(9.0, seed.wrapping_add(7));
+        rx.push(&ch.transmit(&enc.next_symbols(passes * p.symbols_per_pass())));
+        rx
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_thread_counts() {
+        let p = CodeParams::default().with_n(96).with_b(64);
+        let rx = make_rx(&p, 2, 3);
+        let dec = BubbleDecoder::new(&p);
+        let serial = dec.decode(&rx);
+        for threads in [1, 2, 3, 5] {
+            let engine = DecodeEngine::new(threads);
+            let out = engine.decode_parallel(&dec, &rx);
+            assert_eq!(out.message, serial.message, "threads {threads}");
+            assert_eq!(
+                out.cost.to_bits(),
+                serial.cost.to_bits(),
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn bsc_parallel_matches_serial() {
+        let p = CodeParams::default().with_n(64).with_b(32);
+        let mut rng = StdRng::seed_from_u64(11);
+        let msg = Message::random(p.n, || rng.gen());
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxBits::new(schedule);
+        let mut ch = BscChannel::new(0.03, 12);
+        rx.push(&ch.transmit_bits(&enc.next_bits(8 * p.symbols_per_pass())));
+        let dec = BubbleDecoder::new(&p);
+        let serial = dec.decode_bsc(&rx);
+        for threads in [2, 4] {
+            let engine = DecodeEngine::new(threads);
+            let out = engine.decode_bsc_parallel(&dec, &rx);
+            assert_eq!(out.message, serial.message);
+            assert_eq!(out.cost.to_bits(), serial.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_parallel_matches_serial_batch_in_order() {
+        let p = CodeParams::default().with_n(64).with_b(16);
+        let rxs: Vec<RxSymbols> = (0..7).map(|s| make_rx(&p, 2, 100 + s)).collect();
+        let dec = BubbleDecoder::new(&p);
+        let serial = dec.decode_batch(&rxs);
+        let engine = DecodeEngine::new(3);
+        let batch = engine.decode_batch_parallel(&dec, &rxs);
+        assert_eq!(batch.len(), serial.len());
+        for (a, b) in serial.iter().zip(&batch) {
+            assert_eq!(a.message, b.message);
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let p = CodeParams::default().with_n(64);
+        let dec = BubbleDecoder::new(&p);
+        for threads in [1, 2] {
+            let engine = DecodeEngine::new(threads);
+            assert!(engine.decode_batch_parallel(&dec, &[]).is_empty());
+            assert!(engine.drain().is_empty());
+        }
+    }
+
+    #[test]
+    fn submit_drain_preserves_submission_order() {
+        let p = CodeParams::default().with_n(64).with_b(16);
+        let rxs: Vec<RxSymbols> = (0..5).map(|s| make_rx(&p, 2, 40 + s)).collect();
+        let dec = BubbleDecoder::new(&p);
+        for threads in [1, 3] {
+            let engine = DecodeEngine::new(threads);
+            for rx in &rxs {
+                engine.submit(&dec, rx);
+            }
+            let results = engine.drain();
+            assert_eq!(results.len(), rxs.len(), "threads {threads}");
+            for (rx, out) in rxs.iter().zip(&results) {
+                let serial = dec.decode(rx);
+                assert_eq!(serial.message, out.message);
+                assert_eq!(serial.cost.to_bits(), out.cost.to_bits());
+            }
+            // The engine is reusable after a drain.
+            engine.submit(&dec, &rxs[0]);
+            let again = engine.drain();
+            assert_eq!(again.len(), 1);
+            assert_eq!(again[0].message, dec.decode(&rxs[0]).message);
+        }
+    }
+
+    #[test]
+    fn one_engine_serves_heterogeneous_parameters() {
+        // Scratch and worker workspaces are parameter-agnostic, like
+        // DecodeWorkspace: one engine must serve different (n, k, B, d)
+        // codes back to back.
+        let engine = DecodeEngine::new(2);
+        for (n, k, b, d) in [
+            (64usize, 4usize, 16usize, 1usize),
+            (60, 3, 8, 2),
+            (96, 4, 64, 1),
+        ] {
+            let p = CodeParams::default()
+                .with_n(n)
+                .with_k(k)
+                .with_b(b)
+                .with_d(d);
+            let rx = make_rx(&p, 2, (n + b) as u64);
+            let dec = BubbleDecoder::new(&p);
+            let serial = dec.decode(&rx);
+            let out = engine.decode_parallel(&dec, &rx);
+            assert_eq!(out.message, serial.message, "n{n} k{k} B{b} d{d}");
+            assert_eq!(out.cost.to_bits(), serial.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn thread_budget_is_clamped_and_reported() {
+        assert_eq!(DecodeEngine::new(0).threads(), 1);
+        assert_eq!(DecodeEngine::new(3).threads(), 3);
+    }
+}

@@ -50,6 +50,7 @@
 //! | [`encoder`] | §3 | the rateless encoder |
 //! | [`rx`] | §4.2 | receive buffers (AWGN/fading/BSC) |
 //! | [`decoder`] | §4 | the bubble decoder |
+//! | [`engine`] | §7 | multi-threaded decode engine (sharded beam + batched block pipeline) |
 //! | [`ml`] | §4.1 | exhaustive exact-ML reference decoder |
 //! | [`sequential`] | §4.3 | classical stack sequential decoder |
 //! | [`bitmode`] | §3 | spinal over an existing PHY (coded bits + LLRs) |
@@ -67,6 +68,7 @@ pub mod bits;
 pub mod constellation;
 pub mod decoder;
 pub mod encoder;
+pub mod engine;
 pub mod framing;
 pub mod hash;
 pub mod ml;
@@ -82,6 +84,7 @@ pub use bits::Message;
 pub use constellation::{Constellation, MappingKind};
 pub use decoder::{BubbleDecoder, DecodeResult, DecodeWorkspace};
 pub use encoder::Encoder;
+pub use engine::DecodeEngine;
 pub use framing::{crc16, FrameBuilder, FrameReassembly, CRC_BITS};
 pub use hash::HashKind;
 pub use ml::MlDecoder;

@@ -17,7 +17,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel, RayleighChannel};
 use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeResult, Encoder, Message, RxBits, RxSymbols, Schedule,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeResult, Encoder, Message, RxBits, RxSymbols,
+    Schedule,
 };
 
 #[derive(Clone, Copy)]
@@ -68,7 +69,13 @@ fn cases() -> Vec<Case> {
     v
 }
 
-fn decode_case(case: &Case) -> DecodeResult {
+/// The received buffer a corpus case decodes from.
+enum Rx {
+    Symbols(RxSymbols),
+    Bits(RxBits),
+}
+
+fn build_case(case: &Case) -> (CodeParams, Rx) {
     let params = CodeParams::default()
         .with_n(case.n)
         .with_k(case.k)
@@ -79,19 +86,18 @@ fn decode_case(case: &Case) -> DecodeResult {
     let mut enc = Encoder::new(&params, &msg);
     let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
     let symbols = case.passes * schedule.symbols_per_pass();
-    let dec = BubbleDecoder::new(&params);
-    match case.chan {
+    let rx = match case.chan {
         Chan::Awgn(snr_db) => {
             let mut rx = RxSymbols::new(schedule);
             let mut ch = AwgnChannel::new(snr_db, case.seed.wrapping_add(1000));
             rx.push(&ch.transmit(&enc.next_symbols(symbols)));
-            dec.decode(&rx)
+            Rx::Symbols(rx)
         }
         Chan::Bsc(p) => {
             let mut rx = RxBits::new(schedule);
             let mut ch = BscChannel::new(p, case.seed.wrapping_add(1000));
             rx.push(&ch.transmit_bits(&enc.next_bits(symbols)));
-            dec.decode_bsc(&rx)
+            Rx::Bits(rx)
         }
         Chan::Fading(snr_db, tau) => {
             let mut rx = RxSymbols::new(schedule);
@@ -99,8 +105,18 @@ fn decode_case(case: &Case) -> DecodeResult {
             let ys = ch.transmit(&enc.next_symbols(symbols));
             let hs: Vec<_> = (0..ys.len()).map(|i| ch.csi(i).unwrap()).collect();
             rx.push_with_csi(&ys, &hs);
-            dec.decode(&rx)
+            Rx::Symbols(rx)
         }
+    };
+    (params, rx)
+}
+
+fn decode_case(case: &Case) -> DecodeResult {
+    let (params, rx) = build_case(case);
+    let dec = BubbleDecoder::new(&params);
+    match &rx {
+        Rx::Symbols(rx) => dec.decode(rx),
+        Rx::Bits(rx) => dec.decode_bsc(rx),
     }
 }
 
@@ -155,6 +171,84 @@ const EXPECTED: &[(&str, f64)] = &[
     ("c389a64b7dc556bd", 0.20248536914216864),
     ("0da5ddd8a01c2e9f", 0.26458027083009833),
 ];
+
+/// The parallel engine must reproduce the serial decoder bit for bit —
+/// decoded message bytes AND cost bits — on every corpus case, at every
+/// tested thread count, through long-lived engines reused across
+/// heterogeneous cases (the deployment shape). Batch decoding of the
+/// symbol cases rides along through the same engines.
+#[test]
+fn parallel_engine_matches_serial_on_corpus_at_every_thread_count() {
+    let engines: Vec<DecodeEngine> = [1usize, 2, 3, 8]
+        .iter()
+        .map(|&t| DecodeEngine::new(t))
+        .collect();
+    let mut symbol_batch: Vec<(CodeParams, RxSymbols, DecodeResult)> = Vec::new();
+    for (i, case) in cases().iter().enumerate() {
+        let (params, rx) = build_case(case);
+        let dec = BubbleDecoder::new(&params);
+        let serial = match &rx {
+            Rx::Symbols(rx) => dec.decode(rx),
+            Rx::Bits(rx) => dec.decode_bsc(rx),
+        };
+        for engine in &engines {
+            let parallel = match &rx {
+                Rx::Symbols(rx) => engine.decode_parallel(&dec, rx),
+                Rx::Bits(rx) => engine.decode_bsc_parallel(&dec, rx),
+            };
+            assert_eq!(
+                parallel.message,
+                serial.message,
+                "case {i} (n={} k={} B={} d={} seed={}) at {} threads: message drifted",
+                case.n,
+                case.k,
+                case.b,
+                case.d,
+                case.seed,
+                engine.threads()
+            );
+            assert_eq!(
+                parallel.cost.to_bits(),
+                serial.cost.to_bits(),
+                "case {i} at {} threads: cost drifted",
+                engine.threads()
+            );
+        }
+        if let Rx::Symbols(rx) = rx {
+            symbol_batch.push((params, rx, serial));
+        }
+    }
+    // Inter-block path: batch all same-parameter symbol cases per shape
+    // through decode_batch_parallel and compare against the serial
+    // results gathered above.
+    for engine in &engines {
+        let mut i = 0;
+        while i < symbol_batch.len() {
+            // Group a run of identical parameter sets.
+            let params = symbol_batch[i].0.clone();
+            let mut j = i;
+            while j < symbol_batch.len() && symbol_batch[j].0 == params {
+                j += 1;
+            }
+            let dec = BubbleDecoder::new(&params);
+            let rxs: Vec<RxSymbols> = symbol_batch[i..j]
+                .iter()
+                .map(|(_, rx, _)| rx.clone())
+                .collect();
+            let outs = engine.decode_batch_parallel(&dec, &rxs);
+            for ((_, _, serial), out) in symbol_batch[i..j].iter().zip(&outs) {
+                assert_eq!(
+                    out.message,
+                    serial.message,
+                    "batch at {} threads",
+                    engine.threads()
+                );
+                assert_eq!(out.cost.to_bits(), serial.cost.to_bits());
+            }
+            i = j;
+        }
+    }
+}
 
 #[test]
 fn decoder_output_matches_recorded_corpus() {

@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_channel::{AwgnChannel, Channel, RayleighChannel};
 use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeWorkspace, Encoder, Message, RxSymbols, Schedule,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, Message, RxSymbols, Schedule,
 };
 
 /// Fixed-budget BLER experiment configuration.
@@ -73,16 +73,12 @@ impl BlerRun {
         )
     }
 
-    /// Run one trial: encode a random message (deterministic in `seed`),
-    /// send exactly `total_symbols` symbols, decode once. Returns `true`
-    /// on a block error.
-    pub fn block_error_with_workspace(
-        &self,
-        snr_db: f64,
-        total_symbols: usize,
-        seed: u64,
-        ws: &mut DecodeWorkspace,
-    ) -> bool {
+    /// Construct one trial's transmitted message and received buffer
+    /// (deterministic in `seed`): encode a random message, send exactly
+    /// `total_symbols` symbols through the channel. One implementation
+    /// feeds both the serial and the engine-batched measurement paths,
+    /// so they see identical noise realisations.
+    fn build_trial(&self, snr_db: f64, total_symbols: usize, seed: u64) -> (Message, RxSymbols) {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = Message::random(p.n, || rng.gen());
@@ -118,7 +114,23 @@ impl BlerRun {
                 }
             }
         }
-        BubbleDecoder::new(p).decode_with_workspace(&rx, ws).message != msg
+        (msg, rx)
+    }
+
+    /// Run one trial: encode, transmit, decode once. Returns `true` on a
+    /// block error.
+    pub fn block_error_with_workspace(
+        &self,
+        snr_db: f64,
+        total_symbols: usize,
+        seed: u64,
+        ws: &mut DecodeWorkspace,
+    ) -> bool {
+        let (msg, rx) = self.build_trial(snr_db, total_symbols, seed);
+        BubbleDecoder::new(&self.params)
+            .decode_with_workspace(&rx, ws)
+            .message
+            != msg
     }
 
     /// [`BlerRun::block_error_with_workspace`] with a throwaway workspace.
@@ -141,6 +153,49 @@ impl BlerRun {
                 self.block_error_with_workspace(snr_db, total_symbols, seed_base + i as u64, ws)
             })
             .count();
+        BlerEstimate { trials, errors }
+    }
+
+    /// [`BlerRun::measure`] as a batched block pipeline: receive
+    /// buffers are constructed in chunks (encode + channel are a small
+    /// fraction of decode cost) and each chunk decoded across the
+    /// engine's workers via [`DecodeEngine::decode_batch_parallel`] —
+    /// every worker reusing its per-core workspace. Chunking bounds
+    /// peak memory at a few dozen buffers regardless of `trials`, while
+    /// keeping every worker busy. Identical estimate to the serial
+    /// [`BlerRun::measure`] at every thread count (same seeds, same
+    /// noise, bit-identical decodes).
+    pub fn measure_with_engine(
+        &self,
+        snr_db: f64,
+        total_symbols: usize,
+        trials: usize,
+        seed_base: u64,
+        engine: &DecodeEngine,
+    ) -> BlerEstimate {
+        // Several blocks in flight per worker hides the once-per-chunk
+        // serial construction phase.
+        let chunk_size = (engine.threads() * 8).clamp(8, 128);
+        let decoder = BubbleDecoder::new(&self.params);
+        let mut errors = 0usize;
+        let mut start = 0usize;
+        while start < trials {
+            let end = (start + chunk_size).min(trials);
+            let mut msgs = Vec::with_capacity(end - start);
+            let mut rxs = Vec::with_capacity(end - start);
+            for i in start..end {
+                let (msg, rx) = self.build_trial(snr_db, total_symbols, seed_base + i as u64);
+                msgs.push(msg);
+                rxs.push(rx);
+            }
+            let outs = engine.decode_batch_parallel(&decoder, &rxs);
+            errors += msgs
+                .iter()
+                .zip(&outs)
+                .filter(|(msg, out)| out.message != **msg)
+                .count();
+            start = end;
+        }
         BlerEstimate { trials, errors }
     }
 }
@@ -197,6 +252,27 @@ mod tests {
                 run.block_error(6.0, symbols, seed),
                 "seed {seed}"
             );
+        }
+    }
+
+    #[test]
+    fn engine_measure_matches_serial_measure() {
+        // The batched pipeline is an execution strategy, not a different
+        // experiment: estimates must be identical at every thread count,
+        // on AWGN and fading alike.
+        let runs = [
+            BlerRun::new(fast_params()),
+            BlerRun::new(fast_params()).with_channel(LinkChannel::Rayleigh { tau: 4, csi: true }),
+        ];
+        for run in &runs {
+            let symbols = 2 * run.schedule().symbols_per_pass();
+            let mut ws = DecodeWorkspace::new();
+            let serial = run.measure(6.0, symbols, 12, 9, &mut ws);
+            for threads in [1, 2, 4] {
+                let engine = DecodeEngine::new(threads);
+                let parallel = run.measure_with_engine(6.0, symbols, 12, 9, &engine);
+                assert_eq!(serial, parallel, "threads {threads}");
+            }
         }
     }
 

@@ -41,14 +41,18 @@ pub mod spinal_run;
 pub mod stats;
 pub mod strider_run;
 pub mod sweep;
+pub mod threads;
 
 pub use bler::{BlerEstimate, BlerRun};
 pub use linklayer::{LinkLayerRun, LinkOutcome};
 pub use raptor_run::RaptorRun;
-pub use spinal_run::{run_bsc_trial, run_bsc_trial_with_workspace, LinkChannel, SpinalRun};
+pub use spinal_run::{
+    run_bsc_trial, run_bsc_trial_with_engine, run_bsc_trial_with_workspace, LinkChannel, SpinalRun,
+};
 pub use stats::{mean_fraction_of_capacity, summarize, summarize_vs_capacity, PointSummary, Trial};
 pub use strider_run::{StriderChannel, StriderRun};
 pub use sweep::{
     default_threads, overlay_csv_header, overlay_csv_row, run_overlay_with, run_parallel,
     run_parallel_with, OverlayPoint, SweepMode,
 };
+pub use threads::Threads;

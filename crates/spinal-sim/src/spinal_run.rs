@@ -7,8 +7,36 @@ use rand::{Rng, SeedableRng};
 use spinal_channel::capacity::{awgn_capacity_db, bsc_capacity, rayleigh_ergodic_capacity_db};
 use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel, RayleighChannel};
 use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeWorkspace, Encoder, Message, RxBits, RxSymbols, Schedule,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, Message, RxBits, RxSymbols,
+    Schedule,
 };
+
+/// How a trial's decode attempts are dispatched: through a caller-held
+/// workspace (serial, the sweep default) or through a shared
+/// [`DecodeEngine`] (intra-block parallel). The engine path is
+/// bit-for-bit identical to the workspace path at every thread count —
+/// the decoder's reductions are order-independent — so the choice is
+/// purely about hardware utilisation.
+enum DecodeVia<'a> {
+    Workspace(&'a mut DecodeWorkspace),
+    Engine(&'a DecodeEngine),
+}
+
+impl DecodeVia<'_> {
+    fn decode(&mut self, decoder: &BubbleDecoder, rx: &RxSymbols) -> spinal_core::DecodeResult {
+        match self {
+            DecodeVia::Workspace(ws) => decoder.decode_with_workspace(rx, ws),
+            DecodeVia::Engine(engine) => engine.decode_parallel(decoder, rx),
+        }
+    }
+
+    fn decode_bsc(&mut self, decoder: &BubbleDecoder, rx: &RxBits) -> spinal_core::DecodeResult {
+        match self {
+            DecodeVia::Workspace(ws) => decoder.decode_bsc_with_workspace(rx, ws),
+            DecodeVia::Engine(engine) => engine.decode_bsc_parallel(decoder, rx),
+        }
+    }
+}
 
 /// Which link model a spinal trial runs over.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,6 +152,20 @@ impl SpinalRun {
         seed: u64,
         ws: &mut DecodeWorkspace,
     ) -> Trial {
+        self.run_trial_via(snr_db, seed, DecodeVia::Workspace(ws))
+    }
+
+    /// [`SpinalRun::run_trial`] with every decode attempt dispatched
+    /// through a [`DecodeEngine`], sharding each attempt's beam across
+    /// the engine's workers. Identical trial outcomes (bit-for-bit) to
+    /// the workspace path; use when trials are too few to saturate the
+    /// machine on their own — e.g. the inner budget handed out by
+    /// [`crate::threads::Threads::split`].
+    pub fn run_trial_with_engine(&self, snr_db: f64, seed: u64, engine: &DecodeEngine) -> Trial {
+        self.run_trial_via(snr_db, seed, DecodeVia::Engine(engine))
+    }
+
+    fn run_trial_via(&self, snr_db: f64, seed: u64, mut via: DecodeVia<'_>) -> Trial {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = Message::random(p.n, || rng.gen());
@@ -200,7 +242,7 @@ impl SpinalRun {
             if sent < next_attempt {
                 continue;
             }
-            if decoder.decode_with_workspace(&rx, ws).message == msg {
+            if via.decode(&decoder, &rx).message == msg {
                 return Trial::success(p.n, sent);
             }
             next_attempt = ((sent as f64) * self.attempt_growth) as usize;
@@ -238,6 +280,44 @@ pub fn run_bsc_trial_with_workspace(
     seed: u64,
     ws: &mut DecodeWorkspace,
 ) -> Trial {
+    run_bsc_trial_via(
+        params,
+        flip_p,
+        max_passes,
+        oracle_skip,
+        seed,
+        DecodeVia::Workspace(ws),
+    )
+}
+
+/// [`run_bsc_trial`] decoding through a [`DecodeEngine`] (see
+/// [`SpinalRun::run_trial_with_engine`]).
+pub fn run_bsc_trial_with_engine(
+    params: &CodeParams,
+    flip_p: f64,
+    max_passes: usize,
+    oracle_skip: bool,
+    seed: u64,
+    engine: &DecodeEngine,
+) -> Trial {
+    run_bsc_trial_via(
+        params,
+        flip_p,
+        max_passes,
+        oracle_skip,
+        seed,
+        DecodeVia::Engine(engine),
+    )
+}
+
+fn run_bsc_trial_via(
+    params: &CodeParams,
+    flip_p: f64,
+    max_passes: usize,
+    oracle_skip: bool,
+    seed: u64,
+    mut via: DecodeVia<'_>,
+) -> Trial {
     let mut rng = StdRng::seed_from_u64(seed);
     let msg = Message::random(params.n, || rng.gen());
     let mut enc = Encoder::new(params, &msg);
@@ -263,7 +343,7 @@ pub fn run_bsc_trial_with_workspace(
         if sent < min_attempt {
             continue;
         }
-        if decoder.decode_bsc_with_workspace(&rx, ws).message == msg {
+        if via.decode_bsc(&decoder, &rx).message == msg {
             return Trial::success(params.n, sent);
         }
     }
@@ -344,6 +424,30 @@ mod tests {
                 run_bsc_trial_with_workspace(&p, 0.03, 30, true, seed, &mut ws),
                 run_bsc_trial(&p, 0.03, 30, true, seed),
                 "bsc seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_trials_match_workspace_trials_bit_for_bit() {
+        // The engine path (intra-block parallel decode) must measure the
+        // exact same trials as the serial workspace path, at several
+        // thread budgets, over both metric kinds.
+        let run = SpinalRun::new(fast_params());
+        let p = fast_params();
+        for threads in [1, 2, 4] {
+            let engine = DecodeEngine::new(threads);
+            for (snr, seed) in [(15.0, 1u64), (8.0, 2), (6.0, 3)] {
+                assert_eq!(
+                    run.run_trial_with_engine(snr, seed, &engine),
+                    run.run_trial(snr, seed),
+                    "threads {threads} snr {snr} seed {seed}"
+                );
+            }
+            assert_eq!(
+                run_bsc_trial_with_engine(&p, 0.03, 30, true, 5, &engine),
+                run_bsc_trial(&p, 0.03, 30, true, 5),
+                "bsc threads {threads}"
             );
         }
     }

@@ -131,11 +131,10 @@ pub fn overlay_csv_row(p: &OverlayPoint) -> String {
     }
 }
 
-/// Default worker count: all available cores.
+/// Default worker count: the [`crate::threads::Threads`]-resolved budget
+/// (honours `SPINAL_THREADS`, falls back to all available cores).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    crate::threads::Threads::default().get()
 }
 
 #[cfg(test)]

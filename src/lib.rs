@@ -32,7 +32,7 @@ pub use spinal_strider as strider;
 pub use spinal_bounds::{BoundChannel, SpinalBound};
 pub use spinal_channel::{AwgnChannel, BscChannel, Channel, Complex, RayleighChannel};
 pub use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeWorkspace, Encoder, FrameBuilder, HashKind, MappingKind,
-    Message, Puncturing, RxBits, RxSymbols, Schedule,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, FrameBuilder, HashKind,
+    MappingKind, Message, Puncturing, RxBits, RxSymbols, Schedule,
 };
-pub use spinal_sim::{LinkChannel, SpinalRun};
+pub use spinal_sim::{LinkChannel, SpinalRun, Threads};

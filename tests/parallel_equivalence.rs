@@ -1,0 +1,264 @@
+//! Parallel/serial equivalence: the `DecodeEngine` must be an execution
+//! strategy, not a different decoder. Every path through it — intra-block
+//! sharded decode, the batched block pipeline, and submit/drain — must
+//! reproduce `decode_with_workspace` bit for bit (message bytes AND cost
+//! bits) at every thread count, for arbitrary `(k, B, d, channel)`
+//! scenarios and for the degenerate-observation regression cases from
+//! the NaN-safety work (where *every* leaf ties at `+∞` cost and only
+//! the canonical total order keeps the winner well-defined).
+
+use proptest::prelude::*;
+use spinal_codes::channel::BitChannel;
+use spinal_codes::{
+    AwgnChannel, BscChannel, BubbleDecoder, Channel, CodeParams, Complex, DecodeEngine, Encoder,
+    Message, RayleighChannel, RxBits, RxSymbols, Schedule,
+};
+
+/// One generated decode scenario: parameters + received buffer.
+#[derive(Debug, Clone, Copy)]
+struct Scenario {
+    k: usize,
+    d: usize,
+    b: usize,
+    /// 0 = AWGN, 1 = BSC, 2 = Rayleigh with CSI.
+    chan: u8,
+    /// Index into [`THREAD_COUNTS`].
+    threads_idx: usize,
+    seed: u64,
+}
+
+/// Budgets under test: serial passthrough, even/odd shard counts, and
+/// more workers than the beam has convenient divisors for.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        2usize..5,
+        1usize..4,
+        0usize..3,
+        0u8..3,
+        0usize..4,
+        0u64..1 << 20,
+    )
+        .prop_map(|(k, d, b_pow, chan, threads_idx, seed)| Scenario {
+            k,
+            d,
+            b: 4 << b_pow, // B ∈ {4, 8, 16}
+            chan,
+            threads_idx,
+            seed,
+        })
+}
+
+enum Rx {
+    Symbols(RxSymbols),
+    Bits(RxBits),
+}
+
+fn build(sc: &Scenario) -> (CodeParams, Rx) {
+    // 20 spine values regardless of k keeps runtime flat and admits d ≤ 3.
+    let n = sc.k * 20;
+    let params = CodeParams::default()
+        .with_n(n)
+        .with_k(sc.k)
+        .with_b(sc.b)
+        .with_d(sc.d);
+    let mut rng_state = sc.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next_byte = move || {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (rng_state >> 56) as u8
+    };
+    let msg = Message::random(n, &mut next_byte);
+    let mut enc = Encoder::new(&params, &msg);
+    let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+    let rx = match sc.chan {
+        0 => {
+            let mut rx = RxSymbols::new(schedule.clone());
+            let mut ch = AwgnChannel::new(10.0, sc.seed ^ 0xA);
+            rx.push(&ch.transmit(&enc.next_symbols(2 * schedule.symbols_per_pass())));
+            Rx::Symbols(rx)
+        }
+        1 => {
+            let mut rx = RxBits::new(schedule.clone());
+            let mut ch = BscChannel::new(0.04, sc.seed ^ 0xB);
+            rx.push(&ch.transmit_bits(&enc.next_bits(8 * schedule.symbols_per_pass())));
+            Rx::Bits(rx)
+        }
+        _ => {
+            let mut rx = RxSymbols::new(schedule.clone());
+            let mut ch = RayleighChannel::new(18.0, 7, sc.seed ^ 0xC);
+            let ys = ch.transmit(&enc.next_symbols(3 * schedule.symbols_per_pass()));
+            let hs: Vec<_> = (0..ys.len()).map(|i| ch.csi(i).unwrap()).collect();
+            rx.push_with_csi(&ys, &hs);
+            Rx::Symbols(rx)
+        }
+    };
+    (params, rx)
+}
+
+fn assert_bitwise_equal(
+    serial: &spinal_codes::core::DecodeResult,
+    parallel: &spinal_codes::core::DecodeResult,
+    context: &str,
+) {
+    assert_eq!(serial.message, parallel.message, "{context}: message");
+    assert_eq!(
+        serial.cost.to_bits(),
+        parallel.cost.to_bits(),
+        "{context}: cost bits"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine decode ≡ serial decode for arbitrary (k, d, B, channel,
+    /// threads, seed), over both metric kinds.
+    #[test]
+    fn engine_decode_is_bit_identical_to_serial(sc in arb_scenario()) {
+        let (params, rx) = build(&sc);
+        let threads = THREAD_COUNTS[sc.threads_idx];
+        let engine = DecodeEngine::new(threads);
+        let dec = BubbleDecoder::new(&params);
+        match &rx {
+            Rx::Symbols(rx) => {
+                let serial = dec.decode(rx);
+                let parallel = engine.decode_parallel(&dec, rx);
+                assert_bitwise_equal(&serial, &parallel, &format!("{sc:?}"));
+            }
+            Rx::Bits(rx) => {
+                let serial = dec.decode_bsc(rx);
+                let parallel = engine.decode_bsc_parallel(&dec, rx);
+                assert_bitwise_equal(&serial, &parallel, &format!("{sc:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn one_engine_decodes_a_parade_of_scenarios_identically() {
+    // A single long-lived engine per thread count serves heterogeneous
+    // codes and metrics back to back (the sweep deployment shape); no
+    // state may leak between decodes.
+    for &threads in &THREAD_COUNTS {
+        let engine = DecodeEngine::new(threads);
+        for seed in 0..10u64 {
+            let sc = Scenario {
+                k: 2 + (seed % 3) as usize,
+                d: 1 + (seed % 3) as usize,
+                b: 4 << (seed % 3),
+                chan: (seed % 3) as u8,
+                threads_idx: 0,
+                seed: seed * 77 + 5,
+            };
+            let (params, rx) = build(&sc);
+            let dec = BubbleDecoder::new(&params);
+            match &rx {
+                Rx::Symbols(rx) => assert_bitwise_equal(
+                    &dec.decode(rx),
+                    &engine.decode_parallel(&dec, rx),
+                    &format!("threads {threads} seed {seed}"),
+                ),
+                Rx::Bits(rx) => assert_bitwise_equal(
+                    &dec.decode_bsc(rx),
+                    &engine.decode_bsc_parallel(&dec, rx),
+                    &format!("threads {threads} seed {seed}"),
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_and_submit_drain_match_serial_batch() {
+    let params = CodeParams::default().with_n(96).with_b(32);
+    let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+    let rxs: Vec<RxSymbols> = (0..9u64)
+        .map(|seed| {
+            let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let msg = Message::random(96, move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 56) as u8
+            });
+            let mut enc = Encoder::new(&params, &msg);
+            let mut rx = RxSymbols::new(schedule.clone());
+            let mut ch = AwgnChannel::new(8.0, seed + 31);
+            rx.push(&ch.transmit(&enc.next_symbols(2 * schedule.symbols_per_pass())));
+            rx
+        })
+        .collect();
+    let dec = BubbleDecoder::new(&params);
+    let serial = dec.decode_batch(&rxs);
+    for &threads in &THREAD_COUNTS {
+        let engine = DecodeEngine::new(threads);
+        let batch = engine.decode_batch_parallel(&dec, &rxs);
+        assert_eq!(batch.len(), serial.len());
+        for (s, p) in serial.iter().zip(&batch) {
+            assert_bitwise_equal(s, p, &format!("batch threads {threads}"));
+        }
+        for rx in &rxs {
+            engine.submit(&dec, rx);
+        }
+        let drained = engine.drain();
+        assert_eq!(drained.len(), serial.len());
+        for (s, p) in serial.iter().zip(&drained) {
+            assert_bitwise_equal(s, p, &format!("submit/drain threads {threads}"));
+        }
+    }
+}
+
+#[test]
+fn degenerate_csi_ties_resolve_identically_at_every_thread_count() {
+    // The ∞-CSI regression from the NaN-safety work: one broken
+    // observation makes EVERY candidate cost +∞, so the winner is
+    // decided purely by tie-breaking. The canonical (cost, tree, path)
+    // order must make serial and all parallel decodes agree exactly.
+    let params = CodeParams::default().with_n(64).with_b(8);
+    let mut s = 0x1234_5678_9abc_def1u64;
+    let msg = Message::random(64, move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (s >> 56) as u8
+    });
+    let mut enc = Encoder::new(&params, &msg);
+    let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+    let mut rx = RxSymbols::new(schedule);
+    let tx = enc.next_symbols(2 * params.symbols_per_pass());
+    let hs: Vec<Complex> = (0..tx.len())
+        .map(|i| {
+            if i == 5 {
+                Complex::new(f64::INFINITY, 0.0)
+            } else {
+                Complex::ONE
+            }
+        })
+        .collect();
+    rx.push_with_csi(&tx, &hs);
+    let dec = BubbleDecoder::new(&params);
+    let serial = dec.decode(&rx);
+    assert!(serial.cost.is_infinite() && serial.cost > 0.0);
+    for &threads in &THREAD_COUNTS {
+        let engine = DecodeEngine::new(threads);
+        let parallel = engine.decode_parallel(&dec, &rx);
+        assert_bitwise_equal(&serial, &parallel, &format!("inf-CSI threads {threads}"));
+    }
+}
+
+#[test]
+fn all_nan_observations_resolve_identically_at_every_thread_count() {
+    // Every observation broken: every table entry clamps to +∞ and the
+    // whole search is one big tie. Serial and parallel must still pick
+    // the same (garbage) message and +∞ cost.
+    let params = CodeParams::default().with_n(64).with_b(4);
+    let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+    let mut rx = RxSymbols::new(schedule);
+    let nan = Complex::new(f64::NAN, f64::NAN);
+    rx.push(&vec![nan; 2 * params.symbols_per_pass()]);
+    let dec = BubbleDecoder::new(&params);
+    let serial = dec.decode(&rx);
+    assert!(serial.cost.is_infinite());
+    for &threads in &THREAD_COUNTS {
+        let engine = DecodeEngine::new(threads);
+        let parallel = engine.decode_parallel(&dec, &rx);
+        assert_bitwise_equal(&serial, &parallel, &format!("all-NaN threads {threads}"));
+    }
+}
