@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use spinal_channel::{AwgnChannel, Channel, Complex};
 use spinal_core::{
     hash, BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, HashKind, Message,
-    RxSymbols, Schedule,
+    MetricProfile, RxSymbols, Schedule,
 };
 
 fn bench_hashes(c: &mut Criterion) {
@@ -66,6 +66,39 @@ fn bench_decoder(c: &mut Criterion) {
         );
         // Same decode through a warm reusable workspace (how sweeps and
         // the §7.1 attempt loop run it): isolates allocation overhead.
+        let mut ws = DecodeWorkspace::new();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_B{bw}_2passes_ws")),
+            &rx,
+            |b, rx| b.iter(|| dec.decode_with_workspace(black_box(rx), &mut ws)),
+        );
+    }
+    g.finish();
+}
+
+/// The quantized-profile twin of `bubble_decode`: identical shapes and
+/// bench names (so `bench_guard --mode profile-speedup` can pair rows
+/// across the two groups), decoded through the integer fast path —
+/// `u16` tables, saturating `u32` costs, radix selection.
+fn bench_decoder_quant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bubble_decode_quant");
+    for (n, bw) in [(256usize, 256usize), (256, 64), (1024, 256)] {
+        let params = CodeParams::default().with_n(n).with_b(bw);
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg = Message::random(n, || rng.gen());
+        let mut enc = Encoder::new(&params, &msg);
+        let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+        let mut rx = RxSymbols::new(schedule.clone());
+        let mut ch = AwgnChannel::new(15.0, 3);
+        let tx = enc.next_symbols(2 * schedule.symbols_per_pass());
+        rx.push(&ch.transmit(&tx));
+        let dec = BubbleDecoder::new(&params).with_profile(MetricProfile::Quantized);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_B{bw}_2passes")),
+            &rx,
+            |b, rx| b.iter(|| dec.decode(black_box(rx))),
+        );
         let mut ws = DecodeWorkspace::new();
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_B{bw}_2passes_ws")),
@@ -251,6 +284,6 @@ fn bench_spine_construction(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_hashes, bench_encoder, bench_decoder, bench_throughput, bench_ldpc_bp, bench_bcjr, bench_demap, bench_alternative_decoders, bench_spine_construction
+    targets = bench_hashes, bench_encoder, bench_decoder, bench_decoder_quant, bench_throughput, bench_ldpc_bp, bench_bcjr, bench_demap, bench_alternative_decoders, bench_spine_construction
 }
 criterion_main!(benches);

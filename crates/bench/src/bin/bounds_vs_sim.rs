@@ -36,6 +36,7 @@ fn main() {
     // grid on a wide machine still fills every core, with no
     // oversubscription. Results are bit-identical at any split.
     let budget = bench::cli_threads(&args);
+    let metric = bench::cli_metric(&args);
     let (threads, engine_threads) = budget.split(snrs.len());
     let mode = if args.has("sim-only") {
         SweepMode::SimOnly
@@ -56,7 +57,9 @@ fn main() {
     ];
 
     for (label, link, bound_ch) in grids {
-        let run = BlerRun::new(params.clone()).with_channel(link);
+        let run = BlerRun::new(params.clone())
+            .with_channel(link)
+            .with_profile(metric);
         let symbols = passes * run.schedule().symbols_per_pass();
         let bound = SpinalBound::new(&params, bound_ch);
 

@@ -10,12 +10,13 @@
 use bench::Args;
 use spinal_channel::capacity::bsc_capacity;
 use spinal_core::{CodeParams, DecodeWorkspace};
-use spinal_sim::{run_bsc_trial_with_workspace, run_parallel_with, summarize_vs_capacity, Trial};
+use spinal_sim::{run_bsc_trial_with_profile, run_parallel_with, summarize_vs_capacity, Trial};
 
 fn main() {
     let args = Args::parse();
     let trials = args.usize("trials", 4);
     let threads = bench::cli_threads(&args).get();
+    let metric = bench::cli_metric(&args);
     let flips = [0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3];
     let params = CodeParams::default().with_n(192);
 
@@ -25,12 +26,13 @@ fn main() {
         let p_flip = flips[fi];
         let t: Vec<Trial> = (0..trials)
             .map(|i| {
-                run_bsc_trial_with_workspace(
+                run_bsc_trial_with_profile(
                     &params,
                     p_flip,
                     200,
                     true,
                     ((fi * trials + i) as u64) << 8,
+                    metric,
                     ws,
                 )
             })

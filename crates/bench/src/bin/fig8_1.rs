@@ -31,9 +31,10 @@ fn main() {
     };
     let ldpc_trials = args.usize("ldpc-trials", 20);
     let threads = bench::cli_threads(&args).get();
+    let metric = bench::cli_metric(&args);
 
     eprintln!(
-        "fig8_1: {} SNR points × {trials} trials; strider n={strider_n}, raptor k={raptor_k}, {threads} threads",
+        "fig8_1: {} SNR points × {trials} trials; strider n={strider_n}, raptor k={raptor_k}, {threads} threads, {metric:?} metric",
         snrs.len()
     );
 
@@ -68,16 +69,18 @@ fn main() {
         let seed_base = (j as u64) << 32;
         match codes[c] {
             Code::Spinal256 => {
-                let run =
-                    SpinalRun::new(CodeParams::default().with_n(256)).with_attempt_growth(1.02);
+                let run = SpinalRun::new(CodeParams::default().with_n(256))
+                    .with_attempt_growth(1.02)
+                    .with_profile(metric);
                 let t: Vec<Trial> = (0..trials)
                     .map(|i| run.run_trial_with_workspace(snr, seed_base + i as u64, ws))
                     .collect();
                 summarize(snr, &t).rate
             }
             Code::Spinal1024 => {
-                let run =
-                    SpinalRun::new(CodeParams::default().with_n(1024)).with_attempt_growth(1.02);
+                let run = SpinalRun::new(CodeParams::default().with_n(1024))
+                    .with_attempt_growth(1.02)
+                    .with_profile(metric);
                 let t: Vec<Trial> = (0..trials)
                     .map(|i| run.run_trial_with_workspace(snr, seed_base + i as u64, ws))
                     .collect();

@@ -16,6 +16,7 @@ fn main() {
     let snrs = snr_grid(&args, -5.0, 35.0, 2.0);
     let trials = args.usize("trials", 3);
     let threads = bench::cli_threads(&args).get();
+    let metric = bench::cli_metric(&args);
     let ways = [1usize, 2, 4, 8];
     let n = args.usize("n", 1024);
 
@@ -33,7 +34,9 @@ fn main() {
         let params = CodeParams::default()
             .with_n(n)
             .with_puncturing(Puncturing::strided(w));
-        let run = SpinalRun::new(params).with_attempt_growth(1.02);
+        let run = SpinalRun::new(params)
+            .with_attempt_growth(1.02)
+            .with_profile(metric);
         let t: Vec<Trial> = (0..trials)
             .map(|i| run.run_trial(snr, ((j * trials + i) as u64) << 8))
             .collect();

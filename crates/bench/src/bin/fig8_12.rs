@@ -17,6 +17,7 @@ fn main() {
     let snrs = snr_grid(&args, -5.0, 35.0, 4.0);
     let trials = args.usize("trials", 3);
     let threads = bench::cli_threads(&args).get();
+    let metric = bench::cli_metric(&args);
     let sizes = [64usize, 128, 256, 512, 1024, 2048];
 
     eprintln!("fig8_12: n ∈ {sizes:?}");
@@ -30,7 +31,9 @@ fn main() {
 
     let rates = run_parallel(jobs.len(), threads, |j| {
         let (n, snr) = jobs[j];
-        let run = SpinalRun::new(CodeParams::default().with_n(n)).with_attempt_growth(1.02);
+        let run = SpinalRun::new(CodeParams::default().with_n(n))
+            .with_attempt_growth(1.02)
+            .with_profile(metric);
         let t: Vec<Trial> = (0..trials)
             .map(|i| run.run_trial(snr, ((j * trials + i) as u64) << 8))
             .collect();

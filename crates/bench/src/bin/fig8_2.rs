@@ -20,9 +20,12 @@ fn main() {
 
     eprintln!("fig8_2: n={n}, {trials} trials/SNR");
 
+    let metric = bench::cli_metric(&args);
     let rows = run_parallel(snrs.len(), threads, |si| {
         let snr = snrs[si];
-        let run = SpinalRun::new(CodeParams::default().with_n(n)).with_attempt_growth(1.01);
+        let run = SpinalRun::new(CodeParams::default().with_n(n))
+            .with_attempt_growth(1.01)
+            .with_profile(metric);
         // Workspace-reusing sample collection (one workspace per SNR
         // point; SNR points are the unit of parallelism here). The seed
         // layout ((si·trials + t) << 8) matches this binary's historical

@@ -16,6 +16,7 @@ fn main() {
     let snrs = snr_grid(&args, 5.0, 20.0, 5.0);
     let trials = args.usize("trials", 3);
     let threads = bench::cli_threads(&args).get();
+    let metric = bench::cli_metric(&args);
     let sizes = [1024usize, 2048, 3072];
 
     eprintln!("fig8_3: sizes {sizes:?}, SNR {snrs:?}, {trials} trials");
@@ -36,7 +37,9 @@ fn main() {
         let seed = (j as u64) << 24;
         let t: Vec<Trial> = match c {
             0 => {
-                let run = SpinalRun::new(CodeParams::default().with_n(n)).with_attempt_growth(1.02);
+                let run = SpinalRun::new(CodeParams::default().with_n(n))
+                    .with_attempt_growth(1.02)
+                    .with_profile(metric);
                 (0..trials)
                     .map(|i| run.run_trial(snr, seed + i as u64))
                     .collect()

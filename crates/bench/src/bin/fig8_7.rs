@@ -16,6 +16,7 @@ fn main() {
     let snrs = snr_grid(&args, -5.0, 35.0, 2.0);
     let trials = args.usize("trials", 4);
     let threads = bench::cli_threads(&args).get();
+    let metric = bench::cli_metric(&args);
     let configs = [(512usize, 1usize), (64, 2), (8, 3), (1, 4)];
     let n = args.usize("n", 255); // k=3 ⇒ n must divide by 3
 
@@ -36,7 +37,9 @@ fn main() {
             .with_k(3)
             .with_b(b)
             .with_d(d);
-        let run = SpinalRun::new(params).with_attempt_growth(1.02);
+        let run = SpinalRun::new(params)
+            .with_attempt_growth(1.02)
+            .with_profile(metric);
         let t: Vec<Trial> = (0..trials)
             .map(|i| run.run_trial_with_workspace(snr, ((j * trials + i) as u64) << 8, ws))
             .collect();

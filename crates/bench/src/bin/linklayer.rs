@@ -27,6 +27,7 @@ fn main() {
     // becomes per-worker intra-block decode threads (bit-identical
     // results at any split).
     let (threads, engine_threads) = bench::cli_threads(&args).split(jobs.len());
+    let metric = bench::cli_metric(&args);
 
     let rows = run_parallel_with(
         jobs.len(),
@@ -35,7 +36,7 @@ fn main() {
         |engine, j| {
             let (burst, snr) = jobs[j];
             let ll = LinkLayerRun {
-                run: SpinalRun::new(CodeParams::default().with_n(256)),
+                run: SpinalRun::new(CodeParams::default().with_n(256)).with_profile(metric),
                 burst_symbols: burst,
                 feedback_symbols: feedback,
             };

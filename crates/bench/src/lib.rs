@@ -194,6 +194,29 @@ pub fn cli_threads(args: &Args) -> spinal_sim::Threads {
     }
 }
 
+/// The unified `--metric exact|quantized` decode-profile flag for the
+/// spinal experiment binaries (default: exact). Exits with a descriptive
+/// message naming the flag and value on anything else.
+pub fn cli_metric(args: &Args) -> spinal_core::MetricProfile {
+    match try_cli_metric(args) {
+        Ok(p) => p,
+        Err(e) => die(e),
+    }
+}
+
+/// [`cli_metric`] returning the error instead of exiting (unit tests).
+pub fn try_cli_metric(args: &Args) -> Result<spinal_core::MetricProfile, ArgError> {
+    match args.str("metric", "exact").as_str() {
+        "exact" => Ok(spinal_core::MetricProfile::Exact),
+        "quantized" | "quant" => Ok(spinal_core::MetricProfile::Quantized),
+        other => Err(ArgError {
+            flag: "metric".to_string(),
+            value: other.to_string(),
+            expected: "'exact' or 'quantized'",
+        }),
+    }
+}
+
 /// Pooled rate over trials (delivered bits / spent symbols), matching
 /// `spinal_sim::stats::summarize`. Convenience for sweep binaries.
 pub fn pooled_rate(trials: &[spinal_sim::Trial]) -> f64 {
@@ -258,6 +281,31 @@ mod tests {
         let a = Args::from_argv::<_, String>([]);
         assert_eq!(a.try_f64("snr-step").unwrap(), None);
         assert_eq!(a.try_usize("trials").unwrap(), None);
+    }
+
+    #[test]
+    fn metric_flag_parses_both_profiles_and_rejects_garbage() {
+        use spinal_core::MetricProfile;
+        assert_eq!(
+            try_cli_metric(&Args::default()).unwrap(),
+            MetricProfile::Exact
+        );
+        assert_eq!(
+            try_cli_metric(&Args::from_argv(["--metric", "exact"])).unwrap(),
+            MetricProfile::Exact
+        );
+        for q in ["quantized", "quant"] {
+            assert_eq!(
+                try_cli_metric(&Args::from_argv(["--metric", q])).unwrap(),
+                MetricProfile::Quantized
+            );
+        }
+        let err = try_cli_metric(&Args::from_argv(["--metric", "turbo"])).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("--metric") && msg.contains("'turbo'") && msg.contains("quantized"),
+            "unhelpful: {msg}"
+        );
     }
 
     #[test]

@@ -19,8 +19,26 @@
 //! Committed decisions are recorded in an append-only arena of
 //! `(parent, edge)` records, so memory for history is `O(B·n/k)` per
 //! attempt rather than the full tree. The decoder rebuilds its tree from
-//! the receive buffer on every attempt (§7.1: caching between attempts is
-//! unhelpful because new symbols change pruning decisions).
+//! the receive buffer on every attempt (§7.1) — though the *branch-metric
+//! tables* themselves are additive over observations and can be carried
+//! across attempts through a [`TableCache`].
+//!
+//! # Metric profiles
+//!
+//! Every decode runs under a [`MetricProfile`]:
+//!
+//! * [`MetricProfile::Exact`] — `f64` branch metrics, the reference
+//!   profile whose outputs the decode corpus pins bit for bit.
+//! * [`MetricProfile::Quantized`] — the integer fast path: per-table
+//!   affine `u16` quantization (order-preserving within each
+//!   observation), flat L1-resident tables, saturating `u32` path costs,
+//!   and radix selection. Deterministic at every thread count (ties use
+//!   the same canonical order), statistically — not bitwise — equivalent
+//!   to `Exact`. See the [`crate::quant`] module docs.
+//!
+//! Both profiles share one generic beam search over a [`CostKind`]; the
+//! exact instantiation compiles to the same operations as before the
+//! profile split.
 //!
 //! # Hot-path organisation
 //!
@@ -44,28 +62,32 @@
 //!   [`HashKind::hash_many`](crate::hash::HashKind::hash_many) batches
 //!   the CPU can pipeline (~8× faster than a dependent hash chain).
 //! * **Partial selection, reusable buffers.** The best-`B` cut uses
-//!   `select_nth_unstable_by` (O(candidates)) instead of a full sort
-//!   (O(candidates·log candidates)), with `f64::total_cmp` so a NaN cost
-//!   can never panic the comparator. All buffers live in a
-//!   [`DecodeWorkspace`]; repeated attempts (§7.1's retry loop) allocate
-//!   nothing after warm-up.
+//!   `select_nth_unstable_by` (O(candidates)) under the exact profile and
+//!   a radix bucket prune (O(candidates + buckets), no comparator) under
+//!   the quantized one, with `f64::total_cmp` so a NaN cost can never
+//!   panic the comparator. All buffers live in a [`DecodeWorkspace`];
+//!   repeated attempts (§7.1's retry loop) allocate nothing after
+//!   warm-up.
 //!
 //! # Order-independent reductions
 //!
 //! Every reduction over frontier leaves is *insensitive to enumeration
-//! order*: per-key minima are plain float minima (no NaN can enter them —
-//! table entries are clamped finite-or-`+∞`), key selection ties break on
-//! the key index, and the final winner is the minimum under the **total**
-//! order `(cost by total_cmp, tree index, relative path)`, which names a
-//! unique leaf regardless of where it sits in the frontier arrays. This
-//! is what lets [`DecodeEngine`](crate::engine::DecodeEngine) shard a
-//! step's frontier across worker threads and still produce bit-for-bit
-//! the serial result at every thread count.
+//! order*: per-key minima are plain minima (no NaN can enter them —
+//! table entries are clamped finite-or-`+∞`, and integer minima are
+//! exact), key selection ties break on the key index, and the final
+//! winner is the minimum under the **total** order
+//! `(cost, tree index, relative path)`, which names a unique leaf
+//! regardless of where it sits in the frontier arrays. This is what lets
+//! [`DecodeEngine`](crate::engine::DecodeEngine) shard a step's frontier
+//! across worker threads and still produce bit-for-bit the serial result
+//! at every thread count — under either profile.
 
 use crate::bits::Message;
 use crate::params::CodeParams;
+use crate::quant::{pair_delta, radix_select_keys, radix_threshold, MetricProfile, QuantTables};
 use crate::rx::{RxBits, RxEntry, RxSymbols};
 use crate::symbols::SymbolGen;
+use crate::tables::{SymbolTables, TableCache};
 use std::cmp::Ordering;
 
 /// Result of one decode attempt.
@@ -75,22 +97,124 @@ pub struct DecodeResult {
     /// CRC — the bubble decoder itself cannot know whether it succeeded.
     pub message: Message,
     /// Path cost of the winning leaf (`Σ‖ȳᵢ − x̄ᵢ‖²` for AWGN, Hamming
-    /// distance for BSC).
+    /// distance for BSC). Under the quantized profile this is the
+    /// integer path cost mapped back to exact-metric units through the
+    /// decode's affine quantization map (`u32::MAX` ⇒ `+∞`).
     pub cost: f64,
+}
+
+/// The arithmetic of one metric profile: how path costs accumulate,
+/// compare, select, and report. Two instantiations exist — `f64` (the
+/// exact profile) and `u32` (the quantized profile, with `u16` table
+/// entries and saturating accumulation).
+pub(crate) trait CostKind:
+    Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static
+{
+    /// Branch-metric table entry type (`f64` exact, `u16` quantized).
+    type Entry: Copy + Send + Sync + Default + std::fmt::Debug + 'static;
+    /// The root cost.
+    const ZERO: Self;
+    /// The uninformative / saturated cost.
+    const INF: Self;
+    /// Accumulate one observation's I and Q table entries.
+    fn add_pair(self, i: Self::Entry, q: Self::Entry) -> Self;
+    /// Accumulate one hard-bit observation (Hamming metric).
+    fn add_bit(self, mismatch: bool) -> Self;
+    /// The reduction order for per-key minima folds (associative,
+    /// NaN-free by table clamping).
+    fn min_less(a: Self, b: Self) -> bool;
+    /// Total order for canonical tie-breaking (`total_cmp` for `f64`).
+    fn total_cmp(a: Self, b: Self) -> Ordering;
+    /// Keep the best `b` keys (ties by key index) in ascending key
+    /// order. `scratch` is reusable working memory (the radix prune's
+    /// candidate list; unused by the exact profile).
+    fn select(key_min: &[Self], b: usize, order: &mut Vec<u32>, scratch: &mut Vec<u32>);
+    /// Report the winning cost in exact-metric units via the profile's
+    /// `(scale, offset)` dequantization map.
+    fn to_cost_f64(self, dequant: (f64, f64)) -> f64;
+}
+
+impl CostKind for f64 {
+    type Entry = f64;
+    const ZERO: f64 = 0.0;
+    const INF: f64 = f64::INFINITY;
+    #[inline]
+    fn add_pair(self, i: f64, q: f64) -> f64 {
+        // Same association as the pre-profile code: cost + (ti + tq).
+        self + (i + q)
+    }
+    #[inline]
+    fn add_bit(self, mismatch: bool) -> f64 {
+        self + f64::from(mismatch)
+    }
+    #[inline]
+    fn min_less(a: f64, b: f64) -> bool {
+        // Plain `<`: a NaN cost (possible only from exotic caller-built
+        // buffers) loses every comparison, leaving the fold at +∞ —
+        // ordered, never panicking.
+        a < b
+    }
+    #[inline]
+    fn total_cmp(a: f64, b: f64) -> Ordering {
+        f64::total_cmp(&a, &b)
+    }
+    fn select(key_min: &[f64], b: usize, order: &mut Vec<u32>, _scratch: &mut Vec<u32>) {
+        select_keys(key_min, b, order);
+    }
+    #[inline]
+    fn to_cost_f64(self, _dequant: (f64, f64)) -> f64 {
+        self
+    }
+}
+
+impl CostKind for u32 {
+    type Entry = u16;
+    const ZERO: u32 = 0;
+    const INF: u32 = u32::MAX;
+    #[inline]
+    fn add_pair(self, i: u16, q: u16) -> u32 {
+        // Saturating: a Q_INF sentinel pins the pair delta (and so the
+        // path) at u32::MAX; honest overflow saturates, never wraps.
+        self.saturating_add(pair_delta(i, q))
+    }
+    #[inline]
+    fn add_bit(self, mismatch: bool) -> u32 {
+        self.saturating_add(u32::from(mismatch))
+    }
+    #[inline]
+    fn min_less(a: u32, b: u32) -> bool {
+        a < b
+    }
+    #[inline]
+    fn total_cmp(a: u32, b: u32) -> Ordering {
+        a.cmp(&b)
+    }
+    fn select(key_min: &[u32], b: usize, order: &mut Vec<u32>, scratch: &mut Vec<u32>) {
+        radix_select_keys(key_min, b, order, scratch);
+    }
+    #[inline]
+    fn to_cost_f64(self, (scale, offset): (f64, f64)) -> f64 {
+        if self == u32::MAX {
+            f64::INFINITY
+        } else {
+            f64::from(self) * scale + offset
+        }
+    }
 }
 
 /// The frontier of one beam-search attempt (or one engine shard of it):
 /// leaves in structure-of-arrays form, plus the double-buffer halves and
-/// hashing scratch one expansion step needs.
+/// hashing scratch one expansion step needs. Generic over the metric
+/// profile's cost type.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct Frontier {
+pub(crate) struct Frontier<C: CostKind> {
     pub(crate) states: Vec<u32>,
-    pub(crate) costs: Vec<f64>,
+    pub(crate) costs: Vec<C>,
     pub(crate) trees: Vec<u32>,
     pub(crate) paths: Vec<u64>,
     // Expansion target (swapped with the frontier every step).
     next_states: Vec<u32>,
-    next_costs: Vec<f64>,
+    next_costs: Vec<C>,
     next_trees: Vec<u32>,
     next_paths: Vec<u64>,
     // RNG-word scratch for branch-metric accumulation.
@@ -99,16 +223,15 @@ pub(crate) struct Frontier {
 
 /// The branch metric of one decode step, in the table form both the
 /// serial path and the engine workers consume. Tables are built once per
-/// (step, observation) by [`build_symbol_tables`] and are read-only
-/// during expansion — which is what makes them safely shareable across
-/// decode worker threads.
+/// (step, observation) and are read-only during expansion — which is
+/// what makes them safely shareable across decode worker threads.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum StepMetric<'a> {
+pub(crate) enum StepMetric<'a, C: CostKind> {
     /// Complex symbols: per-entry `[I table (m), Q table (m)]`
     /// concatenated in `tables`, with the entry's RNG index in `rngs`.
     Symbols {
         rngs: &'a [u32],
-        tables: &'a [f64],
+        tables: &'a [C::Entry],
         m: usize,
         i_shift: usize,
         q_shift: usize,
@@ -117,7 +240,7 @@ pub(crate) enum StepMetric<'a> {
     Bits { entries: &'a [(u32, bool)] },
 }
 
-impl Frontier {
+impl<C: CostKind> Frontier<C> {
     /// Number of leaves.
     pub(crate) fn len(&self) -> usize {
         self.states.len()
@@ -127,7 +250,7 @@ impl Frontier {
     pub(crate) fn reset_root(&mut self, s0: u32) {
         self.clear();
         self.states.push(s0);
-        self.costs.push(0.0);
+        self.costs.push(C::ZERO);
         self.trees.push(0);
         self.paths.push(0);
     }
@@ -142,7 +265,7 @@ impl Frontier {
 
     /// Replace this frontier's leaves with `src[lo..hi]` (engine
     /// sharding: contiguous slices of a parent frontier).
-    pub(crate) fn load_slice(&mut self, src: &Frontier, lo: usize, hi: usize) {
+    pub(crate) fn load_slice(&mut self, src: &Frontier<C>, lo: usize, hi: usize) {
         self.clear();
         self.states.extend_from_slice(&src.states[lo..hi]);
         self.costs.extend_from_slice(&src.costs[lo..hi]);
@@ -159,7 +282,7 @@ impl Frontier {
         &mut self,
         hash: crate::hash::HashKind,
         k: usize,
-        metric: &StepMetric<'_>,
+        metric: &StepMetric<'_, C>,
     ) {
         let fanout = 1usize << k;
         let f = self.states.len();
@@ -167,7 +290,7 @@ impl Frontier {
 
         // Grow: child (edge, leaf) lives at index edge·F + leaf.
         self.next_states.resize(ef, 0);
-        self.next_costs.resize(ef, 0.0);
+        self.next_costs.resize(ef, C::ZERO);
         self.next_trees.resize(ef, 0);
         self.next_paths.resize(ef, 0);
         for edge in 0..fanout {
@@ -200,19 +323,20 @@ impl Frontier {
                     let table = &tables[ei * 2 * m..(ei + 1) * 2 * m];
                     let (ti, tq) = table.split_at(*m);
                     for (cost, &word) in self.next_costs.iter_mut().zip(&self.words) {
-                        *cost += ti[(word >> i_shift) as usize]
-                            + tq[(word >> q_shift) as usize & bits_mask];
+                        *cost = cost.add_pair(
+                            ti[(word >> i_shift) as usize],
+                            tq[(word >> q_shift) as usize & bits_mask],
+                        );
                     }
                 }
             }
             StepMetric::Bits { entries } => {
                 for &(t, y) in *entries {
                     hash.hash_many(&self.next_states, t, &mut self.words);
-                    // Hamming cost indexed by the transmitted bit (the RNG
-                    // word's top bit): mismatch with the received bit y.
-                    let table = [f64::from(y), f64::from(!y)];
+                    // Hamming cost: the transmitted bit is the RNG
+                    // word's top bit; mismatch with the received bit y.
                     for (cost, &word) in self.next_costs.iter_mut().zip(&self.words) {
-                        *cost += table[(word >> 31) as usize];
+                        *cost = cost.add_bit((word >> 31 != 0) != y);
                     }
                 }
             }
@@ -225,18 +349,15 @@ impl Frontier {
     }
 
     /// Fold this frontier's leaves into the per-key minima. `key_min`
-    /// must be sized `n_keys` and initialised to `+∞`; partial arrays
-    /// from disjoint shards merge with [`merge_key_min`] into exactly the
-    /// unsharded result (float `min` is associative, and no NaN can reach
-    /// a cost — table entries are clamped finite-or-`+∞`).
-    pub(crate) fn accumulate_key_min(&self, k: usize, shift: u32, key_min: &mut [f64]) {
+    /// must be sized `n_keys` and initialised to `INF`; partial arrays
+    /// from disjoint shards min-merge into exactly the unsharded result
+    /// (the fold is associative, and no NaN can reach a cost — table
+    /// entries are clamped finite-or-`+∞`).
+    pub(crate) fn accumulate_key_min(&self, k: usize, shift: u32, key_min: &mut [C]) {
         let edge_mask = (1usize << k) - 1;
         for ((&tree, &path), &cost) in self.trees.iter().zip(&self.paths).zip(&self.costs) {
             let key = ((tree as usize) << k) | ((path >> shift) as usize & edge_mask);
-            // A NaN cost (possible only from exotic caller-built
-            // buffers) loses every `<`, leaving the key at +∞ —
-            // ordered, never panicking.
-            if cost < key_min[key] {
+            if C::min_less(cost, key_min[key]) {
                 key_min[key] = cost;
             }
         }
@@ -273,7 +394,7 @@ impl Frontier {
         k: usize,
         shift: u32,
         key_to_new: &[u32],
-        dst: &mut Frontier,
+        dst: &mut Frontier<C>,
     ) {
         let edge_mask = (1usize << k) - 1;
         let strip = strip_mask(shift);
@@ -294,8 +415,8 @@ impl Frontier {
     /// canonical total order [`leaf_before`], which names a unique leaf
     /// independent of array order (so shard-wise minima reduce to the
     /// global one). `None` on an empty frontier.
-    pub(crate) fn best_leaf(&self) -> Option<(f64, u32, u64)> {
-        let mut best: Option<(f64, u32, u64)> = None;
+    pub(crate) fn best_leaf(&self) -> Option<(C, u32, u64)> {
+        let mut best: Option<(C, u32, u64)> = None;
         for ((&cost, &tree), &path) in self.costs.iter().zip(&self.trees).zip(&self.paths) {
             let cand = (cost, tree, path);
             best = Some(match best {
@@ -318,20 +439,24 @@ fn strip_mask(shift: u32) -> u64 {
     }
 }
 
-/// Canonical leaf order: cost (`total_cmp`), then tree index, then
+/// Canonical leaf order: cost (total order), then tree index, then
 /// relative path. Total, so the minimum is unique and independent of
 /// enumeration order — serial and sharded decodes agree even when several
-/// leaves tie on cost (e.g. all-`+∞` degenerate observations).
+/// leaves tie on cost (e.g. all-`+∞` degenerate observations, or the
+/// many exact ties integer metrics produce).
 #[inline]
-pub(crate) fn leaf_before(a: &(f64, u32, u64), b: &(f64, u32, u64)) -> bool {
-    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)) == Ordering::Less
+pub(crate) fn leaf_before<C: CostKind>(a: &(C, u32, u64), b: &(C, u32, u64)) -> bool {
+    C::total_cmp(a.0, b.0)
+        .then(a.1.cmp(&b.1))
+        .then(a.2.cmp(&b.2))
+        == Ordering::Less
 }
 
 /// Build the per-entry `[I table, Q table]` branch-metric tables for a
 /// batch of received symbols, appending to `tables` and recording each
 /// entry's RNG index in `rngs`. One shared implementation so the serial
-/// per-step path and the engine's per-decode plan produce bitwise
-/// identical tables.
+/// per-step path, the incremental [`TableCache`], and the engine's
+/// per-decode plan produce bitwise identical tables.
 pub(crate) fn build_symbol_tables(
     levels: &[f64],
     entries: &[RxEntry],
@@ -357,7 +482,8 @@ pub(crate) fn build_symbol_tables(
 /// `b ≥ n_keys`): an O(n) partial selection instead of a full sort, with
 /// ties broken by key index so the kept set is deterministic, then
 /// re-sorted so tree numbering is canonical (independent of pivots —
-/// and of how the key minima were accumulated).
+/// and of how the key minima were accumulated). The quantized profile's
+/// integer analogue is [`radix_select_keys`].
 pub(crate) fn select_keys(key_min: &[f64], b: usize, order: &mut Vec<u32>) {
     let n_keys = key_min.len();
     order.clear();
@@ -431,28 +557,212 @@ pub(crate) fn reconstruct_message(
     msg
 }
 
-/// Reusable decode buffers: the frontier double buffer (structure of
-/// arrays), branch-metric tables, selection scratch, and the committed
+// ---------------------------------------------------------------------
+// Metric sources + the shared beam-search driver
+// ---------------------------------------------------------------------
+
+/// Supplies the branch metric of each decode step to [`beam_search`].
+pub(crate) trait MetricSource<C: CostKind> {
+    /// The metric of spine step `spine_idx` (tables may be built lazily).
+    fn step(&mut self, spine_idx: usize) -> StepMetric<'_, C>;
+}
+
+/// Exact profile, tables built per step into reusable scratch (the
+/// original allocation-free hot path).
+struct PerStepSymbols<'a> {
+    levels: &'a [f64],
+    rx: &'a RxSymbols,
+    m: usize,
+    i_shift: usize,
+    q_shift: usize,
+    tables: &'a mut Vec<f64>,
+    rngs: &'a mut Vec<u32>,
+}
+
+impl MetricSource<f64> for PerStepSymbols<'_> {
+    fn step(&mut self, spine_idx: usize) -> StepMetric<'_, f64> {
+        self.tables.clear();
+        self.rngs.clear();
+        build_symbol_tables(
+            self.levels,
+            self.rx.spine_entries(spine_idx),
+            self.tables,
+            self.rngs,
+        );
+        StepMetric::Symbols {
+            rngs: self.rngs,
+            tables: self.tables,
+            m: self.m,
+            i_shift: self.i_shift,
+            q_shift: self.q_shift,
+        }
+    }
+}
+
+/// Exact profile over cached per-spine tables (the [`TableCache`] path).
+struct CachedSymbols<'a> {
+    st: &'a SymbolTables,
+    m: usize,
+    i_shift: usize,
+    q_shift: usize,
+}
+
+impl MetricSource<f64> for CachedSymbols<'_> {
+    fn step(&mut self, spine_idx: usize) -> StepMetric<'_, f64> {
+        StepMetric::Symbols {
+            rngs: &self.st.rngs[spine_idx],
+            tables: &self.st.tables[spine_idx],
+            m: self.m,
+            i_shift: self.i_shift,
+            q_shift: self.q_shift,
+        }
+    }
+}
+
+/// A flat prepared table slab with per-spine spans (the quantized
+/// profile's layout, and the engine plan's).
+pub(crate) struct PreparedSymbols<'a, C: CostKind> {
+    pub tables: &'a [C::Entry],
+    pub rngs: &'a [u32],
+    pub spans: &'a [(u32, u32)],
+    pub m: usize,
+    pub i_shift: usize,
+    pub q_shift: usize,
+}
+
+impl<C: CostKind> MetricSource<C> for PreparedSymbols<'_, C> {
+    fn step(&mut self, spine_idx: usize) -> StepMetric<'_, C> {
+        let (lo, hi) = self.spans[spine_idx];
+        let (lo, hi) = (lo as usize, hi as usize);
+        StepMetric::Symbols {
+            rngs: &self.rngs[lo..hi],
+            tables: &self.tables[lo * 2 * self.m..hi * 2 * self.m],
+            m: self.m,
+            i_shift: self.i_shift,
+            q_shift: self.q_shift,
+        }
+    }
+}
+
+/// Hard-bit observations straight from the receive buffer (both
+/// profiles: Hamming distance is already an integer metric).
+struct BitsSource<'a> {
+    rx: &'a RxBits,
+}
+
+impl<C: CostKind> MetricSource<C> for BitsSource<'_> {
+    fn step(&mut self, spine_idx: usize) -> StepMetric<'_, C> {
+        StepMetric::Bits {
+            entries: self.rx.spine_entries(spine_idx),
+        }
+    }
+}
+
+/// The mutable buffers one beam search borrows from a workspace.
+pub(crate) struct BeamScratch<'a, C: CostKind> {
+    pub fr: &'a mut Frontier<C>,
+    pub key_min: &'a mut Vec<C>,
+    pub order: &'a mut Vec<u32>,
+    pub key_to_new: &'a mut Vec<u32>,
+    pub new_roots: &'a mut Vec<u32>,
+    pub arena: &'a mut Vec<(u32, u32)>,
+    pub tree_roots: &'a mut Vec<u32>,
+    pub sel_scratch: &'a mut Vec<u32>,
+}
+
+/// The serial beam search, shared by every profile and table source.
+/// Mirrors the original `decode_inner` step for step; returns the
+/// winning `(cost, tree, rel_path)` leaf, leaving the arena and tree
+/// roots in `sc` for message reconstruction.
+fn beam_search<C: CostKind, S: MetricSource<C>>(
+    p: &CodeParams,
+    src: &mut S,
+    sc: &mut BeamScratch<'_, C>,
+) -> (C, u32, u64) {
+    let ns = p.num_spines();
+    let k = p.k;
+    let d = p.d.min(ns);
+
+    // Reset per-attempt state (capacity is retained).
+    sc.arena.clear();
+    sc.tree_roots.clear();
+    sc.tree_roots.push(NO_PARENT);
+    sc.fr.reset_root(p.s0);
+
+    // Initial frontier: expand s0 to depth d−1 (spine indices 0..d−1).
+    for depth in 1..d {
+        let metric = src.step(depth - 1);
+        sc.fr.expand(p.hash, k, &metric);
+    }
+
+    // Main loop: iteration i advances roots from depth i−1 to i;
+    // the expansion consumes spine index i+d−2 (leaves reach absolute
+    // depth i+d−1). After expansion a leaf's rel_path holds d·k bits;
+    // the eldest edge (the root's child being judged) sits at bit
+    // (d−1)·k.
+    let shift = ((d - 1) * k) as u32;
+    for i in 1..=(ns + 1 - d) {
+        let metric = src.step(i + d - 2);
+        sc.fr.expand(p.hash, k, &metric);
+
+        // Score candidates: key = (tree, eldest edge of rel_path).
+        let n_keys = sc.tree_roots.len() << k;
+        sc.key_min.clear();
+        sc.key_min.resize(n_keys, C::INF);
+        sc.fr.accumulate_key_min(k, shift, sc.key_min);
+
+        // Keep the best B keys. Every key is populated (expansion is
+        // total over edges), so selection runs over all of them.
+        C::select(sc.key_min, p.b, sc.order, sc.sel_scratch);
+        commit_selection(
+            sc.order,
+            k,
+            sc.tree_roots,
+            sc.new_roots,
+            sc.arena,
+            sc.key_to_new,
+            n_keys,
+        );
+        sc.fr.compact_in_place(k, shift, sc.key_to_new);
+    }
+
+    sc.fr.best_leaf().expect("frontier cannot be empty")
+}
+
+/// Reusable decode buffers: the frontier double buffers (structure of
+/// arrays, one per metric profile), branch-metric tables (exact scratch
+/// and the quantized image), selection scratch, and the committed
 /// history arena.
 ///
-/// A workspace is parameter-agnostic — buffers grow to fit whatever
-/// decode uses them — and intentionally cheap to create empty. Reuse one
-/// per worker thread (or per [`BubbleDecoder::decode_batch`] call) so
-/// that the §7.1 attempt loop performs no heap allocation after the
-/// first decode warms the buffers up.
+/// A workspace is parameter- and profile-agnostic — buffers grow to fit
+/// whatever decode uses them — and intentionally cheap to create empty.
+/// Reuse one per worker thread (or per [`BubbleDecoder::decode_batch`]
+/// call) so that the §7.1 attempt loop performs no heap allocation after
+/// the first decode warms the buffers up.
 #[derive(Debug, Clone, Default)]
 pub struct DecodeWorkspace {
-    fr: Frontier,
-    // Per-step scratch.
+    fr: Frontier<f64>,
+    qfr: Frontier<u32>,
+    // Exact-profile per-step scratch.
     tables: Vec<f64>,
     rngs: Vec<u32>,
     key_min: Vec<f64>,
+    qkey_min: Vec<u32>,
+    // Quantized-profile scratch: freshly prepared exact tables (when no
+    // cache is supplied) and their quantized image.
+    prep: SymbolTables,
+    quant: QuantTables,
+    // Selection scratch + committed root advancements, shared across
+    // profiles.
     order: Vec<u32>,
     key_to_new: Vec<u32>,
     new_roots: Vec<u32>,
-    // Committed root advancements for the current attempt.
     arena: Vec<(u32, u32)>,
     tree_roots: Vec<u32>,
+    sel_scratch: Vec<u32>,
+    // Second RNG-word buffer for the specialised quantized d=1 kernel
+    // (observations are consumed in fused pairs).
+    qwords2: Vec<u32>,
 }
 
 impl DecodeWorkspace {
@@ -463,15 +773,12 @@ impl DecodeWorkspace {
     }
 }
 
-/// The received observations a decode attempt runs against.
-enum Observations<'a> {
-    /// Complex symbols (AWGN or fading, with or without CSI).
-    Symbols(&'a RxSymbols),
-    /// Hard bits (BSC).
-    Bits(&'a RxBits),
-}
-
 pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// Cache block (in children) for the quantized d=1 kernel's fused
+/// finish+gather phase: two RNG-word buffers of this size live on the
+/// stack, L1-resident, instead of streaming full-frontier arrays.
+const BLK: usize = 512;
 
 /// Degenerate observations (NaN / ±∞ metric contributions from broken
 /// CSI or non-finite samples) are treated as uninformative: infinite
@@ -491,10 +798,12 @@ fn finite_or_inf(v: f64) -> f64 {
 pub struct BubbleDecoder {
     params: CodeParams,
     gen: SymbolGen,
+    profile: MetricProfile,
 }
 
 impl BubbleDecoder {
-    /// Build a decoder for `params` (must match the encoder's).
+    /// Build a decoder for `params` (must match the encoder's), using
+    /// the default [`MetricProfile::Exact`].
     pub fn new(params: &CodeParams) -> Self {
         params.validate();
         assert!(
@@ -504,7 +813,20 @@ impl BubbleDecoder {
         BubbleDecoder {
             params: params.clone(),
             gen: SymbolGen::new(params),
+            profile: MetricProfile::Exact,
         }
+    }
+
+    /// Select the metric profile (builder style). See
+    /// [`MetricProfile`] for the exact-vs-quantized contract.
+    pub fn with_profile(mut self, profile: MetricProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The metric profile this decoder runs under.
+    pub fn profile(&self) -> MetricProfile {
+        self.profile
     }
 
     /// The decoder's code parameters.
@@ -546,14 +868,111 @@ impl BubbleDecoder {
     /// output; no heap allocation once `ws` is warm.
     pub fn decode_with_workspace(&self, rx: &RxSymbols, ws: &mut DecodeWorkspace) -> DecodeResult {
         assert_eq!(rx.n_spines(), self.params.num_spines());
-        self.decode_inner(Observations::Symbols(rx), ws)
+        match self.profile {
+            MetricProfile::Exact => self.decode_exact_per_step(rx, ws),
+            MetricProfile::Quantized => {
+                // Prepare exact tables for the whole buffer, then
+                // quantize; determinism needs no cache contract here
+                // because the tables are rebuilt from `rx` every call.
+                let ns = self.params.num_spines();
+                ws.prep.reset(ns);
+                ws.prep.sync(self.levels(), rx);
+                ws.quant.rebuild(&ws.prep, self.levels().len());
+                self.decode_quant_prepared(ws)
+            }
+        }
     }
 
     /// [`BubbleDecoder::decode_bsc`] reusing the caller's buffers.
     /// Identical output; no heap allocation once `ws` is warm.
     pub fn decode_bsc_with_workspace(&self, rx: &RxBits, ws: &mut DecodeWorkspace) -> DecodeResult {
         assert_eq!(rx.n_spines(), self.params.num_spines());
-        self.decode_inner(Observations::Bits(rx), ws)
+        match self.profile {
+            MetricProfile::Exact => {
+                let DecodeWorkspace {
+                    fr,
+                    key_min,
+                    order,
+                    key_to_new,
+                    new_roots,
+                    arena,
+                    tree_roots,
+                    sel_scratch,
+                    ..
+                } = ws;
+                let mut src = BitsSource { rx };
+                let mut sc = BeamScratch {
+                    fr,
+                    key_min,
+                    order,
+                    key_to_new,
+                    new_roots,
+                    arena,
+                    tree_roots,
+                    sel_scratch,
+                };
+                let (cost, tree, path) = beam_search(&self.params, &mut src, &mut sc);
+                self.finish::<f64>(cost, tree, path, sc.arena, sc.tree_roots, (1.0, 0.0))
+            }
+            MetricProfile::Quantized => {
+                let mut src = BitsSource { rx };
+                self.run_quant(&mut src, ws, (1.0, 0.0))
+            }
+        }
+    }
+
+    /// [`BubbleDecoder::decode`] through a [`TableCache`]: each call
+    /// folds in only the observations received since the previous call
+    /// (the §7.1 attempt loop) instead of rebuilding every branch-metric
+    /// table from the whole buffer. Bit-identical to
+    /// [`BubbleDecoder::decode_with_workspace`] under both profiles.
+    pub fn decode_with_cache(
+        &self,
+        rx: &RxSymbols,
+        cache: &mut TableCache,
+        ws: &mut DecodeWorkspace,
+    ) -> DecodeResult {
+        assert_eq!(rx.n_spines(), self.params.num_spines());
+        let m = self.levels().len();
+        let st = cache.sync(self.levels(), rx);
+        match self.profile {
+            MetricProfile::Exact => {
+                let c = self.c_bits();
+                let mut src = CachedSymbols {
+                    st,
+                    m,
+                    i_shift: 32 - c,
+                    q_shift: 16 - c,
+                };
+                let DecodeWorkspace {
+                    fr,
+                    key_min,
+                    order,
+                    key_to_new,
+                    new_roots,
+                    arena,
+                    tree_roots,
+                    sel_scratch,
+                    ..
+                } = ws;
+                let mut sc = BeamScratch {
+                    fr,
+                    key_min,
+                    order,
+                    key_to_new,
+                    new_roots,
+                    arena,
+                    tree_roots,
+                    sel_scratch,
+                };
+                let (cost, tree, path) = beam_search(&self.params, &mut src, &mut sc);
+                self.finish::<f64>(cost, tree, path, sc.arena, sc.tree_roots, (1.0, 0.0))
+            }
+            MetricProfile::Quantized => {
+                ws.quant.rebuild(st, m);
+                self.decode_quant_prepared(ws)
+            }
+        }
     }
 
     /// Decode several receive buffers back to back through one shared
@@ -567,97 +986,459 @@ impl BubbleDecoder {
             .collect()
     }
 
-    /// Core beam search over `obs`, using (and warming) `ws`.
-    fn decode_inner(&self, obs: Observations<'_>, ws: &mut DecodeWorkspace) -> DecodeResult {
+    /// The exact profile's original per-step path.
+    fn decode_exact_per_step(&self, rx: &RxSymbols, ws: &mut DecodeWorkspace) -> DecodeResult {
+        let c = self.c_bits();
+        let levels = self.gen.constellation().levels();
+        let DecodeWorkspace {
+            fr,
+            tables,
+            rngs,
+            key_min,
+            order,
+            key_to_new,
+            new_roots,
+            arena,
+            tree_roots,
+            sel_scratch,
+            ..
+        } = ws;
+        let mut src = PerStepSymbols {
+            levels,
+            rx,
+            m: levels.len(),
+            i_shift: 32 - c,
+            q_shift: 16 - c,
+            tables,
+            rngs,
+        };
+        let mut sc = BeamScratch {
+            fr,
+            key_min,
+            order,
+            key_to_new,
+            new_roots,
+            arena,
+            tree_roots,
+            sel_scratch,
+        };
+        let (cost, tree, path) = beam_search(&self.params, &mut src, &mut sc);
+        self.finish::<f64>(cost, tree, path, sc.arena, sc.tree_roots, (1.0, 0.0))
+    }
+
+    /// Quantized beam over the workspace's prepared quantized tables.
+    fn decode_quant_prepared(&self, ws: &mut DecodeWorkspace) -> DecodeResult {
+        if self.params.d.min(self.params.num_spines()) == 1 {
+            return self.decode_quant_d1(ws);
+        }
+        let c = self.c_bits();
+        let m = self.levels().len();
+        let DecodeWorkspace {
+            qfr,
+            qkey_min,
+            quant,
+            order,
+            key_to_new,
+            new_roots,
+            arena,
+            tree_roots,
+            sel_scratch,
+            ..
+        } = ws;
+        let mut src = PreparedSymbols::<u32> {
+            tables: &quant.tables,
+            rngs: &quant.rngs,
+            spans: &quant.spans,
+            m,
+            i_shift: 32 - c,
+            q_shift: 16 - c,
+        };
+        let mut sc = BeamScratch {
+            fr: qfr,
+            key_min: qkey_min,
+            order,
+            key_to_new,
+            new_roots,
+            arena,
+            tree_roots,
+            sel_scratch,
+        };
+        let (cost, tree, path) = beam_search(&self.params, &mut src, &mut sc);
+        self.finish::<u32>(cost, tree, path, sc.arena, sc.tree_roots, quant.dequant())
+    }
+
+    /// The quantized profile's specialised `d = 1` kernel (the paper's
+    /// default bubble depth). With a depth-1 bubble every selection key
+    /// names exactly one child, so the per-key minimum fold, the
+    /// tree/path bookkeeping arrays, and the separate compaction pass
+    /// all collapse: the radix threshold is taken over the child costs
+    /// directly and selection *rebuilds the frontier in key order* in
+    /// one scan. Hashing is split-prefix ([`crate::hash`]): the state
+    /// bytes of each parent are absorbed once and shared across all
+    /// `2^k` edges, and each child's prefix once across all of the
+    /// step's RNG indices.
+    ///
+    /// Bit-identical to the generic quantized beam at `d = 1` — same
+    /// saturating adds in the same order, same radix threshold, same
+    /// ascending-key tie-break, same arena contents — which is what
+    /// keeps the engine's sharded (generic) decode in exact agreement
+    /// with this serial kernel; the corpus and parallel-equivalence
+    /// tests pin that.
+    fn decode_quant_d1(&self, ws: &mut DecodeWorkspace) -> DecodeResult {
         let p = &self.params;
         let ns = p.num_spines();
         let k = p.k;
-        let d = p.d.min(ns);
+        let fanout = 1usize << k;
+        let hash = p.hash;
+        let m = self.levels().len();
+        let c = self.c_bits();
+        let (i_shift, q_shift) = (32 - c, 16 - c);
+        let DecodeWorkspace {
+            qfr,
+            quant,
+            arena,
+            tree_roots,
+            new_roots,
+            qwords2,
+            sel_scratch,
+            ..
+        } = ws;
 
-        // Reset per-attempt state (capacity is retained).
-        ws.arena.clear();
-        ws.tree_roots.clear();
-        ws.tree_roots.push(NO_PARENT);
-        ws.fr.reset_root(p.s0);
+        arena.clear();
+        tree_roots.clear();
+        tree_roots.push(NO_PARENT);
+        // The d=1 frontier carries each leaf's hash *prefix* instead of
+        // its raw state: reconstruction walks the arena, and both the
+        // RNG metric hashes and the next expansion level consume only
+        // the prefix, so states are never materialised at all.
+        qfr.clear();
+        qfr.states.push(hash.prefix(p.s0));
+        qfr.costs.push(0u32);
 
-        // Initial frontier: expand s0 to depth d−1 (spine indices 0..d−1).
-        for depth in 1..d {
-            self.expand_step(&obs, depth - 1, ws);
+        // With neither a Q_INF sentinel anywhere in the tables nor
+        // enough observations for 15-bit entries to overflow 32 bits,
+        // plain adds provably equal the saturating ones — the hot loop
+        // drops the pin-and-saturate logic.
+        let plain_adds = !quant.has_inf && quant.rngs.len() < (1 << 16);
+
+        for spine in 0..ns {
+            let f = qfr.states.len();
+            let ef = f << k;
+
+            // Grow, leaf-major (children of a leaf adjacent, so the
+            // selection scan below is sequential and already in
+            // canonical key order): one fused pass absorbs each edge
+            // into the parent prefix and re-prefixes the child. In the
+            // blocked steady-state shape below this runs per block so
+            // the freshly hashed prefixes are still L1-hot when the
+            // observation finishes consume them.
+            qfr.next_states.resize(ef, 0);
+            qfr.next_costs.resize(ef, 0);
+            let blocked = plain_adds
+                && quant.spans[spine].1 as usize - quant.spans[spine].0 as usize == 2
+                && BLK.is_multiple_of(fanout);
+            if !blocked {
+                hash.fanout_prefix_many(&qfr.states, k, &mut qfr.next_states);
+            }
+
+            // Branch metrics: per observation (pairwise), finish the
+            // child prefixes with the RNG index and gather-accumulate.
+            let (lo, hi) = quant.spans[spine];
+            let (lo, hi) = (lo as usize, hi as usize);
+            let n_obs = hi - lo;
+            let bits_mask = m - 1;
+            let table_at =
+                |ei: usize| quant.tables[(lo + ei) * 2 * m..(lo + ei + 1) * 2 * m].split_at(m);
+            // Running cost bounds, tracked by whichever pass writes the
+            // final costs — hands the radix threshold its range for free.
+            let mut cost_lo = u32::MAX;
+            let mut cost_hi = 0u32;
+            let mut have_bounds = false;
+            if plain_adds && n_obs > 0 {
+                // Fused fast path: plain u32 sums are associative here
+                // (no sentinel, no overflow — see `plain_adds`), so the
+                // first observation pair is folded together with the
+                // parent-cost initialisation in a single output pass,
+                // and later observations are consumed two per sweep.
+                let rngs = &quant.rngs[lo..hi];
+                if blocked {
+                    // The common steady-state shape (one observation per
+                    // pass, two passes): run the spine chain, the RNG
+                    // finishes, and the gather block by block, so the
+                    // child prefixes and RNG words stay L1-hot between
+                    // phases (the words never touch the heap at all).
+                    let (ti0, tq0) = table_at(0);
+                    let (ti1, tq1) = table_at(1);
+                    let mut wa_buf = [0u32; BLK];
+                    let mut wb_buf = [0u32; BLK];
+                    let ppb = BLK >> k; // parents per block
+                    for (blk, (costs_blk, pfx_blk)) in qfr
+                        .next_costs
+                        .chunks_mut(BLK)
+                        .zip(qfr.next_states.chunks_mut(BLK))
+                        .enumerate()
+                    {
+                        let n = pfx_blk.len();
+                        let parents = &qfr.states[blk * ppb..][..n >> k];
+                        hash.fanout_prefix_many(parents, k, pfx_blk);
+                        hash.finish2_many(
+                            pfx_blk,
+                            rngs[0],
+                            rngs[1],
+                            &mut wa_buf[..n],
+                            &mut wb_buf[..n],
+                        );
+                        let bases = &qfr.costs[(blk * BLK) >> k..];
+                        for (((costs, words_a), words_b), &base) in costs_blk
+                            .chunks_exact_mut(fanout)
+                            .zip(wa_buf.chunks_exact(fanout))
+                            .zip(wb_buf.chunks_exact(fanout))
+                            .zip(bases)
+                        {
+                            for ((cost, &wa), &wb) in costs.iter_mut().zip(words_a).zip(words_b) {
+                                let c = base
+                                    + u32::from(ti0[(wa >> i_shift) as usize])
+                                    + u32::from(tq0[(wa >> q_shift) as usize & bits_mask])
+                                    + u32::from(ti1[(wb >> i_shift) as usize])
+                                    + u32::from(tq1[(wb >> q_shift) as usize & bits_mask]);
+                                cost_lo = cost_lo.min(c);
+                                cost_hi = cost_hi.max(c);
+                                *cost = c;
+                            }
+                        }
+                    }
+                    have_bounds = true;
+                } else if n_obs >= 2 {
+                    qfr.words.resize(ef, 0);
+                    qwords2.resize(ef, 0);
+                    hash.finish2_many(&qfr.next_states, rngs[0], rngs[1], &mut qfr.words, qwords2);
+                    let (ti0, tq0) = table_at(0);
+                    let (ti1, tq1) = table_at(1);
+                    let last = n_obs == 2;
+                    for (((costs, words_a), words_b), &base) in qfr
+                        .next_costs
+                        .chunks_exact_mut(fanout)
+                        .zip(qfr.words.chunks_exact(fanout))
+                        .zip(qwords2.chunks_exact(fanout))
+                        .zip(&qfr.costs)
+                    {
+                        for ((cost, &wa), &wb) in costs.iter_mut().zip(words_a).zip(words_b) {
+                            let c = base
+                                + u32::from(ti0[(wa >> i_shift) as usize])
+                                + u32::from(tq0[(wa >> q_shift) as usize & bits_mask])
+                                + u32::from(ti1[(wb >> i_shift) as usize])
+                                + u32::from(tq1[(wb >> q_shift) as usize & bits_mask]);
+                            if last {
+                                cost_lo = cost_lo.min(c);
+                                cost_hi = cost_hi.max(c);
+                            }
+                            *cost = c;
+                        }
+                    }
+                    have_bounds = last;
+                } else {
+                    qfr.words.resize(ef, 0);
+                    hash.finish_many(&qfr.next_states, rngs[0], &mut qfr.words);
+                    let (ti0, tq0) = table_at(0);
+                    for ((costs, words_a), &base) in qfr
+                        .next_costs
+                        .chunks_exact_mut(fanout)
+                        .zip(qfr.words.chunks_exact(fanout))
+                        .zip(&qfr.costs)
+                    {
+                        for (cost, &wa) in costs.iter_mut().zip(words_a) {
+                            let c = base
+                                + u32::from(ti0[(wa >> i_shift) as usize])
+                                + u32::from(tq0[(wa >> q_shift) as usize & bits_mask]);
+                            cost_lo = cost_lo.min(c);
+                            cost_hi = cost_hi.max(c);
+                            *cost = c;
+                        }
+                    }
+                    have_bounds = true;
+                }
+                let mut ei = 2;
+                if ei < n_obs {
+                    qfr.words.resize(ef, 0);
+                    qwords2.resize(ef, 0);
+                }
+                while ei < n_obs {
+                    if ei + 1 < n_obs {
+                        hash.finish2_many(
+                            &qfr.next_states,
+                            rngs[ei],
+                            rngs[ei + 1],
+                            &mut qfr.words,
+                            qwords2,
+                        );
+                        let (ti0, tq0) = table_at(ei);
+                        let (ti1, tq1) = table_at(ei + 1);
+                        let last = ei + 2 == n_obs;
+                        for ((cost, &wa), &wb) in qfr
+                            .next_costs
+                            .iter_mut()
+                            .zip(&qfr.words)
+                            .zip(qwords2.iter())
+                        {
+                            let c = *cost
+                                + u32::from(ti0[(wa >> i_shift) as usize])
+                                + u32::from(tq0[(wa >> q_shift) as usize & bits_mask])
+                                + u32::from(ti1[(wb >> i_shift) as usize])
+                                + u32::from(tq1[(wb >> q_shift) as usize & bits_mask]);
+                            if last {
+                                cost_lo = cost_lo.min(c);
+                                cost_hi = cost_hi.max(c);
+                            }
+                            *cost = c;
+                        }
+                        have_bounds = last;
+                        ei += 2;
+                    } else {
+                        hash.finish_many(&qfr.next_states, rngs[ei], &mut qfr.words);
+                        let (ti0, tq0) = table_at(ei);
+                        for (cost, &wa) in qfr.next_costs.iter_mut().zip(&qfr.words) {
+                            let c = *cost
+                                + u32::from(ti0[(wa >> i_shift) as usize])
+                                + u32::from(tq0[(wa >> q_shift) as usize & bits_mask]);
+                            cost_lo = cost_lo.min(c);
+                            cost_hi = cost_hi.max(c);
+                            *cost = c;
+                        }
+                        have_bounds = true;
+                        ei += 1;
+                    }
+                }
+            } else {
+                // Saturating path (sentinel present, huge receive
+                // buffers, or a punctured spine with no observations
+                // yet): keep the generic per-observation order so
+                // saturation points match the sharded engine decode
+                // exactly.
+                for (chunk, &cost) in qfr.next_costs.chunks_exact_mut(fanout).zip(&qfr.costs) {
+                    chunk.fill(cost);
+                }
+                if n_obs > 0 {
+                    qfr.words.resize(ef, 0);
+                }
+                for (ei, &rng) in quant.rngs[lo..hi].iter().enumerate() {
+                    hash.finish_many(&qfr.next_states, rng, &mut qfr.words);
+                    let (ti, tq) = table_at(ei);
+                    for (cost, &word) in qfr.next_costs.iter_mut().zip(&qfr.words) {
+                        *cost = cost.saturating_add(pair_delta(
+                            ti[(word >> i_shift) as usize],
+                            tq[(word >> q_shift) as usize & bits_mask],
+                        ));
+                    }
+                }
+            }
+
+            // Select-and-rebuild: one sequential scan in ascending key
+            // order (key = leaf·2^k + edge = child index) emits the
+            // survivors straight into the new frontier.
+            let keep = p.b.min(ef);
+            new_roots.clear();
+            let edge_mask = (fanout - 1) as u32;
+            if keep == ef {
+                qfr.states.clear();
+                qfr.costs.clear();
+                for (idx, (&pfx, &cost)) in qfr.next_states.iter().zip(&qfr.next_costs).enumerate()
+                {
+                    qfr.states.push(pfx);
+                    qfr.costs.push(cost);
+                    arena.push((tree_roots[idx >> k], idx as u32 & edge_mask));
+                    new_roots.push((arena.len() - 1) as u32);
+                }
+            } else {
+                let bounds = have_bounds.then_some((cost_lo, cost_hi));
+                let (t, mut ties) = radix_threshold(&qfr.next_costs, keep, sel_scratch, bounds);
+                // Pre-size the outputs (the kept count is known) so the
+                // scan writes through plain counters, no push checks.
+                qfr.states.resize(keep, 0);
+                qfr.costs.resize(keep, 0);
+                new_roots.resize(keep, 0);
+                let arena_base = arena.len();
+                arena.resize(arena_base + keep, (0, 0));
+                let mut w = 0usize;
+                for (idx, (&pfx, &cost)) in qfr.next_states.iter().zip(&qfr.next_costs).enumerate()
+                {
+                    if cost < t || (cost == t && ties > 0) {
+                        ties -= usize::from(cost == t);
+                        qfr.states[w] = pfx;
+                        qfr.costs[w] = cost;
+                        arena[arena_base + w] = (tree_roots[idx >> k], idx as u32 & edge_mask);
+                        new_roots[w] = (arena_base + w) as u32;
+                        w += 1;
+                    }
+                }
+                debug_assert_eq!(w, keep);
+            }
+            std::mem::swap(tree_roots, new_roots);
         }
 
-        // Main loop: iteration i advances roots from depth i−1 to i;
-        // the expansion consumes spine index i+d−2 (leaves reach absolute
-        // depth i+d−1). After expansion a leaf's rel_path holds d·k bits;
-        // the eldest edge (the root's child being judged) sits at bit
-        // (d−1)·k.
-        let shift = ((d - 1) * k) as u32;
-        for i in 1..=(ns + 1 - d) {
-            self.expand_step(&obs, i + d - 2, ws);
-
-            // Score candidates: key = (tree, eldest edge of rel_path).
-            let n_keys = ws.tree_roots.len() << k;
-            ws.key_min.clear();
-            ws.key_min.resize(n_keys, f64::INFINITY);
-            ws.fr.accumulate_key_min(k, shift, &mut ws.key_min);
-
-            // Keep the best B keys. Every key is populated (expansion is
-            // total over edges), so selection runs over all of them.
-            select_keys(&ws.key_min, p.b, &mut ws.order);
-            commit_selection(
-                &ws.order,
-                k,
-                &mut ws.tree_roots,
-                &mut ws.new_roots,
-                &mut ws.arena,
-                &mut ws.key_to_new,
-                n_keys,
-            );
-            ws.fr.compact_in_place(k, shift, &ws.key_to_new);
+        // Winner under the canonical (cost, tree, path) order: path is
+        // always 0 at d = 1 and tree is the frontier position, so the
+        // first strict minimum is the canonical one.
+        let mut best = (qfr.costs[0], 0u32);
+        for (i, &cost) in qfr.costs.iter().enumerate().skip(1) {
+            if cost < best.0 {
+                best = (cost, i as u32);
+            }
         }
-
-        // Best leaf overall (canonical total order); reconstruct its
-        // message.
-        let (best_cost, best_tree, best_path) =
-            ws.fr.best_leaf().expect("frontier cannot be empty");
-        let msg = reconstruct_message(
-            p,
-            d,
-            &ws.arena,
-            ws.tree_roots[best_tree as usize],
-            best_path,
-        );
+        let message = reconstruct_message(p, 1, arena, tree_roots[best.1 as usize], 0);
         DecodeResult {
-            message: msg,
-            cost: best_cost,
+            message,
+            cost: best.0.to_cost_f64(quant.dequant()),
         }
     }
 
-    /// One expansion step: build the step's branch-metric tables and grow
-    /// the workspace frontier through [`Frontier::expand`].
-    fn expand_step(&self, obs: &Observations<'_>, spine_idx: usize, ws: &mut DecodeWorkspace) {
-        match obs {
-            Observations::Symbols(rx) => {
-                let entries = rx.spine_entries(spine_idx);
-                let levels = self.levels();
-                let c = self.c_bits();
-                ws.tables.clear();
-                ws.rngs.clear();
-                build_symbol_tables(levels, entries, &mut ws.tables, &mut ws.rngs);
-                let metric = StepMetric::Symbols {
-                    rngs: &ws.rngs,
-                    tables: &ws.tables,
-                    m: levels.len(),
-                    i_shift: 32 - c,
-                    q_shift: 16 - c,
-                };
-                ws.fr.expand(self.params.hash, self.params.k, &metric);
-            }
-            Observations::Bits(rx) => {
-                let metric = StepMetric::Bits {
-                    entries: rx.spine_entries(spine_idx),
-                };
-                ws.fr.expand(self.params.hash, self.params.k, &metric);
-            }
+    /// Quantized beam over any metric source (the BSC path).
+    fn run_quant<S: MetricSource<u32>>(
+        &self,
+        src: &mut S,
+        ws: &mut DecodeWorkspace,
+        dequant: (f64, f64),
+    ) -> DecodeResult {
+        let DecodeWorkspace {
+            qfr,
+            qkey_min,
+            order,
+            key_to_new,
+            new_roots,
+            arena,
+            tree_roots,
+            sel_scratch,
+            ..
+        } = ws;
+        let mut sc = BeamScratch {
+            fr: qfr,
+            key_min: qkey_min,
+            order,
+            key_to_new,
+            new_roots,
+            arena,
+            tree_roots,
+            sel_scratch,
+        };
+        let (cost, tree, path) = beam_search(&self.params, src, &mut sc);
+        self.finish::<u32>(cost, tree, path, sc.arena, sc.tree_roots, dequant)
+    }
+
+    /// Reconstruct the winner's message and report its cost in
+    /// exact-metric units.
+    fn finish<C: CostKind>(
+        &self,
+        cost: C,
+        tree: u32,
+        path: u64,
+        arena: &[(u32, u32)],
+        tree_roots: &[u32],
+        dequant: (f64, f64),
+    ) -> DecodeResult {
+        let d = self.params.d.min(self.params.num_spines());
+        let message = reconstruct_message(&self.params, d, arena, tree_roots[tree as usize], path);
+        DecodeResult {
+            message,
+            cost: cost.to_cost_f64(dequant),
         }
     }
 }
@@ -677,6 +1458,16 @@ mod tests {
     }
 
     fn roundtrip(params: &CodeParams, snr_db: f64, passes: usize, seed: u64) -> bool {
+        roundtrip_profiled(params, snr_db, passes, seed, MetricProfile::Exact)
+    }
+
+    fn roundtrip_profiled(
+        params: &CodeParams,
+        snr_db: f64,
+        passes: usize,
+        seed: u64,
+        profile: MetricProfile,
+    ) -> bool {
         let msg = rand_msg(params.n, seed);
         let mut enc = Encoder::new(params, &msg);
         let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
@@ -684,7 +1475,7 @@ mod tests {
         let mut ch = AwgnChannel::new(snr_db, seed.wrapping_add(1));
         let tx = enc.next_symbols(passes * params.symbols_per_pass());
         rx.push(&ch.transmit(&tx));
-        let dec = BubbleDecoder::new(params);
+        let dec = BubbleDecoder::new(params).with_profile(profile);
         dec.decode(&rx).message == msg
     }
 
@@ -880,12 +1671,14 @@ mod tests {
         let mut rx = RxSymbols::new(schedule);
         let mut ch = AwgnChannel::new(8.0, 18);
         rx.push(&ch.transmit(&enc.next_symbols(3 * p.symbols_per_pass())));
-        let dec = BubbleDecoder::new(&p);
-        let plain = dec.decode(&rx);
-        let mut ws = DecodeWorkspace::new();
-        let with_ws = dec.decode_with_workspace(&rx, &mut ws);
-        assert_eq!(plain.message, with_ws.message);
-        assert_eq!(plain.cost.to_bits(), with_ws.cost.to_bits());
+        for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+            let dec = BubbleDecoder::new(&p).with_profile(profile);
+            let plain = dec.decode(&rx);
+            let mut ws = DecodeWorkspace::new();
+            let with_ws = dec.decode_with_workspace(&rx, &mut ws);
+            assert_eq!(plain.message, with_ws.message, "{profile:?}");
+            assert_eq!(plain.cost.to_bits(), with_ws.cost.to_bits(), "{profile:?}");
+        }
     }
 
     #[test]
@@ -893,7 +1686,8 @@ mod tests {
         // The §7.1 retry loop: decode, receive more symbols, decode again —
         // all through ONE workspace. Every attempt must match a fresh-
         // workspace decode bit for bit, including reuse across parameter
-        // sets and across the AWGN/BSC metric kinds.
+        // sets, across the AWGN/BSC metric kinds, AND across metric
+        // profiles (the workspace is profile-agnostic).
         let p = CodeParams::default().with_n(64).with_b(16);
         let msg = rand_msg(64, 5);
         let mut enc = Encoder::new(&p, &msg);
@@ -901,6 +1695,7 @@ mod tests {
         let mut rx = RxSymbols::new(schedule);
         let mut ch = AwgnChannel::new(6.0, 6);
         let dec = BubbleDecoder::new(&p);
+        let qdec = BubbleDecoder::new(&p).with_profile(MetricProfile::Quantized);
         let mut ws = DecodeWorkspace::new();
         for _attempt in 0..4 {
             rx.push(&ch.transmit(&enc.next_symbols(p.symbols_per_pass())));
@@ -908,6 +1703,11 @@ mod tests {
             let fresh = dec.decode(&rx);
             assert_eq!(reused.message, fresh.message);
             assert_eq!(reused.cost.to_bits(), fresh.cost.to_bits());
+            // The same workspace alternates to the quantized profile.
+            let q_reused = qdec.decode_with_workspace(&rx, &mut ws);
+            let q_fresh = qdec.decode(&rx);
+            assert_eq!(q_reused.message, q_fresh.message);
+            assert_eq!(q_reused.cost.to_bits(), q_fresh.cost.to_bits());
         }
         // The same workspace then serves a different code and metric.
         let p2 = CodeParams::default()
@@ -932,7 +1732,6 @@ mod tests {
     fn decode_batch_matches_individual_decodes() {
         let p = CodeParams::default().with_n(64).with_b(16);
         let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
-        let dec = BubbleDecoder::new(&p);
         let rxs: Vec<RxSymbols> = (0..3)
             .map(|seed| {
                 let msg = rand_msg(64, 100 + seed);
@@ -943,12 +1742,15 @@ mod tests {
                 rx
             })
             .collect();
-        let batch = dec.decode_batch(&rxs);
-        assert_eq!(batch.len(), 3);
-        for (rx, out) in rxs.iter().zip(&batch) {
-            let single = dec.decode(rx);
-            assert_eq!(single.message, out.message);
-            assert_eq!(single.cost.to_bits(), out.cost.to_bits());
+        for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+            let dec = BubbleDecoder::new(&p).with_profile(profile);
+            let batch = dec.decode_batch(&rxs);
+            assert_eq!(batch.len(), 3);
+            for (rx, out) in rxs.iter().zip(&batch) {
+                let single = dec.decode(rx);
+                assert_eq!(single.message, out.message, "{profile:?}");
+                assert_eq!(single.cost.to_bits(), out.cost.to_bits(), "{profile:?}");
+            }
         }
     }
 
@@ -958,7 +1760,8 @@ mod tests {
         // metric) used to panic inside the selection comparator
         // (`partial_cmp().unwrap()`). The NaN policy now clamps broken
         // observations to +∞ cost and the comparators are total, so the
-        // decode completes.
+        // decode completes — under either profile (the quantized one
+        // saturates at the integer infinity instead).
         let p = CodeParams::default().with_n(64).with_b(8);
         let msg = rand_msg(64, 3);
         let mut enc = Encoder::new(&p, &msg);
@@ -975,36 +1778,44 @@ mod tests {
             })
             .collect();
         rx.push_with_csi(&tx, &hs);
-        let out = BubbleDecoder::new(&p).decode(&rx);
-        // The degenerate observation hits one spine; every candidate paid
-        // +∞ there, so the winning cost is +∞ — but decoding finished and
-        // every *other* spine still steered the search.
-        assert!(out.cost.is_infinite() && out.cost > 0.0);
-        assert_eq!(out.message.len_bits(), 64);
+        for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+            let out = BubbleDecoder::new(&p).with_profile(profile).decode(&rx);
+            // The degenerate observation hits one spine; every candidate
+            // paid +∞ there, so the winning cost is +∞ — but decoding
+            // finished and every *other* spine still steered the search.
+            assert!(
+                out.cost.is_infinite() && out.cost > 0.0,
+                "{profile:?}: cost {}",
+                out.cost
+            );
+            assert_eq!(out.message.len_bits(), 64, "{profile:?}");
+        }
     }
 
     #[test]
     fn all_nan_observations_still_terminate() {
         // Even if EVERY observation is broken the decoder must return
-        // (garbage, +∞) rather than panic or hang.
+        // (garbage, +∞) rather than panic, hang — or, quantized, wrap
+        // around to a small cost.
         let p = CodeParams::default().with_n(64).with_b(4);
         let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
         let mut rx = RxSymbols::new(schedule);
         let nan = Complex::new(f64::NAN, f64::NAN);
         let ys = vec![nan; p.symbols_per_pass()];
         rx.push(&ys);
-        let out = BubbleDecoder::new(&p).decode(&rx);
-        assert!(out.cost.is_infinite());
+        for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+            let out = BubbleDecoder::new(&p).with_profile(profile).decode(&rx);
+            assert!(out.cost.is_infinite(), "{profile:?}: cost {}", out.cost);
+        }
     }
 
     #[test]
     fn leaf_order_is_total_and_canonical() {
-        use super::leaf_before;
         // Cost dominates; tree and path break exact-cost ties, so the
         // minimum is unique even when every cost is +∞ (the degenerate-
         // observation case) — the invariant parallel sharding relies on.
-        let a = (1.0, 5u32, 9u64);
-        let b = (2.0, 0u32, 0u64);
+        let a = (1.0f64, 5u32, 9u64);
+        let b = (2.0f64, 0u32, 0u64);
         assert!(leaf_before(&a, &b) && !leaf_before(&b, &a));
         let inf1 = (f64::INFINITY, 1u32, 7u64);
         let inf2 = (f64::INFINITY, 1u32, 8u64);
@@ -1012,5 +1823,343 @@ mod tests {
         assert!(leaf_before(&inf1, &inf2));
         assert!(leaf_before(&inf2, &inf3));
         assert!(!leaf_before(&inf1, &inf1));
+        // Integer costs follow the same canonical order.
+        let qa = (7u32, 0u32, 0u64);
+        let qb = (u32::MAX, 0u32, 0u64);
+        assert!(leaf_before(&qa, &qb) && !leaf_before(&qb, &qa));
+        assert!(leaf_before(&(7u32, 1, 2), &(7u32, 1, 3)));
+    }
+
+    #[test]
+    fn quantized_profile_decodes_real_channels() {
+        // The quantized fast path is a *decoder*, not just arithmetic:
+        // it must recover messages wherever the exact profile does, on
+        // AWGN across depths and beams.
+        for (n, k, b, d, snr, passes, seed) in [
+            (96usize, 4usize, 64usize, 1usize, 15.0, 2usize, 7u64),
+            (96, 3, 16, 2, 12.0, 2, 3),
+            (60, 3, 4, 3, 15.0, 2, 5),
+            (64, 1, 32, 1, 10.0, 2, 13),
+        ] {
+            let p = CodeParams::default()
+                .with_n(n)
+                .with_k(k)
+                .with_b(b)
+                .with_d(d);
+            assert!(
+                roundtrip_profiled(&p, snr, passes, seed, MetricProfile::Quantized),
+                "quantized decode failed at n{n} k{k} B{b} d{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_bsc_equals_exact_bsc() {
+        // Hamming distance is already an integer: the quantized BSC
+        // decode is the SAME computation as the exact one (scale 1,
+        // offset 0) unless a path saturates — messages and costs must
+        // agree bit for bit here.
+        let p = CodeParams::default().with_n(64).with_b(32);
+        let msg = rand_msg(64, 44);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxBits::new(schedule);
+        let mut ch = BscChannel::new(0.04, 45);
+        rx.push(&ch.transmit_bits(&enc.next_bits(8 * p.symbols_per_pass())));
+        let exact = BubbleDecoder::new(&p).decode_bsc(&rx);
+        let quant = BubbleDecoder::new(&p)
+            .with_profile(MetricProfile::Quantized)
+            .decode_bsc(&rx);
+        assert_eq!(exact.message, quant.message);
+        assert_eq!(exact.cost.to_bits(), quant.cost.to_bits());
+    }
+
+    #[test]
+    fn quantized_cost_dequantizes_near_exact_cost() {
+        // The reported quantized cost is the integer path cost mapped
+        // back through the affine quantization: it must land close to
+        // the exact cost (rounding error only).
+        let p = CodeParams::default().with_n(96).with_b(64);
+        let msg = rand_msg(96, 9);
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule);
+        let mut ch = AwgnChannel::new(10.0, 10);
+        rx.push(&ch.transmit(&enc.next_symbols(2 * p.symbols_per_pass())));
+        let exact = BubbleDecoder::new(&p).decode(&rx);
+        let quant = BubbleDecoder::new(&p)
+            .with_profile(MetricProfile::Quantized)
+            .decode(&rx);
+        assert_eq!(exact.message, quant.message);
+        let rel = (exact.cost - quant.cost).abs() / exact.cost.max(1e-9);
+        assert!(
+            rel < 0.05,
+            "dequantized cost {} far from exact {}",
+            quant.cost,
+            exact.cost
+        );
+    }
+
+    #[test]
+    fn cached_decode_is_bit_identical_to_uncached_across_attempts() {
+        // The incremental-table path: grow the buffer across attempts,
+        // decoding each time through ONE TableCache. Every attempt must
+        // match the uncached decode bit for bit, under both profiles.
+        let p = CodeParams::default().with_n(96).with_b(32);
+        let msg = rand_msg(96, 19);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+            let dec = BubbleDecoder::new(&p).with_profile(profile);
+            let mut enc = Encoder::new(&p, &msg);
+            let mut ch = AwgnChannel::new(7.0, 20);
+            let mut rx = RxSymbols::new(schedule.clone());
+            let mut cache = TableCache::new();
+            let mut ws = DecodeWorkspace::new();
+            for attempt in 0..4 {
+                rx.push(&ch.transmit(&enc.next_symbols(p.symbols_per_pass() / 2 + 3)));
+                let cached = dec.decode_with_cache(&rx, &mut cache, &mut ws);
+                let plain = dec.decode(&rx);
+                assert_eq!(
+                    cached.message, plain.message,
+                    "{profile:?} attempt {attempt}"
+                );
+                assert_eq!(
+                    cached.cost.to_bits(),
+                    plain.cost.to_bits(),
+                    "{profile:?} attempt {attempt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_cache_survives_buffer_swaps_and_csi() {
+        // A cache reused across *different* trials (new receive buffers,
+        // fading CSI) must transparently rebuild, never serve stale
+        // tables.
+        use spinal_channel::RayleighChannel;
+        let p = CodeParams::default().with_n(64).with_b(16);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let dec = BubbleDecoder::new(&p);
+        let mut cache = TableCache::new();
+        let mut ws = DecodeWorkspace::new();
+        for seed in 0..4u64 {
+            let msg = rand_msg(64, 300 + seed);
+            let mut enc = Encoder::new(&p, &msg);
+            let mut rx = RxSymbols::new(schedule.clone());
+            if seed % 2 == 0 {
+                let mut ch = AwgnChannel::new(12.0, 400 + seed);
+                rx.push(&ch.transmit(&enc.next_symbols(2 * p.symbols_per_pass())));
+            } else {
+                let mut ch = RayleighChannel::new(22.0, 5, 400 + seed);
+                let ys = ch.transmit(&enc.next_symbols(3 * p.symbols_per_pass()));
+                let hs: Vec<_> = (0..ys.len()).map(|i| ch.csi(i).unwrap()).collect();
+                rx.push_with_csi(&ys, &hs);
+            }
+            let cached = dec.decode_with_cache(&rx, &mut cache, &mut ws);
+            let plain = dec.decode(&rx);
+            assert_eq!(cached.message, plain.message, "seed {seed}");
+            assert_eq!(cached.cost.to_bits(), plain.cost.to_bits(), "seed {seed}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod profiling {
+    use super::*;
+    use crate::encoder::Encoder;
+    use crate::puncturing::Schedule;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spinal_channel::{AwgnChannel, Channel};
+    use std::time::Instant;
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn phase_timings() {
+        let p = CodeParams::default().with_n(256).with_b(256);
+        let mut rng = StdRng::seed_from_u64(2);
+        let msg = Message::random(p.n, || rng.gen());
+        let mut enc = Encoder::new(&p, &msg);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(schedule.clone());
+        let mut ch = AwgnChannel::new(15.0, 3);
+        rx.push(&ch.transmit(&enc.next_symbols(2 * schedule.symbols_per_pass())));
+
+        let dec = BubbleDecoder::new(&p);
+        let qdec = BubbleDecoder::new(&p).with_profile(MetricProfile::Quantized);
+        let mut ws = DecodeWorkspace::new();
+        // Warm up.
+        for _ in 0..3 {
+            dec.decode_with_workspace(&rx, &mut ws);
+            qdec.decode_with_workspace(&rx, &mut ws);
+        }
+        let time = |f: &mut dyn FnMut()| {
+            let t0 = Instant::now();
+            let iters = 20;
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / iters as f64 * 1e3
+        };
+        let exact = time(&mut || {
+            dec.decode_with_workspace(&rx, &mut ws);
+        });
+        let quant = time(&mut || {
+            qdec.decode_with_workspace(&rx, &mut ws);
+        });
+        // Table prep + quantize alone.
+        let ns = p.num_spines();
+        let levels = dec.levels().to_vec();
+        let prep = time(&mut || {
+            ws.prep.reset(ns);
+            ws.prep.sync(&levels, &rx);
+        });
+        let quantize = time(&mut || {
+            ws.quant.rebuild(&ws.prep, levels.len());
+        });
+        // Selection cost on realistic key arrays.
+        let n_keys = p.b << p.k;
+        let fkeys: Vec<f64> = (0..n_keys)
+            .map(|i| ((i * 2654435761) % 100000) as f64)
+            .collect();
+        let qkeys: Vec<u32> = fkeys.iter().map(|&v| v as u32).collect();
+        let mut order = Vec::new();
+        let mut scratch = Vec::new();
+        let sel_f = time(&mut || {
+            for _ in 0..64 {
+                select_keys(&fkeys, p.b, &mut order);
+            }
+        });
+        let sel_q = time(&mut || {
+            for _ in 0..64 {
+                radix_select_keys(&qkeys, p.b, &mut order, &mut scratch);
+            }
+        });
+        // Expansion-only (no selection): one expand on a full frontier.
+        let mut fr = Frontier::<f64>::default();
+        fr.reset_root(p.s0);
+        // grow to B leaves
+        let mut qfr = Frontier::<u32>::default();
+        qfr.reset_root(p.s0);
+        let mut tables = Vec::new();
+        let mut rngs = Vec::new();
+        build_symbol_tables(&levels, rx.spine_entries(10), &mut tables, &mut rngs);
+        let m = levels.len();
+        let metric = StepMetric::Symbols {
+            rngs: &rngs,
+            tables: &tables,
+            m,
+            i_shift: 32 - 6,
+            q_shift: 16 - 6,
+        };
+        // fill frontiers with B leaves
+        for _ in 0..2 {
+            fr.expand(p.hash, p.k, &metric);
+            fr.states.truncate(p.b);
+            fr.costs.truncate(p.b);
+            fr.trees.truncate(p.b);
+            fr.paths.truncate(p.b);
+        }
+        ws.quant.rebuild(&ws.prep, m);
+        let (lo, hi) = ws.quant.spans[10];
+        let qmetric = StepMetric::Symbols {
+            rngs: &ws.quant.rngs[lo as usize..hi as usize],
+            tables: &ws.quant.tables[lo as usize * 2 * m..hi as usize * 2 * m],
+            m,
+            i_shift: 32 - 6,
+            q_shift: 16 - 6,
+        };
+        for _ in 0..2 {
+            qfr.expand(p.hash, p.k, &qmetric);
+            qfr.states.truncate(p.b);
+            qfr.costs.truncate(p.b);
+            qfr.trees.truncate(p.b);
+            qfr.paths.truncate(p.b);
+        }
+        let exp_f = time(&mut || {
+            for _ in 0..64 {
+                fr.expand(p.hash, p.k, &metric);
+                fr.states.truncate(p.b);
+                fr.costs.truncate(p.b);
+                fr.trees.truncate(p.b);
+                fr.paths.truncate(p.b);
+            }
+        });
+        let exp_q = time(&mut || {
+            for _ in 0..64 {
+                qfr.expand(p.hash, p.k, &qmetric);
+                qfr.states.truncate(p.b);
+                qfr.costs.truncate(p.b);
+                qfr.trees.truncate(p.b);
+                qfr.paths.truncate(p.b);
+            }
+        });
+        // d=1 kernel phase timings at f=256, ef=4096, L=2 obs.
+        let f = p.b;
+        let ef = f << p.k;
+        let states: Vec<u32> = (0..f as u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        let mut pfx_parent = vec![0u32; f];
+        let mut child_states = vec![0u32; ef];
+        let mut pfx_child = vec![0u32; ef];
+        let mut words = vec![0u32; ef];
+        let mut child_costs = vec![0u32; ef];
+        let spine_hash = time(&mut || {
+            for _ in 0..64 {
+                p.hash.prefix_many(&states, &mut pfx_parent);
+                for e in 0..16usize {
+                    p.hash.finish_many(
+                        &pfx_parent,
+                        e as u32,
+                        &mut child_states[e * f..(e + 1) * f],
+                    );
+                }
+            }
+        });
+        let child_prefix = time(&mut || {
+            for _ in 0..64 {
+                p.hash.prefix_many(&child_states, &mut pfx_child);
+            }
+        });
+        let obs_finish = time(&mut || {
+            for _ in 0..64 {
+                for rng in 0..2u32 {
+                    p.hash.finish_many(&pfx_child, rng, &mut words);
+                }
+            }
+        });
+        let qt = &ws.quant.tables[..2 * m];
+        let (ti, tq) = qt.split_at(m);
+        let gather = time(&mut || {
+            for _ in 0..64 {
+                for _obs in 0..2 {
+                    for (cost, &word) in child_costs.iter_mut().zip(&words) {
+                        *cost = cost.saturating_add(crate::quant::pair_delta(
+                            ti[(word >> 26) as usize],
+                            tq[(word >> 10) as usize & (m - 1)],
+                        ));
+                    }
+                }
+            }
+        });
+        let mut scratch = Vec::new();
+        let thresh = time(&mut || {
+            for _ in 0..64 {
+                crate::quant::radix_threshold(&child_costs, p.b, &mut scratch, None);
+            }
+        });
+        println!("64x d1 spine hash {spine_hash:8.3} ms");
+        println!("64x d1 child pfx  {child_prefix:8.3} ms");
+        println!("64x d1 obs finish {obs_finish:8.3} ms");
+        println!("64x d1 gather     {gather:8.3} ms");
+        println!("64x d1 threshold  {thresh:8.3} ms");
+        println!("exact decode      {exact:8.3} ms");
+        println!("quant decode      {quant:8.3} ms");
+        println!("table prep        {prep:8.3} ms");
+        println!("quantize          {quantize:8.3} ms");
+        println!("64x select f64    {sel_f:8.3} ms");
+        println!("64x select radix  {sel_q:8.3} ms");
+        println!("64x expand f64    {exp_f:8.3} ms");
+        println!("64x expand u32    {exp_q:8.3} ms");
     }
 }

@@ -12,16 +12,20 @@
 //!   shared by `Arc`), workers expand disjoint contiguous slices of the
 //!   structure-of-arrays frontier and fold their leaves into per-key
 //!   minima, and the main thread min-merges those arrays and runs the
-//!   exact serial selection (`total_cmp` + key-index tie-break). Because
-//!   every reduction the decoder performs is order-independent (see the
-//!   `decoder` module docs), the sharded decode is **bit-for-bit
-//!   identical to the serial one at every thread count** — a property
-//!   the corpus and property tests pin.
+//!   exact serial selection. Because every reduction the decoder
+//!   performs is order-independent (see the `decoder` module docs), the
+//!   sharded decode is **bit-for-bit identical to the serial one at
+//!   every thread count** — a property the corpus and property tests
+//!   pin. This holds for *both metric profiles*: the exact profile
+//!   min-folds `f64` key minima, the quantized profile min-folds
+//!   saturating `u32` minima (integer min is exact, so the merge is
+//!   trivially associative) and selects by radix.
 //! * **Inter-block** ([`DecodeEngine::decode_batch_parallel`], and the
 //!   streaming [`DecodeEngine::submit`]/[`DecodeEngine::drain`] pair):
 //!   independent blocks dispatched whole to workers, each of which owns
 //!   one [`DecodeWorkspace`] for its lifetime — the per-core workspace
-//!   that keeps the §7.1 attempt loop allocation-free once warm.
+//!   that keeps the §7.1 attempt loop allocation-free once warm. These
+//!   paths inherit the submitting decoder's profile unchanged.
 //!
 //! The pool is **long-lived** (no `std::thread::scope` per call): threads
 //! are spawned by [`DecodeEngine::new`] and joined on drop, so a sweep
@@ -32,11 +36,13 @@
 //! parallelism compose without oversubscription.
 
 use crate::decoder::{
-    build_symbol_tables, commit_selection, reconstruct_message, select_keys, BubbleDecoder,
+    build_symbol_tables, commit_selection, reconstruct_message, BubbleDecoder, CostKind,
     DecodeResult, DecodeWorkspace, Frontier, StepMetric, NO_PARENT,
 };
 use crate::hash::HashKind;
+use crate::quant::{MetricProfile, QuantTables};
 use crate::rx::{RxBits, RxSymbols};
+use crate::tables::{SymbolTables, TableCache};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -197,10 +203,12 @@ enum PlanKind {
 
 /// Everything a worker needs to score any step of one decode, built once
 /// per decode by the dispatching thread and shared read-only: the
-/// concatenated branch-metric tables for every spine index (the same
-/// [`build_symbol_tables`] arithmetic as the serial path, so tables are
-/// bitwise identical), plus the code geometry.
-struct Plan {
+/// concatenated branch-metric tables for every spine index (exact plans
+/// reuse the same [`build_symbol_tables`] arithmetic as the serial path,
+/// quantized plans the same [`QuantTables::rebuild`], so tables are
+/// bitwise identical to the corresponding serial decode), plus the code
+/// geometry.
+struct Plan<C: CostKind> {
     hash: HashKind,
     k: usize,
     /// Effective bubble depth (`params.d` clamped to the spine count).
@@ -212,15 +220,18 @@ struct Plan {
     i_shift: usize,
     q_shift: usize,
     kind: PlanKind,
-    tables: Vec<f64>,
+    tables: Vec<C::Entry>,
     rngs: Vec<u32>,
     bits: Vec<(u32, bool)>,
     /// Per spine index: the half-open entry range into `rngs`/`bits`.
     spans: Vec<(u32, u32)>,
+    /// The `(scale, offset)` map back to exact-metric units for the
+    /// reported cost (identity for exact plans).
+    dequant: (f64, f64),
 }
 
-impl Plan {
-    fn geometry(dec: &BubbleDecoder, kind: PlanKind) -> Plan {
+impl<C: CostKind> Plan<C> {
+    fn geometry(dec: &BubbleDecoder, kind: PlanKind) -> Plan<C> {
         let p = dec.params_ref();
         let ns = p.num_spines();
         let c = dec.c_bits();
@@ -239,26 +250,11 @@ impl Plan {
             rngs: Vec::new(),
             bits: Vec::new(),
             spans: Vec::new(),
+            dequant: (1.0, 0.0),
         }
     }
 
-    fn symbols(dec: &BubbleDecoder, rx: &RxSymbols) -> Plan {
-        let mut plan = Plan::geometry(dec, PlanKind::Symbols);
-        let levels = dec.levels();
-        for s in 0..plan.ns {
-            let lo = plan.rngs.len() as u32;
-            build_symbol_tables(
-                levels,
-                rx.spine_entries(s),
-                &mut plan.tables,
-                &mut plan.rngs,
-            );
-            plan.spans.push((lo, plan.rngs.len() as u32));
-        }
-        plan
-    }
-
-    fn bits(dec: &BubbleDecoder, rx: &RxBits) -> Plan {
+    fn bits(dec: &BubbleDecoder, rx: &RxBits) -> Plan<C> {
         let mut plan = Plan::geometry(dec, PlanKind::Bits);
         for s in 0..plan.ns {
             let lo = plan.bits.len() as u32;
@@ -268,7 +264,7 @@ impl Plan {
         plan
     }
 
-    fn metric(&self, spine_idx: usize) -> StepMetric<'_> {
+    fn metric(&self, spine_idx: usize) -> StepMetric<'_, C> {
         let (lo, hi) = self.spans[spine_idx];
         let (lo, hi) = (lo as usize, hi as usize);
         match self.kind {
@@ -286,6 +282,55 @@ impl Plan {
     }
 }
 
+impl Plan<f64> {
+    /// Exact tables built fresh from the receive buffer.
+    fn symbols(dec: &BubbleDecoder, rx: &RxSymbols) -> Plan<f64> {
+        let mut plan = Plan::geometry(dec, PlanKind::Symbols);
+        let levels = dec.levels();
+        for s in 0..plan.ns {
+            let lo = plan.rngs.len() as u32;
+            build_symbol_tables(
+                levels,
+                rx.spine_entries(s),
+                &mut plan.tables,
+                &mut plan.rngs,
+            );
+            plan.spans.push((lo, plan.rngs.len() as u32));
+        }
+        plan
+    }
+
+    /// Exact tables flattened from an already-synced [`TableCache`]
+    /// (identical values — same builder, same per-spine order — without
+    /// re-deriving any of them).
+    fn symbols_prepared(dec: &BubbleDecoder, st: &SymbolTables) -> Plan<f64> {
+        let mut plan = Plan::geometry(dec, PlanKind::Symbols);
+        for s in 0..plan.ns {
+            let lo = plan.rngs.len() as u32;
+            plan.tables.extend_from_slice(&st.tables[s]);
+            plan.rngs.extend_from_slice(&st.rngs[s]);
+            plan.spans.push((lo, plan.rngs.len() as u32));
+        }
+        plan
+    }
+}
+
+impl Plan<u32> {
+    /// Quantized tables derived from prepared exact tables — the same
+    /// [`QuantTables::rebuild`] the serial quantized decode runs, so the
+    /// sharded decode sees bit-identical `u16` tables.
+    fn symbols_quant(dec: &BubbleDecoder, st: &SymbolTables) -> Plan<u32> {
+        let mut plan = Plan::geometry(dec, PlanKind::Symbols);
+        let mut qt = QuantTables::new();
+        qt.rebuild(st, plan.m);
+        plan.dequant = qt.dequant();
+        plan.tables = std::mem::take(&mut qt.tables);
+        plan.rngs = std::mem::take(&mut qt.rngs);
+        plan.spans = std::mem::take(&mut qt.spans);
+        plan
+    }
+}
+
 // ---------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------
@@ -293,27 +338,62 @@ impl Plan {
 /// One worker's slice of a decode step: its frontier shard and the
 /// per-key minima it reduced from its leaves.
 #[derive(Debug, Clone, Default)]
-struct Shard {
-    fr: Frontier,
-    key_min: Vec<f64>,
+struct Shard<C: CostKind> {
+    fr: Frontier<C>,
+    key_min: Vec<C>,
 }
 
-/// Reusable buffers for the intra-block orchestration (and the serial
-/// fallback workspace), kept across decodes so the steady state
-/// allocates only per-step dispatch bookkeeping.
+/// Reusable intra-block buffers for one metric profile's cost type.
 #[derive(Default)]
-struct EngineScratch {
-    /// Serial-path workspace (thread budget 1, or tiny frontiers).
-    ws: DecodeWorkspace,
+struct ProfileScratch<C: CostKind> {
     /// The gathered global frontier between parallel steps.
-    main: Frontier,
-    shards: Vec<Shard>,
-    key_min: Vec<f64>,
+    main: Frontier<C>,
+    shards: Vec<Shard<C>>,
+    key_min: Vec<C>,
+}
+
+/// Profile-independent intra-block buffers (selection + history arena).
+#[derive(Default)]
+struct SharedScratch {
     order: Vec<u32>,
     key_to_new: Vec<u32>,
     new_roots: Vec<u32>,
     arena: Vec<(u32, u32)>,
     tree_roots: Vec<u32>,
+    sel_scratch: Vec<u32>,
+}
+
+/// Reusable buffers for the intra-block orchestration (and the serial
+/// fallback workspace), kept across decodes so the steady state
+/// allocates only per-step dispatch bookkeeping. Exact and quantized
+/// profiles each keep their own typed frontier/minima buffers; the
+/// selection scratch and arena are shared.
+#[derive(Default)]
+struct EngineScratch {
+    /// Serial-path workspace (thread budget 1, or tiny frontiers).
+    ws: DecodeWorkspace,
+    exact: ProfileScratch<f64>,
+    quant: ProfileScratch<u32>,
+    shared: SharedScratch,
+    /// Reusable exact-table staging for quantized plan construction.
+    prep: SymbolTables,
+}
+
+/// Selects the typed half of [`EngineScratch`] for a cost kind.
+trait EngineCost: CostKind {
+    fn scratch(sc: &mut EngineScratch) -> (&mut ProfileScratch<Self>, &mut SharedScratch);
+}
+
+impl EngineCost for f64 {
+    fn scratch(sc: &mut EngineScratch) -> (&mut ProfileScratch<f64>, &mut SharedScratch) {
+        (&mut sc.exact, &mut sc.shared)
+    }
+}
+
+impl EngineCost for u32 {
+    fn scratch(sc: &mut EngineScratch) -> (&mut ProfileScratch<u32>, &mut SharedScratch) {
+        (&mut sc.quant, &mut sc.shared)
+    }
 }
 
 struct SubmitState {
@@ -383,12 +463,57 @@ impl DecodeEngine {
 
     /// Decode one block of complex observations with the step frontier
     /// sharded across the engine's workers. Bit-for-bit identical to
-    /// [`BubbleDecoder::decode_with_workspace`] at every thread count.
+    /// [`BubbleDecoder::decode_with_workspace`] at every thread count,
+    /// under the decoder's metric profile (exact or quantized).
     pub fn decode_parallel(&self, dec: &BubbleDecoder, rx: &RxSymbols) -> DecodeResult {
         assert_eq!(rx.n_spines(), dec.params_ref().num_spines());
         match &self.pool {
             None => dec.decode_with_workspace(rx, &mut self.scratch.lock().ws),
-            Some(pool) => self.decode_with_plan(dec, Arc::new(Plan::symbols(dec, rx)), pool),
+            Some(pool) => match dec.profile() {
+                MetricProfile::Exact => {
+                    self.decode_with_plan(dec, Arc::new(Plan::symbols(dec, rx)), pool)
+                }
+                MetricProfile::Quantized => {
+                    // Stage the exact tables in reusable engine scratch
+                    // (a short lock scope of its own — decode_with_plan
+                    // re-locks) so the pooled hot path, like the serial
+                    // one, allocates only the Arc-owned plan itself.
+                    let plan = {
+                        let sc = &mut *self.scratch.lock();
+                        sc.prep.reset(dec.params_ref().num_spines());
+                        sc.prep.sync(dec.levels(), rx);
+                        Arc::new(Plan::symbols_quant(dec, &sc.prep))
+                    };
+                    self.decode_with_plan(dec, plan, pool)
+                }
+            },
+        }
+    }
+
+    /// [`DecodeEngine::decode_parallel`] through a [`TableCache`]: the
+    /// attempt folds in only observations received since the previous
+    /// call (see [`BubbleDecoder::decode_with_cache`]). Bit-identical to
+    /// the uncached engine decode under both profiles.
+    pub fn decode_parallel_cached(
+        &self,
+        dec: &BubbleDecoder,
+        rx: &RxSymbols,
+        cache: &mut TableCache,
+    ) -> DecodeResult {
+        assert_eq!(rx.n_spines(), dec.params_ref().num_spines());
+        match &self.pool {
+            None => dec.decode_with_cache(rx, cache, &mut self.scratch.lock().ws),
+            Some(pool) => {
+                let st = cache.sync(dec.levels(), rx);
+                match dec.profile() {
+                    MetricProfile::Exact => {
+                        self.decode_with_plan(dec, Arc::new(Plan::symbols_prepared(dec, st)), pool)
+                    }
+                    MetricProfile::Quantized => {
+                        self.decode_with_plan(dec, Arc::new(Plan::symbols_quant(dec, st)), pool)
+                    }
+                }
+            }
         }
     }
 
@@ -397,14 +522,21 @@ impl DecodeEngine {
         assert_eq!(rx.n_spines(), dec.params_ref().num_spines());
         match &self.pool {
             None => dec.decode_bsc_with_workspace(rx, &mut self.scratch.lock().ws),
-            Some(pool) => self.decode_with_plan(dec, Arc::new(Plan::bits(dec, rx)), pool),
+            Some(pool) => match dec.profile() {
+                MetricProfile::Exact => {
+                    self.decode_with_plan(dec, Arc::new(Plan::<f64>::bits(dec, rx)), pool)
+                }
+                MetricProfile::Quantized => {
+                    self.decode_with_plan(dec, Arc::new(Plan::<u32>::bits(dec, rx)), pool)
+                }
+            },
         }
     }
 
     /// Decode a batch of independent blocks across the worker pool (one
     /// whole block per job, each worker reusing its own workspace).
     /// Results are in input order and bit-for-bit identical to decoding
-    /// each block serially.
+    /// each block serially under the decoder's profile.
     pub fn decode_batch_parallel(
         &self,
         dec: &BubbleDecoder,
@@ -492,59 +624,62 @@ impl DecodeEngine {
             .collect()
     }
 
-    /// The sharded beam search. Mirrors `BubbleDecoder::decode_inner`
-    /// step for step; only the *scheduling* of per-leaf work differs,
-    /// and every reduction is order-independent (module docs), so the
-    /// output matches the serial decode exactly.
-    fn decode_with_plan(
+    /// The sharded beam search, generic over the metric profile's cost
+    /// type. Mirrors the serial beam search step for step; only the
+    /// *scheduling* of per-leaf work differs, and every reduction is
+    /// order-independent (module docs), so the output matches the serial
+    /// decode exactly — `f64` min-merges for the exact profile, integer
+    /// min-folds for the quantized one.
+    fn decode_with_plan<C: EngineCost>(
         &self,
         dec: &BubbleDecoder,
-        plan: Arc<Plan>,
+        plan: Arc<Plan<C>>,
         pool: &WorkerPool,
     ) -> DecodeResult {
         let sc = &mut *self.scratch.lock();
+        let (ps, sh) = C::scratch(sc);
         let (ns, k, d, b) = (plan.ns, plan.k, plan.d, plan.b);
         let workers = self.threads;
 
-        sc.arena.clear();
-        sc.tree_roots.clear();
-        sc.tree_roots.push(NO_PARENT);
-        sc.main.reset_root(plan.s0);
-        sc.shards.resize_with(workers, Shard::default);
+        sh.arena.clear();
+        sh.tree_roots.clear();
+        sh.tree_roots.push(NO_PARENT);
+        ps.main.reset_root(plan.s0);
+        ps.shards.resize_with(workers, Shard::default);
 
         // Initial frontier: expand s0 to depth d−1 — at most
         // 2^(k(d−2)) leaves, always below the parallel threshold.
         for depth in 1..d {
-            sc.main.expand(plan.hash, k, &plan.metric(depth - 1));
+            ps.main.expand(plan.hash, k, &plan.metric(depth - 1));
         }
 
         let shift = ((d - 1) * k) as u32;
         for i in 1..=(ns + 1 - d) {
             let spine = i + d - 2;
-            let n_keys = sc.tree_roots.len() << k;
-            let f = sc.main.len();
+            let n_keys = sh.tree_roots.len() << k;
+            let f = ps.main.len();
             let parallel = f >= MIN_PARALLEL_FRONTIER && f >= workers;
 
-            sc.key_min.clear();
-            sc.key_min.resize(n_keys, f64::INFINITY);
+            ps.key_min.clear();
+            ps.key_min.resize(n_keys, C::INF);
             if parallel {
                 // Shard the frontier into contiguous chunks, expand and
                 // score on the workers, then min-merge the per-shard key
-                // minima (float min is associative and NaN-free here, so
-                // the merge equals the unsharded scan).
+                // minima (the fold is associative and NaN-free, so the
+                // merge equals the unsharded scan).
                 let gather = Gather::new(workers);
                 let mut lo = 0usize;
                 for w in 0..workers {
                     let hi = lo + f / workers + usize::from(w < f % workers);
-                    let mut shard = std::mem::take(&mut sc.shards[w]);
-                    shard.fr.load_slice(&sc.main, lo, hi);
+                    let mut shard = std::mem::take(&mut ps.shards[w]);
+                    shard.fr.load_slice(&ps.main, lo, hi);
                     lo = hi;
                     let plan = Arc::clone(&plan);
                     let gather = Arc::clone(&gather);
                     pool.submit(Box::new(move |_ws| {
                         shard.fr.expand(plan.hash, plan.k, &plan.metric(spine));
                         shard.key_min.clear();
-                        shard.key_min.resize(n_keys, f64::INFINITY);
+                        shard.key_min.resize(n_keys, C::INF);
                         shard
                             .fr
                             .accumulate_key_min(plan.k, shift, &mut shard.key_min);
@@ -552,50 +687,53 @@ impl DecodeEngine {
                     }));
                 }
                 debug_assert_eq!(lo, f);
-                sc.shards = gather.wait_all();
-                for shard in &sc.shards {
-                    for (merged, &partial) in sc.key_min.iter_mut().zip(&shard.key_min) {
-                        if partial < *merged {
+                ps.shards = gather.wait_all();
+                for shard in &ps.shards {
+                    for (merged, &partial) in ps.key_min.iter_mut().zip(&shard.key_min) {
+                        if C::min_less(partial, *merged) {
                             *merged = partial;
                         }
                     }
                 }
             } else {
-                sc.main.expand(plan.hash, k, &plan.metric(spine));
-                sc.main.accumulate_key_min(k, shift, &mut sc.key_min);
+                ps.main.expand(plan.hash, k, &plan.metric(spine));
+                ps.main.accumulate_key_min(k, shift, &mut ps.key_min);
             }
 
-            select_keys(&sc.key_min, b, &mut sc.order);
+            C::select(&ps.key_min, b, &mut sh.order, &mut sh.sel_scratch);
             commit_selection(
-                &sc.order,
+                &sh.order,
                 k,
-                &mut sc.tree_roots,
-                &mut sc.new_roots,
-                &mut sc.arena,
-                &mut sc.key_to_new,
+                &mut sh.tree_roots,
+                &mut sh.new_roots,
+                &mut sh.arena,
+                &mut sh.key_to_new,
                 n_keys,
             );
             if parallel {
-                sc.main.clear();
-                for shard in &sc.shards {
+                ps.main.clear();
+                for shard in &ps.shards {
                     shard
                         .fr
-                        .compact_append_into(k, shift, &sc.key_to_new, &mut sc.main);
+                        .compact_append_into(k, shift, &sh.key_to_new, &mut ps.main);
                 }
             } else {
-                sc.main.compact_in_place(k, shift, &sc.key_to_new);
+                ps.main.compact_in_place(k, shift, &sh.key_to_new);
             }
         }
 
-        let (cost, tree, path) = sc.main.best_leaf().expect("frontier cannot be empty");
+        let (cost, tree, path) = ps.main.best_leaf().expect("frontier cannot be empty");
         let message = reconstruct_message(
             dec.params_ref(),
             d,
-            &sc.arena,
-            sc.tree_roots[tree as usize],
+            &sh.arena,
+            sh.tree_roots[tree as usize],
             path,
         );
-        DecodeResult { message, cost }
+        DecodeResult {
+            message,
+            cost: cost.to_cost_f64(plan.dequant),
+        }
     }
 }
 
@@ -625,17 +763,19 @@ mod tests {
     fn parallel_matches_serial_across_thread_counts() {
         let p = CodeParams::default().with_n(96).with_b(64);
         let rx = make_rx(&p, 2, 3);
-        let dec = BubbleDecoder::new(&p);
-        let serial = dec.decode(&rx);
-        for threads in [1, 2, 3, 5] {
-            let engine = DecodeEngine::new(threads);
-            let out = engine.decode_parallel(&dec, &rx);
-            assert_eq!(out.message, serial.message, "threads {threads}");
-            assert_eq!(
-                out.cost.to_bits(),
-                serial.cost.to_bits(),
-                "threads {threads}"
-            );
+        for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+            let dec = BubbleDecoder::new(&p).with_profile(profile);
+            let serial = dec.decode(&rx);
+            for threads in [1, 2, 3, 5] {
+                let engine = DecodeEngine::new(threads);
+                let out = engine.decode_parallel(&dec, &rx);
+                assert_eq!(out.message, serial.message, "{profile:?} threads {threads}");
+                assert_eq!(
+                    out.cost.to_bits(),
+                    serial.cost.to_bits(),
+                    "{profile:?} threads {threads}"
+                );
+            }
         }
     }
 
@@ -649,13 +789,15 @@ mod tests {
         let mut rx = RxBits::new(schedule);
         let mut ch = BscChannel::new(0.03, 12);
         rx.push(&ch.transmit_bits(&enc.next_bits(8 * p.symbols_per_pass())));
-        let dec = BubbleDecoder::new(&p);
-        let serial = dec.decode_bsc(&rx);
-        for threads in [2, 4] {
-            let engine = DecodeEngine::new(threads);
-            let out = engine.decode_bsc_parallel(&dec, &rx);
-            assert_eq!(out.message, serial.message);
-            assert_eq!(out.cost.to_bits(), serial.cost.to_bits());
+        for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+            let dec = BubbleDecoder::new(&p).with_profile(profile);
+            let serial = dec.decode_bsc(&rx);
+            for threads in [2, 4] {
+                let engine = DecodeEngine::new(threads);
+                let out = engine.decode_bsc_parallel(&dec, &rx);
+                assert_eq!(out.message, serial.message, "{profile:?}");
+                assert_eq!(out.cost.to_bits(), serial.cost.to_bits(), "{profile:?}");
+            }
         }
     }
 
@@ -663,14 +805,16 @@ mod tests {
     fn batch_parallel_matches_serial_batch_in_order() {
         let p = CodeParams::default().with_n(64).with_b(16);
         let rxs: Vec<RxSymbols> = (0..7).map(|s| make_rx(&p, 2, 100 + s)).collect();
-        let dec = BubbleDecoder::new(&p);
-        let serial = dec.decode_batch(&rxs);
-        let engine = DecodeEngine::new(3);
-        let batch = engine.decode_batch_parallel(&dec, &rxs);
-        assert_eq!(batch.len(), serial.len());
-        for (a, b) in serial.iter().zip(&batch) {
-            assert_eq!(a.message, b.message);
-            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+            let dec = BubbleDecoder::new(&p).with_profile(profile);
+            let serial = dec.decode_batch(&rxs);
+            let engine = DecodeEngine::new(3);
+            let batch = engine.decode_batch_parallel(&dec, &rxs);
+            assert_eq!(batch.len(), serial.len());
+            for (a, b) in serial.iter().zip(&batch) {
+                assert_eq!(a.message, b.message, "{profile:?}");
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "{profile:?}");
+            }
         }
     }
 
@@ -711,10 +855,10 @@ mod tests {
     }
 
     #[test]
-    fn one_engine_serves_heterogeneous_parameters() {
-        // Scratch and worker workspaces are parameter-agnostic, like
-        // DecodeWorkspace: one engine must serve different (n, k, B, d)
-        // codes back to back.
+    fn one_engine_serves_heterogeneous_parameters_and_profiles() {
+        // Scratch and worker workspaces are parameter- AND profile-
+        // agnostic: one engine must serve different (n, k, B, d) codes
+        // and alternating metric profiles back to back.
         let engine = DecodeEngine::new(2);
         for (n, k, b, d) in [
             (64usize, 4usize, 16usize, 1usize),
@@ -727,11 +871,49 @@ mod tests {
                 .with_b(b)
                 .with_d(d);
             let rx = make_rx(&p, 2, (n + b) as u64);
-            let dec = BubbleDecoder::new(&p);
-            let serial = dec.decode(&rx);
-            let out = engine.decode_parallel(&dec, &rx);
-            assert_eq!(out.message, serial.message, "n{n} k{k} B{b} d{d}");
-            assert_eq!(out.cost.to_bits(), serial.cost.to_bits());
+            for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+                let dec = BubbleDecoder::new(&p).with_profile(profile);
+                let serial = dec.decode(&rx);
+                let out = engine.decode_parallel(&dec, &rx);
+                assert_eq!(
+                    out.message, serial.message,
+                    "{profile:?} n{n} k{k} B{b} d{d}"
+                );
+                assert_eq!(out.cost.to_bits(), serial.cost.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_engine_decode_matches_uncached_across_attempts() {
+        // The incremental plan path: one TableCache carried across a
+        // growing receive buffer, decoded through a pooled engine, must
+        // match the uncached engine decode bit for bit (both profiles).
+        let p = CodeParams::default().with_n(96).with_b(32);
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+            let dec = BubbleDecoder::new(&p).with_profile(profile);
+            let engine = DecodeEngine::new(3);
+            let mut rng = StdRng::seed_from_u64(77);
+            let msg = Message::random(p.n, || rng.gen());
+            let mut enc = Encoder::new(&p, &msg);
+            let mut ch = AwgnChannel::new(8.0, 78);
+            let mut rx = RxSymbols::new(schedule.clone());
+            let mut cache = TableCache::new();
+            for attempt in 0..3 {
+                rx.push(&ch.transmit(&enc.next_symbols(p.symbols_per_pass() / 2 + 5)));
+                let cached = engine.decode_parallel_cached(&dec, &rx, &mut cache);
+                let plain = engine.decode_parallel(&dec, &rx);
+                assert_eq!(
+                    cached.message, plain.message,
+                    "{profile:?} attempt {attempt}"
+                );
+                assert_eq!(
+                    cached.cost.to_bits(),
+                    plain.cost.to_bits(),
+                    "{profile:?} attempt {attempt}"
+                );
+            }
         }
     }
 

@@ -53,6 +53,121 @@ impl HashKind {
             HashKind::Salsa20 => hash_slice(states, out, |s| salsa20_hash(s, data)),
         }
     }
+
+    /// Batched *state-prefix* evaluation: the part of `h(state, data)`
+    /// that depends only on `state`. Feeding it to
+    /// [`HashKind::finish_many`] with any `data` reproduces
+    /// `h(state, data)` exactly.
+    ///
+    /// One-at-a-time (the paper's shipped hash) consumes its eight input
+    /// bytes sequentially, so the four state bytes can be absorbed
+    /// *once* and shared across every `data` the decoder combines the
+    /// state with — all `2^k` edges of a spine expansion, and every RNG
+    /// index of a step's observations. That strength reduction is what
+    /// the quantized fast path's expansion kernel uses. For lookup3 and
+    /// Salsa20 the mixing is monolithic, so the prefix is the identity
+    /// and `finish_many` performs the whole hash — same results, no
+    /// savings.
+    ///
+    /// Panics if `states.len() != out.len()`.
+    pub fn prefix_many(self, states: &[u32], out: &mut [u32]) {
+        match self {
+            HashKind::OneAtATime => hash_slice(states, out, one_at_a_time_prefix),
+            HashKind::Lookup3 | HashKind::Salsa20 => out.copy_from_slice(states),
+        }
+    }
+
+    /// Complete `h(state, data)` from the state prefixes produced by
+    /// [`HashKind::prefix_many`]: `finish_many(prefix_many(s), d)` ≡
+    /// `hash_many(s, d)` bit for bit, for every hash kind.
+    ///
+    /// Panics if `prefixes.len() != out.len()`.
+    pub fn finish_many(self, prefixes: &[u32], data: u32, out: &mut [u32]) {
+        match self {
+            HashKind::OneAtATime => hash_slice(prefixes, out, |p| one_at_a_time_finish(p, data)),
+            HashKind::Lookup3 => hash_slice(prefixes, out, |s| lookup3(s, data)),
+            HashKind::Salsa20 => hash_slice(prefixes, out, |s| salsa20_hash(s, data)),
+        }
+    }
+
+    /// The scalar form of [`HashKind::prefix_many`].
+    #[inline]
+    pub fn prefix(self, state: u32) -> u32 {
+        match self {
+            HashKind::OneAtATime => one_at_a_time_prefix(state),
+            HashKind::Lookup3 | HashKind::Salsa20 => state,
+        }
+    }
+
+    /// Fan-out the spine hash one level and re-prefix in a single pass:
+    /// `out[i·2^k + e] = prefix(h(state_i, e))` given the parents'
+    /// prefixes, children of one state consecutive. This is the whole
+    /// spine-expansion of the quantized fast path's leaf-major frontier,
+    /// which carries *prefixes* instead of states — a child's raw state
+    /// is never needed (message reconstruction walks the arena, and both
+    /// the RNG metric hashes and the next expansion level consume only
+    /// the prefix).
+    ///
+    /// Panics unless `out.len() == prefixes.len() << k`.
+    pub fn fanout_prefix_many(self, prefixes: &[u32], k: usize, out: &mut [u32]) {
+        let fanout = 1usize << k;
+        assert_eq!(prefixes.len() << k, out.len());
+        // Two phases so the expensive hash chain runs as one flat,
+        // vectorisable sweep: broadcast each parent prefix across its
+        // fanout slot, then hash every slot element-wise against the
+        // repeating edge pattern.
+        fn fill(prefixes: &[u32], fanout: usize, out: &mut [u32], step: impl Fn(u32, u32) -> u32) {
+            for (&p, chunk) in prefixes.iter().zip(out.chunks_exact_mut(fanout)) {
+                chunk.fill(p);
+            }
+            let mask = (fanout - 1) as u32;
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = step(*o, i as u32 & mask);
+            }
+        }
+        match self {
+            HashKind::OneAtATime => fill(prefixes, fanout, out, |p, e| {
+                one_at_a_time_prefix(one_at_a_time_finish(p, e))
+            }),
+            HashKind::Lookup3 => fill(prefixes, fanout, out, lookup3),
+            HashKind::Salsa20 => fill(prefixes, fanout, out, salsa20_hash),
+        }
+    }
+
+    /// Two [`HashKind::finish_many`] calls in one pass over the
+    /// prefixes (a decode step's observations come in pairs; reading
+    /// the 16 KB prefix array once instead of twice matters in L1).
+    ///
+    /// Panics unless all four slices have equal length.
+    pub fn finish2_many(
+        self,
+        prefixes: &[u32],
+        d0: u32,
+        d1: u32,
+        out0: &mut [u32],
+        out1: &mut [u32],
+    ) {
+        assert_eq!(prefixes.len(), out0.len());
+        assert_eq!(prefixes.len(), out1.len());
+        fn fill(
+            prefixes: &[u32],
+            d0: u32,
+            d1: u32,
+            out0: &mut [u32],
+            out1: &mut [u32],
+            finish: impl Fn(u32, u32) -> u32,
+        ) {
+            for ((&p, o0), o1) in prefixes.iter().zip(out0.iter_mut()).zip(out1.iter_mut()) {
+                *o0 = finish(p, d0);
+                *o1 = finish(p, d1);
+            }
+        }
+        match self {
+            HashKind::OneAtATime => fill(prefixes, d0, d1, out0, out1, one_at_a_time_finish),
+            HashKind::Lookup3 => fill(prefixes, d0, d1, out0, out1, lookup3),
+            HashKind::Salsa20 => fill(prefixes, d0, d1, out0, out1, salsa20_hash),
+        }
+    }
 }
 
 /// Monomorphic element-wise hashing loop (see [`HashKind::hash_many`]).
@@ -67,19 +182,33 @@ fn hash_slice(states: &[u32], out: &mut [u32], f: impl Fn(u32) -> u32) {
 /// Jenkins one-at-a-time over the 8 bytes of (state, data), little-endian.
 #[inline]
 pub fn one_at_a_time(state: u32, data: u32) -> u32 {
+    one_at_a_time_finish(one_at_a_time_prefix(state), data)
+}
+
+/// The state-byte prefix of [`one_at_a_time`]: the running hash after
+/// absorbing the four `state` bytes (the sequential byte feed makes the
+/// split exact). Complete it with [`one_at_a_time_finish`].
+#[inline]
+pub fn one_at_a_time_prefix(state: u32) -> u32 {
     let mut h: u32 = 0;
-    macro_rules! feed {
-        ($b:expr) => {
-            h = h.wrapping_add($b as u32);
-            h = h.wrapping_add(h << 10);
-            h ^= h >> 6;
-        };
-    }
     for b in state.to_le_bytes() {
-        feed!(b);
+        h = h.wrapping_add(b as u32);
+        h = h.wrapping_add(h << 10);
+        h ^= h >> 6;
     }
+    h
+}
+
+/// Absorb the four `data` bytes into a [`one_at_a_time_prefix`] value
+/// and apply the final avalanche: `finish(prefix(s), d) ≡
+/// one_at_a_time(s, d)` bit for bit.
+#[inline]
+pub fn one_at_a_time_finish(prefix: u32, data: u32) -> u32 {
+    let mut h = prefix;
     for b in data.to_le_bytes() {
-        feed!(b);
+        h = h.wrapping_add(b as u32);
+        h = h.wrapping_add(h << 10);
+        h ^= h >> 6;
     }
     h = h.wrapping_add(h << 3);
     h ^= h >> 11;
@@ -254,6 +383,74 @@ mod tests {
                     "{kind:?} bin {b}: {count} vs {expect}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn prefix_finish_split_reproduces_the_full_hash() {
+        // The strength-reduced two-phase evaluation must be the SAME
+        // function: prefix_many + finish_many ≡ hash_many ≡ hash, for
+        // every kind, across states and data words.
+        for kind in [HashKind::OneAtATime, HashKind::Lookup3, HashKind::Salsa20] {
+            let states: Vec<u32> = (0..133u32)
+                .map(|i| i.wrapping_mul(0x9E3779B9) ^ 7)
+                .collect();
+            let mut prefixes = vec![0u32; states.len()];
+            kind.prefix_many(&states, &mut prefixes);
+            for data in [0u32, 1, 13, 0xFFFF_FFFF, 0x8000_0001] {
+                let mut out = vec![0u32; states.len()];
+                kind.finish_many(&prefixes, data, &mut out);
+                for (&s, &o) in states.iter().zip(&out) {
+                    assert_eq!(o, kind.hash(s, data), "{kind:?} s={s:#x} d={data:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_prefix_matches_scalar_hash_grid() {
+        // fanout_prefix_many(prefix(s), k)[i·2^k + e] must equal
+        // prefix(h(s_i, e)) — and feeding it back through finish_many
+        // must reproduce the two-level hash chain exactly.
+        for kind in [HashKind::OneAtATime, HashKind::Lookup3, HashKind::Salsa20] {
+            let states: Vec<u32> = (0..37u32).map(|i| i.wrapping_mul(0x85EBCA6B)).collect();
+            let mut prefixes = vec![0u32; states.len()];
+            kind.prefix_many(&states, &mut prefixes);
+            for k in [1usize, 3, 4] {
+                let mut out = vec![0u32; states.len() << k];
+                kind.fanout_prefix_many(&prefixes, k, &mut out);
+                for (i, &s) in states.iter().enumerate() {
+                    for e in 0..(1u32 << k) {
+                        let child = kind.hash(s, e);
+                        assert_eq!(
+                            out[(i << k) + e as usize],
+                            kind.prefix(child),
+                            "{kind:?} k={k} state {i} edge {e}"
+                        );
+                        // Completing the child prefix with an RNG index
+                        // reproduces h(child, rng).
+                        let mut w = [0u32; 1];
+                        kind.finish_many(&out[(i << k) + e as usize..][..1], 9, &mut w);
+                        assert_eq!(w[0], kind.hash(child, 9));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finish2_matches_two_finish_calls() {
+        for kind in [HashKind::OneAtATime, HashKind::Lookup3, HashKind::Salsa20] {
+            let states: Vec<u32> = (0..61u32).map(|i| i.wrapping_mul(0x9E3779B9) ^ 3).collect();
+            let mut prefixes = vec![0u32; states.len()];
+            kind.prefix_many(&states, &mut prefixes);
+            let (mut a0, mut a1) = (vec![0u32; states.len()], vec![0u32; states.len()]);
+            kind.finish2_many(&prefixes, 4, 9, &mut a0, &mut a1);
+            let (mut b0, mut b1) = (vec![0u32; states.len()], vec![0u32; states.len()]);
+            kind.finish_many(&prefixes, 4, &mut b0);
+            kind.finish_many(&prefixes, 9, &mut b1);
+            assert_eq!(a0, b0, "{kind:?}");
+            assert_eq!(a1, b1, "{kind:?}");
         }
     }
 

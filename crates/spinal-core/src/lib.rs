@@ -50,6 +50,7 @@
 //! | [`encoder`] | §3 | the rateless encoder |
 //! | [`rx`] | §4.2 | receive buffers (AWGN/fading/BSC) |
 //! | [`decoder`] | §4 | the bubble decoder |
+//! | [`quant`] | §7 | fixed-point metric profile: u16 tables, saturating u32 costs, radix selection |
 //! | [`engine`] | §7 | multi-threaded decode engine (sharded beam + batched block pipeline) |
 //! | [`ml`] | §4.1 | exhaustive exact-ML reference decoder |
 //! | [`sequential`] | §4.3 | classical stack sequential decoder |
@@ -74,10 +75,12 @@ pub mod hash;
 pub mod ml;
 pub mod params;
 pub mod puncturing;
+pub mod quant;
 pub mod rx;
 pub mod sequential;
 pub mod spine;
 pub mod symbols;
+mod tables;
 
 pub use bitmode::{BitEncoder, BitModeDecoder, RxLlrs};
 pub use bits::Message;
@@ -90,6 +93,8 @@ pub use hash::HashKind;
 pub use ml::MlDecoder;
 pub use params::CodeParams;
 pub use puncturing::{Puncturing, Schedule, ScheduleCursor, SymbolPosition};
+pub use quant::MetricProfile;
 pub use rx::{RxBits, RxEntry, RxSymbols};
 pub use sequential::{StackDecoder, StackResult};
 pub use symbols::SymbolGen;
+pub use tables::TableCache;

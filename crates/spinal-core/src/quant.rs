@@ -1,0 +1,551 @@
+//! The quantized integer-metric fast path: fixed-point branch metrics
+//! and radix selection.
+//!
+//! Real deployments of spinal decoders (the paper's §7 practicality
+//! argument, and the companion hardware design in "De-randomizing
+//! Shannon") run fixed-point arithmetic, not `f64`. This module supplies
+//! the pieces the [`MetricProfile::Quantized`] decode path composes:
+//!
+//! * **Per-observation affine quantization** into `u16`
+//!   ([`QuantTables`]): every branch-metric table is mapped by
+//!   `q = round((v − table_min) / scale)` with a per-table offset and a
+//!   *single decode-wide scale*. Each table's map is affine with a
+//!   positive slope, so ordering within one observation is preserved
+//!   exactly; because every full-depth path accumulates every
+//!   observation exactly once, the per-table offsets shift all candidates
+//!   equally and the quantized total cost is (up to rounding) an affine
+//!   image of the exact total cost. The shared scale keeps observations
+//!   weighted relative to each other — a deeply faded symbol still
+//!   contributes little — which is what makes quantized BLER track the
+//!   exact profile within statistical slack.
+//! * **Saturation, never wrap**: the `+∞` clamp of a degenerate
+//!   observation becomes the [`Q_INF`] sentinel; accumulation widens it
+//!   to `u32::MAX` and every add saturates, so a broken observation
+//!   pins the path cost at the integer infinity exactly like the exact
+//!   profile's `f64::INFINITY`.
+//! * **Flat, L1-resident tables**: quantized tables are one contiguous
+//!   `u16` slab (`[I table | Q table]` interleaved per observation,
+//!   observations of a spine adjacent) — 4× denser than the `f64` form,
+//!   so a whole decode step's tables sit in L1.
+//! * **Radix selection** ([`radix_select_keys`]): the best-`B` cut on
+//!   integer costs is a most-significant-byte-first bucket prune —
+//!   `O(candidates + buckets)` with no data-dependent comparator — with
+//!   ties broken by key index, the same deterministic rule as the exact
+//!   profile's `select_nth_unstable_by` cut.
+//!
+//! The quantized profile is **deterministic** (bit-identical across
+//! workspace reuse, batching, and every engine thread count — integer
+//! minima are exact, and every tie-break uses the canonical
+//! `(cost, tree, rel_path)` order) but **not bit-identical to the exact
+//! profile**: equivalence is statistical, enforced by the oracle-grid
+//! parity test against the PR 3 analytic bounds.
+
+use crate::tables::SymbolTables;
+
+/// Selects how the bubble decoder computes and compares path metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MetricProfile {
+    /// Double-precision branch metrics (the reference profile): exact
+    /// `|y − h·x|²` sums, `f64::total_cmp` ordering. Bit-reproducible
+    /// against the recorded decode corpus.
+    #[default]
+    Exact,
+    /// Fixed-point branch metrics: `u16` tables, saturating `u32` path
+    /// costs, radix selection. ~1.7× faster on the recording host
+    /// (hardware-dependent — see the committed `BENCH_*_quant.json`);
+    /// statistically equivalent to [`MetricProfile::Exact`] (same BLER
+    /// within binomial slack) but not bit-identical to it.
+    /// Deterministic in itself at every thread count.
+    Quantized,
+}
+
+/// The `u16` image of a `+∞` table entry (degenerate observation).
+/// Accumulation widens it to `u32::MAX`, so one broken observation
+/// saturates the whole path cost.
+pub const Q_INF: u16 = u16::MAX;
+
+/// Largest quantized value a *finite* table entry may take: 15 bits.
+/// The headroom is what makes the hot-loop infinity test one compare —
+/// two finite entries sum to at most `2·32767 = 65534 < 65535 ≤
+/// finite + Q_INF`, so an I+Q pair sum of `≥ 65535` *proves* a
+/// [`Q_INF`] sentinel is present (see [`pair_delta`]).
+pub const Q_MAX_FINITE: u16 = i16::MAX as u16;
+
+/// Quantized branch-metric tables for one decode attempt: the flat
+/// `u16` slab, per-spine spans, and the affine map needed to report the
+/// winning cost back in exact-metric units.
+#[derive(Debug, Clone, Default)]
+pub struct QuantTables {
+    /// Concatenated `[I | Q]` `u16` tables, `2m` entries per
+    /// observation, observations in per-spine span order.
+    pub(crate) tables: Vec<u16>,
+    /// RNG index per observation, aligned with the spans.
+    pub(crate) rngs: Vec<u32>,
+    /// Per spine: half-open observation range into `rngs` (×`2m` into
+    /// `tables`).
+    pub(crate) spans: Vec<(u32, u32)>,
+    /// The decode-wide scale `s` of the affine map `q = (v − t_min)/s`.
+    pub(crate) scale: f64,
+    /// Σ of per-table minima — the constant every full-depth path was
+    /// shifted by, restored when reporting the winner's cost.
+    pub(crate) offset: f64,
+    /// Whether any table entry is the [`Q_INF`] sentinel. When false —
+    /// the overwhelmingly common case — and the observation count is
+    /// small enough that plain `u32` accumulation provably cannot
+    /// overflow, the decode kernels skip the pin-and-saturate logic
+    /// entirely (identical sums, fewer ops).
+    pub(crate) has_inf: bool,
+    /// Per-table minima scratch kept for reuse across attempts.
+    mins: Vec<f64>,
+}
+
+impl QuantTables {
+    /// An empty table set; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The affine map back to exact-metric units: `(scale, offset)` such
+    /// that a finite quantized path cost `q` dequantizes to
+    /// `q·scale + offset`.
+    pub fn dequant(&self) -> (f64, f64) {
+        (self.scale, self.offset)
+    }
+
+    /// Rebuild this quantized table set from exact per-spine tables
+    /// (clears previous contents; buffers are reused).
+    ///
+    /// Pass 1 finds each table's finite minimum and the widest finite
+    /// range across all tables; pass 2 writes
+    /// `q = round((v − t_min)/scale)` clamped to [`Q_MAX_FINITE`], with
+    /// `+∞` entries becoming [`Q_INF`]. With a positive shared scale the
+    /// map is monotone within every table.
+    pub(crate) fn rebuild(&mut self, st: &SymbolTables, m: usize) {
+        self.tables.clear();
+        self.rngs.clear();
+        self.spans.clear();
+        self.mins.clear();
+
+        // Pass 1: per-table finite minima and the global finite range.
+        let tab = 2 * m; // entries per observation (I table + Q table)
+        let mut max_range = 0.0f64;
+        let mut offset = 0.0f64;
+        for spine in &st.tables {
+            debug_assert_eq!(spine.len() % m, 0);
+            for table in spine.chunks_exact(m) {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &v in table {
+                    if v.is_finite() {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                // An all-∞ table contributes nothing to the offset; its
+                // entries all become the sentinel below.
+                let t_min = if lo.is_finite() { lo } else { 0.0 };
+                if hi.is_finite() {
+                    max_range = max_range.max(hi - t_min);
+                }
+                offset += t_min;
+                self.mins.push(t_min);
+            }
+        }
+        let scale = if max_range > 0.0 {
+            max_range / f64::from(Q_MAX_FINITE)
+        } else {
+            1.0
+        };
+        let inv = 1.0 / scale;
+        self.scale = scale;
+        self.offset = offset;
+
+        // Pass 2: quantize, recording spans per spine.
+        self.has_inf = false;
+        let mut obs = 0u32;
+        let mut mins = self.mins.iter();
+        for (spine_tables, spine_rngs) in st.tables.iter().zip(&st.rngs) {
+            let lo = obs;
+            for table in spine_tables.chunks_exact(m) {
+                let t_min = *mins.next().expect("one min per table");
+                for &v in table {
+                    self.tables.push(if v.is_finite() {
+                        // ≤ Q_MAX_FINITE by construction of the scale;
+                        // the min() guards float round-off at the top of
+                        // the range from colliding with the sentinel.
+                        // `+0.5, truncate` is round-half-away-from-zero
+                        // for non-negative inputs (v ≥ t_min) without
+                        // the libm round call.
+                        ((v - t_min) * inv + 0.5).min(f64::from(Q_MAX_FINITE)) as u16
+                    } else {
+                        self.has_inf = true;
+                        Q_INF
+                    });
+                }
+            }
+            self.rngs.extend_from_slice(spine_rngs);
+            obs += spine_rngs.len() as u32;
+            self.spans.push((lo, obs));
+            debug_assert_eq!(spine_tables.len(), (obs - lo) as usize * tab);
+        }
+    }
+}
+
+/// The `u32` cost delta of one observation's I/Q table-entry pair:
+/// the plain sum for finite entries, `u32::MAX` when either entry is
+/// the [`Q_INF`] sentinel (any sum `≥ 65535` proves one is present —
+/// see [`Q_MAX_FINITE`]). Branch-free: one add, one compare-mask.
+#[inline]
+pub(crate) fn pair_delta(i: u16, q: u16) -> u32 {
+    let d = u32::from(i) + u32::from(q);
+    d | 0u32.wrapping_sub(u32::from(d >= u32::from(u16::MAX)))
+}
+
+/// Keep the best `b` keys of the integer `key_min` array in `order`
+/// (ascending key index), matching the exact profile's selection rule —
+/// smallest cost first, ties broken by key index — via a
+/// most-significant-byte-first radix prune: four 256-bucket histogram
+/// levels locate the cutoff value `t` and the number of ties at `t` to
+/// keep, then one ordered scan emits the kept set. `O(candidates +
+/// buckets)` with no data-dependent comparator calls.
+pub(crate) fn radix_select_keys(
+    key_min: &[u32],
+    b: usize,
+    order: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+) {
+    let n_keys = key_min.len();
+    order.clear();
+    if b >= n_keys {
+        order.extend(0..n_keys as u32);
+        return;
+    }
+    let (t, mut ties) = radix_threshold(key_min, b, scratch, None);
+
+    // Ordered scan: every key below t survives; the first `ties` keys
+    // equal to t (by ascending key index) fill the remaining slots.
+    for (i, &c) in key_min.iter().enumerate() {
+        if c < t {
+            order.push(i as u32);
+        } else if c == t && ties > 0 {
+            order.push(i as u32);
+            ties -= 1;
+        }
+    }
+    debug_assert_eq!(order.len(), b);
+}
+
+/// Locate the `keep`-th smallest value `t` of `costs` (`keep ≥ 1`,
+/// `keep ≤ costs.len()`) and how many of the values equal to `t` belong
+/// to the kept set — the radix core both selection entry points share.
+///
+/// Adaptive MSB-first buckets: a min/max pass normalises the histogram
+/// to the *actual* finite cost band (decode-step costs cluster in a
+/// narrow absolute range, and saturated `u32::MAX` costs — integer
+/// infinities — are counted aside so they cannot stretch the range),
+/// then each 256-bucket level resolves 8 more bits with the surviving
+/// candidates compacted into `scratch`. `O(candidates + buckets)`
+/// total, no comparator calls.
+pub(crate) fn radix_threshold(
+    costs: &[u32],
+    keep: usize,
+    scratch: &mut Vec<u32>,
+    bounds: Option<(u32, u32)>,
+) -> (u32, usize) {
+    debug_assert!(keep >= 1 && keep <= costs.len());
+    // Common case first: (min, max) handed in by the caller (the decode
+    // kernel tracks both while writing the costs) or one branch-free
+    // (vectorisable) sweep; if the maximum is the integer infinity,
+    // redo the sweep counting the saturated costs aside so they cannot
+    // stretch the radix range.
+    let (mut lo, mut hi) = bounds.unwrap_or_else(|| {
+        let mut lo = u32::MAX;
+        let mut hi = 0u32;
+        for &c in costs {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        (lo, hi)
+    });
+    debug_assert_eq!(
+        (lo, hi),
+        {
+            let mut l = u32::MAX;
+            let mut h = 0u32;
+            for &c in costs {
+                l = l.min(c);
+                h = h.max(c);
+            }
+            (l, h)
+        },
+        "caller-supplied bounds must be exact"
+    );
+    let mut n_sat = 0usize;
+    if hi == u32::MAX {
+        lo = u32::MAX;
+        hi = 0;
+        for &c in costs {
+            n_sat += usize::from(c == u32::MAX);
+            let fin = if c == u32::MAX { lo } else { c };
+            lo = lo.min(fin);
+            hi = hi.max(if c == u32::MAX { hi } else { c });
+        }
+    }
+    let n_fin = costs.len() - n_sat;
+    if keep > n_fin {
+        // Every finite cost survives; the remaining slots go to
+        // saturated costs (all tied at the integer infinity).
+        return (u32::MAX, keep - n_fin);
+    }
+    if lo == hi {
+        return (lo, keep);
+    }
+
+    let mut need = keep;
+    let range_bits = 32 - (hi - lo).leading_zeros();
+    let mut shift = range_bits.saturating_sub(8);
+    // Four interleaved histograms break the store-forwarding chains of
+    // repeated same-bucket increments (costs cluster), then merge.
+    let mut hist4 = [[0u32; 256]; 4];
+    let mut hist = [0u32; 256];
+    let mut it = costs.chunks_exact(4);
+    if n_sat == 0 {
+        // Branch-free histogram when no cost saturated.
+        for quad in it.by_ref() {
+            for (h, &c) in hist4.iter_mut().zip(quad) {
+                h[((c - lo) >> shift) as usize] += 1;
+            }
+        }
+        for &c in it.remainder() {
+            hist[((c - lo) >> shift) as usize] += 1;
+        }
+    } else {
+        for quad in it.by_ref() {
+            for (h, &c) in hist4.iter_mut().zip(quad) {
+                if c <= hi {
+                    h[((c - lo) >> shift) as usize] += 1;
+                }
+            }
+        }
+        for &c in it.remainder() {
+            if c <= hi {
+                hist[((c - lo) >> shift) as usize] += 1;
+            }
+        }
+    }
+    for h in &hist4 {
+        for (m, &v) in hist.iter_mut().zip(h) {
+            *m += v;
+        }
+    }
+    let mut bucket = pick_bucket(&hist, &mut need);
+    if shift == 0 {
+        return (lo + bucket, need);
+    }
+    let mut base = lo + (bucket << shift);
+
+    // Later levels: only candidates inside the chosen bucket matter;
+    // compact them once, then shrink in place.
+    let cand = scratch;
+    cand.clear();
+    cand.extend(
+        costs
+            .iter()
+            .copied()
+            .filter(|&c| c <= hi && (c - lo) >> shift == bucket),
+    );
+    loop {
+        let next = shift.saturating_sub(8);
+        hist.fill(0);
+        for &c in cand.iter() {
+            hist[((c - base) >> next) as usize] += 1;
+        }
+        bucket = pick_bucket(&hist, &mut need);
+        if next == 0 {
+            return (base + bucket, need);
+        }
+        cand.retain(|&c| (c - base) >> next == bucket);
+        base += bucket << next;
+        shift = next;
+    }
+}
+
+/// The first histogram bucket whose count reaches `need`, decrementing
+/// `need` by everything below it.
+#[inline]
+fn pick_bucket(hist: &[u32; 256], need: &mut usize) -> u32 {
+    for (v, &h) in hist.iter().enumerate() {
+        if (h as usize) >= *need {
+            return v as u32;
+        }
+        *need -= h as usize;
+    }
+    unreachable!("histogram does not cover the kept count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::build_symbol_tables;
+    use crate::rx::RxEntry;
+    use spinal_channel::Complex;
+
+    fn st_from_tables(tables: Vec<Vec<f64>>, m: usize) -> SymbolTables {
+        let rngs = tables
+            .iter()
+            .map(|t| (0..t.len() / (2 * m)).map(|i| i as u32).collect())
+            .collect();
+        SymbolTables { tables, rngs }
+    }
+
+    #[test]
+    fn quantization_is_monotone_within_each_table() {
+        let m = 4;
+        let st = st_from_tables(
+            vec![vec![
+                0.5, 0.1, 0.9, 0.1, // I table
+                -3.0, 7.0, 7.0, 0.0, // Q table
+                100.0, 400.0, 250.0, 100.0, // second observation, I
+                0.0, 0.0, 0.0, 0.0, // second observation, Q
+            ]],
+            m,
+        );
+        let mut q = QuantTables::new();
+        q.rebuild(&st, m);
+        for (qt, et) in q.tables.chunks_exact(m).zip(st.tables[0].chunks_exact(m)) {
+            for i in 0..m {
+                for j in 0..m {
+                    if et[i] < et[j] {
+                        assert!(
+                            qt[i] <= qt[j],
+                            "order flip: {} < {} but {} > {}",
+                            et[i],
+                            et[j],
+                            qt[i],
+                            qt[j]
+                        );
+                    }
+                    if et[i] == et[j] {
+                        assert_eq!(qt[i], qt[j], "equal entries must quantize equally");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widest_table_spans_the_full_finite_range() {
+        let m = 2;
+        let st = st_from_tables(vec![vec![0.0, 10.0, 3.0, 3.0]], m);
+        let mut q = QuantTables::new();
+        q.rebuild(&st, m);
+        assert_eq!(q.tables[0], 0);
+        assert_eq!(q.tables[1], Q_MAX_FINITE);
+        // Constant table quantizes to all zeros.
+        assert_eq!(&q.tables[2..4], &[0, 0]);
+        let (scale, offset) = q.dequant();
+        assert!((scale - 10.0 / f64::from(Q_MAX_FINITE)).abs() < 1e-12);
+        assert_eq!(offset, 3.0);
+    }
+
+    #[test]
+    fn infinite_entries_become_the_sentinel_and_saturate() {
+        let m = 2;
+        let st = st_from_tables(
+            vec![vec![1.0, f64::INFINITY, f64::INFINITY, f64::INFINITY]],
+            m,
+        );
+        let mut q = QuantTables::new();
+        q.rebuild(&st, m);
+        assert_eq!(q.tables, vec![0, Q_INF, Q_INF, Q_INF]);
+        // A pair with a sentinel pins to the integer infinity; the
+        // widest finite pair stays below the pinning threshold.
+        assert_eq!(pair_delta(Q_INF, 0), u32::MAX);
+        assert_eq!(pair_delta(3, Q_INF), u32::MAX);
+        assert_eq!(pair_delta(Q_INF, Q_INF), u32::MAX);
+        assert_eq!(pair_delta(0, 0), 0);
+        assert_eq!(
+            pair_delta(Q_MAX_FINITE, Q_MAX_FINITE),
+            2 * u32::from(Q_MAX_FINITE)
+        );
+        // One pinned observation saturates the whole path; further adds
+        // saturate rather than wrap.
+        let cost = 7u32
+            .saturating_add(pair_delta(Q_INF, 3))
+            .saturating_add(pair_delta(1, 2));
+        assert_eq!(cost, u32::MAX);
+    }
+
+    #[test]
+    fn quantized_tables_mirror_real_build_layout() {
+        // Quantize tables produced by the real table builder and check
+        // spans, sizes, and that ∞-clamped entries survive as Q_INF.
+        let levels = [-1.0, -0.5, 0.5, 1.0];
+        let entries = [
+            RxEntry {
+                rng_index: 0,
+                y: Complex::new(0.3, -0.2),
+                h: Complex::ONE,
+            },
+            RxEntry {
+                rng_index: 1,
+                y: Complex::new(1.0, 1.0),
+                h: Complex::new(f64::INFINITY, 0.0),
+            },
+        ];
+        let mut st = SymbolTables::default();
+        st.reset(1);
+        build_symbol_tables(&levels, &entries, &mut st.tables[0], &mut st.rngs[0]);
+        let mut q = QuantTables::new();
+        q.rebuild(&st, levels.len());
+        assert_eq!(q.spans, vec![(0, 2)]);
+        assert_eq!(q.tables.len(), 2 * 2 * levels.len());
+        assert!(q.tables[2 * levels.len()..].iter().all(|&e| e == Q_INF));
+        assert!(q.tables[..2 * levels.len()].iter().all(|&e| e < Q_INF));
+    }
+
+    #[test]
+    fn radix_select_matches_sort_based_reference() {
+        // Pseudo-random key arrays vs the reference rule: smallest value
+        // first, ties by key index, result in ascending index order.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move |bits: u32| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 32) & ((1u64 << bits) - 1)) as u32
+        };
+        for case in 0..200 {
+            let n = 1 + (next(7) as usize);
+            // Mix tight and wide ranges so every radix level gets hit,
+            // plus saturated keys.
+            let bits = [4, 8, 17, 32][case % 4];
+            let keys: Vec<u32> = (0..n)
+                .map(|_| {
+                    if bits == 32 && next(3) == 0 {
+                        u32::MAX
+                    } else {
+                        next(bits)
+                    }
+                })
+                .collect();
+            let b = 1 + (next(7) as usize) % n;
+            let mut want: Vec<u32> = (0..n as u32).collect();
+            want.sort_by_key(|&i| (keys[i as usize], i));
+            want.truncate(b);
+            want.sort_unstable();
+            let mut got = Vec::new();
+            let mut scratch = Vec::new();
+            radix_select_keys(&keys, b, &mut got, &mut scratch);
+            assert_eq!(got, want, "case {case}: keys {keys:?} b {b}");
+        }
+    }
+
+    #[test]
+    fn radix_select_keeps_everything_when_beam_exceeds_keys() {
+        let mut order = Vec::new();
+        let mut scratch = Vec::new();
+        radix_select_keys(&[5, 1, 3], 7, &mut order, &mut scratch);
+        assert_eq!(order, vec![0, 1, 2]);
+        radix_select_keys(&[], 4, &mut order, &mut scratch);
+        assert!(order.is_empty());
+    }
+}

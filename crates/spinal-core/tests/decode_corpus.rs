@@ -250,6 +250,48 @@ fn parallel_engine_matches_serial_on_corpus_at_every_thread_count() {
     }
 }
 
+/// The quantized profile is NOT pinned against the recorded exact
+/// corpus (its equivalence contract is statistical), but it must be
+/// exactly as deterministic: on every corpus case — real AWGN/BSC/
+/// fading signals across the (n, k, B, d) grid — the serial quantized
+/// decode must match the engine-sharded quantized decode bit for bit at
+/// every thread count.
+#[test]
+fn quantized_profile_is_engine_deterministic_on_corpus() {
+    use spinal_core::MetricProfile;
+    let engines: Vec<DecodeEngine> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| DecodeEngine::new(t))
+        .collect();
+    for (i, case) in cases().iter().enumerate() {
+        let (params, rx) = build_case(case);
+        let dec = BubbleDecoder::new(&params).with_profile(MetricProfile::Quantized);
+        let serial = match &rx {
+            Rx::Symbols(rx) => dec.decode(rx),
+            Rx::Bits(rx) => dec.decode_bsc(rx),
+        };
+        assert_eq!(serial.message.len_bits(), params.n, "case {i}");
+        for engine in &engines {
+            let parallel = match &rx {
+                Rx::Symbols(rx) => engine.decode_parallel(&dec, rx),
+                Rx::Bits(rx) => engine.decode_bsc_parallel(&dec, rx),
+            };
+            assert_eq!(
+                parallel.message,
+                serial.message,
+                "case {i} at {} threads: quantized message drifted",
+                engine.threads()
+            );
+            assert_eq!(
+                parallel.cost.to_bits(),
+                serial.cost.to_bits(),
+                "case {i} at {} threads: quantized cost drifted",
+                engine.threads()
+            );
+        }
+    }
+}
+
 #[test]
 fn decoder_output_matches_recorded_corpus() {
     let cases = cases();

@@ -14,9 +14,10 @@
 use crate::spinal_run::LinkChannel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spinal_channel::{AwgnChannel, Channel, RayleighChannel};
+use spinal_channel::{AwgnChannel, Channel, Complex, RayleighChannel};
 use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, Message, RxSymbols, Schedule,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, Message, MetricProfile,
+    RxSymbols, Schedule,
 };
 
 /// Fixed-budget BLER experiment configuration.
@@ -26,6 +27,9 @@ pub struct BlerRun {
     pub params: CodeParams,
     /// Channel model (AWGN or Rayleigh, with or without CSI).
     pub channel: LinkChannel,
+    /// Metric profile for every decode (exact `f64` by default, or the
+    /// quantized integer fast path).
+    pub profile: MetricProfile,
 }
 
 /// A measured BLER point: `errors / trials`.
@@ -55,12 +59,19 @@ impl BlerRun {
         BlerRun {
             params,
             channel: LinkChannel::Awgn,
+            profile: MetricProfile::Exact,
         }
     }
 
     /// Select the channel model.
     pub fn with_channel(mut self, channel: LinkChannel) -> Self {
         self.channel = channel;
+        self
+    }
+
+    /// Select the decode metric profile (see [`BlerRun::profile`]).
+    pub fn with_profile(mut self, profile: MetricProfile) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -77,8 +88,16 @@ impl BlerRun {
     /// (deterministic in `seed`): encode a random message, send exactly
     /// `total_symbols` symbols through the channel. One implementation
     /// feeds both the serial and the engine-batched measurement paths,
-    /// so they see identical noise realisations.
-    fn build_trial(&self, snr_db: f64, total_symbols: usize, seed: u64) -> (Message, RxSymbols) {
+    /// so they see identical noise realisations. `csi_scratch` is a
+    /// reusable buffer for the per-trial CSI / phase-rotation vector
+    /// (the same scratch-reuse discipline as the rateless trial loop).
+    fn build_trial(
+        &self,
+        snr_db: f64,
+        total_symbols: usize,
+        seed: u64,
+        csi_scratch: &mut Vec<Complex>,
+    ) -> (Message, RxSymbols) {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = Message::random(p.n, || rng.gen());
@@ -94,27 +113,28 @@ impl BlerRun {
             LinkChannel::Rayleigh { tau, csi } => {
                 let mut ch = RayleighChannel::new(snr_db, tau, seed.wrapping_add(0xC11A));
                 let ys = ch.transmit(&tx);
+                csi_scratch.clear();
                 if csi {
-                    let hs: Vec<_> = (0..ys.len())
-                        .map(|i| ch.csi(i).expect("csi for sent symbol"))
-                        .collect();
-                    rx.push_with_csi(&ys, &hs);
+                    csi_scratch
+                        .extend((0..ys.len()).map(|i| ch.csi(i).expect("csi for sent symbol")));
+                    rx.push_with_csi(&ys, csi_scratch);
                 } else {
                     // Phase-corrected amplitude-blind reception, as in
                     // the Fig 8-5 runner.
-                    let ys_rot: Vec<_> = ys
-                        .iter()
-                        .enumerate()
-                        .map(|(i, y)| {
-                            let h = ch.csi(i).expect("phase reference");
-                            *y * h.conj() / h.abs()
-                        })
-                        .collect();
-                    rx.push(&ys_rot);
+                    csi_scratch.extend(ys.iter().enumerate().map(|(i, y)| {
+                        let h = ch.csi(i).expect("phase reference");
+                        *y * h.conj() / h.abs()
+                    }));
+                    rx.push(csi_scratch);
                 }
             }
         }
         (msg, rx)
+    }
+
+    /// The decoder every measurement path uses (profile applied).
+    fn decoder(&self) -> BubbleDecoder {
+        BubbleDecoder::new(&self.params).with_profile(self.profile)
     }
 
     /// Run one trial: encode, transmit, decode once. Returns `true` on a
@@ -126,11 +146,8 @@ impl BlerRun {
         seed: u64,
         ws: &mut DecodeWorkspace,
     ) -> bool {
-        let (msg, rx) = self.build_trial(snr_db, total_symbols, seed);
-        BubbleDecoder::new(&self.params)
-            .decode_with_workspace(&rx, ws)
-            .message
-            != msg
+        let (msg, rx) = self.build_trial(snr_db, total_symbols, seed, &mut Vec::new());
+        self.decoder().decode_with_workspace(&rx, ws).message != msg
     }
 
     /// [`BlerRun::block_error_with_workspace`] with a throwaway workspace.
@@ -148,9 +165,13 @@ impl BlerRun {
         seed_base: u64,
         ws: &mut DecodeWorkspace,
     ) -> BlerEstimate {
+        let decoder = self.decoder();
+        let mut scratch = Vec::new();
         let errors = (0..trials)
             .filter(|&i| {
-                self.block_error_with_workspace(snr_db, total_symbols, seed_base + i as u64, ws)
+                let (msg, rx) =
+                    self.build_trial(snr_db, total_symbols, seed_base + i as u64, &mut scratch);
+                decoder.decode_with_workspace(&rx, ws).message != msg
             })
             .count();
         BlerEstimate { trials, errors }
@@ -176,15 +197,17 @@ impl BlerRun {
         // Several blocks in flight per worker hides the once-per-chunk
         // serial construction phase.
         let chunk_size = (engine.threads() * 8).clamp(8, 128);
-        let decoder = BubbleDecoder::new(&self.params);
+        let decoder = self.decoder();
         let mut errors = 0usize;
         let mut start = 0usize;
+        let mut scratch = Vec::new();
         while start < trials {
             let end = (start + chunk_size).min(trials);
             let mut msgs = Vec::with_capacity(end - start);
             let mut rxs = Vec::with_capacity(end - start);
             for i in start..end {
-                let (msg, rx) = self.build_trial(snr_db, total_symbols, seed_base + i as u64);
+                let (msg, rx) =
+                    self.build_trial(snr_db, total_symbols, seed_base + i as u64, &mut scratch);
                 msgs.push(msg);
                 rxs.push(rx);
             }
@@ -272,6 +295,32 @@ mod tests {
                 let engine = DecodeEngine::new(threads);
                 let parallel = run.measure_with_engine(6.0, symbols, 12, 9, &engine);
                 assert_eq!(serial, parallel, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_profile_measures_identically_across_engines() {
+        // The quantized profile is deterministic across dispatch paths:
+        // serial and batched-engine BLER estimates must agree exactly at
+        // every thread count, on AWGN and fading alike.
+        let runs = [
+            BlerRun::new(fast_params()).with_profile(MetricProfile::Quantized),
+            BlerRun::new(fast_params())
+                .with_profile(MetricProfile::Quantized)
+                .with_channel(LinkChannel::Rayleigh { tau: 4, csi: true }),
+        ];
+        for run in &runs {
+            let symbols = 2 * run.schedule().symbols_per_pass();
+            let mut ws = DecodeWorkspace::new();
+            let serial = run.measure(6.0, symbols, 12, 9, &mut ws);
+            for threads in [1, 2, 4] {
+                let engine = DecodeEngine::new(threads);
+                assert_eq!(
+                    serial,
+                    run.measure_with_engine(6.0, symbols, 12, 9, &engine),
+                    "threads {threads}"
+                );
             }
         }
     }

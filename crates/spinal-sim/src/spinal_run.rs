@@ -7,8 +7,8 @@ use rand::{Rng, SeedableRng};
 use spinal_channel::capacity::{awgn_capacity_db, bsc_capacity, rayleigh_ergodic_capacity_db};
 use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel, RayleighChannel};
 use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, Message, RxBits, RxSymbols,
-    Schedule,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, Message, MetricProfile,
+    RxBits, RxSymbols, Schedule, TableCache,
 };
 
 /// How a trial's decode attempts are dispatched: through a caller-held
@@ -17,16 +17,26 @@ use spinal_core::{
 /// bit-for-bit identical to the workspace path at every thread count —
 /// the decoder's reductions are order-independent — so the choice is
 /// purely about hardware utilisation.
+///
+/// Symbol decodes go through a per-trial [`TableCache`]: branch-metric
+/// tables are additive over observations, so each attempt folds in only
+/// the symbols received since the previous attempt instead of rebuilding
+/// every table from the whole buffer (bit-identical by construction).
 enum DecodeVia<'a> {
     Workspace(&'a mut DecodeWorkspace),
     Engine(&'a DecodeEngine),
 }
 
 impl DecodeVia<'_> {
-    fn decode(&mut self, decoder: &BubbleDecoder, rx: &RxSymbols) -> spinal_core::DecodeResult {
+    fn decode(
+        &mut self,
+        decoder: &BubbleDecoder,
+        rx: &RxSymbols,
+        cache: &mut TableCache,
+    ) -> spinal_core::DecodeResult {
         match self {
-            DecodeVia::Workspace(ws) => decoder.decode_with_workspace(rx, ws),
-            DecodeVia::Engine(engine) => engine.decode_parallel(decoder, rx),
+            DecodeVia::Workspace(ws) => decoder.decode_with_cache(rx, cache, ws),
+            DecodeVia::Engine(engine) => engine.decode_parallel_cached(decoder, rx, cache),
         }
     }
 
@@ -77,6 +87,11 @@ pub struct SpinalRun {
     /// does; `1.02` changes measured symbol counts by at most 2% while
     /// cutting low-SNR sweep time by an order of magnitude.
     pub attempt_growth: f64,
+    /// Metric profile for every decode attempt: exact `f64` (default)
+    /// or the quantized integer fast path (statistically equivalent,
+    /// ~1.7× faster decodes on the recording host — see the
+    /// `spinal-core::quant` docs and the committed bench baselines).
+    pub profile: MetricProfile,
 }
 
 impl SpinalRun {
@@ -89,7 +104,14 @@ impl SpinalRun {
             oracle_skip: true,
             erasure_prob: 0.0,
             attempt_growth: 1.0,
+            profile: MetricProfile::Exact,
         }
+    }
+
+    /// Select the decode metric profile (see [`SpinalRun::profile`]).
+    pub fn with_profile(mut self, profile: MetricProfile) -> Self {
+        self.profile = profile;
+        self
     }
 
     /// Set the attempt-thinning factor (see [`SpinalRun::attempt_growth`]).
@@ -172,7 +194,11 @@ impl SpinalRun {
         let mut enc = Encoder::new(p, &msg);
         let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
         let mut rx = RxSymbols::new(schedule.clone());
-        let decoder = BubbleDecoder::new(p);
+        let decoder = BubbleDecoder::new(p).with_profile(self.profile);
+        // Branch-metric tables are additive over observations: one cache
+        // per trial means each attempt builds tables only for the
+        // symbols that arrived since the last attempt.
+        let mut cache = TableCache::new();
 
         let max_symbols = self.max_passes * schedule.symbols_per_pass();
         let boundaries = schedule.subpass_boundaries(max_symbols);
@@ -198,6 +224,11 @@ impl SpinalRun {
         let mut sent = 0usize;
         let mut tx_index = 0usize; // symbols transmitted, for CSI lookup
         let mut next_attempt = 0usize;
+        // Per-trial scratch reused across subpasses: the CSI vector and
+        // the phase-rotated symbol vector would otherwise be collected
+        // fresh on every subpass of every trial.
+        let mut hs_buf: Vec<spinal_channel::Complex> = Vec::new();
+        let mut rot_buf: Vec<spinal_channel::Complex> = Vec::new();
         for &boundary in &boundaries {
             let chunk = boundary - sent;
             let tx = enc.next_symbols(chunk);
@@ -210,10 +241,11 @@ impl SpinalRun {
             } else {
                 let ys = ch.transmit(&tx);
                 if csi {
-                    let hs: Vec<_> = (0..ys.len())
-                        .map(|i| ch.csi(tx_index + i).expect("csi for sent symbol"))
-                        .collect();
-                    rx.push_with_csi(&ys, &hs);
+                    hs_buf.clear();
+                    hs_buf.extend(
+                        (0..ys.len()).map(|i| ch.csi(tx_index + i).expect("csi for sent symbol")),
+                    );
+                    rx.push_with_csi(&ys, &hs_buf);
                 } else if matches!(self.channel, LinkChannel::Rayleigh { .. }) {
                     // "No fading information" (Fig 8-5) still assumes the
                     // PHY's carrier recovery locks phase — with a
@@ -221,15 +253,12 @@ impl SpinalRun {
                     // decoder can extract information. The decoder stays
                     // amplitude-blind: plain AWGN metric on the
                     // phase-corrected observations.
-                    let ys_rot: Vec<_> = ys
-                        .iter()
-                        .enumerate()
-                        .map(|(i, y)| {
-                            let h = ch.csi(tx_index + i).expect("phase reference");
-                            *y * h.conj() / h.abs()
-                        })
-                        .collect();
-                    rx.push(&ys_rot);
+                    rot_buf.clear();
+                    rot_buf.extend(ys.iter().enumerate().map(|(i, y)| {
+                        let h = ch.csi(tx_index + i).expect("phase reference");
+                        *y * h.conj() / h.abs()
+                    }));
+                    rx.push(&rot_buf);
                 } else {
                     rx.push(&ys);
                 }
@@ -242,7 +271,7 @@ impl SpinalRun {
             if sent < next_attempt {
                 continue;
             }
-            if via.decode(&decoder, &rx).message == msg {
+            if via.decode(&decoder, &rx, &mut cache).message == msg {
                 return Trial::success(p.n, sent);
             }
             next_attempt = ((sent as f64) * self.attempt_growth) as usize;
@@ -286,6 +315,29 @@ pub fn run_bsc_trial_with_workspace(
         max_passes,
         oracle_skip,
         seed,
+        MetricProfile::Exact,
+        DecodeVia::Workspace(ws),
+    )
+}
+
+/// [`run_bsc_trial_with_workspace`] under an explicit metric profile
+/// (the `--metric` flag of the BSC experiment binaries).
+pub fn run_bsc_trial_with_profile(
+    params: &CodeParams,
+    flip_p: f64,
+    max_passes: usize,
+    oracle_skip: bool,
+    seed: u64,
+    profile: MetricProfile,
+    ws: &mut DecodeWorkspace,
+) -> Trial {
+    run_bsc_trial_via(
+        params,
+        flip_p,
+        max_passes,
+        oracle_skip,
+        seed,
+        profile,
         DecodeVia::Workspace(ws),
     )
 }
@@ -306,6 +358,7 @@ pub fn run_bsc_trial_with_engine(
         max_passes,
         oracle_skip,
         seed,
+        MetricProfile::Exact,
         DecodeVia::Engine(engine),
     )
 }
@@ -316,6 +369,7 @@ fn run_bsc_trial_via(
     max_passes: usize,
     oracle_skip: bool,
     seed: u64,
+    profile: MetricProfile,
     mut via: DecodeVia<'_>,
 ) -> Trial {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -323,7 +377,7 @@ fn run_bsc_trial_via(
     let mut enc = Encoder::new(params, &msg);
     let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
     let mut rx = RxBits::new(schedule.clone());
-    let decoder = BubbleDecoder::new(params);
+    let decoder = BubbleDecoder::new(params).with_profile(profile);
     let mut ch = BscChannel::new(flip_p, seed.wrapping_add(0xB5C));
 
     let max_symbols = max_passes * schedule.symbols_per_pass();
@@ -403,6 +457,49 @@ mod tests {
     fn deterministic_given_seed() {
         let run = SpinalRun::new(fast_params());
         assert_eq!(run.run_trial(8.0, 7), run.run_trial(8.0, 7));
+    }
+
+    #[test]
+    fn quantized_profile_trials_decode_and_are_dispatch_invariant() {
+        // The quantized fast path must (a) actually decode at sane
+        // rates and (b) measure identical trials through the workspace
+        // and engine dispatch paths at several thread budgets.
+        let run = SpinalRun::new(fast_params()).with_profile(MetricProfile::Quantized);
+        let mut ws = DecodeWorkspace::new();
+        let mut ok = 0;
+        for (snr, seed) in [(15.0, 1u64), (8.0, 2), (12.0, 3)] {
+            let base = run.run_trial(snr, seed);
+            if base.symbols.is_some() {
+                ok += 1;
+            }
+            assert_eq!(base, run.run_trial_with_workspace(snr, seed, &mut ws));
+            for threads in [1, 2, 4] {
+                let engine = DecodeEngine::new(threads);
+                assert_eq!(
+                    base,
+                    run.run_trial_with_engine(snr, seed, &engine),
+                    "threads {threads} snr {snr}"
+                );
+            }
+        }
+        assert_eq!(ok, 3, "quantized trials should decode at these SNRs");
+        // BSC: quantized Hamming is the same integer computation.
+        let p = fast_params();
+        for seed in 0..2 {
+            assert_eq!(
+                run_bsc_trial_with_profile(
+                    &p,
+                    0.03,
+                    30,
+                    true,
+                    seed,
+                    MetricProfile::Quantized,
+                    &mut ws
+                ),
+                run_bsc_trial(&p, 0.03, 30, true, seed),
+                "bsc seed {seed}"
+            );
+        }
     }
 
     #[test]

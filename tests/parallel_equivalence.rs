@@ -9,6 +9,7 @@
 
 use proptest::prelude::*;
 use spinal_codes::channel::BitChannel;
+use spinal_codes::core::MetricProfile;
 use spinal_codes::{
     AwgnChannel, BscChannel, BubbleDecoder, Channel, CodeParams, Complex, DecodeEngine, Encoder,
     Message, RayleighChannel, RxBits, RxSymbols, Schedule,
@@ -24,6 +25,8 @@ struct Scenario {
     chan: u8,
     /// Index into [`THREAD_COUNTS`].
     threads_idx: usize,
+    /// Decode under the quantized integer profile instead of exact.
+    quantized: bool,
     seed: u64,
 }
 
@@ -38,16 +41,20 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         0usize..3,
         0u8..3,
         0usize..4,
+        0u8..2,
         0u64..1 << 20,
     )
-        .prop_map(|(k, d, b_pow, chan, threads_idx, seed)| Scenario {
-            k,
-            d,
-            b: 4 << b_pow, // B ∈ {4, 8, 16}
-            chan,
-            threads_idx,
-            seed,
-        })
+        .prop_map(
+            |(k, d, b_pow, chan, threads_idx, quant_sel, seed)| Scenario {
+                k,
+                d,
+                b: 4 << b_pow, // B ∈ {4, 8, 16}
+                chan,
+                threads_idx,
+                quantized: quant_sel == 1,
+                seed,
+            },
+        )
 }
 
 enum Rx {
@@ -113,13 +120,20 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Engine decode ≡ serial decode for arbitrary (k, d, B, channel,
-    /// threads, seed), over both metric kinds.
+    /// threads, seed), over both metric kinds AND both metric profiles
+    /// (the quantized integer path must be exactly as deterministic
+    /// under sharding as the exact one).
     #[test]
     fn engine_decode_is_bit_identical_to_serial(sc in arb_scenario()) {
         let (params, rx) = build(&sc);
         let threads = THREAD_COUNTS[sc.threads_idx];
         let engine = DecodeEngine::new(threads);
-        let dec = BubbleDecoder::new(&params);
+        let profile = if sc.quantized {
+            MetricProfile::Quantized
+        } else {
+            MetricProfile::Exact
+        };
+        let dec = BubbleDecoder::new(&params).with_profile(profile);
         match &rx {
             Rx::Symbols(rx) => {
                 let serial = dec.decode(rx);
@@ -149,10 +163,16 @@ fn one_engine_decodes_a_parade_of_scenarios_identically() {
                 b: 4 << (seed % 3),
                 chan: (seed % 3) as u8,
                 threads_idx: 0,
+                quantized: seed % 2 == 1,
                 seed: seed * 77 + 5,
             };
             let (params, rx) = build(&sc);
-            let dec = BubbleDecoder::new(&params);
+            let profile = if sc.quantized {
+                MetricProfile::Quantized
+            } else {
+                MetricProfile::Exact
+            };
+            let dec = BubbleDecoder::new(&params).with_profile(profile);
             match &rx {
                 Rx::Symbols(rx) => assert_bitwise_equal(
                     &dec.decode(rx),
@@ -233,13 +253,22 @@ fn degenerate_csi_ties_resolve_identically_at_every_thread_count() {
         })
         .collect();
     rx.push_with_csi(&tx, &hs);
-    let dec = BubbleDecoder::new(&params);
-    let serial = dec.decode(&rx);
-    assert!(serial.cost.is_infinite() && serial.cost > 0.0);
-    for &threads in &THREAD_COUNTS {
-        let engine = DecodeEngine::new(threads);
-        let parallel = engine.decode_parallel(&dec, &rx);
-        assert_bitwise_equal(&serial, &parallel, &format!("inf-CSI threads {threads}"));
+    for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+        let dec = BubbleDecoder::new(&params).with_profile(profile);
+        let serial = dec.decode(&rx);
+        assert!(
+            serial.cost.is_infinite() && serial.cost > 0.0,
+            "{profile:?}"
+        );
+        for &threads in &THREAD_COUNTS {
+            let engine = DecodeEngine::new(threads);
+            let parallel = engine.decode_parallel(&dec, &rx);
+            assert_bitwise_equal(
+                &serial,
+                &parallel,
+                &format!("inf-CSI {profile:?} threads {threads}"),
+            );
+        }
     }
 }
 
@@ -253,12 +282,18 @@ fn all_nan_observations_resolve_identically_at_every_thread_count() {
     let mut rx = RxSymbols::new(schedule);
     let nan = Complex::new(f64::NAN, f64::NAN);
     rx.push(&vec![nan; 2 * params.symbols_per_pass()]);
-    let dec = BubbleDecoder::new(&params);
-    let serial = dec.decode(&rx);
-    assert!(serial.cost.is_infinite());
-    for &threads in &THREAD_COUNTS {
-        let engine = DecodeEngine::new(threads);
-        let parallel = engine.decode_parallel(&dec, &rx);
-        assert_bitwise_equal(&serial, &parallel, &format!("all-NaN threads {threads}"));
+    for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
+        let dec = BubbleDecoder::new(&params).with_profile(profile);
+        let serial = dec.decode(&rx);
+        assert!(serial.cost.is_infinite(), "{profile:?}");
+        for &threads in &THREAD_COUNTS {
+            let engine = DecodeEngine::new(threads);
+            let parallel = engine.decode_parallel(&dec, &rx);
+            assert_bitwise_equal(
+                &serial,
+                &parallel,
+                &format!("all-NaN {profile:?} threads {threads}"),
+            );
+        }
     }
 }
