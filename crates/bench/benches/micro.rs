@@ -7,8 +7,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_channel::{AwgnChannel, Channel, Complex};
 use spinal_core::{
-    hash, BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, HashKind, Message,
-    MetricProfile, RxSymbols, Schedule,
+    hash, BubbleDecoder, CodeParams, DecodeEngine, DecodeRequest, DecodeWorkspace, Encoder,
+    HashKind, Message, MetricProfile, RxSymbols, Schedule,
 };
 
 fn bench_hashes(c: &mut Criterion) {
@@ -62,7 +62,7 @@ fn bench_decoder(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_B{bw}_2passes")),
             &rx,
-            |b, rx| b.iter(|| dec.decode(black_box(rx))),
+            |b, rx| b.iter(|| DecodeRequest::new(&dec, black_box(rx)).decode()),
         );
         // Same decode through a warm reusable workspace (how sweeps and
         // the §7.1 attempt loop run it): isolates allocation overhead.
@@ -70,7 +70,13 @@ fn bench_decoder(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_B{bw}_2passes_ws")),
             &rx,
-            |b, rx| b.iter(|| dec.decode_with_workspace(black_box(rx), &mut ws)),
+            |b, rx| {
+                b.iter(|| {
+                    DecodeRequest::new(&dec, black_box(rx))
+                        .workspace(&mut ws)
+                        .decode()
+                })
+            },
         );
     }
     g.finish();
@@ -97,13 +103,19 @@ fn bench_decoder_quant(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_B{bw}_2passes")),
             &rx,
-            |b, rx| b.iter(|| dec.decode(black_box(rx))),
+            |b, rx| b.iter(|| DecodeRequest::new(&dec, black_box(rx)).decode()),
         );
         let mut ws = DecodeWorkspace::new();
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_B{bw}_2passes_ws")),
             &rx,
-            |b, rx| b.iter(|| dec.decode_with_workspace(black_box(rx), &mut ws)),
+            |b, rx| {
+                b.iter(|| {
+                    DecodeRequest::new(&dec, black_box(rx))
+                        .workspace(&mut ws)
+                        .decode()
+                })
+            },
         );
     }
     g.finish();
@@ -258,7 +270,9 @@ fn bench_alternative_decoders(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("decoder_families_n16");
     let bubble = BubbleDecoder::new(&params);
-    g.bench_function("bubble_b256", |b| b.iter(|| bubble.decode(black_box(&rx))));
+    g.bench_function("bubble_b256", |b| {
+        b.iter(|| DecodeRequest::new(&bubble, black_box(&rx)).decode())
+    });
     let ml = MlDecoder::new(&params);
     g.bench_function("exact_ml", |b| b.iter(|| ml.decode(black_box(&rx))));
     let stack = StackDecoder::new(&params, 2.0 * 10f64.powf(-1.2));

@@ -26,6 +26,13 @@
 //!   least `--min-speedup`. Catches "the integer fast path silently
 //!   fell back to something slow" regressions; the floor is set below
 //!   the recorded steady-state ratio because CI hosts are noisy.
+//! * **`goodput`**: checks a transport goodput row recorded by the
+//!   `net_loopback` bin (`goodput_bits_per_symbol` in the same
+//!   JSON-lines format): `--group/--bench` must reach at least
+//!   `--min-goodput` bits per channel symbol. Goodput is seeded and
+//!   deterministic — unlike the timing modes this floor can sit close
+//!   to the recorded value; a drop means the protocol got chattier or
+//!   the decoder weaker, not that CI was slow.
 //!
 //! ```sh
 //! BENCH_JSON=/tmp/now.json BENCH_FILTER=bubble_decode \
@@ -230,15 +237,45 @@ fn run_profile_speedup_mode(args: &Args) {
     println!("bench_guard: OK");
 }
 
+fn run_goodput_mode(args: &Args) {
+    let current = args.str("current", "/tmp/bench_current.json");
+    let group = args.str("group", "net_loopback");
+    let name = args.str("bench", "awgn20_clean");
+    let min_goodput = args.f64("min-goodput", 0.5);
+    if min_goodput.is_nan() || min_goodput <= 0.0 {
+        die(format!("--min-goodput must be positive, got {min_goodput}"));
+    }
+
+    let text = std::fs::read_to_string(&current)
+        .unwrap_or_else(|e| die(format!("cannot read --current file '{current}': {e}")));
+    let goodput = find_field_in(&text, &group, &name, None, "goodput_bits_per_symbol")
+        .unwrap_or_else(|| {
+            die(format!(
+                "--group/--bench pair '{group}/{name}' has no goodput_bits_per_symbol entry in \
+                 --current file '{current}' — was it recorded with the net_loopback bin's --json?"
+            ))
+        });
+    println!("bench_guard: {group}/{name}: {goodput:.4} bits/symbol (floor {min_goodput:.4})");
+    if goodput < min_goodput {
+        eprintln!(
+            "bench_guard: FAIL — goodput {goodput:.4} bits/symbol fell below the \
+             {min_goodput:.4} floor"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}
+
 fn main() {
     let args = Args::parse();
     match args.str("mode", "median").as_str() {
         "median" => run_median_mode(&args),
         "throughput" => run_throughput_mode(&args),
         "profile-speedup" => run_profile_speedup_mode(&args),
+        "goodput" => run_goodput_mode(&args),
         other => die(format!(
-            "invalid value for --mode: '{other}' (expected 'median', 'throughput', or \
-             'profile-speedup')"
+            "invalid value for --mode: '{other}' (expected 'median', 'throughput', \
+             'profile-speedup', or 'goodput')"
         )),
     }
 }
@@ -405,6 +442,34 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("--current") && err.contains("/nonexistent/q.json"));
+    }
+
+    #[test]
+    fn goodput_rows_parse_like_any_other_field() {
+        let sample = concat!(
+            "{\"group\":\"net_loopback\",\"bench\":\"awgn20_clean\",\"goodput_bits_per_symbol\":1.482131,\"symbols\":2590,\"delivered\":5}\n",
+            "{\"group\":\"net_loopback\",\"bench\":\"awgn15_lossy\",\"goodput_bits_per_symbol\":0.912000,\"symbols\":4210,\"delivered\":5}\n",
+        );
+        assert_eq!(
+            find_field_in(
+                sample,
+                "net_loopback",
+                "awgn20_clean",
+                None,
+                "goodput_bits_per_symbol"
+            ),
+            Some(1.482131)
+        );
+        assert_eq!(
+            find_field_in(
+                sample,
+                "net_loopback",
+                "absent",
+                None,
+                "goodput_bits_per_symbol"
+            ),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Goodput of the `spinal-net` rateless transport over the seeded
+//! loopback link: delivered payload bits per channel symbol, per
+//! channel condition, with the full protocol in the loop (framing CRC
+//! overhead, subpass scheduling, feedback rounds, reorder buffer).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin net_loopback -- \
+//!     [--trials 5] [--payload-bytes 96] [--json /tmp/net.json]
+//! ```
+//!
+//! Prints a CSV row per condition and, when `--json` (or `$BENCH_JSON`)
+//! names a file, appends shim-criterion JSON lines
+//! (`group "net_loopback"`, field `goodput_bits_per_symbol`) that
+//! `bench_guard --mode goodput` can check against a floor.
+
+use bench::Args;
+use spinal_channel::Impairments;
+use spinal_core::CodeParams;
+use spinal_net::{run_loopback_transfer, NoiseModel, TransferConfig};
+use std::io::Write;
+
+struct Condition {
+    name: &'static str,
+    noise: NoiseModel,
+    impair: Impairments,
+}
+
+fn conditions() -> Vec<Condition> {
+    let lossy = Impairments {
+        loss: 0.1,
+        dup: 0.05,
+        reorder: 0.1,
+        reorder_span: 3,
+    };
+    vec![
+        Condition {
+            name: "awgn20_clean",
+            noise: NoiseModel::Awgn { snr_db: 20.0 },
+            impair: Impairments::clean(),
+        },
+        Condition {
+            name: "awgn10_clean",
+            noise: NoiseModel::Awgn { snr_db: 10.0 },
+            impair: Impairments::clean(),
+        },
+        Condition {
+            name: "awgn15_lossy",
+            noise: NoiseModel::Awgn { snr_db: 15.0 },
+            impair: lossy,
+        },
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.usize("trials", 5);
+    let payload_bytes = args.usize("payload-bytes", 96);
+    let json_path = {
+        let cli = args.str("json", "");
+        if cli.is_empty() {
+            std::env::var("BENCH_JSON").unwrap_or_default()
+        } else {
+            cli
+        }
+    };
+
+    let params = CodeParams::default().with_n(256);
+    let payload: Vec<u8> = (0..payload_bytes)
+        .map(|i| (i as u8).wrapping_mul(151).wrapping_add(17))
+        .collect();
+    let cfg = TransferConfig {
+        max_passes: 16,
+        max_rounds: 400,
+        ..TransferConfig::default()
+    };
+
+    let mut json = String::new();
+    println!("# spinal-net loopback goodput: {payload_bytes}-byte payload, {trials} trials");
+    println!("condition,goodput_bits_per_symbol,symbols_per_trial,rounds,delivered");
+    for cond in conditions() {
+        let mut symbols = 0usize;
+        let mut rounds = 0usize;
+        let mut delivered = 0usize;
+        for t in 0..trials {
+            let report = run_loopback_transfer(
+                &params,
+                &payload,
+                cond.noise,
+                cond.impair,
+                Impairments::clean(),
+                0xBEEF + t as u64,
+                cfg,
+            );
+            symbols += report.symbols_sent;
+            rounds += report.rounds;
+            delivered += usize::from(report.payload.as_deref() == Some(&payload[..]));
+        }
+        let goodput = if symbols > 0 {
+            (delivered * payload.len() * 8) as f64 / symbols as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{},{:.4},{:.1},{:.1},{}/{}",
+            cond.name,
+            goodput,
+            symbols as f64 / trials as f64,
+            rounds as f64 / trials as f64,
+            delivered,
+            trials
+        );
+        json.push_str(&format!(
+            "{{\"group\":\"net_loopback\",\"bench\":\"{}\",\"goodput_bits_per_symbol\":{:.6},\
+             \"symbols\":{},\"delivered\":{}}}\n",
+            cond.name, goodput, symbols, delivered
+        ));
+    }
+    if !json_path.is_empty() {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&json_path)
+            .unwrap_or_else(|e| bench::die(format!("cannot open --json file '{json_path}': {e}")));
+        f.write_all(json.as_bytes())
+            .unwrap_or_else(|e| bench::die(format!("cannot write --json file '{json_path}': {e}")));
+        println!("# goodput rows appended to {json_path}");
+    }
+    println!("# expectation: awgn20_clean > awgn10_clean (rate adapts to SNR); the lossy");
+    println!("# condition still delivers every trial, at reduced goodput");
+}

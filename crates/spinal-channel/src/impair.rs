@@ -1,0 +1,268 @@
+//! Datagram-level impairments: loss, duplication, and reordering.
+//!
+//! The symbol channels in this crate ([`crate::AwgnChannel`] and
+//! friends) corrupt *payloads*; a real link between a spinal sender and
+//! receiver also mistreats whole *datagrams* — frames vanish, arrive
+//! twice, or overtake each other. [`Impairer`] models that layer as a
+//! seeded random process so a loopback transport can be tested offline
+//! under adverse delivery without any real network.
+//!
+//! The model is intentionally simple and memoryless per datagram: each
+//! pushed datagram independently draws one fate — dropped, duplicated,
+//! delayed (reordered behind the next few datagrams), or delivered in
+//! order. A delayed datagram is held back and released after a bounded
+//! number of subsequent pushes, which both bounds receiver buffering in
+//! tests and guarantees every non-lost datagram is eventually delivered
+//! once [`Impairer::flush`] runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Probabilities of each datagram fate, applied independently per push.
+///
+/// The three probabilities must each lie in `[0, 1]` and sum to at most
+/// 1; the remainder is the probability of clean in-order delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Impairments {
+    /// Probability the datagram is silently dropped.
+    pub loss: f64,
+    /// Probability the datagram is delivered twice back to back.
+    pub dup: f64,
+    /// Probability the datagram is held back and released after between
+    /// 1 and [`Impairments::reorder_span`] subsequent pushes.
+    pub reorder: f64,
+    /// Maximum number of later datagrams a delayed one can fall behind.
+    pub reorder_span: usize,
+}
+
+impl Impairments {
+    /// A perfectly well-behaved link: every datagram delivered once, in
+    /// order.
+    pub fn clean() -> Self {
+        Impairments {
+            loss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_span: 4,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("dup", self.dup),
+            ("reorder", self.reorder),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability {p} not in [0, 1]"
+            );
+        }
+        assert!(
+            self.loss + self.dup + self.reorder <= 1.0 + 1e-12,
+            "fate probabilities sum past 1"
+        );
+        assert!(
+            self.reorder == 0.0 || self.reorder_span >= 1,
+            "reorder_span must be >= 1 when reordering is enabled"
+        );
+    }
+}
+
+/// A seeded datagram mistreatment process (see the module docs).
+///
+/// Generic over the datagram type so transports can push whole wire
+/// buffers (`Vec<u8>`) or richer in-memory records without copies.
+#[derive(Debug, Clone)]
+pub struct Impairer<T> {
+    cfg: Impairments,
+    rng: StdRng,
+    /// Held-back datagrams: `(remaining pushes before release, datagram)`.
+    delayed: Vec<(usize, T)>,
+}
+
+impl<T> Impairer<T> {
+    /// Create a process with the given fate probabilities; deterministic
+    /// in `seed`.
+    pub fn new(cfg: Impairments, seed: u64) -> Self {
+        cfg.validate();
+        Impairer {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            delayed: Vec::new(),
+        }
+    }
+
+    /// Offer one datagram to the link. Returns everything the far end
+    /// receives *now*, in arrival order: previously delayed datagrams
+    /// whose holdback just expired, then this datagram zero, one, or two
+    /// times depending on its fate.
+    pub fn push(&mut self, item: T) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = self.release_due();
+        let u = self.rng.gen::<f64>();
+        let c = &self.cfg;
+        if u < c.loss {
+            // Dropped on the floor.
+        } else if u < c.loss + c.dup {
+            out.push(item.clone());
+            out.push(item);
+        } else if u < c.loss + c.dup + c.reorder {
+            let holdback = 1 + (self.rng.gen::<u64>() as usize) % c.reorder_span;
+            self.delayed.push((holdback, item));
+        } else {
+            out.push(item);
+        }
+        out
+    }
+
+    /// Release every still-held datagram (end of transmission). Arrival
+    /// order is the order holdbacks would have expired.
+    pub fn flush(&mut self) -> Vec<T> {
+        self.delayed.sort_by_key(|(left, _)| *left);
+        self.delayed.drain(..).map(|(_, item)| item).collect()
+    }
+
+    /// Number of datagrams currently held back for reordering.
+    pub fn in_flight(&self) -> usize {
+        self.delayed.len()
+    }
+
+    /// Tick every holdback down by one push and return the datagrams
+    /// that just came due, in expiry order (stable for ties).
+    fn release_due(&mut self) -> Vec<T> {
+        let mut due = Vec::new();
+        let mut still = Vec::with_capacity(self.delayed.len());
+        for (left, item) in self.delayed.drain(..) {
+            if left <= 1 {
+                due.push(item);
+            } else {
+                still.push((left - 1, item));
+            }
+        }
+        self.delayed = still;
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cfg: Impairments, seed: u64, n: usize) -> Vec<u32> {
+        let mut link = Impairer::new(cfg, seed);
+        let mut got = Vec::new();
+        for i in 0..n as u32 {
+            got.extend(link.push(i));
+        }
+        got.extend(link.flush());
+        got
+    }
+
+    #[test]
+    fn clean_link_is_the_identity() {
+        let got = run(Impairments::clean(), 7, 100);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = Impairments {
+            loss: 0.2,
+            dup: 0.1,
+            reorder: 0.2,
+            reorder_span: 5,
+        };
+        assert_eq!(run(cfg, 42, 500), run(cfg, 42, 500));
+        assert_ne!(run(cfg, 42, 500), run(cfg, 43, 500));
+    }
+
+    #[test]
+    fn loss_rate_is_approximately_honoured() {
+        let cfg = Impairments {
+            loss: 0.3,
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_span: 4,
+        };
+        let got = run(cfg, 11, 2000);
+        let rate = 1.0 - got.len() as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed loss {rate}");
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_loses_nothing() {
+        let cfg = Impairments {
+            loss: 0.0,
+            dup: 0.25,
+            reorder: 0.0,
+            reorder_span: 4,
+        };
+        let got = run(cfg, 3, 400);
+        assert!(got.len() > 400, "no duplicates observed");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, (0..400).collect::<Vec<_>>(), "datagrams lost");
+    }
+
+    #[test]
+    fn reordering_permutes_but_conserves() {
+        let cfg = Impairments {
+            loss: 0.0,
+            dup: 0.0,
+            reorder: 0.4,
+            reorder_span: 6,
+        };
+        let got = run(cfg, 9, 300);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..300).collect::<Vec<_>>(), "not a permutation");
+        assert_ne!(got, sorted, "no reordering happened");
+        // A delayed datagram falls behind at most reorder_span pushes, so
+        // displacement is bounded.
+        for (pos, &v) in got.iter().enumerate() {
+            assert!(
+                (pos as i64 - v as i64).unsigned_abs() <= 2 * cfg.reorder_span as u64,
+                "datagram {v} displaced to {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_releases_everything_held() {
+        let cfg = Impairments {
+            loss: 0.0,
+            dup: 0.0,
+            reorder: 1.0,
+            reorder_span: 8,
+        };
+        let mut link = Impairer::new(cfg, 5);
+        let mut got = Vec::new();
+        for i in 0..10u32 {
+            got.extend(link.push(i));
+        }
+        assert!(link.in_flight() > 0);
+        got.extend(link.flush());
+        assert_eq!(link.in_flight(), 0);
+        let mut sorted = got;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = Impairer::<u8>::new(
+            Impairments {
+                loss: 1.5,
+                dup: 0.0,
+                reorder: 0.0,
+                reorder_span: 4,
+            },
+            0,
+        );
+    }
+}

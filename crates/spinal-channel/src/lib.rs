@@ -24,6 +24,7 @@ pub mod bsc;
 pub mod capacity;
 pub mod complex;
 pub mod fading;
+pub mod impair;
 pub mod math;
 pub mod mi;
 pub mod snr;
@@ -32,6 +33,7 @@ pub use awgn::AwgnChannel;
 pub use bsc::BscChannel;
 pub use complex::Complex;
 pub use fading::RayleighChannel;
+pub use impair::{Impairer, Impairments};
 pub use snr::{db_to_linear, linear_to_db};
 
 /// A channel that maps transmitted complex symbols to noisy received symbols.

@@ -82,6 +82,7 @@
 //! across worker threads and still produce bit-for-bit the serial result
 //! at every thread count — under either profile.
 
+use crate::api::DecodeRequest;
 use crate::bits::Message;
 use crate::params::CodeParams;
 use crate::quant::{pair_delta, radix_select_keys, radix_threshold, MetricProfile, QuantTables};
@@ -849,24 +850,42 @@ impl BubbleDecoder {
     /// The branch metric is `Σ_t |y_t − h_t·x_t(s)|²` over the symbols
     /// received for each spine value (§4.1, extended with CSI when the
     /// buffer carries it).
-    ///
-    /// Allocates a fresh [`DecodeWorkspace`] per call; hot callers should
-    /// hold one and use [`BubbleDecoder::decode_with_workspace`].
+    #[deprecated(
+        note = "decode through spinal_core::DecodeRequest (see README's API migration \
+                         table): DecodeRequest::new(&decoder, rx).decode()"
+    )]
     pub fn decode(&self, rx: &RxSymbols) -> DecodeResult {
-        self.decode_with_workspace(rx, &mut DecodeWorkspace::new())
+        DecodeRequest::new(self, rx).decode()
     }
 
     /// Decode from hard bits (BSC). The branch metric is Hamming distance.
-    ///
-    /// Allocates a fresh [`DecodeWorkspace`] per call; hot callers should
-    /// hold one and use [`BubbleDecoder::decode_bsc_with_workspace`].
+    #[deprecated(
+        note = "decode through spinal_core::DecodeRequest (see README's API migration \
+                         table): DecodeRequest::new(&decoder, rx).decode()"
+    )]
     pub fn decode_bsc(&self, rx: &RxBits) -> DecodeResult {
-        self.decode_bsc_with_workspace(rx, &mut DecodeWorkspace::new())
+        DecodeRequest::new(self, rx).decode()
     }
 
-    /// [`BubbleDecoder::decode`] reusing the caller's buffers. Identical
-    /// output; no heap allocation once `ws` is warm.
+    /// Decode complex observations reusing the caller's buffers.
+    /// Identical output; no heap allocation once `ws` is warm.
+    #[deprecated(
+        note = "decode through spinal_core::DecodeRequest (see README's API migration \
+                         table): DecodeRequest::new(&decoder, rx).workspace(&mut ws).decode()"
+    )]
     pub fn decode_with_workspace(&self, rx: &RxSymbols, ws: &mut DecodeWorkspace) -> DecodeResult {
+        DecodeRequest::new(self, rx).workspace(ws).decode()
+    }
+
+    /// The symbol-observation decode under this decoder's metric
+    /// profile — the computation every symbol form of
+    /// [`DecodeRequest`](crate::DecodeRequest) without a cache resolves
+    /// to.
+    pub(crate) fn decode_symbols_impl(
+        &self,
+        rx: &RxSymbols,
+        ws: &mut DecodeWorkspace,
+    ) -> DecodeResult {
         assert_eq!(rx.n_spines(), self.params.num_spines());
         match self.profile {
             MetricProfile::Exact => self.decode_exact_per_step(rx, ws),
@@ -883,9 +902,19 @@ impl BubbleDecoder {
         }
     }
 
-    /// [`BubbleDecoder::decode_bsc`] reusing the caller's buffers.
-    /// Identical output; no heap allocation once `ws` is warm.
+    /// Decode hard bits reusing the caller's buffers. Identical output;
+    /// no heap allocation once `ws` is warm.
+    #[deprecated(
+        note = "decode through spinal_core::DecodeRequest (see README's API migration \
+                         table): DecodeRequest::new(&decoder, rx).workspace(&mut ws).decode()"
+    )]
     pub fn decode_bsc_with_workspace(&self, rx: &RxBits, ws: &mut DecodeWorkspace) -> DecodeResult {
+        DecodeRequest::new(self, rx).workspace(ws).decode()
+    }
+
+    /// The hard-bit (Hamming metric) decode — the computation every bit
+    /// form of [`DecodeRequest`](crate::DecodeRequest) resolves to.
+    pub(crate) fn decode_bits_impl(&self, rx: &RxBits, ws: &mut DecodeWorkspace) -> DecodeResult {
         assert_eq!(rx.n_spines(), self.params.num_spines());
         match self.profile {
             MetricProfile::Exact => {
@@ -921,12 +950,32 @@ impl BubbleDecoder {
         }
     }
 
-    /// [`BubbleDecoder::decode`] through a [`TableCache`]: each call
-    /// folds in only the observations received since the previous call
-    /// (the §7.1 attempt loop) instead of rebuilding every branch-metric
-    /// table from the whole buffer. Bit-identical to
-    /// [`BubbleDecoder::decode_with_workspace`] under both profiles.
+    /// Decode through a [`TableCache`]: each call folds in only the
+    /// observations received since the previous call (the §7.1 attempt
+    /// loop) instead of rebuilding every branch-metric table from the
+    /// whole buffer. Bit-identical to the uncached decode under both
+    /// profiles.
+    #[deprecated(
+        note = "decode through spinal_core::DecodeRequest (see README's API migration \
+                         table): DecodeRequest::new(&decoder, rx).workspace(&mut ws)\
+                         .cache(&mut cache).decode()"
+    )]
     pub fn decode_with_cache(
+        &self,
+        rx: &RxSymbols,
+        cache: &mut TableCache,
+        ws: &mut DecodeWorkspace,
+    ) -> DecodeResult {
+        DecodeRequest::new(self, rx)
+            .workspace(ws)
+            .cache(cache)
+            .decode()
+    }
+
+    /// The incremental-table decode — the computation every
+    /// symbol-plus-cache form of [`DecodeRequest`](crate::DecodeRequest)
+    /// resolves to.
+    pub(crate) fn decode_cached_impl(
         &self,
         rx: &RxSymbols,
         cache: &mut TableCache,
@@ -979,10 +1028,14 @@ impl BubbleDecoder {
     /// workspace (e.g. a batch of frames from the same link). For a
     /// multi-core pipeline over the same shape of batch, see
     /// [`DecodeEngine::decode_batch_parallel`](crate::engine::DecodeEngine::decode_batch_parallel).
+    #[deprecated(
+        note = "issue one spinal_core::DecodeRequest per block with a shared workspace, \
+                         or use DecodeEngine::decode_batch_parallel for the multi-core shape"
+    )]
     pub fn decode_batch(&self, rxs: &[RxSymbols]) -> Vec<DecodeResult> {
         let mut ws = DecodeWorkspace::new();
         rxs.iter()
-            .map(|rx| self.decode_with_workspace(rx, &mut ws))
+            .map(|rx| self.decode_symbols_impl(rx, &mut ws))
             .collect()
     }
 
@@ -1476,7 +1529,7 @@ mod tests {
         let tx = enc.next_symbols(passes * params.symbols_per_pass());
         rx.push(&ch.transmit(&tx));
         let dec = BubbleDecoder::new(params).with_profile(profile);
-        dec.decode(&rx).message == msg
+        DecodeRequest::new(&dec, &rx).decode().message == msg
     }
 
     #[test]
@@ -1487,7 +1540,7 @@ mod tests {
         let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
         let mut rx = RxSymbols::new(schedule);
         rx.push(&enc.next_symbols(p.symbols_per_pass()));
-        let out = BubbleDecoder::new(&p).decode(&rx);
+        let out = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
         assert_eq!(out.message, msg);
         assert!(out.cost < 1e-12, "noiseless cost {}", out.cost);
     }
@@ -1553,7 +1606,7 @@ mod tests {
         // p=0.05 → capacity ≈ 0.71 bits/use; k=4 → need ≥ 6 passes. Use 12.
         let tx = enc.next_bits(12 * p.symbols_per_pass());
         rx.push(&ch.transmit_bits(&tx));
-        let out = BubbleDecoder::new(&p).decode_bsc(&rx);
+        let out = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
         assert_eq!(out.message, msg);
     }
 
@@ -1568,7 +1621,7 @@ mod tests {
         // carries k=4 bits of message per spine step only after ≥ 4
         // passes of accumulated evidence.
         rx.push(&enc.next_bits(10 * p.symbols_per_pass()));
-        let out = BubbleDecoder::new(&p).decode_bsc(&rx);
+        let out = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
         assert_eq!(out.message, msg);
         assert_eq!(out.cost, 0.0);
     }
@@ -1588,7 +1641,7 @@ mod tests {
         let half = boundaries[3];
         let tx = enc.next_symbols(half);
         rx.push(&ch.transmit(&tx));
-        let out = BubbleDecoder::new(&p).decode(&rx);
+        let out = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
         assert_eq!(
             out.message,
             msg,
@@ -1614,7 +1667,7 @@ mod tests {
         let ys = ch.transmit(&tx);
         let hs: Vec<_> = (0..ys.len()).map(|i| ch.csi(i).unwrap()).collect();
         rx.push_with_csi(&ys, &hs);
-        let out = BubbleDecoder::new(&p).decode(&rx);
+        let out = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
         assert_eq!(out.message, msg);
     }
 
@@ -1656,7 +1709,9 @@ mod tests {
                 let mut ch = AwgnChannel::new(snr, seed);
                 let tx = enc.next_symbols(2 * p.symbols_per_pass());
                 rx.push(&ch.transmit(&tx));
-                *acc += BubbleDecoder::new(&p).decode(&rx).cost;
+                *acc += DecodeRequest::new(&BubbleDecoder::new(&p), &rx)
+                    .decode()
+                    .cost;
             }
         }
         assert!(total_high > total_low);
@@ -1673,9 +1728,9 @@ mod tests {
         rx.push(&ch.transmit(&enc.next_symbols(3 * p.symbols_per_pass())));
         for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
             let dec = BubbleDecoder::new(&p).with_profile(profile);
-            let plain = dec.decode(&rx);
+            let plain = DecodeRequest::new(&dec, &rx).decode();
             let mut ws = DecodeWorkspace::new();
-            let with_ws = dec.decode_with_workspace(&rx, &mut ws);
+            let with_ws = DecodeRequest::new(&dec, &rx).workspace(&mut ws).decode();
             assert_eq!(plain.message, with_ws.message, "{profile:?}");
             assert_eq!(plain.cost.to_bits(), with_ws.cost.to_bits(), "{profile:?}");
         }
@@ -1699,13 +1754,13 @@ mod tests {
         let mut ws = DecodeWorkspace::new();
         for _attempt in 0..4 {
             rx.push(&ch.transmit(&enc.next_symbols(p.symbols_per_pass())));
-            let reused = dec.decode_with_workspace(&rx, &mut ws);
-            let fresh = dec.decode(&rx);
+            let reused = DecodeRequest::new(&dec, &rx).workspace(&mut ws).decode();
+            let fresh = DecodeRequest::new(&dec, &rx).decode();
             assert_eq!(reused.message, fresh.message);
             assert_eq!(reused.cost.to_bits(), fresh.cost.to_bits());
             // The same workspace alternates to the quantized profile.
-            let q_reused = qdec.decode_with_workspace(&rx, &mut ws);
-            let q_fresh = qdec.decode(&rx);
+            let q_reused = DecodeRequest::new(&qdec, &rx).workspace(&mut ws).decode();
+            let q_fresh = DecodeRequest::new(&qdec, &rx).decode();
             assert_eq!(q_reused.message, q_fresh.message);
             assert_eq!(q_reused.cost.to_bits(), q_fresh.cost.to_bits());
         }
@@ -1722,8 +1777,8 @@ mod tests {
         let mut ch2 = BscChannel::new(0.02, 8);
         rx2.push(&ch2.transmit_bits(&enc2.next_bits(10 * p2.symbols_per_pass())));
         let dec2 = BubbleDecoder::new(&p2);
-        let reused = dec2.decode_bsc_with_workspace(&rx2, &mut ws);
-        let fresh = dec2.decode_bsc(&rx2);
+        let reused = DecodeRequest::new(&dec2, &rx2).workspace(&mut ws).decode();
+        let fresh = DecodeRequest::new(&dec2, &rx2).decode();
         assert_eq!(reused.message, fresh.message);
         assert_eq!(reused.cost.to_bits(), fresh.cost.to_bits());
     }
@@ -1744,10 +1799,15 @@ mod tests {
             .collect();
         for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
             let dec = BubbleDecoder::new(&p).with_profile(profile);
-            let batch = dec.decode_batch(&rxs);
+            // One shared workspace across the batch, like `decode_batch`.
+            let mut ws = DecodeWorkspace::new();
+            let batch: Vec<DecodeResult> = rxs
+                .iter()
+                .map(|rx| DecodeRequest::new(&dec, rx).workspace(&mut ws).decode())
+                .collect();
             assert_eq!(batch.len(), 3);
             for (rx, out) in rxs.iter().zip(&batch) {
-                let single = dec.decode(rx);
+                let single = DecodeRequest::new(&dec, rx).decode();
                 assert_eq!(single.message, out.message, "{profile:?}");
                 assert_eq!(single.cost.to_bits(), out.cost.to_bits(), "{profile:?}");
             }
@@ -1779,7 +1839,8 @@ mod tests {
             .collect();
         rx.push_with_csi(&tx, &hs);
         for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
-            let out = BubbleDecoder::new(&p).with_profile(profile).decode(&rx);
+            let out =
+                DecodeRequest::new(&BubbleDecoder::new(&p).with_profile(profile), &rx).decode();
             // The degenerate observation hits one spine; every candidate
             // paid +∞ there, so the winning cost is +∞ — but decoding
             // finished and every *other* spine still steered the search.
@@ -1804,7 +1865,8 @@ mod tests {
         let ys = vec![nan; p.symbols_per_pass()];
         rx.push(&ys);
         for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
-            let out = BubbleDecoder::new(&p).with_profile(profile).decode(&rx);
+            let out =
+                DecodeRequest::new(&BubbleDecoder::new(&p).with_profile(profile), &rx).decode();
             assert!(out.cost.is_infinite(), "{profile:?}: cost {}", out.cost);
         }
     }
@@ -1866,10 +1928,12 @@ mod tests {
         let mut rx = RxBits::new(schedule);
         let mut ch = BscChannel::new(0.04, 45);
         rx.push(&ch.transmit_bits(&enc.next_bits(8 * p.symbols_per_pass())));
-        let exact = BubbleDecoder::new(&p).decode_bsc(&rx);
-        let quant = BubbleDecoder::new(&p)
-            .with_profile(MetricProfile::Quantized)
-            .decode_bsc(&rx);
+        let exact = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
+        let quant = DecodeRequest::new(
+            &BubbleDecoder::new(&p).with_profile(MetricProfile::Quantized),
+            &rx,
+        )
+        .decode();
         assert_eq!(exact.message, quant.message);
         assert_eq!(exact.cost.to_bits(), quant.cost.to_bits());
     }
@@ -1886,10 +1950,12 @@ mod tests {
         let mut rx = RxSymbols::new(schedule);
         let mut ch = AwgnChannel::new(10.0, 10);
         rx.push(&ch.transmit(&enc.next_symbols(2 * p.symbols_per_pass())));
-        let exact = BubbleDecoder::new(&p).decode(&rx);
-        let quant = BubbleDecoder::new(&p)
-            .with_profile(MetricProfile::Quantized)
-            .decode(&rx);
+        let exact = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
+        let quant = DecodeRequest::new(
+            &BubbleDecoder::new(&p).with_profile(MetricProfile::Quantized),
+            &rx,
+        )
+        .decode();
         assert_eq!(exact.message, quant.message);
         let rel = (exact.cost - quant.cost).abs() / exact.cost.max(1e-9);
         assert!(
@@ -1917,8 +1983,11 @@ mod tests {
             let mut ws = DecodeWorkspace::new();
             for attempt in 0..4 {
                 rx.push(&ch.transmit(&enc.next_symbols(p.symbols_per_pass() / 2 + 3)));
-                let cached = dec.decode_with_cache(&rx, &mut cache, &mut ws);
-                let plain = dec.decode(&rx);
+                let cached = DecodeRequest::new(&dec, &rx)
+                    .cache(&mut cache)
+                    .workspace(&mut ws)
+                    .decode();
+                let plain = DecodeRequest::new(&dec, &rx).decode();
                 assert_eq!(
                     cached.message, plain.message,
                     "{profile:?} attempt {attempt}"
@@ -1956,8 +2025,11 @@ mod tests {
                 let hs: Vec<_> = (0..ys.len()).map(|i| ch.csi(i).unwrap()).collect();
                 rx.push_with_csi(&ys, &hs);
             }
-            let cached = dec.decode_with_cache(&rx, &mut cache, &mut ws);
-            let plain = dec.decode(&rx);
+            let cached = DecodeRequest::new(&dec, &rx)
+                .cache(&mut cache)
+                .workspace(&mut ws)
+                .decode();
+            let plain = DecodeRequest::new(&dec, &rx).decode();
             assert_eq!(cached.message, plain.message, "seed {seed}");
             assert_eq!(cached.cost.to_bits(), plain.cost.to_bits(), "seed {seed}");
         }
@@ -1991,8 +2063,8 @@ mod profiling {
         let mut ws = DecodeWorkspace::new();
         // Warm up.
         for _ in 0..3 {
-            dec.decode_with_workspace(&rx, &mut ws);
-            qdec.decode_with_workspace(&rx, &mut ws);
+            DecodeRequest::new(&dec, &rx).workspace(&mut ws).decode();
+            DecodeRequest::new(&qdec, &rx).workspace(&mut ws).decode();
         }
         let time = |f: &mut dyn FnMut()| {
             let t0 = Instant::now();
@@ -2003,10 +2075,10 @@ mod profiling {
             t0.elapsed().as_secs_f64() / iters as f64 * 1e3
         };
         let exact = time(&mut || {
-            dec.decode_with_workspace(&rx, &mut ws);
+            DecodeRequest::new(&dec, &rx).workspace(&mut ws).decode();
         });
         let quant = time(&mut || {
-            qdec.decode_with_workspace(&rx, &mut ws);
+            DecodeRequest::new(&qdec, &rx).workspace(&mut ws).decode();
         });
         // Table prep + quantize alone.
         let ns = p.num_spines();

@@ -35,6 +35,7 @@
 //! serial path with zero coordination overhead, so the two layers of
 //! parallelism compose without oversubscription.
 
+use crate::api::DecodeRequest;
 use crate::decoder::{
     build_symbol_tables, commit_selection, reconstruct_message, BubbleDecoder, CostKind,
     DecodeResult, DecodeWorkspace, Frontier, StepMetric, NO_PARENT,
@@ -463,12 +464,23 @@ impl DecodeEngine {
 
     /// Decode one block of complex observations with the step frontier
     /// sharded across the engine's workers. Bit-for-bit identical to
-    /// [`BubbleDecoder::decode_with_workspace`] at every thread count,
-    /// under the decoder's metric profile (exact or quantized).
+    /// the serial decode at every thread count, under the decoder's
+    /// metric profile (exact or quantized).
+    #[deprecated(
+        note = "decode through spinal_core::DecodeRequest (see README's API migration \
+                         table): DecodeRequest::new(&decoder, rx).engine(&engine).decode()"
+    )]
     pub fn decode_parallel(&self, dec: &BubbleDecoder, rx: &RxSymbols) -> DecodeResult {
+        DecodeRequest::new(dec, rx).engine(self).decode()
+    }
+
+    /// The engine-sharded symbol decode — what a symbol
+    /// [`DecodeRequest`](crate::DecodeRequest) with an engine and no
+    /// cache resolves to.
+    pub(crate) fn parallel_impl(&self, dec: &BubbleDecoder, rx: &RxSymbols) -> DecodeResult {
         assert_eq!(rx.n_spines(), dec.params_ref().num_spines());
         match &self.pool {
-            None => dec.decode_with_workspace(rx, &mut self.scratch.lock().ws),
+            None => dec.decode_symbols_impl(rx, &mut self.scratch.lock().ws),
             Some(pool) => match dec.profile() {
                 MetricProfile::Exact => {
                     self.decode_with_plan(dec, Arc::new(Plan::symbols(dec, rx)), pool)
@@ -490,11 +502,30 @@ impl DecodeEngine {
         }
     }
 
-    /// [`DecodeEngine::decode_parallel`] through a [`TableCache`]: the
-    /// attempt folds in only observations received since the previous
-    /// call (see [`BubbleDecoder::decode_with_cache`]). Bit-identical to
-    /// the uncached engine decode under both profiles.
+    /// The engine-sharded decode through a [`TableCache`]: the attempt
+    /// folds in only observations received since the previous call.
+    /// Bit-identical to the uncached engine decode under both profiles.
+    #[deprecated(
+        note = "decode through spinal_core::DecodeRequest (see README's API migration \
+                         table): DecodeRequest::new(&decoder, rx).engine(&engine)\
+                         .cache(&mut cache).decode()"
+    )]
     pub fn decode_parallel_cached(
+        &self,
+        dec: &BubbleDecoder,
+        rx: &RxSymbols,
+        cache: &mut TableCache,
+    ) -> DecodeResult {
+        DecodeRequest::new(dec, rx)
+            .engine(self)
+            .cache(cache)
+            .decode()
+    }
+
+    /// The engine-sharded incremental-table decode — what a symbol
+    /// [`DecodeRequest`](crate::DecodeRequest) with an engine and a
+    /// cache resolves to.
+    pub(crate) fn parallel_cached_impl(
         &self,
         dec: &BubbleDecoder,
         rx: &RxSymbols,
@@ -502,7 +533,7 @@ impl DecodeEngine {
     ) -> DecodeResult {
         assert_eq!(rx.n_spines(), dec.params_ref().num_spines());
         match &self.pool {
-            None => dec.decode_with_cache(rx, cache, &mut self.scratch.lock().ws),
+            None => dec.decode_cached_impl(rx, cache, &mut self.scratch.lock().ws),
             Some(pool) => {
                 let st = cache.sync(dec.levels(), rx);
                 match dec.profile() {
@@ -517,11 +548,22 @@ impl DecodeEngine {
         }
     }
 
-    /// [`DecodeEngine::decode_parallel`] for hard bits (BSC metric).
+    /// The engine-sharded decode for hard bits (BSC metric).
+    #[deprecated(
+        note = "decode through spinal_core::DecodeRequest (see README's API migration \
+                         table): DecodeRequest::new(&decoder, rx).engine(&engine).decode()"
+    )]
     pub fn decode_bsc_parallel(&self, dec: &BubbleDecoder, rx: &RxBits) -> DecodeResult {
+        DecodeRequest::new(dec, rx).engine(self).decode()
+    }
+
+    /// The engine-sharded hard-bit decode — what a bit
+    /// [`DecodeRequest`](crate::DecodeRequest) with an engine resolves
+    /// to.
+    pub(crate) fn bsc_parallel_impl(&self, dec: &BubbleDecoder, rx: &RxBits) -> DecodeResult {
         assert_eq!(rx.n_spines(), dec.params_ref().num_spines());
         match &self.pool {
-            None => dec.decode_bsc_with_workspace(rx, &mut self.scratch.lock().ws),
+            None => dec.decode_bits_impl(rx, &mut self.scratch.lock().ws),
             Some(pool) => match dec.profile() {
                 MetricProfile::Exact => {
                     self.decode_with_plan(dec, Arc::new(Plan::<f64>::bits(dec, rx)), pool)
@@ -546,7 +588,7 @@ impl DecodeEngine {
             None => {
                 let ws = &mut self.scratch.lock().ws;
                 rxs.iter()
-                    .map(|rx| dec.decode_with_workspace(rx, ws))
+                    .map(|rx| dec.decode_symbols_impl(rx, ws))
                     .collect()
             }
             Some(pool) => {
@@ -557,7 +599,7 @@ impl DecodeEngine {
                     let dec = Arc::clone(&dec);
                     let gather = Arc::clone(&gather);
                     pool.submit(Box::new(move |ws| {
-                        gather.put(i, dec.decode_with_workspace(&rx, ws));
+                        gather.put(i, dec.decode_symbols_impl(&rx, ws));
                     }));
                 }
                 gather.wait_all()
@@ -578,7 +620,7 @@ impl DecodeEngine {
     pub fn submit(&self, dec: &BubbleDecoder, rx: &RxSymbols) {
         match &self.pool {
             None => {
-                let result = dec.decode_with_workspace(rx, &mut self.scratch.lock().ws);
+                let result = dec.decode_symbols_impl(rx, &mut self.scratch.lock().ws);
                 let mut st = self.submits.state.lock();
                 st.results.push(Some(result));
                 st.issued += 1;
@@ -596,7 +638,7 @@ impl DecodeEngine {
                 let rx = rx.clone();
                 let submits = Arc::clone(&self.submits);
                 pool.submit(Box::new(move |ws| {
-                    let result = dec.decode_with_workspace(&rx, ws);
+                    let result = dec.decode_symbols_impl(&rx, ws);
                     let mut st = submits.state.lock();
                     st.results[idx] = Some(result);
                     st.done += 1;
@@ -765,10 +807,10 @@ mod tests {
         let rx = make_rx(&p, 2, 3);
         for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
             let dec = BubbleDecoder::new(&p).with_profile(profile);
-            let serial = dec.decode(&rx);
+            let serial = DecodeRequest::new(&dec, &rx).decode();
             for threads in [1, 2, 3, 5] {
                 let engine = DecodeEngine::new(threads);
-                let out = engine.decode_parallel(&dec, &rx);
+                let out = DecodeRequest::new(&dec, &rx).engine(&engine).decode();
                 assert_eq!(out.message, serial.message, "{profile:?} threads {threads}");
                 assert_eq!(
                     out.cost.to_bits(),
@@ -791,10 +833,10 @@ mod tests {
         rx.push(&ch.transmit_bits(&enc.next_bits(8 * p.symbols_per_pass())));
         for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
             let dec = BubbleDecoder::new(&p).with_profile(profile);
-            let serial = dec.decode_bsc(&rx);
+            let serial = DecodeRequest::new(&dec, &rx).decode();
             for threads in [2, 4] {
                 let engine = DecodeEngine::new(threads);
-                let out = engine.decode_bsc_parallel(&dec, &rx);
+                let out = DecodeRequest::new(&dec, &rx).engine(&engine).decode();
                 assert_eq!(out.message, serial.message, "{profile:?}");
                 assert_eq!(out.cost.to_bits(), serial.cost.to_bits(), "{profile:?}");
             }
@@ -807,7 +849,10 @@ mod tests {
         let rxs: Vec<RxSymbols> = (0..7).map(|s| make_rx(&p, 2, 100 + s)).collect();
         for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
             let dec = BubbleDecoder::new(&p).with_profile(profile);
-            let serial = dec.decode_batch(&rxs);
+            let serial: Vec<DecodeResult> = rxs
+                .iter()
+                .map(|rx| DecodeRequest::new(&dec, rx).decode())
+                .collect();
             let engine = DecodeEngine::new(3);
             let batch = engine.decode_batch_parallel(&dec, &rxs);
             assert_eq!(batch.len(), serial.len());
@@ -842,7 +887,7 @@ mod tests {
             let results = engine.drain();
             assert_eq!(results.len(), rxs.len(), "threads {threads}");
             for (rx, out) in rxs.iter().zip(&results) {
-                let serial = dec.decode(rx);
+                let serial = DecodeRequest::new(&dec, rx).decode();
                 assert_eq!(serial.message, out.message);
                 assert_eq!(serial.cost.to_bits(), out.cost.to_bits());
             }
@@ -850,7 +895,10 @@ mod tests {
             engine.submit(&dec, &rxs[0]);
             let again = engine.drain();
             assert_eq!(again.len(), 1);
-            assert_eq!(again[0].message, dec.decode(&rxs[0]).message);
+            assert_eq!(
+                again[0].message,
+                DecodeRequest::new(&dec, &rxs[0]).decode().message
+            );
         }
     }
 
@@ -873,8 +921,8 @@ mod tests {
             let rx = make_rx(&p, 2, (n + b) as u64);
             for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
                 let dec = BubbleDecoder::new(&p).with_profile(profile);
-                let serial = dec.decode(&rx);
-                let out = engine.decode_parallel(&dec, &rx);
+                let serial = DecodeRequest::new(&dec, &rx).decode();
+                let out = DecodeRequest::new(&dec, &rx).engine(&engine).decode();
                 assert_eq!(
                     out.message, serial.message,
                     "{profile:?} n{n} k{k} B{b} d{d}"
@@ -902,8 +950,11 @@ mod tests {
             let mut cache = TableCache::new();
             for attempt in 0..3 {
                 rx.push(&ch.transmit(&enc.next_symbols(p.symbols_per_pass() / 2 + 5)));
-                let cached = engine.decode_parallel_cached(&dec, &rx, &mut cache);
-                let plain = engine.decode_parallel(&dec, &rx);
+                let cached = DecodeRequest::new(&dec, &rx)
+                    .engine(&engine)
+                    .cache(&mut cache)
+                    .decode();
+                let plain = DecodeRequest::new(&dec, &rx).engine(&engine).decode();
                 assert_eq!(
                     cached.message, plain.message,
                     "{profile:?} attempt {attempt}"

@@ -15,7 +15,9 @@
 //! ## Quick start
 //!
 //! ```
-//! use spinal_core::{BubbleDecoder, CodeParams, Encoder, Message, RxSymbols, Schedule};
+//! use spinal_core::{
+//!     BubbleDecoder, CodeParams, DecodeRequest, Encoder, Message, RxSymbols, Schedule,
+//! };
 //! use spinal_channel::{AwgnChannel, Channel};
 //!
 //! let params = CodeParams::default().with_n(64); // n=64, k=4, c=6, B=256
@@ -33,7 +35,8 @@
 //! let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
 //! let mut rx = RxSymbols::new(schedule);
 //! rx.push(&rx_symbols);
-//! let decoded = BubbleDecoder::new(&params).decode(&rx);
+//! let decoder = BubbleDecoder::new(&params);
+//! let decoded = DecodeRequest::new(&decoder, &rx).decode();
 //! assert_eq!(decoded.message, message);
 //! ```
 //!
@@ -50,6 +53,7 @@
 //! | [`encoder`] | §3 | the rateless encoder |
 //! | [`rx`] | §4.2 | receive buffers (AWGN/fading/BSC) |
 //! | [`decoder`] | §4 | the bubble decoder |
+//! | [`api`] | §4, §7.1 | [`DecodeRequest`]: the single decode entry point |
 //! | [`quant`] | §7 | fixed-point metric profile: u16 tables, saturating u32 costs, radix selection |
 //! | [`engine`] | §7 | multi-threaded decode engine (sharded beam + batched block pipeline) |
 //! | [`ml`] | §4.1 | exhaustive exact-ML reference decoder |
@@ -64,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod bitmode;
 pub mod bits;
 pub mod constellation;
@@ -82,6 +87,7 @@ pub mod spine;
 pub mod symbols;
 mod tables;
 
+pub use api::{DecodeRequest, RxObservations};
 pub use bitmode::{BitEncoder, BitModeDecoder, RxLlrs};
 pub use bits::Message;
 pub use constellation::{Constellation, MappingKind};

@@ -105,6 +105,7 @@ impl MlDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::DecodeRequest;
     use crate::decoder::BubbleDecoder;
     use crate::encoder::Encoder;
     use crate::puncturing::Schedule;
@@ -152,7 +153,8 @@ mod tests {
             let rx = rx_for(&p, &msg, 4.0, 3, 100 + trial);
             let ml = MlDecoder::new(&p).decode(&rx);
             for b in [1usize, 4, 64] {
-                let bub = BubbleDecoder::new(&p.clone().with_b(b)).decode(&rx);
+                let bub =
+                    DecodeRequest::new(&BubbleDecoder::new(&p.clone().with_b(b)), &rx).decode();
                 assert!(
                     ml.cost <= bub.cost + 1e-9,
                     "trial {trial} B={b}: ML {} > bubble {}",
@@ -174,7 +176,7 @@ mod tests {
             let msg = Message::random(12, || rng.gen());
             let rx = rx_for(&p, &msg, 2.0, 2, 300 + trial);
             let ml = MlDecoder::new(&p).decode(&rx);
-            let bub = BubbleDecoder::new(&p).decode(&rx);
+            let bub = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
             assert_eq!(ml.message, bub.message, "trial {trial}");
             assert!((ml.cost - bub.cost).abs() < 1e-9);
         }
@@ -193,7 +195,7 @@ mod tests {
             let msg = Message::random(16, || rng.gen());
             let rx = rx_for(&p, &msg, 10.0, 2, 500 + trial);
             let ml = MlDecoder::new(&p).decode(&rx);
-            let bub = BubbleDecoder::new(&p).decode(&rx);
+            let bub = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
             if ml.message == bub.message {
                 agree += 1;
             }

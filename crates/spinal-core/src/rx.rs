@@ -122,6 +122,15 @@ impl RxBits {
         }
     }
 
+    /// Record that `count` scheduled bits were erased (e.g. a lost
+    /// frame), exactly like [`RxSymbols::skip`]: the cursor advances so
+    /// later bits keep their correct RNG indices, nothing is stored.
+    pub fn skip(&mut self, count: usize) {
+        for _ in 0..count {
+            self.cursor.next_position();
+        }
+    }
+
     /// Observations attached to spine index `i`.
     pub fn spine_entries(&self, i: usize) -> &[(u32, bool)] {
         &self.per_spine[i]
@@ -218,5 +227,22 @@ mod tests {
         rx.push(&[true, false, true, false, true]);
         assert_eq!(rx.spine_entries(0), &[(0, true)]);
         assert_eq!(rx.spine_entries(3), &[(0, false), (1, true)]);
+    }
+
+    #[test]
+    fn bit_skip_preserves_rng_indexing() {
+        let sched = Schedule::new(4, 1, Puncturing::none());
+        let bits: Vec<bool> = (0..10).map(|i| i % 3 == 0).collect();
+        let mut lossless = RxBits::new(sched.clone());
+        lossless.push(&bits);
+        let mut lossy = RxBits::new(sched);
+        lossy.skip(5);
+        lossy.push(&bits[5..]);
+        for spine in 0..4 {
+            for e in lossy.spine_entries(spine) {
+                assert!(lossless.spine_entries(spine).contains(e), "spine {spine}");
+            }
+        }
+        assert_eq!(lossy.symbols_received(), 5);
     }
 }

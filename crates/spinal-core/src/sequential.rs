@@ -177,6 +177,7 @@ impl StackDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::DecodeRequest;
     use crate::decoder::BubbleDecoder;
     use crate::encoder::Encoder;
     use crate::puncturing::Schedule;
@@ -240,7 +241,7 @@ mod tests {
         for seed in 0..3 {
             let (p, msg, rx, bias) = setup(48, 15.0, 2, 10 + seed);
             let stack = StackDecoder::new(&p, bias).decode(&rx);
-            let bubble = BubbleDecoder::new(&p).decode(&rx);
+            let bubble = DecodeRequest::new(&BubbleDecoder::new(&p), &rx).decode();
             assert_eq!(stack.result.expect("finished").message, msg);
             assert_eq!(bubble.message, msg);
         }

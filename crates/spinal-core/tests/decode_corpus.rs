@@ -17,8 +17,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel, RayleighChannel};
 use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeEngine, DecodeResult, Encoder, Message, RxBits, RxSymbols,
-    Schedule,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeRequest, DecodeResult, Encoder, Message, RxBits,
+    RxSymbols, Schedule,
 };
 
 #[derive(Clone, Copy)]
@@ -115,8 +115,8 @@ fn decode_case(case: &Case) -> DecodeResult {
     let (params, rx) = build_case(case);
     let dec = BubbleDecoder::new(&params);
     match &rx {
-        Rx::Symbols(rx) => dec.decode(rx),
-        Rx::Bits(rx) => dec.decode_bsc(rx),
+        Rx::Symbols(rx) => DecodeRequest::new(&dec, rx).decode(),
+        Rx::Bits(rx) => DecodeRequest::new(&dec, rx).decode(),
     }
 }
 
@@ -188,13 +188,13 @@ fn parallel_engine_matches_serial_on_corpus_at_every_thread_count() {
         let (params, rx) = build_case(case);
         let dec = BubbleDecoder::new(&params);
         let serial = match &rx {
-            Rx::Symbols(rx) => dec.decode(rx),
-            Rx::Bits(rx) => dec.decode_bsc(rx),
+            Rx::Symbols(rx) => DecodeRequest::new(&dec, rx).decode(),
+            Rx::Bits(rx) => DecodeRequest::new(&dec, rx).decode(),
         };
         for engine in &engines {
             let parallel = match &rx {
-                Rx::Symbols(rx) => engine.decode_parallel(&dec, rx),
-                Rx::Bits(rx) => engine.decode_bsc_parallel(&dec, rx),
+                Rx::Symbols(rx) => DecodeRequest::new(&dec, rx).engine(engine).decode(),
+                Rx::Bits(rx) => DecodeRequest::new(&dec, rx).engine(engine).decode(),
             };
             assert_eq!(
                 parallel.message,
@@ -267,14 +267,14 @@ fn quantized_profile_is_engine_deterministic_on_corpus() {
         let (params, rx) = build_case(case);
         let dec = BubbleDecoder::new(&params).with_profile(MetricProfile::Quantized);
         let serial = match &rx {
-            Rx::Symbols(rx) => dec.decode(rx),
-            Rx::Bits(rx) => dec.decode_bsc(rx),
+            Rx::Symbols(rx) => DecodeRequest::new(&dec, rx).decode(),
+            Rx::Bits(rx) => DecodeRequest::new(&dec, rx).decode(),
         };
         assert_eq!(serial.message.len_bits(), params.n, "case {i}");
         for engine in &engines {
             let parallel = match &rx {
-                Rx::Symbols(rx) => engine.decode_parallel(&dec, rx),
-                Rx::Bits(rx) => engine.decode_bsc_parallel(&dec, rx),
+                Rx::Symbols(rx) => DecodeRequest::new(&dec, rx).engine(engine).decode(),
+                Rx::Bits(rx) => DecodeRequest::new(&dec, rx).engine(engine).decode(),
             };
             assert_eq!(
                 parallel.message,

@@ -1,0 +1,445 @@
+//! Transport I/O: the [`Datagram`] trait and its two endpoints.
+//!
+//! The trait is deliberately dumb — push a buffer, poll for a buffer —
+//! so every scheduling decision (what to send, when to re-send, when to
+//! give up) lives in the sender/receiver layer and is testable without
+//! any real network. Two implementations:
+//!
+//! * [`LoopbackLink`] — an in-memory pair whose data direction routes
+//!   the observation payload of every Data datagram through a
+//!   `spinal-channel` noise model (AWGN, Rayleigh fading with CSI, or
+//!   BSC on bit payloads) and then subjects the whole datagram to
+//!   seeded loss/duplication/reordering ([`spinal_channel::Impairer`]).
+//!   Control datagrams (Init/Feedback) skip the noise but not the
+//!   impairment — the protocol must survive losing them.
+//! * [`UdpLink`] — a thin non-blocking [`std::net::UdpSocket`] binding
+//!   for running the same sender/receiver over a real socket.
+
+use crate::wire::{Packet, Payload};
+use parking_lot::Mutex;
+use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel, Impairer, Impairments};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::Arc;
+
+/// A datagram endpoint: unreliable, unordered, message-boundary-
+/// preserving. Implementations must never block in [`Datagram::recv`].
+pub trait Datagram {
+    /// Offer one datagram to the link. Delivery is not guaranteed.
+    fn send(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Poll for one arrived datagram; `Ok(None)` when nothing is
+    /// waiting.
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>>;
+}
+
+// ---------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------
+
+/// Channel noise applied to Data payloads crossing the loopback's data
+/// direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseModel {
+    /// Deliver observations untouched.
+    Clean,
+    /// Complex AWGN at the given SNR (§8.1).
+    Awgn {
+        /// Signal-to-noise ratio in dB.
+        snr_db: f64,
+    },
+    /// Block Rayleigh fading with exact CSI attached to every symbol
+    /// (§8.3, Figure 8-4): `Symbols` payloads come out as `SymbolsCsi`.
+    Rayleigh {
+        /// Signal-to-noise ratio in dB.
+        snr_db: f64,
+        /// Coherence time in symbols.
+        tau: usize,
+    },
+    /// Bit flips on `Bits` payloads (§4).
+    Bsc {
+        /// Per-bit flip probability.
+        flip_p: f64,
+    },
+}
+
+/// Instantiated, stateful noise for one direction.
+enum NoiseState {
+    Clean,
+    Awgn(AwgnChannel),
+    Rayleigh {
+        ch: spinal_channel::RayleighChannel,
+        /// Cumulative symbols pushed through `ch`, for CSI lookup.
+        sent: usize,
+    },
+    Bsc(BscChannel),
+}
+
+impl NoiseState {
+    fn new(model: NoiseModel, seed: u64) -> Self {
+        match model {
+            NoiseModel::Clean => NoiseState::Clean,
+            NoiseModel::Awgn { snr_db } => NoiseState::Awgn(AwgnChannel::new(snr_db, seed)),
+            NoiseModel::Rayleigh { snr_db, tau } => NoiseState::Rayleigh {
+                ch: spinal_channel::RayleighChannel::new(snr_db, tau, seed),
+                sent: 0,
+            },
+            NoiseModel::Bsc { flip_p } => NoiseState::Bsc(BscChannel::new(flip_p, seed)),
+        }
+    }
+
+    /// Corrupt one Data payload in transmit order.
+    fn apply(&mut self, payload: Payload) -> Payload {
+        match (self, payload) {
+            (NoiseState::Clean, p) => p,
+            (NoiseState::Awgn(ch), Payload::Symbols(ys)) => Payload::Symbols(ch.transmit(&ys)),
+            (NoiseState::Rayleigh { ch, sent }, Payload::Symbols(ys)) => {
+                let noisy = ch.transmit(&ys);
+                let start = *sent;
+                *sent += ys.len();
+                Payload::SymbolsCsi(
+                    noisy
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, y)| (y, ch.csi(start + i).expect("csi for sent symbol")))
+                        .collect(),
+                )
+            }
+            (NoiseState::Bsc(ch), Payload::Bits(bits)) => Payload::Bits(ch.transmit_bits(&bits)),
+            // A payload kind the model does not cover (e.g. bits through
+            // AWGN) passes clean rather than panicking mid-transfer; the
+            // transfer driver picks matching modulation and noise.
+            (_, p) => p,
+        }
+    }
+}
+
+/// One direction of the loopback: noise, then impairment, then a queue.
+struct Direction {
+    queue: VecDeque<Vec<u8>>,
+    noise: NoiseState,
+    impair: Impairer<Vec<u8>>,
+}
+
+impl Direction {
+    fn send(&mut self, buf: &[u8]) {
+        // Corrupt the observations of Data datagrams in flight; leave
+        // framing and control datagrams untouched (module docs).
+        let on_wire = match Packet::decode(buf) {
+            Some(Packet::Data {
+                transfer_id,
+                seq,
+                block,
+                offset,
+                payload,
+            }) => Packet::Data {
+                transfer_id,
+                seq,
+                block,
+                offset,
+                payload: self.noise.apply(payload),
+            }
+            .encode(),
+            _ => buf.to_vec(),
+        };
+        let delivered = self.impair.push(on_wire);
+        self.queue.extend(delivered);
+    }
+
+    fn recv(&mut self) -> Option<Vec<u8>> {
+        if self.queue.is_empty() {
+            // Nothing in order: anything still held for reordering
+            // arrives now (its holdback has effectively expired).
+            let held = self.impair.flush();
+            self.queue.extend(held);
+        }
+        self.queue.pop_front()
+    }
+}
+
+/// One endpoint of an in-memory datagram pair (see the module docs).
+/// Cloneable handles; both ends stay usable from one thread or several.
+#[derive(Clone)]
+pub struct LoopbackLink {
+    /// Direction this endpoint sends into.
+    out: Arc<Mutex<Direction>>,
+    /// Direction this endpoint receives from.
+    inbound: Arc<Mutex<Direction>>,
+}
+
+impl LoopbackLink {
+    /// Build a connected (sender, receiver) pair. The sender→receiver
+    /// direction applies `noise` to Data payloads and `data_impair` to
+    /// every datagram; the receiver→sender direction is noise-free but
+    /// subject to `feedback_impair`. Deterministic in `seed`.
+    pub fn pair(
+        noise: NoiseModel,
+        data_impair: Impairments,
+        feedback_impair: Impairments,
+        seed: u64,
+    ) -> (LoopbackLink, LoopbackLink) {
+        let forward = Arc::new(Mutex::new(Direction {
+            queue: VecDeque::new(),
+            noise: NoiseState::new(noise, seed ^ 0x0A57),
+            impair: Impairer::new(data_impair, seed ^ 0xDA7A),
+        }));
+        let backward = Arc::new(Mutex::new(Direction {
+            queue: VecDeque::new(),
+            noise: NoiseState::Clean,
+            impair: Impairer::new(feedback_impair, seed ^ 0xFEED),
+        }));
+        let sender = LoopbackLink {
+            out: Arc::clone(&forward),
+            inbound: Arc::clone(&backward),
+        };
+        let receiver = LoopbackLink {
+            out: backward,
+            inbound: forward,
+        };
+        (sender, receiver)
+    }
+
+    /// A perfectly clean pair (no noise, no impairment).
+    pub fn clean_pair(seed: u64) -> (LoopbackLink, LoopbackLink) {
+        LoopbackLink::pair(
+            NoiseModel::Clean,
+            Impairments::clean(),
+            Impairments::clean(),
+            seed,
+        )
+    }
+}
+
+impl Datagram for LoopbackLink {
+    fn send(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.out.lock().send(buf);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.inbound.lock().recv())
+    }
+}
+
+// ---------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------
+
+/// Largest datagram a [`UdpLink`] will receive. Data datagrams are far
+/// smaller (the sender chunks spans), so 64 KiB is simply the UDP cap.
+const MAX_DATAGRAM: usize = 65_535;
+
+/// A non-blocking UDP endpoint speaking to one fixed peer.
+pub struct UdpLink {
+    sock: UdpSocket,
+    peer: SocketAddr,
+    buf: Vec<u8>,
+}
+
+impl UdpLink {
+    /// Bind `local` and fix `peer` as the only counterparty; datagrams
+    /// from other sources are dropped.
+    pub fn bind(local: impl ToSocketAddrs, peer: impl ToSocketAddrs) -> io::Result<UdpLink> {
+        let sock = UdpSocket::bind(local)?;
+        sock.set_nonblocking(true)?;
+        let peer = peer
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no peer address"))?;
+        Ok(UdpLink {
+            sock,
+            peer,
+            buf: vec![0; MAX_DATAGRAM],
+        })
+    }
+
+    /// The bound local address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.sock.local_addr()
+    }
+}
+
+impl Datagram for UdpLink {
+    fn send(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.sock.send_to(buf, self.peer) {
+            Ok(_) => Ok(()),
+            // A full socket buffer is datagram loss, not a transport
+            // error — exactly what the rateless protocol tolerates.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            match self.sock.recv_from(&mut self.buf) {
+                Ok((len, from)) => {
+                    if from != self.peer {
+                        continue; // not our counterparty
+                    }
+                    return Ok(Some(self.buf[..len].to_vec()));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinal_channel::Complex;
+
+    fn data_packet(seq: u32, ys: Vec<Complex>) -> Vec<u8> {
+        Packet::Data {
+            transfer_id: 1,
+            seq,
+            block: 0,
+            offset: 0,
+            payload: Payload::Symbols(ys),
+        }
+        .encode()
+    }
+
+    #[test]
+    fn clean_loopback_is_transparent_both_ways() {
+        let (mut a, mut b) = LoopbackLink::clean_pair(1);
+        a.send(&data_packet(0, vec![Complex::new(1.0, -1.0)]))
+            .unwrap();
+        assert_eq!(
+            b.recv().unwrap().unwrap(),
+            data_packet(0, vec![Complex::new(1.0, -1.0)])
+        );
+        b.send(b"feedback").unwrap();
+        assert_eq!(a.recv().unwrap().unwrap(), b"feedback");
+        assert_eq!(a.recv().unwrap(), None);
+        assert_eq!(b.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn awgn_direction_corrupts_symbols_but_not_framing() {
+        let (mut a, mut b) = LoopbackLink::pair(
+            NoiseModel::Awgn { snr_db: 10.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            7,
+        );
+        let tx = vec![Complex::new(1.0, 0.0), Complex::new(0.0, 1.0)];
+        a.send(&data_packet(5, tx.clone())).unwrap();
+        let got = Packet::decode(&b.recv().unwrap().unwrap()).expect("frame intact");
+        match got {
+            Packet::Data {
+                seq,
+                payload: Payload::Symbols(ys),
+                ..
+            } => {
+                assert_eq!(seq, 5, "header must pass clean");
+                assert_eq!(ys.len(), tx.len());
+                assert!(ys != tx, "noise must have perturbed the symbols");
+            }
+            other => panic!("unexpected packet {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rayleigh_direction_attaches_csi() {
+        let (mut a, mut b) = LoopbackLink::pair(
+            NoiseModel::Rayleigh {
+                snr_db: 20.0,
+                tau: 2,
+            },
+            Impairments::clean(),
+            Impairments::clean(),
+            9,
+        );
+        a.send(&data_packet(0, vec![Complex::ONE; 4])).unwrap();
+        match Packet::decode(&b.recv().unwrap().unwrap()).unwrap() {
+            Packet::Data {
+                payload: Payload::SymbolsCsi(pairs),
+                ..
+            } => assert_eq!(pairs.len(), 4),
+            other => panic!("expected CSI payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_datagrams_skip_noise_entirely() {
+        let (mut a, mut b) = LoopbackLink::pair(
+            NoiseModel::Awgn { snr_db: -10.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            3,
+        );
+        let init = Packet::Init {
+            transfer_id: 2,
+            payload_len: 100,
+            n_blocks: 4,
+            block_bits: 256,
+        }
+        .encode();
+        a.send(&init).unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), init);
+    }
+
+    #[test]
+    fn lossy_direction_drops_datagrams_deterministically() {
+        let run = |seed: u64| {
+            let (mut a, mut b) = LoopbackLink::pair(
+                NoiseModel::Clean,
+                Impairments {
+                    loss: 0.5,
+                    dup: 0.0,
+                    reorder: 0.0,
+                    reorder_span: 4,
+                },
+                Impairments::clean(),
+                seed,
+            );
+            let mut got = Vec::new();
+            for seq in 0..50 {
+                a.send(&data_packet(seq, vec![])).unwrap();
+            }
+            while let Some(d) = b.recv().unwrap() {
+                got.push(d);
+            }
+            got
+        };
+        let first = run(11);
+        assert!(first.len() < 50, "some datagrams must drop");
+        assert!(!first.is_empty(), "some datagrams must survive");
+        assert_eq!(first, run(11), "same seed, same fate");
+    }
+
+    #[test]
+    fn udp_link_roundtrips_datagrams() {
+        let a_probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let a_addr = a_probe.local_addr().unwrap();
+        drop(a_probe);
+        let mut a = UdpLink::bind(a_addr, "127.0.0.1:9").unwrap(); // peer fixed below
+        let mut b = UdpLink::bind("127.0.0.1:0", a.local_addr().unwrap()).unwrap();
+        a.peer = b.local_addr().unwrap();
+        a.send(b"ping").unwrap();
+        // Non-blocking: poll briefly for arrival.
+        let mut got = None;
+        for _ in 0..100 {
+            if let Some(d) = b.recv().unwrap() {
+                got = Some(d);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got.as_deref(), Some(&b"ping"[..]));
+        b.send(b"pong").unwrap();
+        let mut back = None;
+        for _ in 0..100 {
+            if let Some(d) = a.recv().unwrap() {
+                back = Some(d);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(back.as_deref(), Some(&b"pong"[..]));
+    }
+}

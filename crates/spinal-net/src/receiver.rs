@@ -1,0 +1,508 @@
+//! The receiving side: reorder buffer, incremental decode, feedback.
+//!
+//! Datagrams arrive late, twice, or never. Per block the receiver keeps
+//! a reorder buffer keyed on the symbol `offset` each Data datagram
+//! declares, and drains it *in schedule order* into the decoder's
+//! receive buffer — the spine RNG indices only line up if observations
+//! are folded in at their scheduled positions. A gap that outlives the
+//! reordering horizon is declared lost and skipped
+//! ([`RxSymbols::skip`]): the rateless stream compensates with later
+//! symbols instead of retransmission (§7.1, the decoder "need not
+//! generate the missing symbols").
+//!
+//! Decode attempts run at subpass boundaries (§5) through the one
+//! decode entry point — [`DecodeRequest`] with a per-block workspace
+//! and incremental [`TableCache`] — and a block is done exactly when
+//! its CRC validates ([`FrameReassembly`], §6). Feedback is a
+//! cumulative ACK bitmap; it keeps flowing after completion so a sender
+//! that missed one feedback datagram still learns to stop.
+
+use crate::link::Datagram;
+use crate::wire::{Packet, Payload};
+use spinal_core::{
+    BubbleDecoder, CodeParams, DecodeRequest, DecodeWorkspace, FrameBuilder, FrameReassembly,
+    RxBits, RxSymbols, Schedule, TableCache,
+};
+use std::collections::BTreeMap;
+use std::io;
+
+/// Receiver-side knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ReceiverConfig {
+    /// Pass budget per block: decode attempts stop once this many
+    /// passes' worth of subpass boundaries have been tried.
+    pub max_passes: usize,
+    /// A gap at the drain cursor is declared lost (and skipped) once
+    /// buffered observations extend this many symbols past it. Must
+    /// exceed the link's realistic reordering depth, in symbols.
+    pub skip_horizon: usize,
+}
+
+impl Default for ReceiverConfig {
+    fn default() -> Self {
+        ReceiverConfig {
+            max_passes: 8,
+            skip_horizon: 96,
+        }
+    }
+}
+
+/// Observation buffer of whichever kind the sender modulates.
+enum BlockRx {
+    Symbols(RxSymbols),
+    Bits(RxBits),
+}
+
+impl BlockRx {
+    /// A fresh buffer matching the payload kind of the first span seen.
+    fn for_payload(payload: &Payload, schedule: &Schedule) -> Self {
+        match payload {
+            Payload::Bits(_) => BlockRx::Bits(RxBits::new(schedule.clone())),
+            _ => BlockRx::Symbols(RxSymbols::new(schedule.clone())),
+        }
+    }
+
+    fn received(&self) -> usize {
+        match self {
+            BlockRx::Symbols(rx) => rx.symbols_received(),
+            BlockRx::Bits(rx) => rx.symbols_received(),
+        }
+    }
+
+    fn skip(&mut self, count: usize) {
+        match self {
+            BlockRx::Symbols(rx) => rx.skip(count),
+            BlockRx::Bits(rx) => rx.skip(count),
+        }
+    }
+
+    /// Fold a span in, minus its first `skip_within` observations
+    /// (already consumed at the cursor by an earlier overlapping span).
+    /// Returns false — folding nothing — if the payload kind does not
+    /// match the buffer (an alien or corrupted datagram).
+    fn push_tail(&mut self, payload: &Payload, skip_within: usize) -> bool {
+        match (self, payload) {
+            (BlockRx::Symbols(rx), Payload::Symbols(ys)) => {
+                rx.push(&ys[skip_within..]);
+                true
+            }
+            (BlockRx::Symbols(rx), Payload::SymbolsCsi(pairs)) => {
+                let (ys, hs): (Vec<_>, Vec<_>) = pairs[skip_within..].iter().copied().unzip();
+                rx.push_with_csi(&ys, &hs);
+                true
+            }
+            (BlockRx::Bits(rx), Payload::Bits(bits)) => {
+                rx.push(&bits[skip_within..]);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Per-block receive state.
+struct BlockState {
+    /// Observation buffer, created from the first span's payload kind.
+    rx: Option<BlockRx>,
+    /// Out-of-order spans waiting for the cursor, keyed by offset.
+    pending: BTreeMap<u32, Payload>,
+    /// Next schedule offset the buffer expects.
+    cursor: u32,
+    ws: DecodeWorkspace,
+    cache: TableCache,
+    /// Next subpass boundary at which to attempt a decode.
+    boundary_idx: usize,
+    decoded: bool,
+}
+
+impl BlockState {
+    fn new() -> Self {
+        BlockState {
+            rx: None,
+            pending: BTreeMap::new(),
+            cursor: 0,
+            ws: DecodeWorkspace::new(),
+            cache: TableCache::new(),
+            boundary_idx: 0,
+            decoded: false,
+        }
+    }
+
+    /// Move pending spans into the observation buffer in schedule
+    /// order; returns true if any observations were folded in.
+    fn drain(&mut self, schedule: &Schedule, skip_horizon: usize) -> bool {
+        let mut moved = false;
+        loop {
+            // In-order (or cursor-overlapping) spans first.
+            while let Some((&off, _)) = self.pending.first_key_value() {
+                if off > self.cursor {
+                    break;
+                }
+                let payload = self.pending.remove(&off).expect("key just seen");
+                let end = off as usize + payload.len();
+                if end <= self.cursor as usize {
+                    continue; // stale duplicate, fully behind the cursor
+                }
+                let skip_within = (self.cursor - off) as usize;
+                let rx = self
+                    .rx
+                    .get_or_insert_with(|| BlockRx::for_payload(&payload, schedule));
+                if rx.push_tail(&payload, skip_within) {
+                    self.cursor = end as u32;
+                    moved = true;
+                }
+            }
+            // A leading gap: declare it lost once buffered observations
+            // extend far enough past the cursor that reordering can no
+            // longer explain the hole.
+            let Some((&first, first_payload)) = self.pending.first_key_value() else {
+                break;
+            };
+            let buffered_end = self
+                .pending
+                .iter()
+                .map(|(&off, p)| off as usize + p.len())
+                .max()
+                .unwrap_or(0);
+            if buffered_end < self.cursor as usize + skip_horizon {
+                break; // the gap may still fill in; wait
+            }
+            let gap = (first - self.cursor) as usize;
+            let kind_probe = BlockRx::for_payload(first_payload, schedule);
+            let rx = self.rx.get_or_insert(kind_probe);
+            rx.skip(gap);
+            self.cursor = first;
+        }
+        moved
+    }
+
+    /// Attempt a decode if the buffer has crossed the next subpass
+    /// boundary; returns true if a decode ran.
+    fn try_decode(
+        &mut self,
+        decoder: &BubbleDecoder,
+        boundaries: &[usize],
+        reassembly: &mut FrameReassembly,
+        block_idx: usize,
+    ) -> bool {
+        let Some(rx) = &self.rx else { return false };
+        if self.boundary_idx >= boundaries.len() {
+            return false; // pass budget exhausted
+        }
+        let received = rx.received();
+        if received < boundaries[self.boundary_idx] {
+            return false; // not enough new observations yet
+        }
+        // Consume every boundary the buffer has already sailed past:
+        // one attempt per drain is enough.
+        while self.boundary_idx < boundaries.len() && boundaries[self.boundary_idx] <= received {
+            self.boundary_idx += 1;
+        }
+        let result = match self.rx.as_ref().expect("checked above") {
+            BlockRx::Symbols(rx) => DecodeRequest::new(decoder, rx)
+                .workspace(&mut self.ws)
+                .cache(&mut self.cache)
+                .decode(),
+            BlockRx::Bits(rx) => DecodeRequest::new(decoder, rx)
+                .workspace(&mut self.ws)
+                .decode(),
+        };
+        if reassembly.offer(block_idx, &result.message) {
+            self.decoded = true;
+            self.pending.clear(); // block finished; drop leftover spans
+        }
+        true
+    }
+}
+
+/// One in-progress transfer.
+struct TransferState {
+    transfer_id: u64,
+    reassembly: FrameReassembly,
+    blocks: Vec<BlockState>,
+    decoder: BubbleDecoder,
+    boundaries: Vec<usize>,
+    datagrams_received: u32,
+}
+
+/// Rateless receiver (see the module docs). Construct once with the
+/// agreed code parameters; transfer geometry (length, block count)
+/// arrives in the Init datagram.
+pub struct SpinalReceiver {
+    params: CodeParams,
+    schedule: Schedule,
+    cfg: ReceiverConfig,
+    transfer: Option<TransferState>,
+    decode_attempts: usize,
+}
+
+impl SpinalReceiver {
+    /// Create a receiver for links whose sender uses `params`.
+    pub fn new(params: &CodeParams, cfg: ReceiverConfig) -> Self {
+        assert!(cfg.max_passes >= 1, "max_passes must be at least 1");
+        assert!(cfg.skip_horizon >= 1, "skip_horizon must be at least 1");
+        SpinalReceiver {
+            params: params.clone(),
+            schedule: Schedule::new(params.num_spines(), params.tail, params.puncturing),
+            cfg,
+            transfer: None,
+            decode_attempts: 0,
+        }
+    }
+
+    /// Drain every queued datagram, then send one cumulative feedback
+    /// datagram if a transfer is active. The usual per-round call.
+    pub fn pump<L: Datagram>(&mut self, link: &mut L) -> io::Result<()> {
+        while let Some(buf) = link.recv()? {
+            if let Some(pkt) = Packet::decode(&buf) {
+                self.handle(pkt);
+            }
+        }
+        if let Some(fb) = self.feedback() {
+            link.send(&fb.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Apply one parsed datagram to receiver state.
+    pub fn handle(&mut self, pkt: Packet) {
+        match pkt {
+            Packet::Init {
+                transfer_id,
+                payload_len,
+                n_blocks,
+                block_bits,
+            } => self.handle_init(transfer_id, payload_len, n_blocks, block_bits),
+            Packet::Data {
+                transfer_id,
+                block,
+                offset,
+                payload,
+                ..
+            } => self.handle_data(transfer_id, block, offset, payload),
+            // Feedback flows the other way; a looped-back one is noise.
+            Packet::Feedback { .. } => {}
+        }
+    }
+
+    fn handle_init(&mut self, transfer_id: u64, payload_len: u32, n_blocks: u16, block_bits: u32) {
+        if block_bits as usize != self.params.n || n_blocks == 0 {
+            return; // geometry we cannot decode
+        }
+        if let Some(t) = &self.transfer {
+            if t.transfer_id == transfer_id {
+                return; // duplicate Init for the active transfer
+            }
+        }
+        let builder = FrameBuilder::new(self.params.n);
+        self.transfer = Some(TransferState {
+            transfer_id,
+            reassembly: FrameReassembly::new(builder, 0, n_blocks as usize, payload_len as usize),
+            blocks: (0..n_blocks).map(|_| BlockState::new()).collect(),
+            decoder: BubbleDecoder::new(&self.params),
+            boundaries: self
+                .schedule
+                .subpass_boundaries(self.cfg.max_passes * self.schedule.symbols_per_pass()),
+            datagrams_received: 0,
+        });
+    }
+
+    fn handle_data(&mut self, transfer_id: u64, block: u16, offset: u32, payload: Payload) {
+        let Some(t) = &mut self.transfer else {
+            return; // Init not seen yet; the sender will re-send it
+        };
+        if t.transfer_id != transfer_id || block as usize >= t.blocks.len() {
+            return;
+        }
+        t.datagrams_received += 1;
+        let state = &mut t.blocks[block as usize];
+        if state.decoded || payload.is_empty() {
+            return;
+        }
+        // Stash the span unless it is entirely behind the cursor (a
+        // duplicate of something already drained or skipped).
+        if offset as usize + payload.len() > state.cursor as usize {
+            state.pending.entry(offset).or_insert(payload);
+        }
+        if state.drain(&self.schedule, self.cfg.skip_horizon)
+            && state.try_decode(&t.decoder, &t.boundaries, &mut t.reassembly, block as usize)
+        {
+            self.decode_attempts += 1;
+        }
+    }
+
+    /// The cumulative feedback datagram for the active transfer, if any.
+    pub fn feedback(&self) -> Option<Packet> {
+        let t = self.transfer.as_ref()?;
+        Some(Packet::Feedback {
+            transfer_id: t.transfer_id,
+            received: t.datagrams_received,
+            decoded: t.reassembly.ack_bitmap(),
+        })
+    }
+
+    /// True once every block of the active transfer has decoded.
+    pub fn complete(&self) -> bool {
+        self.transfer
+            .as_ref()
+            .is_some_and(|t| t.reassembly.complete())
+    }
+
+    /// The delivered payload, once [`SpinalReceiver::complete`].
+    pub fn payload(&self) -> Option<Vec<u8>> {
+        self.transfer
+            .as_ref()
+            .and_then(|t| t.reassembly.clone().into_datagram())
+    }
+
+    /// Decode attempts run so far (across all blocks) — the receiver's
+    /// compute-cost counter.
+    pub fn decode_attempts(&self) -> usize {
+        self.decode_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spinal_core::{Encoder, Message};
+
+    fn params() -> CodeParams {
+        CodeParams::default().with_n(64).with_b(32)
+    }
+
+    fn init_pkt(n_blocks: u16, payload_len: u32) -> Packet {
+        Packet::Init {
+            transfer_id: 1,
+            payload_len,
+            n_blocks,
+            block_bits: 64,
+        }
+    }
+
+    /// Clean noiseless spans for one block of `payload`, chunked.
+    fn spans(p: &CodeParams, msg: &Message, total: usize, chunk: usize) -> Vec<(u32, Payload)> {
+        let mut enc = Encoder::new(p, msg);
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off < total {
+            let count = chunk.min(total - off);
+            out.push((off as u32, Payload::Symbols(enc.next_symbols(count))));
+            off += count;
+        }
+        out
+    }
+
+    fn data_pkt(block: u16, off: u32, payload: Payload) -> Packet {
+        Packet::Data {
+            transfer_id: 1,
+            seq: 0,
+            block,
+            offset: off,
+            payload,
+        }
+    }
+
+    #[test]
+    fn in_order_delivery_decodes_and_acks() {
+        let p = params();
+        let payload = b"hello";
+        let msg = FrameBuilder::new(p.n).build(payload).remove(0);
+        let mut r = SpinalReceiver::new(&p, ReceiverConfig::default());
+        r.handle(init_pkt(1, payload.len() as u32));
+        let spp = Schedule::new(p.num_spines(), p.tail, p.puncturing).symbols_per_pass();
+        for (off, span) in spans(&p, &msg, 2 * spp, 7) {
+            r.handle(data_pkt(0, off, span));
+        }
+        assert!(r.complete(), "clean 2-pass delivery must decode");
+        assert_eq!(r.payload().unwrap(), payload.to_vec());
+        match r.feedback().unwrap() {
+            Packet::Feedback { decoded, .. } => assert_eq!(decoded, vec![true]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(r.decode_attempts() >= 1);
+    }
+
+    #[test]
+    fn reordered_and_duplicated_spans_still_decode() {
+        let p = params();
+        let payload = b"reordr";
+        let msg = FrameBuilder::new(p.n).build(payload).remove(0);
+        let mut r = SpinalReceiver::new(&p, ReceiverConfig::default());
+        r.handle(init_pkt(1, payload.len() as u32));
+        let spp = Schedule::new(p.num_spines(), p.tail, p.puncturing).symbols_per_pass();
+        let mut all = spans(&p, &msg, 2 * spp, 5);
+        // Swap adjacent pairs and duplicate every third span.
+        for i in (0..all.len() - 1).step_by(2) {
+            all.swap(i, i + 1);
+        }
+        let dups: Vec<_> = all.iter().step_by(3).cloned().collect();
+        all.extend(dups);
+        for (off, span) in all {
+            r.handle(data_pkt(0, off, span));
+        }
+        assert!(r.complete());
+        assert_eq!(r.payload().unwrap(), payload.to_vec());
+    }
+
+    #[test]
+    fn lost_span_is_skipped_after_horizon_and_later_passes_recover() {
+        let p = params();
+        let payload = b"lossy";
+        let msg = FrameBuilder::new(p.n).build(payload).remove(0);
+        let cfg = ReceiverConfig {
+            skip_horizon: 16,
+            ..ReceiverConfig::default()
+        };
+        let mut r = SpinalReceiver::new(&p, cfg);
+        r.handle(init_pkt(1, payload.len() as u32));
+        let spp = Schedule::new(p.num_spines(), p.tail, p.puncturing).symbols_per_pass();
+        // Drop the second span of the first pass entirely; send three
+        // passes so the rateless stream compensates.
+        for (i, (off, span)) in spans(&p, &msg, 3 * spp, 5).into_iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            r.handle(data_pkt(0, off, span));
+        }
+        assert!(r.complete(), "loss within budget must still decode");
+        assert_eq!(r.payload().unwrap(), payload.to_vec());
+    }
+
+    #[test]
+    fn data_before_init_is_ignored_until_init_arrives() {
+        let p = params();
+        let payload = b"init";
+        let msg = FrameBuilder::new(p.n).build(payload).remove(0);
+        let mut r = SpinalReceiver::new(&p, ReceiverConfig::default());
+        let spp = Schedule::new(p.num_spines(), p.tail, p.puncturing).symbols_per_pass();
+        let all = spans(&p, &msg, 2 * spp, 9);
+        // First pass arrives before Init: dropped on the floor.
+        for (off, span) in &all[..all.len() / 2] {
+            r.handle(data_pkt(0, *off, span.clone()));
+        }
+        assert!(r.feedback().is_none());
+        r.handle(init_pkt(1, payload.len() as u32));
+        // The sender keeps streaming (and the receiver skips the part it
+        // never buffered): replay everything from the start as a sender
+        // re-sending passes would not — instead deliver the full stream.
+        for (off, span) in all {
+            r.handle(data_pkt(0, off, span));
+        }
+        assert!(r.complete());
+        assert_eq!(r.payload().unwrap(), payload.to_vec());
+    }
+
+    #[test]
+    fn mismatched_block_bits_rejects_transfer() {
+        let p = params();
+        let mut r = SpinalReceiver::new(&p, ReceiverConfig::default());
+        r.handle(Packet::Init {
+            transfer_id: 1,
+            payload_len: 4,
+            n_blocks: 1,
+            block_bits: 128, // receiver expects 64
+        });
+        assert!(r.feedback().is_none());
+    }
+}

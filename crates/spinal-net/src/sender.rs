@@ -1,0 +1,368 @@
+//! The rateless sending side.
+//!
+//! A payload is framed into CRC-protected code blocks
+//! ([`spinal_core::FrameBuilder`], §6); each block gets its own
+//! [`Encoder`] whose symbol stream follows the puncturing schedule
+//! (§5). The sender then plays the §7.1 loop over a datagram link:
+//! every [`SpinalSender::burst`] advances each still-unacknowledged
+//! block by exactly one subpass, chunked into sequence-numbered Data
+//! datagrams, and feedback ([`Packet::Feedback`] ACK bitmaps, §6)
+//! decides which blocks have finished. No symbol is ever retransmitted:
+//! a lost datagram is simply compensated by the later symbols of the
+//! rateless stream.
+
+use crate::link::Datagram;
+use crate::wire::{Packet, Payload};
+use spinal_core::{CodeParams, Encoder, FrameBuilder, Schedule};
+use std::io;
+
+/// How observations are modulated onto the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modulation {
+    /// Complex constellation symbols (AWGN / fading links).
+    Symbols,
+    /// Hard bits (BSC links).
+    Bits,
+}
+
+/// Sender-side knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SenderConfig {
+    /// Maximum observations per Data datagram. Smaller datagrams lose
+    /// less per drop; larger ones amortise header overhead.
+    pub chunk_symbols: usize,
+    /// Passes after which an unacknowledged block is abandoned (the
+    /// §7.1 "give up and move on" bound).
+    pub max_passes: usize,
+    /// Observation kind to emit.
+    pub modulation: Modulation,
+}
+
+impl Default for SenderConfig {
+    fn default() -> Self {
+        SenderConfig {
+            chunk_symbols: 32,
+            max_passes: 8,
+            modulation: Modulation::Symbols,
+        }
+    }
+}
+
+/// Per-block transmit state.
+struct BlockTx {
+    enc: Encoder,
+    /// Next entry of the shared subpass-boundary list to transmit up to.
+    boundary_idx: usize,
+    acked: bool,
+}
+
+/// Rateless sender for one payload transfer (see the module docs).
+pub struct SpinalSender {
+    cfg: SenderConfig,
+    transfer_id: u64,
+    payload_len: u32,
+    block_bits: u32,
+    /// Cumulative symbol counts ending each subpass, shared by every
+    /// block (they run the same schedule).
+    boundaries: Vec<usize>,
+    blocks: Vec<BlockTx>,
+    seq: u32,
+    saw_feedback: bool,
+    symbols_sent: usize,
+    datagrams_sent: usize,
+}
+
+impl SpinalSender {
+    /// Frame `payload` into blocks of `params.n` bits and prepare their
+    /// encoders. `transfer_id` distinguishes concurrent or successive
+    /// transfers on one link.
+    pub fn new(params: &CodeParams, payload: &[u8], transfer_id: u64, cfg: SenderConfig) -> Self {
+        assert!(cfg.chunk_symbols >= 1, "chunk_symbols must be at least 1");
+        assert!(cfg.max_passes >= 1, "max_passes must be at least 1");
+        let builder = FrameBuilder::new(params.n);
+        let messages = builder.build(payload);
+        assert!(
+            messages.len() <= u16::MAX as usize,
+            "payload needs {} blocks, wire format caps at {}",
+            messages.len(),
+            u16::MAX
+        );
+        let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+        let boundaries = schedule.subpass_boundaries(cfg.max_passes * schedule.symbols_per_pass());
+        let blocks = messages
+            .iter()
+            .map(|msg| BlockTx {
+                enc: Encoder::new(params, msg),
+                boundary_idx: 0,
+                acked: false,
+            })
+            .collect();
+        SpinalSender {
+            cfg,
+            transfer_id,
+            payload_len: payload.len() as u32,
+            block_bits: params.n as u32,
+            boundaries,
+            blocks,
+            seq: 0,
+            saw_feedback: false,
+            symbols_sent: 0,
+            datagrams_sent: 0,
+        }
+    }
+
+    /// Drain pending feedback, then (unless done) advance every
+    /// unacknowledged block by one subpass. The usual per-round call.
+    pub fn poll<L: Datagram>(&mut self, link: &mut L) -> io::Result<()> {
+        self.drain_feedback(link)?;
+        if !self.complete() && !self.exhausted() {
+            self.burst(link)?;
+        }
+        Ok(())
+    }
+
+    /// Consume every queued datagram, applying any feedback for this
+    /// transfer. Other datagram kinds (or other transfers) are ignored.
+    pub fn drain_feedback<L: Datagram>(&mut self, link: &mut L) -> io::Result<()> {
+        while let Some(buf) = link.recv()? {
+            if let Some(Packet::Feedback {
+                transfer_id,
+                decoded,
+                ..
+            }) = Packet::decode(&buf)
+            {
+                if transfer_id != self.transfer_id {
+                    continue;
+                }
+                self.saw_feedback = true;
+                for (block, done) in self.blocks.iter_mut().zip(decoded) {
+                    if done {
+                        block.acked = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Send one burst: an Init datagram while no feedback has arrived
+    /// yet (the receiver may not know this transfer exists), then the
+    /// next subpass of symbols for every unacknowledged block, chunked
+    /// into Data datagrams.
+    pub fn burst<L: Datagram>(&mut self, link: &mut L) -> io::Result<()> {
+        if !self.saw_feedback {
+            let init = Packet::Init {
+                transfer_id: self.transfer_id,
+                payload_len: self.payload_len,
+                n_blocks: self.blocks.len() as u16,
+                block_bits: self.block_bits,
+            };
+            link.send(&init.encode())?;
+            self.datagrams_sent += 1;
+        }
+        for idx in 0..self.blocks.len() {
+            let block = &mut self.blocks[idx];
+            if block.acked || block.boundary_idx >= self.boundaries.len() {
+                continue;
+            }
+            let target = self.boundaries[block.boundary_idx];
+            block.boundary_idx += 1;
+            while self.blocks[idx].enc.emitted() < target {
+                let block = &mut self.blocks[idx];
+                let offset = block.enc.emitted();
+                let count = (target - offset).min(self.cfg.chunk_symbols);
+                let payload = match self.cfg.modulation {
+                    Modulation::Symbols => Payload::Symbols(block.enc.next_symbols(count)),
+                    Modulation::Bits => Payload::Bits(block.enc.next_bits(count)),
+                };
+                let pkt = Packet::Data {
+                    transfer_id: self.transfer_id,
+                    seq: self.seq,
+                    block: idx as u16,
+                    offset: offset as u32,
+                    payload,
+                };
+                self.seq += 1;
+                self.symbols_sent += count;
+                self.datagrams_sent += 1;
+                link.send(&pkt.encode())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True once every block has been acknowledged.
+    pub fn complete(&self) -> bool {
+        self.blocks.iter().all(|b| b.acked)
+    }
+
+    /// True when every unacknowledged block has exhausted its pass
+    /// budget: the transfer has failed (§7.1 gives up after a bounded
+    /// number of passes).
+    pub fn exhausted(&self) -> bool {
+        !self.complete()
+            && self
+                .blocks
+                .iter()
+                .all(|b| b.acked || b.boundary_idx >= self.boundaries.len())
+    }
+
+    /// Total observations (symbols or bits) put on the wire so far.
+    pub fn symbols_sent(&self) -> usize {
+        self.symbols_sent
+    }
+
+    /// Total datagrams (Init + Data) put on the wire so far.
+    pub fn datagrams_sent(&self) -> usize {
+        self.datagrams_sent
+    }
+
+    /// Number of code blocks in the transfer.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The deepest pass any block has reached, rounded up — the
+    /// transfer's effective rate indicator.
+    pub fn passes_sent(&self) -> usize {
+        let spp = self
+            .boundaries
+            .last()
+            .map(|&total| total / self.cfg.max_passes)
+            .unwrap_or(1)
+            .max(1);
+        self.blocks
+            .iter()
+            .map(|b| b.enc.emitted().div_ceil(spp))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LoopbackLink;
+
+    fn params() -> CodeParams {
+        CodeParams::default().with_n(64).with_b(32)
+    }
+
+    #[test]
+    fn first_burst_carries_init_then_one_subpass_per_block() {
+        let p = params();
+        let mut s = SpinalSender::new(&p, &[7u8; 20], 9, SenderConfig::default());
+        let (mut tx, mut rx) = LoopbackLink::clean_pair(0);
+        s.burst(&mut tx).unwrap();
+        let first = Packet::decode(&rx.recv().unwrap().unwrap()).unwrap();
+        match first {
+            Packet::Init {
+                transfer_id,
+                payload_len,
+                n_blocks,
+                block_bits,
+            } => {
+                assert_eq!(transfer_id, 9);
+                assert_eq!(payload_len, 20);
+                assert_eq!(block_bits, 64);
+                // 64-bit blocks hold 48 payload bits = 6 bytes; 20 bytes
+                // need 4 blocks.
+                assert_eq!(n_blocks, 4);
+            }
+            other => panic!("expected Init first, got {other:?}"),
+        }
+        let mut per_block = [0usize; 4];
+        let mut seqs = Vec::new();
+        while let Some(buf) = rx.recv().unwrap() {
+            match Packet::decode(&buf).unwrap() {
+                Packet::Data {
+                    seq,
+                    block,
+                    offset,
+                    payload,
+                    ..
+                } => {
+                    assert_eq!(offset as usize, per_block[block as usize]);
+                    per_block[block as usize] += payload.len();
+                    seqs.push(seq);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let sched = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let first_subpass = sched.subpass_boundaries(sched.symbols_per_pass())[0];
+        assert!(per_block.iter().all(|&n| n == first_subpass));
+        assert_eq!(seqs, (0..seqs.len() as u32).collect::<Vec<_>>());
+        assert_eq!(s.symbols_sent(), 4 * first_subpass);
+    }
+
+    #[test]
+    fn acked_blocks_stop_transmitting() {
+        let p = params();
+        let mut s = SpinalSender::new(&p, &[1u8; 20], 1, SenderConfig::default());
+        let (mut tx, mut rx) = LoopbackLink::clean_pair(0);
+        // ACK blocks 0 and 2 by hand from the far end.
+        rx.send(
+            &Packet::Feedback {
+                transfer_id: 1,
+                received: 5,
+                decoded: vec![true, false, true, false],
+            }
+            .encode(),
+        )
+        .unwrap();
+        s.poll(&mut tx).unwrap();
+        let mut blocks_seen = std::collections::BTreeSet::new();
+        while let Some(buf) = rx.recv().unwrap() {
+            if let Some(Packet::Data { block, .. }) = Packet::decode(&buf) {
+                blocks_seen.insert(block);
+            }
+        }
+        assert_eq!(blocks_seen.into_iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert!(!s.complete());
+    }
+
+    #[test]
+    fn exhausts_after_max_passes() {
+        let p = params();
+        let cfg = SenderConfig {
+            max_passes: 2,
+            ..SenderConfig::default()
+        };
+        let mut s = SpinalSender::new(&p, b"abc", 3, cfg);
+        let (mut tx, _keep_alive) = LoopbackLink::clean_pair(0);
+        let sched = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let n_subpasses = sched.subpass_boundaries(2 * sched.symbols_per_pass()).len();
+        for _ in 0..n_subpasses {
+            assert!(!s.exhausted());
+            s.burst(&mut tx).unwrap();
+        }
+        assert!(s.exhausted());
+        assert!(!s.complete());
+        assert_eq!(s.passes_sent(), 2);
+        // Further polls send nothing new.
+        let before = s.datagrams_sent();
+        s.poll(&mut tx).unwrap();
+        assert_eq!(s.datagrams_sent(), before);
+    }
+
+    #[test]
+    fn bit_modulation_emits_bit_payloads() {
+        let p = params();
+        let cfg = SenderConfig {
+            modulation: Modulation::Bits,
+            ..SenderConfig::default()
+        };
+        let mut s = SpinalSender::new(&p, b"x", 4, cfg);
+        let (mut tx, mut rx) = LoopbackLink::clean_pair(0);
+        s.burst(&mut tx).unwrap();
+        let mut saw_bits = false;
+        while let Some(buf) = rx.recv().unwrap() {
+            if let Some(Packet::Data { payload, .. }) = Packet::decode(&buf) {
+                assert!(matches!(payload, Payload::Bits(_)));
+                saw_bits = true;
+            }
+        }
+        assert!(saw_bits);
+    }
+}

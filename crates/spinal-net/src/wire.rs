@@ -1,0 +1,423 @@
+//! The spinal-net wire format: three self-describing datagram types.
+//!
+//! Every datagram starts with a 5-byte header — a 4-byte magic
+//! ([`MAGIC`], which doubles as the protocol version) and a kind byte —
+//! followed by a kind-specific body, all integers little-endian:
+//!
+//! * **Init** — the sender's transfer announcement: transfer id, payload
+//!   length, block count, and code-block size. Retransmitted at the head
+//!   of every burst until the first feedback arrives, so an arbitrary
+//!   prefix of lost datagrams cannot desynchronise the pair.
+//! * **Data** — one span of rateless output for one code block: a
+//!   monotonically increasing per-transfer sequence number, the block
+//!   index, the span's offset in the block's puncturing-schedule order,
+//!   and the observations themselves (complex symbols, symbols with
+//!   per-symbol CSI, or hard bits — [`Payload`]).
+//! * **Feedback** — the receiver's cumulative report: one decoded bit
+//!   per block (the §6 ACK bitmap) plus how many data datagrams it has
+//!   processed. Idempotent by construction: feedback datagrams can be
+//!   lost, duplicated, or reordered without corrupting sender state,
+//!   because each one restates the entire receive state.
+//!
+//! Headers are assumed error-free: the paper's link layer (§6) CRCs the
+//! *payload* blocks and leaves framing to the underlying PHY, and this
+//! crate keeps that split — the channel shim corrupts only the
+//! observation payload of Data datagrams, never the framing around it.
+//! Symbols ride as `f64::to_bits` so the loopback path is bit-exact with
+//! an in-process decode.
+
+use spinal_channel::Complex;
+
+/// Protocol magic + version. Change on any incompatible layout change.
+pub const MAGIC: u32 = 0x5350_4E31; // "SPN1"
+
+const KIND_INIT: u8 = 0;
+const KIND_DATA: u8 = 1;
+const KIND_FEEDBACK: u8 = 2;
+
+/// Observations carried by one [`Packet::Data`] datagram.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Complex symbols, unit channel gain assumed (AWGN).
+    Symbols(Vec<Complex>),
+    /// Complex symbols with exact per-symbol CSI (fading with CSI).
+    SymbolsCsi(Vec<(Complex, Complex)>),
+    /// Hard bits (BSC mode).
+    Bits(Vec<bool>),
+}
+
+impl Payload {
+    /// Number of scheduled observations in the span.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Symbols(v) => v.len(),
+            Payload::SymbolsCsi(v) => v.len(),
+            Payload::Bits(v) => v.len(),
+        }
+    }
+
+    /// True when the span carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One spinal-net datagram (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// Transfer announcement.
+    Init {
+        /// Random per-transfer identifier; stale datagrams from an
+        /// earlier transfer never cross-contaminate.
+        transfer_id: u64,
+        /// Original payload length in bytes (blocks zero-pad past it).
+        payload_len: u32,
+        /// Number of CRC code blocks.
+        n_blocks: u16,
+        /// Code-block size in bits (the spinal `n`).
+        block_bits: u32,
+    },
+    /// One span of observations for one block.
+    Data {
+        /// Transfer this span belongs to.
+        transfer_id: u64,
+        /// Per-transfer datagram sequence number, increasing in send
+        /// order across all blocks.
+        seq: u32,
+        /// Code-block index.
+        block: u16,
+        /// Span offset in the block's schedule order, in observations.
+        offset: u32,
+        /// The observations.
+        payload: Payload,
+    },
+    /// Cumulative receiver report.
+    Feedback {
+        /// Transfer being reported on.
+        transfer_id: u64,
+        /// Count of data datagrams processed so far (progress signal).
+        received: u32,
+        /// One bit per block: true = decoded and CRC-validated.
+        decoded: Vec<bool>,
+    },
+}
+
+impl Packet {
+    /// Serialise to a wire buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        match self {
+            Packet::Init {
+                transfer_id,
+                payload_len,
+                n_blocks,
+                block_bits,
+            } => {
+                out.push(KIND_INIT);
+                out.extend_from_slice(&transfer_id.to_le_bytes());
+                out.extend_from_slice(&payload_len.to_le_bytes());
+                out.extend_from_slice(&n_blocks.to_le_bytes());
+                out.extend_from_slice(&block_bits.to_le_bytes());
+            }
+            Packet::Data {
+                transfer_id,
+                seq,
+                block,
+                offset,
+                payload,
+            } => {
+                out.push(KIND_DATA);
+                out.extend_from_slice(&transfer_id.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&block.to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                match payload {
+                    Payload::Symbols(ys) => {
+                        out.push(0);
+                        out.extend_from_slice(&(ys.len() as u16).to_le_bytes());
+                        for y in ys {
+                            out.extend_from_slice(&y.re.to_bits().to_le_bytes());
+                            out.extend_from_slice(&y.im.to_bits().to_le_bytes());
+                        }
+                    }
+                    Payload::SymbolsCsi(pairs) => {
+                        out.push(1);
+                        out.extend_from_slice(&(pairs.len() as u16).to_le_bytes());
+                        for (y, h) in pairs {
+                            out.extend_from_slice(&y.re.to_bits().to_le_bytes());
+                            out.extend_from_slice(&y.im.to_bits().to_le_bytes());
+                            out.extend_from_slice(&h.re.to_bits().to_le_bytes());
+                            out.extend_from_slice(&h.im.to_bits().to_le_bytes());
+                        }
+                    }
+                    Payload::Bits(bits) => {
+                        out.push(2);
+                        out.extend_from_slice(&(bits.len() as u16).to_le_bytes());
+                        let mut byte = 0u8;
+                        for (i, &b) in bits.iter().enumerate() {
+                            if b {
+                                byte |= 1 << (i % 8);
+                            }
+                            if i % 8 == 7 {
+                                out.push(byte);
+                                byte = 0;
+                            }
+                        }
+                        if !bits.len().is_multiple_of(8) {
+                            out.push(byte);
+                        }
+                    }
+                }
+            }
+            Packet::Feedback {
+                transfer_id,
+                received,
+                decoded,
+            } => {
+                out.push(KIND_FEEDBACK);
+                out.extend_from_slice(&transfer_id.to_le_bytes());
+                out.extend_from_slice(&received.to_le_bytes());
+                out.extend_from_slice(&(decoded.len() as u16).to_le_bytes());
+                let mut byte = 0u8;
+                for (i, &b) in decoded.iter().enumerate() {
+                    if b {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        out.push(byte);
+                        byte = 0;
+                    }
+                }
+                if !decoded.len().is_multiple_of(8) {
+                    out.push(byte);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse a wire buffer. `None` for anything malformed — wrong magic,
+    /// truncated body, unknown kind — so a hostile or corrupted datagram
+    /// can never panic the endpoint, only be ignored.
+    pub fn decode(buf: &[u8]) -> Option<Packet> {
+        let mut r = Reader { buf, at: 0 };
+        if r.u32()? != MAGIC {
+            return None;
+        }
+        let packet = match r.u8()? {
+            KIND_INIT => Packet::Init {
+                transfer_id: r.u64()?,
+                payload_len: r.u32()?,
+                n_blocks: r.u16()?,
+                block_bits: r.u32()?,
+            },
+            KIND_DATA => {
+                let transfer_id = r.u64()?;
+                let seq = r.u32()?;
+                let block = r.u16()?;
+                let offset = r.u32()?;
+                let payload_kind = r.u8()?;
+                let count = r.u16()? as usize;
+                let payload = match payload_kind {
+                    0 => Payload::Symbols(
+                        (0..count)
+                            .map(|_| Some(Complex::new(r.f64()?, r.f64()?)))
+                            .collect::<Option<_>>()?,
+                    ),
+                    1 => Payload::SymbolsCsi(
+                        (0..count)
+                            .map(|_| {
+                                Some((
+                                    Complex::new(r.f64()?, r.f64()?),
+                                    Complex::new(r.f64()?, r.f64()?),
+                                ))
+                            })
+                            .collect::<Option<_>>()?,
+                    ),
+                    2 => Payload::Bits(r.bits(count)?),
+                    _ => return None,
+                };
+                Packet::Data {
+                    transfer_id,
+                    seq,
+                    block,
+                    offset,
+                    payload,
+                }
+            }
+            KIND_FEEDBACK => {
+                let transfer_id = r.u64()?;
+                let received = r.u32()?;
+                let n = r.u16()? as usize;
+                Packet::Feedback {
+                    transfer_id,
+                    received,
+                    decoded: r.bits(n)?,
+                }
+            }
+            _ => return None,
+        };
+        if r.at == buf.len() {
+            Some(packet)
+        } else {
+            None // trailing garbage: treat as corruption
+        }
+    }
+}
+
+/// Little cursor over a wire buffer; every read is bounds-checked.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let s = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn bits(&mut self, count: usize) -> Option<Vec<bool>> {
+        let bytes = self.take(count.div_ceil(8))?;
+        Some(
+            (0..count)
+                .map(|i| bytes[i / 8] >> (i % 8) & 1 == 1)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(p: &Packet) {
+        let wire = p.encode();
+        assert_eq!(Packet::decode(&wire).as_ref(), Some(p), "{p:?}");
+    }
+
+    #[test]
+    fn all_kinds_roundtrip_bit_exactly() {
+        roundtrip(&Packet::Init {
+            transfer_id: 0xDEAD_BEEF_0123_4567,
+            payload_len: 4096,
+            n_blocks: 17,
+            block_bits: 256,
+        });
+        roundtrip(&Packet::Data {
+            transfer_id: 1,
+            seq: 42,
+            block: 3,
+            offset: 960,
+            payload: Payload::Symbols(vec![
+                Complex::new(1.5, -2.25),
+                Complex::new(f64::MIN_POSITIVE, -0.0),
+            ]),
+        });
+        roundtrip(&Packet::Data {
+            transfer_id: 2,
+            seq: 7,
+            block: 0,
+            offset: 0,
+            payload: Payload::SymbolsCsi(vec![(Complex::new(0.1, 0.2), Complex::new(-0.9, 1.1))]),
+        });
+        roundtrip(&Packet::Data {
+            transfer_id: 3,
+            seq: 9,
+            block: 1,
+            offset: 24,
+            payload: Payload::Bits(vec![
+                true, false, true, true, false, true, false, true, true,
+            ]),
+        });
+        roundtrip(&Packet::Feedback {
+            transfer_id: 4,
+            received: 1000,
+            decoded: vec![true, false, true],
+        });
+        roundtrip(&Packet::Feedback {
+            transfer_id: 5,
+            received: 0,
+            decoded: vec![],
+        });
+    }
+
+    #[test]
+    fn nan_and_infinity_symbols_survive_the_wire() {
+        // Degenerate observations must arrive bit-identical: the decoder
+        // has a defined NaN policy and the transport must not launder
+        // it. NaN != NaN, so compare re-encoded bytes, not values.
+        let pkt = Packet::Data {
+            transfer_id: 6,
+            seq: 1,
+            block: 0,
+            offset: 8,
+            payload: Payload::Symbols(vec![
+                Complex::new(f64::NAN, f64::INFINITY),
+                Complex::new(f64::NEG_INFINITY, -f64::NAN),
+            ]),
+        };
+        let wire = pkt.encode();
+        let back = Packet::decode(&wire).expect("valid frame");
+        assert_eq!(back.encode(), wire);
+    }
+
+    #[test]
+    fn malformed_datagrams_parse_to_none() {
+        assert_eq!(Packet::decode(&[]), None);
+        assert_eq!(Packet::decode(&[0; 4]), None); // wrong magic
+        let mut wire = Packet::Init {
+            transfer_id: 1,
+            payload_len: 2,
+            n_blocks: 3,
+            block_bits: 64,
+        }
+        .encode();
+        assert_eq!(Packet::decode(&wire[..wire.len() - 1]), None); // truncated
+        wire.push(0xFF);
+        assert_eq!(Packet::decode(&wire), None); // trailing garbage
+        let mut bad_kind = wire.clone();
+        bad_kind.pop();
+        bad_kind[4] = 9;
+        assert_eq!(Packet::decode(&bad_kind), None); // unknown kind
+    }
+
+    #[test]
+    fn data_span_count_matches_payload_len() {
+        let p = Packet::Data {
+            transfer_id: 1,
+            seq: 0,
+            block: 0,
+            offset: 0,
+            payload: Payload::Bits(vec![true; 13]),
+        };
+        if let Packet::Data { payload, .. } = Packet::decode(&p.encode()).unwrap() {
+            assert_eq!(payload.len(), 13);
+            assert!(!payload.is_empty());
+        } else {
+            unreachable!()
+        }
+    }
+}

@@ -16,8 +16,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_channel::{AwgnChannel, Channel, Complex, RayleighChannel};
 use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, Message, MetricProfile,
-    RxSymbols, Schedule,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeRequest, DecodeWorkspace, Encoder, Message,
+    MetricProfile, RxSymbols, Schedule,
 };
 
 /// Fixed-budget BLER experiment configuration.
@@ -147,7 +147,11 @@ impl BlerRun {
         ws: &mut DecodeWorkspace,
     ) -> bool {
         let (msg, rx) = self.build_trial(snr_db, total_symbols, seed, &mut Vec::new());
-        self.decoder().decode_with_workspace(&rx, ws).message != msg
+        DecodeRequest::new(&self.decoder(), &rx)
+            .workspace(ws)
+            .decode()
+            .message
+            != msg
     }
 
     /// [`BlerRun::block_error_with_workspace`] with a throwaway workspace.
@@ -171,7 +175,11 @@ impl BlerRun {
             .filter(|&i| {
                 let (msg, rx) =
                     self.build_trial(snr_db, total_symbols, seed_base + i as u64, &mut scratch);
-                decoder.decode_with_workspace(&rx, ws).message != msg
+                DecodeRequest::new(&decoder, &rx)
+                    .workspace(ws)
+                    .decode()
+                    .message
+                    != msg
             })
             .count();
         BlerEstimate { trials, errors }

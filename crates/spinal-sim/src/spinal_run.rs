@@ -7,8 +7,8 @@ use rand::{Rng, SeedableRng};
 use spinal_channel::capacity::{awgn_capacity_db, bsc_capacity, rayleigh_ergodic_capacity_db};
 use spinal_channel::{AwgnChannel, BitChannel, BscChannel, Channel, RayleighChannel};
 use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, Message, MetricProfile,
-    RxBits, RxSymbols, Schedule, TableCache,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeRequest, DecodeWorkspace, Encoder, Message,
+    MetricProfile, RxBits, RxSymbols, Schedule, TableCache,
 };
 
 /// How a trial's decode attempts are dispatched: through a caller-held
@@ -16,35 +16,33 @@ use spinal_core::{
 /// [`DecodeEngine`] (intra-block parallel). The engine path is
 /// bit-for-bit identical to the workspace path at every thread count —
 /// the decoder's reductions are order-independent — so the choice is
-/// purely about hardware utilisation.
+/// purely about hardware utilisation. Both shapes are expressed as one
+/// [`DecodeRequest`] per attempt; this alias only names the resources a
+/// trial threads through its attempt loop.
 ///
 /// Symbol decodes go through a per-trial [`TableCache`]: branch-metric
 /// tables are additive over observations, so each attempt folds in only
 /// the symbols received since the previous attempt instead of rebuilding
 /// every table from the whole buffer (bit-identical by construction).
-enum DecodeVia<'a> {
-    Workspace(&'a mut DecodeWorkspace),
-    Engine(&'a DecodeEngine),
+struct Dispatch<'a> {
+    ws: Option<&'a mut DecodeWorkspace>,
+    engine: Option<&'a DecodeEngine>,
 }
 
-impl DecodeVia<'_> {
-    fn decode(
-        &mut self,
-        decoder: &BubbleDecoder,
-        rx: &RxSymbols,
-        cache: &mut TableCache,
-    ) -> spinal_core::DecodeResult {
-        match self {
-            DecodeVia::Workspace(ws) => decoder.decode_with_cache(rx, cache, ws),
-            DecodeVia::Engine(engine) => engine.decode_parallel_cached(decoder, rx, cache),
+impl Dispatch<'_> {
+    fn request<'r>(
+        &'r mut self,
+        decoder: &'r BubbleDecoder,
+        rx: impl Into<spinal_core::RxObservations<'r>>,
+    ) -> DecodeRequest<'r> {
+        let mut req = DecodeRequest::new(decoder, rx);
+        if let Some(ws) = self.ws.as_deref_mut() {
+            req = req.workspace(ws);
         }
-    }
-
-    fn decode_bsc(&mut self, decoder: &BubbleDecoder, rx: &RxBits) -> spinal_core::DecodeResult {
-        match self {
-            DecodeVia::Workspace(ws) => decoder.decode_bsc_with_workspace(rx, ws),
-            DecodeVia::Engine(engine) => engine.decode_bsc_parallel(decoder, rx),
+        if let Some(engine) = self.engine {
+            req = req.engine(engine);
         }
+        req
     }
 }
 
@@ -174,7 +172,14 @@ impl SpinalRun {
         seed: u64,
         ws: &mut DecodeWorkspace,
     ) -> Trial {
-        self.run_trial_via(snr_db, seed, DecodeVia::Workspace(ws))
+        self.run_trial_via(
+            snr_db,
+            seed,
+            Dispatch {
+                ws: Some(ws),
+                engine: None,
+            },
+        )
     }
 
     /// [`SpinalRun::run_trial`] with every decode attempt dispatched
@@ -184,10 +189,17 @@ impl SpinalRun {
     /// machine on their own — e.g. the inner budget handed out by
     /// [`crate::threads::Threads::split`].
     pub fn run_trial_with_engine(&self, snr_db: f64, seed: u64, engine: &DecodeEngine) -> Trial {
-        self.run_trial_via(snr_db, seed, DecodeVia::Engine(engine))
+        self.run_trial_via(
+            snr_db,
+            seed,
+            Dispatch {
+                ws: None,
+                engine: Some(engine),
+            },
+        )
     }
 
-    fn run_trial_via(&self, snr_db: f64, seed: u64, mut via: DecodeVia<'_>) -> Trial {
+    fn run_trial_via(&self, snr_db: f64, seed: u64, mut via: Dispatch<'_>) -> Trial {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(seed);
         let msg = Message::random(p.n, || rng.gen());
@@ -271,7 +283,13 @@ impl SpinalRun {
             if sent < next_attempt {
                 continue;
             }
-            if via.decode(&decoder, &rx, &mut cache).message == msg {
+            if via
+                .request(&decoder, &rx)
+                .cache(&mut cache)
+                .decode()
+                .message
+                == msg
+            {
                 return Trial::success(p.n, sent);
             }
             next_attempt = ((sent as f64) * self.attempt_growth) as usize;
@@ -316,7 +334,10 @@ pub fn run_bsc_trial_with_workspace(
         oracle_skip,
         seed,
         MetricProfile::Exact,
-        DecodeVia::Workspace(ws),
+        Dispatch {
+            ws: Some(ws),
+            engine: None,
+        },
     )
 }
 
@@ -338,7 +359,10 @@ pub fn run_bsc_trial_with_profile(
         oracle_skip,
         seed,
         profile,
-        DecodeVia::Workspace(ws),
+        Dispatch {
+            ws: Some(ws),
+            engine: None,
+        },
     )
 }
 
@@ -359,7 +383,10 @@ pub fn run_bsc_trial_with_engine(
         oracle_skip,
         seed,
         MetricProfile::Exact,
-        DecodeVia::Engine(engine),
+        Dispatch {
+            ws: None,
+            engine: Some(engine),
+        },
     )
 }
 
@@ -370,7 +397,7 @@ fn run_bsc_trial_via(
     oracle_skip: bool,
     seed: u64,
     profile: MetricProfile,
-    mut via: DecodeVia<'_>,
+    mut via: Dispatch<'_>,
 ) -> Trial {
     let mut rng = StdRng::seed_from_u64(seed);
     let msg = Message::random(params.n, || rng.gen());
@@ -397,7 +424,7 @@ fn run_bsc_trial_via(
         if sent < min_attempt {
             continue;
         }
-        if via.decode_bsc(&decoder, &rx).message == msg {
+        if via.request(&decoder, &rx).decode().message == msg {
             return Trial::success(params.n, sent);
         }
     }

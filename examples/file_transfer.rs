@@ -16,7 +16,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_codes::core::framing::FrameReassembly;
 use spinal_codes::{
-    AwgnChannel, BubbleDecoder, Channel, CodeParams, Encoder, FrameBuilder, RxSymbols, Schedule,
+    AwgnChannel, BubbleDecoder, Channel, CodeParams, DecodeRequest, Encoder, FrameBuilder,
+    RxSymbols, Schedule,
 };
 
 fn main() {
@@ -61,7 +62,7 @@ fn main() {
                 rx.push(&channel.transmit(&tx));
             }
             // The receiver validates with the real CRC — no genie here.
-            let candidate = decoder.decode(&rx);
+            let candidate = DecodeRequest::new(&decoder, &rx).decode();
             if reassembly.offer(i, &candidate.message) {
                 break;
             }

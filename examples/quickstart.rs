@@ -10,7 +10,8 @@
 //! lines.
 
 use spinal_codes::{
-    AwgnChannel, BubbleDecoder, Channel, CodeParams, Encoder, Message, RxSymbols, Schedule,
+    AwgnChannel, BubbleDecoder, Channel, CodeParams, DecodeRequest, Encoder, Message, RxSymbols,
+    Schedule,
 };
 
 fn main() {
@@ -44,7 +45,7 @@ fn main() {
         sent = boundary;
         rx.push(&channel.transmit(&tx));
 
-        let result = decoder.decode(&rx);
+        let result = DecodeRequest::new(&decoder, &rx).decode();
         if result.message == message {
             let rate = params.n as f64 / sent as f64;
             let capacity = spinal_codes::channel::capacity::awgn_capacity_db(snr_db);

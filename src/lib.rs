@@ -12,6 +12,7 @@
 //! | [`raptor`] | `spinal-raptor` | RFC 5053 LT + rate-0.95 precode (baseline) |
 //! | [`strider`] | `spinal-strider` | rate-1/5 turbo + 33-layer SIC (baseline) |
 //! | [`sim`] | `spinal-sim` | the generic rateless execution engine + statistics |
+//! | [`net`] | `spinal-net` | rateless UDP-style transport: wire format, feedback loop, reorder buffer |
 //! | [`hw`] | `spinal-hw` | Appendix B hardware decoder cycle model |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
@@ -24,6 +25,7 @@ pub use spinal_core as core;
 pub use spinal_hw as hw;
 pub use spinal_ldpc as ldpc;
 pub use spinal_modem as modem;
+pub use spinal_net as net;
 pub use spinal_raptor as raptor;
 pub use spinal_sim as sim;
 pub use spinal_strider as strider;
@@ -32,7 +34,7 @@ pub use spinal_strider as strider;
 pub use spinal_bounds::{BoundChannel, SpinalBound};
 pub use spinal_channel::{AwgnChannel, BscChannel, Channel, Complex, RayleighChannel};
 pub use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeEngine, DecodeWorkspace, Encoder, FrameBuilder, HashKind,
-    MappingKind, Message, Puncturing, RxBits, RxSymbols, Schedule,
+    BubbleDecoder, CodeParams, DecodeEngine, DecodeRequest, DecodeWorkspace, Encoder, FrameBuilder,
+    HashKind, MappingKind, Message, Puncturing, RxBits, RxObservations, RxSymbols, Schedule,
 };
 pub use spinal_sim::{LinkChannel, SpinalRun, Threads};

@@ -1,0 +1,163 @@
+//! Pins the API redesign: every legacy decode method must agree
+//! bit-for-bit with the [`DecodeRequest`] form that replaces it, for
+//! arbitrary messages, noise realisations, metric profiles and resource
+//! combinations. The legacy methods are deprecated delegates; this
+//! suite is the contract that deprecating them changed nothing.
+
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use spinal_codes::channel::BitChannel;
+use spinal_codes::core::{MetricProfile, TableCache};
+use spinal_codes::{
+    AwgnChannel, BscChannel, BubbleDecoder, Channel, CodeParams, DecodeEngine, DecodeRequest,
+    DecodeWorkspace, Encoder, Message, RxBits, RxSymbols, Schedule,
+};
+
+fn assert_same(
+    a: &spinal_codes::core::DecodeResult,
+    b: &spinal_codes::core::DecodeResult,
+    what: &str,
+) {
+    assert_eq!(a.message, b.message, "{what}: message diverged");
+    assert_eq!(
+        a.cost.to_bits(),
+        b.cost.to_bits(),
+        "{what}: cost diverged bit-wise"
+    );
+}
+
+fn setup(seed: u64, profile: MetricProfile) -> (CodeParams, BubbleDecoder, RxSymbols) {
+    let params = CodeParams::default().with_n(64).with_b(16);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let msg = Message::random(params.n, || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 56) as u8
+    });
+    let mut enc = Encoder::new(&params, &msg);
+    let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+    let mut rx = RxSymbols::new(schedule);
+    let mut ch = AwgnChannel::new(9.0, seed ^ 0xA3A3);
+    rx.push(&ch.transmit(&enc.next_symbols(3 * params.symbols_per_pass())));
+    let dec = BubbleDecoder::new(&params).with_profile(profile);
+    (params, dec, rx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Symbol decodes: plain, workspace, cache, engine, engine+cache —
+    /// every legacy form equals its DecodeRequest replacement exactly.
+    #[test]
+    fn symbol_paths_are_bit_identical(
+        seed in 0u64..10_000,
+        quantized in any::<bool>(),
+        threads in 1usize..3,
+    ) {
+        let profile = if quantized { MetricProfile::Quantized } else { MetricProfile::Exact };
+        let (_, dec, rx) = setup(seed, profile);
+
+        let base = DecodeRequest::new(&dec, &rx).decode();
+        assert_same(&dec.decode(&rx), &base, "decode()");
+
+        let mut ws = DecodeWorkspace::new();
+        assert_same(
+            &dec.decode_with_workspace(&rx, &mut ws),
+            &DecodeRequest::new(&dec, &rx).workspace(&mut ws).decode(),
+            "decode_with_workspace()",
+        );
+
+        let mut legacy_cache = TableCache::new();
+        let mut new_cache = TableCache::new();
+        // Run the cached pair twice: the first call fills the tables,
+        // the second exercises the genuinely incremental path.
+        for round in 0..2 {
+            let legacy = dec.decode_with_cache(&rx, &mut legacy_cache, &mut ws);
+            let req = DecodeRequest::new(&dec, &rx)
+                .workspace(&mut ws)
+                .cache(&mut new_cache)
+                .decode();
+            assert_same(&legacy, &req, &format!("decode_with_cache() round {round}"));
+            assert_same(&legacy, &base, &format!("cached vs fresh round {round}"));
+        }
+
+        let engine = DecodeEngine::new(threads);
+        assert_same(
+            &engine.decode_parallel(&dec, &rx),
+            &DecodeRequest::new(&dec, &rx).engine(&engine).decode(),
+            "decode_parallel()",
+        );
+
+        let mut legacy_cache = TableCache::new();
+        let mut new_cache = TableCache::new();
+        assert_same(
+            &engine.decode_parallel_cached(&dec, &rx, &mut legacy_cache),
+            &DecodeRequest::new(&dec, &rx)
+                .engine(&engine)
+                .cache(&mut new_cache)
+                .decode(),
+            "decode_parallel_cached()",
+        );
+    }
+
+    /// BSC decodes: the bit-observation paths agree the same way.
+    #[test]
+    fn bit_paths_are_bit_identical(
+        seed in 0u64..10_000,
+        flip_pm in 0u32..60, // per-mille flip probability
+        threads in 1usize..3,
+    ) {
+        let params = CodeParams::default().with_n(64).with_b(16);
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        let msg = Message::random(params.n, || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 56) as u8
+        });
+        let mut enc = Encoder::new(&params, &msg);
+        let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
+        let mut rx = RxBits::new(schedule);
+        let mut ch = BscChannel::new(flip_pm as f64 / 1000.0, seed ^ 0xB5C);
+        rx.push(&ch.transmit_bits(&enc.next_bits(6 * params.symbols_per_pass())));
+        let dec = BubbleDecoder::new(&params);
+
+        let base = DecodeRequest::new(&dec, &rx).decode();
+        assert_same(&dec.decode_bsc(&rx), &base, "decode_bsc()");
+
+        let mut ws = DecodeWorkspace::new();
+        assert_same(
+            &dec.decode_bsc_with_workspace(&rx, &mut ws),
+            &DecodeRequest::new(&dec, &rx).workspace(&mut ws).decode(),
+            "decode_bsc_with_workspace()",
+        );
+
+        let engine = DecodeEngine::new(threads);
+        assert_same(
+            &engine.decode_bsc_parallel(&dec, &rx),
+            &DecodeRequest::new(&dec, &rx).engine(&engine).decode(),
+            "decode_bsc_parallel()",
+        );
+    }
+
+    /// The batch method equals one DecodeRequest per buffer with a
+    /// shared workspace.
+    #[test]
+    fn batch_equals_mapped_requests(
+        seed in 0u64..10_000,
+        count in 1usize..4,
+    ) {
+        let (_, dec, _) = setup(seed, MetricProfile::Exact);
+        let rxs: Vec<RxSymbols> = (0..count as u64)
+            .map(|i| setup(seed ^ (i + 1), MetricProfile::Exact).2)
+            .collect();
+        let legacy = dec.decode_batch(&rxs);
+        let mut ws = DecodeWorkspace::new();
+        let mapped: Vec<_> = rxs
+            .iter()
+            .map(|rx| DecodeRequest::new(&dec, rx).workspace(&mut ws).decode())
+            .collect();
+        prop_assert_eq!(legacy.len(), mapped.len());
+        for (i, (a, b)) in legacy.iter().zip(&mapped).enumerate() {
+            assert_same(a, b, &format!("decode_batch[{i}]"));
+        }
+    }
+}

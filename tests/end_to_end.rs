@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spinal_codes::core::framing::FrameReassembly;
 use spinal_codes::{
-    AwgnChannel, BubbleDecoder, Channel, CodeParams, Encoder, FrameBuilder, Message, Puncturing,
-    RxSymbols, Schedule,
+    AwgnChannel, BubbleDecoder, Channel, CodeParams, DecodeRequest, Encoder, FrameBuilder, Message,
+    Puncturing, RxSymbols, Schedule,
 };
 
 fn rand_msg(n: usize, seed: u64) -> Message {
@@ -26,7 +26,7 @@ fn decode_loop(params: &CodeParams, msg: &Message, snr_db: f64, seed: u64) -> Op
         let tx = enc.next_symbols(boundary - sent);
         sent = boundary;
         rx.push(&ch.transmit(&tx));
-        if decoder.decode(&rx).message == *msg {
+        if DecodeRequest::new(&decoder, &rx).decode().message == *msg {
             return Some(sent);
         }
     }
@@ -78,7 +78,7 @@ fn framed_datagram_round_trip_with_crc_validation() {
             let tx = enc.next_symbols(boundary - sent);
             sent = boundary;
             rx.push(&ch.transmit(&tx));
-            if re.offer(i, &decoder.decode(&rx).message) {
+            if re.offer(i, &DecodeRequest::new(&decoder, &rx).decode().message) {
                 break;
             }
         }
@@ -144,6 +144,6 @@ fn mismatched_parameters_fail_decoding() {
     let mut ch = AwgnChannel::new(30.0, 10);
     let tx = enc.next_symbols(4 * schedule.symbols_per_pass());
     rx.push(&ch.transmit(&tx));
-    let out = BubbleDecoder::new(&rx_params).decode(&rx);
+    let out = DecodeRequest::new(&BubbleDecoder::new(&rx_params), &rx).decode();
     assert_ne!(out.message, msg);
 }

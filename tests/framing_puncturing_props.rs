@@ -68,7 +68,7 @@ proptest! {
             let tx = enc.next_symbols(schedule.symbols_per_pass());
             let mut rx = RxSymbols::new(schedule.clone());
             rx.push(&tx); // noiseless: identity channel
-            let decoded = decoder.decode(&rx);
+            let decoded = spinal_codes::DecodeRequest::new(&decoder, &rx).decode();
             prop_assert_eq!(&decoded.message, &block);
             prop_assert!(fb.validate(&decoded.message).is_some());
         }

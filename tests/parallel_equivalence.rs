@@ -11,8 +11,8 @@ use proptest::prelude::*;
 use spinal_codes::channel::BitChannel;
 use spinal_codes::core::MetricProfile;
 use spinal_codes::{
-    AwgnChannel, BscChannel, BubbleDecoder, Channel, CodeParams, Complex, DecodeEngine, Encoder,
-    Message, RayleighChannel, RxBits, RxSymbols, Schedule,
+    AwgnChannel, BscChannel, BubbleDecoder, Channel, CodeParams, Complex, DecodeEngine,
+    DecodeRequest, DecodeWorkspace, Encoder, Message, RayleighChannel, RxBits, RxSymbols, Schedule,
 };
 
 /// One generated decode scenario: parameters + received buffer.
@@ -136,13 +136,13 @@ proptest! {
         let dec = BubbleDecoder::new(&params).with_profile(profile);
         match &rx {
             Rx::Symbols(rx) => {
-                let serial = dec.decode(rx);
-                let parallel = engine.decode_parallel(&dec, rx);
+                let serial = DecodeRequest::new(&dec, rx).decode();
+                let parallel = DecodeRequest::new(&dec, rx).engine(&engine).decode();
                 assert_bitwise_equal(&serial, &parallel, &format!("{sc:?}"));
             }
             Rx::Bits(rx) => {
-                let serial = dec.decode_bsc(rx);
-                let parallel = engine.decode_bsc_parallel(&dec, rx);
+                let serial = DecodeRequest::new(&dec, rx).decode();
+                let parallel = DecodeRequest::new(&dec, rx).engine(&engine).decode();
                 assert_bitwise_equal(&serial, &parallel, &format!("{sc:?}"));
             }
         }
@@ -175,13 +175,13 @@ fn one_engine_decodes_a_parade_of_scenarios_identically() {
             let dec = BubbleDecoder::new(&params).with_profile(profile);
             match &rx {
                 Rx::Symbols(rx) => assert_bitwise_equal(
-                    &dec.decode(rx),
-                    &engine.decode_parallel(&dec, rx),
+                    &DecodeRequest::new(&dec, rx).decode(),
+                    &DecodeRequest::new(&dec, rx).engine(&engine).decode(),
                     &format!("threads {threads} seed {seed}"),
                 ),
                 Rx::Bits(rx) => assert_bitwise_equal(
-                    &dec.decode_bsc(rx),
-                    &engine.decode_bsc_parallel(&dec, rx),
+                    &DecodeRequest::new(&dec, rx).decode(),
+                    &DecodeRequest::new(&dec, rx).engine(&engine).decode(),
                     &format!("threads {threads} seed {seed}"),
                 ),
             }
@@ -208,7 +208,11 @@ fn batch_and_submit_drain_match_serial_batch() {
         })
         .collect();
     let dec = BubbleDecoder::new(&params);
-    let serial = dec.decode_batch(&rxs);
+    let mut ws = DecodeWorkspace::new();
+    let serial: Vec<_> = rxs
+        .iter()
+        .map(|rx| DecodeRequest::new(&dec, rx).workspace(&mut ws).decode())
+        .collect();
     for &threads in &THREAD_COUNTS {
         let engine = DecodeEngine::new(threads);
         let batch = engine.decode_batch_parallel(&dec, &rxs);
@@ -255,14 +259,14 @@ fn degenerate_csi_ties_resolve_identically_at_every_thread_count() {
     rx.push_with_csi(&tx, &hs);
     for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
         let dec = BubbleDecoder::new(&params).with_profile(profile);
-        let serial = dec.decode(&rx);
+        let serial = DecodeRequest::new(&dec, &rx).decode();
         assert!(
             serial.cost.is_infinite() && serial.cost > 0.0,
             "{profile:?}"
         );
         for &threads in &THREAD_COUNTS {
             let engine = DecodeEngine::new(threads);
-            let parallel = engine.decode_parallel(&dec, &rx);
+            let parallel = DecodeRequest::new(&dec, &rx).engine(&engine).decode();
             assert_bitwise_equal(
                 &serial,
                 &parallel,
@@ -284,11 +288,11 @@ fn all_nan_observations_resolve_identically_at_every_thread_count() {
     rx.push(&vec![nan; 2 * params.symbols_per_pass()]);
     for profile in [MetricProfile::Exact, MetricProfile::Quantized] {
         let dec = BubbleDecoder::new(&params).with_profile(profile);
-        let serial = dec.decode(&rx);
+        let serial = DecodeRequest::new(&dec, &rx).decode();
         assert!(serial.cost.is_infinite(), "{profile:?}");
         for &threads in &THREAD_COUNTS {
             let engine = DecodeEngine::new(threads);
-            let parallel = engine.decode_parallel(&dec, &rx);
+            let parallel = DecodeRequest::new(&dec, &rx).engine(&engine).decode();
             assert_bitwise_equal(
                 &serial,
                 &parallel,

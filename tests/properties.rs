@@ -148,7 +148,7 @@ proptest! {
         let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
         let mut rx = RxSymbols::new(schedule.clone());
         rx.push(&enc.next_symbols(2 * schedule.symbols_per_pass()));
-        let out = BubbleDecoder::new(&params).decode(&rx);
+        let out = spinal_codes::DecodeRequest::new(&BubbleDecoder::new(&params), &rx).decode();
         prop_assert_eq!(out.message, msg);
     }
 }

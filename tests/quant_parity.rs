@@ -185,7 +185,15 @@ fn quantized_submit_drain_matches_serial_decodes() {
         })
         .collect();
     let dec = BubbleDecoder::new(&params).with_profile(MetricProfile::Quantized);
-    let serial: Vec<_> = rxs.iter().map(|rx| dec.decode(rx)).collect();
+    let mut ws = DecodeWorkspace::new();
+    let serial: Vec<_> = rxs
+        .iter()
+        .map(|rx| {
+            spinal_codes::DecodeRequest::new(&dec, rx)
+                .workspace(&mut ws)
+                .decode()
+        })
+        .collect();
     for threads in [1usize, 2, 8] {
         let engine = DecodeEngine::new(threads);
         for rx in &rxs {

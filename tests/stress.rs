@@ -15,7 +15,10 @@ fn decode_once(params: &CodeParams, msg: &Message, snr_db: f64, passes: usize, s
     let mut ch = AwgnChannel::new(snr_db, seed);
     let tx = enc.next_symbols(passes * schedule.symbols_per_pass());
     rx.push(&ch.transmit(&tx));
-    BubbleDecoder::new(params).decode(&rx).message == *msg
+    spinal_codes::DecodeRequest::new(&BubbleDecoder::new(params), &rx)
+        .decode()
+        .message
+        == *msg
 }
 
 #[test]
