@@ -3,6 +3,8 @@
 //! figure of the paper; see DESIGN.md §2 for the index and EXPERIMENTS.md
 //! for recorded results.
 
+#![forbid(unsafe_code)]
+
 pub mod fading_fig;
 
 use std::collections::HashMap;

@@ -322,7 +322,7 @@ impl Bencher {
 }
 
 fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_by(|a, b| a.total_cmp(b));
     samples[samples.len() / 2]
 }
 

@@ -10,16 +10,49 @@
 //! guard: parking_lot's `Condvar::wait(&mut MutexGuard)` re-acquires the
 //! lock *in place*, which needs an owned slot to move the std guard
 //! through.
+//!
+//! # The `check` feature
+//!
+//! With `--features check`, every lock/unlock and condvar wait/notify
+//! additionally reports to the `spinal-check` model scheduler. While a
+//! check session is active, those calls become schedule points: the
+//! model decides which thread proceeds, so an entire interleaving of
+//! the decode engine can be replayed deterministically, and deadlocks
+//! or lost wakeups become detected model states instead of hung tests.
+//! With no session active the hooks cost one relaxed atomic load, so
+//! the feature can be enabled workspace-wide (Cargo feature
+//! unification under `cargo test --workspace` does exactly that)
+//! without perturbing anything.
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 
+#[cfg(feature = "check")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fetch (allocating on first use) the model id stored in `slot`.
+/// Ids start at 1; 0 means "never seen by the checker".
+#[cfg(feature = "check")]
+fn model_id(slot: &AtomicU64) -> u64 {
+    let id = slot.load(Ordering::Relaxed);
+    if id != 0 {
+        return id;
+    }
+    let fresh = spinal_check::hooks::fresh_obj_id();
+    match slot.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(existing) => existing,
+    }
+}
+
 /// A mutual-exclusion lock whose `lock()` never returns a `Result`.
 /// A panicked holder does not poison the lock (parking_lot semantics).
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "check")]
+    check_id: AtomicU64,
     inner: std::sync::Mutex<T>,
 }
 
@@ -30,6 +63,10 @@ pub struct MutexGuard<'a, T: ?Sized> {
     // guard is moved out to the OS wait and the re-acquired guard is
     // moved back in.
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    // Back-reference so `Condvar::wait` can re-take the raw lock after
+    // a model-handled wait and `Drop` can report the release.
+    #[cfg(feature = "check")]
+    lock: &'a Mutex<T>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -45,10 +82,25 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+#[cfg(feature = "check")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then tell the model: a thread
+        // the model schedules next must find the raw mutex free.
+        self.inner = None;
+        let id = self.lock.check_id.load(Ordering::Relaxed);
+        if id != 0 && spinal_check::hooks::enabled() {
+            spinal_check::hooks::mutex_unlock(id);
+        }
+    }
+}
+
 impl<T> Mutex<T> {
     /// Create a new mutex holding `value`.
     pub fn new(value: T) -> Self {
         Mutex {
+            #[cfg(feature = "check")]
+            check_id: AtomicU64::new(0),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -62,19 +114,44 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, blocking until available.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
+    fn make_guard<'a>(&'a self, g: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            inner: Some(g),
+            #[cfg(feature = "check")]
+            lock: self,
         }
     }
 
+    /// Acquire the lock, blocking until available.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "check")]
+        if spinal_check::hooks::enabled() {
+            // Model acquisition first: when it returns, the model has
+            // granted us the lock, so the raw lock below is
+            // uncontended among session participants.
+            spinal_check::hooks::mutex_lock(model_id(&self.check_id));
+        }
+        self.make_guard(self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
     /// Acquire the lock if free.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        self.inner
-            .try_lock()
-            .ok()
-            .map(|g| MutexGuard { inner: Some(g) })
+        #[cfg(feature = "check")]
+        if spinal_check::hooks::enabled() {
+            match spinal_check::hooks::mutex_try_lock(model_id(&self.check_id)) {
+                Some(true) => {
+                    // Model granted it; the raw lock is ours to take.
+                    return Some(
+                        self.make_guard(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+                    );
+                }
+                Some(false) => return None,
+                None => {} // session ended mid-call: real path below
+            }
+        }
+        self.inner.try_lock().ok().map(|g| self.make_guard(g))
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -88,6 +165,8 @@ impl<T: ?Sized> Mutex<T> {
 /// results anywhere).
 #[derive(Debug, Default)]
 pub struct Condvar {
+    #[cfg(feature = "check")]
+    check_id: AtomicU64,
     inner: std::sync::Condvar,
 }
 
@@ -95,6 +174,8 @@ impl Condvar {
     /// Create a new condition variable.
     pub fn new() -> Self {
         Condvar {
+            #[cfg(feature = "check")]
+            check_id: AtomicU64::new(0),
             inner: std::sync::Condvar::new(),
         }
     }
@@ -105,7 +186,32 @@ impl Condvar {
     /// (`T: Sized` here, unlike real parking_lot, because the underlying
     /// `std::sync::Condvar::wait` requires it; no call site needs an
     /// unsized payload.)
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(feature = "check")]
+        if spinal_check::hooks::enabled() {
+            let cv_id = model_id(&self.check_id);
+            let lock_id = model_id(&guard.lock.check_id);
+            // Release the raw lock, then park in the *model's* wait
+            // set. The model re-acquires the lock on our behalf before
+            // condvar_wait returns, so the re-take below is
+            // uncontended. No thread touches the real condvar.
+            let std_guard = guard.inner.take().expect("guard present outside wait");
+            drop(std_guard);
+            let handled = spinal_check::hooks::condvar_wait(cv_id, lock_id);
+            guard.inner = Some(
+                guard
+                    .lock
+                    .inner
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+            // `handled == false` means the session ended between the
+            // enabled() load and the hook; returning with the lock
+            // re-held is a legal spurious wakeup.
+            let _ = handled;
+            return;
+        }
         let std_guard = guard.inner.take().expect("guard present outside wait");
         let reacquired = self
             .inner
@@ -116,12 +222,22 @@ impl Condvar {
 
     /// Wake one waiting thread, if any.
     pub fn notify_one(&self) {
+        // Always notify the real condvar too: waiters that parked
+        // before a check session began are not in the model's sets.
         self.inner.notify_one();
+        #[cfg(feature = "check")]
+        if spinal_check::hooks::enabled() {
+            spinal_check::hooks::condvar_notify_one(model_id(&self.check_id));
+        }
     }
 
     /// Wake all waiting threads.
     pub fn notify_all(&self) {
         self.inner.notify_all();
+        #[cfg(feature = "check")]
+        if spinal_check::hooks::enabled() {
+            spinal_check::hooks::condvar_notify_all(model_id(&self.check_id));
+        }
     }
 }
 

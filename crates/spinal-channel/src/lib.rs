@@ -19,6 +19,8 @@
 //! is 1, complex noise power is `σ² = 10^(−SNR_dB/10)` split evenly across
 //! I and Q, and capacity is `log2(1 + SNR)` bits per complex symbol.
 
+#![forbid(unsafe_code)]
+
 pub mod awgn;
 pub mod bsc;
 pub mod capacity;

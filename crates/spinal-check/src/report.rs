@@ -1,0 +1,189 @@
+//! Violation reports: what the checker found, on which threads, with
+//! the acquisition traces needed to act on it.
+
+use std::fmt;
+
+/// One schedule-point operation, as recorded in the bounded trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// A thread registered with the session.
+    Register,
+    /// A thread finished (its exit guard ran).
+    Exit,
+    /// Mutex acquired.
+    Lock,
+    /// Mutex released.
+    Unlock,
+    /// `try_lock` that acquired the mutex.
+    TryLockOk,
+    /// `try_lock` that found the mutex held.
+    TryLockFail,
+    /// Entered a condvar wait set (and released the paired mutex).
+    CvWait,
+    /// Woke from a condvar wait (mutex re-acquired).
+    CvWake,
+    /// `notify_one`; `woken` is the chosen waiter, if any was parked.
+    NotifyOne {
+        /// Thread id of the waiter the strategy chose, if any.
+        woken: Option<usize>,
+    },
+    /// `notify_all`; `woken` counts the waiters released.
+    NotifyAll {
+        /// Number of waiters released.
+        woken: usize,
+    },
+    /// An explicit [`crate::hooks::yield_point`].
+    Yield,
+    /// The scheduler reassigned execution away from a thread that went
+    /// silent (blocked outside the model, e.g. in `JoinHandle::join`).
+    Steal {
+        /// The thread the grant was taken from.
+        from: usize,
+    },
+}
+
+/// One entry of the bounded schedule trace.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Schedule-point counter at which the event happened.
+    pub step: usize,
+    /// Session-local id of the acting thread.
+    pub tid: usize,
+    /// Session-local id of the mutex/condvar acted on (0 = none).
+    pub obj: u64,
+    /// Source location of the call, when the hook captured one.
+    pub loc: Option<&'static std::panic::Location<'static>>,
+    /// What happened.
+    pub op: Op,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:<5} t{} ", self.step, self.tid)?;
+        match &self.op {
+            Op::Register => write!(f, "register")?,
+            Op::Exit => write!(f, "exit")?,
+            Op::Lock => write!(f, "lock      m{}", self.obj)?,
+            Op::Unlock => write!(f, "unlock    m{}", self.obj)?,
+            Op::TryLockOk => write!(f, "try_lock  m{} -> acquired", self.obj)?,
+            Op::TryLockFail => write!(f, "try_lock  m{} -> contended", self.obj)?,
+            Op::CvWait => write!(f, "cv_wait   c{}", self.obj)?,
+            Op::CvWake => write!(f, "cv_wake   c{}", self.obj)?,
+            Op::NotifyOne { woken: Some(w) } => {
+                write!(f, "notify_one c{} -> wakes t{w}", self.obj)?
+            }
+            Op::NotifyOne { woken: None } => write!(f, "notify_one c{} -> no waiter", self.obj)?,
+            Op::NotifyAll { woken } => write!(f, "notify_all c{} -> wakes {woken}", self.obj)?,
+            Op::Yield => write!(f, "yield")?,
+            Op::Steal { from } => write!(f, "steal     (grant taken from t{from})")?,
+        }
+        if let Some(loc) = self.loc {
+            write!(f, "  at {}:{}", loc.file(), loc.line())?;
+        }
+        Ok(())
+    }
+}
+
+/// One edge of a lock-order cycle: `from` was held while `to` was
+/// acquired.
+#[derive(Clone, Debug)]
+pub struct LockOrderEdge {
+    /// The lock already held.
+    pub from: u64,
+    /// Where `from` was acquired.
+    pub from_loc: String,
+    /// The lock acquired under `from`.
+    pub to: u64,
+    /// Where `to` was acquired.
+    pub to_loc: String,
+    /// The thread that established the edge.
+    pub tid: usize,
+}
+
+/// What class of concurrency bug a [`Violation`] reports.
+#[derive(Clone, Debug)]
+pub enum ViolationKind {
+    /// Every live thread is model-blocked and at least one is waiting
+    /// on a mutex: a realized deadlock.
+    Deadlock,
+    /// Every live thread is parked in a condvar wait set with no
+    /// notify left to wake it: a lost/missed wakeup.
+    LostWakeup,
+    /// The lockdep graph acquired a cycle — a deadlock is reachable
+    /// under some schedule even if this one completed.
+    LockOrderInversion {
+        /// The cycle, as held-while-acquiring edges.
+        cycle: Vec<LockOrderEdge>,
+    },
+    /// The schedule exceeded the step budget without finishing.
+    Livelock,
+}
+
+/// Snapshot of one thread at the moment a violation was raised.
+#[derive(Clone, Debug)]
+pub struct ThreadReport {
+    /// Session-local thread id.
+    pub tid: usize,
+    /// OS thread name, when one was set.
+    pub name: String,
+    /// Human-readable run state ("runnable", "blocked on m3", …).
+    pub state: String,
+    /// Locks held, with the source location of each acquisition.
+    pub held: Vec<(u64, String)>,
+    /// The object this thread is blocked on, with the wait site.
+    pub waiting: Option<(u64, String)>,
+}
+
+/// A concurrency bug found by the checker, with everything needed to
+/// understand it: the class, per-thread acquisition state, and the
+/// tail of the schedule trace that led there.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The bug class.
+    pub kind: ViolationKind,
+    /// Per-thread snapshots at detection time.
+    pub threads: Vec<ThreadReport>,
+    /// The last schedule-trace events before detection.
+    pub trace: Vec<Event>,
+    /// One-line summary.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "spinal-check violation: {}", self.message)?;
+        match &self.kind {
+            ViolationKind::LockOrderInversion { cycle } => {
+                writeln!(f, "  lock-order cycle:")?;
+                for e in cycle {
+                    writeln!(
+                        f,
+                        "    t{} held m{} (acquired {}) while acquiring m{} ({})",
+                        e.tid, e.from, e.from_loc, e.to, e.to_loc
+                    )?;
+                }
+            }
+            ViolationKind::Deadlock | ViolationKind::LostWakeup | ViolationKind::Livelock => {}
+        }
+        if !self.threads.is_empty() {
+            writeln!(f, "  threads:")?;
+            for t in &self.threads {
+                write!(f, "    t{} [{}] {}", t.tid, t.name, t.state)?;
+                if let Some((obj, loc)) = &t.waiting {
+                    write!(f, ", waiting on {obj} at {loc}")?;
+                }
+                writeln!(f)?;
+                for (lock, loc) in &t.held {
+                    writeln!(f, "      holds m{lock} acquired at {loc}")?;
+                }
+            }
+        }
+        if !self.trace.is_empty() {
+            writeln!(f, "  schedule tail ({} events):", self.trace.len())?;
+            for e in &self.trace {
+                writeln!(f, "    {e}")?;
+            }
+        }
+        Ok(())
+    }
+}

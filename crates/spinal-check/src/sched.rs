@@ -1,0 +1,925 @@
+//! The deterministic model scheduler.
+//!
+//! One **session** checks one execution ("schedule") of a body closure.
+//! Every thread that executes a shim sync operation while the session
+//! is active becomes a participant; exactly one participant holds the
+//! execution **grant** at a time, and the grant only moves at schedule
+//! points (the shim hooks). The session's [`Strategy`] makes every
+//! choice — which thread runs next, which condvar waiter a
+//! `notify_one` wakes — so a `(strategy, body)` pair replays the same
+//! interleaving, modulo code the model cannot see (documented
+//! divergences, e.g. `JoinHandle::join`).
+//!
+//! The model mirrors the sync state: lock ownership, lock wait queues
+//! (implicit in thread run states), condvar wait sets, held-lock
+//! stacks with acquisition sites, and the lockdep graph. Blocking
+//! never uses the real primitives' blocking paths — a model-blocked
+//! thread parks on the session's own condvar until the model wakes it
+//! — so deadlocks and lost wakeups are *states of the model*, detected
+//! and reported rather than hung on.
+
+use crate::hooks;
+use crate::lockdep::LockGraph;
+use crate::report::{Event, Op, ThreadReport, Violation, ViolationKind};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe, Location};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How long a granted thread may stay silent before the grant is
+/// stolen (it is assumed blocked outside the model, e.g. in `join`).
+const STEAL_TIMEOUT: Duration = Duration::from_millis(5);
+/// How long a fully-blocked model must persist before it is declared a
+/// deadlock when the expected thread count is unknown (grace for
+/// threads that are spawned but have not yet reached their first
+/// hook).
+const STALL_GRACE: Duration = Duration::from_millis(150);
+/// Schedule-point budget per schedule; exceeding it is a livelock.
+const MAX_STEPS: usize = 200_000;
+/// Events kept in the bounded trace.
+const TRACE_CAP: usize = 128;
+
+/// Scheduling strategy for one schedule.
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// Uniform random choice at every schedule point, from `seed`.
+    Random {
+        /// Seed for the splitmix64 choice stream.
+        seed: u64,
+    },
+    /// PCT-style priority scheduling: threads get random priorities,
+    /// the highest-priority runnable thread always runs, and at
+    /// `depth` random schedule points the running thread's priority
+    /// drops below everyone else's.
+    Pct {
+        /// Seed for priorities and change points.
+        seed: u64,
+        /// Number of priority change points.
+        depth: usize,
+    },
+    /// Replay a recorded choice-index prefix; beyond it, always take
+    /// choice 0. Used by the bounded exhaustive explorer.
+    Replay {
+        /// Choice indices to force, in schedule order.
+        forced: Vec<u32>,
+    },
+}
+
+/// Everything observed about one completed schedule.
+#[derive(Debug)]
+pub struct ScheduleOutcome<R> {
+    /// The body's return value; `None` if the schedule was aborted by
+    /// a violation.
+    pub result: Option<R>,
+    /// The fatal violation (deadlock / lost wakeup / livelock), if any.
+    pub violation: Option<Violation>,
+    /// Lock-order inversions observed (non-fatal; execution continued).
+    pub lockdep: Vec<Violation>,
+    /// FNV-1a hash of the choice sequence — two schedules with equal
+    /// hashes took the same branches.
+    pub schedule_hash: u64,
+    /// The choice sequence as `(chosen index, fanout)` pairs.
+    pub choices: Vec<(u32, u32)>,
+    /// Schedule points executed.
+    pub steps: usize,
+    /// Grant steals (external blocking the model could not see).
+    pub steals: usize,
+    /// True when determinism was lost (a steal happened, a replay
+    /// prefix mismatched, or an unscheduled self-grant raced).
+    pub diverged: bool,
+}
+
+// ---------------------------------------------------------------------
+// Model state
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum RunSt {
+    /// May be granted execution.
+    Ready,
+    /// Waiting for a mutex.
+    BlockedLock {
+        lock: u64,
+        loc: &'static Location<'static>,
+    },
+    /// Parked in a condvar wait set (paired mutex released).
+    BlockedCv {
+        cv: u64,
+        loc: &'static Location<'static>,
+    },
+    /// Exited (thread-local guard ran).
+    Finished,
+}
+
+#[derive(Debug)]
+struct Th {
+    name: String,
+    run: RunSt,
+    /// Locks held, innermost last, with acquisition sites.
+    held: Vec<(u64, &'static Location<'static>)>,
+    /// Granted but silent past the steal timeout: deprioritized until
+    /// its next hook proves it alive.
+    suspect: bool,
+    /// Currently spinning in [`hooks::yield_point`] — "making no
+    /// progress until someone else does", which stall detection treats
+    /// as blocked.
+    yielding: bool,
+}
+
+#[derive(Debug, Default)]
+struct LockSt {
+    owner: Option<usize>,
+}
+
+struct StratState {
+    kind: Strategy,
+    rng: u64,
+    /// Per-thread PCT priorities (indexed by tid).
+    priorities: Vec<u64>,
+    /// Remaining PCT change points (schedule-point indices).
+    change_points: Vec<usize>,
+    /// Monotonically decreasing floor for PCT demotions.
+    low_water: u64,
+    /// Next forced-choice index for replay.
+    replay_at: usize,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StratState {
+    fn new(kind: Strategy) -> StratState {
+        let mut rng = match &kind {
+            Strategy::Random { seed } => 0x5350_u64 ^ seed.rotate_left(17),
+            Strategy::Pct { seed, .. } => 0x5043_u64 ^ seed.rotate_left(17),
+            Strategy::Replay { .. } => 0,
+        };
+        let change_points = match &kind {
+            Strategy::Pct { depth, .. } => {
+                let mut pts: Vec<usize> = (0..*depth)
+                    .map(|_| (splitmix(&mut rng) % 4096) as usize)
+                    .collect();
+                pts.sort_unstable();
+                pts
+            }
+            _ => Vec::new(),
+        };
+        StratState {
+            kind,
+            rng,
+            priorities: Vec::new(),
+            change_points,
+            low_water: u64::MAX / 2,
+            replay_at: 0,
+        }
+    }
+
+    fn on_register(&mut self) {
+        let p = splitmix(&mut self.rng) | 1;
+        self.priorities.push(p % (u64::MAX / 2) + u64::MAX / 2);
+    }
+
+    /// Choose one of `options` (sorted thread ids). Records nothing —
+    /// the caller logs the choice. Returns the index into `options`.
+    fn pick(&mut self, options: &[usize], step: usize, diverged: &mut bool) -> usize {
+        debug_assert!(!options.is_empty());
+        if options.len() == 1 {
+            return 0;
+        }
+        match &self.kind {
+            Strategy::Random { .. } => (splitmix(&mut self.rng) % options.len() as u64) as usize,
+            Strategy::Pct { .. } => {
+                let i = options
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &tid)| self.priorities[tid])
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                if self.change_points.first().is_some_and(|&p| p <= step) {
+                    self.change_points.remove(0);
+                    self.low_water -= 1;
+                    self.priorities[options[i]] = self.low_water;
+                }
+                i
+            }
+            Strategy::Replay { forced } => {
+                let i = match forced.get(self.replay_at) {
+                    Some(&f) if (f as usize) < options.len() => f as usize,
+                    Some(_) => {
+                        // Recorded fanout no longer matches: the tree
+                        // shifted under us (external blocking).
+                        *diverged = true;
+                        0
+                    }
+                    None => 0,
+                };
+                self.replay_at += 1;
+                i
+            }
+        }
+    }
+}
+
+struct Model {
+    threads: Vec<Th>,
+    /// The thread currently holding the execution grant.
+    current: Option<usize>,
+    locks: HashMap<u64, LockSt>,
+    graph: LockGraph,
+    strat: StratState,
+    choices: Vec<(u32, u32)>,
+    trace: VecDeque<Event>,
+    steps: usize,
+    steals: usize,
+    diverged: bool,
+    failure: Option<Violation>,
+    lockdep: Vec<Violation>,
+    /// Expected participant count; when reached, stall detection is
+    /// immediate instead of grace-timed.
+    declared_threads: Option<usize>,
+    all_blocked_since: Option<Instant>,
+}
+
+impl Model {
+    fn push_event(
+        &mut self,
+        tid: usize,
+        obj: u64,
+        loc: Option<&'static Location<'static>>,
+        op: Op,
+    ) {
+        if self.trace.len() == TRACE_CAP {
+            self.trace.pop_front();
+        }
+        self.trace.push_back(Event {
+            step: self.steps,
+            tid,
+            obj,
+            loc,
+            op,
+        });
+    }
+
+    fn thread_reports(&self) -> Vec<ThreadReport> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| {
+                let fmt_loc = |l: &'static Location<'static>| format!("{}:{}", l.file(), l.line());
+                let (state, waiting) = match &t.run {
+                    RunSt::Ready if t.yielding => ("yielding".to_string(), None),
+                    RunSt::Ready => ("runnable".to_string(), None),
+                    RunSt::BlockedLock { lock, loc } => (
+                        format!("blocked on mutex m{lock}"),
+                        Some((*lock, fmt_loc(loc))),
+                    ),
+                    RunSt::BlockedCv { cv, loc } => (
+                        format!("waiting on condvar c{cv}"),
+                        Some((*cv, fmt_loc(loc))),
+                    ),
+                    RunSt::Finished => ("finished".to_string(), None),
+                };
+                ThreadReport {
+                    tid,
+                    name: t.name.clone(),
+                    state,
+                    held: t.held.iter().map(|&(l, loc)| (l, fmt_loc(loc))).collect(),
+                    waiting,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Panic payload used to unwind threads out of an aborted schedule.
+pub(crate) struct SessionAbort;
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+/// Shared state of one check session; the hooks talk to this.
+pub(crate) struct SessionInner {
+    model: Mutex<Model>,
+    cv: Condvar,
+    closed: AtomicBool,
+}
+
+type Mg<'a> = MutexGuard<'a, Model>;
+
+impl SessionInner {
+    fn new(strategy: Strategy, declared_threads: Option<usize>) -> SessionInner {
+        SessionInner {
+            model: Mutex::new(Model {
+                threads: Vec::new(),
+                current: None,
+                locks: HashMap::new(),
+                graph: LockGraph::default(),
+                strat: StratState::new(strategy),
+                choices: Vec::new(),
+                trace: VecDeque::new(),
+                steps: 0,
+                steals: 0,
+                diverged: false,
+                failure: None,
+                lockdep: Vec::new(),
+                declared_threads,
+                all_blocked_since: None,
+            }),
+            cv: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    fn lock_model(&self) -> Mg<'_> {
+        self.model.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Hook prologue: take the model lock, bail out of aborted
+    /// sessions, and mark this thread live again.
+    fn enter(&self, tid: usize) -> Option<Mg<'_>> {
+        let mut g = self.lock_model();
+        if g.failure.is_some() {
+            drop(g);
+            if std::thread::panicking() {
+                return None; // guard drops during unwind stay silent
+            }
+            panic::panic_any(SessionAbort);
+        }
+        let th = &mut g.threads[tid];
+        th.suspect = false;
+        th.yielding = false;
+        g.all_blocked_since = None;
+        Some(g)
+    }
+
+    /// Choose the next grant holder among Ready threads. Sets
+    /// `current` (possibly `None`) and wakes everyone to re-check.
+    fn schedule_next(&self, g: &mut Mg<'_>) {
+        let pool = |exclude_suspects: bool, m: &Model| {
+            m.threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.run, RunSt::Ready) && !(exclude_suspects && t.suspect))
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
+        };
+        let mut options = pool(true, g);
+        if options.is_empty() {
+            options = pool(false, g);
+        }
+        if options.is_empty() {
+            g.current = None;
+            self.check_stall(g);
+        } else {
+            let steps = g.steps;
+            let mut diverged = g.diverged;
+            let i = g.strat.pick(&options, steps, &mut diverged);
+            g.diverged = diverged;
+            if options.len() > 1 {
+                g.choices.push((i as u32, options.len() as u32));
+            }
+            g.current = Some(options[i]);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Is the model wedged? All live threads blocked (or yield-
+    /// spinning) with at least one truly blocked. Declares the failure
+    /// immediately when the declared thread count has registered,
+    /// otherwise after a grace period (late-registering threads may
+    /// still be on their way to their first hook).
+    fn check_stall(&self, g: &mut Mg<'_>) {
+        if g.failure.is_some() {
+            return;
+        }
+        let mut live = 0usize;
+        let mut blocked_lock = 0usize;
+        let mut blocked_cv = 0usize;
+        let mut yielding = 0usize;
+        for t in &g.threads {
+            match t.run {
+                RunSt::Finished => {}
+                RunSt::BlockedLock { .. } => {
+                    live += 1;
+                    blocked_lock += 1;
+                }
+                RunSt::BlockedCv { .. } => {
+                    live += 1;
+                    blocked_cv += 1;
+                }
+                RunSt::Ready => {
+                    live += 1;
+                    if t.yielding {
+                        yielding += 1;
+                    }
+                }
+            }
+        }
+        let wedged = live > 0
+            && blocked_lock + blocked_cv + yielding == live
+            && blocked_lock + blocked_cv > 0;
+        if !wedged {
+            g.all_blocked_since = None;
+            return;
+        }
+        let declared_met = g.declared_threads.is_some_and(|n| g.threads.len() >= n);
+        if !declared_met {
+            let since = *g.all_blocked_since.get_or_insert_with(Instant::now);
+            if since.elapsed() < STALL_GRACE {
+                return;
+            }
+        }
+        let kind = if blocked_lock > 0 {
+            ViolationKind::Deadlock
+        } else {
+            ViolationKind::LostWakeup
+        };
+        let message = match kind {
+            ViolationKind::Deadlock => format!(
+                "deadlock: {live} live thread(s) all blocked ({blocked_lock} on mutexes, \
+                 {blocked_cv} on condvars)"
+            ),
+            _ => format!(
+                "lost wakeup: {blocked_cv} thread(s) parked in condvar wait sets with no \
+                 notify in flight"
+            ),
+        };
+        g.failure = Some(Violation {
+            kind,
+            threads: g.thread_reports(),
+            trace: g.trace.iter().cloned().collect(),
+            message,
+        });
+        self.cv.notify_all();
+    }
+
+    /// The grant holder went silent: assume it blocked outside the
+    /// model (e.g. `JoinHandle::join`), mark it suspect and reassign.
+    fn handle_timeout(&self, g: &mut Mg<'_>, tid: usize) {
+        if g.failure.is_some() {
+            return;
+        }
+        match g.current {
+            Some(c) if c != tid && matches!(g.threads[c].run, RunSt::Ready) => {
+                g.threads[c].suspect = true;
+                g.steals += 1;
+                g.diverged = true;
+                g.push_event(tid, 0, None, Op::Steal { from: c });
+                g.current = None;
+                self.schedule_next(g);
+            }
+            None => self.check_stall(g),
+            _ => {}
+        }
+    }
+
+    /// Park until this thread is Ready *and* holds the grant.
+    fn park_until_granted<'a>(&'a self, mut g: Mg<'a>, tid: usize) -> Mg<'a> {
+        loop {
+            if g.failure.is_some() {
+                drop(g);
+                if std::thread::panicking() {
+                    // Cannot unwind twice; park forever is wrong too —
+                    // let the already-running panic proceed.
+                    return self.lock_model();
+                }
+                panic::panic_any(SessionAbort);
+            }
+            if matches!(g.threads[tid].run, RunSt::Ready) {
+                match g.current {
+                    Some(c) if c == tid => return g,
+                    None => {
+                        // Free grant (post-steal or registration race):
+                        // take it. Counted as divergence only when
+                        // another Ready thread could also have taken it.
+                        let contenders = g
+                            .threads
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, t)| *i != tid && matches!(t.run, RunSt::Ready))
+                            .count();
+                        if contenders > 0 {
+                            g.diverged = true;
+                        }
+                        g.current = Some(tid);
+                        self.cv.notify_all();
+                        return g;
+                    }
+                    Some(_) => {}
+                }
+            }
+            let (g2, to) = self
+                .cv
+                .wait_timeout(g, STEAL_TIMEOUT)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = g2;
+            if to.timed_out() {
+                self.handle_timeout(&mut g, tid);
+            }
+        }
+    }
+
+    /// Hook epilogue: one schedule choice — keep running, or hand the
+    /// grant to another Ready thread and wait to get it back.
+    fn choice_point<'a>(&'a self, mut g: Mg<'a>, tid: usize) -> Mg<'a> {
+        self.schedule_next(&mut g);
+        if g.current == Some(tid) {
+            return g;
+        }
+        self.park_until_granted(g, tid)
+    }
+
+    fn bump_step(&self, g: &mut Mg<'_>) {
+        g.steps += 1;
+        if g.steps > MAX_STEPS && g.failure.is_none() {
+            g.failure = Some(Violation {
+                kind: ViolationKind::Livelock,
+                threads: g.thread_reports(),
+                trace: g.trace.iter().cloned().collect(),
+                message: format!("schedule exceeded {MAX_STEPS} schedule points"),
+            });
+            self.cv.notify_all();
+        }
+    }
+
+    // -- operations called by the hooks --------------------------------
+
+    pub(crate) fn participant_count(&self) -> usize {
+        self.lock_model().threads.len()
+    }
+
+    pub(crate) fn register_thread(&self, name: String) -> usize {
+        let mut g = self.lock_model();
+        let tid = g.threads.len();
+        g.threads.push(Th {
+            name,
+            run: RunSt::Ready,
+            held: Vec::new(),
+            suspect: false,
+            yielding: false,
+        });
+        g.strat.on_register();
+        g.all_blocked_since = None;
+        g.push_event(tid, 0, None, Op::Register);
+        if g.current.is_none() {
+            self.schedule_next(&mut g);
+        } else {
+            self.cv.notify_all();
+        }
+        tid
+    }
+
+    pub(crate) fn thread_exited(&self, tid: usize) {
+        if self.is_closed() {
+            return;
+        }
+        let mut g = self.lock_model();
+        if matches!(g.threads[tid].run, RunSt::Finished) {
+            return;
+        }
+        g.threads[tid].run = RunSt::Finished;
+        // Defensive: a thread that died (panic) with locks held
+        // releases them in the model too — its real guards already
+        // dropped during unwind.
+        let held = std::mem::take(&mut g.threads[tid].held);
+        for (id, _) in held {
+            if let Some(lk) = g.locks.get_mut(&id) {
+                if lk.owner == Some(tid) {
+                    lk.owner = None;
+                }
+            }
+            for t in g.threads.iter_mut() {
+                if let RunSt::BlockedLock { lock, .. } = t.run {
+                    if lock == id {
+                        t.run = RunSt::Ready;
+                    }
+                }
+            }
+        }
+        g.push_event(tid, 0, None, Op::Exit);
+        if g.current == Some(tid) {
+            g.current = None;
+            self.schedule_next(&mut g);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Acquire `lock` in the model (then the caller takes the real,
+    /// now-uncontended lock).
+    pub(crate) fn lock_acquire(&self, tid: usize, lock: u64, loc: &'static Location<'static>) {
+        let Some(g) = self.enter(tid) else { return };
+        let mut g = self.park_until_granted(g, tid);
+        loop {
+            let free = g.locks.entry(lock).or_default().owner.is_none();
+            if free {
+                if let Some(l) = g.locks.get_mut(&lock) {
+                    l.owner = Some(tid);
+                }
+                let held = g.threads[tid].held.clone();
+                for (h, h_loc) in held {
+                    if let Some(v) = g.graph.add_edge(tid, h, h_loc, lock, loc) {
+                        g.lockdep.push(v);
+                    }
+                }
+                g.threads[tid].held.push((lock, loc));
+                g.push_event(tid, lock, Some(loc), Op::Lock);
+                self.bump_step(&mut g);
+                break;
+            }
+            // Record the want-edge even though we block: the lockdep
+            // graph must see the inversion on the schedule where the
+            // deadlock *manifests*, not only on ones where it doesn't.
+            let held = g.threads[tid].held.clone();
+            for (h, h_loc) in held {
+                if let Some(v) = g.graph.add_edge(tid, h, h_loc, lock, loc) {
+                    g.lockdep.push(v);
+                }
+            }
+            g.threads[tid].run = RunSt::BlockedLock { lock, loc };
+            self.schedule_next(&mut g);
+            g = self.park_until_granted(g, tid);
+        }
+        drop(self.choice_point(g, tid));
+    }
+
+    pub(crate) fn lock_release(&self, tid: usize, lock: u64) {
+        let Some(g) = self.enter(tid) else { return };
+        let mut g = self.park_until_granted(g, tid);
+        if let Some(lk) = g.locks.get_mut(&lock) {
+            if lk.owner == Some(tid) {
+                lk.owner = None;
+            }
+        }
+        g.threads[tid].held.retain(|&(l, _)| l != lock);
+        for t in g.threads.iter_mut() {
+            if let RunSt::BlockedLock { lock: l, .. } = t.run {
+                if l == lock {
+                    t.run = RunSt::Ready;
+                }
+            }
+        }
+        g.push_event(tid, lock, None, Op::Unlock);
+        self.bump_step(&mut g);
+        drop(self.choice_point(g, tid));
+    }
+
+    /// Model `try_lock`: `true` when the lock was granted.
+    pub(crate) fn lock_try_acquire(
+        &self,
+        tid: usize,
+        lock: u64,
+        loc: &'static Location<'static>,
+    ) -> bool {
+        let Some(g) = self.enter(tid) else {
+            return true;
+        };
+        let mut g = self.park_until_granted(g, tid);
+        let free = g.locks.entry(lock).or_default().owner.is_none();
+        if free {
+            if let Some(l) = g.locks.get_mut(&lock) {
+                l.owner = Some(tid);
+            }
+            let held = g.threads[tid].held.clone();
+            for (h, h_loc) in held {
+                if let Some(v) = g.graph.add_edge(tid, h, h_loc, lock, loc) {
+                    g.lockdep.push(v);
+                }
+            }
+            g.threads[tid].held.push((lock, loc));
+            g.push_event(tid, lock, Some(loc), Op::TryLockOk);
+        } else {
+            g.push_event(tid, lock, Some(loc), Op::TryLockFail);
+        }
+        self.bump_step(&mut g);
+        drop(self.choice_point(g, tid));
+        free
+    }
+
+    /// Model a condvar wait: atomically release `lock`, park in the
+    /// wait set of `cv`, and on wakeup re-acquire `lock` before
+    /// returning. The caller re-takes the real mutex afterwards.
+    pub(crate) fn condvar_wait(
+        &self,
+        tid: usize,
+        cv: u64,
+        lock: u64,
+        loc: &'static Location<'static>,
+    ) {
+        let Some(g) = self.enter(tid) else { return };
+        let mut g = self.park_until_granted(g, tid);
+        // Release the paired lock.
+        if let Some(lk) = g.locks.get_mut(&lock) {
+            if lk.owner == Some(tid) {
+                lk.owner = None;
+            }
+        }
+        g.threads[tid].held.retain(|&(l, _)| l != lock);
+        for t in g.threads.iter_mut() {
+            if let RunSt::BlockedLock { lock: l, .. } = t.run {
+                if l == lock {
+                    t.run = RunSt::Ready;
+                }
+            }
+        }
+        g.threads[tid].run = RunSt::BlockedCv { cv, loc };
+        g.push_event(tid, cv, Some(loc), Op::CvWait);
+        self.bump_step(&mut g);
+        self.schedule_next(&mut g);
+        // Wait to be notified (run -> Ready) and granted.
+        g = self.park_until_granted(g, tid);
+        // Re-acquire the lock, possibly blocking again.
+        loop {
+            let free = g.locks.entry(lock).or_default().owner.is_none();
+            if free {
+                if let Some(l) = g.locks.get_mut(&lock) {
+                    l.owner = Some(tid);
+                }
+                g.threads[tid].held.push((lock, loc));
+                break;
+            }
+            g.threads[tid].run = RunSt::BlockedLock { lock, loc };
+            self.schedule_next(&mut g);
+            g = self.park_until_granted(g, tid);
+        }
+        g.push_event(tid, cv, Some(loc), Op::CvWake);
+        self.bump_step(&mut g);
+        drop(self.choice_point(g, tid));
+    }
+
+    pub(crate) fn condvar_notify(&self, tid: usize, cv: u64, all: bool) {
+        let Some(g) = self.enter(tid) else { return };
+        let mut g = self.park_until_granted(g, tid);
+        let waiters: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.run, RunSt::BlockedCv { cv: c, .. } if c == cv))
+            .map(|(i, _)| i)
+            .collect();
+        if all {
+            for &w in &waiters {
+                g.threads[w].run = RunSt::Ready;
+            }
+            g.push_event(
+                tid,
+                cv,
+                None,
+                Op::NotifyAll {
+                    woken: waiters.len(),
+                },
+            );
+        } else if waiters.is_empty() {
+            g.push_event(tid, cv, None, Op::NotifyOne { woken: None });
+        } else {
+            // WHICH waiter wakes is a schedule choice.
+            let steps = g.steps;
+            let mut diverged = g.diverged;
+            let i = g.strat.pick(&waiters, steps, &mut diverged);
+            g.diverged = diverged;
+            if waiters.len() > 1 {
+                g.choices.push((i as u32, waiters.len() as u32));
+            }
+            let w = waiters[i];
+            g.threads[w].run = RunSt::Ready;
+            g.push_event(tid, cv, None, Op::NotifyOne { woken: Some(w) });
+        }
+        self.bump_step(&mut g);
+        drop(self.choice_point(g, tid));
+    }
+
+    /// A polite scheduling point: hand the grant to any other Ready
+    /// thread; keep it only when no one else can run. Used by
+    /// [`crate::explore::join_checked`] so a joining thread stays
+    /// visible to stall detection.
+    pub(crate) fn yield_now(&self, tid: usize) {
+        let Some(g) = self.enter(tid) else { return };
+        let mut g = self.park_until_granted(g, tid);
+        g.threads[tid].yielding = true;
+        let others: Vec<usize> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| *i != tid && matches!(t.run, RunSt::Ready) && !t.suspect)
+            .map(|(i, _)| i)
+            .collect();
+        if others.is_empty() {
+            // Nothing else can run; if everyone else is blocked this
+            // is where deadlocks involving a joining main thread get
+            // detected.
+            self.check_stall(&mut g);
+            if g.failure.is_some() {
+                drop(g);
+                panic::panic_any(SessionAbort);
+            }
+            return;
+        }
+        let steps = g.steps;
+        let mut diverged = g.diverged;
+        let i = g.strat.pick(&others, steps, &mut diverged);
+        g.diverged = diverged;
+        if others.len() > 1 {
+            g.choices.push((i as u32, others.len() as u32));
+        }
+        g.current = Some(others[i]);
+        g.push_event(tid, 0, None, Op::Yield);
+        self.bump_step(&mut g);
+        self.cv.notify_all();
+        drop(self.park_until_granted(g, tid));
+    }
+
+    // -- session lifecycle ---------------------------------------------
+
+    fn wait_all_finished(&self, budget: Duration) {
+        let deadline = Instant::now() + budget;
+        loop {
+            {
+                let g = self.lock_model();
+                if g.threads.iter().all(|t| matches!(t.run, RunSt::Finished)) {
+                    return;
+                }
+                if g.failure.is_some() {
+                    // Aborted schedules: participants unwind on their
+                    // own; give them a moment but don't insist.
+                }
+            }
+            if Instant::now() >= deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+}
+
+fn fnv64(choices: &[(u32, u32)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(i, n) in choices {
+        for b in i.to_le_bytes().into_iter().chain(n.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Run `body` once under the model scheduler with `strategy` making
+/// every schedule choice. `declared_threads` is the number of
+/// participating threads the body is expected to involve (including
+/// the calling thread); providing it makes deadlock detection
+/// immediate instead of grace-timed.
+///
+/// Panics from the body that are not checker aborts propagate.
+pub fn run_schedule<R>(
+    strategy: Strategy,
+    declared_threads: Option<usize>,
+    body: impl FnOnce() -> R,
+) -> ScheduleOutcome<R> {
+    // Sessions are process-global (the shim hooks route to *the*
+    // active session), so schedules from concurrently running tests
+    // must serialize.
+    static RUN_LOCK: Mutex<()> = Mutex::new(());
+    let _serial = RUN_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let inner = std::sync::Arc::new(SessionInner::new(strategy, declared_threads));
+    hooks::install_session(&inner);
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    hooks::retire_main();
+    inner.wait_all_finished(Duration::from_secs(2));
+    inner.close();
+    hooks::uninstall_session(&inner);
+    let mut g = inner.lock_model();
+    let outcome = ScheduleOutcome {
+        result: None,
+        violation: g.failure.take(),
+        lockdep: std::mem::take(&mut g.lockdep),
+        schedule_hash: fnv64(&g.choices),
+        choices: std::mem::take(&mut g.choices),
+        steps: g.steps,
+        steals: g.steals,
+        diverged: g.diverged,
+    };
+    drop(g);
+    match result {
+        Ok(r) => ScheduleOutcome {
+            result: Some(r),
+            ..outcome
+        },
+        Err(p) if p.downcast_ref::<SessionAbort>().is_some() => outcome,
+        Err(p) => panic::resume_unwind(p),
+    }
+}

@@ -135,7 +135,7 @@ mod tests {
             merge_best(&mut streaming, chunk, 16);
         }
         let mut batch = all.clone();
-        batch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        batch.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(&streaming[..], &batch[..16]);
     }
 

@@ -1,0 +1,7 @@
+//! Known-bad fixture: a crate root missing the forbid(unsafe_code)
+//! inner attribute. Expected: `missing-forbid-unsafe` at line 1 (the
+//! file name ends in `lib.rs`, so the crate-root rule applies).
+
+pub fn api() -> u32 {
+    7
+}

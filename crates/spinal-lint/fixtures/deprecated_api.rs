@@ -1,0 +1,16 @@
+//! Known-bad fixture: calls into the deprecated legacy decode surface.
+//! Expected: `deprecated-decode-api` on each legacy call line; the
+//! blessed argument-less builder terminal and other decoder types'
+//! own `decode` methods must NOT be flagged.
+
+pub fn legacy_calls(dec: &BubbleDecoderish, rx: &Rx, engine: &Engine) {
+    let _ = BubbleDecoder::new(&params).decode(rx);
+    let _ = dec.decode_bsc(rx);
+    let _ = dec.decode_parallel(rx, engine);
+    let _ = dec.decode_with_cache(rx, engine);
+}
+
+pub fn blessed_calls(dec: &Decoder, rx: &Rx, p: &Params) {
+    let _ = DecodeRequest::new(dec, rx).decode();
+    let _ = MlDecoder::new(p).decode_bsc(rx);
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: naked float `partial_cmp` comparator.
+//! Expected: `float-partial-cmp` on the sort line.
+
+pub fn sort_costs(costs: &mut Vec<f64>) {
+    costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,14 @@
+//! Known-bad fixture: panic sites in a hostile-input parse path.
+//! Expected: `panicky-wire-path` for the unwrap, the expect, the
+//! panic! and the two indexing lines; strings and comments mentioning
+//! panic!() must NOT be flagged.
+
+pub fn parse(buf: &[u8]) -> Frame {
+    let kind = buf[0];
+    let len = u16::from_be_bytes(buf[1..3].try_into().unwrap()) as usize;
+    let payload = buf.get(3..3 + len).expect("length checked");
+    if kind > 4 {
+        panic!("bad frame kind"); // the message says "panic!()" too
+    }
+    Frame { kind, payload: payload.to_vec() }
+}

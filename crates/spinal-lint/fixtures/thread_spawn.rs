@@ -1,0 +1,17 @@
+//! Known-bad fixture: ad-hoc OS threads outside the engine/compat
+//! whitelist. Expected: `thread-spawn` on both spawn lines; the
+//! `#[cfg(test)]` module must NOT be flagged.
+
+pub fn rogue_threads() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = std::thread::Builder::new().name("rogue".into());
+    let _ = h.join();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawning_in_tests_is_fine() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: `unsafe` outside the (empty) whitelist.
+//! Expected: `unsafe-outside-whitelist` on both unsafe lines — the
+//! SAFETY comment does not rescue a non-whitelisted file.
+
+pub fn reinterpret(x: &[u32]) -> &[u8] {
+    // SAFETY: u32 has no padding and a stricter alignment than u8.
+    unsafe { std::slice::from_raw_parts(x.as_ptr().cast(), x.len() * 4) }
+}
+
+pub unsafe fn launder(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,48 @@
+//! CLI entry point for the workspace lint pass. See `lib.rs` for the
+//! rules. Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match iter.next() {
+                Some(p) => root = Some(p.into()),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", spinal_lint::USAGE);
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n{}", spinal_lint::USAGE);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        // Default to the workspace root: the manifest dir of this
+        // crate is <root>/crates/spinal-lint.
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root")
+            .to_path_buf()
+    });
+    match spinal_lint::run(&root, json) {
+        Ok(findings) if findings.is_empty() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("spinal-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -129,7 +129,7 @@ impl PaprStats {
     pub fn quantile_db(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q));
         let mut v = self.samples.clone();
-        v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_unstable_by(|a, b| a.total_cmp(b));
         let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
         v[idx]
     }

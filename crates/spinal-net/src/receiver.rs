@@ -82,19 +82,28 @@ impl BlockRx {
     /// match the buffer (an alien or corrupted datagram).
     fn push_tail(&mut self, payload: &Payload, skip_within: usize) -> bool {
         match (self, payload) {
-            (BlockRx::Symbols(rx), Payload::Symbols(ys)) => {
-                rx.push(&ys[skip_within..]);
-                true
-            }
-            (BlockRx::Symbols(rx), Payload::SymbolsCsi(pairs)) => {
-                let (ys, hs): (Vec<_>, Vec<_>) = pairs[skip_within..].iter().copied().unzip();
-                rx.push_with_csi(&ys, &hs);
-                true
-            }
-            (BlockRx::Bits(rx), Payload::Bits(bits)) => {
-                rx.push(&bits[skip_within..]);
-                true
-            }
+            (BlockRx::Symbols(rx), Payload::Symbols(ys)) => match ys.get(skip_within..) {
+                Some(tail) => {
+                    rx.push(tail);
+                    true
+                }
+                None => false,
+            },
+            (BlockRx::Symbols(rx), Payload::SymbolsCsi(pairs)) => match pairs.get(skip_within..) {
+                Some(tail) => {
+                    let (ys, hs): (Vec<_>, Vec<_>) = tail.iter().copied().unzip();
+                    rx.push_with_csi(&ys, &hs);
+                    true
+                }
+                None => false,
+            },
+            (BlockRx::Bits(rx), Payload::Bits(bits)) => match bits.get(skip_within..) {
+                Some(tail) => {
+                    rx.push(tail);
+                    true
+                }
+                None => false,
+            },
             _ => false,
         }
     }
@@ -138,7 +147,9 @@ impl BlockState {
                 if off > self.cursor {
                     break;
                 }
-                let payload = self.pending.remove(&off).expect("key just seen");
+                let Some(payload) = self.pending.remove(&off) else {
+                    break;
+                };
                 let end = off as usize + payload.len();
                 if end <= self.cursor as usize {
                     continue; // stale duplicate, fully behind the cursor
@@ -186,19 +197,22 @@ impl BlockState {
         block_idx: usize,
     ) -> bool {
         let Some(rx) = &self.rx else { return false };
-        if self.boundary_idx >= boundaries.len() {
+        let Some(&next_boundary) = boundaries.get(self.boundary_idx) else {
             return false; // pass budget exhausted
-        }
+        };
         let received = rx.received();
-        if received < boundaries[self.boundary_idx] {
+        if received < next_boundary {
             return false; // not enough new observations yet
         }
         // Consume every boundary the buffer has already sailed past:
         // one attempt per drain is enough.
-        while self.boundary_idx < boundaries.len() && boundaries[self.boundary_idx] <= received {
+        while boundaries
+            .get(self.boundary_idx)
+            .is_some_and(|&b| b <= received)
+        {
             self.boundary_idx += 1;
         }
-        let result = match self.rx.as_ref().expect("checked above") {
+        let result = match rx {
             BlockRx::Symbols(rx) => DecodeRequest::new(decoder, rx)
                 .workspace(&mut self.ws)
                 .cache(&mut self.cache)
@@ -311,11 +325,13 @@ impl SpinalReceiver {
         let Some(t) = &mut self.transfer else {
             return; // Init not seen yet; the sender will re-send it
         };
-        if t.transfer_id != transfer_id || block as usize >= t.blocks.len() {
+        if t.transfer_id != transfer_id {
             return;
         }
+        let Some(state) = t.blocks.get_mut(block as usize) else {
+            return;
+        };
         t.datagrams_received += 1;
-        let state = &mut t.blocks[block as usize];
         if state.decoded || payload.is_empty() {
             return;
         }

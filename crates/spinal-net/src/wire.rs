@@ -301,11 +301,9 @@ impl Reader<'_> {
 
     fn bits(&mut self, count: usize) -> Option<Vec<bool>> {
         let bytes = self.take(count.div_ceil(8))?;
-        Some(
-            (0..count)
-                .map(|i| bytes[i / 8] >> (i % 8) & 1 == 1)
-                .collect(),
-        )
+        (0..count)
+            .map(|i| Some(bytes.get(i / 8)? >> (i % 8) & 1 == 1))
+            .collect()
     }
 }
 

@@ -1,0 +1,119 @@
+//! Hostile-input properties for the wire codec: `Packet::decode` parses
+//! attacker-controlled bytes and must *never* panic — truncations,
+//! corrupted length fields, flipped bits and pure noise all have to
+//! degrade to `None` or to a well-formed packet.
+//!
+//! When a corrupted buffer does parse, the packet must be internally
+//! consistent: re-encoding it and decoding that must reproduce the same
+//! bytes (bit-level identity, so NaN payloads — representable on the
+//! wire — don't trip float equality).
+
+use proptest::prelude::*;
+use spinal_channel::Complex;
+use spinal_net::wire::{Packet, Payload};
+
+/// A valid packet of every kind, driven by a small parameter tuple.
+fn build_packet(kind: u8, id: u64, a: u32, b: u16, n: usize, bits: bool) -> Packet {
+    match kind % 3 {
+        0 => Packet::Init {
+            transfer_id: id,
+            payload_len: a,
+            n_blocks: b,
+            block_bits: 32 + (a % 512),
+        },
+        1 => Packet::Data {
+            transfer_id: id,
+            seq: a,
+            block: b,
+            offset: a.wrapping_mul(7),
+            payload: if bits {
+                Payload::Bits((0..n).map(|i| i % 3 == 0).collect())
+            } else {
+                Payload::Symbols(
+                    (0..n)
+                        .map(|i| Complex::new(i as f64 * 0.25 - 1.0, 1.0 - i as f64 * 0.125))
+                        .collect(),
+                )
+            },
+        },
+        _ => Packet::Feedback {
+            transfer_id: id,
+            received: a,
+            decoded: (0..n).map(|i| i % 2 == 0).collect(),
+        },
+    }
+}
+
+/// Decode must either reject or yield a packet whose re-encoding is a
+/// fixed point of the codec (byte-identical through another round).
+fn decode_is_sane(buf: &[u8]) {
+    if let Some(p) = Packet::decode(buf) {
+        let e = p.encode();
+        let again = Packet::decode(&e).map(|q| q.encode());
+        assert_eq!(
+            again,
+            Some(e),
+            "re-encode of a parsed packet is not a fixed point"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Pure noise: arbitrary byte soup never panics the parser.
+    #[test]
+    fn random_bytes_never_panic(buf in proptest::collection::vec(any::<u8>(), 0..300)) {
+        decode_is_sane(&buf);
+    }
+
+    /// Every truncation of a valid datagram parses or rejects cleanly —
+    /// length prefixes must never be trusted past the buffer end.
+    #[test]
+    fn truncations_never_panic(
+        kind in any::<u8>(),
+        id in any::<u64>(),
+        a in any::<u32>(),
+        b in any::<u16>(),
+        n in 0usize..40,
+        bits in any::<bool>(),
+    ) {
+        let wire = build_packet(kind, id, a, b, n, bits).encode();
+        prop_assert!(Packet::decode(&wire).is_some(), "valid packet failed to decode");
+        for cut in 0..wire.len() {
+            decode_is_sane(&wire[..cut]);
+        }
+    }
+
+    /// One byte overwritten anywhere — including the length fields the
+    /// payload loops trust — never panics.
+    #[test]
+    fn length_corruption_never_panics(
+        kind in any::<u8>(),
+        id in any::<u64>(),
+        n in 0usize..40,
+        bits in any::<bool>(),
+        at in any::<u16>(),
+        val in any::<u8>(),
+    ) {
+        let mut wire = build_packet(kind, id, 0xA5A5_5A5A, 7, n, bits).encode();
+        let at = at as usize % wire.len();
+        wire[at] = val;
+        decode_is_sane(&wire);
+    }
+
+    /// A single flipped bit anywhere in the datagram never panics.
+    #[test]
+    fn bit_flips_never_panic(
+        kind in any::<u8>(),
+        id in any::<u64>(),
+        n in 0usize..40,
+        bits in any::<bool>(),
+        pos in any::<u32>(),
+    ) {
+        let mut wire = build_packet(kind, id, 3, 2, n, bits).encode();
+        let bit = pos as usize % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        decode_is_sane(&wire);
+    }
+}

@@ -19,6 +19,8 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results. Runnable examples live
 //! in `examples/`; the per-figure reproduction binaries in `crates/bench`.
 
+#![forbid(unsafe_code)]
+
 pub use spinal_bounds as bounds;
 pub use spinal_channel as channel;
 pub use spinal_core as core;

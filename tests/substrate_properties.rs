@@ -81,7 +81,7 @@ proptest! {
         padded.resize(values.len().next_power_of_two(), f64::INFINITY);
         bitonic_sort(&mut padded);
         let mut expect = values.clone();
-        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.sort_by(|a, b| a.total_cmp(b));
         prop_assert_eq!(&padded[..values.len()], &expect[..]);
 
         // Streaming selection.
