@@ -33,6 +33,13 @@
 //!   deterministic — unlike the timing modes this floor can sit close
 //!   to the recorded value; a drop means the protocol got chattier or
 //!   the decoder weaker, not that CI was slow.
+//! * **`sessions`**: checks a decode-service throughput row recorded
+//!   by the `traffic_gen` bin (`sessions_per_sec` in the same
+//!   JSON-lines format): `--group/--bench` must sustain at least
+//!   `--min-sessions` sessions per second. Like `median`, the floor is
+//!   deliberately loose — it exists to catch "the service serialized
+//!   everything / leaked sessions" regressions, not scheduler drift on
+//!   a noisy CI host.
 //!
 //! ```sh
 //! BENCH_JSON=/tmp/now.json BENCH_FILTER=bubble_decode \
@@ -266,6 +273,36 @@ fn run_goodput_mode(args: &Args) {
     println!("bench_guard: OK");
 }
 
+fn run_sessions_mode(args: &Args) {
+    let current = args.str("current", "/tmp/bench_current.json");
+    let group = args.str("group", "service");
+    let name = args.str("bench", "traffic_gen");
+    let min_sessions = args.f64("min-sessions", 100.0);
+    if min_sessions.is_nan() || min_sessions <= 0.0 {
+        die(format!(
+            "--min-sessions must be positive, got {min_sessions}"
+        ));
+    }
+
+    let text = std::fs::read_to_string(&current)
+        .unwrap_or_else(|e| die(format!("cannot read --current file '{current}': {e}")));
+    let rate = find_field_in(&text, &group, &name, None, "sessions_per_sec").unwrap_or_else(|| {
+        die(format!(
+            "--group/--bench pair '{group}/{name}' has no sessions_per_sec entry in \
+             --current file '{current}' — was it recorded with the traffic_gen bin's --json?"
+        ))
+    });
+    println!("bench_guard: {group}/{name}: {rate:.1} sessions/s (floor {min_sessions:.1})");
+    if rate < min_sessions {
+        eprintln!(
+            "bench_guard: FAIL — sustained rate {rate:.1} sessions/s fell below the \
+             {min_sessions:.1} floor"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}
+
 fn main() {
     let args = Args::parse();
     match args.str("mode", "median").as_str() {
@@ -273,9 +310,10 @@ fn main() {
         "throughput" => run_throughput_mode(&args),
         "profile-speedup" => run_profile_speedup_mode(&args),
         "goodput" => run_goodput_mode(&args),
+        "sessions" => run_sessions_mode(&args),
         other => die(format!(
             "invalid value for --mode: '{other}' (expected 'median', 'throughput', \
-             'profile-speedup', or 'goodput')"
+             'profile-speedup', 'goodput', or 'sessions')"
         )),
     }
 }
@@ -468,6 +506,19 @@ mod tests {
                 None,
                 "goodput_bits_per_symbol"
             ),
+            None
+        );
+    }
+
+    #[test]
+    fn sessions_rows_parse_like_any_other_field() {
+        let sample = "{\"group\":\"service\",\"bench\":\"traffic_gen\",\"sessions_per_sec\":10578.365,\"sessions\":600,\"concurrent\":500,\"threads\":2,\"p99_us\":65536,\"retries\":0}\n";
+        assert_eq!(
+            find_field_in(sample, "service", "traffic_gen", None, "sessions_per_sec"),
+            Some(10578.365)
+        );
+        assert_eq!(
+            find_field_in(sample, "service", "absent", None, "sessions_per_sec"),
             None
         );
     }

@@ -93,7 +93,7 @@ fn main() {
             );
             symbols += report.symbols_sent;
             rounds += report.rounds;
-            delivered += usize::from(report.payload.as_deref() == Some(&payload[..]));
+            delivered += usize::from(report.payload() == Some(&payload[..]));
         }
         let goodput = if symbols > 0 {
             (delivered * payload.len() * 8) as f64 / symbols as f64

@@ -215,6 +215,75 @@ fn engine_drop_without_drain_never_wedges() {
     );
 }
 
+/// The submit-racing-drain hazard (ISSUE satellite): a second
+/// coordinator thread submits *while* the main thread drains. Under the
+/// generation-counted stream every schedule must land the raced
+/// submission in exactly one generation — the one the drain closed
+/// (drain waits for it) or the next (a later drain returns it). No
+/// schedule may lose it, duplicate it, return results out of
+/// submission order, or leave a stale completion behind.
+#[test]
+fn engine_submit_racing_drain_loses_nothing() {
+    let p = CodeParams::default().with_n(32).with_b(4);
+    let dec = BubbleDecoder::new(&p);
+    let rxs: Vec<RxSymbols> = (0..3).map(|i| make_rx(&p, 2, 0xF0 + i)).collect();
+    let serial = fingerprint_serial(&dec, &rxs);
+
+    let workers = 2usize;
+    let cfg = CheckConfig {
+        schedules: schedule_budget(250).min(250),
+        seed: 0xACE5,
+        // Main + workers + the racing submitter. The racer registers at
+        // its first lock, mid-race by design — declared_threads only
+        // tightens stall detection once everyone has shown up.
+        declared_threads: Some(1 + workers + 1),
+    };
+    let (results, stats) = check_random(&cfg, || {
+        let engine = DecodeEngine::new(workers);
+        await_participants(1 + workers);
+        engine.submit(&dec, &rxs[0]);
+        engine.submit(&dec, &rxs[1]);
+        let first = std::thread::scope(|s| {
+            let racer = s.spawn(|| engine.submit(&dec, &rxs[2]));
+            let first = engine.drain();
+            racer
+                .join()
+                .unwrap_or_else(|_| panic!("racing submitter panicked"));
+            first
+        });
+        let second = engine.drain();
+        let split = first.len();
+        let got: Vec<Fingerprint> = first
+            .into_iter()
+            .chain(second)
+            .map(|r| (r.message, r.cost.to_bits()))
+            .collect();
+        (got, split, engine.stale_completions())
+    });
+    stats.assert_clean("submit racing drain");
+    assert_eq!(results.len(), stats.schedules, "a racing schedule wedged");
+    let mut splits = std::collections::HashSet::new();
+    for (i, (got, split, stale)) in results.iter().enumerate() {
+        assert_eq!(
+            got, &serial,
+            "schedule {i}: raced submission lost, duplicated, or reordered"
+        );
+        assert!(
+            *split == 2 || *split == 3,
+            "schedule {i}: drain returned {split} results for its generation"
+        );
+        assert_eq!(*stale, 0, "schedule {i}: completion leaked as stale");
+        splits.insert(*split);
+    }
+    // The race must actually branch: some schedules drain the raced
+    // submission in the first generation, others in the second.
+    assert_eq!(
+        splits.len(),
+        2,
+        "race never explored both generations: splits {splits:?}"
+    );
+}
+
 /// Diagnostic (ignored): dump schedule structure for tuning.
 #[test]
 #[ignore]

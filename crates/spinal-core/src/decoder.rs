@@ -793,13 +793,34 @@ fn finite_or_inf(v: f64) -> f64 {
     }
 }
 
+/// Process-wide count of [`BubbleDecoder`] clones, for pinning "no
+/// decoder clone on the hot path" contracts (see
+/// [`BubbleDecoder::clones_total`]).
+static DECODER_CLONES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// The bubble decoder. Stateless across attempts: all received data lives
 /// in the [`RxSymbols`]/[`RxBits`] buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BubbleDecoder {
     params: CodeParams,
     gen: SymbolGen,
     profile: MetricProfile,
+}
+
+impl Clone for BubbleDecoder {
+    /// Cloning a decoder copies its parameter set and RNG tables — cheap
+    /// but not free. The session/service layers hold one decoder in an
+    /// `Arc` per session instead of cloning per submission; every clone
+    /// bumps a process-wide counter ([`BubbleDecoder::clones_total`]) so
+    /// tests can pin that contract.
+    fn clone(&self) -> Self {
+        DECODER_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        BubbleDecoder {
+            params: self.params.clone(),
+            gen: self.gen.clone(),
+            profile: self.profile,
+        }
+    }
 }
 
 impl BubbleDecoder {
@@ -816,6 +837,14 @@ impl BubbleDecoder {
             gen: SymbolGen::new(params),
             profile: MetricProfile::Exact,
         }
+    }
+
+    /// Process-wide number of [`BubbleDecoder`] clones since program
+    /// start (monotone, relaxed ordering). Diagnostic: lets tests pin
+    /// hot paths as clone-free — e.g. a decode session must clone the
+    /// decoder at most once for its whole lifetime, never per submit.
+    pub fn clones_total() -> u64 {
+        DECODER_CLONES.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Select the metric profile (builder style). See

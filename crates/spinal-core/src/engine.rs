@@ -112,8 +112,18 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.state.lock().shutdown = true;
         self.shared.ready.notify_all();
+        let me = std::thread::current().id();
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            if h.thread().id() == me {
+                // The pool can be dropped *from one of its own workers*
+                // (a service job holding the last Arc to the engine's
+                // owner). Joining ourselves would deadlock/panic —
+                // detach instead; the thread exits on its own once the
+                // current job returns and it observes `shutdown`.
+                drop(h);
+            } else {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -397,15 +407,71 @@ impl EngineCost for u32 {
     }
 }
 
-struct SubmitState {
+/// One generation of the submit/drain stream: the submissions issued
+/// between two `drain` calls, identified by a monotone counter.
+struct GenStream {
+    gen: u64,
     results: Vec<Option<DecodeResult>>,
     issued: usize,
     done: usize,
 }
 
+impl GenStream {
+    fn new(gen: u64) -> Self {
+        GenStream {
+            gen,
+            results: Vec::new(),
+            issued: 0,
+            done: 0,
+        }
+    }
+}
+
+struct SubmitState {
+    /// The generation currently accepting submissions.
+    open: GenStream,
+    /// Generations closed by a `drain` that is still waiting for their
+    /// in-flight jobs (one entry per concurrent drain).
+    closed: Vec<GenStream>,
+    /// Completions whose generation no longer exists (its stream was
+    /// forgotten): detected, counted, and dropped — never attached to a
+    /// newer stream.
+    stale: u64,
+}
+
 struct SubmitShared {
     state: Mutex<SubmitState>,
     done: Condvar,
+}
+
+impl SubmitShared {
+    /// Record one finished submission against its generation. A
+    /// completion whose stream is gone (the generation was forgotten)
+    /// is counted as stale instead of corrupting a newer stream.
+    fn complete(&self, gen: u64, idx: usize, result: DecodeResult) {
+        let mut st = self.state.lock();
+        let landed = {
+            let stream = if st.open.gen == gen {
+                Some(&mut st.open)
+            } else {
+                st.closed.iter_mut().find(|s| s.gen == gen)
+            };
+            match stream {
+                Some(s) => {
+                    s.results[idx] = Some(result);
+                    s.done += 1;
+                    if s.done == s.issued {
+                        self.done.notify_all();
+                    }
+                    true
+                }
+                None => false,
+            }
+        };
+        if !landed {
+            st.stale += 1;
+        }
+    }
 }
 
 /// A persistent multi-threaded decode engine. See the module docs for
@@ -419,9 +485,10 @@ struct SubmitShared {
 ///
 /// All methods take `&self`; the engine is `Sync` and can be shared by
 /// several sweep workers (intra-block decodes serialise on internal
-/// scratch, batch jobs interleave in the shared queue). The one
-/// exception is the [`DecodeEngine::submit`]/[`DecodeEngine::drain`]
-/// pair, which is a single shared stream — see its docs.
+/// scratch, batch jobs interleave in the shared queue). The
+/// [`DecodeEngine::submit`]/[`DecodeEngine::drain`] pair is one shared
+/// stream, but generation-counted so a racing drain closes only its own
+/// generation — see its docs.
 pub struct DecodeEngine {
     threads: usize,
     pool: Option<WorkerPool>,
@@ -448,9 +515,9 @@ impl DecodeEngine {
             scratch: Mutex::new(EngineScratch::default()),
             submits: Arc::new(SubmitShared {
                 state: Mutex::new(SubmitState {
-                    results: Vec::new(),
-                    issued: 0,
-                    done: 0,
+                    open: GenStream::new(0),
+                    closed: Vec::new(),
+                    stale: 0,
                 }),
                 done: Condvar::new(),
             }),
@@ -611,59 +678,111 @@ impl DecodeEngine {
     /// [`DecodeEngine::drain`]; results come back in submission order.
     /// With a thread budget of 1 the decode runs inline here.
     ///
-    /// The engine holds ONE submit/drain stream: a `drain` returns (and
-    /// clears) the results of *every* submission issued so far,
-    /// whichever thread issued it. Use the pair from a single
-    /// coordinator; concurrent independent batches should go through
-    /// [`DecodeEngine::decode_batch_parallel`], whose results are scoped
-    /// to the call.
+    /// The engine holds ONE submit/drain stream, but submissions are
+    /// tagged with a generation counter: each `drain` closes the current
+    /// generation and waits only for the submissions it saw, so a submit
+    /// racing a drain lands cleanly in the *next* generation instead of
+    /// being mis-ordered or lost, and a completion whose generation was
+    /// [forgotten](DecodeEngine::forget_submissions) is counted in
+    /// [`DecodeEngine::stale_completions`] rather than attached to a
+    /// newer stream. Multi-session callers should still prefer the
+    /// session layer ([`DecodeService`](crate::service::DecodeService)),
+    /// which gives every caller its own completion handle.
     pub fn submit(&self, dec: &BubbleDecoder, rx: &RxSymbols) {
         match &self.pool {
             None => {
                 let result = dec.decode_symbols_impl(rx, &mut self.scratch.lock().ws);
                 let mut st = self.submits.state.lock();
-                st.results.push(Some(result));
-                st.issued += 1;
-                st.done += 1;
+                st.open.results.push(Some(result));
+                st.open.issued += 1;
+                st.open.done += 1;
             }
             Some(pool) => {
-                let idx = {
+                let (gen, idx) = {
                     let mut st = self.submits.state.lock();
-                    let idx = st.issued;
-                    st.issued += 1;
-                    st.results.push(None);
-                    idx
+                    let idx = st.open.issued;
+                    st.open.issued += 1;
+                    st.open.results.push(None);
+                    (st.open.gen, idx)
                 };
                 let dec = Arc::new(dec.clone());
                 let rx = rx.clone();
                 let submits = Arc::clone(&self.submits);
                 pool.submit(Box::new(move |ws| {
                     let result = dec.decode_symbols_impl(&rx, ws);
-                    let mut st = submits.state.lock();
-                    st.results[idx] = Some(result);
-                    st.done += 1;
-                    if st.done == st.issued {
-                        submits.done.notify_all();
-                    }
+                    submits.complete(gen, idx, result);
                 }));
             }
         }
     }
 
-    /// Wait for every outstanding [`DecodeEngine::submit`] — from all
-    /// threads — and return their results in submission order, resetting
-    /// the queue (see the single-stream note on `submit`).
+    /// Wait for every [`DecodeEngine::submit`] issued before this call —
+    /// from all threads — and return their results in submission order.
+    /// Closes the current generation: submissions that race in while a
+    /// drain waits start a fresh generation and are returned by the
+    /// *next* drain, never stolen by or blocking this one.
     pub fn drain(&self) -> Vec<DecodeResult> {
         let mut st = self.submits.state.lock();
-        while st.done < st.issued {
+        let gen = st.open.gen;
+        let closing = std::mem::replace(&mut st.open, GenStream::new(gen + 1));
+        st.closed.push(closing);
+        loop {
+            let pos = st
+                .closed
+                .iter()
+                .position(|s| s.gen == gen)
+                .expect("closed generation present until drained");
+            if st.closed[pos].done == st.closed[pos].issued {
+                let stream = st.closed.swap_remove(pos);
+                return stream
+                    .results
+                    .into_iter()
+                    .map(|slot| slot.expect("drained submit completed"))
+                    .collect();
+            }
             self.submits.done.wait(&mut st);
         }
-        st.issued = 0;
-        st.done = 0;
-        st.results
-            .drain(..)
-            .map(|slot| slot.expect("drained submit completed"))
-            .collect()
+    }
+
+    /// Abandon every submission issued so far that no drain has claimed:
+    /// the open generation is replaced and any still-running jobs from
+    /// it complete as *stale* (counted, dropped — see
+    /// [`DecodeEngine::stale_completions`]). Generations already closed
+    /// by a waiting [`DecodeEngine::drain`] are untouched. Returns how
+    /// many pending submissions were forgotten.
+    pub fn forget_submissions(&self) -> usize {
+        let mut st = self.submits.state.lock();
+        let gen = st.open.gen;
+        let forgotten = std::mem::replace(&mut st.open, GenStream::new(gen + 1));
+        // Jobs already finished in the forgotten stream stay accounted
+        // there (the stream is dropped whole); only still-running jobs
+        // re-surface later, as stale completions.
+        forgotten.issued
+    }
+
+    /// How many submit completions arrived after their generation was
+    /// [forgotten](DecodeEngine::forget_submissions). A nonzero count
+    /// means results were discarded by design, not lost silently.
+    pub fn stale_completions(&self) -> u64 {
+        self.submits.state.lock().stale
+    }
+
+    /// Whether this engine runs a worker pool (`threads > 1`) or inline.
+    pub(crate) fn is_pooled(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Run an arbitrary closure on a pool worker, returning `false` (and
+    /// not running it) when the engine has no pool — the caller then
+    /// runs it inline. The service layer's dispatch hook.
+    pub(crate) fn pool_spawn(&self, f: Box<dyn FnOnce() + Send + 'static>) -> bool {
+        match &self.pool {
+            None => false,
+            Some(pool) => {
+                pool.submit(Box::new(move |_ws| f()));
+                true
+            }
+        }
     }
 
     /// The sharded beam search, generic over the metric profile's cost
@@ -972,5 +1091,43 @@ mod tests {
     fn thread_budget_is_clamped_and_reported() {
         assert_eq!(DecodeEngine::new(0).threads(), 1);
         assert_eq!(DecodeEngine::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn forgotten_submissions_surface_as_stale_not_lost() {
+        let p = CodeParams::default().with_n(64).with_b(16);
+        let rxs: Vec<RxSymbols> = (0..3).map(|s| make_rx(&p, 2, 60 + s)).collect();
+        let dec = BubbleDecoder::new(&p);
+        for threads in [1, 3] {
+            let engine = DecodeEngine::new(threads);
+            for rx in &rxs {
+                engine.submit(&dec, rx);
+            }
+            // Abandon the open generation: its in-flight completions
+            // must be *counted* as stale, never delivered to a later
+            // drain and never silently dropped.
+            assert_eq!(engine.forget_submissions(), rxs.len(), "threads {threads}");
+            assert_eq!(engine.forget_submissions(), 0, "forget is idempotent");
+            engine.submit(&dec, &rxs[0]);
+            let after = engine.drain();
+            assert_eq!(after.len(), 1, "threads {threads}: post-forget drain");
+            assert_eq!(
+                after[0].message,
+                DecodeRequest::new(&dec, &rxs[0]).decode().message
+            );
+            // Pooled engines run forgotten jobs to completion and count
+            // them; the inline engine never started them, so both ends
+            // of the contract are "stale ≤ forgotten, drained exact".
+            let stale = engine.stale_completions();
+            if threads == 1 {
+                assert_eq!(stale, 0, "inline engine runs nothing it forgets");
+            } else {
+                assert!(
+                    stale <= rxs.len() as u64,
+                    "stale {stale} exceeds the {} forgotten jobs",
+                    rxs.len()
+                );
+            }
+        }
     }
 }

@@ -56,6 +56,7 @@
 //! | [`api`] | §4, §7.1 | [`DecodeRequest`]: the single decode entry point |
 //! | [`quant`] | §7 | fixed-point metric profile: u16 tables, saturating u32 costs, radix selection |
 //! | [`engine`] | §7 | multi-threaded decode engine (sharded beam + batched block pipeline) |
+//! | [`service`] | §7.1 | many-session decode service: per-session state, backpressure, metrics |
 //! | [`ml`] | §4.1 | exhaustive exact-ML reference decoder |
 //! | [`sequential`] | §4.3 | classical stack sequential decoder |
 //! | [`bitmode`] | §3 | spinal over an existing PHY (coded bits + LLRs) |
@@ -83,6 +84,7 @@ pub mod puncturing;
 pub mod quant;
 pub mod rx;
 pub mod sequential;
+pub mod service;
 pub mod spine;
 pub mod symbols;
 mod tables;
@@ -102,5 +104,9 @@ pub use puncturing::{Puncturing, Schedule, ScheduleCursor, SymbolPosition};
 pub use quant::MetricProfile;
 pub use rx::{RxBits, RxEntry, RxSymbols};
 pub use sequential::{StackDecoder, StackResult};
+pub use service::{
+    AdmitError, DecodeService, MetricsSnapshot, SchedulePolicy, ServiceConfig, Session,
+    SessionBuffer, SessionOptions, SubmitError,
+};
 pub use symbols::SymbolGen;
 pub use tables::TableCache;

@@ -44,7 +44,7 @@
 //!     42,
 //!     TransferConfig::default(),
 //! );
-//! assert_eq!(report.payload.as_deref(), Some(&payload[..]));
+//! assert_eq!(report.payload(), Some(&payload[..]));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -59,7 +59,9 @@ pub mod wire;
 pub use link::{Datagram, LoopbackLink, NoiseModel, UdpLink};
 pub use receiver::{ReceiverConfig, SpinalReceiver};
 pub use sender::{Modulation, SenderConfig, SpinalSender};
-pub use transfer::{run_loopback_transfer, run_transfer, TransferConfig, TransferReport};
+pub use transfer::{
+    run_loopback_transfer, run_transfer, TransferConfig, TransferOutcome, TransferReport,
+};
 pub use wire::{Packet, Payload};
 
 // Re-exported so transfer callers can state impairments without naming

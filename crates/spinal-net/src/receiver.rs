@@ -10,21 +10,24 @@
 //! symbols instead of retransmission (§7.1, the decoder "need not
 //! generate the missing symbols").
 //!
-//! Decode attempts run at subpass boundaries (§5) through the one
-//! decode entry point — [`DecodeRequest`] with a per-block workspace
-//! and incremental [`TableCache`] — and a block is done exactly when
-//! its CRC validates ([`FrameReassembly`], §6). Feedback is a
-//! cumulative ACK bitmap; it keeps flowing after completion so a sender
-//! that missed one feedback datagram still learns to stop.
+//! Decode attempts run at subpass boundaries (§5), each block through
+//! its own [`Session`] on a [`DecodeService`]: the session owns the
+//! receive buffer, the incremental table cache, a warm workspace, and
+//! the block's schedule position, so every retry folds in only the new
+//! observations. A block is done exactly when its CRC validates
+//! ([`FrameReassembly`], §6). Feedback is a cumulative ACK bitmap; it
+//! keeps flowing after completion so a sender that missed one feedback
+//! datagram still learns to stop.
 
 use crate::link::Datagram;
 use crate::wire::{Packet, Payload};
 use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeRequest, DecodeWorkspace, FrameBuilder, FrameReassembly,
-    RxBits, RxSymbols, Schedule, TableCache,
+    BubbleDecoder, CodeParams, DecodeService, FrameBuilder, FrameReassembly, RxBits, RxSymbols,
+    Schedule, ServiceConfig, Session, SessionBuffer, SessionOptions,
 };
 use std::collections::BTreeMap;
 use std::io;
+use std::sync::Arc;
 
 /// Receiver-side knobs.
 #[derive(Debug, Clone, Copy)]
@@ -47,101 +50,105 @@ impl Default for ReceiverConfig {
     }
 }
 
-/// Observation buffer of whichever kind the sender modulates.
-enum BlockRx {
-    Symbols(RxSymbols),
-    Bits(RxBits),
+/// A fresh session buffer matching the payload kind of the first span.
+fn buffer_for_payload(payload: &Payload, schedule: &Schedule) -> SessionBuffer {
+    match payload {
+        Payload::Bits(_) => SessionBuffer::Bits(RxBits::new(schedule.clone())),
+        _ => SessionBuffer::Symbols(RxSymbols::new(schedule.clone())),
+    }
 }
 
-impl BlockRx {
-    /// A fresh buffer matching the payload kind of the first span seen.
-    fn for_payload(payload: &Payload, schedule: &Schedule) -> Self {
-        match payload {
-            Payload::Bits(_) => BlockRx::Bits(RxBits::new(schedule.clone())),
-            _ => BlockRx::Symbols(RxSymbols::new(schedule.clone())),
-        }
+fn buffer_skip(buf: &mut SessionBuffer, count: usize) {
+    match buf {
+        SessionBuffer::Symbols(rx) => rx.skip(count),
+        SessionBuffer::Bits(rx) => rx.skip(count),
     }
+}
 
-    fn received(&self) -> usize {
-        match self {
-            BlockRx::Symbols(rx) => rx.symbols_received(),
-            BlockRx::Bits(rx) => rx.symbols_received(),
-        }
-    }
-
-    fn skip(&mut self, count: usize) {
-        match self {
-            BlockRx::Symbols(rx) => rx.skip(count),
-            BlockRx::Bits(rx) => rx.skip(count),
-        }
-    }
-
-    /// Fold a span in, minus its first `skip_within` observations
-    /// (already consumed at the cursor by an earlier overlapping span).
-    /// Returns false — folding nothing — if the payload kind does not
-    /// match the buffer (an alien or corrupted datagram).
-    fn push_tail(&mut self, payload: &Payload, skip_within: usize) -> bool {
-        match (self, payload) {
-            (BlockRx::Symbols(rx), Payload::Symbols(ys)) => match ys.get(skip_within..) {
-                Some(tail) => {
-                    rx.push(tail);
-                    true
-                }
-                None => false,
-            },
-            (BlockRx::Symbols(rx), Payload::SymbolsCsi(pairs)) => match pairs.get(skip_within..) {
+/// Fold a span into the session buffer, minus its first `skip_within`
+/// observations (already consumed at the cursor by an earlier
+/// overlapping span). Returns false — folding nothing — if the payload
+/// kind does not match the buffer (an alien or corrupted datagram).
+fn buffer_push_tail(buf: &mut SessionBuffer, payload: &Payload, skip_within: usize) -> bool {
+    match (buf, payload) {
+        (SessionBuffer::Symbols(rx), Payload::Symbols(ys)) => match ys.get(skip_within..) {
+            Some(tail) => {
+                rx.push(tail);
+                true
+            }
+            None => false,
+        },
+        (SessionBuffer::Symbols(rx), Payload::SymbolsCsi(pairs)) => {
+            match pairs.get(skip_within..) {
                 Some(tail) => {
                     let (ys, hs): (Vec<_>, Vec<_>) = tail.iter().copied().unzip();
                     rx.push_with_csi(&ys, &hs);
                     true
                 }
                 None => false,
-            },
-            (BlockRx::Bits(rx), Payload::Bits(bits)) => match bits.get(skip_within..) {
-                Some(tail) => {
-                    rx.push(tail);
-                    true
-                }
-                None => false,
-            },
-            _ => false,
+            }
         }
+        (SessionBuffer::Bits(rx), Payload::Bits(bits)) => match bits.get(skip_within..) {
+            Some(tail) => {
+                rx.push(tail);
+                true
+            }
+            None => false,
+        },
+        _ => false,
     }
 }
 
 /// Per-block receive state.
 struct BlockState {
-    /// Observation buffer, created from the first span's payload kind.
-    rx: Option<BlockRx>,
+    /// The block's decode session, opened from the first span's payload
+    /// kind (it owns the observation buffer, table cache, workspace,
+    /// and subpass position).
+    session: Option<Session>,
     /// Out-of-order spans waiting for the cursor, keyed by offset.
     pending: BTreeMap<u32, Payload>,
     /// Next schedule offset the buffer expects.
     cursor: u32,
-    ws: DecodeWorkspace,
-    cache: TableCache,
-    /// Next subpass boundary at which to attempt a decode.
-    boundary_idx: usize,
     decoded: bool,
 }
 
 impl BlockState {
     fn new() -> Self {
         BlockState {
-            rx: None,
+            session: None,
             pending: BTreeMap::new(),
             cursor: 0,
-            ws: DecodeWorkspace::new(),
-            cache: TableCache::new(),
-            boundary_idx: 0,
             decoded: false,
         }
     }
 
-    /// Move pending spans into the observation buffer in schedule
-    /// order; returns true if any observations were folded in.
-    fn drain(&mut self, schedule: &Schedule, skip_horizon: usize) -> bool {
+    /// Move pending spans into the session's observation buffer in
+    /// schedule order; returns true if any observations were folded in.
+    /// If the service sheds the session (admission backpressure), the
+    /// spans stay pending and the next datagram retries.
+    fn drain(
+        &mut self,
+        service: &DecodeService,
+        decoder: &Arc<BubbleDecoder>,
+        schedule: &Schedule,
+        skip_horizon: usize,
+    ) -> bool {
         let mut moved = false;
         loop {
+            // Open the session lazily, keyed on the first span's kind.
+            if self.session.is_none() {
+                let Some((_, probe)) = self.pending.first_key_value() else {
+                    break;
+                };
+                let buffer = buffer_for_payload(probe, schedule);
+                match service.open_session(decoder, buffer, SessionOptions::default()) {
+                    Ok(s) => self.session = Some(s),
+                    Err(_) => return moved, // shed: retry on a later datagram
+                }
+            }
+            let Some(buf) = self.session.as_mut().and_then(|s| s.buffer_mut()) else {
+                return moved; // attempt in flight; cannot happen on this sync path
+            };
             // In-order (or cursor-overlapping) spans first.
             while let Some((&off, _)) = self.pending.first_key_value() {
                 if off > self.cursor {
@@ -155,10 +162,7 @@ impl BlockState {
                     continue; // stale duplicate, fully behind the cursor
                 }
                 let skip_within = (self.cursor - off) as usize;
-                let rx = self
-                    .rx
-                    .get_or_insert_with(|| BlockRx::for_payload(&payload, schedule));
-                if rx.push_tail(&payload, skip_within) {
+                if buffer_push_tail(buf, &payload, skip_within) {
                     self.cursor = end as u32;
                     moved = true;
                 }
@@ -166,7 +170,7 @@ impl BlockState {
             // A leading gap: declare it lost once buffered observations
             // extend far enough past the cursor that reordering can no
             // longer explain the hole.
-            let Some((&first, first_payload)) = self.pending.first_key_value() else {
+            let Some((&first, _)) = self.pending.first_key_value() else {
                 break;
             };
             let buffered_end = self
@@ -179,51 +183,54 @@ impl BlockState {
                 break; // the gap may still fill in; wait
             }
             let gap = (first - self.cursor) as usize;
-            let kind_probe = BlockRx::for_payload(first_payload, schedule);
-            let rx = self.rx.get_or_insert(kind_probe);
-            rx.skip(gap);
+            buffer_skip(buf, gap);
             self.cursor = first;
         }
         moved
     }
 
     /// Attempt a decode if the buffer has crossed the next subpass
-    /// boundary; returns true if a decode ran.
+    /// boundary; returns true if a decode ran. The attempt goes through
+    /// the block's session: submit, then wait on the session's own
+    /// completion handle (no cross-block interference).
     fn try_decode(
         &mut self,
-        decoder: &BubbleDecoder,
         boundaries: &[usize],
         reassembly: &mut FrameReassembly,
         block_idx: usize,
     ) -> bool {
-        let Some(rx) = &self.rx else { return false };
-        let Some(&next_boundary) = boundaries.get(self.boundary_idx) else {
+        let Some(session) = self.session.as_mut() else {
+            return false;
+        };
+        let Some(buf) = session.buffer() else {
+            return false; // attempt already in flight
+        };
+        let received = buf.symbols_received();
+        let mut bidx = session.position();
+        let Some(&next_boundary) = boundaries.get(bidx) else {
             return false; // pass budget exhausted
         };
-        let received = rx.received();
         if received < next_boundary {
             return false; // not enough new observations yet
         }
         // Consume every boundary the buffer has already sailed past:
         // one attempt per drain is enough.
-        while boundaries
-            .get(self.boundary_idx)
-            .is_some_and(|&b| b <= received)
-        {
-            self.boundary_idx += 1;
+        while boundaries.get(bidx).is_some_and(|&b| b <= received) {
+            bidx += 1;
         }
-        let result = match rx {
-            BlockRx::Symbols(rx) => DecodeRequest::new(decoder, rx)
-                .workspace(&mut self.ws)
-                .cache(&mut self.cache)
-                .decode(),
-            BlockRx::Bits(rx) => DecodeRequest::new(decoder, rx)
-                .workspace(&mut self.ws)
-                .decode(),
+        if session.submit().is_err() {
+            // Queue backpressure: position unchanged, so the same
+            // boundary is retried on the next datagram.
+            return false;
+        }
+        session.set_position(bidx);
+        let Some(result) = session.wait() else {
+            return false;
         };
         if reassembly.offer(block_idx, &result.message) {
             self.decoded = true;
             self.pending.clear(); // block finished; drop leftover spans
+            self.session = None; // release the admission slot
         }
         true
     }
@@ -234,7 +241,9 @@ struct TransferState {
     transfer_id: u64,
     reassembly: FrameReassembly,
     blocks: Vec<BlockState>,
-    decoder: BubbleDecoder,
+    /// One decoder shared by every block session for the transfer's
+    /// lifetime — no per-attempt decoder clones.
+    decoder: Arc<BubbleDecoder>,
     boundaries: Vec<usize>,
     datagrams_received: u32,
 }
@@ -246,22 +255,38 @@ pub struct SpinalReceiver {
     params: CodeParams,
     schedule: Schedule,
     cfg: ReceiverConfig,
+    service: DecodeService,
     transfer: Option<TransferState>,
     decode_attempts: usize,
 }
 
 impl SpinalReceiver {
-    /// Create a receiver for links whose sender uses `params`.
+    /// Create a receiver for links whose sender uses `params`, with a
+    /// private single-threaded [`DecodeService`] (every decode attempt
+    /// runs inline — the zero-dependency default).
     pub fn new(params: &CodeParams, cfg: ReceiverConfig) -> Self {
+        Self::with_service(params, cfg, DecodeService::new(1, ServiceConfig::default()))
+    }
+
+    /// Create a receiver whose block sessions run on `service` — share
+    /// one service (and its engine, queue, and metrics) across many
+    /// receivers to get the many-session operating shape.
+    pub fn with_service(params: &CodeParams, cfg: ReceiverConfig, service: DecodeService) -> Self {
         assert!(cfg.max_passes >= 1, "max_passes must be at least 1");
         assert!(cfg.skip_horizon >= 1, "skip_horizon must be at least 1");
         SpinalReceiver {
             params: params.clone(),
             schedule: Schedule::new(params.num_spines(), params.tail, params.puncturing),
             cfg,
+            service,
             transfer: None,
             decode_attempts: 0,
         }
+    }
+
+    /// The decode service backing this receiver's block sessions.
+    pub fn service(&self) -> &DecodeService {
+        &self.service
     }
 
     /// Drain every queued datagram, then send one cumulative feedback
@@ -313,7 +338,7 @@ impl SpinalReceiver {
             transfer_id,
             reassembly: FrameReassembly::new(builder, 0, n_blocks as usize, payload_len as usize),
             blocks: (0..n_blocks).map(|_| BlockState::new()).collect(),
-            decoder: BubbleDecoder::new(&self.params),
+            decoder: Arc::new(BubbleDecoder::new(&self.params)),
             boundaries: self
                 .schedule
                 .subpass_boundaries(self.cfg.max_passes * self.schedule.symbols_per_pass()),
@@ -340,8 +365,12 @@ impl SpinalReceiver {
         if offset as usize + payload.len() > state.cursor as usize {
             state.pending.entry(offset).or_insert(payload);
         }
-        if state.drain(&self.schedule, self.cfg.skip_horizon)
-            && state.try_decode(&t.decoder, &t.boundaries, &mut t.reassembly, block as usize)
+        if state.drain(
+            &self.service,
+            &t.decoder,
+            &self.schedule,
+            self.cfg.skip_horizon,
+        ) && state.try_decode(&t.boundaries, &mut t.reassembly, block as usize)
         {
             self.decode_attempts += 1;
         }

@@ -64,12 +64,30 @@ impl TransferConfig {
     }
 }
 
+/// How a transfer terminated. Distinguishes "the channel was too noisy
+/// for the sender's pass budget" from "the round-trip budget was too
+/// small" — the two were previously conflated in a single `None`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// The payload arrived intact.
+    Delivered(Vec<u8>),
+    /// The sender gave up: its per-block pass budget
+    /// ([`TransferConfig::max_passes`]) ran out with blocks still
+    /// undecoded. The channel needed more symbols than the budget
+    /// allowed.
+    PassBudgetExhausted,
+    /// The driver stopped first: [`TransferConfig::max_rounds`] round
+    /// trips elapsed with the sender still willing to send. The budget
+    /// (or a link delivering nothing, feedback included) cut the
+    /// transfer short.
+    RoundBudgetExhausted,
+}
+
 /// What a finished (or abandoned) transfer cost.
 #[derive(Debug, Clone)]
 pub struct TransferReport {
-    /// The delivered payload; `None` if the pass or round budget ran
-    /// out first.
-    pub payload: Option<Vec<u8>>,
+    /// How the transfer terminated (delivery or which budget ran out).
+    pub outcome: TransferOutcome,
     /// Observations (symbols or bits) the sender put on the wire.
     pub symbols_sent: usize,
     /// Datagrams (Init + Data) the sender put on the wire.
@@ -86,7 +104,15 @@ pub struct TransferReport {
 impl TransferReport {
     /// True when the payload arrived intact.
     pub fn delivered(&self) -> bool {
-        self.payload.is_some()
+        matches!(self.outcome, TransferOutcome::Delivered(_))
+    }
+
+    /// The delivered payload, if [`TransferReport::delivered`].
+    pub fn payload(&self) -> Option<&[u8]> {
+        match &self.outcome {
+            TransferOutcome::Delivered(p) => Some(p),
+            _ => None,
+        }
     }
 }
 
@@ -124,8 +150,13 @@ pub fn run_transfer<A: Datagram, B: Datagram>(
     // any final feedback still in flight.
     receiver.pump(receiver_link)?;
     sender.drain_feedback(sender_link)?;
+    let outcome = match receiver.payload() {
+        Some(p) => TransferOutcome::Delivered(p),
+        None if sender.exhausted() => TransferOutcome::PassBudgetExhausted,
+        None => TransferOutcome::RoundBudgetExhausted,
+    };
     Ok(TransferReport {
-        payload: receiver.payload(),
+        outcome,
         symbols_sent: sender.symbols_sent(),
         datagrams_sent: sender.datagrams_sent(),
         passes_sent: sender.passes_sent(),
@@ -173,7 +204,8 @@ mod tests {
             5,
             TransferConfig::default(),
         );
-        assert_eq!(report.payload.as_deref(), Some(&payload[..]));
+        assert_eq!(report.payload(), Some(&payload[..]));
+        assert_eq!(report.outcome, TransferOutcome::Delivered(payload.clone()));
         assert_eq!(report.passes_sent, 1, "noiseless: one pass must do");
         // One subpass per round: a one-pass transfer takes at most the
         // schedule's subpass count plus the final-ACK round.
@@ -197,8 +229,8 @@ mod tests {
         };
         let good = run(20.0);
         let bad = run(4.0);
-        assert_eq!(good.payload.as_deref(), Some(&payload[..]));
-        assert_eq!(bad.payload.as_deref(), Some(&payload[..]));
+        assert_eq!(good.payload(), Some(&payload[..]));
+        assert_eq!(bad.payload(), Some(&payload[..]));
         assert!(
             good.symbols_sent < bad.symbols_sent,
             "high SNR must need fewer symbols: {} vs {}",
@@ -225,11 +257,13 @@ mod tests {
             13,
             cfg,
         );
-        assert_eq!(report.payload.as_deref(), Some(&payload[..]));
+        assert_eq!(report.payload(), Some(&payload[..]));
     }
 
     #[test]
-    fn hopeless_channel_gives_up_within_budget() {
+    fn hopeless_channel_reports_pass_budget_exhausted() {
+        // Plenty of rounds, tiny pass budget: the sender gives up —
+        // "channel too noisy for the budget", not "budget too small".
         let p = params();
         let cfg = TransferConfig {
             max_passes: 2,
@@ -246,7 +280,33 @@ mod tests {
             cfg,
         );
         assert!(!report.delivered());
+        assert_eq!(report.outcome, TransferOutcome::PassBudgetExhausted);
+        assert_eq!(report.payload(), None);
         assert!(report.passes_sent <= 2);
         assert!(report.rounds <= 40);
+    }
+
+    #[test]
+    fn tiny_round_budget_reports_round_budget_exhausted() {
+        // Generous pass budget, almost no rounds: the driver stops with
+        // the sender still willing — "budget too small".
+        let p = params();
+        let cfg = TransferConfig {
+            max_passes: 8,
+            max_rounds: 2,
+            ..TransferConfig::default()
+        };
+        let report = run_loopback_transfer(
+            &p,
+            b"cut short",
+            NoiseModel::Awgn { snr_db: -20.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            9,
+            cfg,
+        );
+        assert!(!report.delivered());
+        assert_eq!(report.outcome, TransferOutcome::RoundBudgetExhausted);
+        assert_eq!(report.rounds, 2);
     }
 }

@@ -36,7 +36,9 @@ pub use spinal_strider as strider;
 pub use spinal_bounds::{BoundChannel, SpinalBound};
 pub use spinal_channel::{AwgnChannel, BscChannel, Channel, Complex, RayleighChannel};
 pub use spinal_core::{
-    BubbleDecoder, CodeParams, DecodeEngine, DecodeRequest, DecodeWorkspace, Encoder, FrameBuilder,
-    HashKind, MappingKind, Message, Puncturing, RxBits, RxObservations, RxSymbols, Schedule,
+    AdmitError, BubbleDecoder, CodeParams, DecodeEngine, DecodeRequest, DecodeService,
+    DecodeWorkspace, Encoder, FrameBuilder, HashKind, MappingKind, Message, MetricsSnapshot,
+    Puncturing, RxBits, RxObservations, RxSymbols, Schedule, SchedulePolicy, ServiceConfig,
+    Session, SessionBuffer, SessionOptions, SubmitError,
 };
 pub use spinal_sim::{LinkChannel, SpinalRun, Threads};

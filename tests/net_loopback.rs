@@ -50,7 +50,7 @@ proptest! {
             seed,
             cfg,
         );
-        prop_assert_eq!(report.payload.as_deref(), Some(&data[..]),
+        prop_assert_eq!(report.payload(), Some(&data[..]),
             "loss={} dup={} reorder={} seed={}", impair.loss, impair.dup, impair.reorder, seed);
         prop_assert!(report.decode_attempts >= 1);
     }
@@ -131,7 +131,7 @@ fn symbols_sent_tracks_channel_quality() {
     let low = run(5.0);
     for (name, r) in [("high", &high), ("mid", &mid), ("low", &low)] {
         assert_eq!(
-            r.payload.as_deref(),
+            r.payload(),
             Some(&payload[..]),
             "{name}-SNR transfer must deliver exactly"
         );
