@@ -33,6 +33,13 @@
 //!   deterministic — unlike the timing modes this floor can sit close
 //!   to the recorded value; a drop means the protocol got chattier or
 //!   the decoder weaker, not that CI was slow.
+//! * **`chaos`**: checks a degraded-mode transport row recorded by the
+//!   `net_chaos` bin: `--group/--bench` must reach `--min-goodput`
+//!   bits per symbol *and* deliver at least a `--min-delivered`
+//!   fraction of its trials. Chaos runs are fully seeded, so like
+//!   `goodput` the floors sit close to the recorded values; a drop
+//!   means graceful degradation regressed (salvage broken, backoff
+//!   runaway, retry budget burning rounds), not CI noise.
 //! * **`sessions`**: checks a decode-service throughput row recorded
 //!   by the `traffic_gen` bin (`sessions_per_sec` in the same
 //!   JSON-lines format): `--group/--bench` must sustain at least
@@ -273,6 +280,64 @@ fn run_goodput_mode(args: &Args) {
     println!("bench_guard: OK");
 }
 
+fn run_chaos_mode(args: &Args) {
+    let current = args.str("current", "/tmp/bench_current.json");
+    let group = args.str("group", "net_chaos");
+    let name = args.str("bench", "ge_mild");
+    let min_goodput = args.f64("min-goodput", 0.2);
+    let min_delivered = args.f64("min-delivered", 0.5);
+    if min_goodput.is_nan() || min_goodput <= 0.0 {
+        die(format!("--min-goodput must be positive, got {min_goodput}"));
+    }
+    if min_delivered.is_nan() || !(0.0..=1.0).contains(&min_delivered) {
+        die(format!(
+            "--min-delivered must be a fraction in [0, 1], got {min_delivered}"
+        ));
+    }
+
+    let text = std::fs::read_to_string(&current)
+        .unwrap_or_else(|e| die(format!("cannot read --current file '{current}': {e}")));
+    let missing = |field: &str| {
+        die(format!(
+            "--group/--bench pair '{group}/{name}' has no {field} entry in --current file \
+             '{current}' — was it recorded with the net_chaos bin's --json?"
+        ))
+    };
+    let goodput = find_field_in(&text, &group, &name, None, "goodput_bits_per_symbol")
+        .unwrap_or_else(|| missing("goodput_bits_per_symbol"));
+    let delivered = find_field_in(&text, &group, &name, None, "delivered")
+        .unwrap_or_else(|| missing("delivered"));
+    let trials =
+        find_field_in(&text, &group, &name, None, "trials").unwrap_or_else(|| missing("trials"));
+    if trials <= 0.0 {
+        die(format!("row '{group}/{name}' records {trials} trials"));
+    }
+    let fraction = delivered / trials;
+    println!(
+        "bench_guard: {group}/{name}: {goodput:.4} bits/symbol (floor {min_goodput:.4}), \
+         {delivered:.0}/{trials:.0} delivered (floor {min_delivered:.2})"
+    );
+    let mut failed = false;
+    if goodput < min_goodput {
+        eprintln!(
+            "bench_guard: FAIL — degraded-mode goodput {goodput:.4} bits/symbol fell below \
+             the {min_goodput:.4} floor"
+        );
+        failed = true;
+    }
+    if fraction < min_delivered {
+        eprintln!(
+            "bench_guard: FAIL — only {fraction:.2} of transfers delivered under chaos \
+             (floor {min_delivered:.2})"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}
+
 fn run_sessions_mode(args: &Args) {
     let current = args.str("current", "/tmp/bench_current.json");
     let group = args.str("group", "service");
@@ -310,10 +375,11 @@ fn main() {
         "throughput" => run_throughput_mode(&args),
         "profile-speedup" => run_profile_speedup_mode(&args),
         "goodput" => run_goodput_mode(&args),
+        "chaos" => run_chaos_mode(&args),
         "sessions" => run_sessions_mode(&args),
         other => die(format!(
             "invalid value for --mode: '{other}' (expected 'median', 'throughput', \
-             'profile-speedup', 'goodput', or 'sessions')"
+             'profile-speedup', 'goodput', 'chaos', or 'sessions')"
         )),
     }
 }
@@ -506,6 +572,33 @@ mod tests {
                 None,
                 "goodput_bits_per_symbol"
             ),
+            None
+        );
+    }
+
+    #[test]
+    fn chaos_rows_carry_goodput_and_delivery_fields() {
+        let sample = "{\"group\":\"net_chaos\",\"bench\":\"ge_mild\",\"goodput_bits_per_symbol\":0.412345,\"delivered\":5,\"trials\":5,\"salvaged_bytes\":0,\"symbols\":4200}\n";
+        assert_eq!(
+            find_field_in(
+                sample,
+                "net_chaos",
+                "ge_mild",
+                None,
+                "goodput_bits_per_symbol"
+            ),
+            Some(0.412345)
+        );
+        assert_eq!(
+            find_field_in(sample, "net_chaos", "ge_mild", None, "delivered"),
+            Some(5.0)
+        );
+        assert_eq!(
+            find_field_in(sample, "net_chaos", "ge_mild", None, "trials"),
+            Some(5.0)
+        );
+        assert_eq!(
+            find_field_in(sample, "net_chaos", "absent", None, "delivered"),
             None
         );
     }

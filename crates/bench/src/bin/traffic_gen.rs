@@ -109,6 +109,7 @@ fn main() {
             queue_capacity: concurrent.max(16),
             max_inflight: 0,
             policy,
+            ..ServiceConfig::default()
         },
     );
 
@@ -156,6 +157,7 @@ fn main() {
             rx.push(&channel.transmit(&encoder.next_symbols(2 * spp)));
             let opts = SessionOptions {
                 deadline: (arrivals[opened] * 1e6) as u64,
+                ..SessionOptions::default()
             };
             let mut session = match svc.open_session(&mix.decoder, SessionBuffer::Symbols(rx), opts)
             {
@@ -255,6 +257,24 @@ fn main() {
     }
     if m.sessions_shed != 0 {
         bad.push(format!("{} sessions shed", m.sessions_shed));
+    }
+    // This workload never cancels, never sets a wall deadline, and
+    // never marks a session failed — the hardened-lifecycle counters
+    // must all stay at zero or the service is misattributing attempts.
+    if m.attempts_cancelled != 0 {
+        bad.push(format!("{} attempts cancelled", m.attempts_cancelled));
+    }
+    if m.attempts_deadline_expired != 0 {
+        bad.push(format!(
+            "{} attempts expired at a wall deadline nobody set",
+            m.attempts_deadline_expired
+        ));
+    }
+    if m.deadline_misses != 0 {
+        bad.push(format!("{} deadline misses", m.deadline_misses));
+    }
+    if m.sessions_quarantined != 0 {
+        bad.push(format!("{} sessions quarantined", m.sessions_quarantined));
     }
     let expected_peak = concurrent.min(sessions);
     if m.peak_active < expected_peak {

@@ -220,6 +220,36 @@ impl Condvar {
         guard.inner = Some(reacquired);
     }
 
+    /// Like [`Condvar::wait`], but give up after `timeout`. Returns
+    /// `true` if the wait **timed out** (parking_lot's
+    /// `WaitTimeoutResult::timed_out()` shape, flattened to a bool —
+    /// that's all the workspace consumes). Spurious wakeups are
+    /// possible either way — wait in a predicate loop that also checks
+    /// a deadline.
+    ///
+    /// Under an active check session, wall-clock time is meaningless
+    /// (the model scheduler decides who runs); the call returns
+    /// immediately as a timeout, which is a legal execution — the
+    /// model explores notify orderings through the untimed waiters.
+    #[track_caller]
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        #[cfg(feature = "check")]
+        if spinal_check::hooks::enabled() {
+            // Model time does not advance: treat the timed wait as an
+            // immediate timeout (a legal race) without releasing the
+            // model's lock ownership. Callers loop on their predicate,
+            // so no wakeup is lost.
+            return true;
+        }
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        result.timed_out()
+    }
+
     /// Wake one waiting thread, if any.
     pub fn notify_one(&self) {
         // Always notify the real condvar too: waiters that parked
@@ -295,6 +325,37 @@ mod tests {
         }
         assert_eq!(*guard, Some(42));
         drop(guard);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let timed_out = cv.wait_for(&mut g, std::time::Duration::from_millis(5));
+        assert!(timed_out, "nobody notifies: must report a timeout");
+        drop(g); // lock was re-acquired in place
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn wait_for_observes_notify() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let producer = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*shared;
+        let mut done = m.lock();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !*done && std::time::Instant::now() < deadline {
+            cv.wait_for(&mut done, std::time::Duration::from_millis(50));
+        }
+        assert!(*done, "notify must land well before the deadline");
+        drop(done);
         producer.join().unwrap();
     }
 

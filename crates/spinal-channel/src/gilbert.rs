@@ -1,0 +1,223 @@
+//! Gilbert–Elliott time-correlated burst loss.
+//!
+//! The i.i.d. fates of [`crate::Impairer`] model a *memoryless* link;
+//! real radio links lose datagrams in bursts — a fade takes out dozens
+//! of consecutive frames, then the channel recovers. The classical
+//! two-state Gilbert–Elliott chain captures exactly that: the link sits
+//! in a *good* or *bad* state, each with its own loss rate, and hops
+//! between them with per-step transition probabilities. Burst lengths
+//! are geometric, so two scalars (`p_good_to_bad`, `p_bad_to_good`)
+//! pick both the duty cycle and the burst scale.
+//!
+//! Analytically (used by the statistical tests and by experiment
+//! design):
+//!
+//! * stationary bad-state occupancy `π_bad = p_gb / (p_gb + p_bg)`,
+//! * mean bad-burst length `1 / p_bg` steps,
+//! * stationary loss rate `π_good·loss_good + π_bad·loss_bad`.
+//!
+//! The process is seeded and fully deterministic: the same seed and
+//! parameters produce a byte-identical loss trace, which is what lets
+//! the chaos harness in `spinal-net` reproduce an entire fault schedule
+//! from one integer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the two-state Gilbert–Elliott chain. All four values
+/// are probabilities in `[0, 1]`, applied once per step (per datagram).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeParams {
+    /// Probability of hopping good → bad at each step.
+    pub p_good_to_bad: f64,
+    /// Probability of hopping bad → good at each step. The mean burst
+    /// (bad sojourn) length is `1 / p_bad_to_good` steps.
+    pub p_bad_to_good: f64,
+    /// Per-datagram loss rate while in the good state (usually small).
+    pub loss_good: f64,
+    /// Per-datagram loss rate while in the bad state (usually large).
+    pub loss_bad: f64,
+}
+
+impl GeParams {
+    /// A well-behaved link: never enters the bad state, never loses.
+    pub fn clean() -> Self {
+        GeParams {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 1.0,
+            loss_good: 0.0,
+            loss_bad: 0.0,
+        }
+    }
+
+    /// Stationary probability of being in the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.p_good_to_bad / denom
+        }
+    }
+
+    /// Long-run fraction of datagrams lost.
+    pub fn stationary_loss(&self) -> f64 {
+        let pi_bad = self.stationary_bad();
+        (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+    }
+
+    /// Expected bad-state sojourn (burst) length in steps.
+    pub fn mean_burst_len(&self) -> f64 {
+        if self.p_bad_to_good == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.p_bad_to_good
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("p_good_to_bad", self.p_good_to_bad),
+            ("p_bad_to_good", self.p_bad_to_good),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability {p} not in [0, 1]"
+            );
+        }
+    }
+}
+
+/// A seeded Gilbert–Elliott loss process (see the module docs). Call
+/// [`GilbertElliott::step`] once per datagram; it answers "lost?".
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    params: GeParams,
+    rng: StdRng,
+    bad: bool,
+    steps: u64,
+    losses: u64,
+}
+
+impl GilbertElliott {
+    /// Create a process starting in the good state; deterministic in
+    /// `seed`.
+    pub fn new(params: GeParams, seed: u64) -> Self {
+        params.validate();
+        GilbertElliott {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+            bad: false,
+            steps: 0,
+            losses: 0,
+        }
+    }
+
+    /// Advance one datagram: draw this datagram's fate from the current
+    /// state's loss rate, then hop states. Returns `true` if the
+    /// datagram is lost.
+    pub fn step(&mut self) -> bool {
+        let loss_rate = if self.bad {
+            self.params.loss_bad
+        } else {
+            self.params.loss_good
+        };
+        let lost = self.rng.gen::<f64>() < loss_rate;
+        let hop_rate = if self.bad {
+            self.params.p_bad_to_good
+        } else {
+            self.params.p_good_to_bad
+        };
+        if self.rng.gen::<f64>() < hop_rate {
+            self.bad = !self.bad;
+        }
+        self.steps += 1;
+        self.losses += u64::from(lost);
+        lost
+    }
+
+    /// True while the chain sits in the bad (bursty) state.
+    pub fn in_bad_state(&self) -> bool {
+        self.bad
+    }
+
+    /// The parameters this process was built with.
+    pub fn params(&self) -> &GeParams {
+        &self.params
+    }
+
+    /// Datagrams stepped through so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Datagrams lost so far.
+    pub fn losses(&self) -> u64 {
+        self.losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_params_never_lose() {
+        let mut ge = GilbertElliott::new(GeParams::clean(), 1);
+        for _ in 0..1000 {
+            assert!(!ge.step());
+            assert!(!ge.in_bad_state());
+        }
+        assert_eq!(ge.losses(), 0);
+        assert_eq!(ge.steps(), 1000);
+    }
+
+    #[test]
+    fn analytic_helpers_match_definitions() {
+        let p = GeParams {
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.25,
+            loss_good: 0.01,
+            loss_bad: 0.8,
+        };
+        let pi_bad = 0.02 / 0.27;
+        assert!((p.stationary_bad() - pi_bad).abs() < 1e-12);
+        assert!((p.mean_burst_len() - 4.0).abs() < 1e-12);
+        let loss = (1.0 - pi_bad) * 0.01 + pi_bad * 0.8;
+        assert!((p.stationary_loss() - loss).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = GilbertElliott::new(
+            GeParams {
+                p_good_to_bad: 1.2,
+                p_bad_to_good: 0.5,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn all_bad_all_lossy_loses_everything() {
+        let mut ge = GilbertElliott::new(
+            GeParams {
+                p_good_to_bad: 1.0,
+                p_bad_to_good: 0.0,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            3,
+        );
+        // First step is in the good state (lossless), then permanently bad.
+        assert!(!ge.step());
+        for _ in 0..100 {
+            assert!(ge.step());
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod bsc;
 pub mod capacity;
 pub mod complex;
 pub mod fading;
+pub mod gilbert;
 pub mod impair;
 pub mod math;
 pub mod mi;
@@ -35,6 +36,7 @@ pub use awgn::AwgnChannel;
 pub use bsc::BscChannel;
 pub use complex::Complex;
 pub use fading::RayleighChannel;
+pub use gilbert::{GeParams, GilbertElliott};
 pub use impair::{Impairer, Impairments};
 pub use snr::{db_to_linear, linear_to_db};
 

@@ -11,7 +11,8 @@
 use proptest::prelude::*;
 use spinal_channel::math::normal_pair;
 use spinal_channel::{
-    db_to_linear, AwgnChannel, BitChannel, BscChannel, Channel, Complex, RayleighChannel,
+    db_to_linear, AwgnChannel, BitChannel, BscChannel, Channel, Complex, GeParams, GilbertElliott,
+    RayleighChannel,
 };
 
 proptest! {
@@ -72,6 +73,69 @@ proptest! {
                 prop_assert_eq!(ch.csi(b * tau + i).unwrap(), h);
             }
         }
+    }
+
+    /// The Gilbert–Elliott chain must realise its *declared* stationary
+    /// loss rate and mean burst length across seeds — the chaos harness
+    /// and the ROADMAP item-5 experiments dial those two knobs and
+    /// trust them.
+    #[test]
+    fn gilbert_elliott_matches_stationary_law(
+        seed in 0u64..1_000_000,
+        p_gb_milli in 5u32..60,
+        p_bg_milli in 100u32..500,
+    ) {
+        let params = GeParams {
+            p_good_to_bad: p_gb_milli as f64 / 1000.0,
+            p_bad_to_good: p_bg_milli as f64 / 1000.0,
+            loss_good: 0.01,
+            loss_bad: 0.9,
+        };
+        let mut ge = GilbertElliott::new(params, seed);
+        let n = 60_000u64;
+        let mut bursts = Vec::new();
+        let mut cur_burst = 0u64;
+        for _ in 0..n {
+            ge.step();
+            if ge.in_bad_state() {
+                cur_burst += 1;
+            } else if cur_burst > 0 {
+                bursts.push(cur_burst);
+                cur_burst = 0;
+            }
+        }
+        let rate = ge.losses() as f64 / n as f64;
+        let expect = params.stationary_loss();
+        prop_assert!((rate - expect).abs() < 0.25 * expect + 0.01,
+            "loss rate {} vs stationary {}", rate, expect);
+        prop_assert!(bursts.len() >= 20, "only {} bursts observed", bursts.len());
+        let mean_burst = bursts.iter().sum::<u64>() as f64 / bursts.len() as f64;
+        let expect_burst = params.mean_burst_len();
+        prop_assert!((mean_burst - expect_burst).abs() < 0.3 * expect_burst + 0.5,
+            "mean burst {} vs 1/r = {}", mean_burst, expect_burst);
+    }
+
+    /// Same seed ⇒ byte-identical loss trace; different seed ⇒ a
+    /// different trace (determinism is what makes a chaos schedule
+    /// reproducible from one integer).
+    #[test]
+    fn gilbert_elliott_trace_is_deterministic_in_seed(
+        seed in 0u64..1_000_000,
+        p_gb_milli in 10u32..300,
+        p_bg_milli in 10u32..300,
+    ) {
+        let params = GeParams {
+            p_good_to_bad: p_gb_milli as f64 / 1000.0,
+            p_bad_to_good: p_bg_milli as f64 / 1000.0,
+            loss_good: 0.05,
+            loss_bad: 0.7,
+        };
+        let trace = |s: u64| -> Vec<bool> {
+            let mut ge = GilbertElliott::new(params, s);
+            (0..2000).map(|_| ge.step()).collect()
+        };
+        prop_assert_eq!(trace(seed), trace(seed));
+        prop_assert_ne!(trace(seed), trace(seed.wrapping_add(1)));
     }
 
     /// The BSC must flip at its declared rate.

@@ -152,6 +152,34 @@ impl FrameReassembly {
         self.blocks.iter().all(|b| b.is_some())
     }
 
+    /// Blocks decoded (CRC-validated) so far.
+    pub fn blocks_decoded(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// Total blocks in the frame.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The CRC-accepted payload bytes per block (`None` = still
+    /// missing), each trimmed to its slice of the original datagram —
+    /// the degraded-delivery salvage view for transfers that end before
+    /// every block lands.
+    pub fn block_payloads(&self) -> Vec<Option<Vec<u8>>> {
+        let chunk = (self.builder.payload_bits() / 8).max(1);
+        let mut remaining = self.datagram_len;
+        self.blocks
+            .iter()
+            .map(|b| {
+                let take = chunk.min(remaining);
+                remaining = remaining.saturating_sub(chunk);
+                b.as_ref()
+                    .map(|bytes| bytes.get(..take).unwrap_or(bytes).to_vec())
+            })
+            .collect()
+    }
+
     /// Reassemble the datagram once complete.
     pub fn into_datagram(self) -> Option<Vec<u8>> {
         if !self.complete() {

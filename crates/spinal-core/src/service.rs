@@ -41,7 +41,7 @@ use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How the service orders queued decode attempts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,6 +74,11 @@ pub struct ServiceConfig {
     pub max_inflight: usize,
     /// Queue ordering policy.
     pub policy: SchedulePolicy,
+    /// Quarantine a session after this many consecutive
+    /// [`Session::mark_failed`] calls: further submits fail with
+    /// [`SubmitError::Quarantined`] until [`Session::mark_ok`]. `0`
+    /// (the default) disables quarantine.
+    pub quarantine_after: u32,
 }
 
 impl Default for ServiceConfig {
@@ -83,6 +88,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             max_inflight: 0,
             policy: SchedulePolicy::Fifo,
+            quarantine_after: 0,
         }
     }
 }
@@ -94,11 +100,20 @@ pub struct SessionOptions {
     /// urgent); only consulted by
     /// [`SchedulePolicy::OldestDeadlineFirst`].
     pub deadline: u64,
+    /// Wall-clock deadline for this session's attempts. An attempt
+    /// still queued past it never runs (counted in
+    /// [`MetricsSnapshot::attempts_deadline_expired`], resources handed
+    /// back); one that *completes* past it still delivers its result
+    /// but counts a deadline miss. `None` (the default) disables both.
+    pub wall_deadline: Option<Instant>,
 }
 
 impl Default for SessionOptions {
     fn default() -> Self {
-        SessionOptions { deadline: u64::MAX }
+        SessionOptions {
+            deadline: u64::MAX,
+            wall_deadline: None,
+        }
     }
 }
 
@@ -155,6 +170,12 @@ pub enum SubmitError {
     /// This session already has an attempt in flight; `wait` for it (or
     /// poll [`Session::try_result`]) before submitting again.
     AttemptInFlight,
+    /// The session crossed [`ServiceConfig::quarantine_after`]
+    /// consecutive failures; [`Session::mark_ok`] lifts the quarantine.
+    Quarantined {
+        /// Consecutive failures recorded on the session.
+        failures: u32,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -168,6 +189,12 @@ impl std::fmt::Display for SubmitError {
             }
             SubmitError::AttemptInFlight => {
                 write!(f, "session already has a decode attempt in flight")
+            }
+            SubmitError::Quarantined { failures } => {
+                write!(
+                    f,
+                    "session quarantined after {failures} consecutive failures"
+                )
             }
         }
     }
@@ -224,6 +251,12 @@ enum SlotState {
     Queued,
     /// The attempt finished; resources wait for `wait`/`try_result`.
     Ready(Box<(DecodeResult, SessionRes)>),
+    /// The caller cancelled the queued attempt; the dispatcher (or the
+    /// running job) converts this to [`SlotState::Returned`].
+    Cancelled,
+    /// A cancelled or deadline-expired attempt handed its resources
+    /// back without a result; `wait`/`try_result` restore them.
+    Returned(Box<SessionRes>),
     /// The session was dropped; late completions are discarded (and
     /// counted as stale).
     Abandoned,
@@ -245,6 +278,7 @@ struct PendingJob {
     res: SessionRes,
     slot: Arc<SessionSlot>,
     submitted: Instant,
+    wall_deadline: Option<Instant>,
 }
 
 impl PartialEq for PendingJob {
@@ -318,6 +352,10 @@ struct MetricsInner {
     completions: u64,
     stale: u64,
     retries: u64,
+    cancelled: u64,
+    deadline_expired: u64,
+    deadline_misses: u64,
+    quarantined: u64,
     symbols_folded: u64,
     peak_active: usize,
     latency: LatencyHist,
@@ -349,6 +387,18 @@ pub struct MetricsSnapshot {
     pub stale_completions: u64,
     /// Attempts beyond each session's first — the §7.1 retry count.
     pub retries_total: u64,
+    /// Queued attempts cancelled by their caller before delivering a
+    /// result (resources handed back, never lost).
+    pub attempts_cancelled: u64,
+    /// Queued attempts dropped *before running* because their session's
+    /// wall-clock deadline had already passed.
+    pub attempts_deadline_expired: u64,
+    /// Attempts that completed *after* their session's wall-clock
+    /// deadline (result still delivered; the miss is the signal).
+    pub deadline_misses: u64,
+    /// Sessions that crossed [`ServiceConfig::quarantine_after`]
+    /// consecutive failures (counted once per crossing).
+    pub sessions_quarantined: u64,
     /// Observations folded into finished decodes.
     pub symbols_folded: u64,
     /// Median submit→complete latency (µs, bucket upper bound).
@@ -372,6 +422,8 @@ impl MetricsSnapshot {
                 "\"sessions_closed\":{},\"submits\":{},",
                 "\"submits_rejected\":{},\"completions\":{},",
                 "\"stale_completions\":{},\"retries_total\":{},",
+                "\"attempts_cancelled\":{},\"attempts_deadline_expired\":{},",
+                "\"deadline_misses\":{},\"sessions_quarantined\":{},",
                 "\"symbols_folded\":{},\"decode_p50_us\":{},",
                 "\"decode_p99_us\":{},\"symbols_per_sec\":{:.3},",
                 "\"uptime_secs\":{:.3}}}"
@@ -386,6 +438,10 @@ impl MetricsSnapshot {
             self.completions,
             self.stale_completions,
             self.retries_total,
+            self.attempts_cancelled,
+            self.attempts_deadline_expired,
+            self.deadline_misses,
+            self.sessions_quarantined,
             self.symbols_folded,
             self.decode_p50_us,
             self.decode_p99_us,
@@ -463,6 +519,10 @@ impl DecodeService {
                     completions: 0,
                     stale: 0,
                     retries: 0,
+                    cancelled: 0,
+                    deadline_expired: 0,
+                    deadline_misses: 0,
+                    quarantined: 0,
                     symbols_folded: 0,
                     peak_active: 0,
                     latency: LatencyHist::default(),
@@ -539,8 +599,10 @@ impl DecodeService {
                 folded: 0,
             }),
             deadline: opts.deadline,
+            wall_deadline: opts.wall_deadline,
             position: 0,
             attempts: 0,
+            failures: 0,
         })
     }
 
@@ -560,6 +622,10 @@ impl DecodeService {
             completions: m.completions,
             stale_completions: m.stale,
             retries_total: m.retries,
+            attempts_cancelled: m.cancelled,
+            attempts_deadline_expired: m.deadline_expired,
+            deadline_misses: m.deadline_misses,
+            sessions_quarantined: m.quarantined,
             symbols_folded: m.symbols_folded,
             decode_p50_us: m.latency.quantile_us(0.50),
             decode_p99_us: m.latency.quantile_us(0.99),
@@ -593,15 +659,61 @@ impl ServiceInner {
                     None => return,
                 }
             };
-            if matches!(*job.slot.state.lock(), SlotState::Abandoned) {
-                // The session died while queued: drop its resources,
-                // account the attempt as stale, free the slot we took.
-                let mut m = self.metrics.lock();
-                m.completions += 1;
-                m.stale += 1;
-                drop(m);
-                self.state.lock().inflight -= 1;
-                continue;
+            // Gate the popped job: a dead, cancelled, or already-late
+            // attempt never reaches the decoder.
+            enum Gate {
+                Run,
+                Stale,
+                Cancelled,
+                Expired,
+            }
+            let gate = {
+                let sl = job.slot.state.lock();
+                match *sl {
+                    SlotState::Abandoned => Gate::Stale,
+                    SlotState::Cancelled => Gate::Cancelled,
+                    _ => {
+                        if job.wall_deadline.is_some_and(|d| Instant::now() >= d) {
+                            Gate::Expired
+                        } else {
+                            Gate::Run
+                        }
+                    }
+                }
+            };
+            match gate {
+                Gate::Run => {}
+                Gate::Stale => {
+                    // The session died while queued: drop its resources,
+                    // account the attempt as stale, free the slot we took.
+                    let mut m = self.metrics.lock();
+                    m.completions += 1;
+                    m.stale += 1;
+                    drop(m);
+                    self.state.lock().inflight -= 1;
+                    continue;
+                }
+                Gate::Cancelled | Gate::Expired => {
+                    // Hand the resources back to the session instead of
+                    // running: the attempt ends without a result but
+                    // nothing is lost. (If the session was dropped in
+                    // the meantime, the resources simply drop with it.)
+                    let PendingJob { res, slot, .. } = job;
+                    {
+                        let mut sl = slot.state.lock();
+                        let mut m = self.metrics.lock();
+                        match gate {
+                            Gate::Cancelled => m.cancelled += 1,
+                            _ => m.deadline_expired += 1,
+                        }
+                        if !matches!(*sl, SlotState::Abandoned) {
+                            *sl = SlotState::Returned(Box::new(res));
+                            slot.ready.notify_all();
+                        }
+                    }
+                    self.state.lock().inflight -= 1;
+                    continue;
+                }
             }
             if self.engine.is_pooled() {
                 let me = Arc::clone(self);
@@ -624,6 +736,7 @@ impl ServiceInner {
             mut res,
             slot,
             submitted,
+            wall_deadline,
             ..
         } = job;
         let result = match &mut res.buffer {
@@ -631,6 +744,7 @@ impl ServiceInner {
             SessionBuffer::Bits(rx) => dec.decode_bits_impl(rx, &mut res.ws),
         };
         let micros = submitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let late = wall_deadline.is_some_and(|d| Instant::now() >= d);
         let delta = res.buffer.symbols_received().saturating_sub(res.folded);
         res.folded = res.buffer.symbols_received();
         {
@@ -640,12 +754,25 @@ impl ServiceInner {
             // always sees its completion counted.
             let mut sl = slot.state.lock();
             let mut m = self.metrics.lock();
-            m.completions += 1;
             match *sl {
-                SlotState::Abandoned => m.stale += 1,
+                SlotState::Abandoned => {
+                    m.completions += 1;
+                    m.stale += 1;
+                }
+                SlotState::Cancelled => {
+                    // Cancel landed while the decode ran: the result is
+                    // unwanted; hand the resources back instead.
+                    m.cancelled += 1;
+                    *sl = SlotState::Returned(Box::new(res));
+                    slot.ready.notify_all();
+                }
                 _ => {
+                    m.completions += 1;
                     m.latency.record(micros);
                     m.symbols_folded += delta as u64;
+                    if late {
+                        m.deadline_misses += 1;
+                    }
                     *sl = SlotState::Ready(Box::new((result, res)));
                     slot.ready.notify_all();
                 }
@@ -676,8 +803,10 @@ pub struct Session {
     slot: Arc<SessionSlot>,
     res: Option<SessionRes>,
     deadline: u64,
+    wall_deadline: Option<Instant>,
     position: usize,
     attempts: u64,
+    failures: u32,
 }
 
 impl Session {
@@ -724,6 +853,12 @@ impl Session {
         if self.res.is_none() {
             return Err(SubmitError::AttemptInFlight);
         }
+        if self.quarantined() {
+            self.svc.inner.metrics.lock().rejected += 1;
+            return Err(SubmitError::Quarantined {
+                failures: self.failures,
+            });
+        }
         let inner = &self.svc.inner;
         {
             let mut st = inner.state.lock();
@@ -752,6 +887,7 @@ impl Session {
                 res,
                 slot: Arc::clone(&self.slot),
                 submitted: Instant::now(),
+                wall_deadline: self.wall_deadline,
             }));
         }
         {
@@ -783,6 +919,13 @@ impl Session {
                     self.res = Some(res);
                     return Some(result);
                 }
+                SlotState::Returned(res) => {
+                    // Cancelled or deadline-expired: no result, but the
+                    // buffer/cache/workspace come home.
+                    drop(sl);
+                    self.res = Some(*res);
+                    return None;
+                }
                 other => {
                     *sl = other;
                     self.slot.ready.wait(&mut sl);
@@ -791,9 +934,46 @@ impl Session {
         }
     }
 
+    /// [`Session::wait`] with a timeout: `Some(result)` on completion,
+    /// `None` on timeout *or* when the attempt ended without a result
+    /// (cancelled / deadline-expired — distinguishable because
+    /// [`Session::buffer`] is `Some` again in that case, while a timed
+    /// out attempt is still in flight and the buffer stays checked out).
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<DecodeResult> {
+        if self.res.is_some() {
+            return None;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut sl = self.slot.state.lock();
+        loop {
+            match std::mem::replace(&mut *sl, SlotState::Idle) {
+                SlotState::Ready(boxed) => {
+                    drop(sl);
+                    let (result, res) = *boxed;
+                    self.res = Some(res);
+                    return Some(result);
+                }
+                SlotState::Returned(res) => {
+                    drop(sl);
+                    self.res = Some(*res);
+                    return None;
+                }
+                other => {
+                    *sl = other;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    self.slot.ready.wait_for(&mut sl, deadline - now);
+                }
+            }
+        }
+    }
+
     /// Non-blocking [`Session::wait`]: `Some(result)` if the in-flight
     /// attempt has completed, `None` otherwise (including when nothing
-    /// is in flight).
+    /// is in flight, or when a cancelled/expired attempt just handed
+    /// its resources back).
     pub fn try_result(&mut self) -> Option<DecodeResult> {
         if self.res.is_some() {
             return None;
@@ -806,11 +986,67 @@ impl Session {
                 self.res = Some(res);
                 Some(result)
             }
+            SlotState::Returned(res) => {
+                drop(sl);
+                self.res = Some(*res);
+                None
+            }
             other => {
                 *sl = other;
                 None
             }
         }
+    }
+
+    /// Cancel the queued (or running) attempt, if any. Returns `true`
+    /// if an attempt was marked for cancellation — its resources come
+    /// back through the next `wait`/`wait_timeout`/`try_result`, which
+    /// returns `None`. Returns `false` when nothing is in flight or
+    /// the result is already waiting (take it instead).
+    pub fn cancel(&mut self) -> bool {
+        if self.res.is_some() {
+            return false;
+        }
+        let mut sl = self.slot.state.lock();
+        match *sl {
+            SlotState::Queued => {
+                *sl = SlotState::Cancelled;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record one failed attempt (e.g. a CRC-rejected decode) toward
+    /// quarantine; returns the consecutive-failure count. Crossing
+    /// [`ServiceConfig::quarantine_after`] counts the session in
+    /// [`MetricsSnapshot::sessions_quarantined`] once.
+    pub fn mark_failed(&mut self) -> u32 {
+        self.failures = self.failures.saturating_add(1);
+        let threshold = self.svc.inner.cfg.quarantine_after;
+        if threshold > 0 && self.failures == threshold {
+            self.svc.inner.metrics.lock().quarantined += 1;
+        }
+        self.failures
+    }
+
+    /// Reset the consecutive-failure count (e.g. after a successful
+    /// decode), lifting any quarantine.
+    pub fn mark_ok(&mut self) {
+        self.failures = 0;
+    }
+
+    /// True when the session has crossed
+    /// [`ServiceConfig::quarantine_after`] consecutive failures and
+    /// submits are refused.
+    pub fn quarantined(&self) -> bool {
+        let threshold = self.svc.inner.cfg.quarantine_after;
+        threshold > 0 && self.failures >= threshold
+    }
+
+    /// Consecutive failures recorded since the last [`Session::mark_ok`].
+    pub fn failures(&self) -> u32 {
+        self.failures
     }
 }
 
@@ -1094,11 +1330,207 @@ mod tests {
             "decode_p50_us",
             "decode_p99_us",
             "symbols_per_sec",
+            "attempts_cancelled",
+            "attempts_deadline_expired",
+            "deadline_misses",
+            "sessions_quarantined",
         ] {
             assert!(
                 json.contains(&format!("\"{key}\":")),
                 "missing {key} in {json}"
             );
         }
+    }
+
+    #[test]
+    fn expired_wall_deadline_attempt_never_runs() {
+        // Inline engine: submit dispatches synchronously, so a deadline
+        // already in the past must bounce the attempt deterministically.
+        let svc = DecodeService::new(1, ServiceConfig::default());
+        let (params, _message, ys) = setup(23);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let opts = SessionOptions {
+            wall_deadline: Some(Instant::now() - Duration::from_secs(1)),
+            ..SessionOptions::default()
+        };
+        let mut session = svc
+            .open_session(&dec, SessionBuffer::Symbols(rx_for(&params, &ys)), opts)
+            .expect("admitted");
+        session.submit().expect("queued");
+        assert!(session.wait().is_none(), "expired attempt has no result");
+        assert!(
+            session.buffer().is_some(),
+            "resources must come back after expiry"
+        );
+        let m = svc.metrics();
+        assert_eq!(m.attempts_deadline_expired, 1);
+        assert_eq!(m.completions, 0, "the decode never ran");
+        // The session is still usable: clear the deadline path by
+        // resubmitting through a fresh session without one.
+        assert_eq!(m.submits, 1);
+    }
+
+    #[test]
+    fn generous_wall_deadline_delivers_normally() {
+        let svc = DecodeService::new(1, ServiceConfig::default());
+        let (params, message, ys) = setup(27);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let opts = SessionOptions {
+            wall_deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..SessionOptions::default()
+        };
+        let mut session = svc
+            .open_session(&dec, SessionBuffer::Symbols(rx_for(&params, &ys)), opts)
+            .expect("admitted");
+        session.submit().expect("queued");
+        let got = session.wait().expect("in flight");
+        assert_eq!(got.message, message);
+        let m = svc.metrics();
+        assert_eq!(m.attempts_deadline_expired, 0);
+        assert_eq!(m.deadline_misses, 0);
+        assert_eq!(m.completions, 1);
+    }
+
+    #[test]
+    fn cancel_resolves_without_result_on_pooled_engine() {
+        // With a pooled engine the attempt may be queued, running, or
+        // already finished when cancel lands; every interleaving must
+        // resolve to a structured ending with consistent books.
+        let svc = DecodeService::new(2, ServiceConfig::default());
+        let (params, _message, ys) = setup(29);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut session = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        session.submit().expect("queued");
+        let cancelled = session.cancel();
+        let result = session.wait();
+        assert!(
+            session.buffer().is_some(),
+            "resources always come back, result or not"
+        );
+        let m = svc.metrics();
+        if result.is_some() {
+            // The attempt beat the cancel to the finish line.
+            assert_eq!(m.completions, 1);
+            assert_eq!(m.attempts_cancelled, 0);
+        } else {
+            assert!(cancelled, "no result implies the cancel landed");
+            assert_eq!(m.attempts_cancelled, 1);
+            assert_eq!(m.completions, 0);
+        }
+        assert_eq!(
+            m.submits,
+            m.completions + m.attempts_cancelled + m.attempts_deadline_expired,
+            "every submit ends exactly once"
+        );
+    }
+
+    #[test]
+    fn cancel_without_inflight_attempt_is_a_noop() {
+        let svc = DecodeService::new(1, ServiceConfig::default());
+        let (params, _message, ys) = setup(31);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut session = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        assert!(!session.cancel(), "nothing in flight");
+        session.submit().expect("queued");
+        // Inline engine: the result is already Ready; cancel must
+        // refuse so the caller takes the result instead.
+        assert!(!session.cancel(), "result already waiting");
+        assert!(session.wait().is_some());
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_delivers() {
+        let svc = DecodeService::new(1, ServiceConfig::default());
+        let (params, message, ys) = setup(37);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut session = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        // Nothing in flight: wait_timeout returns immediately.
+        assert!(session.wait_timeout(Duration::from_millis(1)).is_none());
+        session.submit().expect("queued");
+        // Inline engine: already complete, any timeout finds it Ready.
+        let got = session
+            .wait_timeout(Duration::from_secs(10))
+            .expect("inline decode already finished");
+        assert_eq!(got.message, message);
+    }
+
+    #[test]
+    fn quarantine_refuses_submits_until_marked_ok() {
+        let cfg = ServiceConfig {
+            quarantine_after: 2,
+            ..ServiceConfig::default()
+        };
+        let svc = DecodeService::new(1, cfg);
+        let (params, _message, ys) = setup(41);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut session = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        assert_eq!(session.mark_failed(), 1);
+        assert!(!session.quarantined(), "one failure is below the bar");
+        session.submit().expect("still allowed");
+        assert!(session.wait().is_some());
+        assert_eq!(session.mark_failed(), 2);
+        assert!(session.quarantined());
+        assert_eq!(
+            session.submit(),
+            Err(SubmitError::Quarantined { failures: 2 })
+        );
+        let m = svc.metrics();
+        assert_eq!(m.sessions_quarantined, 1);
+        assert_eq!(m.submits_rejected, 1);
+        // Recovery lifts the quarantine.
+        session.mark_ok();
+        assert!(!session.quarantined());
+        session.submit().expect("quarantine lifted");
+        assert!(session.wait().is_some());
+        // Crossing the threshold twice counts the session twice — it is
+        // a "times quarantined" counter, not a live gauge.
+        session.mark_failed();
+        session.mark_failed();
+        assert_eq!(svc.metrics().sessions_quarantined, 2);
+    }
+
+    #[test]
+    fn quarantine_disabled_by_default() {
+        let svc = DecodeService::new(1, ServiceConfig::default());
+        let (params, _message, ys) = setup(43);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut session = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        for _ in 0..100 {
+            session.mark_failed();
+        }
+        assert!(!session.quarantined(), "quarantine_after=0 disables it");
+        session.submit().expect("never refused");
+        assert!(session.wait().is_some());
+        assert_eq!(svc.metrics().sessions_quarantined, 0);
     }
 }

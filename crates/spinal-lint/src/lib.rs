@@ -91,6 +91,7 @@ const SPAWN_ALLOW: &[&str] = &[
 const PANICKY_PATHS: &[&str] = &[
     "crates/spinal-net/src/wire.rs",
     "crates/spinal-net/src/receiver.rs",
+    "crates/spinal-net/src/chaos.rs",
 ];
 
 /// Modules allowed to contain `unsafe` (each use still needs a

@@ -50,19 +50,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod link;
 pub mod receiver;
 pub mod sender;
 pub mod transfer;
 pub mod wire;
 
+pub use chaos::{BlackoutWindow, ChaosLink, FaultCounters, FaultEvent, FaultPlan, FaultTrace};
 pub use link::{Datagram, LoopbackLink, NoiseModel, UdpLink};
 pub use receiver::{ReceiverConfig, SpinalReceiver};
 pub use sender::{Modulation, SenderConfig, SpinalSender};
 pub use transfer::{
-    run_loopback_transfer, run_transfer, TransferConfig, TransferOutcome, TransferReport,
+    run_loopback_transfer, run_transfer, StopCause, TransferConfig, TransferError,
+    TransferErrorKind, TransferOutcome, TransferReport,
 };
-pub use wire::{Packet, Payload};
+pub use wire::{Packet, Payload, DATA_PAYLOAD_OFFSET};
 
 // Re-exported so transfer callers can state impairments without naming
 // spinal-channel directly.

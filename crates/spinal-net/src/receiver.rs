@@ -39,6 +39,12 @@ pub struct ReceiverConfig {
     /// buffered observations extend this many symbols past it. Must
     /// exceed the link's realistic reordering depth, in symbols.
     pub skip_horizon: usize,
+    /// Cap on out-of-order spans buffered per block. A duplicating or
+    /// hostile link can otherwise grow the reorder buffer without
+    /// bound; past the cap the farthest-ahead span is evicted (the
+    /// rateless stream re-covers it with later symbols) and counted in
+    /// [`SpinalReceiver::reorder_evictions`].
+    pub max_pending_spans: usize,
 }
 
 impl Default for ReceiverConfig {
@@ -46,6 +52,7 @@ impl Default for ReceiverConfig {
         ReceiverConfig {
             max_passes: 8,
             skip_horizon: 96,
+            max_pending_spans: 64,
         }
     }
 }
@@ -120,6 +127,30 @@ impl BlockState {
             cursor: 0,
             decoded: false,
         }
+    }
+
+    /// Buffer an out-of-order span, holding the reorder buffer at
+    /// `cap` entries. When full, the span farthest ahead of the cursor
+    /// is discarded — it is the least likely to drain soon, and the
+    /// rateless stream re-covers its observations with later symbols.
+    /// Returns the number of spans evicted (0 or 1).
+    fn stash(&mut self, offset: u32, payload: Payload, cap: usize) -> u64 {
+        if self.pending.contains_key(&offset) {
+            return 0; // duplicate of a buffered span
+        }
+        if self.pending.len() >= cap.max(1) {
+            let Some((&farthest, _)) = self.pending.last_key_value() else {
+                return 0;
+            };
+            if offset >= farthest {
+                return 1; // incoming span is the farthest ahead: drop it
+            }
+            self.pending.remove(&farthest);
+            self.pending.insert(offset, payload);
+            return 1;
+        }
+        self.pending.insert(offset, payload);
+        0
     }
 
     /// Move pending spans into the session's observation buffer in
@@ -258,6 +289,7 @@ pub struct SpinalReceiver {
     service: DecodeService,
     transfer: Option<TransferState>,
     decode_attempts: usize,
+    reorder_evictions: u64,
 }
 
 impl SpinalReceiver {
@@ -281,6 +313,7 @@ impl SpinalReceiver {
             service,
             transfer: None,
             decode_attempts: 0,
+            reorder_evictions: 0,
         }
     }
 
@@ -361,9 +394,10 @@ impl SpinalReceiver {
             return;
         }
         // Stash the span unless it is entirely behind the cursor (a
-        // duplicate of something already drained or skipped).
+        // duplicate of something already drained or skipped). The
+        // reorder buffer is capped; overflow evicts the farthest span.
         if offset as usize + payload.len() > state.cursor as usize {
-            state.pending.entry(offset).or_insert(payload);
+            self.reorder_evictions += state.stash(offset, payload, self.cfg.max_pending_spans);
         }
         if state.drain(
             &self.service,
@@ -404,6 +438,48 @@ impl SpinalReceiver {
     /// compute-cost counter.
     pub fn decode_attempts(&self) -> usize {
         self.decode_attempts
+    }
+
+    /// Spans discarded because a block's reorder buffer hit
+    /// [`ReceiverConfig::max_pending_spans`] — the memory-bound
+    /// accounting surfaced in `TransferReport`.
+    pub fn reorder_evictions(&self) -> u64 {
+        self.reorder_evictions
+    }
+
+    /// Out-of-order spans currently buffered across all blocks; bounded
+    /// by `n_blocks × max_pending_spans` by construction.
+    pub fn pending_spans(&self) -> usize {
+        self.transfer
+            .as_ref()
+            .map(|t| t.blocks.iter().map(|b| b.pending.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Blocks whose CRC has validated so far.
+    pub fn blocks_decoded(&self) -> usize {
+        self.transfer
+            .as_ref()
+            .map(|t| t.reassembly.blocks_decoded())
+            .unwrap_or(0)
+    }
+
+    /// Blocks in the active transfer (0 before Init arrives).
+    pub fn n_blocks(&self) -> usize {
+        self.transfer
+            .as_ref()
+            .map(|t| t.reassembly.n_blocks())
+            .unwrap_or(0)
+    }
+
+    /// The CRC-accepted payload bytes per block (`None` = missing) —
+    /// what a caller salvages when the transfer ends degraded. Empty
+    /// before Init arrives.
+    pub fn partial_blocks(&self) -> Vec<Option<Vec<u8>>> {
+        self.transfer
+            .as_ref()
+            .map(|t| t.reassembly.block_payloads())
+            .unwrap_or_default()
     }
 }
 
@@ -536,6 +612,57 @@ mod tests {
         }
         assert!(r.complete());
         assert_eq!(r.payload().unwrap(), payload.to_vec());
+    }
+
+    #[test]
+    fn reorder_buffer_is_capped_and_evictions_are_counted() {
+        let p = params();
+        let payload = b"capped";
+        let msg = FrameBuilder::new(p.n).build(payload).remove(0);
+        let cfg = ReceiverConfig {
+            max_pending_spans: 4,
+            skip_horizon: 1_000_000, // never skip: everything must buffer
+            ..ReceiverConfig::default()
+        };
+        let mut r = SpinalReceiver::new(&p, cfg);
+        r.handle(init_pkt(1, payload.len() as u32));
+        let spp = Schedule::new(p.num_spines(), p.tail, p.puncturing).symbols_per_pass();
+        // A hostile stream of far-ahead spans with a permanent gap at
+        // the cursor: nothing drains, so the buffer must clamp at the
+        // cap and count every overflow.
+        let far = spans(&p, &msg, 2 * spp, 3);
+        let n_far = far.len() - 1;
+        for (off, span) in far.into_iter().skip(1) {
+            r.handle(data_pkt(0, off, span));
+        }
+        assert!(n_far > 4, "need more spans than the cap");
+        assert_eq!(r.pending_spans(), 4, "buffer must clamp at the cap");
+        assert_eq!(r.reorder_evictions(), (n_far - 4) as u64);
+        assert_eq!(r.blocks_decoded(), 0);
+        assert!(r.partial_blocks().iter().all(|b| b.is_none()));
+    }
+
+    #[test]
+    fn partial_blocks_salvages_decoded_prefix() {
+        let p = params();
+        // Two blocks; deliver only block 0's symbols.
+        let payload: Vec<u8> = (0u8..10).collect(); // 6-byte blocks → 2 blocks
+        let msgs = FrameBuilder::new(p.n).build(&payload);
+        assert_eq!(msgs.len(), 2);
+        let mut r = SpinalReceiver::new(&p, ReceiverConfig::default());
+        r.handle(init_pkt(2, payload.len() as u32));
+        let spp = Schedule::new(p.num_spines(), p.tail, p.puncturing).symbols_per_pass();
+        for (off, span) in spans(&p, &msgs[0], 2 * spp, 7) {
+            r.handle(data_pkt(0, off, span));
+        }
+        assert!(!r.complete());
+        assert_eq!(r.blocks_decoded(), 1);
+        assert_eq!(r.n_blocks(), 2);
+        let blocks = r.partial_blocks();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].as_deref(), Some(&payload[..6]));
+        assert!(blocks[1].is_none());
+        assert!(r.payload().is_none(), "incomplete: no full payload");
     }
 
     #[test]

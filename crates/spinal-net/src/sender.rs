@@ -36,6 +36,15 @@ pub struct SenderConfig {
     pub max_passes: usize,
     /// Observation kind to emit.
     pub modulation: Modulation,
+    /// Feedback-silence pacing: after this many consecutive polls with
+    /// no feedback for this transfer, bursts back off exponentially
+    /// (with deterministic jitter) instead of firing every round — a
+    /// blacked-out or one-way link stops eating the symbol budget.
+    /// `0` disables backoff (burst every poll, the pre-hardening shape).
+    pub backoff_after_silent: usize,
+    /// Cap on the backoff exponent: the wait between bursts never
+    /// exceeds `2^backoff_max_exp - 1` rounds (plus jitter).
+    pub backoff_max_exp: u32,
 }
 
 impl Default for SenderConfig {
@@ -44,6 +53,8 @@ impl Default for SenderConfig {
             chunk_symbols: 32,
             max_passes: 8,
             modulation: Modulation::Symbols,
+            backoff_after_silent: 2,
+            backoff_max_exp: 3,
         }
     }
 }
@@ -70,6 +81,16 @@ pub struct SpinalSender {
     saw_feedback: bool,
     symbols_sent: usize,
     datagrams_sent: usize,
+    /// Consecutive polls whose feedback drain came up empty.
+    silent_rounds: usize,
+    /// Rounds left to hold fire before the next backed-off burst.
+    wait_rounds: usize,
+    /// Current backoff exponent (0 = not backing off).
+    backoff_exp: u32,
+    /// Polls that skipped their burst due to backoff.
+    backoff_skips: usize,
+    /// SplitMix64 state for deterministic backoff jitter.
+    jitter: u64,
 }
 
 impl SpinalSender {
@@ -108,22 +129,58 @@ impl SpinalSender {
             saw_feedback: false,
             symbols_sent: 0,
             datagrams_sent: 0,
+            silent_rounds: 0,
+            wait_rounds: 0,
+            backoff_exp: 0,
+            backoff_skips: 0,
+            jitter: transfer_id ^ 0x9E37_79B9_7F4A_7C15,
         }
     }
 
-    /// Drain pending feedback, then (unless done) advance every
-    /// unacknowledged block by one subpass. The usual per-round call.
+    /// Drain pending feedback, then (unless done, exhausted, or backed
+    /// off) advance every unacknowledged block by one subpass. The
+    /// usual per-round call.
+    ///
+    /// Pacing: any feedback resets the backoff; a silent streak past
+    /// [`SenderConfig::backoff_after_silent`] polls makes bursts
+    /// exponentially sparser (deterministically jittered, counted in
+    /// rounds — never the wall clock, so a seeded transfer replays
+    /// exactly). A responsive link never backs off.
     pub fn poll<L: Datagram>(&mut self, link: &mut L) -> io::Result<()> {
-        self.drain_feedback(link)?;
-        if !self.complete() && !self.exhausted() {
-            self.burst(link)?;
+        let heard = self.drain_feedback(link)?;
+        if self.complete() || self.exhausted() {
+            return Ok(());
         }
-        Ok(())
+        if heard > 0 {
+            self.silent_rounds = 0;
+            self.wait_rounds = 0;
+            self.backoff_exp = 0;
+        } else {
+            self.silent_rounds += 1;
+        }
+        let threshold = self.cfg.backoff_after_silent;
+        if threshold > 0 && self.silent_rounds > threshold {
+            if self.wait_rounds > 0 {
+                self.wait_rounds -= 1;
+                self.backoff_skips += 1;
+                return Ok(()); // hold fire this round
+            }
+            // Fire now, then schedule the next (longer) wait: the gap
+            // between bursts doubles up to the cap, ± jitter so many
+            // concurrent transfers do not resynchronise.
+            self.backoff_exp = (self.backoff_exp + 1).min(self.cfg.backoff_max_exp);
+            let base = 1u64 << self.backoff_exp;
+            let jitter = self.next_jitter() % (base / 2).max(1);
+            self.wait_rounds = (base - 1 + jitter) as usize;
+        }
+        self.burst(link)
     }
 
     /// Consume every queued datagram, applying any feedback for this
     /// transfer. Other datagram kinds (or other transfers) are ignored.
-    pub fn drain_feedback<L: Datagram>(&mut self, link: &mut L) -> io::Result<()> {
+    /// Returns how many feedback datagrams applied to this transfer.
+    pub fn drain_feedback<L: Datagram>(&mut self, link: &mut L) -> io::Result<usize> {
+        let mut heard = 0;
         while let Some(buf) = link.recv()? {
             if let Some(Packet::Feedback {
                 transfer_id,
@@ -135,6 +192,7 @@ impl SpinalSender {
                     continue;
                 }
                 self.saw_feedback = true;
+                heard += 1;
                 for (block, done) in self.blocks.iter_mut().zip(decoded) {
                     if done {
                         block.acked = true;
@@ -142,7 +200,17 @@ impl SpinalSender {
                 }
             }
         }
-        Ok(())
+        Ok(heard)
+    }
+
+    /// SplitMix64 step — deterministic in `transfer_id`, so backoff
+    /// jitter replays exactly for a given transfer.
+    fn next_jitter(&mut self) -> u64 {
+        self.jitter = self.jitter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Send one burst: an Init datagram while no feedback has arrived
@@ -215,6 +283,11 @@ impl SpinalSender {
     /// Total datagrams (Init + Data) put on the wire so far.
     pub fn datagrams_sent(&self) -> usize {
         self.datagrams_sent
+    }
+
+    /// Polls that skipped their burst under feedback-silence backoff.
+    pub fn backoff_skips(&self) -> usize {
+        self.backoff_skips
     }
 
     /// Number of code blocks in the transfer.
@@ -344,6 +417,73 @@ mod tests {
         let before = s.datagrams_sent();
         s.poll(&mut tx).unwrap();
         assert_eq!(s.datagrams_sent(), before);
+    }
+
+    #[test]
+    fn feedback_silence_backs_off_and_feedback_resets() {
+        let p = params();
+        let mut s = SpinalSender::new(&p, &[9u8; 12], 7, SenderConfig::default());
+        let (mut tx, mut rx) = LoopbackLink::clean_pair(0);
+        // Dead feedback path: bursts must become sparse instead of
+        // firing every poll.
+        let mut bursts = 0;
+        for _ in 0..30 {
+            let before = s.datagrams_sent();
+            s.poll(&mut tx).unwrap();
+            if s.datagrams_sent() > before {
+                bursts += 1;
+            }
+        }
+        assert!(
+            bursts < 15,
+            "dead link must pace: {bursts} bursts in 30 polls"
+        );
+        assert!(s.backoff_skips() > 10, "skips: {}", s.backoff_skips());
+        // Feedback resets the pacing immediately.
+        while rx.recv().unwrap().is_some() {}
+        rx.send(
+            &Packet::Feedback {
+                transfer_id: 7,
+                received: 1,
+                decoded: vec![false, false],
+            }
+            .encode(),
+        )
+        .unwrap();
+        let skips_before = s.backoff_skips();
+        let before = s.datagrams_sent();
+        s.poll(&mut tx).unwrap();
+        assert!(
+            s.datagrams_sent() > before,
+            "feedback must un-pause the sender"
+        );
+        assert_eq!(s.backoff_skips(), skips_before);
+    }
+
+    #[test]
+    fn responsive_link_never_backs_off() {
+        let p = params();
+        let mut s = SpinalSender::new(&p, &[3u8; 6], 5, SenderConfig::default());
+        let (mut tx, mut rx) = LoopbackLink::clean_pair(0);
+        for _ in 0..20 {
+            let before = s.datagrams_sent();
+            // Feedback arrives every round: pacing must never engage.
+            rx.send(
+                &Packet::Feedback {
+                    transfer_id: 5,
+                    received: 1,
+                    decoded: vec![false],
+                }
+                .encode(),
+            )
+            .unwrap();
+            s.poll(&mut tx).unwrap();
+            if !s.exhausted() {
+                assert!(s.datagrams_sent() > before, "burst must fire");
+            }
+            while rx.recv().unwrap().is_some() {}
+        }
+        assert_eq!(s.backoff_skips(), 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! End-to-end transfer drivers: pump a sender/receiver pair over any
-//! [`Datagram`] link until the payload lands (or the pass budget runs
-//! out), and report what it cost.
+//! [`Datagram`] link until the payload lands (or a budget runs out),
+//! and report what it cost.
 //!
 //! The round structure mirrors the paper's feedback loop: the sender
 //! emits one subpass per unacknowledged block, the receiver folds in
@@ -9,6 +9,14 @@
 //! transfer needs *is* its effective rate — high-SNR links finish in
 //! one pass, marginal links keep drawing symbols from the rateless
 //! stream.
+//!
+//! Hardening (PR 9): transient I/O errors are classified and retried
+//! within a budget instead of aborting; a wall-clock deadline can bound
+//! the transfer; and a transfer that ends with *some* blocks decoded
+//! reports [`TransferOutcome::PartialDelivery`] carrying the
+//! CRC-accepted bytes, so callers salvage what arrived instead of
+//! losing everything. Fatal errors return a structured
+//! [`TransferError`] that still carries the partial [`TransferReport`].
 
 use crate::link::{Datagram, LoopbackLink, NoiseModel};
 use crate::receiver::{ReceiverConfig, SpinalReceiver};
@@ -16,6 +24,7 @@ use crate::sender::{SenderConfig, SpinalSender};
 use spinal_channel::Impairments;
 use spinal_core::CodeParams;
 use std::io;
+use std::time::{Duration, Instant};
 
 /// Transfer-wide knobs; fans out into [`SenderConfig`] and
 /// [`ReceiverConfig`].
@@ -33,6 +42,22 @@ pub struct TransferConfig {
     /// Hard stop on sender→receiver→sender round trips; protects
     /// against a link that delivers nothing at all.
     pub max_rounds: usize,
+    /// Wall-clock deadline for the whole transfer; `None` (the
+    /// default) keeps the driver purely round-based and deterministic.
+    pub deadline: Option<Duration>,
+    /// Transient I/O errors (`Interrupted`/`WouldBlock`/`TimedOut`)
+    /// tolerated before the transfer gives up with
+    /// [`TransferErrorKind::RetryBudgetExhausted`].
+    pub io_retry_budget: usize,
+    /// Receiver reorder-buffer cap per block (see
+    /// [`ReceiverConfig::max_pending_spans`]).
+    pub max_pending_spans: usize,
+    /// Sender backoff threshold in silent polls (see
+    /// [`SenderConfig::backoff_after_silent`]); 0 disables pacing.
+    pub backoff_after_silent: usize,
+    /// Sender backoff exponent cap (see
+    /// [`SenderConfig::backoff_max_exp`]).
+    pub backoff_max_exp: u32,
 }
 
 impl Default for TransferConfig {
@@ -43,6 +68,11 @@ impl Default for TransferConfig {
             skip_horizon: 96,
             modulation: crate::sender::Modulation::Symbols,
             max_rounds: 64,
+            deadline: None,
+            io_retry_budget: 64,
+            max_pending_spans: 64,
+            backoff_after_silent: 2,
+            backoff_max_exp: 3,
         }
     }
 }
@@ -53,6 +83,8 @@ impl TransferConfig {
             chunk_symbols: self.chunk_symbols,
             max_passes: self.max_passes,
             modulation: self.modulation,
+            backoff_after_silent: self.backoff_after_silent,
+            backoff_max_exp: self.backoff_max_exp,
         }
     }
 
@@ -60,33 +92,66 @@ impl TransferConfig {
         ReceiverConfig {
             max_passes: self.max_passes,
             skip_horizon: self.skip_horizon,
+            max_pending_spans: self.max_pending_spans,
         }
     }
 }
 
-/// How a transfer terminated. Distinguishes "the channel was too noisy
-/// for the sender's pass budget" from "the round-trip budget was too
-/// small" — the two were previously conflated in a single `None`.
+/// What ended a transfer that did not deliver everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The sender's per-block pass budget ran out.
+    PassBudget,
+    /// The driver's round budget ran out.
+    RoundBudget,
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// I/O failed (fatally, or past the transient retry budget).
+    IoError,
+}
+
+/// How a transfer terminated. Degraded endings distinguish "some blocks
+/// landed" ([`TransferOutcome::PartialDelivery`], carrying the salvaged
+/// bytes) from "nothing did" (the budget/deadline variants).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransferOutcome {
     /// The payload arrived intact.
     Delivered(Vec<u8>),
-    /// The sender gave up: its per-block pass budget
-    /// ([`TransferConfig::max_passes`]) ran out with blocks still
-    /// undecoded. The channel needed more symbols than the budget
-    /// allowed.
+    /// The transfer stopped with *some* blocks CRC-accepted: the caller
+    /// salvages them instead of losing everything.
+    PartialDelivery {
+        /// Per-block payload bytes (`None` = block never decoded),
+        /// trimmed to the original datagram length.
+        blocks: Vec<Option<Vec<u8>>>,
+        /// Total salvaged bytes across decoded blocks.
+        bytes_recovered: usize,
+        /// Blocks CRC-accepted.
+        blocks_decoded: usize,
+        /// Blocks in the transfer.
+        n_blocks: usize,
+        /// What stopped the transfer short.
+        stop: StopCause,
+    },
+    /// The sender gave up with *zero* blocks decoded: its per-block
+    /// pass budget ([`TransferConfig::max_passes`]) ran out. The
+    /// channel needed more symbols than the budget allowed.
     PassBudgetExhausted,
-    /// The driver stopped first: [`TransferConfig::max_rounds`] round
-    /// trips elapsed with the sender still willing to send. The budget
-    /// (or a link delivering nothing, feedback included) cut the
-    /// transfer short.
+    /// The driver stopped first with zero blocks decoded:
+    /// [`TransferConfig::max_rounds`] round trips elapsed with the
+    /// sender still willing to send.
     RoundBudgetExhausted,
+    /// The wall-clock deadline expired with zero blocks decoded.
+    DeadlineExceeded,
+    /// I/O failed before any block decoded; only ever seen inside a
+    /// [`TransferError`]'s report.
+    Aborted,
 }
 
 /// What a finished (or abandoned) transfer cost.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferReport {
-    /// How the transfer terminated (delivery or which budget ran out).
+    /// How the transfer terminated (delivery, degraded delivery, or
+    /// which budget ran out).
     pub outcome: TransferOutcome,
     /// Observations (symbols or bits) the sender put on the wire.
     pub symbols_sent: usize,
@@ -99,6 +164,16 @@ pub struct TransferReport {
     pub rounds: usize,
     /// Decode attempts the receiver ran.
     pub decode_attempts: usize,
+    /// Transient I/O errors absorbed (retried) during the transfer.
+    pub transient_io_errors: usize,
+    /// Spans the receiver evicted from its capped reorder buffer.
+    pub reorder_evictions: u64,
+    /// Sender polls that held fire under feedback-silence backoff.
+    pub backoff_skips: usize,
+    /// Blocks CRC-accepted by the end of the transfer.
+    pub blocks_decoded: usize,
+    /// Blocks the payload was framed into (0 if Init never arrived).
+    pub n_blocks: usize,
 }
 
 impl TransferReport {
@@ -114,10 +189,190 @@ impl TransferReport {
             _ => None,
         }
     }
+
+    /// The salvaged per-block bytes of a degraded ending, if any.
+    pub fn salvage(&self) -> Option<&[Option<Vec<u8>>]> {
+        match &self.outcome {
+            TransferOutcome::PartialDelivery { blocks, .. } => Some(blocks),
+            _ => None,
+        }
+    }
+
+    /// FNV-1a digest of the whole report (outcome bytes included): two
+    /// reports are byte-identical iff their fingerprints match
+    /// (collisions aside) — the chaos soak's determinism witness.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(h: &mut u64, byte: u8) {
+            *h ^= u64::from(byte);
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        fn eat_u64(h: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                eat(h, b);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [
+            self.symbols_sent as u64,
+            self.datagrams_sent as u64,
+            self.passes_sent as u64,
+            self.rounds as u64,
+            self.decode_attempts as u64,
+            self.transient_io_errors as u64,
+            self.reorder_evictions,
+            self.backoff_skips as u64,
+            self.blocks_decoded as u64,
+            self.n_blocks as u64,
+        ] {
+            eat_u64(&mut h, v);
+        }
+        match &self.outcome {
+            TransferOutcome::Delivered(p) => {
+                eat(&mut h, 1);
+                for &b in p {
+                    eat(&mut h, b);
+                }
+            }
+            TransferOutcome::PartialDelivery {
+                blocks,
+                bytes_recovered,
+                blocks_decoded,
+                n_blocks,
+                stop,
+            } => {
+                eat(&mut h, 2);
+                eat_u64(&mut h, *bytes_recovered as u64);
+                eat_u64(&mut h, *blocks_decoded as u64);
+                eat_u64(&mut h, *n_blocks as u64);
+                eat(&mut h, *stop as u8);
+                for blk in blocks {
+                    match blk {
+                        Some(bytes) => {
+                            eat(&mut h, 1);
+                            for &b in bytes {
+                                eat(&mut h, b);
+                            }
+                        }
+                        None => eat(&mut h, 0),
+                    }
+                }
+            }
+            TransferOutcome::PassBudgetExhausted => eat(&mut h, 3),
+            TransferOutcome::RoundBudgetExhausted => eat(&mut h, 4),
+            TransferOutcome::DeadlineExceeded => eat(&mut h, 5),
+            TransferOutcome::Aborted => eat(&mut h, 6),
+        }
+        h
+    }
+}
+
+/// Why [`run_transfer`] failed. Unlike a bare [`io::Error`], the
+/// partial [`TransferReport`] (with any salvaged blocks) survives.
+#[derive(Debug)]
+pub struct TransferError {
+    /// What went wrong.
+    pub kind: TransferErrorKind,
+    /// The transfer accounting up to the failure, outcome included.
+    /// Boxed so the `Err` variant stays pointer-sized on the happy
+    /// path (the report carries salvaged block buffers).
+    pub report: Box<TransferReport>,
+}
+
+/// The failure class inside a [`TransferError`].
+#[derive(Debug)]
+pub enum TransferErrorKind {
+    /// A non-transient I/O error; retrying cannot help.
+    Fatal(io::Error),
+    /// More transient I/O errors than [`TransferConfig::io_retry_budget`]
+    /// allows — the link is effectively down.
+    RetryBudgetExhausted,
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            TransferErrorKind::Fatal(e) => write!(f, "transfer aborted on fatal I/O error: {e}"),
+            TransferErrorKind::RetryBudgetExhausted => write!(
+                f,
+                "transfer gave up after {} transient I/O errors",
+                self.report.transient_io_errors
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            TransferErrorKind::Fatal(e) => Some(e),
+            TransferErrorKind::RetryBudgetExhausted => None,
+        }
+    }
+}
+
+/// Errors worth retrying: the syscall (or injected fault) was a
+/// hiccup, not a verdict on the link.
+fn is_transient_io(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// The terminal outcome for a transfer that stopped for `stop`:
+/// full delivery and degraded (some-blocks) delivery both salvage from
+/// the receiver; a zero-block ending maps onto the matching variant.
+fn salvage_outcome(receiver: &SpinalReceiver, stop: StopCause) -> TransferOutcome {
+    if let Some(p) = receiver.payload() {
+        return TransferOutcome::Delivered(p);
+    }
+    let blocks_decoded = receiver.blocks_decoded();
+    if blocks_decoded > 0 {
+        let blocks = receiver.partial_blocks();
+        let bytes_recovered = blocks.iter().flatten().map(|b| b.len()).sum();
+        return TransferOutcome::PartialDelivery {
+            blocks,
+            bytes_recovered,
+            blocks_decoded,
+            n_blocks: receiver.n_blocks(),
+            stop,
+        };
+    }
+    match stop {
+        StopCause::PassBudget => TransferOutcome::PassBudgetExhausted,
+        StopCause::RoundBudget => TransferOutcome::RoundBudgetExhausted,
+        StopCause::Deadline => TransferOutcome::DeadlineExceeded,
+        StopCause::IoError => TransferOutcome::Aborted,
+    }
+}
+
+fn build_report(
+    outcome: TransferOutcome,
+    sender: &SpinalSender,
+    receiver: &SpinalReceiver,
+    rounds: usize,
+    transient_io_errors: usize,
+) -> TransferReport {
+    TransferReport {
+        outcome,
+        symbols_sent: sender.symbols_sent(),
+        datagrams_sent: sender.datagrams_sent(),
+        passes_sent: sender.passes_sent(),
+        rounds,
+        decode_attempts: receiver.decode_attempts(),
+        transient_io_errors,
+        reorder_evictions: receiver.reorder_evictions(),
+        backoff_skips: sender.backoff_skips(),
+        blocks_decoded: receiver.blocks_decoded(),
+        n_blocks: receiver.n_blocks(),
+    }
 }
 
 /// Drive one transfer of `payload` over an existing pair of link
-/// endpoints until delivery, sender give-up, or the round budget.
+/// endpoints until delivery, sender give-up, the round budget, or the
+/// deadline. Transient I/O errors are absorbed up to
+/// [`TransferConfig::io_retry_budget`]; anything worse returns a
+/// [`TransferError`] still carrying the partial report.
 pub fn run_transfer<A: Datagram, B: Datagram>(
     sender_link: &mut A,
     receiver_link: &mut B,
@@ -125,14 +380,62 @@ pub fn run_transfer<A: Datagram, B: Datagram>(
     payload: &[u8],
     transfer_id: u64,
     cfg: TransferConfig,
-) -> io::Result<TransferReport> {
+) -> Result<TransferReport, TransferError> {
     let mut sender = SpinalSender::new(params, payload, transfer_id, cfg.sender());
     let mut receiver = SpinalReceiver::new(params, cfg.receiver());
+    let started = Instant::now();
     let mut rounds = 0;
+    let mut transient_io_errors = 0usize;
+    let mut stop: Option<StopCause> = None;
+
+    /// Classify one I/O step: transient errors count against the retry
+    /// budget and the round continues; fatal errors (or a blown
+    /// budget) abort with the partial report attached.
+    macro_rules! step {
+        ($e:expr) => {
+            match $e {
+                Ok(_) => {}
+                Err(err) if is_transient_io(err.kind()) => {
+                    transient_io_errors += 1;
+                    if transient_io_errors > cfg.io_retry_budget {
+                        let outcome = salvage_outcome(&receiver, StopCause::IoError);
+                        return Err(TransferError {
+                            kind: TransferErrorKind::RetryBudgetExhausted,
+                            report: Box::new(build_report(
+                                outcome,
+                                &sender,
+                                &receiver,
+                                rounds,
+                                transient_io_errors,
+                            )),
+                        });
+                    }
+                }
+                Err(err) => {
+                    let outcome = salvage_outcome(&receiver, StopCause::IoError);
+                    return Err(TransferError {
+                        kind: TransferErrorKind::Fatal(err),
+                        report: Box::new(build_report(
+                            outcome,
+                            &sender,
+                            &receiver,
+                            rounds,
+                            transient_io_errors,
+                        )),
+                    });
+                }
+            }
+        };
+    }
+
     while rounds < cfg.max_rounds {
+        if cfg.deadline.is_some_and(|d| started.elapsed() >= d) {
+            stop = Some(StopCause::Deadline);
+            break;
+        }
         rounds += 1;
-        sender.poll(sender_link)?;
-        receiver.pump(receiver_link)?;
+        step!(sender.poll(sender_link));
+        step!(receiver.pump(receiver_link));
         if sender.complete() {
             break; // final ACK observed; both sides are done
         }
@@ -142,27 +445,27 @@ pub fn run_transfer<A: Datagram, B: Datagram>(
         } else if sender.exhausted() {
             // Budget gone and blocks still missing: give up. Drain any
             // in-flight feedback once more for an accurate report.
-            sender.drain_feedback(sender_link)?;
+            step!(sender.drain_feedback(sender_link));
             break;
         }
     }
     // The receiver may have completed on the very last round; reflect
     // any final feedback still in flight.
-    receiver.pump(receiver_link)?;
-    sender.drain_feedback(sender_link)?;
-    let outcome = match receiver.payload() {
-        Some(p) => TransferOutcome::Delivered(p),
-        None if sender.exhausted() => TransferOutcome::PassBudgetExhausted,
-        None => TransferOutcome::RoundBudgetExhausted,
-    };
-    Ok(TransferReport {
+    step!(receiver.pump(receiver_link));
+    step!(sender.drain_feedback(sender_link));
+    let stop = stop.unwrap_or(if sender.exhausted() {
+        StopCause::PassBudget
+    } else {
+        StopCause::RoundBudget
+    });
+    let outcome = salvage_outcome(&receiver, stop);
+    Ok(build_report(
         outcome,
-        symbols_sent: sender.symbols_sent(),
-        datagrams_sent: sender.datagrams_sent(),
-        passes_sent: sender.passes_sent(),
+        &sender,
+        &receiver,
         rounds,
-        decode_attempts: receiver.decode_attempts(),
-    })
+        transient_io_errors,
+    ))
 }
 
 /// Build a seeded loopback link with the given channel noise and
@@ -185,6 +488,7 @@ pub fn run_loopback_transfer(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{ChaosLink, FaultPlan};
     use crate::sender::Modulation;
 
     fn params() -> CodeParams {
@@ -210,6 +514,10 @@ mod tests {
         // One subpass per round: a one-pass transfer takes at most the
         // schedule's subpass count plus the final-ACK round.
         assert!(report.rounds <= 10, "took {} rounds", report.rounds);
+        assert_eq!(report.transient_io_errors, 0);
+        assert_eq!(report.reorder_evictions, 0);
+        assert_eq!(report.backoff_skips, 0, "responsive link never backs off");
+        assert_eq!(report.blocks_decoded, report.n_blocks);
     }
 
     #[test]
@@ -308,5 +616,209 @@ mod tests {
         assert!(!report.delivered());
         assert_eq!(report.outcome, TransferOutcome::RoundBudgetExhausted);
         assert_eq!(report.rounds, 2);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let p = params();
+        let cfg = TransferConfig {
+            deadline: Some(Duration::ZERO),
+            ..TransferConfig::default()
+        };
+        let report = run_loopback_transfer(
+            &p,
+            b"no time at all",
+            NoiseModel::Clean,
+            Impairments::clean(),
+            Impairments::clean(),
+            1,
+            cfg,
+        );
+        assert_eq!(report.outcome, TransferOutcome::DeadlineExceeded);
+        assert_eq!(report.rounds, 0, "deadline fires before the first round");
+        assert_eq!(report.symbols_sent, 0);
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let p = params();
+        let payload = b"plenty of time";
+        let cfg = TransferConfig {
+            deadline: Some(Duration::from_secs(3600)),
+            ..TransferConfig::default()
+        };
+        let report = run_loopback_transfer(
+            &p,
+            payload,
+            NoiseModel::Clean,
+            Impairments::clean(),
+            Impairments::clean(),
+            5,
+            cfg,
+        );
+        assert_eq!(report.payload(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn mid_transfer_blackout_salvages_partial_delivery() {
+        // Data path goes dark for good mid-transfer at moderate SNR:
+        // blocks differ in how many symbols they need, so some decode
+        // before the lights go out and must be salvaged.
+        let p = params();
+        let payload: Vec<u8> = (0u8..24).collect(); // 4 blocks of 6 bytes
+        let (tx, mut rx) = LoopbackLink::pair(
+            NoiseModel::Awgn { snr_db: 10.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            12,
+        );
+        let plan = FaultPlan {
+            blackouts: vec![(32, u64::MAX)],
+            ..FaultPlan::clean()
+        };
+        let mut tx = ChaosLink::new(tx, plan, 12);
+        let report = run_transfer(&mut tx, &mut rx, &p, &payload, 1, TransferConfig::default())
+            .expect("loopback I/O cannot fail");
+        match &report.outcome {
+            TransferOutcome::PartialDelivery {
+                blocks,
+                bytes_recovered,
+                blocks_decoded,
+                n_blocks,
+                ..
+            } => {
+                assert_eq!(*n_blocks, 4);
+                assert!(*blocks_decoded >= 1 && *blocks_decoded < 4);
+                let mut recovered = 0;
+                for (i, blk) in blocks.iter().enumerate() {
+                    if let Some(bytes) = blk {
+                        assert_eq!(bytes[..], payload[i * 6..(i + 1) * 6]);
+                        recovered += bytes.len();
+                    }
+                }
+                assert_eq!(recovered, *bytes_recovered);
+                assert!(recovered > 0);
+            }
+            other => panic!("expected PartialDelivery, got {other:?}"),
+        }
+        assert_eq!(report.salvage().map(|b| b.len()), Some(4));
+    }
+
+    /// A link that fails fatally on every operation.
+    struct BrokenLink;
+
+    impl Datagram for BrokenLink {
+        fn send(&mut self, _buf: &[u8]) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "wire cut"))
+        }
+        fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+            Err(io::Error::new(io::ErrorKind::BrokenPipe, "wire cut"))
+        }
+    }
+
+    #[test]
+    fn fatal_io_error_returns_structured_error_with_report() {
+        let p = params();
+        let (_tx, mut rx) = LoopbackLink::clean_pair(0);
+        let err = run_transfer(
+            &mut BrokenLink,
+            &mut rx,
+            &p,
+            b"doomed",
+            1,
+            TransferConfig::default(),
+        )
+        .expect_err("broken link must fail");
+        assert!(matches!(err.kind, TransferErrorKind::Fatal(ref e)
+            if e.kind() == io::ErrorKind::BrokenPipe));
+        assert_eq!(err.report.outcome, TransferOutcome::Aborted);
+        assert_eq!(err.report.rounds, 1, "failed inside the first round");
+        assert!(err.to_string().contains("fatal"));
+    }
+
+    #[test]
+    fn transient_errors_are_retried_within_budget() {
+        // Every send fails transiently: the transfer must keep trying
+        // (one transient per round) until the budget gives out, then
+        // return a structured error still carrying the report.
+        let p = params();
+        let (tx, mut rx) = LoopbackLink::clean_pair(0);
+        let plan = FaultPlan {
+            send_err_prob: 1.0,
+            ..FaultPlan::clean()
+        };
+        let mut tx = ChaosLink::new(tx, plan, 3);
+        let cfg = TransferConfig {
+            io_retry_budget: 10,
+            // Backoff would pace out the failing polls and dilute the
+            // error count below the budget; keep every round trying.
+            backoff_after_silent: 0,
+            ..TransferConfig::default()
+        };
+        let err = run_transfer(&mut tx, &mut rx, &p, b"hiccups", 1, cfg)
+            .expect_err("budget must give out");
+        assert!(matches!(err.kind, TransferErrorKind::RetryBudgetExhausted));
+        assert_eq!(err.report.transient_io_errors, 11, "budget + 1");
+        assert_eq!(err.report.outcome, TransferOutcome::Aborted);
+        assert!(err.to_string().contains("11 transient"));
+    }
+
+    #[test]
+    fn occasional_transient_errors_do_not_stop_delivery() {
+        // A mildly flaky syscall layer: the retry budget absorbs it and
+        // the payload still lands.
+        let p = params();
+        let payload = b"flaky but fine";
+        let (tx, mut rx) = LoopbackLink::pair(
+            NoiseModel::Awgn { snr_db: 15.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            21,
+        );
+        let plan = FaultPlan {
+            send_err_prob: 0.05,
+            ..FaultPlan::clean()
+        };
+        let mut tx = ChaosLink::new(tx, plan, 21);
+        let report = run_transfer(&mut tx, &mut rx, &p, payload, 1, TransferConfig::default())
+            .expect("transients within budget");
+        assert_eq!(report.payload(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn chaos_transfer_is_deterministic_in_seed() {
+        let p = params();
+        let payload: Vec<u8> = (0u8..40).collect();
+        let run = |seed: u64| {
+            let (tx, mut rx) = LoopbackLink::pair(
+                NoiseModel::Awgn { snr_db: 12.0 },
+                Impairments::clean(),
+                Impairments::clean(),
+                seed,
+            );
+            let plan = FaultPlan {
+                ge: Some(spinal_channel::GeParams {
+                    p_good_to_bad: 0.05,
+                    p_bad_to_good: 0.3,
+                    loss_good: 0.02,
+                    loss_bad: 0.9,
+                }),
+                dup_prob: 0.1,
+                dup_max: 2,
+                send_err_prob: 0.02,
+                ..FaultPlan::clean()
+            };
+            let mut tx = ChaosLink::new(tx, plan, seed);
+            let report = run_transfer(&mut tx, &mut rx, &p, &payload, 1, TransferConfig::default())
+                .expect("within budget");
+            (report.clone(), report.fingerprint(), tx.fingerprint())
+        };
+        let (r1, f1, t1) = run(33);
+        let (r2, f2, t2) = run(33);
+        assert_eq!(r1, r2, "same seed ⇒ identical report");
+        assert_eq!(f1, f2);
+        assert_eq!(t1, t2, "same seed ⇒ identical fault trace");
+        let (_, f3, t3) = run(34);
+        assert!(f1 != f3 || t1 != t3, "different seed must differ somewhere");
     }
 }

@@ -31,6 +31,14 @@ use spinal_channel::Complex;
 /// Protocol magic + version. Change on any incompatible layout change.
 pub const MAGIC: u32 = 0x5350_4E31; // "SPN1"
 
+/// Byte offset where the observation payload starts inside an encoded
+/// [`Packet::Data`] datagram: magic (4) + kind (1) + transfer id (8) +
+/// seq (4) + block (2) + offset (4) + payload kind (1) + count (2).
+/// Everything before it is framing the wire format assumes error-free
+/// (§6); fault injectors that model *payload* bit rot guard this prefix
+/// (see `FaultPlan::corrupt_skip`).
+pub const DATA_PAYLOAD_OFFSET: usize = 4 + 1 + 8 + 4 + 2 + 4 + 1 + 2;
+
 const KIND_INIT: u8 = 0;
 const KIND_DATA: u8 = 1;
 const KIND_FEEDBACK: u8 = 2;
@@ -400,6 +408,26 @@ mod tests {
         bad_kind.pop();
         bad_kind[4] = 9;
         assert_eq!(Packet::decode(&bad_kind), None); // unknown kind
+    }
+
+    #[test]
+    fn data_payload_offset_matches_the_encoder() {
+        // Pin the layout constant to the actual encoder output: one
+        // symbol whose first f64 has a recognizable bit pattern.
+        let marker = f64::from_bits(0xA5A5_A5A5_A5A5_A5A5);
+        let wire = Packet::Data {
+            transfer_id: 1,
+            seq: 2,
+            block: 3,
+            offset: 4,
+            payload: Payload::Symbols(vec![Complex::new(marker, 0.0)]),
+        }
+        .encode();
+        assert_eq!(
+            &wire[DATA_PAYLOAD_OFFSET..DATA_PAYLOAD_OFFSET + 8],
+            &marker.to_bits().to_le_bytes(),
+            "DATA_PAYLOAD_OFFSET out of sync with the encoder"
+        );
     }
 
     #[test]

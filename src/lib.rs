@@ -34,7 +34,9 @@ pub use spinal_strider as strider;
 
 // The types a typical user touches, flattened for convenience.
 pub use spinal_bounds::{BoundChannel, SpinalBound};
-pub use spinal_channel::{AwgnChannel, BscChannel, Channel, Complex, RayleighChannel};
+pub use spinal_channel::{
+    AwgnChannel, BscChannel, Channel, Complex, GeParams, GilbertElliott, RayleighChannel,
+};
 pub use spinal_core::{
     AdmitError, BubbleDecoder, CodeParams, DecodeEngine, DecodeRequest, DecodeService,
     DecodeWorkspace, Encoder, FrameBuilder, HashKind, MappingKind, Message, MetricsSnapshot,

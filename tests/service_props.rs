@@ -21,6 +21,7 @@ use spinal_codes::{
     SessionOptions,
 };
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One generated service workload.
 #[derive(Debug, Clone, Copy)]
@@ -155,7 +156,10 @@ proptest! {
         let mut sessions: Vec<(Session, SessionBuffer, Feed)> = (0..sc.sessions)
             .map(|i| {
                 let (buf, mirror, feed) = build_session(&p, &sc, i);
-                let opts = SessionOptions { deadline: i as u64 };
+                let opts = SessionOptions {
+                    deadline: i as u64,
+                    ..SessionOptions::default()
+                };
                 let session = svc.open_session(&dec, buf, opts).expect("admission");
                 (session, mirror, feed)
             })
@@ -186,6 +190,12 @@ proptest! {
         prop_assert_eq!(m.completions, m.submits, "lost or duplicated completions");
         prop_assert_eq!(m.stale_completions, 0u64);
         prop_assert_eq!(m.sessions_shed, 0u64);
+        // Nothing in this workload cancels, expires, or quarantines —
+        // the hardened-lifecycle counters must stay silent.
+        prop_assert_eq!(m.attempts_cancelled, 0u64);
+        prop_assert_eq!(m.attempts_deadline_expired, 0u64);
+        prop_assert_eq!(m.deadline_misses, 0u64);
+        prop_assert_eq!(m.sessions_quarantined, 0u64);
         prop_assert_eq!(svc.active_sessions(), 0);
     }
 
@@ -293,5 +303,113 @@ proptest! {
         prop_assert_eq!(m.submits_rejected, refused, "refusals miscounted");
         prop_assert_eq!(m.completions, m.submits, "a refused submit leaked a job");
         prop_assert_eq!(m.stale_completions, 0u64);
+    }
+
+    /// Hardened lifecycle: expired wall deadlines and caller cancels
+    /// resolve the attempt *without* a result, hand the buffer back,
+    /// and the books still balance exactly —
+    /// `submits == completions + attempts_cancelled + attempts_deadline_expired`.
+    #[test]
+    fn cancelled_and_expired_attempts_balance_the_books(sc in arb_scenario()) {
+        let p = CodeParams::default().with_n(32).with_b(4);
+        let dec = Arc::new(BubbleDecoder::new(&p));
+        let svc = DecodeService::new(sc.threads, ServiceConfig {
+            policy: POLICIES[sc.policy_idx],
+            ..ServiceConfig::default()
+        });
+        let mut expired_n = 0u64;
+        let mut cancels_won = 0u64;
+        for i in 0..sc.sessions {
+            let (buf, mirror, _) = build_session(&p, &sc, i);
+            let expired = i % 2 == 0;
+            let opts = SessionOptions {
+                // An already-elapsed wall deadline: the dispatcher must
+                // drop the attempt before it ever runs.
+                wall_deadline: expired.then(Instant::now),
+                ..SessionOptions::default()
+            };
+            let mut session = svc.open_session(&dec, buf, opts).expect("admission");
+            session.submit().expect("queue sized for the workload");
+            if expired {
+                expired_n += 1;
+                // wait_timeout distinguishes "resolved without result"
+                // (buffer home) from a genuine timeout (buffer absent).
+                let got = session.wait_timeout(Duration::from_secs(30));
+                prop_assert!(got.is_none(), "expired attempt {} produced a result", i);
+                prop_assert!(session.buffer().is_some(),
+                    "expired attempt {} did not return the buffer", i);
+            } else if session.cancel() {
+                // The cancel won the race against the worker: no result,
+                // buffer handed back, counted as cancelled.
+                cancels_won += 1;
+                prop_assert!(session.wait().is_none(), "cancelled attempt {} resolved", i);
+                prop_assert!(session.buffer().is_some(),
+                    "cancelled attempt {} did not return the buffer", i);
+            } else {
+                // The worker won: the result must still be bit-identical
+                // to the serial reference.
+                let got = session.wait().expect("uncancelled attempt lost");
+                let want = serial_decode(&dec, &mirror);
+                prop_assert_eq!(&got.message, &want.message, "session {} ({:?})", i, sc);
+            }
+        }
+        let m = svc.metrics();
+        prop_assert_eq!(m.submits, sc.sessions as u64);
+        prop_assert_eq!(m.attempts_deadline_expired, expired_n, "expiry miscounted");
+        prop_assert_eq!(m.attempts_cancelled, cancels_won, "cancels miscounted");
+        prop_assert_eq!(
+            m.completions + m.attempts_cancelled + m.attempts_deadline_expired,
+            m.submits,
+            "an attempt vanished without a terminal accounting state ({:?})", sc
+        );
+        prop_assert_eq!(m.stale_completions, 0u64);
+        prop_assert_eq!(m.deadline_misses, 0u64, "a dropped attempt cannot also miss");
+    }
+
+    /// Quarantine: crossing the consecutive-failure threshold refuses
+    /// further submits with a structured error (counted once per
+    /// crossing), and `mark_ok` restores service with decodes still
+    /// bit-identical to serial.
+    #[test]
+    fn quarantine_gates_submits_until_marked_healthy(sc in arb_scenario()) {
+        let p = CodeParams::default().with_n(32).with_b(4);
+        let dec = Arc::new(BubbleDecoder::new(&p));
+        let threshold = sc.attempts as u32; // 1..4
+        let svc = DecodeService::new(sc.threads, ServiceConfig {
+            quarantine_after: threshold,
+            policy: POLICIES[sc.policy_idx],
+            ..ServiceConfig::default()
+        });
+        let (buf, mirror, _) = build_session(&p, &sc, 0);
+        let mut session = svc
+            .open_session(&dec, buf, SessionOptions::default())
+            .expect("admission");
+        for k in 1..=threshold {
+            prop_assert_eq!(session.mark_failed(), k);
+        }
+        prop_assert!(session.quarantined());
+        match session.submit() {
+            Err(spinal_codes::SubmitError::Quarantined { failures }) => {
+                prop_assert_eq!(failures, threshold);
+            }
+            other => prop_assert!(false, "quarantined submit returned {:?}", other),
+        }
+        session.mark_ok();
+        prop_assert!(!session.quarantined());
+        session.submit().expect("healthy session refused");
+        let got = session.wait().expect("attempt in flight");
+        let want = serial_decode(&dec, &mirror);
+        prop_assert_eq!(&got.message, &want.message, "post-quarantine decode ({:?})", sc);
+        // A second crossing counts again — the counter tracks events,
+        // not a high-water mark.
+        for _ in 0..threshold {
+            session.mark_failed();
+        }
+        drop(session);
+        let m = svc.metrics();
+        prop_assert_eq!(m.sessions_quarantined, 2u64, "crossings miscounted");
+        prop_assert_eq!(m.submits_rejected, 1u64, "quarantine refusal miscounted");
+        prop_assert_eq!(m.submits, 1u64);
+        prop_assert_eq!(m.completions, 1u64);
     }
 }
