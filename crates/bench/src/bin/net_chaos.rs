@@ -10,6 +10,12 @@
 //!     [--trials 5] [--payload-bytes 48] [--json /tmp/chaos.json]
 //! ```
 //!
+//! Besides the steady-fault conditions there is an interrupt-and-
+//! resume condition (`blackout_resume`): every trial is cut by a
+//! permanent blackout mid-transfer and must then complete bit-exact
+//! via `resume_transfer` from its partial report, so its `delivered`
+//! count floors the *resumed*-delivery fraction.
+//!
 //! Prints a CSV row per fault condition and, when `--json` (or
 //! `$BENCH_JSON`) names a file, appends shim-criterion JSON lines
 //! (`group "net_chaos"`, fields `goodput_bits_per_symbol`,
@@ -23,8 +29,8 @@ use bench::Args;
 use spinal_channel::{GeParams, Impairments};
 use spinal_core::CodeParams;
 use spinal_net::{
-    run_transfer, ChaosLink, FaultPlan, NoiseModel, TransferConfig, TransferOutcome,
-    DATA_PAYLOAD_OFFSET,
+    resume_transfer, run_transfer, ChaosLink, FaultPlan, NoiseModel, TransferConfig,
+    TransferOutcome, DATA_PAYLOAD_OFFSET,
 };
 use std::io::Write;
 
@@ -172,6 +178,101 @@ fn main() {
             "{{\"group\":\"net_chaos\",\"bench\":\"{}\",\"goodput_bits_per_symbol\":{:.6},\
              \"delivered\":{},\"trials\":{},\"salvaged_bytes\":{},\"symbols\":{}}}\n",
             cond.name, goodput, delivered, trials, salvaged_bytes, symbols
+        ));
+    }
+    // Interrupt-and-resume: a permanent blackout kills each transfer
+    // mid-flight, then the transfer *resumes* over a clean link from
+    // its partial report. `delivered` counts the transfers the resume
+    // completed bit-exact, so `bench_guard --mode chaos
+    // --min-delivered` floors the resumed-delivery fraction; `symbols`
+    // spans both phases, so the goodput is the true cost of
+    // deliver-via-resume (salvaged blocks are paid for once).
+    {
+        let mut symbols = 0usize;
+        let mut rounds = 0usize;
+        let mut resumed = 0usize;
+        let mut partial = 0usize;
+        let mut salvaged_bytes = 0usize;
+        let mut backoff_skips = 0usize;
+        let mut evictions = 0u64;
+        for t in 0..trials {
+            let seed = 0xE5C0 + t as u64;
+            let (tx, rx) = spinal_net::LoopbackLink::pair(
+                NoiseModel::Awgn { snr_db: 15.0 },
+                Impairments::clean(),
+                Impairments::clean(),
+                seed,
+            );
+            let plan = FaultPlan {
+                // Stagger the cut point per trial so different block
+                // subsets are stranded mid-decode.
+                blackouts: vec![(45 + 3 * t as u64, u64::MAX)],
+                ..FaultPlan::clean()
+            };
+            let mut tx = ChaosLink::new(tx, plan, seed ^ 0xD474);
+            let mut rx = ChaosLink::new(rx, FaultPlan::clean(), seed ^ 0xFEED);
+            let report = match run_transfer(&mut tx, &mut rx, &params, &payload, seed | 1, cfg) {
+                Ok(report) => report,
+                Err(err) => *err.report,
+            };
+            symbols += report.symbols_sent;
+            rounds += report.rounds;
+            evictions += report.reorder_evictions;
+            backoff_skips += report.backoff_skips;
+            if let TransferOutcome::PartialDelivery {
+                bytes_recovered, ..
+            } = &report.outcome
+            {
+                partial += 1;
+                salvaged_bytes += bytes_recovered;
+            }
+            let (tx2, rx2) = spinal_net::LoopbackLink::pair(
+                NoiseModel::Awgn { snr_db: 15.0 },
+                Impairments::clean(),
+                Impairments::clean(),
+                seed ^ 0x5EED,
+            );
+            let (mut tx2, mut rx2) = (tx2, rx2);
+            let resume_report = match resume_transfer(
+                &mut tx2,
+                &mut rx2,
+                &params,
+                &payload,
+                &report,
+                (seed << 1) | 1,
+                cfg,
+            ) {
+                Ok(report) => report,
+                Err(err) => *err.report,
+            };
+            symbols += resume_report.symbols_sent;
+            rounds += resume_report.rounds;
+            if let TransferOutcome::Delivered(bytes) = &resume_report.outcome {
+                assert_eq!(bytes, &payload, "seeded resume must be bit-exact");
+                resumed += 1;
+            }
+        }
+        let goodput = if symbols > 0 {
+            (resumed * payload.len() * 8) as f64 / symbols as f64
+        } else {
+            0.0
+        };
+        println!(
+            "blackout_resume,{:.4},{}/{},{},{},{:.1},{},{}",
+            goodput,
+            resumed,
+            trials,
+            partial,
+            salvaged_bytes,
+            rounds as f64 / trials as f64,
+            backoff_skips,
+            evictions
+        );
+        json.push_str(&format!(
+            "{{\"group\":\"net_chaos\",\"bench\":\"blackout_resume\",\
+             \"goodput_bits_per_symbol\":{goodput:.6},\
+             \"delivered\":{resumed},\"trials\":{trials},\
+             \"salvaged_bytes\":{salvaged_bytes},\"symbols\":{symbols}}}\n",
         ));
     }
     if !json_path.is_empty() {

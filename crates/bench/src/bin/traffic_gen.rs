@@ -184,6 +184,9 @@ fn main() {
         let Some(result) = a.session.wait() else {
             die("session had no attempt in flight — submit/wait pairing broken");
         };
+        let Ok(result) = result else {
+            die("structured decode failure under clean traffic — recovery path misfired");
+        };
         if result.message == a.expect {
             completed += 1;
         } else if a.passes < max_passes {

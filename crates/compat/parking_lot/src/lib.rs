@@ -151,7 +151,15 @@ impl<T: ?Sized> Mutex<T> {
                 None => {} // session ended mid-call: real path below
             }
         }
-        self.inner.try_lock().ok().map(|g| self.make_guard(g))
+        // parking_lot has no poisoning: a free-but-poisoned std mutex
+        // (its last holder panicked) must still be acquirable, or a
+        // panic-recovery path calling try_lock would treat recoverable
+        // state as lost forever.
+        match self.inner.try_lock() {
+            Ok(g) => Some(self.make_guard(g)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(self.make_guard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -305,6 +313,20 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+
+    #[test]
+    fn panicked_holder_does_not_poison() {
+        // parking_lot semantics: a panic while holding the lock must
+        // leave it usable — both lock() and try_lock() — because panic
+        // recovery paths (the decode service's fail_job) rely on it.
+        let m = Mutex::new(7);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock();
+            panic!("holder dies");
+        }));
+        assert_eq!(*m.try_lock().expect("no poisoning on try_lock"), 7);
+        assert_eq!(*m.lock(), 7);
     }
 
     #[test]

@@ -93,7 +93,10 @@ fn engine_submit_drain_shutdown_is_schedule_independent() {
             engine
                 .drain()
                 .into_iter()
-                .map(|r| (r.message, r.cost.to_bits()))
+                .map(|r| {
+                    let r = r.expect("clean submit decodes");
+                    (r.message, r.cost.to_bits())
+                })
                 .collect::<Vec<Fingerprint>>()
         });
         stats.assert_clean(&format!("engine submit/drain, {workers} workers"));
@@ -256,7 +259,10 @@ fn engine_submit_racing_drain_loses_nothing() {
         let got: Vec<Fingerprint> = first
             .into_iter()
             .chain(second)
-            .map(|r| (r.message, r.cost.to_bits()))
+            .map(|r| {
+                let r = r.expect("clean submit decodes");
+                (r.message, r.cost.to_bits())
+            })
             .collect();
         (got, split, engine.stale_completions())
     });
@@ -282,6 +288,70 @@ fn engine_submit_racing_drain_loses_nothing() {
         2,
         "race never explored both generations: splits {splits:?}"
     );
+}
+
+/// The panic-racing-drain hazard (PR 10 tentpole): a poisoned job
+/// panics on its worker *while* healthy jobs run and the coordinator
+/// drains. On every schedule the panic must resolve as a structured
+/// failure in its submission slot — never aborting the process, never
+/// hanging the drain, never losing or duplicating the healthy results —
+/// and the poisoned slot's worker must respawn exactly once with the
+/// generation books balanced.
+#[test]
+fn engine_panic_racing_drain_resolves_structurally_on_every_schedule() {
+    let p = CodeParams::default().with_n(32).with_b(4);
+    let dec = BubbleDecoder::new(&p);
+    let rxs: Vec<RxSymbols> = (0..2).map(|i| make_rx(&p, 2, 0xB00 + i)).collect();
+    let serial = fingerprint_serial(&dec, &rxs);
+
+    let workers = 2usize;
+    let cfg = CheckConfig {
+        schedules: schedule_budget(250).min(250),
+        seed: 0xBAD_5EED,
+        // The respawned replacement worker joins mid-schedule, so the
+        // participant population is not fixed — leave the thread count
+        // undeclared and let stall detection adapt.
+        declared_threads: None,
+    };
+    let (results, stats) = check_random(&cfg, || {
+        let engine = DecodeEngine::new(workers);
+        await_participants(1 + workers);
+        engine.submit(&dec, &rxs[0]);
+        engine.submit_poison("model-checked poison");
+        engine.submit(&dec, &rxs[1]);
+        let drained = engine.drain();
+        let oks: Vec<Fingerprint> = drained
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                Ok(r) => Some((r.message.clone(), r.cost.to_bits())),
+                Err(spinal_core::DecodeFailure::WorkerPanicked { payload_msg }) => {
+                    assert_eq!(i, 1, "failure surfaced outside the poisoned slot");
+                    assert_eq!(payload_msg, "model-checked poison");
+                    None
+                }
+                Err(other) => panic!("poison resolved as {other:?}"),
+            })
+            .collect();
+        let errs = drained.iter().filter(|r| r.is_err()).count();
+        (
+            oks,
+            errs,
+            engine.stats().worker_respawns,
+            engine.stale_completions(),
+        )
+    });
+    stats.assert_clean("panic racing drain");
+    assert_eq!(results.len(), stats.schedules, "a panic schedule wedged");
+    for (i, (oks, errs, respawns, stale)) in results.iter().enumerate() {
+        assert_eq!(
+            oks, &serial,
+            "schedule {i}: healthy results lost, duplicated, or corrupted by the panic"
+        );
+        assert_eq!(*errs, 1, "schedule {i}: exactly one structured failure");
+        assert_eq!(*respawns, 1, "schedule {i}: poisoned worker respawns once");
+        assert_eq!(*stale, 0, "schedule {i}: completion leaked as stale");
+    }
 }
 
 /// Diagnostic (ignored): dump schedule structure for tuning.

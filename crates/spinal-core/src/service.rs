@@ -34,12 +34,14 @@
 //! resolves to.
 
 use crate::decoder::{BubbleDecoder, DecodeResult, DecodeWorkspace};
-use crate::engine::DecodeEngine;
+use crate::engine::{DecodeEngine, DecodeFailure};
+use crate::puncturing::Schedule;
 use crate::rx::{RxBits, RxSymbols};
 use crate::tables::TableCache;
 use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -60,7 +62,7 @@ pub enum SchedulePolicy {
 
 /// Service-wide tuning knobs. `Default` gives a generous single-tenant
 /// shape: 4096 sessions, a 1024-deep queue, in-flight cap = engine
-/// threads, FIFO order.
+/// threads, FIFO order, no breakers, no brownout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Admission limit: `open_session` beyond this many live sessions is
@@ -77,8 +79,22 @@ pub struct ServiceConfig {
     /// Quarantine a session after this many consecutive
     /// [`Session::mark_failed`] calls: further submits fail with
     /// [`SubmitError::Quarantined`] until [`Session::mark_ok`]. `0`
-    /// (the default) disables quarantine.
+    /// (the default) disables quarantine. Quarantine counts *caller*-
+    /// reported failures (e.g. CRC rejects) monotonically; the breakers
+    /// below react to *structured* failures ([`DecodeFailure`]) within a
+    /// time window and heal themselves — they generalize, not replace.
     pub quarantine_after: u32,
+    /// Per-session circuit breaker over structured decode failures.
+    /// `None` (the default) disables it.
+    pub session_breaker: Option<BreakerConfig>,
+    /// Per-decoder-config circuit breaker: one breaker per distinct
+    /// `(CodeParams, MetricProfile)` shape across all sessions, so a
+    /// poisonous configuration is fenced off service-wide. `None` (the
+    /// default) disables it.
+    pub config_breaker: Option<BreakerConfig>,
+    /// Brownout overload policy: shed queued work when dispatch latency
+    /// degrades. `None` (the default) disables it.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +105,142 @@ impl Default for ServiceConfig {
             max_inflight: 0,
             policy: SchedulePolicy::Fifo,
             quarantine_after: 0,
+            session_breaker: None,
+            config_breaker: None,
+            brownout: None,
+        }
+    }
+}
+
+/// Circuit-breaker tuning: closed → open after [`BreakerConfig::failures`]
+/// structured failures inside [`BreakerConfig::window`]; open → half-open
+/// (one probe admitted) after [`BreakerConfig::cooldown`]; the probe's
+/// outcome closes the breaker or re-opens it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Structured failures within `window` that trip the breaker open.
+    pub failures: u32,
+    /// Sliding window over which failures are counted.
+    pub window: Duration,
+    /// Open → half-open delay: how long submits are refused before one
+    /// probe attempt is admitted.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failures: 3,
+            window: Duration::from_secs(10),
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Which breaker refused a submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerScope {
+    /// This session's own breaker.
+    Session,
+    /// The service-wide breaker for this session's decoder
+    /// configuration.
+    DecoderConfig,
+}
+
+/// Brownout overload policy: when the 99th-percentile *dispatch*
+/// latency (submit → job start) crosses the threshold and the queue is
+/// deep, the most `CostSoFar`-expensive queued attempt is shed — the
+/// work most likely to keep the queue degraded — instead of letting
+/// every session's latency collapse together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrownoutConfig {
+    /// Dispatch-latency p99 (µs) above which shedding starts.
+    pub p99_threshold_us: u64,
+    /// Never shed while the queue holds this many attempts or fewer.
+    pub min_queue: usize,
+}
+
+/// One breaker's state machine (closed → open → half-open → …).
+#[derive(Debug)]
+enum BreakerState {
+    Closed,
+    Open { since: Instant },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerCore {
+    state: BreakerState,
+    /// Failure timestamps inside the sliding window (closed state only).
+    recent: VecDeque<Instant>,
+}
+
+impl BreakerCore {
+    fn new() -> Self {
+        BreakerCore {
+            state: BreakerState::Closed,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Gate one submit: `Err(retry_in)` while open; transitions open →
+    /// half-open (admitting this submit as the probe) once the cooldown
+    /// has elapsed.
+    fn admit(&mut self, cfg: &BreakerConfig, now: Instant) -> Result<(), Duration> {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open { since } => {
+                let elapsed = now.duration_since(since);
+                if elapsed >= cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(cfg.cooldown - elapsed)
+                }
+            }
+        }
+    }
+
+    /// Record one structured failure; returns `true` when this failure
+    /// trips the breaker open (from closed or from a half-open probe).
+    fn record_failure(&mut self, cfg: &BreakerConfig, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Open { .. } => false,
+            BreakerState::HalfOpen => {
+                // The probe failed: straight back to open, cooldown anew.
+                self.state = BreakerState::Open { since: now };
+                self.recent.clear();
+                true
+            }
+            BreakerState::Closed => {
+                self.recent.push_back(now);
+                while let Some(&t) = self.recent.front() {
+                    if now.duration_since(t) > cfg.window {
+                        self.recent.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if self.recent.len() as u32 >= cfg.failures {
+                    self.state = BreakerState::Open { since: now };
+                    self.recent.clear();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record one clean completion; returns `true` when it closes a
+    /// half-open breaker.
+    fn record_success(&mut self) -> bool {
+        self.recent.clear();
+        if matches!(self.state, BreakerState::HalfOpen) {
+            self.state = BreakerState::Closed;
+            true
+        } else {
+            false
         }
     }
 }
@@ -176,6 +328,15 @@ pub enum SubmitError {
         /// Consecutive failures recorded on the session.
         failures: u32,
     },
+    /// A circuit breaker is open for this session (or its decoder
+    /// configuration): recent attempts kept failing structurally, and
+    /// the breaker refuses new work until the cooldown admits a probe.
+    CircuitOpen {
+        /// Which breaker refused the submit.
+        scope: BreakerScope,
+        /// Cooldown remaining before a probe will be admitted.
+        retry_in: Duration,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -194,6 +355,16 @@ impl std::fmt::Display for SubmitError {
                 write!(
                     f,
                     "session quarantined after {failures} consecutive failures"
+                )
+            }
+            SubmitError::CircuitOpen { scope, retry_in } => {
+                let which = match scope {
+                    BreakerScope::Session => "session",
+                    BreakerScope::DecoderConfig => "decoder-config",
+                };
+                write!(
+                    f,
+                    "{which} circuit breaker open; probe admitted in {retry_in:?}"
                 )
             }
         }
@@ -242,6 +413,29 @@ struct SessionRes {
     folded: usize,
 }
 
+/// Which kind of receive buffer the session owns — remembered so a
+/// structurally failed attempt whose resources were lost with a wedged
+/// worker can rebuild an empty buffer of the right shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufferKind {
+    Symbols,
+    Bits,
+}
+
+/// FNV-1a over the decoder's parameter set and metric profile: the key
+/// for the per-decoder-config circuit breaker. Equal configurations
+/// hash equal (`Debug` output is a function of the fields); distinct
+/// configurations colliding would only merge their breakers — safe.
+fn decoder_config_key(dec: &BubbleDecoder) -> u64 {
+    let text = format!("{:?}|{:?}", dec.params_ref(), dec.profile());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Completion-handle state for one session.
 #[derive(Debug)]
 enum SlotState {
@@ -257,6 +451,15 @@ enum SlotState {
     /// A cancelled or deadline-expired attempt handed its resources
     /// back without a result; `wait`/`try_result` restore them.
     Returned(Box<SessionRes>),
+    /// The brownout policy shed the queued attempt; resources come back
+    /// like a cancel, but the ending is counted (and queryable via
+    /// [`Session::sheds`]) separately.
+    Shed(Box<SessionRes>),
+    /// The attempt failed structurally (worker panic, watchdog cancel).
+    /// Resources are recovered when the failed job already unwound
+    /// (panic); a still-wedged job keeps them, and the session rebuilds
+    /// fresh ones — with an empty receive buffer — on pickup.
+    Failed(Box<(DecodeFailure, Option<SessionRes>)>),
     /// The session was dropped; late completions are discarded (and
     /// counted as stale).
     Abandoned,
@@ -279,6 +482,12 @@ struct PendingJob {
     slot: Arc<SessionSlot>,
     submitted: Instant,
     wall_deadline: Option<Instant>,
+    /// CostSoFar tiebreak for the brownout shed scan (symbols folded at
+    /// submit time — stable even while the job owns the buffer).
+    cost: u64,
+    /// Test-only failure injection ([`Session::poison_next_attempt`]):
+    /// the job panics with this message instead of decoding.
+    poison: Option<String>,
 }
 
 impl PartialEq for PendingJob {
@@ -298,6 +507,28 @@ impl PartialOrd for PendingJob {
 impl Ord for PendingJob {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.key, self.seq).cmp(&(other.key, other.seq))
+    }
+}
+
+/// A job handed to the engine pool, shaped so both halves of the
+/// engine's run/fail contract can reach it: the job (and the session
+/// resources inside it) is parked in `held` for the whole decode, and
+/// `resolved` latches whichever of the run path and the failure path
+/// ends the attempt first — the other side backs off, so every submit
+/// ends exactly once and the in-flight slot is freed exactly once.
+struct DispatchedJob {
+    slot: Arc<SessionSlot>,
+    held: Mutex<Option<PendingJob>>,
+    resolved: AtomicBool,
+}
+
+impl DispatchedJob {
+    fn new(job: PendingJob) -> Self {
+        DispatchedJob {
+            slot: Arc::clone(&job.slot),
+            held: Mutex::new(Some(job)),
+            resolved: AtomicBool::new(false),
+        }
     }
 }
 
@@ -356,9 +587,16 @@ struct MetricsInner {
     deadline_expired: u64,
     deadline_misses: u64,
     quarantined: u64,
+    failed: u64,
+    worker_panics: u64,
+    breaker_opened: u64,
+    breaker_closed: u64,
+    breaker_rejected: u64,
+    brownout_sheds: u64,
     symbols_folded: u64,
     peak_active: usize,
     latency: LatencyHist,
+    dispatch_latency: LatencyHist,
     started: Instant,
 }
 
@@ -399,12 +637,30 @@ pub struct MetricsSnapshot {
     /// Sessions that crossed [`ServiceConfig::quarantine_after`]
     /// consecutive failures (counted once per crossing).
     pub sessions_quarantined: u64,
+    /// Attempts that ended in a structured [`DecodeFailure`] (worker
+    /// panic or watchdog cancel) — each also ends its submit exactly
+    /// once, like a completion.
+    pub attempts_failed: u64,
+    /// The subset of `attempts_failed` caused by a worker panic.
+    pub worker_panics: u64,
+    /// Circuit-breaker trips (session and decoder-config scopes
+    /// combined; a failed half-open probe re-opening counts again).
+    pub breaker_opened: u64,
+    /// Breakers closed by a successful half-open probe.
+    pub breaker_closed: u64,
+    /// Submits refused because a breaker was open.
+    pub breaker_rejected: u64,
+    /// Queued attempts shed by the brownout overload policy.
+    pub brownout_sheds: u64,
     /// Observations folded into finished decodes.
     pub symbols_folded: u64,
     /// Median submit→complete latency (µs, bucket upper bound).
     pub decode_p50_us: u64,
     /// 99th-percentile submit→complete latency (µs, bucket upper bound).
     pub decode_p99_us: u64,
+    /// 99th-percentile submit→dispatch latency (µs, bucket upper
+    /// bound) — the brownout policy's trigger signal.
+    pub dispatch_p99_us: u64,
     /// `symbols_folded` per second of service uptime.
     pub symbols_per_sec: f64,
     /// Seconds since the service was created.
@@ -424,8 +680,12 @@ impl MetricsSnapshot {
                 "\"stale_completions\":{},\"retries_total\":{},",
                 "\"attempts_cancelled\":{},\"attempts_deadline_expired\":{},",
                 "\"deadline_misses\":{},\"sessions_quarantined\":{},",
+                "\"attempts_failed\":{},\"worker_panics\":{},",
+                "\"breaker_opened\":{},\"breaker_closed\":{},",
+                "\"breaker_rejected\":{},\"brownout_sheds\":{},",
                 "\"symbols_folded\":{},\"decode_p50_us\":{},",
-                "\"decode_p99_us\":{},\"symbols_per_sec\":{:.3},",
+                "\"decode_p99_us\":{},\"dispatch_p99_us\":{},",
+                "\"symbols_per_sec\":{:.3},",
                 "\"uptime_secs\":{:.3}}}"
             ),
             self.sessions_active,
@@ -442,9 +702,16 @@ impl MetricsSnapshot {
             self.attempts_deadline_expired,
             self.deadline_misses,
             self.sessions_quarantined,
+            self.attempts_failed,
+            self.worker_panics,
+            self.breaker_opened,
+            self.breaker_closed,
+            self.breaker_rejected,
+            self.brownout_sheds,
             self.symbols_folded,
             self.decode_p50_us,
             self.decode_p99_us,
+            self.dispatch_p99_us,
             self.symbols_per_sec,
             self.uptime_secs,
         )
@@ -464,6 +731,9 @@ struct ServiceInner {
     max_inflight: usize,
     state: Mutex<ServiceState>,
     metrics: Mutex<MetricsInner>,
+    /// Per-decoder-config circuit breakers, keyed by a hash of the
+    /// session's `(CodeParams, MetricProfile)` shape.
+    breakers: Mutex<HashMap<u64, BreakerCore>>,
 }
 
 /// The many-session decode service. Cheap to clone (all clones share
@@ -523,11 +793,19 @@ impl DecodeService {
                     deadline_expired: 0,
                     deadline_misses: 0,
                     quarantined: 0,
+                    failed: 0,
+                    worker_panics: 0,
+                    breaker_opened: 0,
+                    breaker_closed: 0,
+                    breaker_rejected: 0,
+                    brownout_sheds: 0,
                     symbols_folded: 0,
                     peak_active: 0,
                     latency: LatencyHist::default(),
+                    dispatch_latency: LatencyHist::default(),
                     started: Instant::now(),
                 }),
+                breakers: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -585,8 +863,14 @@ impl DecodeService {
             m.admitted += 1;
             m.peak_active = m.peak_active.max(active);
         }
+        let buffer_kind = match &buffer {
+            SessionBuffer::Symbols(_) => BufferKind::Symbols,
+            SessionBuffer::Bits(_) => BufferKind::Bits,
+        };
         Ok(Session {
             svc: self.clone(),
+            cfg_key: decoder_config_key(dec),
+            buffer_kind,
             dec: Arc::clone(dec),
             slot: Arc::new(SessionSlot {
                 state: Mutex::new(SlotState::Idle),
@@ -603,6 +887,9 @@ impl DecodeService {
             position: 0,
             attempts: 0,
             failures: 0,
+            breaker: BreakerCore::new(),
+            sheds: 0,
+            poison: None,
         })
     }
 
@@ -626,9 +913,16 @@ impl DecodeService {
             attempts_deadline_expired: m.deadline_expired,
             deadline_misses: m.deadline_misses,
             sessions_quarantined: m.quarantined,
+            attempts_failed: m.failed,
+            worker_panics: m.worker_panics,
+            breaker_opened: m.breaker_opened,
+            breaker_closed: m.breaker_closed,
+            breaker_rejected: m.breaker_rejected,
+            brownout_sheds: m.brownout_sheds,
             symbols_folded: m.symbols_folded,
             decode_p50_us: m.latency.quantile_us(0.50),
             decode_p99_us: m.latency.quantile_us(0.99),
+            dispatch_p99_us: m.dispatch_latency.quantile_us(0.99),
             symbols_per_sec: if uptime > 0.0 {
                 m.symbols_folded as f64 / uptime
             } else {
@@ -667,6 +961,12 @@ impl ServiceInner {
                 Cancelled,
                 Expired,
             }
+            self.metrics.lock().dispatch_latency.record(
+                job.submitted
+                    .elapsed()
+                    .as_micros()
+                    .min(u128::from(u64::MAX)) as u64,
+            );
             let gate = {
                 let sl = job.slot.state.lock();
                 match *sl {
@@ -716,33 +1016,90 @@ impl ServiceInner {
                 }
             }
             if self.engine.is_pooled() {
+                let d = Arc::new(DispatchedJob::new(job));
                 let me = Arc::clone(self);
-                self.engine.pool_spawn(Box::new(move || {
-                    me.run_job(job);
-                    me.dispatch();
-                }));
+                let run_d = Arc::clone(&d);
+                let fail_me = Arc::clone(self);
+                // The failure continuation resolves the attempt when the
+                // job panics on its worker or the engine watchdog
+                // cancels it: exactly one of {run, fail} ends the
+                // attempt and frees the in-flight slot (first resolver
+                // wins via the `resolved` latch).
+                self.engine.pool_spawn(
+                    Box::new(move |ws| {
+                        me.run_job(&run_d, ws.heartbeat());
+                        me.dispatch();
+                    }),
+                    Box::new(move |failure| {
+                        fail_me.fail_job(&d, failure);
+                        fail_me.dispatch();
+                    }),
+                );
             } else {
                 // Inline: run here and keep looping; no recursion, so
-                // queue depth never grows the stack.
-                self.run_job(job);
+                // queue depth never grows the stack. A poisoned attempt
+                // must not panic the *submitting* thread — resolve it as
+                // the structured failure directly.
+                let mut job = job;
+                let poison = job.poison.take();
+                let d = DispatchedJob::new(job);
+                match poison {
+                    Some(payload_msg) => {
+                        self.fail_job(&d, DecodeFailure::WorkerPanicked { payload_msg })
+                    }
+                    None => self.run_job(&d, None),
+                }
             }
         }
     }
 
     /// Decode one attempt and publish its result to the session slot.
-    fn run_job(&self, job: PendingJob) {
+    ///
+    /// The job rides in `d.held` for the whole decode: a panic unwinds
+    /// out of this frame with the resources still parked there, so the
+    /// failure continuation can recover them. `hb` is the hosting
+    /// worker's heartbeat (None inline): installed on the session's own
+    /// workspace so a slow-but-progressing decode keeps the engine
+    /// watchdog fed.
+    fn run_job(&self, d: &DispatchedJob, hb: Option<Arc<std::sync::atomic::AtomicU64>>) {
+        let (result, job) = {
+            let mut guard = d.held.lock();
+            let job = guard.as_mut().expect("job present until resolved");
+            if let Some(msg) = job.poison.take() {
+                // Test-only failure injection: blow up exactly like a
+                // decoder bug would, on the worker, mid-job.
+                panic!("{}", msg);
+            }
+            let res = &mut job.res;
+            match hb {
+                Some(hb) => res.ws.set_heartbeat(hb),
+                // The workspace may carry a previous worker's counter;
+                // never tick a stranger's heartbeat.
+                None => res.ws.clear_heartbeat(),
+            }
+            let result = match &mut res.buffer {
+                SessionBuffer::Symbols(rx) => {
+                    job.dec.decode_cached_impl(rx, &mut res.cache, &mut res.ws)
+                }
+                SessionBuffer::Bits(rx) => job.dec.decode_bits_impl(rx, &mut res.ws),
+            };
+            (result, guard.take().expect("job present until resolved"))
+        };
+        if d.resolved.swap(true, Ordering::SeqCst) {
+            // The attempt was already resolved as a structured failure
+            // (engine watchdog cancel) while the decode ran: the late
+            // result is dropped, counted, and the in-flight slot stays
+            // freed by the resolver.
+            self.metrics.lock().stale += 1;
+            return;
+        }
         let PendingJob {
-            dec,
             mut res,
             slot,
             submitted,
             wall_deadline,
             ..
         } = job;
-        let result = match &mut res.buffer {
-            SessionBuffer::Symbols(rx) => dec.decode_cached_impl(rx, &mut res.cache, &mut res.ws),
-            SessionBuffer::Bits(rx) => dec.decode_bits_impl(rx, &mut res.ws),
-        };
         let micros = submitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         let late = wall_deadline.is_some_and(|d| Instant::now() >= d);
         let delta = res.buffer.symbols_received().saturating_sub(res.folded);
@@ -781,6 +1138,47 @@ impl ServiceInner {
         self.state.lock().inflight -= 1;
     }
 
+    /// Resolve one attempt as a structured failure (worker panic or
+    /// watchdog cancel). Recovers the session's resources when the
+    /// failed job has already unwound — a wedged job still holds the
+    /// `held` lock, so `try_lock` distinguishes the two without ever
+    /// blocking on a stuck thread. The incremental cache and workspace
+    /// are reset on recovery (a panic can interrupt a cache sync
+    /// half-way); the receive buffer survives intact.
+    fn fail_job(&self, d: &DispatchedJob, failure: DecodeFailure) {
+        if d.resolved.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let recovered = d.held.try_lock().and_then(|mut guard| {
+            guard.take().map(|job| {
+                let mut res = job.res;
+                res.cache = TableCache::new();
+                res.ws = DecodeWorkspace::new();
+                res
+            })
+        });
+        {
+            let mut sl = d.slot.state.lock();
+            let mut m = self.metrics.lock();
+            m.failed += 1;
+            if matches!(failure, DecodeFailure::WorkerPanicked { .. }) {
+                m.worker_panics += 1;
+            }
+            match *sl {
+                SlotState::Abandoned => {
+                    // Session gone; the failure still ended the attempt
+                    // (counted above), the resources just drop.
+                    m.stale += 1;
+                }
+                _ => {
+                    *sl = SlotState::Failed(Box::new((failure, recovered)));
+                    d.slot.ready.notify_all();
+                }
+            }
+        }
+        self.state.lock().inflight -= 1;
+    }
+
     fn close_session(&self, slot: &SessionSlot) {
         *slot.state.lock() = SlotState::Abandoned;
         self.state.lock().active -= 1;
@@ -799,6 +1197,11 @@ impl ServiceInner {
 #[derive(Debug)]
 pub struct Session {
     svc: DecodeService,
+    /// Key into the service's per-decoder-config breaker map.
+    cfg_key: u64,
+    /// Buffer shape, remembered so a structural failure that lost the
+    /// resources can rebuild an empty buffer of the right kind.
+    buffer_kind: BufferKind,
     dec: Arc<BubbleDecoder>,
     slot: Arc<SessionSlot>,
     res: Option<SessionRes>,
@@ -807,6 +1210,12 @@ pub struct Session {
     position: usize,
     attempts: u64,
     failures: u32,
+    /// Per-session circuit breaker over structured failures.
+    breaker: BreakerCore,
+    /// Attempts shed by the brownout overload policy.
+    sheds: u64,
+    /// Armed test-only injected panic for the next attempt.
+    poison: Option<String>,
 }
 
 impl Session {
@@ -846,9 +1255,11 @@ impl Session {
     /// Queue one decode attempt over everything buffered so far.
     /// Backpressure: fails with [`SubmitError::QueueFull`] when the
     /// service queue is at capacity (the session and its buffer are
-    /// untouched — push more symbols and retry), or
+    /// untouched — push more symbols and retry),
     /// [`SubmitError::AttemptInFlight`] if this session already has an
-    /// attempt outstanding.
+    /// attempt outstanding, or [`SubmitError::CircuitOpen`] while a
+    /// configured circuit breaker (session or decoder-config scope) is
+    /// open after repeated structured failures.
     pub fn submit(&mut self) -> Result<(), SubmitError> {
         if self.res.is_none() {
             return Err(SubmitError::AttemptInFlight);
@@ -860,6 +1271,28 @@ impl Session {
             });
         }
         let inner = &self.svc.inner;
+        let now = Instant::now();
+        if let Some(bcfg) = inner.cfg.session_breaker.as_ref() {
+            if let Err(retry_in) = self.breaker.admit(bcfg, now) {
+                inner.metrics.lock().breaker_rejected += 1;
+                return Err(SubmitError::CircuitOpen {
+                    scope: BreakerScope::Session,
+                    retry_in,
+                });
+            }
+        }
+        if let Some(bcfg) = inner.cfg.config_breaker.as_ref() {
+            let mut map = inner.breakers.lock();
+            let core = map.entry(self.cfg_key).or_insert_with(BreakerCore::new);
+            if let Err(retry_in) = core.admit(bcfg, now) {
+                drop(map);
+                inner.metrics.lock().breaker_rejected += 1;
+                return Err(SubmitError::CircuitOpen {
+                    scope: BreakerScope::DecoderConfig,
+                    retry_in,
+                });
+            }
+        }
         {
             let mut st = inner.state.lock();
             if st.pending.len() >= inner.cfg.queue_capacity {
@@ -874,10 +1307,11 @@ impl Session {
             let seq = st.next_seq;
             st.next_seq += 1;
             let res = self.res.take().expect("checked in-flight above");
+            let cost = res.buffer.symbols_received() as u64;
             let key = match inner.cfg.policy {
                 SchedulePolicy::Fifo => seq,
                 SchedulePolicy::OldestDeadlineFirst => self.deadline,
-                SchedulePolicy::CostSoFar => res.buffer.symbols_received() as u64,
+                SchedulePolicy::CostSoFar => cost,
             };
             *self.slot.state.lock() = SlotState::Queued;
             st.pending.push(Reverse(PendingJob {
@@ -888,7 +1322,40 @@ impl Session {
                 slot: Arc::clone(&self.slot),
                 submitted: Instant::now(),
                 wall_deadline: self.wall_deadline,
+                cost,
+                poison: self.poison.take(),
             }));
+            // Brownout: when dispatch latency has degraded past the
+            // configured p99 and the queue is deep, shed the most
+            // CostSoFar-expensive queued attempt — possibly the one
+            // just pushed — so the cheap majority keeps flowing.
+            if let Some(bo) = inner.cfg.brownout {
+                let p99 = inner.metrics.lock().dispatch_latency.quantile_us(0.99);
+                if p99 > bo.p99_threshold_us && st.pending.len() > bo.min_queue {
+                    let mut jobs: Vec<PendingJob> = std::mem::take(&mut st.pending)
+                        .into_vec()
+                        .into_iter()
+                        .map(|r| r.0)
+                        .collect();
+                    let victim = jobs
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, j)| (j.cost, j.seq))
+                        .map(|(i, _)| i)
+                        .expect("queue non-empty: just pushed");
+                    let job = jobs.swap_remove(victim);
+                    st.pending = jobs.into_iter().map(Reverse).collect();
+                    let PendingJob { res, slot, .. } = job;
+                    {
+                        let mut sl = slot.state.lock();
+                        if !matches!(*sl, SlotState::Abandoned) {
+                            *sl = SlotState::Shed(Box::new(res));
+                            slot.ready.notify_all();
+                        }
+                    }
+                    inner.metrics.lock().brownout_sheds += 1;
+                }
+            }
         }
         {
             let mut m = inner.metrics.lock();
@@ -902,29 +1369,113 @@ impl Session {
         Ok(())
     }
 
+    /// Fold one finished-attempt ending into the session: restore
+    /// resources, bump counters, record the outcome on the breakers.
+    /// Returns the value the wait family hands the caller.
+    fn settle(&mut self, ended: SlotState) -> Option<Result<DecodeResult, DecodeFailure>> {
+        match ended {
+            SlotState::Ready(boxed) => {
+                let (result, res) = *boxed;
+                self.res = Some(res);
+                self.record_outcome(true);
+                Some(Ok(result))
+            }
+            SlotState::Returned(res) => {
+                // Cancelled or deadline-expired: no result, but the
+                // buffer/cache/workspace come home. Not a structured
+                // failure — the breakers don't move.
+                self.res = Some(*res);
+                None
+            }
+            SlotState::Shed(res) => {
+                // Brownout shed: like a cancel, but counted per-session.
+                self.res = Some(*res);
+                self.sheds += 1;
+                None
+            }
+            SlotState::Failed(boxed) => {
+                let (failure, recovered) = *boxed;
+                // A panicked job unwound and its resources were
+                // recovered; a wedged one kept them, so rebuild fresh —
+                // with an empty receive buffer. Rateless recovery is
+                // just "receive more symbols": the session stays live.
+                self.res = Some(recovered.unwrap_or_else(|| self.rebuild_res()));
+                self.record_outcome(false);
+                Some(Err(failure))
+            }
+            _ => unreachable!("settle called on a non-terminal slot state"),
+        }
+    }
+
+    /// Fresh, empty session resources of this session's buffer shape —
+    /// for structural failures where the originals died with a wedged
+    /// worker.
+    fn rebuild_res(&self) -> SessionRes {
+        let p = self.dec.params_ref();
+        let schedule = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let buffer = match self.buffer_kind {
+            BufferKind::Symbols => SessionBuffer::Symbols(RxSymbols::new(schedule)),
+            BufferKind::Bits => SessionBuffer::Bits(RxBits::new(schedule)),
+        };
+        SessionRes {
+            buffer,
+            cache: TableCache::new(),
+            ws: DecodeWorkspace::new(),
+            folded: 0,
+        }
+    }
+
+    /// Record one surfaced attempt outcome on the configured breakers
+    /// (session scope and decoder-config scope).
+    fn record_outcome(&mut self, ok: bool) {
+        let inner = &self.svc.inner;
+        let now = Instant::now();
+        let mut opened = 0u64;
+        let mut closed = 0u64;
+        if let Some(bcfg) = inner.cfg.session_breaker.as_ref() {
+            if ok {
+                closed += u64::from(self.breaker.record_success());
+            } else {
+                opened += u64::from(self.breaker.record_failure(bcfg, now));
+            }
+        }
+        if let Some(bcfg) = inner.cfg.config_breaker.as_ref() {
+            let mut map = inner.breakers.lock();
+            let core = map.entry(self.cfg_key).or_insert_with(BreakerCore::new);
+            if ok {
+                closed += u64::from(core.record_success());
+            } else {
+                opened += u64::from(core.record_failure(bcfg, now));
+            }
+        }
+        if opened > 0 || closed > 0 {
+            let mut m = inner.metrics.lock();
+            m.breaker_opened += opened;
+            m.breaker_closed += closed;
+        }
+    }
+
     /// Block until the in-flight attempt completes and return its
-    /// result; `None` if no attempt is outstanding. Never deadlocks:
-    /// queued work is always driven by a pool worker or by `submit`
-    /// itself on inline engines.
-    pub fn wait(&mut self) -> Option<DecodeResult> {
+    /// outcome; `None` if no attempt is outstanding (or it ended
+    /// without one: cancelled, deadline-expired, brownout-shed).
+    /// `Some(Err(_))` surfaces a structured failure — worker panic or
+    /// watchdog cancel — after which the session is immediately usable
+    /// again (resources recovered or rebuilt). Never deadlocks: queued
+    /// work is always driven by a pool worker or by `submit` itself on
+    /// inline engines.
+    pub fn wait(&mut self) -> Option<Result<DecodeResult, DecodeFailure>> {
         if self.res.is_some() {
             return None;
         }
         let mut sl = self.slot.state.lock();
         loop {
             match std::mem::replace(&mut *sl, SlotState::Idle) {
-                SlotState::Ready(boxed) => {
+                ended @ (SlotState::Ready(_)
+                | SlotState::Returned(_)
+                | SlotState::Shed(_)
+                | SlotState::Failed(_)) => {
                     drop(sl);
-                    let (result, res) = *boxed;
-                    self.res = Some(res);
-                    return Some(result);
-                }
-                SlotState::Returned(res) => {
-                    // Cancelled or deadline-expired: no result, but the
-                    // buffer/cache/workspace come home.
-                    drop(sl);
-                    self.res = Some(*res);
-                    return None;
+                    return self.settle(ended);
                 }
                 other => {
                     *sl = other;
@@ -934,12 +1485,15 @@ impl Session {
         }
     }
 
-    /// [`Session::wait`] with a timeout: `Some(result)` on completion,
+    /// [`Session::wait`] with a timeout: `Some(outcome)` on completion,
     /// `None` on timeout *or* when the attempt ended without a result
-    /// (cancelled / deadline-expired — distinguishable because
+    /// (cancelled / deadline-expired / shed — distinguishable because
     /// [`Session::buffer`] is `Some` again in that case, while a timed
     /// out attempt is still in flight and the buffer stays checked out).
-    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<DecodeResult> {
+    pub fn wait_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Option<Result<DecodeResult, DecodeFailure>> {
         if self.res.is_some() {
             return None;
         }
@@ -947,16 +1501,12 @@ impl Session {
         let mut sl = self.slot.state.lock();
         loop {
             match std::mem::replace(&mut *sl, SlotState::Idle) {
-                SlotState::Ready(boxed) => {
+                ended @ (SlotState::Ready(_)
+                | SlotState::Returned(_)
+                | SlotState::Shed(_)
+                | SlotState::Failed(_)) => {
                     drop(sl);
-                    let (result, res) = *boxed;
-                    self.res = Some(res);
-                    return Some(result);
-                }
-                SlotState::Returned(res) => {
-                    drop(sl);
-                    self.res = Some(*res);
-                    return None;
+                    return self.settle(ended);
                 }
                 other => {
                     *sl = other;
@@ -970,26 +1520,22 @@ impl Session {
         }
     }
 
-    /// Non-blocking [`Session::wait`]: `Some(result)` if the in-flight
+    /// Non-blocking [`Session::wait`]: `Some(outcome)` if the in-flight
     /// attempt has completed, `None` otherwise (including when nothing
-    /// is in flight, or when a cancelled/expired attempt just handed
-    /// its resources back).
-    pub fn try_result(&mut self) -> Option<DecodeResult> {
+    /// is in flight, or when a cancelled/expired/shed attempt just
+    /// handed its resources back).
+    pub fn try_result(&mut self) -> Option<Result<DecodeResult, DecodeFailure>> {
         if self.res.is_some() {
             return None;
         }
         let mut sl = self.slot.state.lock();
         match std::mem::replace(&mut *sl, SlotState::Idle) {
-            SlotState::Ready(boxed) => {
+            ended @ (SlotState::Ready(_)
+            | SlotState::Returned(_)
+            | SlotState::Shed(_)
+            | SlotState::Failed(_)) => {
                 drop(sl);
-                let (result, res) = *boxed;
-                self.res = Some(res);
-                Some(result)
-            }
-            SlotState::Returned(res) => {
-                drop(sl);
-                self.res = Some(*res);
-                None
+                self.settle(ended)
             }
             other => {
                 *sl = other;
@@ -1048,6 +1594,21 @@ impl Session {
     pub fn failures(&self) -> u32 {
         self.failures
     }
+
+    /// Attempts of this session shed by the brownout overload policy.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Test-only failure injection: the next submitted attempt panics
+    /// on its worker (or resolves directly as the structured failure on
+    /// an inline engine) instead of decoding — exercising the full
+    /// panic-recovery path: catch, respawn, `DecodeFailure` surfacing,
+    /// breaker accounting. Never use outside tests.
+    #[doc(hidden)]
+    pub fn poison_next_attempt(&mut self, payload_msg: &str) {
+        self.poison = Some(payload_msg.to_string());
+    }
 }
 
 impl Drop for Session {
@@ -1096,7 +1657,10 @@ mod tests {
                 .open_session(&dec, SessionBuffer::Symbols(rx), SessionOptions::default())
                 .expect("admitted");
             session.submit().expect("queued");
-            let got = session.wait().expect("one attempt in flight");
+            let got = session
+                .wait()
+                .expect("one attempt in flight")
+                .expect("clean");
             assert_eq!(got.message, serial.message, "threads={threads}");
             assert_eq!(got.message, message);
             assert_eq!(session.attempts(), 1);
@@ -1129,7 +1693,7 @@ mod tests {
             SessionBuffer::Bits(_) => unreachable!(),
         }
         session.submit().expect("queued");
-        let got = session.wait().expect("in flight");
+        let got = session.wait().expect("in flight").expect("clean");
         // Bit-identical to a fresh serial decode over the full buffer.
         let full = rx_for(&params, &ys);
         let serial = crate::api::DecodeRequest::new(&dec, &full).decode();
@@ -1334,6 +1898,13 @@ mod tests {
             "attempts_deadline_expired",
             "deadline_misses",
             "sessions_quarantined",
+            "attempts_failed",
+            "worker_panics",
+            "breaker_opened",
+            "breaker_closed",
+            "breaker_rejected",
+            "brownout_sheds",
+            "dispatch_p99_us",
         ] {
             assert!(
                 json.contains(&format!("\"{key}\":")),
@@ -1383,7 +1954,7 @@ mod tests {
             .open_session(&dec, SessionBuffer::Symbols(rx_for(&params, &ys)), opts)
             .expect("admitted");
         session.submit().expect("queued");
-        let got = session.wait().expect("in flight");
+        let got = session.wait().expect("in flight").expect("clean");
         assert_eq!(got.message, message);
         let m = svc.metrics();
         assert_eq!(m.attempts_deadline_expired, 0);
@@ -1468,7 +2039,8 @@ mod tests {
         // Inline engine: already complete, any timeout finds it Ready.
         let got = session
             .wait_timeout(Duration::from_secs(10))
-            .expect("inline decode already finished");
+            .expect("inline decode already finished")
+            .expect("clean");
         assert_eq!(got.message, message);
     }
 
@@ -1532,5 +2104,265 @@ mod tests {
         session.submit().expect("never refused");
         assert!(session.wait().is_some());
         assert_eq!(svc.metrics().sessions_quarantined, 0);
+    }
+
+    #[test]
+    fn session_breaker_trips_open_and_rejects_submits() {
+        // Inline engine: poison resolves synchronously, so the breaker
+        // transitions are fully deterministic.
+        let cfg = ServiceConfig {
+            session_breaker: Some(BreakerConfig {
+                failures: 2,
+                window: Duration::from_secs(10),
+                cooldown: Duration::from_secs(3600),
+            }),
+            ..ServiceConfig::default()
+        };
+        let svc = DecodeService::new(1, cfg);
+        let (params, _message, ys) = setup(47);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut session = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        for i in 0..2 {
+            session.poison_next_attempt("breaker fodder");
+            session.submit().expect("still admitted");
+            let failure = session
+                .wait()
+                .expect("attempt was in flight")
+                .expect_err("poisoned attempt fails structurally");
+            match failure {
+                DecodeFailure::WorkerPanicked { payload_msg } => {
+                    assert!(payload_msg.contains("breaker fodder"), "failure {i}")
+                }
+                other => panic!("unexpected failure {other:?}"),
+            }
+            assert!(session.buffer().is_some(), "resources recovered");
+        }
+        // Second structured failure inside the window: open.
+        let err = session.submit().expect_err("breaker is open");
+        match err {
+            SubmitError::CircuitOpen { scope, retry_in } => {
+                assert_eq!(scope, BreakerScope::Session);
+                assert!(retry_in > Duration::ZERO && retry_in <= Duration::from_secs(3600));
+            }
+            other => panic!("unexpected submit error {other:?}"),
+        }
+        let m = svc.metrics();
+        assert_eq!(m.breaker_opened, 1);
+        assert_eq!(m.breaker_rejected, 1);
+        assert_eq!(m.attempts_failed, 2);
+        assert_eq!(m.worker_panics, 2);
+        assert_eq!(
+            m.submits,
+            m.completions + m.attempts_failed,
+            "every accepted submit ends exactly once"
+        );
+    }
+
+    #[test]
+    fn half_open_probe_closes_breaker_on_success_and_reopens_on_failure() {
+        // Zero cooldown: the submit after a trip is always admitted as
+        // the half-open probe, keeping every transition deterministic.
+        let cfg = ServiceConfig {
+            session_breaker: Some(BreakerConfig {
+                failures: 1,
+                window: Duration::from_secs(10),
+                cooldown: Duration::ZERO,
+            }),
+            ..ServiceConfig::default()
+        };
+        let svc = DecodeService::new(1, cfg);
+        let (params, message, ys) = setup(53);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut session = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        // Trip it open.
+        session.poison_next_attempt("trip");
+        session.submit().expect("queued");
+        assert!(session.wait().expect("in flight").is_err());
+        assert_eq!(svc.metrics().breaker_opened, 1);
+        // Clean probe closes it.
+        session.submit().expect("cooldown elapsed: probe admitted");
+        let got = session.wait().expect("in flight").expect("probe succeeds");
+        assert_eq!(got.message, message);
+        assert_eq!(svc.metrics().breaker_closed, 1);
+        // Trip again, then fail the probe: straight back to open.
+        session.poison_next_attempt("trip again");
+        session.submit().expect("breaker closed again");
+        assert!(session.wait().expect("in flight").is_err());
+        session.poison_next_attempt("probe fails");
+        session.submit().expect("probe admitted");
+        assert!(session.wait().expect("in flight").is_err());
+        let m = svc.metrics();
+        assert_eq!(m.breaker_opened, 3, "trip, trip, failed probe re-open");
+        assert_eq!(m.breaker_closed, 1);
+        assert_eq!(m.worker_panics, 3);
+    }
+
+    #[test]
+    fn config_breaker_fences_one_decoder_config_across_sessions() {
+        let cfg = ServiceConfig {
+            config_breaker: Some(BreakerConfig {
+                failures: 1,
+                window: Duration::from_secs(10),
+                cooldown: Duration::from_secs(3600),
+            }),
+            ..ServiceConfig::default()
+        };
+        let svc = DecodeService::new(1, cfg);
+        let (params, _message, ys) = setup(59);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut poisoned = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        let mut bystander = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        poisoned.poison_next_attempt("config poison");
+        poisoned.submit().expect("queued");
+        assert!(poisoned.wait().expect("in flight").is_err());
+        // The *other* session on the same decoder config is fenced off.
+        let err = bystander.submit().expect_err("config breaker is open");
+        assert!(
+            matches!(
+                err,
+                SubmitError::CircuitOpen {
+                    scope: BreakerScope::DecoderConfig,
+                    ..
+                }
+            ),
+            "unexpected {err:?}"
+        );
+        // A session on a *different* decoder config is untouched.
+        let other_params = CodeParams::default().with_n(64);
+        let other_dec = Arc::new(BubbleDecoder::new(&other_params));
+        let mut unrelated = svc
+            .open_session(
+                &other_dec,
+                SessionBuffer::Symbols(rx_for(&other_params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        unrelated.submit().expect("different config key: admitted");
+        assert!(unrelated.wait().expect("in flight").is_ok());
+        let m = svc.metrics();
+        assert_eq!(m.breaker_opened, 1);
+        assert_eq!(m.breaker_rejected, 1);
+    }
+
+    #[test]
+    fn brownout_sheds_the_most_expensive_queued_attempt() {
+        // p99 threshold 0 with min_queue 0: once a single dispatch
+        // latency sample exists (bucket upper bound >= 1µs), the next
+        // queued attempt is shed. Inline engine makes both steps
+        // synchronous.
+        let cfg = ServiceConfig {
+            brownout: Some(BrownoutConfig {
+                p99_threshold_us: 0,
+                min_queue: 0,
+            }),
+            ..ServiceConfig::default()
+        };
+        let svc = DecodeService::new(1, cfg);
+        let (params, message, ys) = setup(61);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut session = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        // First attempt: no latency signal yet, runs to completion.
+        session.submit().expect("queued");
+        let got = session.wait().expect("in flight").expect("clean");
+        assert_eq!(got.message, message);
+        assert_eq!(session.sheds(), 0);
+        // Second attempt: p99 now degraded past the (zero) threshold,
+        // the queue holds exactly this attempt — it is the most
+        // expensive by construction and gets shed.
+        session.submit().expect("submit itself is accepted");
+        assert!(
+            session.wait().is_none(),
+            "a shed attempt ends without a result"
+        );
+        assert!(session.buffer().is_some(), "resources come back on a shed");
+        assert_eq!(session.sheds(), 1);
+        let m = svc.metrics();
+        assert_eq!(m.brownout_sheds, 1);
+        assert_eq!(m.completions, 1);
+        assert_eq!(
+            m.submits,
+            m.completions + m.brownout_sheds,
+            "shed attempts still balance the books"
+        );
+        // The session stays usable; brownout is per-attempt, not a ban.
+        assert!(session.submit().is_ok());
+    }
+
+    #[test]
+    fn poisoned_pooled_attempt_books_balance_and_respawns_worker() {
+        // Pooled engine: the poison panics on a real worker thread, the
+        // engine catches it, respawns the slot, and the service surfaces
+        // the structured failure — then the session decodes again on the
+        // replacement worker.
+        let svc = DecodeService::new(2, ServiceConfig::default());
+        let (params, message, ys) = setup(67);
+        let dec = Arc::new(BubbleDecoder::new(&params));
+        let mut session = svc
+            .open_session(
+                &dec,
+                SessionBuffer::Symbols(rx_for(&params, &ys)),
+                SessionOptions::default(),
+            )
+            .expect("admitted");
+        session.poison_next_attempt("pooled poison");
+        session.submit().expect("queued");
+        let failure = session
+            .wait()
+            .expect("attempt was in flight")
+            .expect_err("poisoned attempt fails structurally");
+        assert!(matches!(failure, DecodeFailure::WorkerPanicked { .. }));
+        let n_sym = match session.buffer().expect("resources recovered") {
+            SessionBuffer::Symbols(rx) => rx.symbols_received(),
+            SessionBuffer::Bits(_) => unreachable!(),
+        };
+        assert_eq!(n_sym, ys.len(), "receive buffer survives the panic");
+        assert_eq!(svc.inner.engine.stats().worker_respawns, 1);
+        // The session decodes normally on the respawned pool.
+        session.submit().expect("queued after failure");
+        let got = session.wait().expect("in flight").expect("clean");
+        assert_eq!(got.message, message);
+        let m = svc.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.attempts_failed, 1);
+        assert_eq!(m.completions, 1);
+        assert_eq!(
+            m.submits,
+            m.completions
+                + m.attempts_cancelled
+                + m.attempts_deadline_expired
+                + m.attempts_failed
+                + m.brownout_sheds,
+            "every accepted submit ends exactly once"
+        );
     }
 }

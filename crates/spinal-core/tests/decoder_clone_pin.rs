@@ -44,7 +44,10 @@ fn session_submits_never_clone_the_decoder() {
             // session's shared Arc, growing the buffer between tries.
             for _ in 0..3 {
                 session.submit().expect("submit");
-                let result = session.wait().expect("one attempt in flight");
+                let result = session
+                    .wait()
+                    .expect("one attempt in flight")
+                    .expect("clean");
                 assert_eq!(result.message, msg, "threads {threads} seed {seed}");
                 let more = ch.transmit(&enc.next_symbols(spp));
                 match session.buffer_mut() {

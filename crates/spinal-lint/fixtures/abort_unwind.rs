@@ -1,0 +1,30 @@
+// Known-bad corpus for the abort-unwind-containment rule. The abort
+// and the two unwind primitives below must each be flagged; the
+// test-module catch_unwind and the commented/stringified mentions
+// must not.
+
+fn worker_crashed() {
+    std::process::abort();
+}
+
+fn swallow_panics<F: FnOnce()>(f: F) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+}
+
+fn rethrow(payload: Box<dyn std::any::Any + Send>) {
+    std::panic::resume_unwind(payload);
+}
+
+fn innocents() {
+    // process::abort() in a comment is fine.
+    let _msg = "catch_unwind in a string is fine";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_observe_panics() {
+        let r = std::panic::catch_unwind(|| panic!("boom"));
+        assert!(r.is_err());
+    }
+}

@@ -22,6 +22,13 @@
 //!   macros and panicking indexing in the spinal-net wire-decode and
 //!   receiver datagram paths. Those paths parse hostile network input
 //!   and must degrade, not abort.
+//! * **`abort-unwind-containment`** — `std::process::abort` anywhere
+//!   (the seed engine aborted the whole process when a worker
+//!   panicked; an attempt must resolve as a `DecodeFailure` instead),
+//!   and `catch_unwind`/`resume_unwind` outside the engine's worker
+//!   isolation and the check/compat harness infrastructure. Panic
+//!   containment anywhere else hides bugs the engine is designed to
+//!   surface as structured failures.
 //! * **`unsafe-outside-whitelist`** — `unsafe` anywhere outside the
 //!   whitelist (currently empty: the tree is 100% safe Rust), and in
 //!   whitelisted modules every `unsafe` needs a `// SAFETY:` comment
@@ -92,6 +99,19 @@ const PANICKY_PATHS: &[&str] = &[
     "crates/spinal-net/src/wire.rs",
     "crates/spinal-net/src/receiver.rs",
     "crates/spinal-net/src/chaos.rs",
+];
+
+/// The only paths allowed to contain panic-containment primitives
+/// (`catch_unwind` / `resume_unwind`): the engine's worker isolation —
+/// which converts a panic into `DecodeFailure::WorkerPanicked` and
+/// respawns the worker — and the check/compat harnesses that must
+/// observe panics without dying. `std::process::abort` is allowed
+/// nowhere: that is exactly the abort-on-panic pattern this repo
+/// removed.
+const UNWIND_ALLOW: &[&str] = &[
+    "crates/spinal-core/src/engine.rs",
+    "crates/spinal-check/",
+    "crates/compat/",
 ];
 
 /// Modules allowed to contain `unsafe` (each use still needs a
@@ -332,6 +352,30 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
                     "panicking index/slice in a hostile-input path; use .get()/.get_mut()".into(),
                 );
             }
+        }
+
+        // -- abort-unwind-containment ---------------------------------
+        if line.contains("process::abort") {
+            push(
+                "abort-unwind-containment",
+                line_no,
+                "process::abort tears down every in-flight session; \
+                 resolve the attempt as a DecodeFailure instead"
+                    .into(),
+            );
+        }
+        let unwind_ok = UNWIND_ALLOW.iter().any(|p| rel.starts_with(p)) && !is_fixture;
+        if !unwind_ok
+            && !in_test
+            && (line.contains("catch_unwind") || line.contains("resume_unwind"))
+        {
+            push(
+                "abort-unwind-containment",
+                line_no,
+                "panic containment outside the engine whitelist \
+                 (UNWIND_ALLOW in spinal-lint); let the engine isolate panics"
+                    .into(),
+            );
         }
 
         // -- unsafe-outside-whitelist ---------------------------------
@@ -674,6 +718,33 @@ mod tests {
         assert!(indexing_sites("let t: [u8; 4] = y;").is_empty());
         assert!(indexing_sites("vec![1, 2]").is_empty());
         assert!(indexing_sites("&bytes[..n]").len() == 1);
+    }
+
+    #[test]
+    fn abort_is_flagged_even_in_the_unwind_whitelist() {
+        let src = "fn die() { std::process::abort(); }\n";
+        assert_eq!(
+            scan_source("crates/spinal-core/src/engine.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn catch_unwind_is_scoped_to_the_engine_whitelist() {
+        let unwind_hits = |rel: &str, src: &str| {
+            scan_source(rel, src)
+                .into_iter()
+                .filter(|f| f.rule == "abort-unwind-containment")
+                .count()
+        };
+        let src = "let r = std::panic::catch_unwind(|| work());\n";
+        assert_eq!(unwind_hits("crates/spinal-net/src/sender.rs", src), 1);
+        assert_eq!(unwind_hits("crates/spinal-core/src/engine.rs", src), 0);
+        assert_eq!(unwind_hits("crates/spinal-check/src/sched.rs", src), 0);
+        assert_eq!(unwind_hits("crates/compat/parking_lot/src/lib.rs", src), 0);
+        // Test code may observe panics (assert_panics-style helpers).
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn f() { let _ = std::panic::catch_unwind(|| {}); }\n}\n";
+        assert!(scan_source("crates/spinal-net/src/sender.rs", in_test).is_empty());
     }
 
     #[test]

@@ -80,6 +80,21 @@ fn panicky_wire_fixture_is_flagged() {
 }
 
 #[test]
+fn abort_unwind_fixture_is_flagged() {
+    let f = scan_fixture("abort_unwind.rs");
+    let hits = rule_lines(&f, "abort-unwind-containment");
+    // abort; catch_unwind; resume_unwind — nothing for the comment,
+    // the string literal, or the #[cfg(test)] module's catch_unwind.
+    assert_eq!(hits, vec![7, 11, 15], "{f:#?}");
+    assert!(
+        f.iter()
+            .filter(|f| f.rule == "abort-unwind-containment")
+            .any(|f| f.message.contains("abort")),
+        "no abort-specific message: {f:#?}"
+    );
+}
+
+#[test]
 fn unsafe_fixture_is_flagged() {
     let f = scan_fixture("unsafe_code.rs");
     let hits = rule_lines(&f, "unsafe-outside-whitelist");

@@ -62,7 +62,7 @@ pub use link::{Datagram, LoopbackLink, NoiseModel, UdpLink};
 pub use receiver::{ReceiverConfig, SpinalReceiver};
 pub use sender::{Modulation, SenderConfig, SpinalSender};
 pub use transfer::{
-    run_loopback_transfer, run_transfer, StopCause, TransferConfig, TransferError,
+    resume_transfer, run_loopback_transfer, run_transfer, StopCause, TransferConfig, TransferError,
     TransferErrorKind, TransferOutcome, TransferReport,
 };
 pub use wire::{Packet, Payload, DATA_PAYLOAD_OFFSET};

@@ -258,6 +258,31 @@ impl UdpLink {
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.sock.local_addr()
     }
+
+    /// Bind two endpoints on ephemeral localhost ports, wired to each
+    /// other — the real-network (loopback-interface) counterpart of
+    /// [`LoopbackLink::pair`], for soak tests driving actual OS
+    /// sockets.
+    pub fn pair_localhost() -> io::Result<(UdpLink, UdpLink)> {
+        let a = UdpSocket::bind("127.0.0.1:0")?;
+        let b = UdpSocket::bind("127.0.0.1:0")?;
+        a.set_nonblocking(true)?;
+        b.set_nonblocking(true)?;
+        let a_addr = a.local_addr()?;
+        let b_addr = b.local_addr()?;
+        Ok((
+            UdpLink {
+                sock: a,
+                peer: b_addr,
+                buf: vec![0; MAX_DATAGRAM],
+            },
+            UdpLink {
+                sock: b,
+                peer: a_addr,
+                buf: vec![0; MAX_DATAGRAM],
+            },
+        ))
+    }
 }
 
 impl Datagram for UdpLink {
@@ -377,6 +402,7 @@ mod tests {
             payload_len: 100,
             n_blocks: 4,
             block_bits: 256,
+            resume: vec![],
         }
         .encode();
         a.send(&init).unwrap();

@@ -18,6 +18,13 @@
 //! ([`FrameReassembly`], §6). Feedback is a cumulative ACK bitmap; it
 //! keeps flowing after completion so a sender that missed one feedback
 //! datagram still learns to stop.
+//!
+//! A receiver holding salvaged bytes from an earlier interrupted
+//! transfer ([`SpinalReceiver::seed_salvage`]) re-seeds those blocks the
+//! moment an Init arrives whose resume bitmap claims them: the bytes are
+//! re-framed, CRC-revalidated, and acknowledged immediately, so the
+//! resumed transfer spends symbols only on the blocks that never
+//! decoded.
 
 use crate::link::Datagram;
 use crate::wire::{Packet, Payload};
@@ -255,7 +262,11 @@ impl BlockState {
             return false;
         }
         session.set_position(bidx);
-        let Some(result) = session.wait() else {
+        // A structured failure (worker panic / watchdog cancel) ends
+        // the attempt without a result; the session already recovered
+        // or rebuilt its resources, so the rateless loop just keeps
+        // collecting symbols and retries at the next boundary.
+        let Some(Ok(result)) = session.wait() else {
             return false;
         };
         if reassembly.offer(block_idx, &result.message) {
@@ -290,6 +301,10 @@ pub struct SpinalReceiver {
     transfer: Option<TransferState>,
     decode_attempts: usize,
     reorder_evictions: u64,
+    /// Salvaged per-block bytes from an earlier interrupted transfer,
+    /// keyed by the transfer id they may resume under.
+    salvage: Option<(u64, Vec<Option<Vec<u8>>>)>,
+    resumed_blocks: usize,
 }
 
 impl SpinalReceiver {
@@ -314,7 +329,20 @@ impl SpinalReceiver {
             transfer: None,
             decode_attempts: 0,
             reorder_evictions: 0,
+            salvage: None,
+            resumed_blocks: 0,
         }
+    }
+
+    /// Stage salvaged per-block bytes (the
+    /// [`PartialDelivery`](crate::TransferOutcome::PartialDelivery)
+    /// blocks of an interrupted transfer) for re-seeding when an Init
+    /// for `transfer_id` arrives with a matching resume bitmap. The
+    /// bytes are trusted — they were CRC-accepted when salvaged — and
+    /// only blocks the Init's resume bitmap also claims are re-seeded;
+    /// anything else decodes from symbols like any other block.
+    pub fn seed_salvage(&mut self, transfer_id: u64, blocks: Vec<Option<Vec<u8>>>) {
+        self.salvage = Some((transfer_id, blocks));
     }
 
     /// The decode service backing this receiver's block sessions.
@@ -344,7 +372,8 @@ impl SpinalReceiver {
                 payload_len,
                 n_blocks,
                 block_bits,
-            } => self.handle_init(transfer_id, payload_len, n_blocks, block_bits),
+                resume,
+            } => self.handle_init(transfer_id, payload_len, n_blocks, block_bits, &resume),
             Packet::Data {
                 transfer_id,
                 block,
@@ -357,7 +386,14 @@ impl SpinalReceiver {
         }
     }
 
-    fn handle_init(&mut self, transfer_id: u64, payload_len: u32, n_blocks: u16, block_bits: u32) {
+    fn handle_init(
+        &mut self,
+        transfer_id: u64,
+        payload_len: u32,
+        n_blocks: u16,
+        block_bits: u32,
+        resume: &[bool],
+    ) {
         if block_bits as usize != self.params.n || n_blocks == 0 {
             return; // geometry we cannot decode
         }
@@ -367,16 +403,50 @@ impl SpinalReceiver {
             }
         }
         let builder = FrameBuilder::new(self.params.n);
-        self.transfer = Some(TransferState {
+        let mut t = TransferState {
             transfer_id,
-            reassembly: FrameReassembly::new(builder, 0, n_blocks as usize, payload_len as usize),
+            reassembly: FrameReassembly::new(
+                builder.clone(),
+                0,
+                n_blocks as usize,
+                payload_len as usize,
+            ),
             blocks: (0..n_blocks).map(|_| BlockState::new()).collect(),
             decoder: Arc::new(BubbleDecoder::new(&self.params)),
             boundaries: self
                 .schedule
                 .subpass_boundaries(self.cfg.max_passes * self.schedule.symbols_per_pass()),
             datagrams_received: 0,
-        });
+        };
+        // Resume: re-seed every block the sender pre-acknowledged from
+        // the salvage staged for this transfer. The sender will emit no
+        // symbols for these blocks, so the salvaged bytes are their
+        // only source.
+        if !resume.is_empty() {
+            if let Some((salvage_id, staged)) = &self.salvage {
+                if *salvage_id == transfer_id {
+                    for (idx, bytes) in staged.iter().enumerate() {
+                        let (Some(true), Some(bytes)) = (resume.get(idx).copied(), bytes) else {
+                            continue;
+                        };
+                        // Re-frame the salvaged bytes exactly as the
+                        // sender framed the original block (zero-padded
+                        // payload + CRC) and offer it for reassembly.
+                        let candidates = builder.build(bytes);
+                        let Some(framed) = candidates.first() else {
+                            continue;
+                        };
+                        if t.reassembly.offer(idx, framed) {
+                            if let Some(state) = t.blocks.get_mut(idx) {
+                                state.decoded = true;
+                            }
+                            self.resumed_blocks += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.transfer = Some(t);
     }
 
     fn handle_data(&mut self, transfer_id: u64, block: u16, offset: u32, payload: Payload) {
@@ -447,6 +517,12 @@ impl SpinalReceiver {
         self.reorder_evictions
     }
 
+    /// Blocks re-seeded from staged salvage on a resumed transfer —
+    /// these cost zero symbols and zero decode attempts.
+    pub fn resumed_blocks(&self) -> usize {
+        self.resumed_blocks
+    }
+
     /// Out-of-order spans currently buffered across all blocks; bounded
     /// by `n_blocks × max_pending_spans` by construction.
     pub fn pending_spans(&self) -> usize {
@@ -498,6 +574,7 @@ mod tests {
             payload_len,
             n_blocks,
             block_bits: 64,
+            resume: vec![],
         }
     }
 
@@ -674,7 +751,75 @@ mod tests {
             payload_len: 4,
             n_blocks: 1,
             block_bits: 128, // receiver expects 64
+            resume: vec![],
         });
         assert!(r.feedback().is_none());
+    }
+
+    #[test]
+    fn staged_salvage_reseeds_resumed_blocks_on_init() {
+        let p = params();
+        let payload: Vec<u8> = (0u8..10).collect(); // 2 blocks of 6/4 bytes
+        let mut r = SpinalReceiver::new(&p, ReceiverConfig::default());
+        // Block 0 was salvaged from an earlier interrupted transfer.
+        r.seed_salvage(2, vec![Some(payload[..6].to_vec()), None]);
+        r.handle(Packet::Init {
+            transfer_id: 2,
+            payload_len: payload.len() as u32,
+            n_blocks: 2,
+            block_bits: 64,
+            resume: vec![true, false],
+        });
+        assert_eq!(r.resumed_blocks(), 1);
+        assert_eq!(r.blocks_decoded(), 1);
+        assert_eq!(r.decode_attempts(), 0, "salvage costs no decode");
+        let blocks = r.partial_blocks();
+        assert_eq!(blocks[0].as_deref(), Some(&payload[..6]));
+        assert!(blocks[1].is_none());
+        // Feedback immediately ACKs the re-seeded block.
+        match r.feedback().unwrap() {
+            Packet::Feedback { decoded, .. } => assert_eq!(decoded, vec![true, false]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Deliver block 1's symbols normally: the transfer completes.
+        let msgs = FrameBuilder::new(p.n).build(&payload);
+        let spp = Schedule::new(p.num_spines(), p.tail, p.puncturing).symbols_per_pass();
+        for (off, span) in spans(&p, &msgs[1], 2 * spp, 7) {
+            r.handle(Packet::Data {
+                transfer_id: 2,
+                seq: 0,
+                block: 1,
+                offset: off,
+                payload: span,
+            });
+        }
+        assert!(r.complete());
+        assert_eq!(r.payload().unwrap(), payload);
+    }
+
+    #[test]
+    fn resume_bits_without_staged_salvage_seed_nothing() {
+        let p = params();
+        let mut r = SpinalReceiver::new(&p, ReceiverConfig::default());
+        r.handle(Packet::Init {
+            transfer_id: 3,
+            payload_len: 10,
+            n_blocks: 2,
+            block_bits: 64,
+            resume: vec![true, true],
+        });
+        assert_eq!(r.resumed_blocks(), 0);
+        assert_eq!(r.blocks_decoded(), 0);
+        // Salvage staged under a different transfer id is ignored too.
+        let mut r = SpinalReceiver::new(&p, ReceiverConfig::default());
+        r.seed_salvage(99, vec![Some(vec![1, 2, 3]), None]);
+        r.handle(Packet::Init {
+            transfer_id: 3,
+            payload_len: 10,
+            n_blocks: 2,
+            block_bits: 64,
+            resume: vec![true, false],
+        });
+        assert_eq!(r.resumed_blocks(), 0);
     }
 }

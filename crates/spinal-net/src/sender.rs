@@ -10,6 +10,12 @@
 //! decides which blocks have finished. No symbol is ever retransmitted:
 //! a lost datagram is simply compensated by the later symbols of the
 //! rateless stream.
+//!
+//! An interrupted transfer can be *resumed*
+//! ([`SpinalSender::resume_with`]): blocks the far side already
+//! CRC-accepted are pre-acknowledged — no symbols are ever generated for
+//! them — and the Init datagram carries the resume bitmap so the
+//! receiver can re-seed those blocks from its salvaged bytes.
 
 use crate::link::Datagram;
 use crate::wire::{Packet, Payload};
@@ -77,6 +83,10 @@ pub struct SpinalSender {
     /// block (they run the same schedule).
     boundaries: Vec<usize>,
     blocks: Vec<BlockTx>,
+    /// Resume bitmap announced in Init: one bit per block, true =
+    /// pre-acknowledged from an earlier interrupted transfer. Empty for
+    /// a fresh transfer.
+    resume: Vec<bool>,
     seq: u32,
     saw_feedback: bool,
     symbols_sent: usize,
@@ -98,6 +108,24 @@ impl SpinalSender {
     /// encoders. `transfer_id` distinguishes concurrent or successive
     /// transfers on one link.
     pub fn new(params: &CodeParams, payload: &[u8], transfer_id: u64, cfg: SenderConfig) -> Self {
+        Self::resume_with(params, payload, transfer_id, &[], cfg)
+    }
+
+    /// Like [`SpinalSender::new`], but resuming an interrupted transfer:
+    /// every block whose `recovered` bit is true was already
+    /// CRC-accepted by the far side, so it is pre-acknowledged — the
+    /// sender never generates a symbol for it — and the Init datagram
+    /// carries the bitmap so the receiver re-seeds those blocks from its
+    /// salvaged bytes. An empty `recovered` slice means a fresh
+    /// transfer; otherwise its length must match the block count the
+    /// payload frames into.
+    pub fn resume_with(
+        params: &CodeParams,
+        payload: &[u8],
+        transfer_id: u64,
+        recovered: &[bool],
+        cfg: SenderConfig,
+    ) -> Self {
         assert!(cfg.chunk_symbols >= 1, "chunk_symbols must be at least 1");
         assert!(cfg.max_passes >= 1, "max_passes must be at least 1");
         let builder = FrameBuilder::new(params.n);
@@ -108,14 +136,21 @@ impl SpinalSender {
             messages.len(),
             u16::MAX
         );
+        assert!(
+            recovered.is_empty() || recovered.len() == messages.len(),
+            "resume bitmap covers {} blocks but the payload frames into {}",
+            recovered.len(),
+            messages.len()
+        );
         let schedule = Schedule::new(params.num_spines(), params.tail, params.puncturing);
         let boundaries = schedule.subpass_boundaries(cfg.max_passes * schedule.symbols_per_pass());
         let blocks = messages
             .iter()
-            .map(|msg| BlockTx {
+            .enumerate()
+            .map(|(i, msg)| BlockTx {
                 enc: Encoder::new(params, msg),
                 boundary_idx: 0,
-                acked: false,
+                acked: recovered.get(i).copied().unwrap_or(false),
             })
             .collect();
         SpinalSender {
@@ -125,6 +160,7 @@ impl SpinalSender {
             block_bits: params.n as u32,
             boundaries,
             blocks,
+            resume: recovered.to_vec(),
             seq: 0,
             saw_feedback: false,
             symbols_sent: 0,
@@ -224,6 +260,7 @@ impl SpinalSender {
                 payload_len: self.payload_len,
                 n_blocks: self.blocks.len() as u16,
                 block_bits: self.block_bits,
+                resume: self.resume.clone(),
             };
             link.send(&init.encode())?;
             self.datagrams_sent += 1;
@@ -295,6 +332,12 @@ impl SpinalSender {
         self.blocks.len()
     }
 
+    /// Blocks pre-acknowledged at construction by the resume bitmap
+    /// (0 for a fresh transfer).
+    pub fn resumed_blocks(&self) -> usize {
+        self.resume.iter().filter(|&&b| b).count()
+    }
+
     /// The deepest pass any block has reached, rounded up — the
     /// transfer's effective rate indicator.
     pub fn passes_sent(&self) -> usize {
@@ -334,6 +377,7 @@ mod tests {
                 payload_len,
                 n_blocks,
                 block_bits,
+                resume,
             } => {
                 assert_eq!(transfer_id, 9);
                 assert_eq!(payload_len, 20);
@@ -341,6 +385,7 @@ mod tests {
                 // 64-bit blocks hold 48 payload bits = 6 bytes; 20 bytes
                 // need 4 blocks.
                 assert_eq!(n_blocks, 4);
+                assert!(resume.is_empty(), "fresh transfer carries no resume");
             }
             other => panic!("expected Init first, got {other:?}"),
         }
@@ -484,6 +529,46 @@ mod tests {
             while rx.recv().unwrap().is_some() {}
         }
         assert_eq!(s.backoff_skips(), 0);
+    }
+
+    #[test]
+    fn resumed_sender_skips_recovered_blocks_and_announces_them() {
+        let p = params();
+        // 20 bytes → 4 blocks; blocks 0 and 2 were salvaged earlier.
+        let recovered = [true, false, true, false];
+        let mut s =
+            SpinalSender::resume_with(&p, &[7u8; 20], 11, &recovered, SenderConfig::default());
+        assert_eq!(s.resumed_blocks(), 2);
+        assert!(!s.complete(), "blocks 1 and 3 still owed");
+        let (mut tx, mut rx) = LoopbackLink::clean_pair(0);
+        s.burst(&mut tx).unwrap();
+        match Packet::decode(&rx.recv().unwrap().unwrap()).unwrap() {
+            Packet::Init { resume, .. } => assert_eq!(resume, recovered.to_vec()),
+            other => panic!("expected Init first, got {other:?}"),
+        }
+        let mut blocks_seen = std::collections::BTreeSet::new();
+        while let Some(buf) = rx.recv().unwrap() {
+            if let Some(Packet::Data { block, .. }) = Packet::decode(&buf) {
+                blocks_seen.insert(block);
+            }
+        }
+        assert_eq!(
+            blocks_seen.into_iter().collect::<Vec<_>>(),
+            vec![1, 3],
+            "recovered blocks must get zero symbols"
+        );
+        // ACKing the outstanding blocks completes the resumed transfer.
+        rx.send(
+            &Packet::Feedback {
+                transfer_id: 11,
+                received: 2,
+                decoded: vec![true, true, true, true],
+            }
+            .encode(),
+        )
+        .unwrap();
+        s.drain_feedback(&mut tx).unwrap();
+        assert!(s.complete());
     }
 
     #[test]

@@ -17,12 +17,19 @@
 //! CRC-accepted bytes, so callers salvage what arrived instead of
 //! losing everything. Fatal errors return a structured
 //! [`TransferError`] that still carries the partial [`TransferReport`].
+//!
+//! Recovery (PR 10): a degraded transfer is *resumable* —
+//! [`resume_transfer`] takes the partial report, pre-acknowledges every
+//! CRC-accepted block on the sender (announced in the Init resume
+//! bitmap), re-seeds the receiver from the salvaged bytes, and drives
+//! the same round loop so only the blocks that never decoded cost
+//! symbols the second time around.
 
 use crate::link::{Datagram, LoopbackLink, NoiseModel};
 use crate::receiver::{ReceiverConfig, SpinalReceiver};
 use crate::sender::{SenderConfig, SpinalSender};
 use spinal_channel::Impairments;
-use spinal_core::CodeParams;
+use spinal_core::{CodeParams, FrameBuilder};
 use std::io;
 use std::time::{Duration, Instant};
 
@@ -174,6 +181,9 @@ pub struct TransferReport {
     pub blocks_decoded: usize,
     /// Blocks the payload was framed into (0 if Init never arrived).
     pub n_blocks: usize,
+    /// Blocks re-seeded from salvage on a resumed transfer (0 for a
+    /// fresh one) — these cost zero symbols and zero decode attempts.
+    pub blocks_resumed: usize,
 }
 
 impl TransferReport {
@@ -223,6 +233,7 @@ impl TransferReport {
             self.backoff_skips as u64,
             self.blocks_decoded as u64,
             self.n_blocks as u64,
+            self.blocks_resumed as u64,
         ] {
             eat_u64(&mut h, v);
         }
@@ -365,6 +376,7 @@ fn build_report(
         backoff_skips: sender.backoff_skips(),
         blocks_decoded: receiver.blocks_decoded(),
         n_blocks: receiver.n_blocks(),
+        blocks_resumed: receiver.resumed_blocks(),
     }
 }
 
@@ -383,6 +395,83 @@ pub fn run_transfer<A: Datagram, B: Datagram>(
 ) -> Result<TransferReport, TransferError> {
     let mut sender = SpinalSender::new(params, payload, transfer_id, cfg.sender());
     let mut receiver = SpinalReceiver::new(params, cfg.receiver());
+    drive_transfer(&mut sender, &mut receiver, sender_link, receiver_link, cfg)
+}
+
+/// Resume a transfer that ended degraded: every block the `partial`
+/// report carries as CRC-accepted salvage is pre-acknowledged on the
+/// sender (and announced in the Init resume bitmap) and re-seeded on
+/// the receiver, so the resumed run spends symbols only on the blocks
+/// that never decoded. Composes with any link — including a fresh or
+/// still-chaotic one — and with further resumes if this run also ends
+/// degraded.
+///
+/// Robust against a mismatched `partial`: salvaged blocks are verified
+/// against the actual `payload` slices, and anything that fails the
+/// check (or a report from a different geometry) is simply decoded from
+/// symbols like a fresh block. Resuming an already-delivered report is
+/// a no-op that returns a zero-cost `Delivered` report.
+pub fn resume_transfer<A: Datagram, B: Datagram>(
+    sender_link: &mut A,
+    receiver_link: &mut B,
+    params: &CodeParams,
+    payload: &[u8],
+    partial: &TransferReport,
+    transfer_id: u64,
+    cfg: TransferConfig,
+) -> Result<TransferReport, TransferError> {
+    if partial.payload().is_some_and(|p| p == payload) {
+        // Nothing left to send or decode.
+        return Ok(TransferReport {
+            outcome: TransferOutcome::Delivered(payload.to_vec()),
+            symbols_sent: 0,
+            datagrams_sent: 0,
+            passes_sent: 0,
+            rounds: 0,
+            decode_attempts: 0,
+            transient_io_errors: 0,
+            reorder_evictions: 0,
+            backoff_skips: 0,
+            blocks_decoded: partial.blocks_decoded,
+            n_blocks: partial.n_blocks,
+            blocks_resumed: partial.n_blocks,
+        });
+    }
+    let builder = FrameBuilder::new(params.n);
+    let chunk = (builder.payload_bits() / 8).max(1);
+    let n_blocks = payload.len().div_ceil(chunk).max(1);
+    let salvage = partial.salvage().unwrap_or(&[]);
+    // Trust nothing: a salvaged block counts only if it matches the
+    // payload slice it claims to be (the report might belong to a
+    // different payload, or a different framing geometry).
+    let recovered: Vec<bool> = (0..n_blocks)
+        .map(|i| {
+            salvage.get(i).and_then(|b| b.as_deref()).is_some_and(|b| {
+                let start = (i * chunk).min(payload.len());
+                let end = (start + chunk).min(payload.len());
+                b == &payload[start..end]
+            })
+        })
+        .collect();
+    let mut sender =
+        SpinalSender::resume_with(params, payload, transfer_id, &recovered, cfg.sender());
+    let mut receiver = SpinalReceiver::new(params, cfg.receiver());
+    if recovered.iter().any(|&b| b) {
+        receiver.seed_salvage(transfer_id, salvage.to_vec());
+    }
+    drive_transfer(&mut sender, &mut receiver, sender_link, receiver_link, cfg)
+}
+
+/// The shared round loop behind [`run_transfer`] and
+/// [`resume_transfer`]: poll the sender, pump the receiver, stop on
+/// delivery, give-up, budget, or deadline.
+fn drive_transfer<A: Datagram, B: Datagram>(
+    sender: &mut SpinalSender,
+    receiver: &mut SpinalReceiver,
+    sender_link: &mut A,
+    receiver_link: &mut B,
+    cfg: TransferConfig,
+) -> Result<TransferReport, TransferError> {
     let started = Instant::now();
     let mut rounds = 0;
     let mut transient_io_errors = 0usize;
@@ -458,11 +547,11 @@ pub fn run_transfer<A: Datagram, B: Datagram>(
     } else {
         StopCause::RoundBudget
     });
-    let outcome = salvage_outcome(&receiver, stop);
+    let outcome = salvage_outcome(receiver, stop);
     Ok(build_report(
         outcome,
-        &sender,
-        &receiver,
+        sender,
+        receiver,
         rounds,
         transient_io_errors,
     ))
@@ -702,6 +791,234 @@ mod tests {
             other => panic!("expected PartialDelivery, got {other:?}"),
         }
         assert_eq!(report.salvage().map(|b| b.len()), Some(4));
+    }
+
+    /// A send-side wrapper recording which blocks get Data datagrams.
+    struct BlockRecorder<L> {
+        inner: L,
+        data_blocks: std::collections::BTreeSet<u16>,
+    }
+
+    impl<L> BlockRecorder<L> {
+        fn new(inner: L) -> Self {
+            BlockRecorder {
+                inner,
+                data_blocks: std::collections::BTreeSet::new(),
+            }
+        }
+    }
+
+    impl<L: Datagram> Datagram for BlockRecorder<L> {
+        fn send(&mut self, buf: &[u8]) -> io::Result<()> {
+            if let Some(crate::wire::Packet::Data { block, .. }) = crate::wire::Packet::decode(buf)
+            {
+                self.data_blocks.insert(block);
+            }
+            self.inner.send(buf)
+        }
+        fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+            self.inner.recv()
+        }
+    }
+
+    #[test]
+    fn blackout_partial_delivery_resumes_to_bit_exact_payload() {
+        // Phase 1: the data path goes dark for good mid-transfer — some
+        // blocks land, some never do (the PR 9 salvage scenario).
+        let p = params();
+        let payload: Vec<u8> = (0u8..24).collect(); // 4 blocks of 6 bytes
+        let (tx, mut rx) = LoopbackLink::pair(
+            NoiseModel::Awgn { snr_db: 10.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            12,
+        );
+        let plan = FaultPlan {
+            blackouts: vec![(32, u64::MAX)],
+            ..FaultPlan::clean()
+        };
+        let mut tx = ChaosLink::new(tx, plan, 12);
+        let partial = run_transfer(&mut tx, &mut rx, &p, &payload, 1, TransferConfig::default())
+            .expect("loopback I/O cannot fail");
+        let salvaged: Vec<u16> = partial
+            .salvage()
+            .expect("blackout must leave a partial delivery")
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.is_some().then_some(i as u16))
+            .collect();
+        assert!(!salvaged.is_empty() && salvaged.len() < 4);
+
+        // Phase 2: resume over a fresh link (route came back). The full
+        // payload must arrive bit-exact, with symbols spent only on the
+        // blocks the blackout swallowed.
+        let (tx2, mut rx2) = LoopbackLink::pair(
+            NoiseModel::Awgn { snr_db: 10.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            77,
+        );
+        let mut tx2 = BlockRecorder::new(tx2);
+        let report = resume_transfer(
+            &mut tx2,
+            &mut rx2,
+            &p,
+            &payload,
+            &partial,
+            2,
+            TransferConfig::default(),
+        )
+        .expect("loopback I/O cannot fail");
+        assert_eq!(report.payload(), Some(&payload[..]), "bit-exact delivery");
+        assert_eq!(report.blocks_resumed, salvaged.len());
+        assert_eq!(report.blocks_decoded, 4);
+        for block in &salvaged {
+            assert!(
+                !tx2.data_blocks.contains(block),
+                "salvaged block {block} must get zero symbols on resume"
+            );
+        }
+        assert!(
+            !tx2.data_blocks.is_empty(),
+            "unrecovered blocks still need symbols"
+        );
+        assert!(
+            report.symbols_sent < partial.symbols_sent,
+            "resume must cost fewer symbols than the interrupted run \
+             ({} vs {})",
+            report.symbols_sent,
+            partial.symbols_sent
+        );
+    }
+
+    #[test]
+    fn resume_composes_with_further_chaos() {
+        // The resumed run itself rides a still-degraded link (burst loss
+        // + duplication): the rateless stream and the resume bitmap must
+        // compose, not fight.
+        let p = params();
+        let payload: Vec<u8> = (100u8..124).collect();
+        let (tx, mut rx) = LoopbackLink::pair(
+            NoiseModel::Awgn { snr_db: 10.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            12,
+        );
+        let plan = FaultPlan {
+            blackouts: vec![(32, u64::MAX)],
+            ..FaultPlan::clean()
+        };
+        let mut tx = ChaosLink::new(tx, plan, 12);
+        let partial = run_transfer(&mut tx, &mut rx, &p, &payload, 5, TransferConfig::default())
+            .expect("loopback I/O cannot fail");
+        assert!(partial.salvage().is_some());
+
+        let (tx2, mut rx2) = LoopbackLink::pair(
+            NoiseModel::Awgn { snr_db: 12.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            41,
+        );
+        let plan2 = FaultPlan {
+            ge: Some(spinal_channel::GeParams {
+                p_good_to_bad: 0.05,
+                p_bad_to_good: 0.4,
+                loss_good: 0.02,
+                loss_bad: 0.8,
+            }),
+            dup_prob: 0.05,
+            dup_max: 2,
+            ..FaultPlan::clean()
+        };
+        let mut tx2 = ChaosLink::new(tx2, plan2, 41);
+        let report = resume_transfer(
+            &mut tx2,
+            &mut rx2,
+            &p,
+            &payload,
+            &partial,
+            6,
+            TransferConfig::default(),
+        )
+        .expect("within budget");
+        assert_eq!(report.payload(), Some(&payload[..]));
+        assert!(report.blocks_resumed >= 1);
+    }
+
+    #[test]
+    fn resume_of_a_delivered_report_is_a_noop() {
+        let p = params();
+        let payload = b"already there".to_vec();
+        let report = run_loopback_transfer(
+            &p,
+            &payload,
+            NoiseModel::Clean,
+            Impairments::clean(),
+            Impairments::clean(),
+            5,
+            TransferConfig::default(),
+        );
+        assert!(report.delivered());
+        let (mut tx, mut rx) = LoopbackLink::clean_pair(9);
+        let resumed = resume_transfer(
+            &mut tx,
+            &mut rx,
+            &p,
+            &payload,
+            &report,
+            7,
+            TransferConfig::default(),
+        )
+        .expect("no I/O at all");
+        assert_eq!(resumed.payload(), Some(&payload[..]));
+        assert_eq!(resumed.symbols_sent, 0);
+        assert_eq!(resumed.rounds, 0);
+        assert_eq!(resumed.blocks_resumed, resumed.n_blocks);
+    }
+
+    #[test]
+    fn resume_with_mismatched_payload_falls_back_to_fresh_transfer() {
+        // A report salvaged from a *different* payload: every salvage
+        // check fails, so the resume degrades gracefully into a full
+        // fresh transfer that still delivers the right bytes.
+        let p = params();
+        let original: Vec<u8> = (0u8..24).collect();
+        let (tx, mut rx) = LoopbackLink::pair(
+            NoiseModel::Awgn { snr_db: 10.0 },
+            Impairments::clean(),
+            Impairments::clean(),
+            12,
+        );
+        let plan = FaultPlan {
+            blackouts: vec![(32, u64::MAX)],
+            ..FaultPlan::clean()
+        };
+        let mut tx = ChaosLink::new(tx, plan, 12);
+        let partial = run_transfer(
+            &mut tx,
+            &mut rx,
+            &p,
+            &original,
+            1,
+            TransferConfig::default(),
+        )
+        .expect("loopback I/O cannot fail");
+        assert!(partial.salvage().is_some());
+
+        let other: Vec<u8> = (200u8..224).collect();
+        let (mut tx2, mut rx2) = LoopbackLink::clean_pair(3);
+        let report = resume_transfer(
+            &mut tx2,
+            &mut rx2,
+            &p,
+            &other,
+            &partial,
+            9,
+            TransferConfig::default(),
+        )
+        .expect("loopback I/O cannot fail");
+        assert_eq!(report.payload(), Some(&other[..]));
+        assert_eq!(report.blocks_resumed, 0, "no salvage may survive the check");
     }
 
     /// A link that fails fatally on every operation.

@@ -5,9 +5,12 @@
 //! followed by a kind-specific body, all integers little-endian:
 //!
 //! * **Init** — the sender's transfer announcement: transfer id, payload
-//!   length, block count, and code-block size. Retransmitted at the head
-//!   of every burst until the first feedback arrives, so an arbitrary
-//!   prefix of lost datagrams cannot desynchronise the pair.
+//!   length, block count, code-block size, and a resume bitmap (one bit
+//!   per block, true = the sender already holds this block as
+//!   CRC-accepted from an earlier interrupted transfer and will send no
+//!   symbols for it; empty for a fresh transfer). Retransmitted at the
+//!   head of every burst until the first feedback arrives, so an
+//!   arbitrary prefix of lost datagrams cannot desynchronise the pair.
 //! * **Data** — one span of rateless output for one code block: a
 //!   monotonically increasing per-transfer sequence number, the block
 //!   index, the span's offset in the block's puncturing-schedule order,
@@ -29,7 +32,8 @@
 use spinal_channel::Complex;
 
 /// Protocol magic + version. Change on any incompatible layout change.
-pub const MAGIC: u32 = 0x5350_4E31; // "SPN1"
+/// (v2: `Init` grew the resume bitmap for interrupted-transfer resume.)
+pub const MAGIC: u32 = 0x5350_4E32; // "SPN2"
 
 /// Byte offset where the observation payload starts inside an encoded
 /// [`Packet::Data`] datagram: magic (4) + kind (1) + transfer id (8) +
@@ -84,6 +88,11 @@ pub enum Packet {
         n_blocks: u16,
         /// Code-block size in bits (the spinal `n`).
         block_bits: u32,
+        /// Resume bitmap: one bit per block, true = already CRC-accepted
+        /// in an earlier interrupted transfer — the sender will emit no
+        /// symbols for it and the receiver should re-seed it from its
+        /// salvaged bytes. Empty for a fresh transfer.
+        resume: Vec<bool>,
     },
     /// One span of observations for one block.
     Data {
@@ -110,6 +119,26 @@ pub enum Packet {
     },
 }
 
+/// Append a length-prefixed LSB-first packed bitmap: u16 count, then
+/// `ceil(count / 8)` bytes. The shared encoding of every bitmap on the
+/// wire (Feedback ACKs, Init resume, Data bit payloads).
+fn pack_bits(out: &mut Vec<u8>, bits: &[bool]) {
+    out.extend_from_slice(&(bits.len() as u16).to_le_bytes());
+    let mut byte = 0u8;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !bits.len().is_multiple_of(8) {
+        out.push(byte);
+    }
+}
+
 impl Packet {
     /// Serialise to a wire buffer.
     pub fn encode(&self) -> Vec<u8> {
@@ -121,12 +150,14 @@ impl Packet {
                 payload_len,
                 n_blocks,
                 block_bits,
+                resume,
             } => {
                 out.push(KIND_INIT);
                 out.extend_from_slice(&transfer_id.to_le_bytes());
                 out.extend_from_slice(&payload_len.to_le_bytes());
                 out.extend_from_slice(&n_blocks.to_le_bytes());
                 out.extend_from_slice(&block_bits.to_le_bytes());
+                pack_bits(&mut out, resume);
             }
             Packet::Data {
                 transfer_id,
@@ -161,20 +192,7 @@ impl Packet {
                     }
                     Payload::Bits(bits) => {
                         out.push(2);
-                        out.extend_from_slice(&(bits.len() as u16).to_le_bytes());
-                        let mut byte = 0u8;
-                        for (i, &b) in bits.iter().enumerate() {
-                            if b {
-                                byte |= 1 << (i % 8);
-                            }
-                            if i % 8 == 7 {
-                                out.push(byte);
-                                byte = 0;
-                            }
-                        }
-                        if !bits.len().is_multiple_of(8) {
-                            out.push(byte);
-                        }
+                        pack_bits(&mut out, bits);
                     }
                 }
             }
@@ -186,20 +204,7 @@ impl Packet {
                 out.push(KIND_FEEDBACK);
                 out.extend_from_slice(&transfer_id.to_le_bytes());
                 out.extend_from_slice(&received.to_le_bytes());
-                out.extend_from_slice(&(decoded.len() as u16).to_le_bytes());
-                let mut byte = 0u8;
-                for (i, &b) in decoded.iter().enumerate() {
-                    if b {
-                        byte |= 1 << (i % 8);
-                    }
-                    if i % 8 == 7 {
-                        out.push(byte);
-                        byte = 0;
-                    }
-                }
-                if !decoded.len().is_multiple_of(8) {
-                    out.push(byte);
-                }
+                pack_bits(&mut out, decoded);
             }
         }
         out
@@ -214,12 +219,20 @@ impl Packet {
             return None;
         }
         let packet = match r.u8()? {
-            KIND_INIT => Packet::Init {
-                transfer_id: r.u64()?,
-                payload_len: r.u32()?,
-                n_blocks: r.u16()?,
-                block_bits: r.u32()?,
-            },
+            KIND_INIT => {
+                let transfer_id = r.u64()?;
+                let payload_len = r.u32()?;
+                let n_blocks = r.u16()?;
+                let block_bits = r.u32()?;
+                let n_resume = r.u16()? as usize;
+                Packet::Init {
+                    transfer_id,
+                    payload_len,
+                    n_blocks,
+                    block_bits,
+                    resume: r.bits(n_resume)?,
+                }
+            }
             KIND_DATA => {
                 let transfer_id = r.u64()?;
                 let seq = r.u32()?;
@@ -331,6 +344,14 @@ mod tests {
             payload_len: 4096,
             n_blocks: 17,
             block_bits: 256,
+            resume: vec![],
+        });
+        roundtrip(&Packet::Init {
+            transfer_id: 8,
+            payload_len: 54,
+            n_blocks: 9,
+            block_bits: 64,
+            resume: vec![true, false, false, true, true, false, true, false, true],
         });
         roundtrip(&Packet::Data {
             transfer_id: 1,
@@ -399,6 +420,7 @@ mod tests {
             payload_len: 2,
             n_blocks: 3,
             block_bits: 64,
+            resume: vec![true, true, false],
         }
         .encode();
         assert_eq!(Packet::decode(&wire[..wire.len() - 1]), None); // truncated

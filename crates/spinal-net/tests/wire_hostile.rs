@@ -20,6 +20,7 @@ fn build_packet(kind: u8, id: u64, a: u32, b: u16, n: usize, bits: bool) -> Pack
             payload_len: a,
             n_blocks: b,
             block_bits: 32 + (a % 512),
+            resume: (0..n).map(|i| i % 2 == 1).collect(),
         },
         1 => Packet::Data {
             transfer_id: id,

@@ -230,6 +230,110 @@ fn soak_seeded_schedules_end_structurally_and_deterministically() {
     );
 }
 
+/// Panic-injection soak (PR 10 acceptance): ≥100 seeded schedules of
+/// poisoned and clean decode attempts through one long-lived pooled
+/// service. Every injected worker panic must resolve as a structured
+/// [`DecodeFailure::WorkerPanicked`] — the process survives, the
+/// session's resources come back, the *next* clean attempt on the same
+/// session decodes bit-identically to a serial reference — and at the
+/// end the metrics books balance exactly: no completion lost, none
+/// duplicated, none leaked as stale.
+#[test]
+fn panic_injection_soak_survives_and_books_balance() {
+    use spinal_codes::core::DecodeFailure;
+    use spinal_codes::{
+        BubbleDecoder, CodeParams, DecodeRequest, DecodeService, Encoder, Message, RxSymbols,
+        Schedule, ServiceConfig, SessionBuffer, SessionOptions,
+    };
+    use std::sync::Arc;
+
+    let schedules: u64 = std::env::var("CHAOS_PANIC_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    assert!(schedules >= 100, "the acceptance bar is ≥100 schedules");
+    let p = CodeParams::default().with_n(32).with_b(8);
+    let dec = Arc::new(BubbleDecoder::new(&p));
+    // One pooled service for the whole soak: every poison kills a real
+    // worker thread, so the pool respawns ~schedules/2 workers over the
+    // run while still serving every clean attempt.
+    let svc = DecodeService::new(2, ServiceConfig::default());
+    let mut poisons = 0u64;
+    let mut cleans = 0u64;
+    for seed in 0..schedules {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(3);
+        let msg = Message::from_bytes(
+            (0..4)
+                .map(|i| splitmix(&mut s) as u8 ^ i)
+                .collect::<Vec<u8>>(),
+            32,
+        );
+        let mut enc = Encoder::new(&p, &msg);
+        let tx = enc.next_symbols(2 * p.symbols_per_pass());
+        let mut ch = spinal_codes::channel::AwgnChannel::new(12.0, seed);
+        let ys = spinal_codes::channel::Channel::transmit(&mut ch, &tx);
+        let sched = Schedule::new(p.num_spines(), p.tail, p.puncturing);
+        let mut rx = RxSymbols::new(sched);
+        rx.push(&ys);
+        let serial = DecodeRequest::new(&dec, &rx).decode();
+        let mut session = svc
+            .open_session(&dec, SessionBuffer::Symbols(rx), SessionOptions::default())
+            .expect("admitted");
+        let attempts = 1 + splitmix(&mut s) % 3;
+        for attempt in 0..attempts {
+            let poisoned = splitmix(&mut s) & 1 == 0;
+            if poisoned {
+                session.poison_next_attempt("soak poison");
+            }
+            session.submit().expect("queued");
+            match session.wait().expect("attempt in flight") {
+                Ok(r) => {
+                    assert!(!poisoned, "seed {seed}: poisoned attempt decoded");
+                    assert_eq!(
+                        r.message, serial.message,
+                        "seed {seed} attempt {attempt}: post-recovery decode must \
+                         stay bit-identical to the serial reference"
+                    );
+                    cleans += 1;
+                }
+                Err(DecodeFailure::WorkerPanicked { payload_msg }) => {
+                    assert!(poisoned, "seed {seed}: clean attempt panicked");
+                    assert_eq!(payload_msg, "soak poison", "seed {seed}");
+                    poisons += 1;
+                }
+                Err(other) => panic!("seed {seed}: unexpected failure {other:?}"),
+            }
+            assert!(
+                session.buffer().is_some(),
+                "seed {seed}: resources must return after every attempt"
+            );
+        }
+    }
+    println!("panic soak: {schedules} schedules — {poisons} poisoned, {cleans} clean");
+    assert!(
+        poisons >= schedules / 3,
+        "soak miscalibrated: only {poisons} panics injected over {schedules} schedules"
+    );
+    assert!(cleans > 0, "soak miscalibrated: no clean attempt ever ran");
+    let m = svc.metrics();
+    assert_eq!(m.worker_panics, poisons, "every panic counted exactly once");
+    assert_eq!(m.attempts_failed, poisons);
+    assert_eq!(
+        m.completions, cleans,
+        "no clean completion lost or duplicated"
+    );
+    assert_eq!(m.stale_completions, 0, "no completion leaked as stale");
+    assert_eq!(
+        m.submits,
+        m.completions
+            + m.attempts_cancelled
+            + m.attempts_deadline_expired
+            + m.attempts_failed
+            + m.brownout_sheds,
+        "every submit ends in exactly one structured outcome"
+    );
+}
+
 /// Different seeds must not share a fault trace — the soak would be
 /// silently re-running one schedule 200 times otherwise.
 #[test]

@@ -69,6 +69,7 @@ fn garbage_spans_are_never_acked() {
         payload_len: 6,
         n_blocks: 1,
         block_bits: p.n as u32,
+        resume: vec![],
     });
     // A deterministic junk-symbol generator, nothing like any encoder
     // output.

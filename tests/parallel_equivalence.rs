@@ -226,6 +226,7 @@ fn batch_and_submit_drain_match_serial_batch() {
         let drained = engine.drain();
         assert_eq!(drained.len(), serial.len());
         for (s, p) in serial.iter().zip(&drained) {
+            let p = p.as_ref().expect("clean submit decodes");
             assert_bitwise_equal(s, p, &format!("submit/drain threads {threads}"));
         }
     }

@@ -202,6 +202,7 @@ fn quantized_submit_drain_matches_serial_decodes() {
         let drained = engine.drain();
         assert_eq!(drained.len(), serial.len());
         for (s, p) in serial.iter().zip(&drained) {
+            let p = p.as_ref().expect("clean submit decodes");
             assert_eq!(s.message, p.message, "threads {threads}");
             assert_eq!(s.cost.to_bits(), p.cost.to_bits(), "threads {threads}");
         }

@@ -171,7 +171,7 @@ proptest! {
                 session.submit().expect("queue sized for the workload");
             }
             for (i, (session, mirror, feed)) in sessions.iter_mut().enumerate() {
-                let got = session.wait().expect("attempt in flight");
+                let got = session.wait().expect("attempt in flight").expect("clean decode");
                 let want = serial_decode(&dec, mirror);
                 prop_assert_eq!(&got.message, &want.message,
                     "session {} attempt {} ({:?})", i, attempt, sc);
@@ -285,7 +285,8 @@ proptest! {
             // Drain one completion per round; if nothing submitted AND
             // nothing is in flight, backpressure has livelocked.
             if let Some(i) = (!in_flight.is_empty()).then(|| in_flight.remove(0)) {
-                results[i] = sessions[i].0.as_mut().expect("open").wait();
+                results[i] = sessions[i].0.as_mut().expect("open").wait()
+                    .map(|r| r.expect("clean decode"));
                 prop_assert!(results[i].is_some(), "in-flight session {} had no result", i);
                 progressed = true;
             }
@@ -348,7 +349,8 @@ proptest! {
             } else {
                 // The worker won: the result must still be bit-identical
                 // to the serial reference.
-                let got = session.wait().expect("uncancelled attempt lost");
+                let got = session.wait().expect("uncancelled attempt lost")
+                    .expect("clean decode");
                 let want = serial_decode(&dec, &mirror);
                 prop_assert_eq!(&got.message, &want.message, "session {} ({:?})", i, sc);
             }
@@ -397,7 +399,7 @@ proptest! {
         session.mark_ok();
         prop_assert!(!session.quarantined());
         session.submit().expect("healthy session refused");
-        let got = session.wait().expect("attempt in flight");
+        let got = session.wait().expect("attempt in flight").expect("clean decode");
         let want = serial_decode(&dec, &mirror);
         prop_assert_eq!(&got.message, &want.message, "post-quarantine decode ({:?})", sc);
         // A second crossing counts again — the counter tracks events,

@@ -1,0 +1,208 @@
+//! Real-network soak (ROADMAP item 1): the full transfer + resume
+//! cycle over two actual OS UDP sockets on the loopback interface —
+//! not the in-memory `LoopbackLink`. The wire bytes cross the kernel,
+//! so this exercises datagram sizing, non-blocking send/recv semantics
+//! and peer filtering for real.
+//!
+//! The `#[ignore]`-by-default soak runs many seeded cycles
+//! (`UDP_SOAK_CYCLES` scales it); the smoke variant below it is small
+//! enough for the CI `recovery-smoke` job and still drives one
+//! blackout → partial delivery → resume → bit-exact round trip.
+
+use std::collections::BTreeSet;
+use std::io;
+
+use spinal_codes::net::{
+    resume_transfer, run_transfer, ChaosLink, Datagram, FaultPlan, Packet, TransferConfig,
+    TransferOutcome, TransferReport, UdpLink,
+};
+use spinal_codes::CodeParams;
+
+fn params() -> CodeParams {
+    CodeParams::default().with_n(64).with_b(16)
+}
+
+/// Send-side tap: counts datagrams and records which blocks get Data.
+struct SendTap<L> {
+    inner: L,
+    sends: u64,
+    data_blocks: BTreeSet<u16>,
+}
+
+impl<L> SendTap<L> {
+    fn new(inner: L) -> Self {
+        SendTap {
+            inner,
+            sends: 0,
+            data_blocks: BTreeSet::new(),
+        }
+    }
+}
+
+impl<L: Datagram> Datagram for SendTap<L> {
+    fn send(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.sends += 1;
+        if let Some(Packet::Data { block, .. }) = Packet::decode(buf) {
+            self.data_blocks.insert(block);
+        }
+        self.inner.send(buf)
+    }
+    fn recv(&mut self) -> io::Result<Option<Vec<u8>>> {
+        self.inner.recv()
+    }
+}
+
+/// One clean UDP transfer; returns the report and total datagrams sent
+/// on the data path.
+fn clean_udp_transfer(payload: &[u8], transfer_id: u64) -> (TransferReport, u64) {
+    let (tx, mut rx) = UdpLink::pair_localhost().expect("bind localhost sockets");
+    let mut tx = SendTap::new(tx);
+    let report = run_transfer(
+        &mut tx,
+        &mut rx,
+        &params(),
+        payload,
+        transfer_id,
+        TransferConfig::default(),
+    )
+    .expect("UDP loopback transfer failed");
+    (report, tx.sends)
+}
+
+/// Interrupt a UDP transfer with a permanent blackout near the end of
+/// a clean run's send count, searching a small window of cut points
+/// for one that strands some blocks mid-decode (a `PartialDelivery`).
+/// The UDP path is noiseless, so the clean run's send count is a
+/// faithful yardstick.
+fn blackout_partial(payload: &[u8], clean_sends: u64, id_base: u64) -> Option<TransferReport> {
+    for (trial, cut_back) in (2..=10).enumerate() {
+        let start = clean_sends.saturating_sub(cut_back).max(2);
+        let (tx, mut rx) = UdpLink::pair_localhost().expect("bind localhost sockets");
+        let plan = FaultPlan {
+            blackouts: vec![(start, u64::MAX)],
+            ..FaultPlan::clean()
+        };
+        let mut tx = ChaosLink::new(tx, plan, 7);
+        let report = run_transfer(
+            &mut tx,
+            &mut rx,
+            &params(),
+            payload,
+            id_base + trial as u64,
+            TransferConfig::default(),
+        )
+        .expect("UDP loopback transfer failed");
+        if matches!(report.outcome, TransferOutcome::PartialDelivery { .. }) {
+            return Some(report);
+        }
+    }
+    None
+}
+
+/// CI smoke: one clean delivery, one blackout → partial → resume cycle,
+/// all over real sockets, bounded and assert-tight.
+#[test]
+fn udp_blackout_resume_smoke() {
+    let payload: Vec<u8> = (0u8..24).map(|i| i.wrapping_mul(41) ^ 0xC3).collect();
+    let (clean, clean_sends) = clean_udp_transfer(&payload, 1);
+    assert_eq!(
+        clean.payload(),
+        Some(&payload[..]),
+        "clean UDP transfer must deliver bit-exact"
+    );
+    assert!(clean_sends > 4, "clean run too small to interrupt");
+
+    let partial = blackout_partial(&payload, clean_sends, 100)
+        .expect("no blackout cut point produced a partial delivery");
+    let salvaged: Vec<u16> = partial
+        .salvage()
+        .expect("partial delivery carries salvage")
+        .iter()
+        .enumerate()
+        .filter_map(|(i, b)| b.is_some().then_some(i as u16))
+        .collect();
+    assert!(!salvaged.is_empty(), "partial delivery salvaged nothing");
+
+    // Resume over a fresh socket pair: bit-exact full payload, zero
+    // symbols for the blocks the first run already recovered.
+    let (tx2, mut rx2) = UdpLink::pair_localhost().expect("bind localhost sockets");
+    let mut tx2 = SendTap::new(tx2);
+    let resumed = resume_transfer(
+        &mut tx2,
+        &mut rx2,
+        &params(),
+        &payload,
+        &partial,
+        2,
+        TransferConfig::default(),
+    )
+    .expect("UDP resume failed");
+    assert_eq!(
+        resumed.payload(),
+        Some(&payload[..]),
+        "resumed UDP transfer must deliver bit-exact"
+    );
+    assert_eq!(resumed.blocks_resumed, salvaged.len());
+    for block in &salvaged {
+        assert!(
+            !tx2.data_blocks.contains(block),
+            "salvaged block {block} must get zero symbols on resume"
+        );
+    }
+    assert!(
+        resumed.symbols_sent < partial.symbols_sent + clean.symbols_sent,
+        "resume must not cost more than starting over"
+    );
+}
+
+/// The long soak (ignored by default; `cargo test -- --ignored` or the
+/// nightly lane runs it): many seeded transfer cycles over real
+/// sockets, a blackout + resume dance every third cycle.
+#[test]
+#[ignore = "real-socket soak; run explicitly or via the nightly lane"]
+fn udp_soak_many_transfer_resume_cycles() {
+    let cycles: u64 = std::env::var("UDP_SOAK_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let mut resumes = 0u64;
+    for cycle in 0..cycles {
+        let len = 1 + (cycle.wrapping_mul(0x9E37_79B9) % 60) as usize;
+        let payload: Vec<u8> = (0..len)
+            .map(|i| (i as u8).wrapping_mul(29).wrapping_add(cycle as u8))
+            .collect();
+        let (clean, clean_sends) = clean_udp_transfer(&payload, 1000 + cycle * 50);
+        assert_eq!(
+            clean.payload(),
+            Some(&payload[..]),
+            "cycle {cycle}: clean UDP transfer must deliver bit-exact"
+        );
+        if cycle % 3 == 0 && clean_sends > 8 {
+            if let Some(partial) = blackout_partial(&payload, clean_sends, 2000 + cycle * 50) {
+                let (mut tx, mut rx) = UdpLink::pair_localhost().expect("bind localhost sockets");
+                let resumed = resume_transfer(
+                    &mut tx,
+                    &mut rx,
+                    &params(),
+                    &payload,
+                    &partial,
+                    3000 + cycle,
+                    TransferConfig::default(),
+                )
+                .expect("UDP resume failed");
+                assert_eq!(
+                    resumed.payload(),
+                    Some(&payload[..]),
+                    "cycle {cycle}: resumed transfer must deliver bit-exact"
+                );
+                assert!(resumed.blocks_resumed >= 1, "cycle {cycle}");
+                resumes += 1;
+            }
+        }
+    }
+    println!("udp soak: {cycles} cycles, {resumes} resume round-trips");
+    assert!(
+        resumes >= 1,
+        "soak miscalibrated: no cycle ever exercised resume"
+    );
+}
